@@ -1,0 +1,56 @@
+// Ablation: the fairness safety margin (a migopt extension; the paper checks
+// the raw constraint). Near the feasibility boundary, model error can pick a
+// state whose *measured* fairness violates alpha; a predicted-fairness margin
+// trades a little efficiency for fewer violations.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace migopt;
+  const auto& env = bench::Environment::get();
+  bench::print_header("Ablation C",
+                      "fairness margin vs measured violations (Problem 2, "
+                      "alpha=0.42, the paper's tightest setting)");
+
+  TextTable table({"margin", "violations", "infeasible decisions",
+                   "geomean efficiency", "vs margin 0"});
+  double base_geo = 0.0;
+  for (const double margin : {0.00, 0.01, 0.02, 0.03, 0.04, 0.06}) {
+    core::Policy policy = core::Policy::problem2(0.42);
+    policy.fairness_margin = margin;
+    const core::Optimizer optimizer =
+        core::Optimizer::paper_default(env.artifacts.model);
+    int violations = 0;
+    int infeasible = 0;
+    std::vector<double> efficiencies;
+    for (const auto& pair : env.pairs) {
+      const core::Decision decision = optimizer.decide(
+          env.profile(pair.app1), env.profile(pair.app2), policy);
+      if (!decision.feasible) {
+        ++infeasible;
+        continue;
+      }
+      const auto m =
+          bench::measure(env, pair, decision.state, decision.power_cap_watts);
+      if (m.fairness <= 0.42) ++violations;
+      efficiencies.push_back(m.energy_efficiency);
+    }
+    const double geo = bench::geomean_or_zero(efficiencies);
+    if (margin == 0.0) base_geo = geo;
+    table.add_row({str::format_fixed(margin, 2), std::to_string(violations),
+                   std::to_string(infeasible), str::format_fixed(geo, 5),
+                   base_geo > 0 ? str::format_fixed(100.0 * (geo / base_geo - 1.0), 1) + "%"
+                                : "-"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nReading: at alpha=0.42 the feasible region is razor thin (measured\n"
+      "max fairness ~0.44), so raw-constraint decisions can violate after\n"
+      "measurement; a small margin removes violations at the cost of marking\n"
+      "more pairs infeasible.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stats.hpp"
+
+namespace migopt::bench {
+
+Environment::Environment()
+    : chip(), registry(chip.arch()), pairs(wl::table8_pairs()),
+      artifacts(core::train_offline(chip, registry, pairs, core::TrainingConfig{})) {}
+
+const Environment& Environment::get() {
+  static Environment env;
+  return env;
+}
+
+const core::TrainedArtifacts& flexible_artifacts(const Environment& env) {
+  static const core::TrainedArtifacts artifacts = [&env] {
+    core::TrainingConfig config;
+    config.corun_states = core::flexible_states(env.chip.arch());
+    return core::train_offline(env.chip, env.registry, env.pairs, config);
+  }();
+  return artifacts;
+}
+
+core::PairMetrics measure(const Environment& env, const wl::CorunPair& pair,
+                          const core::PartitionState& state, double cap) {
+  return core::measure_pair(env.chip, env.kernel(pair.app1), env.kernel(pair.app2),
+                            state, cap);
+}
+
+Comparison compare_for_pair(const Environment& env, const wl::CorunPair& pair,
+                            const core::Policy& policy) {
+  Comparison cmp;
+  const std::vector<double> caps = policy.fixed_power_cap.has_value()
+                                       ? std::vector<double>{*policy.fixed_power_cap}
+                                       : core::paper_power_caps();
+
+  auto objective_of = [&policy](const core::PairMetrics& m) {
+    return policy.objective == core::PolicyObjective::Throughput
+               ? m.throughput
+               : m.energy_efficiency;
+  };
+
+  double worst = 1e300;
+  double best = -1e300;
+  for (const auto& state : core::paper_states()) {
+    for (const double cap : caps) {
+      const core::PairMetrics m = measure(env, pair, state, cap);
+      if (m.fairness <= policy.alpha) continue;
+      cmp.has_feasible = true;
+      const double value = objective_of(m);
+      if (value > best) {
+        best = value;
+        cmp.best_cap = cap;
+      }
+      worst = std::min(worst, value);
+    }
+  }
+  if (!cmp.has_feasible) return cmp;
+  cmp.worst = worst;
+  cmp.best = best;
+
+  const core::Optimizer optimizer =
+      core::Optimizer::paper_default(env.artifacts.model);
+  const core::Decision decision =
+      optimizer.decide(env.profile(pair.app1), env.profile(pair.app2), policy);
+  const double cap = decision.power_cap_watts;
+  const core::PairMetrics chosen = measure(env, pair, decision.state, cap);
+  cmp.proposal = objective_of(chosen);
+  cmp.proposal_cap = cap;
+  cmp.proposal_state = decision.state.name();
+  cmp.fairness_violation = chosen.fairness <= policy.alpha;
+  return cmp;
+}
+
+void print_header(const std::string& experiment_id, const std::string& description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+double geomean_or_zero(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return stats::geomean(values);
+}
+
+}  // namespace migopt::bench

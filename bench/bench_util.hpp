@@ -1,0 +1,74 @@
+// Shared harness for the per-figure/table reproduction benches.
+//
+// Every bench builds (once) the same environment the paper's evaluation uses:
+// the simulated A100, the 24-benchmark registry, the Table 8 pairs, and the
+// offline-trained model. Helpers compute the measured worst/best/proposal
+// triples the paper's result figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/evaluator.hpp"
+#include "core/optimizer.hpp"
+#include "core/trainer.hpp"
+#include "gpusim/gpu.hpp"
+#include "workloads/corun_pairs.hpp"
+#include "workloads/registry.hpp"
+
+namespace migopt::bench {
+
+/// Process-wide evaluation environment (built lazily, reused by every table).
+struct Environment {
+  gpusim::GpuChip chip;
+  wl::WorkloadRegistry registry;
+  std::vector<wl::CorunPair> pairs;
+  core::TrainedArtifacts artifacts;
+
+  Environment();
+  static const Environment& get();
+
+  const prof::CounterSet& profile(const std::string& app) const {
+    return artifacts.profiles.at(app);
+  }
+  const gpusim::KernelDescriptor& kernel(const std::string& app) const {
+    return registry.by_name(app).kernel;
+  }
+};
+
+/// Artifacts retrained over the flexible pair grid (interference coefficients
+/// for every GI size 1-4 in both options) — needed by the N-way and
+/// flexible-search extension benches. Built once on first use.
+const core::TrainedArtifacts& flexible_artifacts(const Environment& env);
+
+/// Measured metrics of one pair under (state, cap).
+core::PairMetrics measure(const Environment& env, const wl::CorunPair& pair,
+                          const core::PartitionState& state, double cap);
+
+/// The worst/best/proposal triple for one pair under a policy, all evaluated
+/// with *measured* metrics (the paper's Figures 9-13 methodology): worst/best
+/// scan the fairness-feasible candidates; the proposal is the model-driven
+/// decision, measured afterwards.
+struct Comparison {
+  bool has_feasible = false;       ///< any measured candidate met fairness
+  double worst = 0.0;
+  double best = 0.0;
+  double proposal = 0.0;
+  double best_cap = 0.0;           ///< cap of the measured-best candidate
+  double proposal_cap = 0.0;       ///< cap the optimizer chose
+  std::string proposal_state;      ///< state name the optimizer chose
+  bool fairness_violation = false; ///< measured fairness of choice <= alpha
+};
+
+Comparison compare_for_pair(const Environment& env, const wl::CorunPair& pair,
+                            const core::Policy& policy);
+
+/// Print a section header for a figure/table.
+void print_header(const std::string& experiment_id, const std::string& description);
+
+/// Geometric mean helper guarding empties.
+double geomean_or_zero(const std::vector<double>& values);
+
+}  // namespace migopt::bench

@@ -1,0 +1,125 @@
+// Extension bench: per-instance power budgets vs the chip-global cap.
+//
+// The paper (Section 5.1/6) notes that "finer-grained power capping, such as
+// at GPC level, would be useful" but evaluates the chip-global cap its A100
+// exposes. The simulator supports per-instance clock domains, so this bench
+// quantifies the headroom: for each pair and total power budget, the best
+// measured weighted speedup achievable by (a) the chip-global cap over the
+// paper's states S1-S4, and (b) the same states with the budget split across
+// the two instances on a quantized grid.
+//
+// The comparison is apples-to-apples: a chip cap P covers idle power, so the
+// per-instance variant distributes (P - idle) across the instance budgets.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace migopt;
+
+struct PairSpec {
+  std::string name;
+  std::string app1;
+  std::string app2;
+};
+
+}  // namespace
+
+int main() {
+  const auto& env = bench::Environment::get();
+  bench::print_header(
+      "Extension: per-instance power budgets",
+      "best measured weighted speedup, chip-global cap vs per-instance "
+      "budget split (fairness > 0.2)");
+
+  const std::vector<PairSpec> specs = {
+      {"TI-MI2", "igemm4", "stream"},
+      {"CI-MI2", "sgemm", "randomaccess"},
+      {"TI-US1", "igemm8", "backprop"},
+      {"CI-CI1", "sgemm", "lavaMD"},
+      {"TI-TI1", "tdgemm", "tf32gemm"},
+  };
+  // Fine split grid: any chip-global solution corresponds to *some* budget
+  // split, so per-instance can only lose to quantization; 2.5% steps keep
+  // that error negligible.
+  std::vector<double> splits;
+  for (double f = 0.200; f <= 0.801; f += 0.025) splits.push_back(f);
+  const double alpha = 0.2;
+  const double idle = env.chip.arch().idle_power_watts;
+
+  TextTable table({"workload", "P [W]", "chip-global", "per-instance",
+                   "gain", "best split"});
+  std::vector<double> gains;
+
+  for (const auto& spec : specs) {
+    const auto& k1 = env.kernel(spec.app1);
+    const auto& k2 = env.kernel(spec.app2);
+    const double base1 = env.chip.baseline_seconds(k1);
+    const double base2 = env.chip.baseline_seconds(k2);
+
+    for (const double total : {150.0, 190.0, 230.0}) {
+      double best_global = -1.0;
+      double best_instance = -1.0;
+      double best_fraction = 0.0;
+
+      for (const auto& state : core::paper_states()) {
+        const std::vector<gpusim::GpuChip::GroupMember> members = {
+            {&k1, state.gpcs_app1}, {&k2, state.gpcs_app2}};
+
+        // (a) chip-global cap (the paper's knob).
+        const auto global =
+            env.chip.run_group(members, state.option, total);
+        const double g1 = base1 / global.apps[0].seconds_per_wu;
+        const double g2 = base2 / global.apps[1].seconds_per_wu;
+        if (std::min(g1, g2) > alpha)
+          best_global = std::max(best_global, g1 + g2);
+
+        // (b) per-instance budgets over the split grid.
+        const double dynamic_budget = total - idle;
+        for (const double fraction : splits) {
+          const std::vector<double> caps = {dynamic_budget * fraction,
+                                            dynamic_budget * (1.0 - fraction)};
+          const auto split_run = env.chip.run_group_instance_caps(
+              members, state.option, caps);
+          const double r1 = base1 / split_run.apps[0].seconds_per_wu;
+          const double r2 = base2 / split_run.apps[1].seconds_per_wu;
+          if (std::min(r1, r2) <= alpha) continue;
+          if (r1 + r2 > best_instance) {
+            best_instance = r1 + r2;
+            best_fraction = fraction;
+          }
+        }
+      }
+
+      if (best_global < 0.0 || best_instance < 0.0) {
+        table.add_row({spec.name, str::format_fixed(total, 0), "infeasible",
+                       "-", "-", "-"});
+        continue;
+      }
+      const double gain = best_instance / best_global - 1.0;
+      gains.push_back(best_instance / best_global);
+      table.add_row({spec.name, str::format_fixed(total, 0),
+                     str::format_fixed(best_global, 3),
+                     str::format_fixed(best_instance, 3),
+                     str::format_fixed(gain * 100.0, 1) + "%",
+                     str::format_fixed(best_fraction, 3)});
+    }
+  }
+
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\ngeomean per-instance/chip-global ratio: %.3f\n",
+              bench::geomean_or_zero(gains));
+  std::printf(
+      "\nReading: per-instance budgets pay off exactly where the pair is\n"
+      "asymmetric in power appetite (TI/CI next to MI/US): the chip-global\n"
+      "governor throttles both clock domains together, while a split shifts\n"
+      "headroom the bandwidth-bound member cannot convert into speed over to\n"
+      "the compute-bound member. Symmetric pairs see little to no gain —\n"
+      "consistent with the paper treating chip-level capping as sufficient\n"
+      "for its balanced 4+3 splits.\n");
+  return 0;
+}

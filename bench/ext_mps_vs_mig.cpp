@@ -1,0 +1,94 @@
+// Extension bench: MIG partitioning vs MPS time-sharing.
+//
+// The paper's Section 2.2/7.1 positions MIG against MPS: MPS shares SMs
+// without hardware isolation (and keeps the 8th GPC that MIG fuses off),
+// while MIG partitions compute *and* memory, giving isolation and per-
+// instance UUIDs a job manager can schedule against. This bench measures
+// both across the Table 8 pairs at 250 W and 150 W:
+//   MIG  — best of the paper's states S1-S4 (measured);
+//   MPS  — best of the 4+4 / 5+3 / 6+2 SM-share splits (measured).
+// Reported per pair: weighted speedup, fairness, and the winner.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace migopt;
+
+struct Best {
+  double throughput = -1.0;
+  double fairness = 0.0;
+  std::string name;
+};
+
+}  // namespace
+
+int main() {
+  const auto& env = bench::Environment::get();
+  bench::print_header("Extension: MIG vs MPS",
+                      "best measured throughput per concurrency mechanism "
+                      "(Table 8 pairs)");
+
+  const std::vector<std::pair<int, int>> mps_splits = {{4, 4}, {5, 3}, {6, 2},
+                                                       {3, 5}, {2, 6}};
+  int mig_wins = 0;
+  int mps_wins = 0;
+
+  for (const double cap : {250.0, 150.0}) {
+    std::printf("\n--- power cap %.0f W ---\n", cap);
+    TextTable table({"workload", "MIG ws", "MIG fair", "MIG S", "MPS ws",
+                     "MPS fair", "MPS split", "winner"});
+    for (const auto& pair : env.pairs) {
+      const auto& k1 = env.kernel(pair.app1);
+      const auto& k2 = env.kernel(pair.app2);
+      const double base1 = env.chip.baseline_seconds(k1);
+      const double base2 = env.chip.baseline_seconds(k2);
+
+      Best mig;
+      for (const auto& state : core::paper_states()) {
+        const auto run = env.chip.run_pair(k1, state.gpcs_app1, k2,
+                                           state.gpcs_app2, state.option, cap);
+        const double r1 = base1 / run.apps[0].seconds_per_wu;
+        const double r2 = base2 / run.apps[1].seconds_per_wu;
+        if (r1 + r2 > mig.throughput)
+          mig = {r1 + r2, std::min(r1, r2), state.name()};
+      }
+
+      Best mps;
+      for (const auto& split : mps_splits) {
+        const std::vector<gpusim::GpuChip::GroupMember> members = {
+            {&k1, split.first}, {&k2, split.second}};
+        const auto run = env.chip.run_mps(members, cap);
+        const double r1 = base1 / run.apps[0].seconds_per_wu;
+        const double r2 = base2 / run.apps[1].seconds_per_wu;
+        if (r1 + r2 > mps.throughput)
+          mps = {r1 + r2, std::min(r1, r2),
+                 std::to_string(split.first) + "+" + std::to_string(split.second)};
+      }
+
+      const bool mig_better = mig.throughput >= mps.throughput;
+      (mig_better ? mig_wins : mps_wins) += 1;
+      table.add_row({pair.name, str::format_fixed(mig.throughput, 3),
+                     str::format_fixed(mig.fairness, 3), mig.name,
+                     str::format_fixed(mps.throughput, 3),
+                     str::format_fixed(mps.fairness, 3), mps.name,
+                     mig_better ? "MIG" : "MPS"});
+    }
+    std::printf("%s", table.to_string().c_str());
+  }
+
+  std::printf("\nwins across both caps: MIG %d | MPS %d\n", mig_wins, mps_wins);
+  std::printf(
+      "\nReading: MPS's extra GPC and flexible shares win when interference\n"
+      "is mild (compute-compute, unscalable pairs); MIG wins when a memory-\n"
+      "intensive co-runner needs containment (MI next to latency-sensitive\n"
+      "kernels) or when fairness matters — the private option bounds the\n"
+      "victim's slowdown where MPS cannot. This is the trade-off the paper\n"
+      "cites for focusing on MIG as the scheduler-friendly mechanism\n"
+      "(isolation + per-instance UUIDs), accepting its 1-GPC tax.\n");
+  return 0;
+}

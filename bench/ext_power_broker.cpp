@@ -1,0 +1,108 @@
+// Extension bench: cluster-level power budget shifting.
+//
+// The paper's Section 5.2.3: "By correctly setting the power cap to given
+// workloads, we can improve the total HPC system throughput or energy
+// efficiency by shifting the extra power budget to where it can be used more
+// efficiently (e.g., to a compute-intensive node)." This bench makes that
+// concrete: four nodes run pairs of very different power sensitivity under
+// one global GPU power budget. Compared, all evaluated by *measuring* the
+// resulting configuration on the simulator:
+//   uniform — every node gets the same cap (budget / nodes, snapped down);
+//   broker  — greedy marginal-throughput-per-watt assignment on the model;
+//   oracle  — exhaustive assignment on the model (reference).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sched/power_broker.hpp"
+
+namespace {
+
+using namespace migopt;
+
+double measured_total(const bench::Environment& env,
+                      const std::vector<sched::NodePairWorkload>& nodes,
+                      const sched::ClusterPowerPlan& plan) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& decision = plan.nodes[i].decision;
+    if (!decision.feasible) continue;
+    const auto m = core::measure_pair(
+        env.chip, env.kernel(nodes[i].app1), env.kernel(nodes[i].app2),
+        decision.state, plan.nodes[i].cap_watts);
+    total += m.throughput;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  const auto& env = bench::Environment::get();
+  bench::print_header("Extension: cluster power budget shifting",
+                      "4 nodes, one global GPU budget: uniform vs broker vs "
+                      "exhaustive oracle (measured total throughput)");
+
+  // Two power-hungry Tensor/compute nodes, one balanced, one insensitive.
+  const std::vector<sched::NodePairWorkload> nodes = {
+      {"tdgemm", "tf32gemm"},   // TI-TI: scales hard with power
+      {"dgemm", "hotspot"},     // CI-CI: scales with power
+      {"igemm4", "stream"},     // TI-MI: mixed
+      {"kmeans", "needle"},     // US-US: power-insensitive
+  };
+  const double alpha = 0.2;
+  const auto allocator =
+      core::ResourcePowerAllocator::train(env.chip, env.registry, env.pairs);
+  const sched::PowerBroker broker(allocator, alpha);
+
+  TextTable table({"budget [W]", "uniform", "broker", "oracle",
+                   "broker gain", "per-node caps (broker)"});
+  std::vector<double> gains;
+
+  for (double budget = 600.0; budget <= 1000.0 + 1e-9; budget += 80.0) {
+    // Uniform: the largest grid cap every node can receive equally.
+    double uniform_cap = 150.0;
+    for (const double cap : core::paper_power_caps())
+      if (cap * static_cast<double>(nodes.size()) <= budget + 1e-9)
+        uniform_cap = cap;
+    sched::ClusterPowerPlan uniform_plan;
+    {
+      const sched::PowerBroker pinned(allocator, alpha, {uniform_cap});
+      uniform_plan =
+          pinned.allocate(nodes, uniform_cap * static_cast<double>(nodes.size()));
+    }
+
+    const auto broker_plan = broker.allocate(nodes, budget);
+    const auto oracle_plan = broker.allocate_exhaustive(nodes, budget);
+
+    const double uniform_measured = measured_total(env, nodes, uniform_plan);
+    const double broker_measured = measured_total(env, nodes, broker_plan);
+    const double oracle_measured = measured_total(env, nodes, oracle_plan);
+
+    std::string caps;
+    for (const auto& node : broker_plan.nodes) {
+      if (!caps.empty()) caps += '/';
+      caps += str::format_fixed(node.cap_watts, 0);
+    }
+    const double gain = broker_measured / uniform_measured - 1.0;
+    gains.push_back(broker_measured / uniform_measured);
+    table.add_row({str::format_fixed(budget, 0),
+                   str::format_fixed(uniform_measured, 3),
+                   str::format_fixed(broker_measured, 3),
+                   str::format_fixed(oracle_measured, 3),
+                   str::format_fixed(gain * 100.0, 1) + "%", caps});
+  }
+
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\ngeomean broker/uniform: %.3f\n", bench::geomean_or_zero(gains));
+  std::printf(
+      "\nReading: at tight budgets the broker parks the unscalable node at\n"
+      "150 W and spends the difference on the Tensor/compute nodes, which\n"
+      "convert watts into throughput; uniform splitting wastes cap headroom\n"
+      "on nodes that cannot use it. As the budget approaches nodes x TDP the\n"
+      "three strategies converge — the paper's observation that budget\n"
+      "shifting matters exactly when power is scarce.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 10 reproduction: Problem-1 geometric-mean throughput as a function of
+// the allocated power cap (150..250 W), alpha = 0.2 — worst vs proposal vs
+// best series.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace migopt;
+  const auto& env = bench::Environment::get();
+  bench::print_header("Figure 10",
+                      "Problem 1 geomean throughput vs power cap (alpha=0.2)");
+
+  TextTable table({"cap", "worst", "proposal", "best", "proposal/best", "pairs"});
+  for (const double cap : core::paper_power_caps()) {
+    const core::Policy policy = core::Policy::problem1(cap, 0.2);
+    std::vector<double> worst_values;
+    std::vector<double> proposal_values;
+    std::vector<double> best_values;
+    for (const auto& pair : env.pairs) {
+      const auto cmp = bench::compare_for_pair(env, pair, policy);
+      if (!cmp.has_feasible) continue;
+      worst_values.push_back(cmp.worst);
+      proposal_values.push_back(cmp.proposal);
+      best_values.push_back(cmp.best);
+    }
+    const double worst_geo = bench::geomean_or_zero(worst_values);
+    const double prop_geo = bench::geomean_or_zero(proposal_values);
+    const double best_geo = bench::geomean_or_zero(best_values);
+    table.add_row({std::to_string(static_cast<int>(cap)) + "W",
+                   str::format_fixed(worst_geo, 3), str::format_fixed(prop_geo, 3),
+                   str::format_fixed(best_geo, 3),
+                   str::format_fixed(best_geo > 0 ? prop_geo / best_geo : 0.0, 3),
+                   std::to_string(worst_values.size())});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nExpected shape (paper Fig. 10): proposal close to best at every cap;\n"
+      "throughput rises with the cap. No fairness violation occurred in the\n"
+      "paper's runs.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 8 reproduction: measured vs estimated throughput and fairness across
+// all 18 Table 8 workloads x S1..S4 at P = 250 W, plus the overall error
+// statistics the paper reports for the whole cap grid (~9.7% throughput,
+// ~14.5% fairness).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace migopt;
+  const auto& env = bench::Environment::get();
+  bench::print_header("Figure 8",
+                      "estimated vs measured throughput/fairness per workload "
+                      "and state (P=250W), plus full-grid error statistics");
+
+  TextTable table({"workload/state", "T meas", "T est", "F meas", "F est"});
+  for (const auto& pair : env.pairs) {
+    for (const auto& state : core::paper_states()) {
+      const auto m = bench::measure(env, pair, state, 250.0);
+      const auto e = core::predict_pair(env.artifacts.model, env.profile(pair.app1),
+                                        env.profile(pair.app2), state, 250.0);
+      table.add_numeric_row(pair.name + "/" + state.name(),
+                            {m.throughput, e.throughput, m.fairness, e.fairness});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // Overall error across caps 150..250 W (paper Section 5.2.1).
+  std::vector<double> m_tp;
+  std::vector<double> e_tp;
+  std::vector<double> m_fair;
+  std::vector<double> e_fair;
+  for (const auto& pair : env.pairs) {
+    for (const auto& state : core::paper_states()) {
+      for (const double cap : core::paper_power_caps()) {
+        const auto m = bench::measure(env, pair, state, cap);
+        const auto e = core::predict_pair(env.artifacts.model, env.profile(pair.app1),
+                                          env.profile(pair.app2), state, cap);
+        m_tp.push_back(m.throughput);
+        e_tp.push_back(e.throughput);
+        m_fair.push_back(m.fairness);
+        e_fair.push_back(e.fairness);
+      }
+    }
+  }
+  std::printf("\nfull grid (18 pairs x 4 states x 6 caps = %zu points):\n",
+              m_tp.size());
+  std::printf("  throughput: MAPE %.1f%%  (paper: ~9.7%%)   R^2 %.3f\n",
+              100.0 * stats::mape(m_tp, e_tp), stats::r_squared(m_tp, e_tp));
+  std::printf("  fairness:   MAPE %.1f%%  (paper: ~14.5%%)  R^2 %.3f\n",
+              100.0 * stats::mape(m_fair, e_fair), stats::r_squared(m_fair, e_fair));
+  std::printf("  training:   solo-fit RMSE %.4f, corun-fit RMSE %.4f\n",
+              env.artifacts.report.solo_fit_rmse, env.artifacts.report.corun_fit_rmse);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks for the library's hot paths: simulator
+// steady-state solves, model training, prediction, and optimizer decisions.
+// These quantify the cost of the online phase (the paper's workflow runs the
+// decision step inside a job scheduler, so latency matters).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/optimizer.hpp"
+#include "core/trainer.hpp"
+#include "profiling/profiler.hpp"
+
+namespace {
+
+using namespace migopt;
+
+void BM_SimulatorSoloRun(benchmark::State& state) {
+  const auto& env = bench::Environment::get();
+  const auto& kernel = env.kernel("sgemm");
+  for (auto _ : state) {
+    const auto run = env.chip.run_solo(kernel, 4, gpusim::MemOption::Shared, 200.0);
+    benchmark::DoNotOptimize(run.apps[0].seconds_per_wu);
+  }
+}
+BENCHMARK(BM_SimulatorSoloRun);
+
+void BM_SimulatorPairRunCapped(benchmark::State& state) {
+  const auto& env = bench::Environment::get();
+  const auto& a = env.kernel("igemm4");
+  const auto& b = env.kernel("stream");
+  for (auto _ : state) {
+    const auto run = env.chip.run_pair(a, 4, b, 3, gpusim::MemOption::Shared, 200.0);
+    benchmark::DoNotOptimize(run.power_watts);
+  }
+}
+BENCHMARK(BM_SimulatorPairRunCapped);
+
+void BM_ProfileRun(benchmark::State& state) {
+  const auto& env = bench::Environment::get();
+  const auto& kernel = env.kernel("leukocyte");
+  for (auto _ : state) {
+    const auto counters = prof::profile_run(env.chip, kernel);
+    benchmark::DoNotOptimize(counters.values[0]);
+  }
+}
+BENCHMARK(BM_ProfileRun);
+
+void BM_ModelPredictPair(benchmark::State& state) {
+  const auto& env = bench::Environment::get();
+  const auto& f1 = env.profile("igemm4");
+  const auto& f2 = env.profile("stream");
+  const core::PartitionState s{4, 3, gpusim::MemOption::Shared};
+  for (auto _ : state) {
+    const auto m = core::predict_pair(env.artifacts.model, f1, f2, s, 230.0);
+    benchmark::DoNotOptimize(m.throughput);
+  }
+}
+BENCHMARK(BM_ModelPredictPair);
+
+void BM_OptimizerExhaustiveProblem1(benchmark::State& state) {
+  const auto& env = bench::Environment::get();
+  const core::Optimizer optimizer =
+      core::Optimizer::paper_default(env.artifacts.model);
+  const core::Policy policy = core::Policy::problem1(230.0, 0.2);
+  for (auto _ : state) {
+    const auto d = optimizer.decide(env.profile("srad"), env.profile("needle"), policy);
+    benchmark::DoNotOptimize(d.objective_value);
+  }
+}
+BENCHMARK(BM_OptimizerExhaustiveProblem1);
+
+void BM_OptimizerExhaustiveProblem2(benchmark::State& state) {
+  const auto& env = bench::Environment::get();
+  const core::Optimizer optimizer =
+      core::Optimizer::paper_default(env.artifacts.model);
+  const core::Policy policy = core::Policy::problem2(0.2);
+  for (auto _ : state) {
+    const auto d = optimizer.decide(env.profile("srad"), env.profile("needle"), policy);
+    benchmark::DoNotOptimize(d.objective_value);
+  }
+}
+BENCHMARK(BM_OptimizerExhaustiveProblem2);
+
+void BM_OptimizerHillClimbFlexible(benchmark::State& state) {
+  const auto& env = bench::Environment::get();
+  // The flexible space includes 1g/2g splits, so the interference term must
+  // be trained over those states too (the paper grid covers only the 4+3
+  // splits).
+  const core::Optimizer optimizer(bench::flexible_artifacts(env).model,
+                                  core::flexible_states(env.chip.arch()),
+                                  core::paper_power_caps());
+  const core::Policy policy = core::Policy::problem2(0.2);
+  Rng rng(1234);
+  for (auto _ : state) {
+    const auto d = optimizer.decide_hill_climb(env.profile("srad"),
+                                               env.profile("needle"), policy, rng, 4);
+    benchmark::DoNotOptimize(d.objective_value);
+  }
+}
+BENCHMARK(BM_OptimizerHillClimbFlexible);
+
+void BM_OfflineTrainingFullGrid(benchmark::State& state) {
+  const auto& env = bench::Environment::get();
+  core::TrainingConfig config;
+  for (auto _ : state) {
+    const auto artifacts =
+        core::train_offline(env.chip, env.registry, env.pairs, config);
+    benchmark::DoNotOptimize(artifacts.model.scalability_entries());
+  }
+}
+BENCHMARK(BM_OfflineTrainingFullGrid)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

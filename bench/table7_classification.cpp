@@ -1,0 +1,70 @@
+// Tables 5/6/7 reproduction: the explored hardware-state space, the GEMM
+// variant list, and the benchmark classification derived from measurements
+// (US probe at 1 GPC/private/150 W, then the F1/F2 ratio rule).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/classifier.hpp"
+#include "profiling/profiler.hpp"
+
+int main() {
+  using namespace migopt;
+  const auto& env = bench::Environment::get();
+
+  bench::print_header("Table 5", "power cap and partitioning selections");
+  {
+    TextTable table({"variable", "selections"});
+    std::string caps;
+    for (const double cap : core::paper_power_caps())
+      caps += std::to_string(static_cast<int>(cap)) + "W ";
+    table.add_row({"P", caps});
+    std::string states;
+    for (const auto& state : core::paper_states())
+      states += state.name() + "=(" + std::to_string(state.gpcs_app1) + "g," +
+                std::to_string(state.gpcs_app2) + "g," +
+                gpusim::to_string(state.option) + ") ";
+    table.add_row({"S", states});
+    std::printf("%s", table.to_string().c_str());
+  }
+
+  bench::print_header("Table 6", "GEMM variant workloads (CUTLASS profiler analogues)");
+  {
+    TextTable table({"name", "description"});
+    for (const char* name : {"sgemm", "dgemm", "tdgemm", "tf32gemm", "hgemm",
+                             "fp16gemm", "bf16gemm", "igemm4", "igemm8"})
+      table.add_row({name, env.registry.by_name(name).description});
+    std::printf("%s", table.to_string().c_str());
+  }
+
+  bench::print_header("Table 7",
+                      "benchmark classification from measurements "
+                      "(deg@1GPC/150W/private < 10% => US; else F1/F2 > 0.8 => "
+                      "TI/CI; else MI)");
+  {
+    TextTable table({"benchmark", "paper class", "derived class", "deg@150W/1g",
+                     "F1", "F2", "F1/F2", "match"});
+    int matches = 0;
+    for (const auto& spec : env.registry.all()) {
+      const auto profile = prof::profile_run(env.chip, spec.kernel);
+      const auto derived = core::classify(env.chip, spec.kernel, profile);
+      const auto probe =
+          env.chip.run_solo(spec.kernel, 1, gpusim::MemOption::Private, 150.0);
+      const double degradation =
+          1.0 - env.chip.relative_performance(spec.kernel, probe.apps[0]);
+      const double f1 = profile[prof::Counter::ComputeThroughputPct];
+      const double f2 = profile[prof::Counter::MemoryThroughputPct];
+      const bool match = derived == spec.expected_class;
+      if (match) ++matches;
+      table.add_row({spec.kernel.name, wl::to_string(spec.expected_class),
+                     wl::to_string(derived), str::format_fixed(degradation, 3),
+                     str::format_fixed(f1, 1), str::format_fixed(f2, 1),
+                     str::format_fixed(f2 > 0 ? f1 / f2 : 99.0, 2),
+                     match ? "yes" : "NO"});
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf("\nclassification agreement with Table 7: %d / %zu\n", matches,
+                env.registry.size());
+  }
+  return 0;
+}

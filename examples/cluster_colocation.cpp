@@ -1,0 +1,121 @@
+// Cluster co-location scenario — the paper's Figure 1 end to end, and its
+// "future work" scheduler-side extension: a multi-node cluster drains a mixed
+// job queue, the co-scheduler pairs complementary jobs using the trained
+// allocator, nodes execute pairs on MIG partitions under policy-chosen power
+// caps, and first-seen applications get exclusive profile runs.
+//
+// Compares three operating modes on the same queue:
+//   exclusive   — one job per GPU, no MIG (the classic HPC baseline);
+//   throughput  — co-scheduling with Problem 1 at the TDP;
+//   efficiency  — co-scheduling with Problem 2 (caps optimized per pair).
+//
+// Usage: ./examples/cluster_colocation [num_jobs] [num_nodes] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "sched/cluster.hpp"
+
+namespace {
+
+using namespace migopt;
+
+std::vector<sched::Job> make_job_stream(const gpusim::GpuChip& chip,
+                                        const wl::WorkloadRegistry& registry,
+                                        int count, Rng& rng) {
+  const auto names = registry.names();
+  std::vector<sched::Job> jobs;
+  double submit = 0.0;
+  for (int i = 0; i < count; ++i) {
+    const auto& name = names[rng.bounded(names.size())];
+    sched::Job job;
+    job.id = i;
+    job.app = name;
+    job.kernel = &registry.by_name(name).kernel;
+    // The walltime estimate HPC users submit with: here, the exact per-unit
+    // solo time. The co-scheduler uses it to refuse duration-mismatched
+    // pairings (a short partner would strand the long job on a small
+    // partition for its whole tail).
+    job.solo_seconds_per_wu = chip.baseline_seconds(*job.kernel);
+    // 10-40 s of solo GPU time per job.
+    const double target_seconds = 10.0 + rng.uniform() * 30.0;
+    job.work_units = std::max(1.0, target_seconds / job.solo_seconds_per_wu);
+    job.submit_time = submit;
+    submit += rng.uniform() * 0.5;  // light arrival stagger
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+struct ModeResult {
+  std::string mode;
+  sched::ClusterReport report;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_jobs = argc > 1 ? std::atoi(argv[1]) : 48;
+  const int num_nodes = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  gpusim::GpuChip reference_chip;
+  const wl::WorkloadRegistry registry(reference_chip.arch());
+  const auto pairs = wl::table8_pairs();
+  std::printf("cluster co-location: %d jobs, %d nodes, seed %llu\n", num_jobs,
+              num_nodes, static_cast<unsigned long long>(seed));
+
+  struct ModeSpec {
+    const char* name;
+    bool coscheduling;
+    core::Policy policy;
+  };
+  const ModeSpec modes[] = {
+      {"exclusive-FIFO", false, core::Policy::problem1(250.0, 0.2)},
+      {"co-sched P1 (throughput)", true, core::Policy::problem1(250.0, 0.2)},
+      {"co-sched P2 (efficiency)", true, core::Policy::problem2(0.2)},
+  };
+
+  std::vector<ModeResult> results;
+  for (const auto& mode : modes) {
+    // Fresh allocator per mode so profile-run accounting is comparable.
+    auto allocator =
+        core::ResourcePowerAllocator::train(reference_chip, registry, pairs);
+    sched::CoScheduler scheduler(allocator, mode.policy);
+    sched::ClusterConfig config;
+    config.node_count = num_nodes;
+    config.enable_coscheduling = mode.coscheduling;
+    sched::Cluster cluster(config);
+
+    Rng rng(seed);  // identical job stream in every mode
+    const auto report = cluster.run(
+        make_job_stream(reference_chip, registry, num_jobs, rng), scheduler);
+    results.push_back({mode.name, report});
+  }
+
+  TextTable table({"mode", "makespan [s]", "energy [kJ]", "mean turnaround [s]",
+                   "pairs", "exclusive"});
+  for (const auto& r : results) {
+    table.add_row({r.mode, str::format_fixed(r.report.makespan_seconds, 1),
+                   str::format_fixed(r.report.total_energy_joules / 1000.0, 1),
+                   str::format_fixed(r.report.mean_turnaround, 1),
+                   std::to_string(r.report.pair_dispatches),
+                   std::to_string(r.report.exclusive_dispatches)});
+  }
+  std::printf("\n%s", table.to_string().c_str());
+
+  const double makespan_gain = results[0].report.makespan_seconds /
+                               results[1].report.makespan_seconds;
+  const double energy_gain = results[0].report.total_energy_joules /
+                             results[2].report.total_energy_joules;
+  std::printf("\nco-scheduling (P1) speeds the queue up %.2fx vs exclusive;\n",
+              makespan_gain);
+  std::printf("power-cap co-optimization (P2) uses %.2fx less energy than "
+              "exclusive.\n",
+              energy_gain);
+  return 0;
+}

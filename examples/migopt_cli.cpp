@@ -1,0 +1,176 @@
+// migopt_cli — command-line front end for the offline/online workflow.
+//
+// The paper's Figure 7 splits the system into an offline phase (profile the
+// benchmark set, calibrate the model) and an online phase (answer allocation
+// queries inside the job manager). This tool persists the offline artifacts
+// to disk and serves decisions from them, the way a site would deploy it:
+//
+//   migopt_cli train   --out DIR
+//       run the offline phase; write DIR/model.csv + DIR/profiles.csv
+//   migopt_cli decide  --artifacts DIR --app1 A --app2 B
+//                      [--problem 1|2] [--cap WATTS] [--alpha A]
+//       load artifacts, print the chosen state/cap + predicted metrics
+//   migopt_cli classify --app A
+//       print the Table 7 class and profile counters of a benchmark
+//   migopt_cli list
+//       list the bundled benchmarks and their classes
+//
+// Exit code 0 on success, 1 on bad usage or missing data.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/classifier.hpp"
+#include "core/trainer.hpp"
+#include "core/workflow.hpp"
+#include "gpusim/gpu.hpp"
+#include "profiling/profiler.hpp"
+#include "workloads/corun_pairs.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace migopt;
+
+/// Minimal --key value parser; positional args are rejected.
+std::optional<std::map<std::string, std::string>> parse_flags(int argc,
+                                                              char** argv,
+                                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+      std::fprintf(stderr, "error: expected --flag value pairs, got '%s'\n",
+                   key.c_str());
+      return std::nullopt;
+    }
+    flags[key.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  migopt_cli train    --out DIR\n"
+               "  migopt_cli decide   --artifacts DIR --app1 A --app2 B\n"
+               "                      [--problem 1|2] [--cap WATTS] [--alpha A]\n"
+               "  migopt_cli classify --app A\n"
+               "  migopt_cli list\n");
+  return 1;
+}
+
+int cmd_train(const std::map<std::string, std::string>& flags) {
+  const auto out = flags.find("out");
+  if (out == flags.end()) return usage();
+
+  gpusim::GpuChip chip;
+  const wl::WorkloadRegistry registry(chip.arch());
+  const auto artifacts = core::train_offline(chip, registry, wl::table8_pairs(),
+                                             core::TrainingConfig{});
+  const std::string model_path = out->second + "/model.csv";
+  const std::string profiles_path = out->second + "/profiles.csv";
+  artifacts.model.save(model_path);
+  artifacts.profiles.save(profiles_path);
+  std::printf("offline phase: %zu profile runs, %zu solo runs, %zu co-runs\n",
+              artifacts.report.profile_runs, artifacts.report.solo_runs,
+              artifacts.report.corun_runs);
+  std::printf("wrote %s (%zu scalability + %zu interference keys)\n",
+              model_path.c_str(), artifacts.model.scalability_entries(),
+              artifacts.model.interference_entries());
+  std::printf("wrote %s (%zu app profiles)\n", profiles_path.c_str(),
+              artifacts.profiles.size());
+  return 0;
+}
+
+int cmd_decide(const std::map<std::string, std::string>& flags) {
+  const auto dir = flags.find("artifacts");
+  const auto app1 = flags.find("app1");
+  const auto app2 = flags.find("app2");
+  if (dir == flags.end() || app1 == flags.end() || app2 == flags.end())
+    return usage();
+  const double alpha =
+      flags.count("alpha") ? std::stod(flags.at("alpha")) : 0.2;
+  const int problem =
+      flags.count("problem") ? std::stoi(flags.at("problem")) : 1;
+  const double cap = flags.count("cap") ? std::stod(flags.at("cap")) : 230.0;
+
+  core::PerfModel model = core::PerfModel::load(dir->second + "/model.csv");
+  prof::ProfileDb profiles =
+      prof::ProfileDb::load(dir->second + "/profiles.csv");
+  for (const auto& app : {app1->second, app2->second}) {
+    if (!profiles.contains(app)) {
+      std::fprintf(stderr,
+                   "error: no profile for '%s' — run it exclusively first "
+                   "(Figure 7 of the paper)\n",
+                   app.c_str());
+      return 1;
+    }
+  }
+  const core::ResourcePowerAllocator allocator(
+      std::move(model), std::move(profiles),
+      core::ResourcePowerAllocator::Config{});
+
+  const core::Policy policy = problem == 2
+                                  ? core::Policy::problem2(alpha)
+                                  : core::Policy::problem1(cap, alpha);
+  const core::Decision decision =
+      allocator.allocate(app1->second, app2->second, policy);
+  if (!decision.feasible) {
+    std::printf("no state satisfies fairness > %.2f; run exclusively\n", alpha);
+    return 0;
+  }
+  std::printf("pair (%s, %s), problem %d, alpha %.2f\n", app1->second.c_str(),
+              app2->second.c_str(), problem, alpha);
+  std::printf("  state:      %s\n", decision.state.name().c_str());
+  std::printf("  power cap:  %.0f W\n", decision.power_cap_watts);
+  std::printf("  predicted:  throughput %.3f | fairness %.3f | %.5f 1/W\n",
+              decision.predicted.throughput, decision.predicted.fairness,
+              decision.predicted.energy_efficiency);
+  std::printf("  (%zu candidates scored)\n", decision.evaluations);
+  return 0;
+}
+
+int cmd_classify(const std::map<std::string, std::string>& flags) {
+  const auto app = flags.find("app");
+  if (app == flags.end()) return usage();
+  gpusim::GpuChip chip;
+  const wl::WorkloadRegistry registry(chip.arch());
+  const auto& spec = registry.by_name(app->second);
+  const auto profile = prof::profile_run(chip, spec.kernel);
+  const auto cls = core::classify(chip, spec.kernel, profile);
+  std::printf("%s: class %s (expected %s)\n", app->second.c_str(),
+              wl::to_string(cls), wl::to_string(spec.expected_class));
+  std::printf("  counters: %s\n", profile.to_string().c_str());
+  return 0;
+}
+
+int cmd_list() {
+  gpusim::GpuChip chip;
+  const wl::WorkloadRegistry registry(chip.arch());
+  for (const auto& spec : registry.all())
+    std::printf("%-14s %s\n", spec.kernel.name.c_str(),
+                wl::to_string(spec.expected_class));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  if (!flags.has_value()) return usage();
+  try {
+    if (command == "train") return cmd_train(*flags);
+    if (command == "decide") return cmd_decide(*flags);
+    if (command == "classify") return cmd_classify(*flags);
+    if (command == "list") return cmd_list();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

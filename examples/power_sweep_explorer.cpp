@@ -1,0 +1,82 @@
+// Power/partition explorer: for any two registry workloads, print the full
+// measured landscape — all four partitioning states across the cap grid —
+// alongside the model's predictions and the optimizer's picks. Handy for
+// understanding *why* the allocator chooses what it chooses.
+//
+// Usage: ./examples/power_sweep_explorer [app1] [app2] [alpha]
+//        ./examples/power_sweep_explorer --list
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/evaluator.hpp"
+#include "core/workflow.hpp"
+#include "workloads/corun_pairs.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace migopt;
+
+  gpusim::GpuChip chip;
+  const wl::WorkloadRegistry registry(chip.arch());
+
+  if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+    std::printf("available workloads:\n");
+    for (const auto& spec : registry.all())
+      std::printf("  %-14s %s  %s\n", spec.kernel.name.c_str(),
+                  wl::to_string(spec.expected_class), spec.description.c_str());
+    return 0;
+  }
+
+  const std::string app1 = argc > 1 ? argv[1] : "hgemm";
+  const std::string app2 = argc > 2 ? argv[2] : "lud";
+  const double alpha = argc > 3 ? std::atof(argv[3]) : 0.2;
+  if (!registry.contains(app1) || !registry.contains(app2)) {
+    std::fprintf(stderr, "unknown workload; run with --list to see options\n");
+    return 1;
+  }
+
+  const auto pairs = wl::table8_pairs();
+  const auto allocator = core::ResourcePowerAllocator::train(chip, registry, pairs);
+  const auto& k1 = registry.by_name(app1).kernel;
+  const auto& k2 = registry.by_name(app2).kernel;
+
+  std::printf("pair: %s (%s) + %s (%s), alpha = %.2f\n\n", app1.c_str(),
+              wl::to_string(registry.by_name(app1).expected_class), app2.c_str(),
+              wl::to_string(registry.by_name(app2).expected_class), alpha);
+
+  TextTable table({"state", "cap", "T meas", "T est", "F meas", "F est",
+                   "eff meas", "feasible"});
+  for (const auto& state : core::paper_states()) {
+    for (const double cap : core::paper_power_caps()) {
+      const auto measured = core::measure_pair(chip, k1, k2, state, cap);
+      const auto estimated = core::predict_pair(
+          allocator.model(), allocator.profiles().at(app1),
+          allocator.profiles().at(app2), state, cap);
+      table.add_row({state.name(), std::to_string(static_cast<int>(cap)),
+                     str::format_fixed(measured.throughput, 3),
+                     str::format_fixed(estimated.throughput, 3),
+                     str::format_fixed(measured.fairness, 3),
+                     str::format_fixed(estimated.fairness, 3),
+                     str::format_fixed(measured.energy_efficiency, 5),
+                     measured.fairness > alpha ? "yes" : "no"});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  for (const double cap : {230.0}) {
+    const auto d1 = allocator.allocate(app1, app2, core::Policy::problem1(cap, alpha));
+    std::printf("\nProblem 1 @%.0fW: %s (predicted T=%.3f)%s\n", cap,
+                d1.state.name().c_str(), d1.predicted.throughput,
+                d1.feasible ? "" : "  [no feasible state]");
+  }
+  const auto d2 = allocator.allocate(app1, app2, core::Policy::problem2(alpha));
+  std::printf("Problem 2: %s @%.0fW (predicted eff=%.5f)%s\n",
+              d2.state.name().c_str(), d2.power_cap_watts,
+              d2.predicted.energy_efficiency,
+              d2.feasible ? "" : "  [no feasible state]");
+  return 0;
+}

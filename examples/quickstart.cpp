@@ -1,0 +1,70 @@
+// Quickstart: the complete workflow of the paper in ~60 lines.
+//
+//  1. bring up the (simulated) MIG-capable GPU;
+//  2. run the offline phase: profile the benchmark set and calibrate the
+//     linear performance model (Figure 7, left);
+//  3. ask the Resource & Power Allocator for decisions (Figure 7, right):
+//     Problem 1 (throughput under a fairness constraint at a fixed cap) and
+//     Problem 2 (energy efficiency, choosing the cap too);
+//  4. verify the choice by measuring it on the device.
+//
+// Build & run:  ./examples/quickstart  (no arguments)
+#include <cstdio>
+
+#include "core/evaluator.hpp"
+#include "core/workflow.hpp"
+#include "gpusim/gpu.hpp"
+#include "workloads/corun_pairs.hpp"
+#include "workloads/registry.hpp"
+
+int main() {
+  using namespace migopt;
+
+  // 1. Device + benchmark set.
+  gpusim::GpuChip chip;  // A100-like: 8 GPCs (7 under MIG), 250 W TDP
+  const wl::WorkloadRegistry registry(chip.arch());
+  const auto pairs = wl::table8_pairs();
+  std::printf("device: %d GPCs (%d usable under MIG), TDP %.0f W\n",
+              chip.arch().total_gpcs, chip.arch().mig_usable_gpcs,
+              chip.arch().tdp_watts);
+  std::printf("benchmarks: %zu, co-run training pairs: %zu\n\n", registry.size(),
+              pairs.size());
+
+  // 2. Offline phase: profiling + model calibration.
+  const auto allocator = core::ResourcePowerAllocator::train(chip, registry, pairs);
+  std::printf("offline phase done: %zu profile runs, %zu solo runs, %zu co-runs\n",
+              allocator.report().profile_runs, allocator.report().solo_runs,
+              allocator.report().corun_runs);
+  std::printf("model: %zu scalability keys, %zu interference keys\n\n",
+              allocator.model().scalability_entries(),
+              allocator.model().interference_entries());
+
+  // 3. Online decisions for a Tensor-intensive + memory-intensive pair.
+  const std::string app1 = "igemm4";
+  const std::string app2 = "stream";
+
+  const core::Decision p1 =
+      allocator.allocate(app1, app2, core::Policy::problem1(230.0, 0.2));
+  std::printf("Problem 1 (max throughput, P=230W, alpha=0.2):\n");
+  std::printf("  chose %s — predicted throughput %.3f, fairness %.3f\n",
+              p1.state.name().c_str(), p1.predicted.throughput,
+              p1.predicted.fairness);
+
+  const core::Decision p2 =
+      allocator.allocate(app1, app2, core::Policy::problem2(0.2));
+  std::printf("Problem 2 (max throughput/P, alpha=0.2):\n");
+  std::printf("  chose %s at %.0f W — predicted efficiency %.5f 1/W\n",
+              p2.state.name().c_str(), p2.power_cap_watts,
+              p2.predicted.energy_efficiency);
+
+  // 4. Verify the Problem 2 choice by measurement.
+  const auto measured = core::measure_pair(chip, registry.by_name(app1).kernel,
+                                           registry.by_name(app2).kernel, p2.state,
+                                           p2.power_cap_watts);
+  std::printf("\nmeasured at the chosen configuration:\n");
+  std::printf("  RPerf(%s) = %.3f, RPerf(%s) = %.3f\n", app1.c_str(),
+              measured.relperf_app1, app2.c_str(), measured.relperf_app2);
+  std::printf("  throughput %.3f, fairness %.3f, efficiency %.5f 1/W\n",
+              measured.throughput, measured.fairness, measured.energy_efficiency);
+  return 0;
+}

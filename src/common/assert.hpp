@@ -1,0 +1,46 @@
+// Contract-checking macros used across the library.
+//
+// MIGOPT_REQUIRE  — precondition on public API arguments; always enabled.
+// MIGOPT_ENSURE   — postcondition / internal invariant; always enabled.
+//
+// Violations throw migopt::ContractViolation so tests can assert on them and
+// long-running schedulers can contain a bad job instead of aborting the node.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace migopt {
+
+/// Thrown when a MIGOPT_REQUIRE/MIGOPT_ENSURE contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::string full = std::string(kind) + " failed: (" + expr + ") at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw ContractViolation(full);
+}
+}  // namespace detail
+
+}  // namespace migopt
+
+#define MIGOPT_REQUIRE(expr, msg)                                              \
+  do {                                                                         \
+    if (!(expr))                                                               \
+      ::migopt::detail::contract_fail("precondition", #expr, __FILE__,         \
+                                      __LINE__, (msg));                        \
+  } while (false)
+
+#define MIGOPT_ENSURE(expr, msg)                                               \
+  do {                                                                         \
+    if (!(expr))                                                               \
+      ::migopt::detail::contract_fail("invariant", #expr, __FILE__, __LINE__,  \
+                                      (msg));                                  \
+  } while (false)

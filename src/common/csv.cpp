@@ -1,0 +1,161 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/string_util.hpp"
+
+namespace migopt {
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  if (!needs_quoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Split one logical CSV record, honoring quotes. `pos` advances past the
+/// record's trailing newline.
+std::vector<std::string> parse_record(const std::string& text, std::size_t& pos) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  bool saw_any = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          current += '"';
+          pos += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++pos;
+        continue;
+      }
+      current += c;
+      ++pos;
+      continue;
+    }
+    if (c == '"') {
+      MIGOPT_REQUIRE(current.empty(), "CSV: quote inside unquoted field");
+      in_quotes = true;
+      saw_any = true;
+      ++pos;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      saw_any = true;
+      ++pos;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      // consume \r\n or \n
+      if (c == '\r' && pos + 1 < text.size() && text[pos + 1] == '\n') ++pos;
+      ++pos;
+      break;
+    }
+    current += c;
+    saw_any = true;
+    ++pos;
+  }
+  MIGOPT_REQUIRE(!in_quotes, "CSV: unterminated quoted field");
+  if (saw_any || !current.empty()) fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace
+
+CsvDocument::CsvDocument(std::vector<std::string> header) : header_(std::move(header)) {
+  MIGOPT_REQUIRE(!header_.empty(), "CSV header must not be empty");
+}
+
+std::optional<std::size_t> CsvDocument::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    if (header_[i] == name) return i;
+  return std::nullopt;
+}
+
+void CsvDocument::add_row(std::vector<std::string> row) {
+  MIGOPT_REQUIRE(row.size() == header_.size(), "CSV row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+const std::vector<std::string>& CsvDocument::row(std::size_t index) const {
+  MIGOPT_REQUIRE(index < rows_.size(), "CSV row index out of range");
+  return rows_[index];
+}
+
+const std::string& CsvDocument::cell(std::size_t row_index, const std::string& column) const {
+  const auto col = column_index(column);
+  MIGOPT_REQUIRE(col.has_value(), "CSV: unknown column '" + column + "'");
+  return row(row_index)[*col];
+}
+
+double CsvDocument::cell_as_double(std::size_t row_index, const std::string& column) const {
+  const auto parsed = str::parse_double(cell(row_index, column));
+  MIGOPT_REQUIRE(parsed.has_value(), "CSV: cell is not a number in column '" + column + "'");
+  return *parsed;
+}
+
+std::string CsvDocument::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << quote(header_[i]);
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i > 0) os << ',';
+      os << quote(r[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+CsvDocument CsvDocument::parse(const std::string& text) {
+  std::size_t pos = 0;
+  CsvDocument doc;
+  doc.header_ = parse_record(text, pos);
+  MIGOPT_REQUIRE(!doc.header_.empty(), "CSV: missing header");
+  while (pos < text.size()) {
+    auto fields = parse_record(text, pos);
+    if (fields.empty()) continue;  // blank trailing line
+    MIGOPT_REQUIRE(fields.size() == doc.header_.size(), "CSV: ragged row");
+    doc.rows_.push_back(std::move(fields));
+  }
+  return doc;
+}
+
+void CsvDocument::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  MIGOPT_REQUIRE(out.good(), "CSV: cannot open for write: " + path);
+  out << to_string();
+  MIGOPT_REQUIRE(out.good(), "CSV: write failed: " + path);
+}
+
+CsvDocument CsvDocument::load(const std::string& path) {
+  std::ifstream in(path);
+  MIGOPT_REQUIRE(in.good(), "CSV: cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace migopt

@@ -1,0 +1,49 @@
+// CSV document used by the profile database and by the benches when dumping
+// series. Supports RFC-4180-style quoting of fields that contain commas,
+// quotes, or newlines.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace migopt {
+
+class CsvDocument {
+ public:
+  CsvDocument() = default;
+  explicit CsvDocument(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t column_count() const noexcept { return header_.size(); }
+
+  /// Column index by header name; nullopt if absent.
+  std::optional<std::size_t> column_index(const std::string& name) const;
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  const std::vector<std::string>& row(std::size_t index) const;
+  const std::string& cell(std::size_t row_index, const std::string& column) const;
+
+  /// Typed access; throws ContractViolation if the cell does not parse.
+  double cell_as_double(std::size_t row_index, const std::string& column) const;
+
+  /// Serialize with quoting.
+  std::string to_string() const;
+
+  /// Parse; throws ContractViolation on ragged rows or bad quoting.
+  static CsvDocument parse(const std::string& text);
+
+  /// File round-trip. `load` throws on I/O failure.
+  void save(const std::string& path) const;
+  static CsvDocument load(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace migopt

@@ -1,0 +1,193 @@
+#include "common/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace migopt::linalg {
+
+QrFactors qr_decompose(const Matrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  MIGOPT_REQUIRE(m >= n && n > 0, "qr_decompose requires m >= n > 0");
+
+  // Work on a copy; accumulate Q by applying reflectors to an identity block.
+  Matrix r_full = a;               // becomes R in the top n rows
+  Matrix q_full = Matrix(m, m);    // accumulates Q (full), we trim later
+  for (std::size_t i = 0; i < m; ++i) q_full(i, i) = 1.0;
+
+  std::vector<double> v(m, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build Householder vector for column k below the diagonal.
+    double norm_x = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm_x += r_full(i, k) * r_full(i, k);
+    norm_x = std::sqrt(norm_x);
+    if (norm_x == 0.0) continue;  // column already zero below diagonal
+
+    const double alpha = (r_full(k, k) >= 0.0) ? -norm_x : norm_x;
+    double vnorm_sq = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      v[i] = r_full(i, k);
+      if (i == k) v[i] -= alpha;
+      vnorm_sq += v[i] * v[i];
+    }
+    if (vnorm_sq == 0.0) continue;
+
+    // Apply H = I - 2 v v^T / (v^T v) to R (columns k..n-1).
+    for (std::size_t j = k; j < n; ++j) {
+      double proj = 0.0;
+      for (std::size_t i = k; i < m; ++i) proj += v[i] * r_full(i, j);
+      proj = 2.0 * proj / vnorm_sq;
+      for (std::size_t i = k; i < m; ++i) r_full(i, j) -= proj * v[i];
+    }
+    // Accumulate into Q: Q = Q * H (apply H to each row of Q from the right).
+    for (std::size_t i = 0; i < m; ++i) {
+      double proj = 0.0;
+      for (std::size_t l = k; l < m; ++l) proj += q_full(i, l) * v[l];
+      proj = 2.0 * proj / vnorm_sq;
+      for (std::size_t l = k; l < m; ++l) q_full(i, l) -= proj * v[l];
+    }
+  }
+
+  QrFactors out;
+  out.q = Matrix(m, n);
+  out.r = Matrix(n, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) out.q(i, j) = q_full(i, j);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) out.r(i, j) = r_full(i, j);
+  return out;
+}
+
+std::vector<double> solve_upper_triangular(const Matrix& r, std::span<const double> b,
+                                           double tol) {
+  const std::size_t n = r.rows();
+  MIGOPT_REQUIRE(r.cols() == n, "R must be square");
+  MIGOPT_REQUIRE(b.size() == n, "rhs size mismatch");
+
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) max_diag = std::max(max_diag, std::abs(r(i, i)));
+  const double cutoff = tol * std::max(max_diag, 1.0);
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    if (std::abs(r(ii, ii)) <= cutoff) {
+      x[ii] = 0.0;  // rank-deficient direction: pin coefficient
+      continue;
+    }
+    double acc = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= r(ii, j) * x[j];
+    x[ii] = acc / r(ii, ii);
+  }
+  return x;
+}
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  const std::size_t n = a.rows();
+  MIGOPT_REQUIRE(a.cols() == n, "cholesky requires a square matrix");
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return std::nullopt;
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / l(j, j);
+    }
+  }
+  return l;
+}
+
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b) {
+  const std::size_t n = a.rows();
+  MIGOPT_REQUIRE(b.size() == n, "rhs size mismatch");
+  auto l_opt = cholesky(a);
+  MIGOPT_REQUIRE(l_opt.has_value(), "solve_spd: matrix not positive definite");
+  const Matrix& l = *l_opt;
+
+  // Forward solve L y = b.
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+    y[i] = acc / l(i, i);
+  }
+  // Back solve L^T x = y.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x[k];
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+namespace {
+
+LeastSquaresResult solve_via_qr(const Matrix& a, std::span<const double> b) {
+  const auto factors = qr_decompose(a);
+  // beta solves R beta = Q^T b.
+  std::vector<double> qtb(a.cols(), 0.0);
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) acc += factors.q(i, j) * b[i];
+    qtb[j] = acc;
+  }
+  LeastSquaresResult result;
+  result.coefficients = solve_upper_triangular(factors.r, qtb);
+
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < a.cols(); ++i)
+    max_diag = std::max(max_diag, std::abs(factors.r(i, i)));
+  const double cutoff = 1e-12 * std::max(max_diag, 1.0);
+  for (std::size_t i = 0; i < a.cols(); ++i)
+    if (std::abs(factors.r(i, i)) > cutoff) ++result.rank;
+
+  const auto pred = matvec(a, result.coefficients);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) acc += (pred[i] - b[i]) * (pred[i] - b[i]);
+  result.residual_norm = std::sqrt(acc);
+  return result;
+}
+
+}  // namespace
+
+LeastSquaresResult least_squares(const Matrix& a, std::span<const double> b) {
+  MIGOPT_REQUIRE(a.rows() == b.size(), "least_squares: row/rhs mismatch");
+  MIGOPT_REQUIRE(a.rows() >= a.cols(), "least_squares: underdetermined system");
+  return solve_via_qr(a, b);
+}
+
+LeastSquaresResult ridge(const Matrix& a, std::span<const double> b, double lambda,
+                         bool penalize_last_column) {
+  MIGOPT_REQUIRE(a.rows() == b.size(), "ridge: row/rhs mismatch");
+  MIGOPT_REQUIRE(lambda >= 0.0, "ridge: negative lambda");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  // Augmented system: [A; sqrt(lambda) I] beta = [b; 0].
+  Matrix aug(m + n, n);
+  std::vector<double> rhs(m + n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) aug(i, j) = a(i, j);
+    rhs[i] = b[i];
+  }
+  const double sqrt_lambda = std::sqrt(lambda);
+  for (std::size_t j = 0; j < n; ++j) {
+    const bool is_intercept = (!penalize_last_column) && (j + 1 == n);
+    aug(m + j, j) = is_intercept ? 0.0 : sqrt_lambda;
+  }
+  auto result = solve_via_qr(aug, rhs);
+
+  // Report the residual on the data rows only.
+  const auto pred = matvec(a, result.coefficients);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m; ++i) acc += (pred[i] - b[i]) * (pred[i] - b[i]);
+  result.residual_norm = std::sqrt(acc);
+  return result;
+}
+
+}  // namespace migopt::linalg

@@ -1,0 +1,54 @@
+// Numerical kernels for the paper's "well-known least square method"
+// (Section 4.1): Householder QR, Cholesky, ordinary and ridge least squares.
+//
+// Sizes in this library are tiny (design matrices ~24 x 6), so clarity and
+// numerical robustness win over blocking/vectorization.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace migopt::linalg {
+
+/// Result of a least-squares fit.
+struct LeastSquaresResult {
+  std::vector<double> coefficients;  ///< beta, size = #columns of A
+  double residual_norm = 0.0;        ///< ||A*beta - b||_2
+  std::size_t rank = 0;              ///< numerical rank of A used for the fit
+};
+
+/// QR factorization via Householder reflections: A (m x n, m >= n) = Q * R.
+/// Returns {Q (m x n, thin), R (n x n upper triangular)}.
+struct QrFactors {
+  Matrix q;
+  Matrix r;
+};
+QrFactors qr_decompose(const Matrix& a);
+
+/// Solve R * x = b for upper-triangular R. Near-zero diagonal entries
+/// (|r_ii| <= tol * max|r_jj|) pin x_i = 0, which handles rank deficiency.
+std::vector<double> solve_upper_triangular(const Matrix& r, std::span<const double> b,
+                                           double tol = 1e-12);
+
+/// Cholesky factorization of a symmetric positive-definite matrix: A = L L^T.
+/// Returns std::nullopt when A is not (numerically) positive definite.
+std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solve A x = b via Cholesky; requires SPD A. Throws ContractViolation if
+/// factorization fails.
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b);
+
+/// Ordinary least squares: minimize ||A beta - b||_2 using Householder QR.
+/// Rank-deficient columns receive zero coefficients.
+LeastSquaresResult least_squares(const Matrix& a, std::span<const double> b);
+
+/// Ridge regression: minimize ||A beta - b||^2 + lambda ||beta||^2.
+/// `penalize_last_column=false` leaves the intercept column (by convention the
+/// last one) unpenalized. Solved through the augmented QR formulation.
+LeastSquaresResult ridge(const Matrix& a, std::span<const double> b, double lambda,
+                         bool penalize_last_column = true);
+
+}  // namespace migopt::linalg

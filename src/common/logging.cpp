@@ -1,0 +1,34 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace migopt::log {
+
+namespace {
+std::atomic<Level> g_level{Level::Warn};
+std::mutex g_mutex;
+
+const char* tag(Level level) {
+  switch (level) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO ";
+    case Level::Warn: return "WARN ";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_level(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[migopt " << tag(lvl) << "] " << message << '\n';
+}
+
+}  // namespace migopt::log

@@ -1,0 +1,50 @@
+// Minimal leveled logger. Defaults to Warn so library users are not spammed;
+// benches/examples raise it explicitly. Thread-safe.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace migopt::log {
+
+enum class Level { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global threshold; messages below it are dropped.
+void set_level(Level level) noexcept;
+Level level() noexcept;
+
+/// Emit one line to stderr with a level tag. Thread-safe.
+void write(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void trace(Args&&... args) {
+  if (level() <= Level::Trace) write(Level::Trace, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::Debug) write(Level::Debug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void info(Args&&... args) {
+  if (level() <= Level::Info) write(Level::Info, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::Warn) write(Level::Warn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void error(Args&&... args) {
+  if (level() <= Level::Error) write(Level::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace migopt::log

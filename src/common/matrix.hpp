@@ -1,0 +1,76 @@
+// Dense row-major matrix, just large enough for the regression workloads in
+// this library (design matrices are tens of rows by < 10 columns). Bounds are
+// contract-checked on every access; the hot paths in linalg use raw spans.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace migopt {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill);
+
+  /// Construct from nested initializer lists; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  /// Column vector from values.
+  static Matrix column(std::span<const double> values);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Raw row access for hot loops (contract-checked row index only).
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  std::span<const double> data() const noexcept { return data_; }
+  std::span<double> data() noexcept { return data_; }
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator*=(double scalar) noexcept;
+
+  bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Max |a_ij - b_ij|; requires same shape.
+  double max_abs_diff(const Matrix& other) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const noexcept;
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = A * x for a vector x; requires A.cols() == x.size().
+std::vector<double> matvec(const Matrix& a, std::span<const double> x);
+
+/// Dot product; requires equal sizes.
+double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace migopt

@@ -1,0 +1,98 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace migopt::stats {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    MIGOPT_REQUIRE(x > 0.0, "geomean requires strictly positive samples");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double min(std::span<const double> xs) {
+  MIGOPT_REQUIRE(!xs.empty(), "min of empty range");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  MIGOPT_REQUIRE(!xs.empty(), "max of empty range");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double mape(std::span<const double> measured, std::span<const double> predicted) {
+  MIGOPT_REQUIRE(measured.size() == predicted.size(), "size mismatch");
+  MIGOPT_REQUIRE(!measured.empty(), "mape of empty range");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    MIGOPT_REQUIRE(measured[i] != 0.0, "mape requires non-zero measurements");
+    acc += std::abs(predicted[i] - measured[i]) / std::abs(measured[i]);
+  }
+  return acc / static_cast<double>(measured.size());
+}
+
+double rmse(std::span<const double> measured, std::span<const double> predicted) {
+  MIGOPT_REQUIRE(measured.size() == predicted.size(), "size mismatch");
+  MIGOPT_REQUIRE(!measured.empty(), "rmse of empty range");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const double d = predicted[i] - measured[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(measured.size()));
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  MIGOPT_REQUIRE(xs.size() == ys.size(), "size mismatch");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double r_squared(std::span<const double> measured, std::span<const double> predicted) {
+  MIGOPT_REQUIRE(measured.size() == predicted.size(), "size mismatch");
+  MIGOPT_REQUIRE(!measured.empty(), "r_squared of empty range");
+  const double m = mean(measured);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    ss_res += (measured[i] - predicted[i]) * (measured[i] - predicted[i]);
+    ss_tot += (measured[i] - m) * (measured[i] - m);
+  }
+  if (ss_tot == 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace migopt::stats

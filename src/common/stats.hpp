@@ -1,0 +1,37 @@
+// Small statistics helpers shared by the model trainer, the evaluation
+// harnesses, and the tests (mean/geomean/stddev, error metrics, min/max).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace migopt::stats {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (n-1 denominator); 0 when fewer than 2 samples.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Geometric mean; requires every element > 0. 0 for an empty range.
+double geomean(std::span<const double> xs);
+
+/// Minimum / maximum; require non-empty range.
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Mean absolute percentage error: mean(|pred-meas| / |meas|).
+/// The paper reports this as "average of absolute differences divided by the
+/// measured value" (Section 5.2.1). Requires equal sizes and measured != 0.
+double mape(std::span<const double> measured, std::span<const double> predicted);
+
+/// Root mean squared error.
+double rmse(std::span<const double> measured, std::span<const double> predicted);
+
+/// Pearson correlation coefficient; 0 if either side has zero variance.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Coefficient of determination R^2 of predictions vs measurements.
+double r_squared(std::span<const double> measured, std::span<const double> predicted);
+
+}  // namespace migopt::stats

@@ -1,0 +1,40 @@
+// Small string helpers used by the CSV layer and the CLI-facing tools.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace migopt::str {
+
+/// Split on a delimiter; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Lowercase copy (ASCII).
+std::string to_lower(std::string_view text);
+
+/// Parse helpers returning nullopt on any trailing garbage or failure.
+std::optional<double> parse_double(std::string_view text) noexcept;
+std::optional<long long> parse_int(std::string_view text) noexcept;
+
+/// printf-style double formatting with fixed decimals.
+std::string format_fixed(double value, int decimals);
+
+/// Shortest decimal string that parses back to exactly `value` (for CSV
+/// round-trips of model coefficients).
+std::string format_exact(double value);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+}  // namespace migopt::str

@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/string_util.hpp"
+
+namespace migopt {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  MIGOPT_REQUIRE(!header_.empty(), "TextTable header must not be empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  MIGOPT_REQUIRE(row.size() == header_.size(), "TextTable row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_numeric_row(const std::string& label, const std::vector<double>& values,
+                                int decimals) {
+  MIGOPT_REQUIRE(values.size() + 1 == header_.size(),
+                 "TextTable numeric row width mismatch");
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(str::format_fixed(v, decimals));
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  auto emit = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "| " : " | ");
+      os << row[i];
+      os << std::string(widths[i] - row[i].size(), ' ');
+    }
+    os << " |\n";
+  };
+
+  std::ostringstream os;
+  emit(os, header_);
+  os << '|';
+  for (std::size_t w : widths) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit(os, row);
+  return os.str();
+}
+
+}  // namespace migopt

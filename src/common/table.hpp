@@ -1,0 +1,31 @@
+// ASCII table printer used by the benchmark harnesses to render the paper's
+// figures/tables as aligned text. Cells are strings; numeric helpers format
+// with fixed decimals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace migopt {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with `decimals` digits, prefixed by labels.
+  void add_numeric_row(const std::string& label, const std::vector<double>& values,
+                       int decimals = 3);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with column alignment and a header rule.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace migopt

@@ -1,0 +1,112 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+
+#include "common/assert.hpp"
+
+namespace migopt {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MIGOPT_REQUIRE(static_cast<bool>(task), "null task submitted");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MIGOPT_REQUIRE(!stopping_, "submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || workers_.size() == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done_workers{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<State>();
+  const std::size_t shard_count = std::min(workers_.size(), count);
+
+  auto body = [state, count, &fn] {
+    while (true) {
+      const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mutex);
+        if (!state->first_error) state->first_error = std::current_exception();
+        // Drain remaining work so other shards terminate quickly.
+        state->next.store(count, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  for (std::size_t s = 0; s + 1 < shard_count; ++s) {
+    submit([state, body, shard_count] {
+      body();
+      if (state->done_workers.fetch_add(1) + 1 == shard_count) {
+        std::lock_guard<std::mutex> lock(state->done_mutex);
+        state->done_cv.notify_all();
+      }
+    });
+  }
+  // The calling thread participates as the final shard.
+  body();
+  if (state->done_workers.fetch_add(1) + 1 != shard_count) {
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    state->done_cv.wait(lock, [&] {
+      return state->done_workers.load() == shard_count;
+    });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace migopt

@@ -1,0 +1,53 @@
+// Fixed-size thread pool with a blocking `parallel_for`.
+//
+// The offline calibration phase simulates hundreds of (workload, hardware
+// state) combinations; they are independent, so the trainer fans them out
+// across cores. The pool is deliberately simple: one shared queue, condition
+// variable wakeups, and exception propagation to the caller of parallel_for.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace migopt {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue an opaque task. Not generally needed by users; parallel_for is
+  /// the main entry point.
+  void submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [0, count) across the pool, blocking until done.
+  /// If any invocation throws, the first exception is rethrown here after all
+  /// indices finish or are abandoned.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Global pool shared by library internals (lazily constructed).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace migopt

@@ -1,0 +1,30 @@
+#include "core/classifier.hpp"
+
+namespace migopt::core {
+
+wl::WorkloadClass classify(const gpusim::GpuChip& chip,
+                           const gpusim::KernelDescriptor& kernel,
+                           const prof::CounterSet& profile,
+                           const ClassificationRule& rule) {
+  using prof::Counter;
+
+  // Step 1: US probe — solo at the smallest private slice under a low cap.
+  const gpusim::RunResult probe = chip.run_solo(
+      kernel, rule.us_probe_gpcs, gpusim::MemOption::Private, rule.us_probe_cap_watts);
+  const double relperf = chip.relative_performance(kernel, probe.apps.front());
+  if (1.0 - relperf < rule.us_degradation_threshold) return wl::WorkloadClass::US;
+
+  // Step 2: compute- vs memory-intensive by counter ratio.
+  const double f1 = profile[Counter::ComputeThroughputPct];
+  const double f2 = profile[Counter::MemoryThroughputPct];
+  if (f2 <= 0.0 || f1 / f2 > rule.compute_memory_ratio_threshold) {
+    const double tensor_pct = profile[Counter::TensorMixedPct] +
+                              profile[Counter::TensorDoublePct] +
+                              profile[Counter::TensorIntegerPct];
+    return tensor_pct > rule.tensor_active_pct ? wl::WorkloadClass::TI
+                                               : wl::WorkloadClass::CI;
+  }
+  return wl::WorkloadClass::MI;
+}
+
+}  // namespace migopt::core

@@ -1,0 +1,29 @@
+// Measurement-driven benchmark classification (Section 5.1.2 / Table 7):
+//   1. if the performance degradation at 150 W with 1 GPC (private) is below
+//      10%, the benchmark is Un-Scalable (US);
+//   2. otherwise, if F1/F2 > 0.8 the benchmark is compute intensive —
+//      Tensor-core Intensive (TI) when Tensor pipes are active, else CI;
+//   3. otherwise it is Memory Intensive (MI).
+#pragma once
+
+#include "gpusim/gpu.hpp"
+#include "profiling/counters.hpp"
+#include "workloads/characteristics.hpp"
+
+namespace migopt::core {
+
+struct ClassificationRule {
+  double us_degradation_threshold = 0.10;  ///< "less than 10%"
+  int us_probe_gpcs = 1;
+  double us_probe_cap_watts = 150.0;
+  double compute_memory_ratio_threshold = 0.80;  ///< F1/F2 boundary
+  double tensor_active_pct = 1.0;  ///< F6+F7+F8 above this => uses Tensor Cores
+};
+
+/// Classify from a probe run on the chip plus the stored profile.
+wl::WorkloadClass classify(const gpusim::GpuChip& chip,
+                           const gpusim::KernelDescriptor& kernel,
+                           const prof::CounterSet& profile,
+                           const ClassificationRule& rule = {});
+
+}  // namespace migopt::core

@@ -1,0 +1,106 @@
+#include "core/evaluator.hpp"
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/metrics.hpp"
+
+namespace migopt::core {
+
+namespace {
+
+PairMetrics finish(double r1, double r2, double cap) {
+  PairMetrics m;
+  m.relperf_app1 = r1;
+  m.relperf_app2 = r2;
+  const std::array<double, 2> rels = {r1, r2};
+  m.throughput = weighted_speedup(rels);
+  m.fairness = fairness(rels);
+  m.power_cap_watts = cap;
+  m.energy_efficiency = energy_efficiency(m.throughput, cap);
+  return m;
+}
+
+}  // namespace
+
+PairMetrics measure_pair(const gpusim::GpuChip& chip,
+                         const gpusim::KernelDescriptor& app1,
+                         const gpusim::KernelDescriptor& app2,
+                         const PartitionState& state, double power_cap_watts) {
+  const gpusim::RunResult run =
+      chip.run_pair(app1, state.gpcs_app1, app2, state.gpcs_app2, state.option,
+                    power_cap_watts);
+  const double r1 = chip.relative_performance(app1, run.apps[0]);
+  const double r2 = chip.relative_performance(app2, run.apps[1]);
+  return finish(r1, r2, power_cap_watts);
+}
+
+PairMetrics predict_pair(const PerfModel& model, const prof::CounterSet& profile1,
+                         const prof::CounterSet& profile2,
+                         const PartitionState& state, double power_cap_watts) {
+  const ModelKey key1 =
+      ModelKey::make(state.gpcs_app1, state.option, power_cap_watts);
+  const ModelKey key2 =
+      ModelKey::make(state.gpcs_app2, state.option, power_cap_watts);
+  const double r1 = PerfModel::clamp_relperf(
+      model.predict(key1, profile1, {&profile2, 1}));
+  const double r2 = PerfModel::clamp_relperf(
+      model.predict(key2, profile2, {&profile1, 1}));
+  return finish(r1, r2, power_cap_watts);
+}
+
+namespace {
+
+GroupMetrics finish_group(std::vector<double> relperf, double cap) {
+  GroupMetrics m;
+  m.relperf = std::move(relperf);
+  m.throughput = weighted_speedup(m.relperf);
+  m.fairness = fairness(m.relperf);
+  m.power_cap_watts = cap;
+  m.energy_efficiency = energy_efficiency(m.throughput, cap);
+  return m;
+}
+
+}  // namespace
+
+GroupMetrics measure_group(const gpusim::GpuChip& chip,
+                           std::span<const gpusim::KernelDescriptor* const> kernels,
+                           const GroupState& state, double power_cap_watts) {
+  MIGOPT_REQUIRE(kernels.size() == state.size(),
+                 "kernel count does not match the group state");
+  std::vector<gpusim::GpuChip::GroupMember> members(kernels.size());
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    MIGOPT_REQUIRE(kernels[i] != nullptr, "null kernel in group");
+    members[i].kernel = kernels[i];
+    members[i].gpcs = state.gpcs_of(i);
+  }
+  const gpusim::RunResult run =
+      chip.run_group(members, state.option, power_cap_watts);
+  std::vector<double> relperf(kernels.size(), 0.0);
+  for (std::size_t i = 0; i < kernels.size(); ++i)
+    relperf[i] = chip.relative_performance(*kernels[i], run.apps[i]);
+  return finish_group(std::move(relperf), power_cap_watts);
+}
+
+GroupMetrics predict_group(const PerfModel& model,
+                           std::span<const prof::CounterSet> profiles,
+                           const GroupState& state, double power_cap_watts) {
+  MIGOPT_REQUIRE(profiles.size() == state.size(),
+                 "profile count does not match the group state");
+  std::vector<double> relperf(profiles.size(), 0.0);
+  std::vector<prof::CounterSet> others;
+  others.reserve(profiles.size() - 1);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const ModelKey key =
+        ModelKey::make(state.gpcs_of(i), state.option, power_cap_watts);
+    others.clear();
+    for (std::size_t j = 0; j < profiles.size(); ++j)
+      if (j != i) others.push_back(profiles[j]);
+    relperf[i] = PerfModel::clamp_relperf(model.predict(key, profiles[i], others));
+  }
+  return finish_group(std::move(relperf), power_cap_watts);
+}
+
+}  // namespace migopt::core

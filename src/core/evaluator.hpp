@@ -1,0 +1,59 @@
+// Pair evaluation: compute (RPerf1, RPerf2, Throughput, Fairness) for one
+// (state, cap) either *measured* on the device/simulator or *predicted* by
+// the trained model. The optimizer consumes predictions; the benches use
+// measurements for the paper's best/worst comparisons and Figure 8.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/hw_state.hpp"
+#include "core/perf_model.hpp"
+#include "gpusim/gpu.hpp"
+#include "profiling/counters.hpp"
+
+namespace migopt::core {
+
+struct PairMetrics {
+  double relperf_app1 = 0.0;
+  double relperf_app2 = 0.0;
+  double throughput = 0.0;        ///< weighted speedup
+  double fairness = 0.0;          ///< min relative performance
+  double power_cap_watts = 0.0;   ///< the cap this was evaluated under
+  double energy_efficiency = 0.0; ///< throughput / cap
+};
+
+/// Run the pair on the device and measure.
+PairMetrics measure_pair(const gpusim::GpuChip& chip,
+                         const gpusim::KernelDescriptor& app1,
+                         const gpusim::KernelDescriptor& app2,
+                         const PartitionState& state, double power_cap_watts);
+
+/// Predict from profiles with the trained model (clamped at the RelPerf floor).
+PairMetrics predict_pair(const PerfModel& model, const prof::CounterSet& profile1,
+                         const prof::CounterSet& profile2,
+                         const PartitionState& state, double power_cap_watts);
+
+/// Metrics of an N-way co-location (the paper's formulation; fairness and
+/// weighted speedup are defined for any member count).
+struct GroupMetrics {
+  std::vector<double> relperf;    ///< per member, member order
+  double throughput = 0.0;        ///< weighted speedup (sum of relperf)
+  double fairness = 0.0;          ///< min relperf
+  double power_cap_watts = 0.0;
+  double energy_efficiency = 0.0; ///< throughput / cap
+};
+
+/// Run the group on the device and measure. `kernels` in member order must
+/// match `state.size()`.
+GroupMetrics measure_group(const gpusim::GpuChip& chip,
+                           std::span<const gpusim::KernelDescriptor* const> kernels,
+                           const GroupState& state, double power_cap_watts);
+
+/// Predict an N-way co-location: every member's RPerf is C·H(self) plus the
+/// sum of D·J(other) over its co-runners, exactly the paper's equation.
+GroupMetrics predict_group(const PerfModel& model,
+                           std::span<const prof::CounterSet> profiles,
+                           const GroupState& state, double power_cap_watts);
+
+}  // namespace migopt::core

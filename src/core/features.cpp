@@ -1,0 +1,28 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+
+namespace migopt::core {
+
+std::array<double, kHBasisCount> basis_h(const prof::CounterSet& f) noexcept {
+  using prof::Counter;
+  const double tensor = (f[Counter::TensorMixedPct] + f[Counter::TensorDoublePct] +
+                         f[Counter::TensorIntegerPct]) /
+                        100.0;
+  const double h2 = std::min(1.0, tensor);
+  const double h1 = std::max(0.0, f[Counter::ComputeThroughputPct] / 100.0 - h2);
+  double h3 = 0.0;
+  if (f[Counter::ComputeThroughputPct] > 1e-9)
+    h3 = std::min(kMemComputeRatioClamp,
+                  f[Counter::MemoryThroughputPct] / f[Counter::ComputeThroughputPct]);
+  const double h4 = f[Counter::L2HitRatePct] / 100.0;
+  const double h5 = f[Counter::OccupancyPct] / 100.0;
+  return {h1, h2, h3, h4, h5, 1.0};
+}
+
+std::array<double, kJBasisCount> basis_j(const prof::CounterSet& f) noexcept {
+  using prof::Counter;
+  return {f[Counter::DramThroughputPct] / 100.0, f[Counter::L2HitRatePct] / 100.0, 1.0};
+}
+
+}  // namespace migopt::core

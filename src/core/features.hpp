@@ -1,0 +1,44 @@
+// Basis functions H(F) and J(F) from the paper's Table 4.
+//
+// The scalability term uses H (6 components incl. a constant); the
+// interference term uses J (3 components incl. a constant). The model is
+// linear in these bases; the coefficient vectors C and D are per hardware
+// state (see perf_model.hpp).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "profiling/counters.hpp"
+
+namespace migopt::core {
+
+inline constexpr std::size_t kHBasisCount = 6;
+inline constexpr std::size_t kJBasisCount = 3;
+
+inline constexpr std::array<const char*, kHBasisCount> kHBasisNames = {
+    "H1_nontensor_compute", "H2_tensor_compute", "H3_mem_compute_ratio",
+    "H4_l2_locality",       "H5_occupancy",      "H6_const"};
+inline constexpr std::array<const char*, kJBasisCount> kJBasisNames = {
+    "J1_dram_intensity", "J2_access_pattern", "J3_const"};
+
+/// Table 4:
+///   H1 = F1/100 - H2   (non-tensor compute intensity)
+///   H2 = (F6+F7+F8)/100 (tensor compute intensity)
+///   H3 = F2/F1          (memory/compute ratio; clamped, 0 when F1 ~ 0)
+///   H4 = F4/100         (LLC locality)
+///   H5 = F5/100         (resource utilization / occupancy)
+///   H6 = 1              (constant)
+std::array<double, kHBasisCount> basis_h(const prof::CounterSet& f) noexcept;
+
+/// Table 4:
+///   J1 = F3/100 (DRAM intensity of the co-runner)
+///   J2 = F4/100 (access-pattern proxy: co-runner LLC hit rate)
+///   J3 = 1      (constant)
+std::array<double, kJBasisCount> basis_j(const prof::CounterSet& f) noexcept;
+
+/// Upper clamp applied to H3 so bandwidth-saturating kernels with tiny
+/// compute utilization do not produce unbounded leverage in the fit.
+inline constexpr double kMemComputeRatioClamp = 2.0;
+
+}  // namespace migopt::core

@@ -1,0 +1,138 @@
+#include "core/hw_state.hpp"
+
+#include "common/assert.hpp"
+
+namespace migopt::core {
+
+std::string PartitionState::name() const {
+  using gpusim::MemOption;
+  if (gpcs_app1 == 4 && gpcs_app2 == 3 && option == MemOption::Shared) return "S1";
+  if (gpcs_app1 == 3 && gpcs_app2 == 4 && option == MemOption::Shared) return "S2";
+  if (gpcs_app1 == 4 && gpcs_app2 == 3 && option == MemOption::Private) return "S3";
+  if (gpcs_app1 == 3 && gpcs_app2 == 4 && option == MemOption::Private) return "S4";
+  return std::to_string(gpcs_app1) + "g+" + std::to_string(gpcs_app2) + "g-" +
+         gpusim::to_string(option);
+}
+
+std::vector<PartitionState> paper_states() {
+  using gpusim::MemOption;
+  return {{4, 3, MemOption::Shared},
+          {3, 4, MemOption::Shared},
+          {4, 3, MemOption::Private},
+          {3, 4, MemOption::Private}};
+}
+
+std::vector<double> paper_power_caps() { return {150, 170, 190, 210, 230, 250}; }
+
+std::vector<PartitionState> flexible_states(const gpusim::ArchConfig& arch) {
+  std::vector<PartitionState> out;
+  for (int g1 = 1; g1 <= arch.mig_usable_gpcs; ++g1) {
+    for (int g2 = 1; g1 + g2 <= arch.mig_usable_gpcs; ++g2) {
+      // Shared: one full-size GI, two CIs inside — CI sizes must be valid
+      // compute-slice counts.
+      if (arch.valid_gi_size(g1) && arch.valid_gi_size(g2)) {
+        out.push_back({g1, g2, gpusim::MemOption::Shared});
+        // Private: two GIs; memory modules must also fit.
+        if (arch.modules_for_gpcs(g1) + arch.modules_for_gpcs(g2) <=
+            arch.memory_modules)
+          out.push_back({g1, g2, gpusim::MemOption::Private});
+      }
+    }
+  }
+  MIGOPT_ENSURE(!out.empty(), "no valid partition states for architecture");
+  return out;
+}
+
+int GroupState::total_gpcs() const noexcept {
+  int total = 0;
+  for (const int g : gpcs) total += g;
+  return total;
+}
+
+std::string GroupState::name() const {
+  std::string out;
+  for (std::size_t i = 0; i < gpcs.size(); ++i) {
+    if (i > 0) out += '+';
+    out += std::to_string(gpcs[i]) + "g";
+  }
+  out += '-';
+  out += gpusim::to_string(option);
+  return out;
+}
+
+PartitionState GroupState::as_pair() const {
+  MIGOPT_REQUIRE(gpcs.size() == 2, "as_pair on a group of size != 2");
+  return {gpcs[0], gpcs[1], option};
+}
+
+GroupState GroupState::from_pair(const PartitionState& state) {
+  GroupState group;
+  group.gpcs = {state.gpcs_app1, state.gpcs_app2};
+  group.option = state.option;
+  return group;
+}
+
+std::vector<GroupState> group_states(const gpusim::ArchConfig& arch,
+                                     std::size_t app_count) {
+  MIGOPT_REQUIRE(app_count >= 1, "group needs at least one application");
+  MIGOPT_REQUIRE(static_cast<int>(app_count) <= arch.mig_usable_gpcs,
+                 "more applications than usable GPCs");
+
+  // Valid member sizes, ascending (e.g. 1,2,3,4,7 on the A100).
+  std::vector<int> sizes;
+  for (int g = 1; g <= arch.mig_usable_gpcs; ++g)
+    if (arch.valid_gi_size(g)) sizes.push_back(g);
+
+  // Private placements are anchored (large GI profiles snap to fixed start
+  // slices), so a module-count check alone is not sufficient: dry-run the
+  // placement. Shared groups always fit once the GPC sum does (CIs inside a
+  // GI are not anchored).
+  const auto private_placeable = [&arch](const std::vector<int>& gpcs) {
+    gpusim::MigManager mig(arch);
+    mig.enable_mig();
+    try {
+      mig.place_group(gpcs, gpusim::MemOption::Private);
+    } catch (const gpusim::MigError&) {
+      return false;
+    }
+    return true;
+  };
+
+  std::vector<GroupState> out;
+  std::vector<int> current(app_count, 0);
+  // Depth-first enumeration of ordered size tuples.
+  const auto enumerate = [&](auto&& self, std::size_t depth, int gpcs_used,
+                             int modules_used) -> void {
+    if (depth == app_count) {
+      GroupState shared;
+      shared.gpcs = current;
+      shared.option = gpusim::MemOption::Shared;
+      out.push_back(shared);
+      if (modules_used <= arch.memory_modules && private_placeable(current)) {
+        GroupState priv = shared;
+        priv.option = gpusim::MemOption::Private;
+        out.push_back(priv);
+      }
+      return;
+    }
+    for (const int g : sizes) {
+      if (gpcs_used + g > arch.mig_usable_gpcs) break;
+      current[depth] = g;
+      self(self, depth + 1, gpcs_used + g, modules_used + arch.modules_for_gpcs(g));
+    }
+  };
+  enumerate(enumerate, 0, 0, 0);
+  MIGOPT_ENSURE(!out.empty(), "no valid group states for architecture");
+  return out;
+}
+
+std::vector<double> power_cap_sweep(const gpusim::ArchConfig& arch, double step_watts) {
+  MIGOPT_REQUIRE(step_watts > 0.0, "power sweep step must be positive");
+  std::vector<double> out;
+  for (double p = arch.min_power_cap_watts; p < arch.tdp_watts; p += step_watts)
+    out.push_back(p);
+  out.push_back(arch.tdp_watts);
+  return out;
+}
+
+}  // namespace migopt::core

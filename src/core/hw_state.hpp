@@ -1,0 +1,80 @@
+// Hardware state space: partitioning/allocation states S and power caps P
+// (the paper's Table 5), plus the generalized enumeration for future GPUs
+// with flexible partitioning (Section 6 of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/arch_config.hpp"
+#include "gpusim/mig.hpp"
+
+namespace migopt::core {
+
+/// One partitioning + allocation state for a co-run pair: how many GPCs each
+/// application receives and the LLC/HBM option.
+struct PartitionState {
+  int gpcs_app1 = 4;
+  int gpcs_app2 = 3;
+  gpusim::MemOption option = gpusim::MemOption::Shared;
+
+  bool operator==(const PartitionState& other) const noexcept = default;
+
+  /// "S1".."S4" for the paper's states, otherwise "4g+2g-private"-style.
+  std::string name() const;
+
+  /// The per-application view used as the model key.
+  int gpcs_of(std::size_t app_index) const noexcept {
+    return app_index == 0 ? gpcs_app1 : gpcs_app2;
+  }
+
+  /// Swap which app gets which slice.
+  PartitionState swapped() const noexcept {
+    return {gpcs_app2, gpcs_app1, option};
+  }
+};
+
+/// Table 5: S1=(4,3,Shared), S2=(3,4,Shared), S3=(4,3,Private), S4=(3,4,Private).
+std::vector<PartitionState> paper_states();
+
+/// Table 5 power caps: 150..250 W in 20 W steps.
+std::vector<double> paper_power_caps();
+
+/// Every pair split valid on `arch` under MIG (both sizes placeable, GPCs and
+/// memory modules fit) — the "future flexible partitioning" extension. The
+/// paper's 4 states are a subset.
+std::vector<PartitionState> flexible_states(const gpusim::ArchConfig& arch);
+
+/// Partitioning + allocation state for N co-located applications. The paper's
+/// formulation admits N apps ("App1, App2, ..."); GroupState generalizes
+/// PartitionState beyond pairs while keeping the same two LLC/HBM options.
+struct GroupState {
+  std::vector<int> gpcs;  ///< per-application GPC allocation, member order
+  gpusim::MemOption option = gpusim::MemOption::Shared;
+
+  bool operator==(const GroupState& other) const noexcept = default;
+
+  std::size_t size() const noexcept { return gpcs.size(); }
+  int gpcs_of(std::size_t app_index) const { return gpcs.at(app_index); }
+  int total_gpcs() const noexcept;
+
+  /// "4g+2g+1g-private"-style display name.
+  std::string name() const;
+
+  /// The equivalent pair state; requires size() == 2.
+  PartitionState as_pair() const;
+
+  static GroupState from_pair(const PartitionState& state);
+};
+
+/// Every ordered N-way split valid on `arch` under MIG: each member a valid
+/// GI/CI size, GPC sum within the usable budget, and (private) the memory
+/// modules of all GIs fitting the chip. For N == 2 this enumerates the same
+/// set as flexible_states.
+std::vector<GroupState> group_states(const gpusim::ArchConfig& arch,
+                                     std::size_t app_count);
+
+/// A power-cap sweep between the architecture's min cap and TDP.
+std::vector<double> power_cap_sweep(const gpusim::ArchConfig& arch, double step_watts);
+
+}  // namespace migopt::core

@@ -1,0 +1,29 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace migopt::core {
+
+double weighted_speedup(std::span<const double> relative_performance) {
+  MIGOPT_REQUIRE(!relative_performance.empty(), "no relative performances");
+  double sum = 0.0;
+  for (double r : relative_performance) {
+    MIGOPT_REQUIRE(r >= 0.0, "negative relative performance");
+    sum += r;
+  }
+  return sum;
+}
+
+double fairness(std::span<const double> relative_performance) {
+  MIGOPT_REQUIRE(!relative_performance.empty(), "no relative performances");
+  return *std::min_element(relative_performance.begin(), relative_performance.end());
+}
+
+double energy_efficiency(double throughput, double power_cap_watts) {
+  MIGOPT_REQUIRE(power_cap_watts > 0.0, "non-positive power cap");
+  return throughput / power_cap_watts;
+}
+
+}  // namespace migopt::core

@@ -1,0 +1,19 @@
+// Co-scheduling metrics (Section 4.2):
+//   Throughput = weighted speedup = sum of relative performances;
+//   Fairness   = min of relative performances.
+#pragma once
+
+#include <span>
+
+namespace migopt::core {
+
+/// Weighted speedup; > 1 means the co-run beats time-sharing.
+double weighted_speedup(std::span<const double> relative_performance);
+
+/// Minimum relative performance across co-located apps.
+double fairness(std::span<const double> relative_performance);
+
+/// Problem 2 objective: throughput per watt of allocated power cap.
+double energy_efficiency(double throughput, double power_cap_watts);
+
+}  // namespace migopt::core

@@ -1,0 +1,218 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace migopt::core {
+
+Optimizer::Optimizer(const PerfModel& model, std::vector<PartitionState> states,
+                     std::vector<double> caps)
+    : model_(&model), states_(std::move(states)), caps_(std::move(caps)) {
+  MIGOPT_REQUIRE(!states_.empty(), "optimizer needs at least one state");
+  MIGOPT_REQUIRE(!caps_.empty(), "optimizer needs at least one power cap");
+}
+
+Optimizer Optimizer::paper_default(const PerfModel& model) {
+  return Optimizer(model, paper_states(), paper_power_caps());
+}
+
+std::vector<double> Optimizer::caps_for(const Policy& policy) const {
+  const double ceiling = policy.power_cap_ceiling.value_or(
+      std::numeric_limits<double>::infinity());
+  if (policy.fixed_power_cap.has_value()) {
+    if (*policy.fixed_power_cap <= ceiling) return {*policy.fixed_power_cap};
+    // Fixed cap above the ceiling: degrade to the best trained cap that
+    // still fits (may be none).
+    std::vector<double> fallback;
+    for (const double cap : caps_)
+      if (cap <= ceiling) fallback.push_back(cap);
+    if (!fallback.empty()) fallback = {*std::max_element(fallback.begin(),
+                                                         fallback.end())};
+    return fallback;
+  }
+  std::vector<double> out;
+  for (const double cap : caps_)
+    if (cap <= ceiling) out.push_back(cap);
+  return out;
+}
+
+Optimizer::Scored Optimizer::score(const prof::CounterSet& profile1,
+                                   const prof::CounterSet& profile2,
+                                   const PartitionState& state, double cap,
+                                   const Policy& policy) const {
+  Scored scored;
+  scored.metrics = predict_pair(*model_, profile1, profile2, state, cap);
+  scored.feasible =
+      scored.metrics.fairness > policy.alpha + policy.fairness_margin;
+  if (scored.feasible) {
+    scored.score = policy.objective == PolicyObjective::Throughput
+                       ? scored.metrics.throughput
+                       : scored.metrics.energy_efficiency;
+  } else {
+    scored.score = scored.metrics.fairness;
+  }
+  return scored;
+}
+
+bool Optimizer::better(const Scored& a, const Scored& b) noexcept {
+  if (a.feasible != b.feasible) return a.feasible;
+  return a.score > b.score;
+}
+
+Decision Optimizer::decide(const prof::CounterSet& profile1,
+                           const prof::CounterSet& profile2,
+                           const Policy& policy) const {
+  Decision decision;
+  const std::vector<double> caps = caps_for(policy);
+  if (caps.empty()) return decision;  // ceiling below every trained cap
+  bool first = true;
+  Scored best;
+  for (const auto& state : states_) {
+    for (const double cap : caps) {
+      const Scored candidate = score(profile1, profile2, state, cap, policy);
+      ++decision.evaluations;
+      if (first || better(candidate, best)) {
+        first = false;
+        best = candidate;
+        decision.state = state;
+        decision.power_cap_watts = cap;
+      }
+    }
+  }
+  decision.feasible = best.feasible;
+  decision.predicted = best.metrics;
+  decision.objective_value = best.feasible ? best.score : 0.0;
+  return decision;
+}
+
+GroupDecision Optimizer::decide_group(std::span<const prof::CounterSet> profiles,
+                                      std::span<const GroupState> group_states,
+                                      const Policy& policy) const {
+  MIGOPT_REQUIRE(!profiles.empty(), "decide_group needs at least one profile");
+  MIGOPT_REQUIRE(!group_states.empty(), "decide_group needs at least one state");
+
+  GroupDecision decision;
+  const std::vector<double> caps = caps_for(policy);
+  if (caps.empty()) return decision;  // ceiling below every trained cap
+  bool first = true;
+  bool best_feasible = false;
+  double best_score = 0.0;
+  for (const GroupState& state : group_states) {
+    MIGOPT_REQUIRE(state.size() == profiles.size(),
+                   "group state size does not match the profile count");
+    for (const double cap : caps) {
+      const GroupMetrics metrics =
+          predict_group(*model_, profiles, state, cap);
+      ++decision.evaluations;
+      const bool feasible =
+          metrics.fairness > policy.alpha + policy.fairness_margin;
+      const double score =
+          feasible ? (policy.objective == PolicyObjective::Throughput
+                          ? metrics.throughput
+                          : metrics.energy_efficiency)
+                   : metrics.fairness;
+      const bool take = first || (feasible != best_feasible ? feasible
+                                                            : score > best_score);
+      if (take) {
+        first = false;
+        best_feasible = feasible;
+        best_score = score;
+        decision.state = state;
+        decision.power_cap_watts = cap;
+        decision.predicted = metrics;
+      }
+    }
+  }
+  decision.feasible = best_feasible;
+  decision.objective_value = best_feasible ? best_score : 0.0;
+  return decision;
+}
+
+Decision Optimizer::decide_hill_climb(const prof::CounterSet& profile1,
+                                      const prof::CounterSet& profile2,
+                                      const Policy& policy, Rng& rng,
+                                      int restarts) const {
+  MIGOPT_REQUIRE(restarts >= 1, "need at least one restart");
+  const std::vector<double> caps = caps_for(policy);
+  if (caps.empty()) return Decision{};  // ceiling below every trained cap
+
+  // Neighborhood: states whose split differs by at most one GPC on each side
+  // with the same option, or the same split with the other option; plus
+  // adjacent caps.
+  auto state_neighbors = [this](std::size_t idx) {
+    std::vector<std::size_t> out;
+    const PartitionState& s = states_[idx];
+    for (std::size_t j = 0; j < states_.size(); ++j) {
+      if (j == idx) continue;
+      const PartitionState& t = states_[j];
+      const bool split_move = t.option == s.option &&
+                              std::abs(t.gpcs_app1 - s.gpcs_app1) <= 1 &&
+                              std::abs(t.gpcs_app2 - s.gpcs_app2) <= 1;
+      const bool option_move = t.option != s.option &&
+                               t.gpcs_app1 == s.gpcs_app1 &&
+                               t.gpcs_app2 == s.gpcs_app2;
+      if (split_move || option_move) out.push_back(j);
+    }
+    return out;
+  };
+
+  Decision decision;
+  bool have_best = false;
+  Scored best;
+
+  for (int restart = 0; restart < restarts; ++restart) {
+    std::size_t state_idx = static_cast<std::size_t>(rng.bounded(states_.size()));
+    std::size_t cap_idx = static_cast<std::size_t>(rng.bounded(caps.size()));
+    Scored current =
+        score(profile1, profile2, states_[state_idx], caps[cap_idx], policy);
+    ++decision.evaluations;
+
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      // State moves.
+      for (const std::size_t j : state_neighbors(state_idx)) {
+        const Scored candidate =
+            score(profile1, profile2, states_[j], caps[cap_idx], policy);
+        ++decision.evaluations;
+        if (better(candidate, current)) {
+          current = candidate;
+          state_idx = j;
+          improved = true;
+        }
+      }
+      // Cap moves.
+      for (const std::size_t delta : {std::size_t{0}, std::size_t{1}}) {
+        const bool down = delta == 0;
+        if (down && cap_idx == 0) continue;
+        if (!down && cap_idx + 1 >= caps.size()) continue;
+        const std::size_t j = down ? cap_idx - 1 : cap_idx + 1;
+        const Scored candidate =
+            score(profile1, profile2, states_[state_idx], caps[j], policy);
+        ++decision.evaluations;
+        if (better(candidate, current)) {
+          current = candidate;
+          cap_idx = j;
+          improved = true;
+        }
+      }
+    }
+
+    if (!have_best || better(current, best)) {
+      have_best = true;
+      best = current;
+      decision.state = states_[state_idx];
+      decision.power_cap_watts = caps[cap_idx];
+    }
+  }
+
+  decision.feasible = best.feasible;
+  decision.predicted = best.metrics;
+  decision.objective_value = best.feasible ? best.score : 0.0;
+  return decision;
+}
+
+}  // namespace migopt::core

@@ -1,0 +1,94 @@
+// Decision making (the right half of the paper's Figure 7): search the
+// hardware-state space for the best (S) or (S, P) under a policy, scoring
+// candidates with the trained model.
+//
+// The paper uses exhaustive search ("the number of selections here is very
+// small... 4 x 6 = 24") and points at hill climbing for larger future spaces
+// (Section 6); both are provided.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/evaluator.hpp"
+#include "core/hw_state.hpp"
+#include "core/perf_model.hpp"
+#include "core/policy.hpp"
+#include "profiling/counters.hpp"
+
+namespace migopt::core {
+
+struct Decision {
+  /// True when at least one candidate met the fairness constraint. When
+  /// false, `state`/`power_cap_watts` hold the fairness-maximizing fallback
+  /// and the caller should consider running the jobs exclusively instead.
+  bool feasible = false;
+  PartitionState state;
+  double power_cap_watts = 0.0;
+  PairMetrics predicted;      ///< model-estimated metrics of the choice
+  double objective_value = 0.0;
+  std::size_t evaluations = 0;  ///< candidate states scored by the search
+};
+
+/// Decision over an N-way group (same lexicographic semantics as Decision).
+struct GroupDecision {
+  bool feasible = false;
+  GroupState state;
+  double power_cap_watts = 0.0;
+  GroupMetrics predicted;
+  double objective_value = 0.0;
+  std::size_t evaluations = 0;
+};
+
+class Optimizer {
+ public:
+  /// The optimizer searches over `states` x `caps`; all combinations must be
+  /// covered by the model's trained keys.
+  Optimizer(const PerfModel& model, std::vector<PartitionState> states,
+            std::vector<double> caps);
+
+  /// Paper default: Table 5 state space.
+  static Optimizer paper_default(const PerfModel& model);
+
+  const std::vector<PartitionState>& states() const noexcept { return states_; }
+  const std::vector<double>& caps() const noexcept { return caps_; }
+
+  /// Exhaustive search (the paper's method).
+  Decision decide(const prof::CounterSet& profile1, const prof::CounterSet& profile2,
+                  const Policy& policy) const;
+
+  /// Random-restart hill climbing for large state spaces. Moves along the
+  /// partition-split / option / cap axes; quality is validated against the
+  /// exhaustive oracle in the test suite.
+  Decision decide_hill_climb(const prof::CounterSet& profile1,
+                             const prof::CounterSet& profile2, const Policy& policy,
+                             Rng& rng, int restarts = 4) const;
+
+  /// Exhaustive search over an explicit N-way state space (e.g. from
+  /// core::group_states). The model must cover every (size, option, cap)
+  /// combination the states use; train with a matching co-run grid.
+  GroupDecision decide_group(std::span<const prof::CounterSet> profiles,
+                             std::span<const GroupState> group_states,
+                             const Policy& policy) const;
+
+ private:
+  /// Lexicographic score: any feasible beats all infeasible; feasible ranks by
+  /// objective; infeasible ranks by fairness (to drive toward feasibility).
+  struct Scored {
+    bool feasible = false;
+    double score = 0.0;
+    PairMetrics metrics;
+  };
+  Scored score(const prof::CounterSet& profile1, const prof::CounterSet& profile2,
+               const PartitionState& state, double cap, const Policy& policy) const;
+  static bool better(const Scored& a, const Scored& b) noexcept;
+
+  std::vector<double> caps_for(const Policy& policy) const;
+
+  const PerfModel* model_;
+  std::vector<PartitionState> states_;
+  std::vector<double> caps_;
+};
+
+}  // namespace migopt::core

@@ -1,0 +1,147 @@
+#include "core/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+#include "common/matrix.hpp"
+#include "common/string_util.hpp"
+
+namespace migopt::core {
+
+ModelKey ModelKey::make(int gpcs, gpusim::MemOption option, double cap_watts) {
+  MIGOPT_REQUIRE(gpcs > 0, "model key needs positive GPC count");
+  MIGOPT_REQUIRE(cap_watts > 0.0, "model key needs positive power cap");
+  const int rounded = static_cast<int>(std::lround(cap_watts));
+  MIGOPT_REQUIRE(std::abs(cap_watts - rounded) < 1e-6,
+                 "power caps must be integral watts for model keys");
+  return ModelKey{gpcs, option, rounded};
+}
+
+std::string ModelKey::to_string() const {
+  return std::to_string(gpcs) + "g/" + gpusim::to_string(option) + "/" +
+         std::to_string(power_cap_watts) + "W";
+}
+
+void PerfModel::set_scalability(const ModelKey& key, const CVector& c) {
+  c_[key] = c;
+}
+
+void PerfModel::set_interference(const ModelKey& key, const DVector& d) {
+  d_[key] = d;
+}
+
+bool PerfModel::has_scalability(const ModelKey& key) const noexcept {
+  return c_.find(key) != c_.end();
+}
+
+bool PerfModel::has_interference(const ModelKey& key) const noexcept {
+  return d_.find(key) != d_.end();
+}
+
+const PerfModel::CVector& PerfModel::scalability(const ModelKey& key) const {
+  const auto it = c_.find(key);
+  MIGOPT_REQUIRE(it != c_.end(),
+                 "no scalability coefficients for " + key.to_string());
+  return it->second;
+}
+
+const PerfModel::DVector& PerfModel::interference(const ModelKey& key) const {
+  const auto it = d_.find(key);
+  MIGOPT_REQUIRE(it != d_.end(),
+                 "no interference coefficients for " + key.to_string());
+  return it->second;
+}
+
+double PerfModel::predict_solo(const ModelKey& key,
+                               const prof::CounterSet& profile) const {
+  const CVector& c = scalability(key);
+  const auto h = basis_h(profile);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < kHBasisCount; ++i) acc += c[i] * h[i];
+  return acc;
+}
+
+double PerfModel::predict(const ModelKey& key, const prof::CounterSet& self,
+                          std::span<const prof::CounterSet> others) const {
+  double acc = predict_solo(key, self);
+  if (!others.empty()) {
+    const DVector& d = interference(key);
+    for (const auto& other : others) {
+      const auto j = basis_j(other);
+      for (std::size_t i = 0; i < kJBasisCount; ++i) acc += d[i] * j[i];
+    }
+  }
+  return acc;
+}
+
+double PerfModel::clamp_relperf(double predicted) noexcept {
+  return std::max(kRelPerfFloor, predicted);
+}
+
+std::vector<ModelKey> PerfModel::scalability_keys() const {
+  std::vector<ModelKey> out;
+  out.reserve(c_.size());
+  for (const auto& [key, coeffs] : c_) out.push_back(key);
+  return out;
+}
+
+namespace {
+constexpr const char* kKindScalability = "C";
+constexpr const char* kKindInterference = "D";
+}  // namespace
+
+void PerfModel::save(const std::string& path) const {
+  std::vector<std::string> header = {"kind", "gpcs", "option", "power_cap_watts"};
+  const std::size_t coeff_cols = std::max(kHBasisCount, kJBasisCount);
+  for (std::size_t i = 0; i < coeff_cols; ++i)
+    header.push_back("coeff" + std::to_string(i));
+  CsvDocument doc(std::move(header));
+
+  auto add = [&doc, coeff_cols](const char* kind, const ModelKey& key,
+                                std::span<const double> coeffs) {
+    std::vector<std::string> row = {kind, std::to_string(key.gpcs),
+                                    gpusim::to_string(key.option),
+                                    std::to_string(key.power_cap_watts)};
+    for (std::size_t i = 0; i < coeff_cols; ++i)
+      row.push_back(i < coeffs.size() ? str::format_exact(coeffs[i]) : "");
+    doc.add_row(std::move(row));
+  };
+  for (const auto& [key, c] : c_) add(kKindScalability, key, c);
+  for (const auto& [key, d] : d_) add(kKindInterference, key, d);
+  doc.save(path);
+}
+
+PerfModel PerfModel::load(const std::string& path) {
+  const CsvDocument doc = CsvDocument::load(path);
+  PerfModel model;
+  for (std::size_t r = 0; r < doc.row_count(); ++r) {
+    ModelKey key;
+    key.gpcs = static_cast<int>(doc.cell_as_double(r, "gpcs"));
+    const std::string& option = doc.cell(r, "option");
+    MIGOPT_REQUIRE(option == "private" || option == "shared",
+                   "bad option in model file: " + option);
+    key.option = option == "private" ? gpusim::MemOption::Private
+                                     : gpusim::MemOption::Shared;
+    key.power_cap_watts = static_cast<int>(doc.cell_as_double(r, "power_cap_watts"));
+
+    const std::string& kind = doc.cell(r, "kind");
+    if (kind == kKindScalability) {
+      CVector c{};
+      for (std::size_t i = 0; i < kHBasisCount; ++i)
+        c[i] = doc.cell_as_double(r, "coeff" + std::to_string(i));
+      model.set_scalability(key, c);
+    } else if (kind == kKindInterference) {
+      DVector d{};
+      for (std::size_t i = 0; i < kJBasisCount; ++i)
+        d[i] = doc.cell_as_double(r, "coeff" + std::to_string(i));
+      model.set_interference(key, d);
+    } else {
+      MIGOPT_REQUIRE(false, "bad coefficient kind in model file: " + kind);
+    }
+  }
+  return model;
+}
+
+}  // namespace migopt::core

@@ -1,0 +1,79 @@
+// The paper's linear-regression performance model (Section 4.3):
+//
+//   RPerf_Appi(S, P) = C(S,P) · H(F_Appi) + Σ_{j≠i} D(S,P) · J(F_Appj)
+//
+// Coefficients are fit independently per hardware state as seen by one
+// application: its GPC count, the LLC/HBM option, and the chip power cap.
+// C comes from exclusive solo runs over the scaling grid; D comes from
+// co-run residuals. Both are stored in this table.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "gpusim/mig.hpp"
+#include "profiling/counters.hpp"
+
+namespace migopt::core {
+
+/// Per-application hardware view keying the coefficient tables. The power cap
+/// is stored in integer watts (the paper's grid is 20 W steps; keys must
+/// compare exactly).
+struct ModelKey {
+  int gpcs = 0;
+  gpusim::MemOption option = gpusim::MemOption::Shared;
+  int power_cap_watts = 0;
+
+  auto operator<=>(const ModelKey&) const = default;
+
+  static ModelKey make(int gpcs, gpusim::MemOption option, double cap_watts);
+  std::string to_string() const;
+};
+
+class PerfModel {
+ public:
+  using CVector = std::array<double, kHBasisCount>;
+  using DVector = std::array<double, kJBasisCount>;
+
+  void set_scalability(const ModelKey& key, const CVector& c);
+  void set_interference(const ModelKey& key, const DVector& d);
+
+  bool has_scalability(const ModelKey& key) const noexcept;
+  bool has_interference(const ModelKey& key) const noexcept;
+
+  const CVector& scalability(const ModelKey& key) const;
+  const DVector& interference(const ModelKey& key) const;
+
+  /// Predicted RPerf of a solo run: C(key) · H(profile).
+  double predict_solo(const ModelKey& key, const prof::CounterSet& profile) const;
+
+  /// Predicted RPerf with co-runners: C·H(self) + Σ D·J(other). Missing D
+  /// coefficients are a contract violation — train co-runs first.
+  double predict(const ModelKey& key, const prof::CounterSet& self,
+                 std::span<const prof::CounterSet> others) const;
+
+  /// Predictions can dip slightly below zero for extrapolated states; metric
+  /// code clamps at this floor.
+  static constexpr double kRelPerfFloor = 1e-3;
+  static double clamp_relperf(double predicted) noexcept;
+
+  std::size_t scalability_entries() const noexcept { return c_.size(); }
+  std::size_t interference_entries() const noexcept { return d_.size(); }
+  std::vector<ModelKey> scalability_keys() const;
+
+  /// CSV round-trip of both coefficient tables.
+  void save(const std::string& path) const;
+  static PerfModel load(const std::string& path);
+
+ private:
+  std::map<ModelKey, CVector> c_;
+  std::map<ModelKey, DVector> d_;
+};
+
+}  // namespace migopt::core

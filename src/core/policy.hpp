@@ -1,0 +1,58 @@
+// Optimization problems ("policies") from Section 4.2.
+//
+//   Problem 1: given a power cap P, choose S maximizing Throughput subject to
+//              Fairness > alpha.
+//   Problem 2: choose (S, P) maximizing Throughput/P subject to
+//              Fairness > alpha.
+#pragma once
+
+#include <optional>
+
+namespace migopt::core {
+
+enum class PolicyObjective {
+  Throughput,        ///< weighted speedup (Problem 1)
+  EnergyEfficiency,  ///< weighted speedup / power cap (Problem 2)
+};
+
+struct Policy {
+  PolicyObjective objective = PolicyObjective::Throughput;
+  /// Fairness threshold: constraint is fairness > alpha (strict, as in the
+  /// paper's formulation).
+  double alpha = 0.2;
+  /// Problem 1 fixes the chip power cap; Problem 2 leaves it free.
+  std::optional<double> fixed_power_cap;
+  /// Extension beyond the paper: require predicted fairness > alpha + margin
+  /// to absorb model error near the feasibility boundary (the paper checks
+  /// the raw constraint; see the ablation bench for the trade-off).
+  double fairness_margin = 0.0;
+  /// Upper bound on the power cap a decision may use, e.g. what is left of a
+  /// cluster-level budget (the paper's Section 5.2.3 budget shifting). A
+  /// fixed cap above the ceiling degrades to the best trained cap under it.
+  std::optional<double> power_cap_ceiling;
+
+  static Policy problem1(double power_cap_watts, double alpha) {
+    Policy p;
+    p.objective = PolicyObjective::Throughput;
+    p.alpha = alpha;
+    p.fixed_power_cap = power_cap_watts;
+    return p;
+  }
+
+  static Policy problem2(double alpha) {
+    Policy p;
+    p.objective = PolicyObjective::EnergyEfficiency;
+    p.alpha = alpha;
+    p.fixed_power_cap = std::nullopt;
+    return p;
+  }
+
+  /// This policy with the cap ceiling applied.
+  Policy with_ceiling(double max_cap_watts) const {
+    Policy p = *this;
+    p.power_cap_ceiling = max_cap_watts;
+    return p;
+  }
+};
+
+}  // namespace migopt::core

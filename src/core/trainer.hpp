@@ -1,0 +1,62 @@
+// Offline model calibration (the left half of the paper's Figure 7).
+//
+// Steps, mirroring Section 5.1.3:
+//  1. profile every benchmark exclusively (full chip, TDP) -> ProfileDb;
+//  2. run every benchmark solo across the scaling grid
+//     (GPC sizes x {private, shared} x power caps), measure RPerf, and fit
+//     the scalability coefficients C per hardware state by least squares;
+//  3. run the training co-run pairs across (partition states x caps),
+//     measure RPerf, subtract the C-part, and fit the interference
+//     coefficients D per hardware state on the residuals.
+//
+// All measurement batches are embarrassingly parallel and fan out on the
+// shared thread pool.
+#pragma once
+
+#include <vector>
+
+#include "core/hw_state.hpp"
+#include "core/perf_model.hpp"
+#include "gpusim/gpu.hpp"
+#include "profiling/profile_db.hpp"
+#include "workloads/corun_pairs.hpp"
+#include "workloads/registry.hpp"
+
+namespace migopt::core {
+
+struct TrainingConfig {
+  /// Solo scaling grid (valid MIG sizes on the A100-like device).
+  std::vector<int> solo_gpc_sizes = {1, 2, 3, 4, 7};
+  /// Power caps of Table 5.
+  std::vector<double> power_caps = paper_power_caps();
+  /// Partition states used for the co-run (interference) fit.
+  std::vector<PartitionState> corun_states = paper_states();
+  /// Tiny ridge penalty guards near-collinear bases; the intercept column is
+  /// never penalized.
+  double ridge_lambda = 1e-8;
+  /// Fan measurement batches out over the shared thread pool.
+  bool parallel = true;
+};
+
+struct TrainingReport {
+  std::size_t profile_runs = 0;
+  std::size_t solo_runs = 0;
+  std::size_t corun_runs = 0;
+  double solo_fit_rmse = 0.0;   ///< aggregate over all scalability fits
+  double corun_fit_rmse = 0.0;  ///< aggregate over all interference fits
+};
+
+struct TrainedArtifacts {
+  prof::ProfileDb profiles;
+  PerfModel model;
+  TrainingReport report;
+};
+
+/// Run the full offline phase. `training_pairs` defaults in callers to the
+/// paper's Table 8 set; any pair list over registry benchmarks works.
+TrainedArtifacts train_offline(const gpusim::GpuChip& chip,
+                               const wl::WorkloadRegistry& registry,
+                               const std::vector<wl::CorunPair>& training_pairs,
+                               const TrainingConfig& config = {});
+
+}  // namespace migopt::core

@@ -1,0 +1,66 @@
+#include "gpusim/arch_config.hpp"
+
+#include "common/assert.hpp"
+
+namespace migopt::gpusim {
+
+int ArchConfig::modules_for_gpcs(int gpcs) const noexcept {
+  // A100 MIG memory-slice allocation per GPU-instance profile: 1g->1, 2g->2,
+  // 3g->4, 4g->4, 7g->8 (the paper's scalability setup, Section 3).
+  switch (gpcs) {
+    case 1: return 1;
+    case 2: return 2;
+    case 3: return 4;
+    case 4: return 4;
+    case 7: return memory_modules;
+    default: return 0;
+  }
+}
+
+bool ArchConfig::valid_gi_size(int gpcs) const noexcept {
+  return modules_for_gpcs(gpcs) > 0 && gpcs <= mig_usable_gpcs;
+}
+
+void ArchConfig::validate() const {
+  MIGOPT_REQUIRE(total_gpcs > 0, "total_gpcs must be positive");
+  MIGOPT_REQUIRE(mig_usable_gpcs > 0 && mig_usable_gpcs <= total_gpcs,
+                 "mig_usable_gpcs out of range");
+  MIGOPT_REQUIRE(sms_per_gpc > 0, "sms_per_gpc must be positive");
+  MIGOPT_REQUIRE(memory_modules > 0, "memory_modules must be positive");
+  MIGOPT_REQUIRE(max_clock_ghz > min_clock_ghz && min_clock_ghz > 0.0,
+                 "clock range invalid");
+  for (double rate : pipe_peak_per_gpc)
+    MIGOPT_REQUIRE(rate > 0.0, "pipe peak must be positive");
+  MIGOPT_REQUIRE(hbm_bandwidth_total > 0.0, "HBM bandwidth must be positive");
+  MIGOPT_REQUIRE(l2_bandwidth_total > 0.0, "L2 bandwidth must be positive");
+  MIGOPT_REQUIRE(l2_capacity_mb > 0.0, "L2 capacity must be positive");
+  MIGOPT_REQUIRE(per_gpc_bw_issue_fraction > 0.0 && per_gpc_bw_issue_fraction <= 1.0,
+                 "per-GPC issue fraction must be in (0,1]");
+  MIGOPT_REQUIRE(l2_interference_kappa >= 0.0 && l2_interference_kappa < 1.0,
+                 "interference kappa must be in [0,1)");
+  MIGOPT_REQUIRE(congestion_latency_scale >= 0.0, "negative congestion scale");
+  MIGOPT_REQUIRE(congestion_latency_exponent >= 1.0 && congestion_latency_exponent <= 4.0,
+                 "congestion exponent out of [1,4]");
+  MIGOPT_REQUIRE(congestion_latency_max >= 0.0 && congestion_latency_max <= 2.0,
+                 "congestion cap out of [0,2]");
+  MIGOPT_REQUIRE(small_partition_efficiency_boost >= 0.0 &&
+                     small_partition_efficiency_boost < 0.5,
+                 "partition efficiency boost out of [0,0.5)");
+  MIGOPT_REQUIRE(mps_compute_efficiency > 0.0 && mps_compute_efficiency <= 1.0,
+                 "MPS efficiency out of (0,1]");
+  MIGOPT_REQUIRE(tdp_watts > idle_power_watts, "TDP must exceed idle power");
+  MIGOPT_REQUIRE(min_power_cap_watts > idle_power_watts,
+                 "minimum cap must exceed idle power");
+  MIGOPT_REQUIRE(dynamic_power_exponent >= 1.0 && dynamic_power_exponent <= 3.0,
+                 "dynamic power exponent out of [1,3]");
+  for (double p : pipe_power_per_gpc)
+    MIGOPT_REQUIRE(p >= 0.0, "pipe power must be non-negative");
+}
+
+ArchConfig a100_sxm_like() {
+  ArchConfig config;  // defaults are the A100-like device
+  config.validate();
+  return config;
+}
+
+}  // namespace migopt::gpusim

@@ -1,0 +1,401 @@
+#include "gpusim/exec_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace migopt::gpusim {
+
+namespace {
+
+constexpr int kFixedPointIterations = 200;
+constexpr double kFixedPointTolerance = 1e-10;
+constexpr double kDamping = 0.5;
+constexpr int kBisectionIterations = 60;
+
+/// Proportional-share allocation of `pool` among demands with per-app caps:
+/// every app gets at most its demand; leftover capacity is redistributed
+/// proportionally among still-unsatisfied apps (water-filling).
+void water_fill(std::span<const double> demands, double pool,
+                std::span<double> grants) {
+  const std::size_t n = demands.size();
+  for (std::size_t i = 0; i < n; ++i) grants[i] = 0.0;
+  double remaining = pool;
+  for (int round = 0; round < 16; ++round) {
+    double unsatisfied_total = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      unsatisfied_total += std::max(0.0, demands[i] - grants[i]);
+    if (unsatisfied_total <= 0.0 || remaining <= pool * 1e-12) break;
+    double granted_this_round = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double need = std::max(0.0, demands[i] - grants[i]);
+      if (need <= 0.0) continue;
+      const double offer = remaining * (need / unsatisfied_total);
+      const double give = std::min(need, offer);
+      grants[i] += give;
+      granted_this_round += give;
+    }
+    remaining -= granted_this_round;
+    if (granted_this_round <= pool * 1e-12) break;
+  }
+}
+
+}  // namespace
+
+ExecEngine::ExecEngine(const ArchConfig& arch) : arch_(&arch) { arch.validate(); }
+
+void ExecEngine::validate_placements(std::span<const AppPlacement> apps) const {
+  MIGOPT_REQUIRE(!apps.empty(), "no applications placed");
+  std::map<int, int> domain_modules;
+  int total_gpcs = 0;
+  for (const auto& app : apps) {
+    MIGOPT_REQUIRE(app.kernel != nullptr, "null kernel in placement");
+    app.kernel->validate();
+    MIGOPT_REQUIRE(app.gpcs > 0, "placement needs >= 1 GPC");
+    MIGOPT_REQUIRE(app.domain_modules > 0 &&
+                       app.domain_modules <= arch_->memory_modules,
+                   "domain module count out of range");
+    const auto [it, inserted] = domain_modules.emplace(app.mem_domain, app.domain_modules);
+    MIGOPT_REQUIRE(it->second == app.domain_modules,
+                   "inconsistent module count within a memory domain");
+    total_gpcs += app.gpcs;
+  }
+  MIGOPT_REQUIRE(total_gpcs <= arch_->total_gpcs, "placements exceed die GPCs");
+  int module_sum = 0;
+  for (const auto& [domain, modules] : domain_modules) module_sum += modules;
+  MIGOPT_REQUIRE(module_sum <= arch_->memory_modules,
+                 "domain modules exceed chip modules");
+}
+
+RunResult ExecEngine::steady_state(std::span<const AppPlacement> apps,
+                                   std::span<const double> phi) const {
+  const std::size_t n = apps.size();
+  MIGOPT_REQUIRE(phi.size() == n, "per-app clock count mismatch");
+  const double bw_total = arch_->hbm_bandwidth_total;
+  const double l2_bw_total = arch_->l2_bandwidth_total;
+
+  // Clock/GPC-dependent, iteration-invariant quantities.
+  std::vector<double> t_comp(n, 0.0);
+  std::vector<std::array<double, kPipeCount>> t_pipe(n);
+  std::vector<double> bw_issue(n, 0.0);
+  std::vector<double> h_capacity(n, 0.0);  // hit rate after capacity pressure
+  for (std::size_t i = 0; i < n; ++i) {
+    const KernelDescriptor& k = *apps[i].kernel;
+    // Small partitions get proportionally more LLC and warp-scheduler
+    // headroom per SM; the boost shrinks linearly toward full-chip runs.
+    const double partition_eff =
+        1.0 + arch_->small_partition_efficiency_boost *
+                  (1.0 - static_cast<double>(apps[i].gpcs) /
+                             static_cast<double>(arch_->total_gpcs));
+    double worst = 0.0;
+    for (std::size_t p = 0; p < kPipeCount; ++p) {
+      const double ops = k.pipe_ops[p];
+      if (ops <= 0.0) {
+        t_pipe[i][p] = 0.0;
+        continue;
+      }
+      const double rate =
+          arch_->pipe_rate(static_cast<Pipe>(p), apps[i].gpcs, phi[i]) *
+          k.pipe_efficiency * partition_eff;
+      t_pipe[i][p] = ops / rate;
+      worst = std::max(worst, t_pipe[i][p]);
+    }
+    t_comp[i] = worst;
+    bw_issue[i] = static_cast<double>(apps[i].gpcs) * arch_->per_gpc_bw_issue_fraction *
+                  k.memory_parallelism * phi[i] * bw_total;
+
+    // Cache-capacity pressure: private partitions own a slice of the LLC; in
+    // shared domains co-runners compete by footprint.
+    double capacity_mb = arch_->l2_capacity_mb *
+                         static_cast<double>(apps[i].domain_modules) /
+                         static_cast<double>(arch_->memory_modules);
+    double footprint_others = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i && apps[j].mem_domain == apps[i].mem_domain)
+        footprint_others += apps[j].kernel->l2_footprint_mb;
+    const double fp = k.l2_footprint_mb;
+    if (footprint_others > 0.0 && fp > 0.0)
+      capacity_mb *= fp / (fp + footprint_others);
+    double factor = 1.0;
+    if (fp > capacity_mb && fp > 0.0)
+      factor = std::sqrt(capacity_mb / fp);  // sub-linear degradation
+    h_capacity[i] = k.l2_hit_rate * factor;
+  }
+
+  // Fixed point over runtimes, hit rates, latency inflation and bandwidth
+  // shares.
+  std::vector<double> t(n, 0.0);
+  std::vector<double> h_eff = h_capacity;
+  std::vector<double> l2_util(n, 0.0);
+  std::vector<double> dram_util(n, 0.0);
+  std::vector<double> dram_grant(n, 0.0);
+  std::vector<double> lat_eff(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    lat_eff[i] = apps[i].kernel->latency_seconds;
+    t[i] = std::max({t_comp[i], lat_eff[i], 1e-15});
+  }
+
+  // Group apps by memory domain once.
+  std::map<int, std::vector<std::size_t>> domains;
+  for (std::size_t i = 0; i < n; ++i) domains[apps[i].mem_domain].push_back(i);
+
+  std::vector<double> dram_bytes(n, 0.0);
+  std::vector<double> t_mem(n, 0.0);
+  for (int iter = 0; iter < kFixedPointIterations; ++iter) {
+    for (std::size_t i = 0; i < n; ++i)
+      dram_bytes[i] = apps[i].kernel->dram_bytes(h_eff[i]);
+
+    // Per-domain bandwidth allocation (DRAM and LLC pools).
+    for (const auto& [domain, members] : domains) {
+      const double module_frac =
+          static_cast<double>(apps[members.front()].domain_modules) /
+          static_cast<double>(arch_->memory_modules);
+      const double dram_pool = bw_total * module_frac;
+      const double l2_pool = l2_bw_total * module_frac;
+
+      std::vector<double> want_dram(members.size(), 0.0);
+      std::vector<double> want_l2(members.size(), 0.0);
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        const std::size_t i = members[m];
+        const double t_nomem = std::max({t_comp[i], lat_eff[i], 1e-15});
+        want_dram[m] = std::min(dram_bytes[i] / t_nomem, bw_issue[i]);
+        want_l2[m] = apps[i].kernel->l2_bytes / t_nomem;
+      }
+      std::vector<double> grant_dram(members.size(), 0.0);
+      std::vector<double> grant_l2(members.size(), 0.0);
+      water_fill(want_dram, dram_pool, grant_dram);
+      water_fill(want_l2, l2_pool, grant_l2);
+
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        const std::size_t i = members[m];
+        dram_grant[i] = grant_dram[m];
+        double tm = 0.0;
+        if (dram_bytes[i] > 0.0 && grant_dram[m] > 0.0)
+          tm = dram_bytes[i] / grant_dram[m];
+        else if (dram_bytes[i] > 0.0)
+          tm = dram_bytes[i] / (bw_total * 1e-9);  // starved: pathological
+        double tl2 = 0.0;
+        if (apps[i].kernel->l2_bytes > 0.0 && grant_l2[m] > 0.0)
+          tl2 = apps[i].kernel->l2_bytes / grant_l2[m];
+        t_mem[i] = std::max(tm, tl2);
+      }
+    }
+
+    double worst_change = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t_new = std::max({t_comp[i], lat_eff[i], t_mem[i], 1e-15});
+      const double t_next = kDamping * t[i] + (1.0 - kDamping) * t_new;
+      worst_change = std::max(worst_change, std::abs(t_next - t[i]) / t[i]);
+      t[i] = t_next;
+      l2_util[i] = (apps[i].kernel->l2_bytes / t[i]) / l2_bw_total;
+      dram_util[i] = (dram_bytes[i] / t[i]) / bw_total;
+    }
+
+    // Interference within shared memory domains (private domains have a
+    // single member and are untouched — the paper's Figure 2 isolation):
+    //  * bandwidth pressure from co-runners thrashes the LLC, lowering the
+    //    effective hit rate;
+    //  * memory-system congestion inflates the latency floor of
+    //    latency-sensitive kernels (queueing on shared LLC/HBM paths).
+    for (const auto& [domain, members] : domains) {
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        const std::size_t i = members[m];
+        double pressure = 0.0;
+        double congestion = 0.0;
+        for (std::size_t mm = 0; mm < members.size(); ++mm) {
+          if (mm == m) continue;
+          pressure += l2_util[members[mm]];
+          congestion += l2_util[members[mm]] + dram_util[members[mm]];
+        }
+        pressure = std::min(1.0, pressure);
+        congestion = std::min(1.0, congestion);
+        h_eff[i] = h_capacity[i] * (1.0 - arch_->l2_interference_kappa * pressure);
+        const double queueing = std::min(
+            arch_->congestion_latency_max,
+            arch_->congestion_latency_scale *
+                std::pow(congestion, arch_->congestion_latency_exponent));
+        lat_eff[i] = apps[i].kernel->latency_seconds *
+                     (1.0 + apps[i].kernel->latency_sensitivity * queueing);
+      }
+    }
+
+    if (worst_change < kFixedPointTolerance && iter > 4) break;
+  }
+
+  // Assemble results.
+  RunResult result;
+  result.clock_ratio = *std::min_element(phi.begin(), phi.end());
+  result.apps.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    AppResult& r = result.apps[i];
+    r.clock_ratio = phi[i];
+    r.seconds_per_wu = t[i];
+    for (std::size_t p = 0; p < kPipeCount; ++p)
+      r.pipe_util[p] = t_pipe[i][p] > 0.0 ? std::min(1.0, t_pipe[i][p] / t[i]) : 0.0;
+    r.l2_util_chip = std::min(1.0, l2_util[i]);
+    r.effective_l2_hit = h_eff[i];
+    r.achieved_dram_bw = dram_bytes[i] / t[i];
+    r.dram_util_chip = std::min(1.0, r.achieved_dram_bw / bw_total);
+    const double module_frac = static_cast<double>(apps[i].domain_modules) /
+                               static_cast<double>(arch_->memory_modules);
+    const double avail = std::min(bw_total * module_frac, bw_issue[i]);
+    r.dram_util_avail = avail > 0.0 ? std::min(1.0, r.achieved_dram_bw / avail) : 0.0;
+
+    const double lat = lat_eff[i];
+    if (t_comp[i] >= t_mem[i] && t_comp[i] >= lat)
+      r.bound = AppResult::Bound::Compute;
+    else if (t_mem[i] >= lat)
+      r.bound = AppResult::Bound::Memory;
+    else
+      r.bound = AppResult::Bound::Latency;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    result.apps[i].instance_power_watts = app_power_of(apps, result, i);
+  result.power_watts = power_of(apps, result);
+  return result;
+}
+
+double ExecEngine::app_power_of(std::span<const AppPlacement> apps,
+                                const RunResult& state, std::size_t i) const {
+  const double phi_e =
+      std::pow(state.apps[i].clock_ratio, arch_->dynamic_power_exponent);
+  const double gpcs = static_cast<double>(apps[i].gpcs);
+  double gpc_dynamic = arch_->gpc_base_power_watts;
+  for (std::size_t p = 0; p < kPipeCount; ++p)
+    gpc_dynamic += state.apps[i].pipe_util[p] * arch_->pipe_power_per_gpc[p];
+  return gpcs * gpc_dynamic * phi_e +
+         state.apps[i].dram_util_chip * arch_->hbm_power_max_watts +
+         state.apps[i].l2_util_chip * arch_->l2_power_max_watts;
+}
+
+double ExecEngine::power_of(std::span<const AppPlacement> apps,
+                            const RunResult& state) const {
+  MIGOPT_REQUIRE(apps.size() == state.apps.size(), "state/placement mismatch");
+  double power = arch_->idle_power_watts;
+  double dram_util_sum = 0.0;
+  double l2_util_sum = 0.0;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const double phi_e =
+        std::pow(state.apps[i].clock_ratio, arch_->dynamic_power_exponent);
+    const double gpcs = static_cast<double>(apps[i].gpcs);
+    double gpc_dynamic = arch_->gpc_base_power_watts;
+    for (std::size_t p = 0; p < kPipeCount; ++p)
+      gpc_dynamic += state.apps[i].pipe_util[p] * arch_->pipe_power_per_gpc[p];
+    power += gpcs * gpc_dynamic * phi_e;
+    dram_util_sum += state.apps[i].dram_util_chip;
+    l2_util_sum += state.apps[i].l2_util_chip;
+  }
+  power += std::min(1.0, dram_util_sum) * arch_->hbm_power_max_watts;
+  power += std::min(1.0, l2_util_sum) * arch_->l2_power_max_watts;
+  return power;
+}
+
+RunResult ExecEngine::run_at_clock(std::span<const AppPlacement> apps, double phi) const {
+  validate_placements(apps);
+  MIGOPT_REQUIRE(phi > 0.0 && phi <= 1.0, "clock ratio must be in (0,1]");
+  const std::vector<double> uniform(apps.size(), phi);
+  return steady_state(apps, uniform);
+}
+
+RunResult ExecEngine::run_at_clocks(std::span<const AppPlacement> apps,
+                                    std::span<const double> phi) const {
+  validate_placements(apps);
+  MIGOPT_REQUIRE(phi.size() == apps.size(), "per-app clock count mismatch");
+  for (const double p : phi)
+    MIGOPT_REQUIRE(p > 0.0 && p <= 1.0, "clock ratio must be in (0,1]");
+  return steady_state(apps, phi);
+}
+
+RunResult ExecEngine::run(std::span<const AppPlacement> apps,
+                          double power_cap_watts) const {
+  validate_placements(apps);
+  MIGOPT_REQUIRE(power_cap_watts > arch_->idle_power_watts,
+                 "power cap below idle power");
+
+  const double phi_min = arch_->min_clock_ghz / arch_->max_clock_ghz;
+  const auto uniform = [&apps](double phi) {
+    return std::vector<double>(apps.size(), phi);
+  };
+
+  RunResult at_max = steady_state(apps, uniform(1.0));
+  if (at_max.power_watts <= power_cap_watts) return at_max;
+
+  // Power is monotone increasing in clock; bisect for the highest clock that
+  // honours the cap. If even the minimum clock exceeds the cap (cannot happen
+  // for caps >= ArchConfig::min_power_cap_watts), run at minimum clock — this
+  // mirrors real hardware, which cannot power off the board.
+  RunResult at_min = steady_state(apps, uniform(phi_min));
+  if (at_min.power_watts > power_cap_watts) return at_min;
+
+  double lo = phi_min;  // feasible
+  double hi = 1.0;      // infeasible
+  RunResult best = at_min;
+  for (int iter = 0; iter < kBisectionIterations; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    RunResult state = steady_state(apps, uniform(mid));
+    if (state.power_watts <= power_cap_watts) {
+      lo = mid;
+      best = std::move(state);
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-6) break;
+  }
+  return best;
+}
+
+RunResult ExecEngine::run_instance_caps(
+    std::span<const AppPlacement> apps,
+    std::span<const double> instance_caps_watts) const {
+  validate_placements(apps);
+  const std::size_t n = apps.size();
+  MIGOPT_REQUIRE(instance_caps_watts.size() == n,
+                 "one power budget per instance required");
+  for (const double cap : instance_caps_watts)
+    MIGOPT_REQUIRE(cap > 0.0, "instance power budget must be positive");
+
+  const double phi_min = arch_->min_clock_ghz / arch_->max_clock_ghz;
+  std::vector<double> phi(n, 1.0);
+
+  // Instance power is monotone in the instance's own clock; the coupling to
+  // other domains (bandwidth shares shifting) is weak, so coordinate descent
+  // with per-domain bisection converges in a few rounds.
+  constexpr int kRounds = 6;
+  constexpr int kDomainBisection = 30;
+  for (int round = 0; round < kRounds; ++round) {
+    double worst_change = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double before = phi[i];
+      phi[i] = 1.0;
+      RunResult state = steady_state(apps, phi);
+      if (state.apps[i].instance_power_watts > instance_caps_watts[i]) {
+        phi[i] = phi_min;
+        state = steady_state(apps, phi);
+        if (state.apps[i].instance_power_watts <= instance_caps_watts[i]) {
+          double lo = phi_min;  // feasible
+          double hi = 1.0;      // infeasible
+          for (int iter = 0; iter < kDomainBisection; ++iter) {
+            const double mid = 0.5 * (lo + hi);
+            phi[i] = mid;
+            state = steady_state(apps, phi);
+            if (state.apps[i].instance_power_watts <= instance_caps_watts[i])
+              lo = mid;
+            else
+              hi = mid;
+            if (hi - lo < 1e-5) break;
+          }
+          phi[i] = lo;
+        }
+        // else: even the minimum clock exceeds the budget; run at minimum
+        // (the board cannot power an instance off), mirroring run().
+      }
+      worst_change = std::max(worst_change, std::abs(phi[i] - before));
+    }
+    if (worst_change < 1e-4) break;
+  }
+  return steady_state(apps, phi);
+}
+
+}  // namespace migopt::gpusim

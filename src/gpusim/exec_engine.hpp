@@ -1,0 +1,107 @@
+// Analytical execution engine.
+//
+// Given one or more application placements (kernel demands + GPC count +
+// memory domain) and a chip power cap, the engine solves for the steady
+// state: per-app runtime per work unit, pipe/memory utilizations, the
+// chip-global clock the DVFS governor settles at under the cap, and total
+// board power.
+//
+// Model summary (see DESIGN.md Section 6):
+//   t_i = max( t_pipe_i[p] for all pipes, t_l2_i, t_dram_i, t_lat_i )
+// with pipe times inversely proportional to (gpcs * clock), DRAM/L2 times
+// determined by a proportional-share ("water-filling") allocation of each
+// memory domain's bandwidth pool among its apps, per-GPC issue limits that
+// scale with clock, hit rates degraded by cache-capacity pressure and
+// co-runner interference, and total power monotone in clock so the cap can
+// be honoured by bisection on the clock ratio.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "gpusim/arch_config.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace migopt::gpusim {
+
+/// One application's placement for an engine run. Apps sharing `mem_domain`
+/// contend for the same LLC/HBM pool (the MIG "shared" option); distinct
+/// domains are fully isolated (the "private" option).
+struct AppPlacement {
+  const KernelDescriptor* kernel = nullptr;
+  int gpcs = 0;
+  int mem_domain = 0;
+  int domain_modules = 0;  ///< LLC/HBM modules owned by `mem_domain`
+};
+
+/// Per-app steady-state outcome.
+struct AppResult {
+  double seconds_per_wu = 0.0;
+  std::array<double, kPipeCount> pipe_util = {0, 0, 0, 0, 0, 0};
+  double l2_util_chip = 0.0;    ///< LLC traffic / total chip LLC bandwidth
+  double dram_util_chip = 0.0;  ///< DRAM traffic / total chip HBM bandwidth
+  double dram_util_avail = 0.0; ///< DRAM traffic / bandwidth available to app
+  double effective_l2_hit = 0.0;
+  double achieved_dram_bw = 0.0;  ///< bytes/s
+  double clock_ratio = 1.0;       ///< this app's clock domain (phi_i)
+  /// Dynamic power attributed to this app: its GPCs' compute power plus its
+  /// LLC/HBM bandwidth shares. Board idle power is not attributed.
+  double instance_power_watts = 0.0;
+  /// Dominant bottleneck classification for diagnostics.
+  enum class Bound { Compute, Memory, Latency } bound = Bound::Latency;
+};
+
+/// Whole-run outcome.
+struct RunResult {
+  std::vector<AppResult> apps;
+  /// Chip clock ratio. With per-instance clock domains (run_instance_caps /
+  /// run_at_clocks) this is the minimum across apps; per-app values live in
+  /// AppResult::clock_ratio.
+  double clock_ratio = 1.0;
+  double power_watts = 0.0;  ///< board power at the steady state
+};
+
+class ExecEngine {
+ public:
+  explicit ExecEngine(const ArchConfig& arch);
+
+  const ArchConfig& arch() const noexcept { return *arch_; }
+
+  /// Solve the steady state under `power_cap_watts`. Placement list must be
+  /// non-empty; every kernel pointer valid; GPC counts positive; modules
+  /// consistent per domain.
+  RunResult run(std::span<const AppPlacement> apps, double power_cap_watts) const;
+
+  /// Steady state at a fixed clock ratio (no cap governor). Exposed for
+  /// tests and for power-model inspection.
+  RunResult run_at_clock(std::span<const AppPlacement> apps, double phi) const;
+
+  /// Steady state with one clock domain per app (the paper's Section 6
+  /// "finer-grained power capping" direction presumes per-instance DVFS).
+  RunResult run_at_clocks(std::span<const AppPlacement> apps,
+                          std::span<const double> phi) const;
+
+  /// Solve per-app clock domains so every instance honours its own power
+  /// budget (coordinate descent, bisecting one domain at a time). Budgets
+  /// cover the instance's attributed dynamic power (AppResult::
+  /// instance_power_watts); board idle power is outside the budgets.
+  RunResult run_instance_caps(std::span<const AppPlacement> apps,
+                              std::span<const double> instance_caps_watts) const;
+
+  /// Board power of a solved state (idle + compute + LLC + HBM).
+  double power_of(std::span<const AppPlacement> apps, const RunResult& state) const;
+
+ private:
+  void validate_placements(std::span<const AppPlacement> apps) const;
+  RunResult steady_state(std::span<const AppPlacement> apps,
+                         std::span<const double> phi) const;
+  /// Dynamic power attributed to app `i` of a solved state (no idle share,
+  /// no saturation clamp — suitable for per-instance budgeting).
+  double app_power_of(std::span<const AppPlacement> apps, const RunResult& state,
+                      std::size_t i) const;
+
+  const ArchConfig* arch_;
+};
+
+}  // namespace migopt::gpusim

@@ -1,0 +1,167 @@
+#include "gpusim/gpu.hpp"
+
+#include <array>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace migopt::gpusim {
+
+GpuChip::GpuChip(ArchConfig arch)
+    : arch_(arch), mig_(arch_), engine_(arch_), power_limit_watts_(arch_.tdp_watts) {
+  // Note: mig_ and engine_ keep references to arch_; GpuChip is neither
+  // copyable nor movable implicitly because of the mutex member, which keeps
+  // those references stable.
+  arch_.validate();
+}
+
+void GpuChip::set_power_limit_watts(double watts) {
+  MIGOPT_REQUIRE(watts >= arch_.min_power_cap_watts && watts <= arch_.tdp_watts,
+                 "power limit outside the supported range");
+  power_limit_watts_ = watts;
+}
+
+RunResult GpuChip::run_on_instances(std::span<const InstanceLaunch> launches) const {
+  MIGOPT_REQUIRE(!launches.empty(), "no launches");
+  std::vector<AppPlacement> placements;
+  placements.reserve(launches.size());
+  for (const auto& launch : launches) {
+    MIGOPT_REQUIRE(launch.kernel != nullptr, "null kernel in launch");
+    const ComputeInstance& ci = mig_.compute_instance(launch.ci);
+    const GpuInstance& gi = mig_.gpu_instance(ci.gi);
+    AppPlacement placement;
+    placement.kernel = launch.kernel;
+    placement.gpcs = ci.gpc_slices;
+    placement.mem_domain = gi.id;
+    placement.domain_modules = gi.mem_modules;
+    placements.push_back(placement);
+  }
+  return engine_.run(placements, power_limit_watts_);
+}
+
+RunResult GpuChip::run_full_chip(const KernelDescriptor& kernel,
+                                 double power_cap_watts) const {
+  AppPlacement placement;
+  placement.kernel = &kernel;
+  placement.gpcs = arch_.total_gpcs;
+  placement.mem_domain = 0;
+  placement.domain_modules = arch_.memory_modules;
+  return engine_.run({&placement, 1}, power_cap_watts);
+}
+
+RunResult GpuChip::run_solo(const KernelDescriptor& kernel, int gpcs, MemOption option,
+                            double power_cap_watts) const {
+  MIGOPT_REQUIRE(arch_.valid_gi_size(gpcs),
+                 "invalid MIG size for solo run (valid: 1,2,3,4,7)");
+  AppPlacement placement;
+  placement.kernel = &kernel;
+  placement.gpcs = gpcs;
+  placement.mem_domain = 0;
+  placement.domain_modules = option == MemOption::Private
+                                 ? arch_.modules_for_gpcs(gpcs)
+                                 : arch_.memory_modules;
+  return engine_.run({&placement, 1}, power_cap_watts);
+}
+
+RunResult GpuChip::run_pair(const KernelDescriptor& app1, int gpcs1,
+                            const KernelDescriptor& app2, int gpcs2, MemOption option,
+                            double power_cap_watts) const {
+  const std::array<GroupMember, 2> members = {GroupMember{&app1, gpcs1},
+                                              GroupMember{&app2, gpcs2}};
+  return run_group(members, option, power_cap_watts);
+}
+
+std::vector<AppPlacement> GpuChip::group_placements(
+    std::span<const GroupMember> members, MemOption option) const {
+  MIGOPT_REQUIRE(!members.empty(), "empty co-location group");
+  int total_gpcs = 0;
+  for (const GroupMember& member : members) {
+    MIGOPT_REQUIRE(member.kernel != nullptr, "null kernel in group");
+    total_gpcs += member.gpcs;
+  }
+  MIGOPT_REQUIRE(total_gpcs <= arch_.mig_usable_gpcs,
+                 "group exceeds usable GPCs under MIG");
+
+  std::vector<AppPlacement> placements(members.size());
+  int module_sum = 0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    placements[i].kernel = members[i].kernel;
+    placements[i].gpcs = members[i].gpcs;
+    if (option == MemOption::Private) {
+      MIGOPT_REQUIRE(arch_.valid_gi_size(members[i].gpcs),
+                     "invalid private GI size in group");
+      placements[i].mem_domain = static_cast<int>(i);
+      placements[i].domain_modules = arch_.modules_for_gpcs(members[i].gpcs);
+      module_sum += placements[i].domain_modules;
+    } else {
+      placements[i].mem_domain = 0;
+      placements[i].domain_modules = arch_.memory_modules;
+    }
+  }
+  if (option == MemOption::Private)
+    MIGOPT_REQUIRE(module_sum <= arch_.memory_modules,
+                   "private group exceeds memory modules");
+  return placements;
+}
+
+RunResult GpuChip::run_group(std::span<const GroupMember> members, MemOption option,
+                             double power_cap_watts) const {
+  return engine_.run(group_placements(members, option), power_cap_watts);
+}
+
+RunResult GpuChip::run_group_instance_caps(
+    std::span<const GroupMember> members, MemOption option,
+    std::span<const double> instance_caps_watts) const {
+  return engine_.run_instance_caps(group_placements(members, option),
+                                   instance_caps_watts);
+}
+
+RunResult GpuChip::run_mps(std::span<const GroupMember> members,
+                           double power_cap_watts) const {
+  MIGOPT_REQUIRE(!members.empty(), "empty MPS group");
+  int total_gpcs = 0;
+  for (const GroupMember& member : members) {
+    MIGOPT_REQUIRE(member.kernel != nullptr, "null kernel in MPS group");
+    MIGOPT_REQUIRE(member.gpcs > 0, "MPS share must be at least one GPC unit");
+    total_gpcs += member.gpcs;
+  }
+  MIGOPT_REQUIRE(total_gpcs <= arch_.total_gpcs,
+                 "MPS shares exceed the die's GPCs");
+
+  // MPS interleaves contexts on shared SMs: copy each kernel with the
+  // efficiency penalty applied, and give every process the whole memory
+  // system (no isolation of LLC/HBM under MPS).
+  std::vector<KernelDescriptor> penalized(members.size());
+  std::vector<AppPlacement> placements(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    penalized[i] = *members[i].kernel;
+    penalized[i].pipe_efficiency *= arch_.mps_compute_efficiency;
+    placements[i].kernel = &penalized[i];
+    placements[i].gpcs = members[i].gpcs;
+    placements[i].mem_domain = 0;
+    placements[i].domain_modules = arch_.memory_modules;
+  }
+  return engine_.run(placements, power_cap_watts);
+}
+
+double GpuChip::baseline_seconds(const KernelDescriptor& kernel) const {
+  {
+    std::lock_guard<std::mutex> lock(baseline_mutex_);
+    const auto it = baseline_cache_.find(kernel.name);
+    if (it != baseline_cache_.end()) return it->second;
+  }
+  const RunResult result = run_full_chip(kernel, arch_.tdp_watts);
+  const double seconds = result.apps.front().seconds_per_wu;
+  std::lock_guard<std::mutex> lock(baseline_mutex_);
+  baseline_cache_.emplace(kernel.name, seconds);
+  return seconds;
+}
+
+double GpuChip::relative_performance(const KernelDescriptor& kernel,
+                                     const AppResult& result) const {
+  const double base = baseline_seconds(kernel);
+  MIGOPT_ENSURE(result.seconds_per_wu > 0.0, "non-positive runtime");
+  return base / result.seconds_per_wu;
+}
+
+}  // namespace migopt::gpusim

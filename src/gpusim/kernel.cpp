@@ -1,0 +1,32 @@
+#include "gpusim/kernel.hpp"
+
+#include "common/assert.hpp"
+
+namespace migopt::gpusim {
+
+void KernelDescriptor::validate() const {
+  MIGOPT_REQUIRE(!name.empty(), "kernel needs a name");
+  double total_ops = 0.0;
+  for (double o : pipe_ops) {
+    MIGOPT_REQUIRE(o >= 0.0, "negative pipe ops in kernel " + name);
+    total_ops += o;
+  }
+  MIGOPT_REQUIRE(total_ops > 0.0 || l2_bytes > 0.0 || latency_seconds > 0.0,
+                 "kernel " + name + " demands nothing");
+  MIGOPT_REQUIRE(l2_bytes >= 0.0, "negative l2 bytes in " + name);
+  MIGOPT_REQUIRE(l2_hit_rate >= 0.0 && l2_hit_rate <= 1.0,
+                 "l2 hit rate out of [0,1] in " + name);
+  MIGOPT_REQUIRE(l2_footprint_mb >= 0.0, "negative l2 footprint in " + name);
+  MIGOPT_REQUIRE(latency_seconds >= 0.0, "negative latency in " + name);
+  MIGOPT_REQUIRE(latency_sensitivity >= 0.0 && latency_sensitivity <= 2.0,
+                 "latency sensitivity out of [0,2] in " + name);
+  MIGOPT_REQUIRE(memory_parallelism > 0.0 && memory_parallelism <= 1.0,
+                 "memory parallelism out of (0,1] in " + name);
+  MIGOPT_REQUIRE(pipe_efficiency > 0.0 && pipe_efficiency <= 1.0,
+                 "pipe efficiency out of (0,1] in " + name);
+  MIGOPT_REQUIRE(occupancy > 0.0 && occupancy <= 1.0,
+                 "occupancy out of (0,1] in " + name);
+  MIGOPT_REQUIRE(total_work_units > 0.0, "non-positive work units in " + name);
+}
+
+}  // namespace migopt::gpusim

@@ -1,0 +1,80 @@
+// Kernel demand descriptors.
+//
+// A KernelDescriptor captures what one "work unit" of a GPU kernel demands
+// from the machine: operations per compute pipe, LLC traffic and hit rate,
+// a clock/GPC-invariant latency floor (host interaction, kernel-launch
+// chains, serial phases — what makes the paper's "Un-Scalable" class flat),
+// and memory-parallelism limits. The execution engine turns these demands
+// plus a hardware state (GPC count, memory option, clock, co-runners) into
+// runtimes, utilizations, and power.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "gpusim/arch_config.hpp"
+
+namespace migopt::gpusim {
+
+struct KernelDescriptor {
+  std::string name;
+
+  /// Operations per work unit issued to each compute pipe (FLOP or OP).
+  std::array<double, kPipeCount> pipe_ops = {0, 0, 0, 0, 0, 0};
+
+  /// Bytes requested from the LLC per work unit (reads+writes).
+  double l2_bytes = 0.0;
+
+  /// Baseline LLC hit rate in [0,1] when the kernel runs alone with the full
+  /// cache. Misses go to DRAM.
+  double l2_hit_rate = 0.0;
+
+  /// Resident LLC footprint in MB; drives hit-rate loss when the cache is
+  /// shared with a co-runner or shrunk by private partitioning.
+  double l2_footprint_mb = 0.0;
+
+  /// Seconds per work unit that do not scale with GPCs or clock (kernel
+  /// launch latency, host synchronization, serial dependencies).
+  double latency_seconds = 0.0;
+
+  /// How strongly the latency floor inflates under memory-system congestion
+  /// from co-runners in the same memory domain (queueing delay on shared
+  /// LLC/HBM). 0 = immune. Private partitions never see this interference —
+  /// the mechanism behind the paper's "private completely mitigates the
+  /// interference" observation for CI-US pairs.
+  double latency_sensitivity = 0.0;
+
+  /// Fraction of the theoretical per-GPC HBM issue capability this kernel
+  /// achieves (irregular/latency-bound access patterns achieve less than 1).
+  double memory_parallelism = 1.0;
+
+  /// Fraction of peak pipe throughput the kernel sustains when compute-bound
+  /// (tiling/occupancy efficiency).
+  double pipe_efficiency = 1.0;
+
+  /// Achieved SM occupancy in [0,1]; reported as counter F5.
+  double occupancy = 0.5;
+
+  /// Work units in a full job execution (used by job-level simulation).
+  double total_work_units = 1.0e4;
+
+  double ops(Pipe pipe) const noexcept {
+    return pipe_ops[static_cast<std::size_t>(pipe)];
+  }
+  double& ops(Pipe pipe) noexcept { return pipe_ops[static_cast<std::size_t>(pipe)]; }
+
+  /// DRAM bytes per work unit at a given effective hit rate.
+  double dram_bytes(double effective_hit_rate) const noexcept {
+    return l2_bytes * (1.0 - effective_hit_rate);
+  }
+
+  bool uses_tensor_cores() const noexcept {
+    return ops(Pipe::TensorMixed) > 0.0 || ops(Pipe::TensorDouble) > 0.0 ||
+           ops(Pipe::TensorInteger) > 0.0;
+  }
+
+  /// Contract-check all fields; throws ContractViolation on nonsense.
+  void validate() const;
+};
+
+}  // namespace migopt::gpusim

@@ -1,0 +1,296 @@
+#include "gpusim/mig.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace migopt::gpusim {
+
+const char* to_string(MemOption option) noexcept {
+  return option == MemOption::Private ? "private" : "shared";
+}
+
+namespace {
+
+/// Allowed start slices per GI size, patterned after A100 placement rules
+/// (large profiles anchor to fixed offsets; 1g can start anywhere).
+std::vector<int> allowed_starts(int slices, int total) {
+  switch (slices) {
+    case 1: {
+      std::vector<int> out;
+      for (int s = 0; s < total; ++s) out.push_back(s);
+      return out;
+    }
+    case 2: return {0, 2, 4};
+    case 3: return {0, 4};
+    case 4: return {0};
+    case 7: return {0};
+    default: return {};
+  }
+}
+
+}  // namespace
+
+MigManager::MigManager(const ArchConfig& arch) : arch_(&arch) {
+  arch.validate();
+}
+
+void MigManager::enable_mig() {
+  if (enabled_) return;
+  MIGOPT_REQUIRE(gis_.empty() && cis_.empty(), "instances exist before enable");
+  enabled_ = true;
+}
+
+void MigManager::disable_mig() {
+  if (!enabled_) return;
+  if (!gis_.empty() || !cis_.empty())
+    throw MigError("cannot disable MIG while instances exist");
+  enabled_ = false;
+}
+
+int MigManager::total_compute_slices() const noexcept {
+  return enabled_ ? arch_->mig_usable_gpcs : 0;
+}
+
+int MigManager::free_compute_slices() const noexcept {
+  int used = 0;
+  for (const auto& [id, gi] : gis_) used += gi.gpc_slices;
+  return total_compute_slices() - used;
+}
+
+int MigManager::free_memory_modules() const noexcept {
+  int used = 0;
+  for (const auto& [id, gi] : gis_) used += gi.mem_modules;
+  return (enabled_ ? arch_->memory_modules : 0) - used;
+}
+
+bool MigManager::fits(int start, int slices) const noexcept {
+  if (start + slices > total_compute_slices()) return false;
+  for (const auto& [id, gi] : gis_) {
+    const int gi_end = gi.start_slice + gi.gpc_slices;
+    const int end = start + slices;
+    if (start < gi_end && gi.start_slice < end) return false;  // overlap
+  }
+  return true;
+}
+
+std::vector<int> MigManager::allowed_start_slices(int gpc_slices) const {
+  return allowed_starts(gpc_slices, total_compute_slices());
+}
+
+GiId MigManager::create_gpu_instance(int gpc_slices,
+                                     std::optional<int> start_slice) {
+  if (!enabled_) throw MigError("MIG is not enabled");
+  if (!arch_->valid_gi_size(gpc_slices))
+    throw MigError("unsupported GPU-instance size: " + std::to_string(gpc_slices) +
+                   " GPCs (valid: 1,2,3,4,7)");
+  const int modules = arch_->modules_for_gpcs(gpc_slices);
+  if (modules > free_memory_modules())
+    throw MigError("not enough free LLC/HBM modules for a " +
+                   std::to_string(gpc_slices) + "g instance");
+
+  const std::vector<int> starts = allowed_starts(gpc_slices, total_compute_slices());
+  for (int start : starts) {
+    if (start_slice.has_value() && start != *start_slice) continue;
+    if (!fits(start, gpc_slices)) continue;
+    GpuInstance gi;
+    gi.id = next_gi_++;
+    gi.start_slice = start;
+    gi.gpc_slices = gpc_slices;
+    gi.mem_modules = modules;
+    gis_.emplace(gi.id, gi);
+    return gi.id;
+  }
+  if (start_slice.has_value() &&
+      std::find(starts.begin(), starts.end(), *start_slice) == starts.end())
+    throw MigError("slice " + std::to_string(*start_slice) +
+                   " is not an allowed start for a " +
+                   std::to_string(gpc_slices) + "g instance");
+  throw MigError("no placement available for a " + std::to_string(gpc_slices) +
+                 "g instance");
+}
+
+void MigManager::destroy_gpu_instance(GiId id) {
+  const auto it = gis_.find(id);
+  if (it == gis_.end()) throw MigError("unknown GPU instance id");
+  for (const auto& [cid, ci] : cis_)
+    if (ci.gi == id)
+      throw MigError("GPU instance still has compute instances");
+  gis_.erase(it);
+}
+
+CiId MigManager::create_compute_instance(GiId gi_id, int gpc_slices) {
+  const auto it = gis_.find(gi_id);
+  if (it == gis_.end()) throw MigError("unknown GPU instance id");
+  if (gpc_slices <= 0) throw MigError("compute instance needs >= 1 GPC");
+  if (gpc_slices > free_ci_slices(gi_id))
+    throw MigError("not enough free slices in the GPU instance");
+
+  ComputeInstance ci;
+  ci.id = next_ci_++;
+  ci.gi = gi_id;
+  ci.gpc_slices = gpc_slices;
+  ci.uuid = next_uuid();
+  cis_.emplace(ci.id, ci);
+  return ci.id;
+}
+
+void MigManager::destroy_compute_instance(CiId id) {
+  if (cis_.erase(id) == 0) throw MigError("unknown compute instance id");
+}
+
+const GpuInstance& MigManager::gpu_instance(GiId id) const {
+  const auto it = gis_.find(id);
+  if (it == gis_.end()) throw MigError("unknown GPU instance id");
+  return it->second;
+}
+
+const ComputeInstance& MigManager::compute_instance(CiId id) const {
+  const auto it = cis_.find(id);
+  if (it == cis_.end()) throw MigError("unknown compute instance id");
+  return it->second;
+}
+
+std::optional<CiId> MigManager::find_ci_by_uuid(const std::string& uuid) const {
+  for (const auto& [id, ci] : cis_)
+    if (ci.uuid == uuid) return id;
+  return std::nullopt;
+}
+
+std::vector<GpuInstance> MigManager::list_gpu_instances() const {
+  std::vector<GpuInstance> out;
+  out.reserve(gis_.size());
+  for (const auto& [id, gi] : gis_) out.push_back(gi);
+  return out;
+}
+
+std::vector<ComputeInstance> MigManager::list_compute_instances() const {
+  std::vector<ComputeInstance> out;
+  out.reserve(cis_.size());
+  for (const auto& [id, ci] : cis_) out.push_back(ci);
+  return out;
+}
+
+std::vector<ComputeInstance> MigManager::list_compute_instances(GiId gi) const {
+  std::vector<ComputeInstance> out;
+  for (const auto& [id, ci] : cis_)
+    if (ci.gi == gi) out.push_back(ci);
+  return out;
+}
+
+int MigManager::free_ci_slices(GiId gi_id) const {
+  const GpuInstance& gi = gpu_instance(gi_id);
+  int used = 0;
+  for (const auto& [id, ci] : cis_)
+    if (ci.gi == gi_id) used += ci.gpc_slices;
+  return gi.gpc_slices - used;
+}
+
+void MigManager::clear() {
+  cis_.clear();
+  gis_.clear();
+}
+
+std::string MigManager::next_uuid() {
+  // Deterministic UUID-shaped string so logs and tests are stable.
+  char buffer[64];
+  const unsigned long long n = ++uuid_counter_;
+  std::snprintf(buffer, sizeof(buffer), "MIG-%08llx-a100-sim-%012llx",
+                0xd1a60000ULL + n, n * 0x9e3779b9ULL & 0xffffffffffffULL);
+  return buffer;
+}
+
+MigManager::PairPlacement MigManager::place_pair(int gpcs1, int gpcs2,
+                                                 MemOption option) {
+  const std::array<int, 2> sizes = {gpcs1, gpcs2};
+  const std::vector<CiId> cis = place_group(sizes, option);
+  PairPlacement placement;
+  placement.ci_app1 = cis[0];
+  placement.ci_app2 = cis[1];
+  return placement;
+}
+
+std::vector<CiId> MigManager::place_group(std::span<const int> gpcs,
+                                          MemOption option) {
+  if (!enabled_) throw MigError("MIG is not enabled");
+  if (!gis_.empty() || !cis_.empty())
+    throw MigError("place_group requires an empty MIG configuration");
+  if (gpcs.empty()) throw MigError("empty placement group");
+  int total = 0;
+  for (const int g : gpcs) total += g;
+  if (total > total_compute_slices())
+    throw MigError("group does not fit in the usable GPCs");
+
+  std::vector<CiId> cis(gpcs.size(), -1);
+  if (option == MemOption::Private) {
+    // Validate memory up front so a failing group leaves no partial
+    // configuration behind (placement must be atomic).
+    int modules_needed = 0;
+    for (const int g : gpcs) {
+      if (!arch_->valid_gi_size(g))
+        throw MigError("unsupported GPU-instance size in group: " +
+                       std::to_string(g));
+      modules_needed += arch_->modules_for_gpcs(g);
+    }
+    if (modules_needed > free_memory_modules())
+      throw MigError("group needs " + std::to_string(modules_needed) +
+                     " LLC/HBM modules; only " +
+                     std::to_string(free_memory_modules()) + " available");
+
+    // Anchored starts make greedy first-fit incomplete (e.g. 3g+2g+2g only
+    // fits as 2g@0, 2g@2, 3g@4), so search start assignments by backtracking
+    // over members in descending size order — the same configurations an
+    // operator can reach with NVML's explicit-placement API.
+    std::vector<std::size_t> order(gpcs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return gpcs[a] > gpcs[b];
+                     });
+
+    std::vector<int> starts(gpcs.size(), -1);  // indexed like `order`
+    unsigned occupied = 0;                     // slice bitmask
+    const auto assign = [&](auto&& self, std::size_t depth) -> bool {
+      if (depth == order.size()) return true;
+      const int slices = gpcs[order[depth]];
+      for (const int start : allowed_starts(slices, total_compute_slices())) {
+        const unsigned mask = ((1u << slices) - 1u) << start;
+        if ((occupied & mask) != 0u) continue;
+        occupied |= mask;
+        starts[depth] = start;
+        if (self(self, depth + 1)) return true;
+        occupied &= ~mask;
+      }
+      return false;
+    };
+    if (!assign(assign, 0))
+      throw MigError("no placement satisfies the anchored start rules for "
+                     "this private group");
+    for (std::size_t d = 0; d < order.size(); ++d) {
+      const std::size_t member = order[d];
+      const GiId gi = create_gpu_instance(gpcs[member], starts[d]);
+      cis[member] = create_compute_instance(gi, gpcs[member]);
+    }
+  } else {
+    const GiId gi = create_gpu_instance(total_compute_slices());
+    for (std::size_t i = 0; i < gpcs.size(); ++i)
+      cis[i] = create_compute_instance(gi, gpcs[i]);
+  }
+  return cis;
+}
+
+CiId MigManager::place_solo(int gpcs, MemOption option) {
+  if (!enabled_) throw MigError("MIG is not enabled");
+  if (!gis_.empty() || !cis_.empty())
+    throw MigError("place_solo requires an empty MIG configuration");
+  if (option == MemOption::Private) {
+    const GiId gi = create_gpu_instance(gpcs);
+    return create_compute_instance(gi, gpcs);
+  }
+  const GiId gi = create_gpu_instance(total_compute_slices());
+  return create_compute_instance(gi, gpcs);
+}
+
+}  // namespace migopt::gpusim

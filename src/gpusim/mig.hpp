@@ -1,0 +1,131 @@
+// MIG (Multi-Instance GPU) partitioning state machine.
+//
+// Mirrors the hierarchy the paper relies on (Section 2.2): a GPU is first
+// split into GPU Instances (GIs) that own compute slices *and* LLC/HBM memory
+// modules — memory is fully partitioned between GIs — and each GI hosts one
+// or more Compute Instances (CIs) that share the GI's memory resources. Each
+// CI carries a UUID the way CUDA_VISIBLE_DEVICES expects.
+//
+// The paper's two configurations map to:
+//   * private LLC/HBM: two GIs (e.g. 4g + 3g), one CI filling each;
+//   * shared  LLC/HBM: one 7g GI, two CIs (4c + 3c) inside it.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpusim/arch_config.hpp"
+
+namespace migopt::gpusim {
+
+/// LLC/HBM allocation style for a co-run pair (Figures 2 and 3 of the paper).
+enum class MemOption { Private, Shared };
+
+const char* to_string(MemOption option) noexcept;
+
+/// Error from an invalid MIG operation (mirrors NVML_ERROR_* semantics).
+class MigError : public std::runtime_error {
+ public:
+  explicit MigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+using GiId = int;
+using CiId = int;
+
+struct GpuInstance {
+  GiId id = -1;
+  int start_slice = 0;   ///< first compute slice occupied
+  int gpc_slices = 0;    ///< compute slices (== GPCs) owned
+  int mem_modules = 0;   ///< LLC+HBM modules owned (partitioned per GI)
+};
+
+struct ComputeInstance {
+  CiId id = -1;
+  GiId gi = -1;
+  int gpc_slices = 0;    ///< GPCs of the parent GI used by this CI
+  std::string uuid;      ///< MIG-... identifier, unique per CI
+};
+
+class MigManager {
+ public:
+  explicit MigManager(const ArchConfig& arch);
+
+  bool mig_enabled() const noexcept { return enabled_; }
+
+  /// Enabling MIG turns off one GPC (A100 behaviour); requires no instances.
+  void enable_mig();
+  /// Disabling requires all instances destroyed first.
+  void disable_mig();
+
+  int total_compute_slices() const noexcept;
+  int free_compute_slices() const noexcept;
+  int free_memory_modules() const noexcept;
+
+  /// Create a GPU instance of `gpc_slices` GPCs. Valid sizes: 1,2,3,4,7.
+  /// Placement follows slice-alignment rules; throws MigError when the size
+  /// is unsupported or does not fit. `start_slice` pins an explicit placement
+  /// (mirroring NVML's placement API); empty picks the first allowed start.
+  GiId create_gpu_instance(int gpc_slices,
+                           std::optional<int> start_slice = std::nullopt);
+  void destroy_gpu_instance(GiId id);
+
+  /// Allowed start slices for a GI size (the A100's anchored placements).
+  std::vector<int> allowed_start_slices(int gpc_slices) const;
+
+  /// Create a compute instance inside a GI. The CI sizes within a GI must sum
+  /// to at most the GI's slices.
+  CiId create_compute_instance(GiId gi, int gpc_slices);
+  void destroy_compute_instance(CiId id);
+
+  const GpuInstance& gpu_instance(GiId id) const;
+  const ComputeInstance& compute_instance(CiId id) const;
+  std::optional<CiId> find_ci_by_uuid(const std::string& uuid) const;
+
+  std::vector<GpuInstance> list_gpu_instances() const;
+  std::vector<ComputeInstance> list_compute_instances() const;
+  std::vector<ComputeInstance> list_compute_instances(GiId gi) const;
+
+  /// Free compute slices remaining inside a GI.
+  int free_ci_slices(GiId gi) const;
+
+  /// Destroy all instances (MIG stays enabled).
+  void clear();
+
+  /// Set up the paper's co-run placement for a pair: (gpcs1, gpcs2) with the
+  /// private or shared LLC/HBM option. Requires MIG enabled and an empty
+  /// configuration. Returns the two CIs in argument order.
+  struct PairPlacement {
+    CiId ci_app1 = -1;
+    CiId ci_app2 = -1;
+  };
+  PairPlacement place_pair(int gpcs1, int gpcs2, MemOption option);
+
+  /// N-way generalization of place_pair: private -> one GI per member (each
+  /// with its profile's memory modules); shared -> one full-size GI hosting
+  /// one CI per member. Returns CIs in member order; requires an empty
+  /// configuration.
+  std::vector<CiId> place_group(std::span<const int> gpcs, MemOption option);
+
+  /// Solo placement at a given scale, used by the scalability experiments:
+  /// private -> GI of `gpcs` (memory scales with the GI); shared -> 7g GI
+  /// with one CI of `gpcs` (full memory visible).
+  CiId place_solo(int gpcs, MemOption option);
+
+ private:
+  std::string next_uuid();
+  bool fits(int start, int slices) const noexcept;
+
+  const ArchConfig* arch_;
+  bool enabled_ = false;
+  std::map<GiId, GpuInstance> gis_;
+  std::map<CiId, ComputeInstance> cis_;
+  GiId next_gi_ = 0;
+  CiId next_ci_ = 0;
+  unsigned long long uuid_counter_ = 0;
+};
+
+}  // namespace migopt::gpusim

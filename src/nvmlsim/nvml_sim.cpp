@@ -1,0 +1,327 @@
+#include "nvmlsim/nvml_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "nvmlsim/nvml_sim_host.hpp"
+
+namespace {
+
+using migopt::gpusim::GpuChip;
+using migopt::gpusim::MigError;
+
+struct DeviceSlot {
+  GpuChip* chip = nullptr;
+};
+
+struct Library {
+  std::mutex mutex;
+  bool initialized = false;
+  std::vector<DeviceSlot> devices;
+};
+
+Library& lib() {
+  static Library instance;
+  return instance;
+}
+
+int profile_to_slices(nvmlSimGpuInstanceProfile_t profile) {
+  switch (profile) {
+    case NVMLSIM_GPU_INSTANCE_PROFILE_1_SLICE: return 1;
+    case NVMLSIM_GPU_INSTANCE_PROFILE_2_SLICE: return 2;
+    case NVMLSIM_GPU_INSTANCE_PROFILE_3_SLICE: return 3;
+    case NVMLSIM_GPU_INSTANCE_PROFILE_4_SLICE: return 4;
+    case NVMLSIM_GPU_INSTANCE_PROFILE_7_SLICE: return 7;
+    default: return 0;
+  }
+}
+
+/// Translate a device handle back to the slot; nullptr when invalid.
+GpuChip* chip_of(nvmlSimDevice_t device) {
+  Library& l = lib();
+  if (!l.initialized) return nullptr;
+  const auto index = reinterpret_cast<std::uintptr_t>(device);
+  if (index == 0 || index > l.devices.size()) return nullptr;
+  return l.devices[index - 1].chip;
+}
+
+nvmlSimReturn_t copy_string(const std::string& value, char* out, unsigned int length) {
+  if (out == nullptr) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  if (value.size() + 1 > length) return NVMLSIM_ERROR_INSUFFICIENT_SIZE;
+  std::memcpy(out, value.c_str(), value.size() + 1);
+  return NVMLSIM_SUCCESS;
+}
+
+}  // namespace
+
+namespace migopt::nvml {
+
+unsigned int register_device(gpusim::GpuChip* chip) {
+  Library& l = lib();
+  std::lock_guard<std::mutex> lock(l.mutex);
+  l.devices.push_back(DeviceSlot{chip});
+  return static_cast<unsigned int>(l.devices.size() - 1);
+}
+
+void reset_devices() {
+  Library& l = lib();
+  std::lock_guard<std::mutex> lock(l.mutex);
+  l.devices.clear();
+  l.initialized = false;
+}
+
+}  // namespace migopt::nvml
+
+extern "C" {
+
+nvmlSimReturn_t nvmlSimInit(void) {
+  Library& l = lib();
+  std::lock_guard<std::mutex> lock(l.mutex);
+  l.initialized = true;
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimShutdown(void) {
+  Library& l = lib();
+  std::lock_guard<std::mutex> lock(l.mutex);
+  if (!l.initialized) return NVMLSIM_ERROR_UNINITIALIZED;
+  l.initialized = false;
+  return NVMLSIM_SUCCESS;
+}
+
+const char* nvmlSimErrorString(nvmlSimReturn_t result) {
+  switch (result) {
+    case NVMLSIM_SUCCESS: return "success";
+    case NVMLSIM_ERROR_UNINITIALIZED: return "library not initialized";
+    case NVMLSIM_ERROR_INVALID_ARGUMENT: return "invalid argument";
+    case NVMLSIM_ERROR_NOT_SUPPORTED: return "operation not supported";
+    case NVMLSIM_ERROR_INSUFFICIENT_RESOURCES: return "insufficient resources";
+    case NVMLSIM_ERROR_NOT_FOUND: return "not found";
+    case NVMLSIM_ERROR_IN_USE: return "resource in use";
+    case NVMLSIM_ERROR_INSUFFICIENT_SIZE: return "buffer too small";
+    case NVMLSIM_ERROR_UNKNOWN: return "unknown error";
+  }
+  return "unrecognized error code";
+}
+
+nvmlSimReturn_t nvmlSimDeviceGetCount(unsigned int* count) {
+  if (count == nullptr) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  Library& l = lib();
+  std::lock_guard<std::mutex> lock(l.mutex);
+  if (!l.initialized) return NVMLSIM_ERROR_UNINITIALIZED;
+  *count = static_cast<unsigned int>(l.devices.size());
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimDeviceGetHandleByIndex(unsigned int index,
+                                              nvmlSimDevice_t* device) {
+  if (device == nullptr) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  Library& l = lib();
+  std::lock_guard<std::mutex> lock(l.mutex);
+  if (!l.initialized) return NVMLSIM_ERROR_UNINITIALIZED;
+  if (index >= l.devices.size()) return NVMLSIM_ERROR_NOT_FOUND;
+  *device = reinterpret_cast<nvmlSimDevice_t>(
+      static_cast<std::uintptr_t>(index) + 1);
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimDeviceGetName(nvmlSimDevice_t device, char* name,
+                                     unsigned int length) {
+  const GpuChip* chip = chip_of(device);
+  if (chip == nullptr) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  return copy_string("MIGOPT A100-SIM 40GB", name, length);
+}
+
+nvmlSimReturn_t nvmlSimDeviceGetPowerManagementLimit(nvmlSimDevice_t device,
+                                                     unsigned int* limit_mw) {
+  const GpuChip* chip = chip_of(device);
+  if (chip == nullptr || limit_mw == nullptr) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  *limit_mw = static_cast<unsigned int>(
+      std::lround(chip->power_limit_watts() * 1000.0));
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimDeviceSetPowerManagementLimit(nvmlSimDevice_t device,
+                                                     unsigned int limit_mw) {
+  GpuChip* chip = chip_of(device);
+  if (chip == nullptr) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  const double watts = static_cast<double>(limit_mw) / 1000.0;
+  if (watts < chip->arch().min_power_cap_watts || watts > chip->arch().tdp_watts)
+    return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  chip->set_power_limit_watts(watts);
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimDeviceGetPowerManagementLimitConstraints(
+    nvmlSimDevice_t device, unsigned int* min_mw, unsigned int* max_mw) {
+  const GpuChip* chip = chip_of(device);
+  if (chip == nullptr || min_mw == nullptr || max_mw == nullptr)
+    return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  *min_mw = static_cast<unsigned int>(
+      std::lround(chip->arch().min_power_cap_watts * 1000.0));
+  *max_mw = static_cast<unsigned int>(std::lround(chip->arch().tdp_watts * 1000.0));
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimDeviceGetMigMode(nvmlSimDevice_t device, unsigned int* mode) {
+  const GpuChip* chip = chip_of(device);
+  if (chip == nullptr || mode == nullptr) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  *mode = chip->mig().mig_enabled() ? NVMLSIM_DEVICE_MIG_ENABLE
+                                    : NVMLSIM_DEVICE_MIG_DISABLE;
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimDeviceSetMigMode(nvmlSimDevice_t device, unsigned int mode) {
+  GpuChip* chip = chip_of(device);
+  if (chip == nullptr) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  if (mode != NVMLSIM_DEVICE_MIG_DISABLE && mode != NVMLSIM_DEVICE_MIG_ENABLE)
+    return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  try {
+    if (mode == NVMLSIM_DEVICE_MIG_ENABLE)
+      chip->mig().enable_mig();
+    else
+      chip->mig().disable_mig();
+  } catch (const MigError&) {
+    return NVMLSIM_ERROR_IN_USE;
+  }
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimDeviceCreateGpuInstance(nvmlSimDevice_t device,
+                                               nvmlSimGpuInstanceProfile_t profile,
+                                               unsigned int* gi_id) {
+  GpuChip* chip = chip_of(device);
+  if (chip == nullptr || gi_id == nullptr) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  const int slices = profile_to_slices(profile);
+  if (slices == 0) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  if (!chip->mig().mig_enabled()) return NVMLSIM_ERROR_NOT_SUPPORTED;
+  try {
+    *gi_id = static_cast<unsigned int>(chip->mig().create_gpu_instance(slices));
+  } catch (const MigError&) {
+    return NVMLSIM_ERROR_INSUFFICIENT_RESOURCES;
+  }
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimDeviceDestroyGpuInstance(nvmlSimDevice_t device,
+                                                unsigned int gi_id) {
+  GpuChip* chip = chip_of(device);
+  if (chip == nullptr) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  try {
+    chip->mig().destroy_gpu_instance(static_cast<int>(gi_id));
+  } catch (const MigError& error) {
+    return std::string(error.what()).find("compute instances") != std::string::npos
+               ? NVMLSIM_ERROR_IN_USE
+               : NVMLSIM_ERROR_NOT_FOUND;
+  }
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimDeviceGetGpuInstanceCount(nvmlSimDevice_t device,
+                                                 unsigned int* count) {
+  const GpuChip* chip = chip_of(device);
+  if (chip == nullptr || count == nullptr) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  *count = static_cast<unsigned int>(chip->mig().list_gpu_instances().size());
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimDeviceGetGpuInstanceIds(nvmlSimDevice_t device,
+                                               unsigned int* ids,
+                                               unsigned int capacity,
+                                               unsigned int* count) {
+  const GpuChip* chip = chip_of(device);
+  if (chip == nullptr || ids == nullptr || count == nullptr)
+    return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  const auto gis = chip->mig().list_gpu_instances();
+  if (gis.size() > capacity) return NVMLSIM_ERROR_INSUFFICIENT_SIZE;
+  *count = static_cast<unsigned int>(gis.size());
+  for (std::size_t i = 0; i < gis.size(); ++i)
+    ids[i] = static_cast<unsigned int>(gis[i].id);
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimGpuInstanceGetInfo(nvmlSimDevice_t device, unsigned int gi_id,
+                                          unsigned int* gpc_slices,
+                                          unsigned int* memory_modules) {
+  const GpuChip* chip = chip_of(device);
+  if (chip == nullptr || gpc_slices == nullptr || memory_modules == nullptr)
+    return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  try {
+    const auto& gi = chip->mig().gpu_instance(static_cast<int>(gi_id));
+    *gpc_slices = static_cast<unsigned int>(gi.gpc_slices);
+    *memory_modules = static_cast<unsigned int>(gi.mem_modules);
+  } catch (const MigError&) {
+    return NVMLSIM_ERROR_NOT_FOUND;
+  }
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimGpuInstanceCreateComputeInstance(nvmlSimDevice_t device,
+                                                        unsigned int gi_id,
+                                                        unsigned int gpc_slices,
+                                                        unsigned int* ci_id) {
+  GpuChip* chip = chip_of(device);
+  if (chip == nullptr || ci_id == nullptr) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  try {
+    *ci_id = static_cast<unsigned int>(chip->mig().create_compute_instance(
+        static_cast<int>(gi_id), static_cast<int>(gpc_slices)));
+  } catch (const MigError& error) {
+    return std::string(error.what()).find("unknown") != std::string::npos
+               ? NVMLSIM_ERROR_NOT_FOUND
+               : NVMLSIM_ERROR_INSUFFICIENT_RESOURCES;
+  }
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimGpuInstanceDestroyComputeInstance(nvmlSimDevice_t device,
+                                                         unsigned int ci_id) {
+  GpuChip* chip = chip_of(device);
+  if (chip == nullptr) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  try {
+    chip->mig().destroy_compute_instance(static_cast<int>(ci_id));
+  } catch (const MigError&) {
+    return NVMLSIM_ERROR_NOT_FOUND;
+  }
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimComputeInstanceGetUuid(nvmlSimDevice_t device,
+                                              unsigned int ci_id, char* uuid,
+                                              unsigned int length) {
+  const GpuChip* chip = chip_of(device);
+  if (chip == nullptr) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  try {
+    return copy_string(chip->mig().compute_instance(static_cast<int>(ci_id)).uuid,
+                       uuid, length);
+  } catch (const MigError&) {
+    return NVMLSIM_ERROR_NOT_FOUND;
+  }
+}
+
+nvmlSimReturn_t nvmlSimDeviceGetComputeInstanceCount(nvmlSimDevice_t device,
+                                                     unsigned int* count) {
+  const GpuChip* chip = chip_of(device);
+  if (chip == nullptr || count == nullptr) return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  *count = static_cast<unsigned int>(chip->mig().list_compute_instances().size());
+  return NVMLSIM_SUCCESS;
+}
+
+nvmlSimReturn_t nvmlSimDeviceGetComputeInstanceIds(nvmlSimDevice_t device,
+                                                   unsigned int* ids,
+                                                   unsigned int capacity,
+                                                   unsigned int* count) {
+  const GpuChip* chip = chip_of(device);
+  if (chip == nullptr || ids == nullptr || count == nullptr)
+    return NVMLSIM_ERROR_INVALID_ARGUMENT;
+  const auto cis = chip->mig().list_compute_instances();
+  if (cis.size() > capacity) return NVMLSIM_ERROR_INSUFFICIENT_SIZE;
+  *count = static_cast<unsigned int>(cis.size());
+  for (std::size_t i = 0; i < cis.size(); ++i)
+    ids[i] = static_cast<unsigned int>(cis[i].id);
+  return NVMLSIM_SUCCESS;
+}
+
+}  // extern "C"

@@ -1,0 +1,107 @@
+// nvml_sim — an NVML-shaped C API over the simulated device.
+//
+// The reproduced paper drives its testbed through NVML/nvidia-smi: chip power
+// caps (`nvidia-smi -pl`) and MIG configuration (`nvidia-smi mig -cgi/-cci`).
+// This facade exposes the same operations with NVML's conventions (opaque
+// device handles, return codes, milliwatt power units, UUID strings) so the
+// scheduler layer is written exactly as it would be against the real
+// library; retargeting to hardware means swapping this translation unit for
+// thin NVML calls.
+//
+// Deviations from real NVML are deliberate and minimal:
+//  * names are prefixed nvmlSim / NVMLSIM to avoid clashing with a real
+//    libnvidia-ml at link time;
+//  * devices are registered by the host process (there is no driver), see
+//    nvmlSimRegisterDevice in nvml_sim_host.hpp.
+#pragma once
+
+#include <cstddef>
+
+extern "C" {
+
+typedef enum nvmlSimReturn_enum {
+  NVMLSIM_SUCCESS = 0,
+  NVMLSIM_ERROR_UNINITIALIZED = 1,
+  NVMLSIM_ERROR_INVALID_ARGUMENT = 2,
+  NVMLSIM_ERROR_NOT_SUPPORTED = 3,
+  NVMLSIM_ERROR_INSUFFICIENT_RESOURCES = 4,
+  NVMLSIM_ERROR_NOT_FOUND = 5,
+  NVMLSIM_ERROR_IN_USE = 6,
+  NVMLSIM_ERROR_INSUFFICIENT_SIZE = 7,
+  NVMLSIM_ERROR_UNKNOWN = 99,
+} nvmlSimReturn_t;
+
+typedef struct nvmlSimDevice_st* nvmlSimDevice_t;
+
+/// GPU-instance profiles (compute slices / memory modules mirror the A100
+/// MIG profile table: 1g, 2g, 3g, 4g, 7g).
+typedef enum nvmlSimGpuInstanceProfile_enum {
+  NVMLSIM_GPU_INSTANCE_PROFILE_1_SLICE = 0,
+  NVMLSIM_GPU_INSTANCE_PROFILE_2_SLICE = 1,
+  NVMLSIM_GPU_INSTANCE_PROFILE_3_SLICE = 2,
+  NVMLSIM_GPU_INSTANCE_PROFILE_4_SLICE = 3,
+  NVMLSIM_GPU_INSTANCE_PROFILE_7_SLICE = 4,
+  NVMLSIM_GPU_INSTANCE_PROFILE_COUNT = 5,
+} nvmlSimGpuInstanceProfile_t;
+
+enum { NVMLSIM_DEVICE_MIG_DISABLE = 0, NVMLSIM_DEVICE_MIG_ENABLE = 1 };
+enum { NVMLSIM_UUID_BUFFER_SIZE = 80, NVMLSIM_NAME_BUFFER_SIZE = 96 };
+
+/// Library lifecycle. Init is idempotent; Shutdown invalidates handles.
+nvmlSimReturn_t nvmlSimInit(void);
+nvmlSimReturn_t nvmlSimShutdown(void);
+const char* nvmlSimErrorString(nvmlSimReturn_t result);
+
+/// Device enumeration.
+nvmlSimReturn_t nvmlSimDeviceGetCount(unsigned int* count);
+nvmlSimReturn_t nvmlSimDeviceGetHandleByIndex(unsigned int index,
+                                              nvmlSimDevice_t* device);
+nvmlSimReturn_t nvmlSimDeviceGetName(nvmlSimDevice_t device, char* name,
+                                     unsigned int length);
+
+/// Power management (milliwatts, as in real NVML).
+nvmlSimReturn_t nvmlSimDeviceGetPowerManagementLimit(nvmlSimDevice_t device,
+                                                     unsigned int* limit_mw);
+nvmlSimReturn_t nvmlSimDeviceSetPowerManagementLimit(nvmlSimDevice_t device,
+                                                     unsigned int limit_mw);
+nvmlSimReturn_t nvmlSimDeviceGetPowerManagementLimitConstraints(
+    nvmlSimDevice_t device, unsigned int* min_mw, unsigned int* max_mw);
+
+/// MIG mode control.
+nvmlSimReturn_t nvmlSimDeviceGetMigMode(nvmlSimDevice_t device, unsigned int* mode);
+nvmlSimReturn_t nvmlSimDeviceSetMigMode(nvmlSimDevice_t device, unsigned int mode);
+
+/// GPU-instance management. Ids are device-scoped.
+nvmlSimReturn_t nvmlSimDeviceCreateGpuInstance(nvmlSimDevice_t device,
+                                               nvmlSimGpuInstanceProfile_t profile,
+                                               unsigned int* gi_id);
+nvmlSimReturn_t nvmlSimDeviceDestroyGpuInstance(nvmlSimDevice_t device,
+                                                unsigned int gi_id);
+nvmlSimReturn_t nvmlSimDeviceGetGpuInstanceCount(nvmlSimDevice_t device,
+                                                 unsigned int* count);
+nvmlSimReturn_t nvmlSimDeviceGetGpuInstanceIds(nvmlSimDevice_t device,
+                                               unsigned int* ids,
+                                               unsigned int capacity,
+                                               unsigned int* count);
+nvmlSimReturn_t nvmlSimGpuInstanceGetInfo(nvmlSimDevice_t device, unsigned int gi_id,
+                                          unsigned int* gpc_slices,
+                                          unsigned int* memory_modules);
+
+/// Compute-instance management.
+nvmlSimReturn_t nvmlSimGpuInstanceCreateComputeInstance(nvmlSimDevice_t device,
+                                                        unsigned int gi_id,
+                                                        unsigned int gpc_slices,
+                                                        unsigned int* ci_id);
+nvmlSimReturn_t nvmlSimGpuInstanceDestroyComputeInstance(nvmlSimDevice_t device,
+                                                         unsigned int ci_id);
+nvmlSimReturn_t nvmlSimComputeInstanceGetUuid(nvmlSimDevice_t device,
+                                              unsigned int ci_id, char* uuid,
+                                              unsigned int length);
+nvmlSimReturn_t nvmlSimDeviceGetComputeInstanceCount(nvmlSimDevice_t device,
+                                                     unsigned int* count);
+nvmlSimReturn_t nvmlSimDeviceGetComputeInstanceIds(nvmlSimDevice_t device,
+                                                   unsigned int* ids,
+                                                   unsigned int capacity,
+                                                   unsigned int* count);
+
+}  // extern "C"

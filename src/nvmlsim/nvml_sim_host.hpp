@@ -1,0 +1,18 @@
+// Host-side registration of simulated devices with the nvml_sim facade.
+//
+// There is no kernel driver in the loop, so the process that owns the
+// GpuChip objects registers them before calling nvmlSimInit(). Registration
+// does not transfer ownership; the chips must outlive the NVML session.
+#pragma once
+
+#include "gpusim/gpu.hpp"
+
+namespace migopt::nvml {
+
+/// Register a device; returns its index. Call before nvmlSimInit().
+unsigned int register_device(gpusim::GpuChip* chip);
+
+/// Drop all registered devices (also shuts the session down).
+void reset_devices();
+
+}  // namespace migopt::nvml

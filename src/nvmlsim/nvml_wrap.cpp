@@ -1,0 +1,220 @@
+#include "nvmlsim/nvml_wrap.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace migopt::nvml {
+
+void check(nvmlSimReturn_t result, const char* call) {
+  if (result != NVMLSIM_SUCCESS) throw NvmlError(call, result);
+}
+
+Session::Session() { check(nvmlSimInit(), "nvmlSimInit"); }
+
+Session::~Session() {
+  const nvmlSimReturn_t result = nvmlSimShutdown();
+  if (result != NVMLSIM_SUCCESS)
+    log::warn("nvmlSimShutdown failed: ", nvmlSimErrorString(result));
+}
+
+Device::Device(unsigned int index) {
+  check(nvmlSimDeviceGetHandleByIndex(index, &handle_),
+        "nvmlSimDeviceGetHandleByIndex");
+}
+
+std::string Device::name() const {
+  std::array<char, NVMLSIM_NAME_BUFFER_SIZE> buffer{};
+  check(nvmlSimDeviceGetName(handle_, buffer.data(),
+                             static_cast<unsigned int>(buffer.size())),
+        "nvmlSimDeviceGetName");
+  return buffer.data();
+}
+
+double Device::power_limit_watts() const {
+  unsigned int mw = 0;
+  check(nvmlSimDeviceGetPowerManagementLimit(handle_, &mw),
+        "nvmlSimDeviceGetPowerManagementLimit");
+  return static_cast<double>(mw) / 1000.0;
+}
+
+void Device::set_power_limit_watts(double watts) {
+  const auto mw = static_cast<unsigned int>(std::lround(watts * 1000.0));
+  check(nvmlSimDeviceSetPowerManagementLimit(handle_, mw),
+        "nvmlSimDeviceSetPowerManagementLimit");
+}
+
+std::pair<double, double> Device::power_limit_constraints_watts() const {
+  unsigned int min_mw = 0;
+  unsigned int max_mw = 0;
+  check(nvmlSimDeviceGetPowerManagementLimitConstraints(handle_, &min_mw, &max_mw),
+        "nvmlSimDeviceGetPowerManagementLimitConstraints");
+  return {static_cast<double>(min_mw) / 1000.0, static_cast<double>(max_mw) / 1000.0};
+}
+
+bool Device::mig_enabled() const {
+  unsigned int mode = 0;
+  check(nvmlSimDeviceGetMigMode(handle_, &mode), "nvmlSimDeviceGetMigMode");
+  return mode == NVMLSIM_DEVICE_MIG_ENABLE;
+}
+
+void Device::set_mig_enabled(bool enabled) {
+  check(nvmlSimDeviceSetMigMode(handle_, enabled ? NVMLSIM_DEVICE_MIG_ENABLE
+                                                 : NVMLSIM_DEVICE_MIG_DISABLE),
+        "nvmlSimDeviceSetMigMode");
+}
+
+unsigned int Device::create_gpu_instance(nvmlSimGpuInstanceProfile_t profile) {
+  unsigned int gi_id = 0;
+  check(nvmlSimDeviceCreateGpuInstance(handle_, profile, &gi_id),
+        "nvmlSimDeviceCreateGpuInstance");
+  return gi_id;
+}
+
+void Device::destroy_gpu_instance(unsigned int gi_id) {
+  check(nvmlSimDeviceDestroyGpuInstance(handle_, gi_id),
+        "nvmlSimDeviceDestroyGpuInstance");
+}
+
+unsigned int Device::create_compute_instance(unsigned int gi_id, unsigned int slices) {
+  unsigned int ci_id = 0;
+  check(nvmlSimGpuInstanceCreateComputeInstance(handle_, gi_id, slices, &ci_id),
+        "nvmlSimGpuInstanceCreateComputeInstance");
+  return ci_id;
+}
+
+void Device::destroy_compute_instance(unsigned int ci_id) {
+  check(nvmlSimGpuInstanceDestroyComputeInstance(handle_, ci_id),
+        "nvmlSimGpuInstanceDestroyComputeInstance");
+}
+
+std::string Device::compute_instance_uuid(unsigned int ci_id) const {
+  std::array<char, NVMLSIM_UUID_BUFFER_SIZE> buffer{};
+  check(nvmlSimComputeInstanceGetUuid(handle_, ci_id, buffer.data(),
+                                      static_cast<unsigned int>(buffer.size())),
+        "nvmlSimComputeInstanceGetUuid");
+  return buffer.data();
+}
+
+std::vector<unsigned int> Device::gpu_instance_ids() const {
+  unsigned int count = 0;
+  check(nvmlSimDeviceGetGpuInstanceCount(handle_, &count),
+        "nvmlSimDeviceGetGpuInstanceCount");
+  std::vector<unsigned int> ids(count);
+  if (count > 0)
+    check(nvmlSimDeviceGetGpuInstanceIds(handle_, ids.data(), count, &count),
+          "nvmlSimDeviceGetGpuInstanceIds");
+  ids.resize(count);
+  return ids;
+}
+
+std::vector<unsigned int> Device::compute_instance_ids() const {
+  unsigned int count = 0;
+  check(nvmlSimDeviceGetComputeInstanceCount(handle_, &count),
+        "nvmlSimDeviceGetComputeInstanceCount");
+  std::vector<unsigned int> ids(count);
+  if (count > 0)
+    check(nvmlSimDeviceGetComputeInstanceIds(handle_, ids.data(), count, &count),
+          "nvmlSimDeviceGetComputeInstanceIds");
+  ids.resize(count);
+  return ids;
+}
+
+ScopedPowerLimit::ScopedPowerLimit(Device& device, double watts)
+    : device_(&device), previous_watts_(device.power_limit_watts()) {
+  device_->set_power_limit_watts(watts);
+}
+
+ScopedPowerLimit::~ScopedPowerLimit() {
+  try {
+    device_->set_power_limit_watts(previous_watts_);
+  } catch (const NvmlError& error) {
+    log::warn("failed to restore power limit: ", error.what());
+  }
+}
+
+nvmlSimGpuInstanceProfile_t profile_for_gpcs(int gpcs) {
+  switch (gpcs) {
+    case 1: return NVMLSIM_GPU_INSTANCE_PROFILE_1_SLICE;
+    case 2: return NVMLSIM_GPU_INSTANCE_PROFILE_2_SLICE;
+    case 3: return NVMLSIM_GPU_INSTANCE_PROFILE_3_SLICE;
+    case 4: return NVMLSIM_GPU_INSTANCE_PROFILE_4_SLICE;
+    case 7: return NVMLSIM_GPU_INSTANCE_PROFILE_7_SLICE;
+    default:
+      MIGOPT_REQUIRE(false, "no GPU-instance profile for " + std::to_string(gpcs) +
+                                " GPCs");
+      throw ContractViolation("unreachable");
+  }
+}
+
+ScopedMigPair::ScopedMigPair(Device& device, int gpcs_app1, int gpcs_app2,
+                             bool shared_memory)
+    : device_(&device) {
+  device_->set_mig_enabled(true);
+  try {
+    if (shared_memory) {
+      const unsigned int gi =
+          device_->create_gpu_instance(NVMLSIM_GPU_INSTANCE_PROFILE_7_SLICE);
+      gis_.push_back(gi);
+      ci1_ = device_->create_compute_instance(gi, static_cast<unsigned int>(gpcs_app1));
+      cis_.push_back(ci1_);
+      ci2_ = device_->create_compute_instance(gi, static_cast<unsigned int>(gpcs_app2));
+      cis_.push_back(ci2_);
+    } else {
+      // Larger instance first so anchored placements fit.
+      const bool app1_first = gpcs_app1 >= gpcs_app2;
+      const int first = app1_first ? gpcs_app1 : gpcs_app2;
+      const int second = app1_first ? gpcs_app2 : gpcs_app1;
+      const unsigned int gi_first =
+          device_->create_gpu_instance(profile_for_gpcs(first));
+      gis_.push_back(gi_first);
+      const unsigned int gi_second =
+          device_->create_gpu_instance(profile_for_gpcs(second));
+      gis_.push_back(gi_second);
+      const unsigned int ci_first = device_->create_compute_instance(
+          gi_first, static_cast<unsigned int>(first));
+      cis_.push_back(ci_first);
+      const unsigned int ci_second = device_->create_compute_instance(
+          gi_second, static_cast<unsigned int>(second));
+      cis_.push_back(ci_second);
+      ci1_ = app1_first ? ci_first : ci_second;
+      ci2_ = app1_first ? ci_second : ci_first;
+    }
+    uuid1_ = device_->compute_instance_uuid(ci1_);
+    uuid2_ = device_->compute_instance_uuid(ci2_);
+  } catch (...) {
+    // Roll back partial configuration before propagating.
+    for (auto it = cis_.rbegin(); it != cis_.rend(); ++it)
+      nvmlSimGpuInstanceDestroyComputeInstance(device_->handle(), *it);
+    for (auto it = gis_.rbegin(); it != gis_.rend(); ++it)
+      nvmlSimDeviceDestroyGpuInstance(device_->handle(), *it);
+    nvmlSimDeviceSetMigMode(device_->handle(), NVMLSIM_DEVICE_MIG_DISABLE);
+    throw;
+  }
+}
+
+ScopedMigPair::~ScopedMigPair() {
+  for (auto it = cis_.rbegin(); it != cis_.rend(); ++it) {
+    try {
+      device_->destroy_compute_instance(*it);
+    } catch (const NvmlError& error) {
+      log::warn("CI teardown failed: ", error.what());
+    }
+  }
+  for (auto it = gis_.rbegin(); it != gis_.rend(); ++it) {
+    try {
+      device_->destroy_gpu_instance(*it);
+    } catch (const NvmlError& error) {
+      log::warn("GI teardown failed: ", error.what());
+    }
+  }
+  try {
+    device_->set_mig_enabled(false);
+  } catch (const NvmlError& error) {
+    log::warn("MIG disable failed: ", error.what());
+  }
+}
+
+}  // namespace migopt::nvml

@@ -1,0 +1,103 @@
+// C++ RAII conveniences over the nvml_sim C API. The scheduler layer uses
+// these instead of raw calls so error handling and cleanup are uniform.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nvmlsim/nvml_sim.h"
+
+namespace migopt::nvml {
+
+/// Thrown when an nvmlSim call fails.
+class NvmlError : public std::runtime_error {
+ public:
+  NvmlError(const std::string& call, nvmlSimReturn_t code)
+      : std::runtime_error(call + ": " + nvmlSimErrorString(code)), code_(code) {}
+  nvmlSimReturn_t code() const noexcept { return code_; }
+
+ private:
+  nvmlSimReturn_t code_;
+};
+
+/// Throws NvmlError unless the result is success.
+void check(nvmlSimReturn_t result, const char* call);
+
+/// Init/Shutdown pair bound to a scope.
+class Session {
+ public:
+  Session();
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+};
+
+/// Thin typed wrapper around a device handle.
+class Device {
+ public:
+  explicit Device(unsigned int index);
+
+  nvmlSimDevice_t handle() const noexcept { return handle_; }
+  std::string name() const;
+
+  double power_limit_watts() const;
+  void set_power_limit_watts(double watts);
+  std::pair<double, double> power_limit_constraints_watts() const;
+
+  bool mig_enabled() const;
+  void set_mig_enabled(bool enabled);
+
+  unsigned int create_gpu_instance(nvmlSimGpuInstanceProfile_t profile);
+  void destroy_gpu_instance(unsigned int gi_id);
+  unsigned int create_compute_instance(unsigned int gi_id, unsigned int slices);
+  void destroy_compute_instance(unsigned int ci_id);
+  std::string compute_instance_uuid(unsigned int ci_id) const;
+  std::vector<unsigned int> gpu_instance_ids() const;
+  std::vector<unsigned int> compute_instance_ids() const;
+
+ private:
+  nvmlSimDevice_t handle_ = nullptr;
+};
+
+/// RAII power-limit override: restores the previous limit on destruction.
+class ScopedPowerLimit {
+ public:
+  ScopedPowerLimit(Device& device, double watts);
+  ~ScopedPowerLimit();
+  ScopedPowerLimit(const ScopedPowerLimit&) = delete;
+  ScopedPowerLimit& operator=(const ScopedPowerLimit&) = delete;
+
+ private:
+  Device* device_;
+  double previous_watts_;
+};
+
+/// RAII MIG pair configuration: builds the paper's private or shared layout
+/// for two apps and tears everything down (instances + MIG mode) on exit.
+class ScopedMigPair {
+ public:
+  ScopedMigPair(Device& device, int gpcs_app1, int gpcs_app2, bool shared_memory);
+  ~ScopedMigPair();
+  ScopedMigPair(const ScopedMigPair&) = delete;
+  ScopedMigPair& operator=(const ScopedMigPair&) = delete;
+
+  const std::string& uuid_app1() const noexcept { return uuid1_; }
+  const std::string& uuid_app2() const noexcept { return uuid2_; }
+  unsigned int ci_app1() const noexcept { return ci1_; }
+  unsigned int ci_app2() const noexcept { return ci2_; }
+
+ private:
+  Device* device_;
+  std::vector<unsigned int> gis_;
+  std::vector<unsigned int> cis_;
+  unsigned int ci1_ = 0;
+  unsigned int ci2_ = 0;
+  std::string uuid1_;
+  std::string uuid2_;
+};
+
+/// Map a GPC count (1,2,3,4,7) to the GI profile enum; throws on bad sizes.
+nvmlSimGpuInstanceProfile_t profile_for_gpcs(int gpcs);
+
+}  // namespace migopt::nvml

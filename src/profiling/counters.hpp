@@ -1,0 +1,45 @@
+// Profile counters F1..F8 (the paper's Table 3), as collected by the
+// Nsight-Compute-analogue profiler from a profile run.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace migopt::prof {
+
+/// Counter indices, named after Table 3.
+enum class Counter : std::size_t {
+  ComputeThroughputPct = 0,  ///< F1: busiest compute pipe, % of peak
+  MemoryThroughputPct = 1,   ///< F2: busiest memory unit (LLC/DRAM), %
+  DramThroughputPct = 2,     ///< F3: DRAM bandwidth, % of chip peak
+  L2HitRatePct = 3,          ///< F4: LLC hit rate, %
+  OccupancyPct = 4,          ///< F5: achieved SM occupancy, %
+  TensorMixedPct = 5,        ///< F6: Tensor pipe (FP16/BF16/TF32), %
+  TensorDoublePct = 6,       ///< F7: Tensor pipe (FP64), %
+  TensorIntegerPct = 7,      ///< F8: Tensor pipe (INT), %
+};
+inline constexpr std::size_t kCounterCount = 8;
+
+inline constexpr std::array<const char*, kCounterCount> kCounterNames = {
+    "compute_throughput_pct", "memory_throughput_pct", "dram_throughput_pct",
+    "l2_hit_rate_pct",        "occupancy_pct",         "tensor_mixed_pct",
+    "tensor_double_pct",      "tensor_integer_pct"};
+
+/// One benchmark's profile: the feature vector F of the paper's model.
+struct CounterSet {
+  std::array<double, kCounterCount> values = {0, 0, 0, 0, 0, 0, 0, 0};
+
+  double operator[](Counter c) const noexcept {
+    return values[static_cast<std::size_t>(c)];
+  }
+  double& operator[](Counter c) noexcept {
+    return values[static_cast<std::size_t>(c)];
+  }
+
+  /// All counters are percentages; contract-check the 0..100 range.
+  void validate() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace migopt::prof

@@ -1,0 +1,62 @@
+#include "profiling/profile_db.hpp"
+
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+#include "common/string_util.hpp"
+
+namespace migopt::prof {
+
+bool ProfileDb::contains(const std::string& app) const noexcept {
+  return profiles_.find(app) != profiles_.end();
+}
+
+std::optional<CounterSet> ProfileDb::find(const std::string& app) const {
+  const auto it = profiles_.find(app);
+  if (it == profiles_.end()) return std::nullopt;
+  return it->second;
+}
+
+const CounterSet& ProfileDb::at(const std::string& app) const {
+  const auto it = profiles_.find(app);
+  MIGOPT_REQUIRE(it != profiles_.end(), "no profile recorded for app: " + app);
+  return it->second;
+}
+
+void ProfileDb::put(const std::string& app, const CounterSet& counters) {
+  MIGOPT_REQUIRE(!app.empty(), "profile needs an app name");
+  counters.validate();
+  profiles_[app] = counters;
+}
+
+std::vector<std::string> ProfileDb::app_names() const {
+  std::vector<std::string> out;
+  out.reserve(profiles_.size());
+  for (const auto& [name, counters] : profiles_) out.push_back(name);
+  return out;
+}
+
+void ProfileDb::save(const std::string& path) const {
+  std::vector<std::string> header = {"app"};
+  for (const char* name : kCounterNames) header.emplace_back(name);
+  CsvDocument doc(std::move(header));
+  for (const auto& [name, counters] : profiles_) {
+    std::vector<std::string> row = {name};
+    for (double v : counters.values) row.push_back(str::format_exact(v));
+    doc.add_row(std::move(row));
+  }
+  doc.save(path);
+}
+
+ProfileDb ProfileDb::load(const std::string& path) {
+  const CsvDocument doc = CsvDocument::load(path);
+  ProfileDb db;
+  for (std::size_t r = 0; r < doc.row_count(); ++r) {
+    CounterSet counters;
+    for (std::size_t i = 0; i < kCounterCount; ++i)
+      counters.values[i] = doc.cell_as_double(r, kCounterNames[i]);
+    db.put(doc.cell(r, "app"), counters);
+  }
+  return db;
+}
+
+}  // namespace migopt::prof

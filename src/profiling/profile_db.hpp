@@ -1,0 +1,40 @@
+// Persistent profile database (the "App Profiles" store in the paper's
+// Figure 7 workflow). Applications without a stored profile must run
+// exclusively once before they are eligible for co-scheduling.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "profiling/counters.hpp"
+
+namespace migopt::prof {
+
+class ProfileDb {
+ public:
+  ProfileDb() = default;
+
+  bool contains(const std::string& app) const noexcept;
+  std::optional<CounterSet> find(const std::string& app) const;
+
+  /// Lookup that throws ContractViolation when missing (programming error on
+  /// paths that must have checked contains() first).
+  const CounterSet& at(const std::string& app) const;
+
+  /// Insert or replace.
+  void put(const std::string& app, const CounterSet& counters);
+
+  std::size_t size() const noexcept { return profiles_.size(); }
+  std::vector<std::string> app_names() const;
+
+  /// CSV round-trip: header "app,f1..f8".
+  void save(const std::string& path) const;
+  static ProfileDb load(const std::string& path);
+
+ private:
+  std::map<std::string, CounterSet> profiles_;
+};
+
+}  // namespace migopt::prof

@@ -1,0 +1,58 @@
+#include "profiling/profiler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/string_util.hpp"
+
+namespace migopt::prof {
+
+void CounterSet::validate() const {
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    MIGOPT_REQUIRE(values[i] >= 0.0 && values[i] <= 100.0,
+                   std::string("counter out of [0,100]: ") + kCounterNames[i]);
+}
+
+std::string CounterSet::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    if (i > 0) os << ' ';
+    os << 'F' << (i + 1) << '=' << str::format_fixed(values[i], 1);
+  }
+  return os.str();
+}
+
+CounterSet counters_from_result(const gpusim::KernelDescriptor& kernel,
+                                const gpusim::AppResult& result) {
+  using gpusim::Pipe;
+  auto util = [&](Pipe p) {
+    return result.pipe_util[static_cast<std::size_t>(p)];
+  };
+
+  CounterSet f;
+  const double compute_busy =
+      std::max({util(Pipe::Fp32), util(Pipe::Fp64), util(Pipe::Int),
+                util(Pipe::TensorMixed), util(Pipe::TensorDouble),
+                util(Pipe::TensorInteger)});
+  f[Counter::ComputeThroughputPct] = 100.0 * compute_busy;
+  f[Counter::MemoryThroughputPct] =
+      100.0 * std::max(result.l2_util_chip, result.dram_util_avail);
+  f[Counter::DramThroughputPct] = 100.0 * result.dram_util_chip;
+  f[Counter::L2HitRatePct] = 100.0 * result.effective_l2_hit;
+  f[Counter::OccupancyPct] = 100.0 * kernel.occupancy;
+  f[Counter::TensorMixedPct] = 100.0 * util(Pipe::TensorMixed);
+  f[Counter::TensorDoublePct] = 100.0 * util(Pipe::TensorDouble);
+  f[Counter::TensorIntegerPct] = 100.0 * util(Pipe::TensorInteger);
+  f.validate();
+  return f;
+}
+
+CounterSet profile_run(const gpusim::GpuChip& chip,
+                       const gpusim::KernelDescriptor& kernel) {
+  const gpusim::RunResult run =
+      chip.run_full_chip(kernel, chip.arch().tdp_watts);
+  return counters_from_result(kernel, run.apps.front());
+}
+
+}  // namespace migopt::prof

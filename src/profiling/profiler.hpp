@@ -1,0 +1,22 @@
+// Profile-run collection.
+//
+// The paper collects each application's counters with Nsight Compute during
+// one exclusive profile run "without any power capping, partitioning or
+// co-scheduling" (Section 5.1.3). The simulator equivalent runs the kernel
+// solo on the full chip at TDP and derives F1..F8 from the steady state.
+#pragma once
+
+#include "gpusim/gpu.hpp"
+#include "profiling/counters.hpp"
+
+namespace migopt::prof {
+
+/// Derive the counter set from an already-solved app state.
+CounterSet counters_from_result(const gpusim::KernelDescriptor& kernel,
+                                const gpusim::AppResult& result);
+
+/// Execute the profile run (exclusive, full chip, TDP) and collect counters.
+CounterSet profile_run(const gpusim::GpuChip& chip,
+                       const gpusim::KernelDescriptor& kernel);
+
+}  // namespace migopt::prof

@@ -1,0 +1,158 @@
+#include "sched/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "profiling/profiler.hpp"
+
+namespace migopt::sched {
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  MIGOPT_REQUIRE(config.node_count >= 1, "cluster needs at least one node");
+  nodes_.reserve(static_cast<std::size_t>(config.node_count));
+  for (int i = 0; i < config.node_count; ++i)
+    nodes_.push_back(std::make_unique<Node>(i));
+}
+
+ClusterReport Cluster::run(std::vector<Job> jobs, CoScheduler& scheduler) {
+  ClusterReport report;
+  JobQueue queue;
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const Job& a, const Job& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+  for (Job& job : jobs) queue.push(std::move(job));
+
+  double now = 0.0;
+  std::size_t busy_nodes = 0;
+
+  if (config_.total_power_budget_watts.has_value()) {
+    const double floor = config_.enable_coscheduling
+                             ? scheduler.min_cap()
+                             : nodes_.front()->chip().arch().min_power_cap_watts;
+    MIGOPT_REQUIRE(*config_.total_power_budget_watts >= floor,
+                   "power budget below the cheapest possible dispatch");
+  }
+
+  const auto busy_cap_sum = [this]() {
+    double sum = 0.0;
+    for (const auto& node : nodes_)
+      if (!node->idle()) sum += node->cap_watts();
+    return sum;
+  };
+
+  auto handle_completion = [&](Node& node, Job&& job, bool was_profile_run) {
+    report.jobs_completed += 1;
+    JobStat stat;
+    stat.id = job.id;
+    stat.app = job.app;
+    stat.turnaround = job.finish_time - job.submit_time;
+    stat.runtime = job.finish_time - job.start_time;
+    report.jobs.push_back(stat);
+    if (was_profile_run) {
+      scheduler.record_profile(job.app, prof::profile_run(node.chip(), *job.kernel));
+      report.profile_runs += 1;
+    }
+  };
+
+  // Track which jobs were profile runs per node (job id -> flag).
+  std::vector<std::vector<JobId>> profiling_jobs(nodes_.size());
+
+  while (true) {
+    // Dispatch onto every idle node while work is available.
+    bool dispatched = true;
+    while (dispatched) {
+      dispatched = false;
+      for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        Node& node = *nodes_[n];
+        if (!node.idle()) continue;
+
+        // Budget headroom left for this dispatch (cap accounting).
+        double max_affordable = std::numeric_limits<double>::infinity();
+        if (config_.total_power_budget_watts.has_value())
+          max_affordable = *config_.total_power_budget_watts - busy_cap_sum();
+
+        auto plan_opt = config_.enable_coscheduling
+                            ? scheduler.next(queue, now, max_affordable)
+                            : std::optional<DispatchPlan>{};
+        if (!config_.enable_coscheduling && queue.ready_count(now) > 0) {
+          const double cap = std::min(node.chip().arch().tdp_watts, max_affordable);
+          if (cap >= node.chip().arch().min_power_cap_watts) {
+            DispatchPlan exclusive;
+            exclusive.job1 = queue.pop_front();
+            exclusive.power_cap_watts = cap;
+            exclusive.profile_run = false;
+            plan_opt = std::move(exclusive);
+          }
+        }
+        if (!plan_opt.has_value()) continue;
+
+        DispatchPlan& plan = *plan_opt;
+        // Node clock may lag global time if it has been idle.
+        node.advance_to(now);
+        if (plan.job2.has_value()) {
+          node.dispatch_pair(std::move(plan.job1), std::move(*plan.job2),
+                             plan.allocation.state, plan.power_cap_watts);
+          report.pair_dispatches += 1;
+        } else {
+          if (plan.profile_run) profiling_jobs[n].push_back(plan.job1.id);
+          node.dispatch_exclusive(std::move(plan.job1), plan.power_cap_watts);
+          report.exclusive_dispatches += 1;
+        }
+        busy_nodes = 0;
+        for (const auto& check : nodes_)
+          if (!check->idle()) ++busy_nodes;
+        report.peak_cap_sum_watts =
+            std::max(report.peak_cap_sum_watts, busy_cap_sum());
+        dispatched = true;
+      }
+    }
+
+    if (queue.empty() && busy_nodes == 0) break;
+
+    // Find the next event: earliest completion across nodes, or the next
+    // submit time when everything idles but jobs are still in the future.
+    // A job that is already ready is not an event — it waits for a node to
+    // free up, otherwise the loop would spin at the same timestamp.
+    double next_event = std::numeric_limits<double>::infinity();
+    for (const auto& node : nodes_)
+      next_event = std::min(next_event, node->next_completion_time());
+    if (!queue.empty() && queue.front().submit_time > now)
+      next_event = std::min(next_event, queue.front().submit_time);
+    MIGOPT_ENSURE(std::isfinite(next_event), "cluster deadlock: no next event");
+    MIGOPT_ENSURE(next_event <= config_.max_sim_seconds,
+                  "cluster simulation exceeded its time guard");
+    now = std::max(now, next_event);
+
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      Node& node = *nodes_[n];
+      for (Job& job : node.advance_to(now)) {
+        auto& plist = profiling_jobs[n];
+        const auto it = std::find(plist.begin(), plist.end(), job.id);
+        const bool was_profile = it != plist.end();
+        if (was_profile) plist.erase(it);
+        handle_completion(node, std::move(job), was_profile);
+      }
+    }
+    busy_nodes = 0;
+    for (const auto& check : nodes_)
+      if (!check->idle()) ++busy_nodes;
+  }
+
+  report.makespan_seconds = 0.0;
+  for (const auto& node : nodes_) {
+    report.makespan_seconds = std::max(report.makespan_seconds, node->now());
+    report.total_energy_joules += node->energy_joules();
+  }
+  if (!report.jobs.empty()) {
+    double acc = 0.0;
+    for (const JobStat& stat : report.jobs) acc += stat.turnaround;
+    report.mean_turnaround = acc / static_cast<double>(report.jobs.size());
+  }
+  return report;
+}
+
+}  // namespace migopt::sched

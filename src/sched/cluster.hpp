@@ -1,0 +1,70 @@
+// Multi-node cluster simulation — the paper's future-work direction
+// ("selecting an optimal combination of co-locating jobs from a job queue at
+// cluster scale"), built on the Node and CoScheduler pieces.
+//
+// The event loop dispatches from a shared queue onto idle nodes, collects
+// profiles from exclusive first runs, and reports makespan, energy, and
+// per-job statistics. A plain exclusive-FIFO mode provides the baseline.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sched/coscheduler.hpp"
+#include "sched/node.hpp"
+
+namespace migopt::sched {
+
+struct ClusterConfig {
+  int node_count = 4;
+  /// When false, every job runs exclusively (FIFO) — the comparison baseline.
+  bool enable_coscheduling = true;
+  /// Wall-clock guard for the event loop.
+  double max_sim_seconds = 1.0e7;
+  /// Cluster-wide GPU power budget in watts of *cap* (the provisioning
+  /// contract, not instantaneous draw): the caps of concurrently running
+  /// nodes never sum above it. A node that cannot afford the cheapest cap
+  /// waits for running work to release budget — the paper's Section 5.2.3
+  /// budget shifting applied to the dispatch loop. Empty = unconstrained.
+  std::optional<double> total_power_budget_watts;
+};
+
+struct JobStat {
+  JobId id = -1;
+  std::string app;
+  double turnaround = 0.0;  ///< finish - submit
+  double runtime = 0.0;     ///< finish - start
+};
+
+struct ClusterReport {
+  double makespan_seconds = 0.0;
+  double total_energy_joules = 0.0;
+  std::size_t jobs_completed = 0;
+  std::size_t pair_dispatches = 0;
+  std::size_t exclusive_dispatches = 0;
+  std::size_t profile_runs = 0;
+  double mean_turnaround = 0.0;
+  /// Highest sum of concurrently active node caps observed (<= the budget
+  /// whenever one is configured).
+  double peak_cap_sum_watts = 0.0;
+  std::vector<JobStat> jobs;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  /// Run all jobs to completion through the scheduler; returns the report.
+  /// Jobs may have staggered submit times.
+  ClusterReport run(std::vector<Job> jobs, CoScheduler& scheduler);
+
+  /// Nodes are heap-held because a Node embeds a GpuChip (non-movable).
+  const std::vector<std::unique_ptr<Node>>& nodes() const noexcept { return nodes_; }
+
+ private:
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace migopt::sched

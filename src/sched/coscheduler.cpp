@@ -1,0 +1,129 @@
+#include "sched/coscheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace migopt::sched {
+
+CoScheduler::CoScheduler(core::ResourcePowerAllocator& allocator,
+                         core::Policy policy, SchedulerTuning tuning)
+    : allocator_(&allocator), policy_(policy), tuning_(tuning) {
+  MIGOPT_REQUIRE(tuning_.pairing_window >= 1, "pairing window must be >= 1");
+  MIGOPT_REQUIRE(tuning_.min_pair_speedup >= 0.0,
+                 "negative pairing speedup threshold");
+  MIGOPT_REQUIRE(tuning_.duration_benefit_margin >= 0.0 &&
+                     tuning_.duration_benefit_margin < 1.0,
+                 "duration benefit margin out of [0,1)");
+}
+
+bool CoScheduler::pair_acceptable(const Job& pivot, const Job& candidate,
+                                  const core::Decision& decision) const noexcept {
+  if (!decision.feasible) return false;
+  if (decision.predicted.throughput < tuning_.min_pair_speedup) return false;
+  if (tuning_.require_duration_benefit && pivot.solo_seconds_per_wu > 0.0 &&
+      candidate.solo_seconds_per_wu > 0.0) {
+    const double t1 = pivot.work_units * pivot.solo_seconds_per_wu;
+    const double t2 = candidate.work_units * candidate.solo_seconds_per_wu;
+    const double r1 = std::max(decision.predicted.relperf_app1, 1e-6);
+    const double r2 = std::max(decision.predicted.relperf_app2, 1e-6);
+    // Paired completion estimate: the longer member keeps running at its
+    // partition rate after the shorter one exits (no instance migration).
+    const double paired = std::max(t1 / r1, t2 / r2);
+    if (paired >= (t1 + t2) * (1.0 - tuning_.duration_benefit_margin))
+      return false;
+  }
+  return true;
+}
+
+double CoScheduler::default_cap(double max_cap_watts) const noexcept {
+  // Exclusive runs execute under Problem 1's fixed cap when one is set;
+  // otherwise at the highest cap the optimizer may choose — in both cases
+  // clamped into the budget ceiling via the trained grid.
+  if (policy_.fixed_power_cap.has_value() &&
+      *policy_.fixed_power_cap <= max_cap_watts)
+    return *policy_.fixed_power_cap;
+  double best = -1.0;
+  for (const double cap : allocator_->optimizer().caps())
+    if (cap <= max_cap_watts) best = std::max(best, cap);
+  return best;
+}
+
+double CoScheduler::min_cap() const noexcept {
+  double low = std::numeric_limits<double>::infinity();
+  for (const double cap : allocator_->optimizer().caps())
+    low = std::min(low, cap);
+  return low;
+}
+
+std::optional<DispatchPlan> CoScheduler::next(JobQueue& queue, double now,
+                                              double max_cap_watts) {
+  const std::size_t ready = queue.ready_count(now);
+  if (ready == 0) return std::nullopt;
+  if (max_cap_watts < min_cap()) return std::nullopt;  // budget exhausted
+
+  const core::Policy policy = std::isfinite(max_cap_watts)
+                                  ? policy_.with_ceiling(max_cap_watts)
+                                  : policy_;
+
+  // Pivot: the first ready job not waiting on an in-flight profile run of its
+  // own application (only one profile run per app may be outstanding).
+  std::optional<std::size_t> pivot;
+  for (std::size_t i = 0; i < ready; ++i) {
+    if (profiling_in_flight_.count(queue.peek(i).app) == 0) {
+      pivot = i;
+      break;
+    }
+  }
+  if (!pivot.has_value()) return std::nullopt;
+
+  DispatchPlan plan;
+  plan.power_cap_watts = default_cap(max_cap_watts);
+
+  // Unprofiled pivot -> exclusive profile run.
+  if (!allocator_->can_coschedule(queue.peek(*pivot).app)) {
+    profiling_in_flight_.insert(queue.peek(*pivot).app);
+    plan.job1 = queue.pop_at(*pivot);
+    plan.profile_run = true;
+    return plan;
+  }
+
+  // Scan the window beyond the pivot for the best acceptable partner.
+  const std::size_t window = std::min(ready, *pivot + tuning_.pairing_window + 1);
+  std::optional<std::size_t> best_index;
+  core::Decision best_decision;
+  for (std::size_t i = *pivot + 1; i < window; ++i) {
+    const Job& candidate = queue.peek(i);
+    if (profiling_in_flight_.count(candidate.app) > 0) continue;
+    if (!allocator_->can_coschedule(candidate.app)) continue;
+    const core::Decision decision =
+        allocator_->allocate(queue.peek(*pivot).app, candidate.app, policy);
+    if (!pair_acceptable(queue.peek(*pivot), candidate, decision)) continue;
+    if (!best_index.has_value() ||
+        decision.objective_value > best_decision.objective_value) {
+      best_index = i;
+      best_decision = decision;
+    }
+  }
+
+  if (!best_index.has_value()) {
+    plan.job1 = queue.pop_at(*pivot);
+    return plan;  // exclusive, no feasible partner in the window
+  }
+
+  // Pop the partner first (higher index) so the pivot index stays valid.
+  plan.job2 = queue.pop_at(*best_index);
+  plan.job1 = queue.pop_at(*pivot);
+  plan.allocation = best_decision;
+  plan.power_cap_watts = best_decision.power_cap_watts;
+  return plan;
+}
+
+void CoScheduler::record_profile(const std::string& app,
+                                 const prof::CounterSet& counters) {
+  profiling_in_flight_.erase(app);
+  allocator_->record_profile(app, counters);
+}
+
+}  // namespace migopt::sched

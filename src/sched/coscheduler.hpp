@@ -1,0 +1,91 @@
+// Pair selection (the "(Co-)Scheduler" box of the paper's Figure 1).
+//
+// Dispatch rule: take the queue head; scan a lookahead window for the partner
+// whose allocator decision maximizes the policy objective among feasible
+// candidates. Jobs without a recorded profile must run exclusively first
+// (Figure 7: "if no profile is recorded... must be executed exclusively for
+// the profile run").
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "core/policy.hpp"
+#include "core/workflow.hpp"
+#include "sched/job_queue.hpp"
+
+namespace migopt::sched {
+
+struct DispatchPlan {
+  Job job1;
+  std::optional<Job> job2;        ///< empty -> exclusive run
+  core::Decision allocation;      ///< valid when job2 is set
+  double power_cap_watts = 0.0;   ///< cap for the dispatch (pair or exclusive)
+  bool profile_run = false;       ///< exclusive because the profile is missing
+};
+
+/// Knobs controlling when a candidate pair is worth dispatching together.
+struct SchedulerTuning {
+  /// How many ready jobs beyond the pivot are scanned for a partner.
+  std::size_t pairing_window = 8;
+  /// Minimum *predicted* weighted speedup to co-schedule. 1.0 is the
+  /// break-even against time sharing; the margin absorbs model error (the
+  /// paper reports ~10% mean throughput error), so marginal pairs run
+  /// exclusively instead of gambling on a losing co-location.
+  double min_pair_speedup = 1.1;
+  /// With duration hints on both jobs, require the estimated paired
+  /// completion time to beat serial execution. Protects against pairing a
+  /// long job with a short one: once the short partner exits, the survivor
+  /// is pinned to its partition for its whole tail.
+  bool require_duration_benefit = true;
+  /// Minimum estimated saving of the pair versus serial execution, as a
+  /// fraction of the serial time (only with duration hints). Thin-margin
+  /// pairs sit inside the model's error band, so they run serially instead.
+  double duration_benefit_margin = 0.1;
+};
+
+class CoScheduler {
+ public:
+  /// `allocator` must outlive the scheduler; it is mutated when profile runs
+  /// complete (record_profile).
+  CoScheduler(core::ResourcePowerAllocator& allocator, core::Policy policy,
+              SchedulerTuning tuning = {});
+
+  const core::Policy& policy() const noexcept { return policy_; }
+  const SchedulerTuning& tuning() const noexcept { return tuning_; }
+
+  /// Plan the next dispatch from the queue (jobs ready at `now`); nullopt
+  /// when no job is ready, every ready job is waiting for an in-flight
+  /// profile run of its application, or `max_cap_watts` (what remains of a
+  /// cluster power budget) is below every cap the optimizer may choose.
+  std::optional<DispatchPlan> next(JobQueue& queue, double now,
+                                   double max_cap_watts =
+                                       std::numeric_limits<double>::infinity());
+
+  /// The smallest cap in the optimizer's grid — the cheapest dispatch the
+  /// cluster's budget accounting must be able to afford.
+  double min_cap() const noexcept;
+
+  /// Record a profile measured during an exclusive first run. Releases any
+  /// queued jobs of the same application held back while it was in flight.
+  void record_profile(const std::string& app, const prof::CounterSet& counters);
+
+ private:
+  /// Cap for exclusive dispatches, honouring `max_cap_watts`; negative when
+  /// nothing in the grid fits.
+  double default_cap(double max_cap_watts) const noexcept;
+  /// Apply the tuning gates to a candidate decision for (pivot, candidate).
+  bool pair_acceptable(const Job& pivot, const Job& candidate,
+                       const core::Decision& decision) const noexcept;
+
+  core::ResourcePowerAllocator* allocator_;
+  core::Policy policy_;
+  SchedulerTuning tuning_;
+  /// Applications whose first (profiling) run has been dispatched but has not
+  /// completed yet; further instances wait so only one profile run happens.
+  std::set<std::string> profiling_in_flight_;
+};
+
+}  // namespace migopt::sched

@@ -1,0 +1,36 @@
+// Jobs as the cluster-level scheduler sees them: a named application (whose
+// kernel characteristics the node will execute) plus total work and
+// bookkeeping timestamps.
+#pragma once
+
+#include <string>
+
+#include "gpusim/kernel.hpp"
+
+namespace migopt::sched {
+
+using JobId = int;
+
+struct Job {
+  JobId id = -1;
+  std::string app;  ///< workload name (profile-database key)
+  const gpusim::KernelDescriptor* kernel = nullptr;
+  double work_units = 0.0;   ///< total work to execute
+  double submit_time = 0.0;  ///< seconds, simulation clock
+  /// Expected solo full-chip seconds per work unit (the walltime estimate a
+  /// user or history database supplies to an HPC scheduler). 0 = unknown;
+  /// when both jobs of a candidate pair carry hints, the co-scheduler uses
+  /// them to reject duration-mismatched pairings whose tail would waste the
+  /// partition (a running CUDA context cannot migrate between MIG instances).
+  double solo_seconds_per_wu = 0.0;
+
+  // Filled by the simulation:
+  double start_time = -1.0;
+  double finish_time = -1.0;
+
+  bool started() const noexcept { return start_time >= 0.0; }
+  bool finished() const noexcept { return finish_time >= 0.0; }
+  void validate() const;
+};
+
+}  // namespace migopt::sched

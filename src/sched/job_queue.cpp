@@ -1,0 +1,47 @@
+#include "sched/job_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace migopt::sched {
+
+void JobQueue::push(Job job) {
+  job.validate();
+  jobs_.push_back(std::move(job));
+}
+
+const Job& JobQueue::front() const {
+  MIGOPT_REQUIRE(!jobs_.empty(), "front of empty queue");
+  return jobs_.front();
+}
+
+const Job& JobQueue::peek(std::size_t index) const {
+  MIGOPT_REQUIRE(index < jobs_.size(), "peek beyond queue size");
+  return jobs_[index];
+}
+
+Job JobQueue::pop_front() {
+  MIGOPT_REQUIRE(!jobs_.empty(), "pop from empty queue");
+  Job job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return job;
+}
+
+Job JobQueue::pop_at(std::size_t index) {
+  MIGOPT_REQUIRE(index < jobs_.size(), "pop_at beyond queue size");
+  Job job = std::move(jobs_[index]);
+  jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(index));
+  return job;
+}
+
+std::size_t JobQueue::ready_count(double now) const noexcept {
+  std::size_t count = 0;
+  for (const Job& job : jobs_) {
+    if (job.submit_time <= now)
+      ++count;
+    else
+      break;  // FIFO by submit time
+  }
+  return count;
+}
+
+}  // namespace migopt::sched

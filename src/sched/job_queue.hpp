@@ -1,0 +1,34 @@
+// FIFO job queue with lookahead access for pair selection.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "sched/job.hpp"
+
+namespace migopt::sched {
+
+class JobQueue {
+ public:
+  void push(Job job);
+
+  bool empty() const noexcept { return jobs_.empty(); }
+  std::size_t size() const noexcept { return jobs_.size(); }
+
+  const Job& front() const;
+  /// Look at position `index` from the front (0 == front).
+  const Job& peek(std::size_t index) const;
+
+  Job pop_front();
+  /// Remove and return the job at `index` (used when a partner is selected
+  /// out of order).
+  Job pop_at(std::size_t index);
+
+  /// Jobs submitted at or before `now` (FIFO order preserved).
+  std::size_t ready_count(double now) const noexcept;
+
+ private:
+  std::deque<Job> jobs_;
+};
+
+}  // namespace migopt::sched

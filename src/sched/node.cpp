@@ -1,0 +1,131 @@
+#include "sched/node.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace migopt::sched {
+
+namespace {
+constexpr double kWorkEpsilon = 1e-9;
+}
+
+Node::Node(int id, gpusim::ArchConfig arch)
+    : id_(id), chip_(arch), cap_watts_(arch.tdp_watts) {}
+
+double Node::next_completion_time() const noexcept {
+  double next = std::numeric_limits<double>::infinity();
+  for (const Slot& slot : slots_)
+    next = std::min(next, now_ + slot.remaining_work * slot.seconds_per_wu);
+  return next;
+}
+
+void Node::dispatch_pair(Job job1, Job job2, const core::PartitionState& state,
+                         double power_cap_watts) {
+  std::vector<Job> jobs;
+  jobs.push_back(std::move(job1));
+  jobs.push_back(std::move(job2));
+  dispatch_group(std::move(jobs), core::GroupState::from_pair(state),
+                 power_cap_watts);
+}
+
+void Node::dispatch_group(std::vector<Job> jobs, const core::GroupState& state,
+                          double power_cap_watts) {
+  MIGOPT_REQUIRE(idle(), "dispatch_group on busy node");
+  MIGOPT_REQUIRE(jobs.size() >= 2, "group dispatch needs at least two jobs");
+  MIGOPT_REQUIRE(jobs.size() == state.size(),
+                 "job count does not match the group state");
+  option_ = state.option;
+  cap_watts_ = power_cap_watts;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].validate();
+    jobs[i].start_time = now_;
+    slots_.push_back(Slot{std::move(jobs[i]), 0.0, 0.0, state.gpcs_of(i)});
+    slots_.back().remaining_work = slots_.back().job.work_units;
+  }
+  recompute_rates();
+}
+
+void Node::dispatch_exclusive(Job job, double power_cap_watts) {
+  MIGOPT_REQUIRE(idle(), "dispatch_exclusive on busy node");
+  job.validate();
+  job.start_time = now_;
+  option_.reset();
+  cap_watts_ = power_cap_watts;
+  slots_.push_back(Slot{std::move(job), 0.0, 0.0, chip_.arch().total_gpcs});
+  slots_[0].remaining_work = slots_[0].job.work_units;
+  recompute_rates();
+}
+
+void Node::recompute_rates() {
+  if (slots_.empty()) {
+    run_power_watts_ = chip_.arch().idle_power_watts;
+    return;
+  }
+  if (slots_.size() >= 2) {
+    MIGOPT_ENSURE(option_.has_value(), "group without an LLC/HBM option");
+    std::vector<gpusim::GpuChip::GroupMember> members(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      members[i].kernel = slots_[i].job.kernel;
+      members[i].gpcs = slots_[i].gpcs;
+    }
+    const gpusim::RunResult run =
+        chip_.run_group(members, *option_, cap_watts_);
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+      slots_[i].seconds_per_wu = run.apps[i].seconds_per_wu;
+    run_power_watts_ = run.power_watts;
+    return;
+  }
+  // Single job: exclusive full chip, or solo on its partition slice when the
+  // co-runners have finished (the partition is kept, as on real MIG).
+  const Slot& slot = slots_.front();
+  const gpusim::RunResult run =
+      option_.has_value()
+          ? chip_.run_solo(*slot.job.kernel, slot.gpcs, *option_, cap_watts_)
+          : chip_.run_full_chip(*slot.job.kernel, cap_watts_);
+  slots_.front().seconds_per_wu = run.apps[0].seconds_per_wu;
+  run_power_watts_ = run.power_watts;
+}
+
+double Node::current_power() const noexcept {
+  return slots_.empty() ? chip_.arch().idle_power_watts : run_power_watts_;
+}
+
+std::vector<Job> Node::advance_to(double t) {
+  MIGOPT_REQUIRE(t >= now_ - 1e-12, "cannot advance node backwards");
+  std::vector<Job> finished;
+
+  while (now_ < t) {
+    const double next = next_completion_time();
+    const double step_end = std::min(next, t);
+    const double dt = step_end - now_;
+    if (dt > 0.0) {
+      energy_joules_ += current_power() * dt;
+      for (Slot& slot : slots_)
+        slot.remaining_work -= dt / slot.seconds_per_wu;
+      now_ = step_end;
+    }
+
+    // Collect completions at this instant.
+    bool any_finished = false;
+    for (std::size_t i = 0; i < slots_.size();) {
+      if (slots_[i].remaining_work <= kWorkEpsilon) {
+        slots_[i].job.finish_time = now_;
+        finished.push_back(std::move(slots_[i].job));
+        slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
+        any_finished = true;
+      } else {
+        ++i;
+      }
+    }
+    if (any_finished) {
+      if (slots_.empty()) option_.reset();
+      recompute_rates();
+    }
+    if (dt <= 0.0 && !any_finished) break;  // nothing can progress
+  }
+  return finished;
+}
+
+}  // namespace migopt::sched

@@ -1,0 +1,79 @@
+// A compute node: one simulated GPU executing a group of co-located jobs
+// (the common case is a pair, as in the paper's evaluation).
+//
+// The node is driven by the cluster event loop: jobs are dispatched with a
+// partitioning state and power cap (as decided by the Resource & Power
+// Allocator), progress at the rates the execution engine computes, and the
+// node integrates energy over time. When a co-runner finishes early, the
+// survivors' rates are re-solved on their partitions — exactly what happens
+// on real MIG when a neighbouring instance goes idle (a running CUDA context
+// cannot migrate to a different instance).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/hw_state.hpp"
+#include "gpusim/gpu.hpp"
+#include "sched/job.hpp"
+
+namespace migopt::sched {
+
+class Node {
+ public:
+  explicit Node(int id, gpusim::ArchConfig arch = gpusim::a100_sxm_like());
+
+  int id() const noexcept { return id_; }
+  gpusim::GpuChip& chip() noexcept { return chip_; }
+  const gpusim::GpuChip& chip() const noexcept { return chip_; }
+
+  bool idle() const noexcept { return slots_.empty(); }
+  double now() const noexcept { return now_; }
+  double energy_joules() const noexcept { return energy_joules_; }
+  /// Cap of the current dispatch (meaningful only while busy).
+  double cap_watts() const noexcept { return cap_watts_; }
+
+  /// Next time a running job completes; infinity when idle.
+  double next_completion_time() const noexcept;
+
+  /// Dispatch a pair under a partition state + cap. Node must be idle.
+  void dispatch_pair(Job job1, Job job2, const core::PartitionState& state,
+                     double power_cap_watts);
+
+  /// Dispatch N jobs under an N-way group state + cap. Node must be idle.
+  void dispatch_group(std::vector<Job> jobs, const core::GroupState& state,
+                      double power_cap_watts);
+
+  /// Dispatch one job exclusively (full chip) under a cap. Node must be idle.
+  void dispatch_exclusive(Job job, double power_cap_watts);
+
+  /// Advance the node clock to `t` (>= now), finishing any jobs whose work
+  /// completes by then; returns them with finish_time set. `t` beyond the
+  /// last completion leaves the node idle at its final completion time and
+  /// idles forward (idle power accrues).
+  std::vector<Job> advance_to(double t);
+
+ private:
+  struct Slot {
+    Job job;
+    double remaining_work = 0.0;
+    double seconds_per_wu = 0.0;
+    int gpcs = 0;
+  };
+
+  void recompute_rates();
+  double current_power() const noexcept;
+
+  int id_;
+  gpusim::GpuChip chip_;
+  double now_ = 0.0;
+  double energy_joules_ = 0.0;
+  std::vector<Slot> slots_;
+  /// LLC/HBM option of the current group; empty for exclusive (full-chip)
+  /// runs. Slot GPC counts carry the rest of the partition state.
+  std::optional<gpusim::MemOption> option_;
+  double cap_watts_;
+  double run_power_watts_ = 0.0;
+};
+
+}  // namespace migopt::sched

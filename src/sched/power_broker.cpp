@@ -1,0 +1,134 @@
+#include "sched/power_broker.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "core/hw_state.hpp"
+
+namespace migopt::sched {
+
+PowerBroker::PowerBroker(const core::ResourcePowerAllocator& allocator,
+                         double alpha, std::vector<double> caps)
+    : allocator_(&allocator), alpha_(alpha), caps_(std::move(caps)) {
+  MIGOPT_REQUIRE(alpha_ >= 0.0 && alpha_ < 1.0, "alpha out of [0,1)");
+  if (caps_.empty()) caps_ = core::paper_power_caps();
+  std::sort(caps_.begin(), caps_.end());
+  MIGOPT_REQUIRE(!caps_.empty(), "empty cap grid");
+  MIGOPT_REQUIRE(caps_.front() > 0.0, "caps must be positive");
+}
+
+core::Decision PowerBroker::decide_at(const NodePairWorkload& node,
+                                      double cap) const {
+  return allocator_->allocate(node.app1, node.app2,
+                              core::Policy::problem1(cap, alpha_));
+}
+
+ClusterPowerPlan PowerBroker::allocate(const std::vector<NodePairWorkload>& nodes,
+                                       double total_budget_watts) const {
+  MIGOPT_REQUIRE(!nodes.empty(), "no nodes to budget");
+  const double floor_total = caps_.front() * static_cast<double>(nodes.size());
+  MIGOPT_REQUIRE(total_budget_watts >= floor_total,
+                 "budget cannot cover every node at the lowest cap");
+
+  // Precompute each node's best predicted throughput at every cap level.
+  const std::size_t n = nodes.size();
+  std::vector<std::vector<core::Decision>> table(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    table[i].reserve(caps_.size());
+    for (const double cap : caps_) table[i].push_back(decide_at(nodes[i], cap));
+  }
+  const auto value = [&](std::size_t node, std::size_t level) {
+    return table[node][level].feasible ? table[node][level].objective_value : 0.0;
+  };
+
+  // Greedy marginal-utility ascent from the floor assignment.
+  std::vector<std::size_t> level(n, 0);
+  double spent = caps_.front() * static_cast<double>(n);
+  while (true) {
+    double best_gain_per_watt = 0.0;
+    std::size_t best_node = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (level[i] + 1 >= caps_.size()) continue;
+      const double extra = caps_[level[i] + 1] - caps_[level[i]];
+      if (spent + extra > total_budget_watts + 1e-9) continue;
+      const double gain = value(i, level[i] + 1) - value(i, level[i]);
+      const double gain_per_watt = gain / extra;
+      if (best_node == n || gain_per_watt > best_gain_per_watt) {
+        best_gain_per_watt = gain_per_watt;
+        best_node = i;
+      }
+    }
+    // Stop when no step fits the budget; zero-gain steps are still taken so
+    // leftover budget parks at higher caps (harmless — caps are upper
+    // bounds), but only while some node gains. Once every remaining step
+    // gains nothing, stop and leave the budget unspent.
+    if (best_node == n || best_gain_per_watt <= 0.0) break;
+    spent += caps_[level[best_node] + 1] - caps_[level[best_node]];
+    level[best_node] += 1;
+  }
+
+  ClusterPowerPlan plan;
+  plan.nodes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.nodes[i].cap_watts = caps_[level[i]];
+    plan.nodes[i].decision = table[i][level[i]];
+    plan.total_cap_watts += caps_[level[i]];
+    plan.predicted_total_throughput += value(i, level[i]);
+  }
+  return plan;
+}
+
+ClusterPowerPlan PowerBroker::allocate_exhaustive(
+    const std::vector<NodePairWorkload>& nodes, double total_budget_watts) const {
+  MIGOPT_REQUIRE(!nodes.empty(), "no nodes to budget");
+  MIGOPT_REQUIRE(nodes.size() <= 6, "exhaustive oracle is test/bench sized");
+  const double floor_total = caps_.front() * static_cast<double>(nodes.size());
+  MIGOPT_REQUIRE(total_budget_watts >= floor_total,
+                 "budget cannot cover every node at the lowest cap");
+
+  const std::size_t n = nodes.size();
+  std::vector<std::vector<core::Decision>> table(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (const double cap : caps_) table[i].push_back(decide_at(nodes[i], cap));
+
+  std::vector<std::size_t> level(n, 0);
+  std::vector<std::size_t> best_level(n, 0);
+  double best_value = -std::numeric_limits<double>::infinity();
+  const auto recurse = [&](auto&& self, std::size_t depth, double spent,
+                           double accumulated) -> void {
+    if (depth == n) {
+      if (accumulated > best_value) {
+        best_value = accumulated;
+        best_level = level;
+      }
+      return;
+    }
+    for (std::size_t l = 0; l < caps_.size(); ++l) {
+      const double next_spent = spent + caps_[l];
+      // Remaining nodes need at least the floor cap each.
+      const double remaining_floor =
+          caps_.front() * static_cast<double>(n - depth - 1);
+      if (next_spent + remaining_floor > total_budget_watts + 1e-9) break;
+      level[depth] = l;
+      const double v =
+          table[depth][l].feasible ? table[depth][l].objective_value : 0.0;
+      self(self, depth + 1, next_spent, accumulated + v);
+    }
+  };
+  recurse(recurse, 0, 0.0, 0.0);
+
+  ClusterPowerPlan plan;
+  plan.nodes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.nodes[i].cap_watts = caps_[best_level[i]];
+    plan.nodes[i].decision = table[i][best_level[i]];
+    plan.total_cap_watts += caps_[best_level[i]];
+    plan.predicted_total_throughput +=
+        plan.nodes[i].decision.feasible ? plan.nodes[i].decision.objective_value
+                                        : 0.0;
+  }
+  return plan;
+}
+
+}  // namespace migopt::sched

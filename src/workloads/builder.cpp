@@ -1,0 +1,59 @@
+#include "workloads/builder.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace migopt::wl {
+
+gpusim::KernelDescriptor build_kernel(const gpusim::ArchConfig& arch,
+                                      const KernelTargets& targets) {
+  MIGOPT_REQUIRE(!targets.name.empty(), "kernel targets need a name");
+  MIGOPT_REQUIRE(targets.runtime_seconds > 0.0, "non-positive reference runtime");
+  MIGOPT_REQUIRE(targets.dram_time_fraction >= 0.0 && targets.dram_time_fraction <= 1.0,
+                 "dram_time_fraction out of [0,1]");
+  MIGOPT_REQUIRE(targets.l2_hit_rate >= 0.0 && targets.l2_hit_rate <= 0.98,
+                 "l2 hit rate out of [0,0.98]");
+  MIGOPT_REQUIRE(targets.latency_fraction >= 0.0 && targets.latency_fraction <= 1.0,
+                 "latency fraction out of [0,1]");
+
+  gpusim::KernelDescriptor kernel;
+  kernel.name = targets.name;
+  kernel.pipe_efficiency = targets.pipe_efficiency;
+  kernel.l2_hit_rate = targets.l2_hit_rate;
+  kernel.l2_footprint_mb = targets.l2_footprint_mb;
+  kernel.memory_parallelism = targets.mem_parallelism;
+  kernel.occupancy = targets.occupancy;
+  kernel.latency_sensitivity = targets.latency_sensitivity;
+  kernel.total_work_units = targets.work_units;
+
+  const double t = targets.runtime_seconds;
+
+  // Compute pipes: ops such that pipe busy time equals util * t at the
+  // profile-run operating point (full chip, max clock).
+  for (std::size_t p = 0; p < gpusim::kPipeCount; ++p) {
+    const double util = targets.pipe_util[p];
+    MIGOPT_REQUIRE(util >= 0.0 && util <= 1.0, "pipe util out of [0,1]");
+    if (util <= 0.0) continue;
+    const double full_rate =
+        arch.pipe_rate(static_cast<gpusim::Pipe>(p), arch.total_gpcs, 1.0) *
+        targets.pipe_efficiency;
+    kernel.pipe_ops[p] = util * t * full_rate;
+  }
+
+  // Memory traffic: dram_time_fraction is relative to the bandwidth the
+  // kernel can actually reach on the full chip (issue- or chip-limited).
+  const double issue_bw = static_cast<double>(arch.total_gpcs) *
+                          arch.per_gpc_bw_issue_fraction * targets.mem_parallelism *
+                          arch.hbm_bandwidth_total;
+  const double reachable_bw = std::min(arch.hbm_bandwidth_total, issue_bw);
+  const double dram_bytes = targets.dram_time_fraction * t * reachable_bw;
+  kernel.l2_bytes = dram_bytes / std::max(1e-9, 1.0 - targets.l2_hit_rate);
+
+  kernel.latency_seconds = targets.latency_fraction * t;
+
+  kernel.validate();
+  return kernel;
+}
+
+}  // namespace migopt::wl

@@ -1,0 +1,51 @@
+// Target-driven kernel construction.
+//
+// Workload authors describe a kernel by the utilization profile it exhibits
+// on the *full chip at max clock* (the paper's profile-run condition); the
+// builder converts those targets into absolute per-work-unit demands for the
+// given architecture. This keeps the 24 benchmark definitions readable and
+// machine-independent.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "gpusim/arch_config.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace migopt::wl {
+
+struct KernelTargets {
+  std::string name;
+
+  /// Intended reference runtime per work unit on the full chip at max clock.
+  double runtime_seconds = 0.05;
+
+  /// Busy fraction of each compute pipe relative to the reference runtime
+  /// (the dominant resource of a compute-bound kernel should be 1.0).
+  std::array<double, gpusim::kPipeCount> pipe_util = {0, 0, 0, 0, 0, 0};
+
+  double pipe_efficiency = 0.9;
+
+  /// t_dram / runtime when the kernel has all the bandwidth it can use
+  /// (1.0 = fully memory-bound).
+  double dram_time_fraction = 0.1;
+
+  double l2_hit_rate = 0.8;
+  double l2_footprint_mb = 20.0;
+  double mem_parallelism = 1.0;
+
+  /// Latency floor as a fraction of the reference runtime (1.0 = fully
+  /// latency-bound, the "Un-Scalable" signature).
+  double latency_fraction = 0.02;
+  double latency_sensitivity = 0.0;
+
+  double occupancy = 0.5;
+  double work_units = 1.0e4;
+};
+
+/// Convert targets into a validated KernelDescriptor for `arch`.
+gpusim::KernelDescriptor build_kernel(const gpusim::ArchConfig& arch,
+                                      const KernelTargets& targets);
+
+}  // namespace migopt::wl

@@ -1,0 +1,29 @@
+// Workload taxonomy from the paper (Table 7): every benchmark belongs to one
+// of four classes derived from its scalability and profile counters.
+#pragma once
+
+#include <string>
+
+#include "gpusim/kernel.hpp"
+
+namespace migopt::wl {
+
+/// Benchmark classes (Section 5.1.2):
+///  * US — Un-Scalable: < 10% degradation at 1 GPC / 150 W / private;
+///  * TI — Tensor-core Intensive: F1/F2 > 0.8 and uses Tensor Cores;
+///  * CI — (non-tensor) Compute Intensive: F1/F2 > 0.8, no Tensor Cores;
+///  * MI — Memory Intensive: everything else.
+enum class WorkloadClass { TI, CI, MI, US };
+
+const char* to_string(WorkloadClass cls) noexcept;
+
+/// A named benchmark: its kernel demands plus the class the paper assigns.
+/// `expected_class` is ground truth for the classification tests; the library
+/// itself re-derives classes from measurements (see core/classifier).
+struct WorkloadSpec {
+  gpusim::KernelDescriptor kernel;
+  WorkloadClass expected_class = WorkloadClass::US;
+  std::string description;
+};
+
+}  // namespace migopt::wl

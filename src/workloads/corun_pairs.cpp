@@ -1,0 +1,49 @@
+#include "workloads/corun_pairs.hpp"
+
+#include "common/assert.hpp"
+
+namespace migopt::wl {
+
+std::vector<CorunPair> table8_pairs() {
+  using C = WorkloadClass;
+  // Table 8 of the paper, in order. ("tr32gemm" there is the paper's typo for
+  // tf32gemm; "heartwell" is its spelling of Rodinia's heartwall.)
+  return {
+      {"TI-TI1", "tdgemm", "tf32gemm", C::TI, C::TI},
+      {"TI-TI2", "fp16gemm", "bf16gemm", C::TI, C::TI},
+      {"CI-CI1", "sgemm", "lavaMD", C::CI, C::CI},
+      {"CI-CI2", "dgemm", "hotspot", C::CI, C::CI},
+      {"MI-MI1", "randomaccess", "gaussian", C::MI, C::MI},
+      {"MI-MI2", "stream", "leukocyte", C::MI, C::MI},
+      {"US-US1", "bfs", "dwt2d", C::US, C::US},
+      {"US-US2", "kmeans", "needle", C::US, C::US},
+      {"TI-MI1", "hgemm", "lud", C::TI, C::MI},
+      {"TI-MI2", "igemm4", "stream", C::TI, C::MI},
+      {"CI-MI1", "heartwell", "gaussian", C::CI, C::MI},
+      {"CI-MI2", "sgemm", "randomaccess", C::CI, C::MI},
+      {"TI-US1", "igemm8", "backprop", C::TI, C::US},
+      {"TI-US2", "fp16gemm", "pathfinder", C::TI, C::US},
+      {"CI-US1", "srad", "needle", C::CI, C::US},
+      {"CI-US2", "dgemm", "dwt2d", C::CI, C::US},
+      {"MI-US1", "leukocyte", "kmeans", C::MI, C::US},
+      {"MI-US2", "lud", "needle", C::MI, C::US},
+  };
+}
+
+const CorunPair& pair_by_name(const std::vector<CorunPair>& pairs,
+                              const std::string& name) {
+  for (const auto& pair : pairs)
+    if (pair.name == name) return pair;
+  MIGOPT_REQUIRE(false, "unknown co-run pair: " + name);
+  throw ContractViolation("unreachable");
+}
+
+ResolvedPair resolve(const WorkloadRegistry& registry, const CorunPair& pair) {
+  ResolvedPair out;
+  out.pair = &pair;
+  out.app1 = &registry.by_name(pair.app1);
+  out.app2 = &registry.by_name(pair.app2);
+  return out;
+}
+
+}  // namespace migopt::wl

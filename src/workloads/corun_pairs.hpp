@@ -1,0 +1,36 @@
+// The paper's 18 co-run workload pairs (Table 8): one pair per ordered class
+// combination, named like "TI-MI2".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/characteristics.hpp"
+#include "workloads/registry.hpp"
+
+namespace migopt::wl {
+
+struct CorunPair {
+  std::string name;        ///< e.g. "TI-MI2"
+  std::string app1;        ///< benchmark name of App1
+  std::string app2;        ///< benchmark name of App2
+  WorkloadClass class1;
+  WorkloadClass class2;
+};
+
+/// All 18 pairs of Table 8 in paper order.
+std::vector<CorunPair> table8_pairs();
+
+/// Look one up by name; throws ContractViolation if unknown.
+const CorunPair& pair_by_name(const std::vector<CorunPair>& pairs,
+                              const std::string& name);
+
+/// Resolve a pair against a registry (validates both apps exist).
+struct ResolvedPair {
+  const CorunPair* pair = nullptr;
+  const WorkloadSpec* app1 = nullptr;
+  const WorkloadSpec* app2 = nullptr;
+};
+ResolvedPair resolve(const WorkloadRegistry& registry, const CorunPair& pair);
+
+}  // namespace migopt::wl

@@ -1,0 +1,170 @@
+#include "workloads/gemm_suite.hpp"
+
+#include "workloads/builder.hpp"
+
+namespace migopt::wl {
+
+namespace {
+
+using gpusim::Pipe;
+
+void set_util(KernelTargets& t, Pipe pipe, double util) {
+  t.pipe_util[static_cast<std::size_t>(pipe)] = util;
+}
+
+WorkloadSpec make(const gpusim::ArchConfig& arch, const KernelTargets& targets,
+                  WorkloadClass cls, std::string description) {
+  WorkloadSpec spec;
+  spec.kernel = build_kernel(arch, targets);
+  spec.expected_class = cls;
+  spec.description = std::move(description);
+  return spec;
+}
+
+}  // namespace
+
+std::vector<WorkloadSpec> gemm_suite(const gpusim::ArchConfig& arch) {
+  std::vector<WorkloadSpec> out;
+
+  {  // sgemm — CUDA-core FP32 GEMM (class CI)
+    KernelTargets t;
+    t.name = "sgemm";
+    t.runtime_seconds = 0.050;
+    set_util(t, Pipe::Fp32, 1.0);
+    set_util(t, Pipe::Int, 0.15);
+    t.pipe_efficiency = 0.90;
+    t.dram_time_fraction = 0.15;
+    t.l2_hit_rate = 0.85;
+    t.l2_footprint_mb = 25.0;
+    t.latency_fraction = 0.010;
+    t.occupancy = 0.50;
+    out.push_back(make(arch, t, WorkloadClass::CI,
+                       "FP32 GEMM on CUDA cores (CUTLASS sgemm)"));
+  }
+  {  // dgemm — CUDA-core FP64 GEMM (class CI)
+    KernelTargets t;
+    t.name = "dgemm";
+    t.runtime_seconds = 0.100;
+    set_util(t, Pipe::Fp64, 1.0);
+    set_util(t, Pipe::Int, 0.15);
+    t.pipe_efficiency = 0.90;
+    t.dram_time_fraction = 0.15;
+    t.l2_hit_rate = 0.85;
+    t.l2_footprint_mb = 30.0;
+    t.latency_fraction = 0.010;
+    t.occupancy = 0.50;
+    out.push_back(make(arch, t, WorkloadClass::CI,
+                       "FP64 GEMM on CUDA cores (CUTLASS dgemm)"));
+  }
+  {  // tdgemm — Tensor-Core FP64 GEMM (class TI)
+    KernelTargets t;
+    t.name = "tdgemm";
+    t.runtime_seconds = 0.060;
+    set_util(t, Pipe::TensorDouble, 1.0);
+    set_util(t, Pipe::Fp32, 0.10);
+    set_util(t, Pipe::Int, 0.15);
+    t.pipe_efficiency = 0.90;
+    t.dram_time_fraction = 0.18;
+    t.l2_hit_rate = 0.85;
+    t.l2_footprint_mb = 22.0;
+    t.latency_fraction = 0.010;
+    t.occupancy = 0.40;
+    out.push_back(make(arch, t, WorkloadClass::TI,
+                       "FP64 GEMM on Tensor Cores (DMMA)"));
+  }
+  {  // tf32gemm — TF32 inputs, FP32 accumulate (class TI)
+    KernelTargets t;
+    t.name = "tf32gemm";
+    t.runtime_seconds = 0.055;
+    set_util(t, Pipe::TensorMixed, 1.0);
+    set_util(t, Pipe::Int, 0.15);
+    t.pipe_efficiency = 0.92;
+    t.dram_time_fraction = 0.20;
+    t.l2_hit_rate = 0.86;
+    t.l2_footprint_mb = 20.0;
+    t.latency_fraction = 0.010;
+    t.occupancy = 0.42;
+    out.push_back(make(arch, t, WorkloadClass::TI,
+                       "TF32-input GEMM on Tensor Cores"));
+  }
+  {  // hgemm — FP16 in/out (class TI)
+    KernelTargets t;
+    t.name = "hgemm";
+    t.runtime_seconds = 0.050;
+    set_util(t, Pipe::TensorMixed, 1.0);
+    set_util(t, Pipe::Int, 0.18);
+    t.pipe_efficiency = 0.95;
+    t.dram_time_fraction = 0.22;
+    t.l2_hit_rate = 0.88;
+    t.l2_footprint_mb = 18.0;
+    t.latency_fraction = 0.010;
+    t.occupancy = 0.45;
+    out.push_back(make(arch, t, WorkloadClass::TI,
+                       "FP16 GEMM with FP16 accumulation on Tensor Cores"));
+  }
+  {  // fp16gemm — FP16 inputs, FP32 accumulate (class TI)
+    KernelTargets t;
+    t.name = "fp16gemm";
+    t.runtime_seconds = 0.052;
+    set_util(t, Pipe::TensorMixed, 1.0);
+    set_util(t, Pipe::Fp32, 0.12);
+    set_util(t, Pipe::Int, 0.16);
+    t.pipe_efficiency = 0.90;
+    t.dram_time_fraction = 0.21;
+    t.l2_hit_rate = 0.87;
+    t.l2_footprint_mb = 19.0;
+    t.latency_fraction = 0.010;
+    t.occupancy = 0.44;
+    out.push_back(make(arch, t, WorkloadClass::TI,
+                       "FP16-input GEMM with FP32 accumulation"));
+  }
+  {  // bf16gemm — BF16 inputs, FP32 accumulate (class TI)
+    KernelTargets t;
+    t.name = "bf16gemm";
+    t.runtime_seconds = 0.053;
+    set_util(t, Pipe::TensorMixed, 1.0);
+    set_util(t, Pipe::Fp32, 0.10);
+    set_util(t, Pipe::Int, 0.16);
+    t.pipe_efficiency = 0.88;
+    t.dram_time_fraction = 0.21;
+    t.l2_hit_rate = 0.87;
+    t.l2_footprint_mb = 19.0;
+    t.latency_fraction = 0.010;
+    t.occupancy = 0.43;
+    out.push_back(make(arch, t, WorkloadClass::TI,
+                       "BF16-input GEMM with FP32 accumulation"));
+  }
+  {  // igemm4 — u4 integer GEMM (class TI)
+    KernelTargets t;
+    t.name = "igemm4";
+    t.runtime_seconds = 0.045;
+    set_util(t, Pipe::TensorInteger, 1.0);
+    set_util(t, Pipe::Int, 0.20);
+    t.pipe_efficiency = 0.90;
+    t.dram_time_fraction = 0.12;
+    t.l2_hit_rate = 0.90;
+    t.l2_footprint_mb = 16.0;
+    t.latency_fraction = 0.010;
+    t.occupancy = 0.38;
+    out.push_back(make(arch, t, WorkloadClass::TI,
+                       "INT4 GEMM with INT accumulation on Tensor Cores"));
+  }
+  {  // igemm8 — u8 integer GEMM (class TI)
+    KernelTargets t;
+    t.name = "igemm8";
+    t.runtime_seconds = 0.048;
+    set_util(t, Pipe::TensorInteger, 1.0);
+    set_util(t, Pipe::Int, 0.20);
+    t.pipe_efficiency = 0.93;
+    t.dram_time_fraction = 0.16;
+    t.l2_hit_rate = 0.89;
+    t.l2_footprint_mb = 17.0;
+    t.latency_fraction = 0.010;
+    t.occupancy = 0.40;
+    out.push_back(make(arch, t, WorkloadClass::TI,
+                       "INT8 GEMM with INT accumulation on Tensor Cores"));
+  }
+  return out;
+}
+
+}  // namespace migopt::wl

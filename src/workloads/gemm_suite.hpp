@@ -1,0 +1,15 @@
+// The nine CUTLASS-profiler GEMM variants of the paper's Table 6, spanning
+// plain CUDA-core GEMMs and every Tensor-Core operand class.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/arch_config.hpp"
+#include "workloads/characteristics.hpp"
+
+namespace migopt::wl {
+
+/// sgemm, dgemm, tdgemm, tf32gemm, hgemm, fp16gemm, bf16gemm, igemm4, igemm8.
+std::vector<WorkloadSpec> gemm_suite(const gpusim::ArchConfig& arch);
+
+}  // namespace migopt::wl

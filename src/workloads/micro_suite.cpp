@@ -1,0 +1,61 @@
+#include "workloads/micro_suite.hpp"
+
+#include "workloads/builder.hpp"
+
+namespace migopt::wl {
+
+namespace {
+
+using gpusim::Pipe;
+
+void set_util(KernelTargets& t, Pipe pipe, double util) {
+  t.pipe_util[static_cast<std::size_t>(pipe)] = util;
+}
+
+}  // namespace
+
+std::vector<WorkloadSpec> micro_suite(const gpusim::ArchConfig& arch) {
+  std::vector<WorkloadSpec> out;
+
+  {  // stream — saturates HBM with unit-stride triad traffic.
+    KernelTargets t;
+    t.name = "stream";
+    t.runtime_seconds = 0.020;
+    set_util(t, Pipe::Fp32, 0.12);
+    t.pipe_efficiency = 0.90;
+    t.dram_time_fraction = 1.0;
+    t.l2_hit_rate = 0.12;
+    t.l2_footprint_mb = 4.0;
+    t.mem_parallelism = 1.0;
+    t.latency_fraction = 0.005;
+    t.occupancy = 0.90;
+    WorkloadSpec spec;
+    spec.kernel = build_kernel(arch, t);
+    spec.expected_class = WorkloadClass::MI;
+    spec.description = "cuda-stream triad, pure streaming bandwidth";
+    out.push_back(std::move(spec));
+  }
+  {  // randomaccess — GUPS-style pointer chasing, low memory parallelism.
+    KernelTargets t;
+    t.name = "randomaccess";
+    t.runtime_seconds = 0.025;
+    set_util(t, Pipe::Int, 0.10);
+    set_util(t, Pipe::Fp32, 0.05);
+    t.pipe_efficiency = 0.90;
+    t.dram_time_fraction = 1.0;
+    t.l2_hit_rate = 0.05;
+    t.l2_footprint_mb = 60.0;
+    t.mem_parallelism = 0.35;
+    t.latency_fraction = 0.02;
+    t.occupancy = 0.95;
+    WorkloadSpec spec;
+    spec.kernel = build_kernel(arch, t);
+    spec.expected_class = WorkloadClass::MI;
+    spec.description = "random 8-byte updates over a large table (GUPS)";
+    out.push_back(std::move(spec));
+  }
+
+  return out;
+}
+
+}  // namespace migopt::wl

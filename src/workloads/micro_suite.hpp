@@ -1,0 +1,14 @@
+// Microbenchmarks used by the paper alongside Rodinia/CUTLASS:
+// stream (cuda-stream) and randomaccess (GUPS-style).
+#pragma once
+
+#include <vector>
+
+#include "gpusim/arch_config.hpp"
+#include "workloads/characteristics.hpp"
+
+namespace migopt::wl {
+
+std::vector<WorkloadSpec> micro_suite(const gpusim::ArchConfig& arch);
+
+}  // namespace migopt::wl

@@ -1,0 +1,34 @@
+// Registry of all paper benchmarks, indexed by name and by class.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/arch_config.hpp"
+#include "workloads/characteristics.hpp"
+
+namespace migopt::wl {
+
+/// Immutable collection of the 24 paper workloads built for one architecture.
+class WorkloadRegistry {
+ public:
+  explicit WorkloadRegistry(const gpusim::ArchConfig& arch);
+
+  std::span<const WorkloadSpec> all() const noexcept { return specs_; }
+  std::size_t size() const noexcept { return specs_.size(); }
+
+  /// Lookup by benchmark name; throws ContractViolation on unknown names.
+  const WorkloadSpec& by_name(const std::string& name) const;
+  bool contains(const std::string& name) const noexcept;
+
+  /// All members of a class, in registry order.
+  std::vector<const WorkloadSpec*> by_class(WorkloadClass cls) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<WorkloadSpec> specs_;
+};
+
+}  // namespace migopt::wl

@@ -1,0 +1,249 @@
+#include "workloads/rodinia_suite.hpp"
+
+#include "workloads/builder.hpp"
+
+namespace migopt::wl {
+
+namespace {
+
+using gpusim::Pipe;
+
+void set_util(KernelTargets& t, Pipe pipe, double util) {
+  t.pipe_util[static_cast<std::size_t>(pipe)] = util;
+}
+
+WorkloadSpec make(const gpusim::ArchConfig& arch, const KernelTargets& targets,
+                  WorkloadClass cls, std::string description) {
+  WorkloadSpec spec;
+  spec.kernel = build_kernel(arch, targets);
+  spec.expected_class = cls;
+  spec.description = std::move(description);
+  return spec;
+}
+
+}  // namespace
+
+std::vector<WorkloadSpec> rodinia_suite(const gpusim::ArchConfig& arch) {
+  std::vector<WorkloadSpec> out;
+
+  // ---- compute-intensive (CI) ---------------------------------------------
+  {
+    KernelTargets t;
+    t.name = "hotspot";
+    t.runtime_seconds = 0.030;
+    set_util(t, Pipe::Fp32, 1.0);
+    set_util(t, Pipe::Int, 0.25);
+    t.pipe_efficiency = 0.70;
+    t.dram_time_fraction = 0.30;
+    t.l2_hit_rate = 0.75;
+    t.l2_footprint_mb = 20.0;
+    t.latency_fraction = 0.03;
+    t.occupancy = 0.70;
+    out.push_back(make(arch, t, WorkloadClass::CI,
+                       "thermal stencil, FP32 compute-bound"));
+  }
+  {
+    KernelTargets t;
+    t.name = "lavaMD";
+    t.runtime_seconds = 0.045;
+    set_util(t, Pipe::Fp32, 1.0);
+    set_util(t, Pipe::Fp64, 0.08);
+    set_util(t, Pipe::Int, 0.20);
+    t.pipe_efficiency = 0.80;
+    t.dram_time_fraction = 0.08;
+    t.l2_hit_rate = 0.92;
+    t.l2_footprint_mb = 8.0;
+    t.latency_fraction = 0.02;
+    t.occupancy = 0.60;
+    out.push_back(make(arch, t, WorkloadClass::CI,
+                       "molecular dynamics, cache-friendly particle boxes"));
+  }
+  {
+    KernelTargets t;
+    t.name = "srad";
+    t.runtime_seconds = 0.025;
+    set_util(t, Pipe::Fp32, 1.0);
+    set_util(t, Pipe::Int, 0.30);
+    t.pipe_efficiency = 0.65;
+    t.dram_time_fraction = 0.40;
+    t.l2_hit_rate = 0.70;
+    t.l2_footprint_mb = 25.0;
+    t.latency_fraction = 0.03;
+    t.occupancy = 0.75;
+    out.push_back(make(arch, t, WorkloadClass::CI,
+                       "speckle-reducing anisotropic diffusion"));
+  }
+  {
+    KernelTargets t;
+    t.name = "heartwell";  // the paper's spelling of Rodinia's heartwall
+    t.runtime_seconds = 0.035;
+    set_util(t, Pipe::Fp32, 1.0);
+    set_util(t, Pipe::Int, 0.25);
+    t.pipe_efficiency = 0.60;
+    t.dram_time_fraction = 0.35;
+    t.l2_hit_rate = 0.78;
+    t.l2_footprint_mb = 15.0;
+    t.latency_fraction = 0.04;
+    t.occupancy = 0.65;
+    out.push_back(make(arch, t, WorkloadClass::CI,
+                       "heart-wall tracking, FP32 compute-bound"));
+  }
+
+  // ---- memory-intensive (MI) ----------------------------------------------
+  {
+    KernelTargets t;
+    t.name = "gaussian";
+    t.runtime_seconds = 0.015;
+    set_util(t, Pipe::Fp32, 0.30);
+    set_util(t, Pipe::Int, 0.10);
+    t.pipe_efficiency = 0.80;
+    t.dram_time_fraction = 0.95;
+    t.l2_hit_rate = 0.30;
+    t.l2_footprint_mb = 35.0;
+    t.mem_parallelism = 0.90;
+    t.latency_fraction = 0.03;
+    t.occupancy = 0.80;
+    out.push_back(make(arch, t, WorkloadClass::MI,
+                       "Gaussian elimination, row-sweep bandwidth-bound"));
+  }
+  {
+    KernelTargets t;
+    t.name = "leukocyte";
+    t.runtime_seconds = 0.040;
+    set_util(t, Pipe::Fp32, 0.55);
+    set_util(t, Pipe::Int, 0.15);
+    t.pipe_efficiency = 0.75;
+    t.dram_time_fraction = 0.90;
+    t.l2_hit_rate = 0.50;
+    t.l2_footprint_mb = 30.0;
+    t.mem_parallelism = 0.85;
+    t.latency_fraction = 0.02;
+    t.occupancy = 0.70;
+    out.push_back(make(arch, t, WorkloadClass::MI,
+                       "cell tracking, mixed compute with heavy streaming"));
+  }
+  {
+    KernelTargets t;
+    t.name = "lud";
+    t.runtime_seconds = 0.030;
+    set_util(t, Pipe::Fp32, 0.50);
+    set_util(t, Pipe::Int, 0.20);
+    t.pipe_efficiency = 0.70;
+    t.dram_time_fraction = 0.85;
+    t.l2_hit_rate = 0.60;
+    t.l2_footprint_mb = 45.0;
+    t.mem_parallelism = 0.80;
+    t.latency_fraction = 0.03;
+    t.occupancy = 0.60;
+    out.push_back(make(arch, t, WorkloadClass::MI,
+                       "LU decomposition, bandwidth-bound panels"));
+  }
+
+  // ---- un-scalable (US) -----------------------------------------------------
+  {
+    KernelTargets t;
+    t.name = "backprop";
+    t.runtime_seconds = 0.014;
+    set_util(t, Pipe::Fp32, 0.11);
+    set_util(t, Pipe::Int, 0.05);
+    t.pipe_efficiency = 0.80;
+    t.dram_time_fraction = 0.11;
+    t.l2_hit_rate = 0.55;
+    t.l2_footprint_mb = 4.0;
+    t.mem_parallelism = 0.80;
+    t.latency_fraction = 1.0;
+    t.latency_sensitivity = 0.9;
+    t.occupancy = 0.60;
+    out.push_back(make(arch, t, WorkloadClass::US,
+                       "small-layer training steps, launch-latency bound"));
+  }
+  {
+    KernelTargets t;
+    t.name = "bfs";
+    t.runtime_seconds = 0.015;
+    set_util(t, Pipe::Int, 0.06);
+    set_util(t, Pipe::Fp32, 0.02);
+    t.pipe_efficiency = 0.70;
+    t.dram_time_fraction = 0.12;
+    t.l2_hit_rate = 0.35;
+    t.l2_footprint_mb = 4.5;
+    t.mem_parallelism = 0.50;
+    t.latency_fraction = 1.0;
+    t.latency_sensitivity = 1.1;
+    t.occupancy = 0.50;
+    out.push_back(make(arch, t, WorkloadClass::US,
+                       "level-synchronous BFS, frontier-launch bound"));
+  }
+  {
+    KernelTargets t;
+    t.name = "dwt2d";
+    t.runtime_seconds = 0.012;
+    set_util(t, Pipe::Fp32, 0.12);
+    set_util(t, Pipe::Int, 0.06);
+    t.pipe_efficiency = 0.75;
+    t.dram_time_fraction = 0.10;
+    t.l2_hit_rate = 0.60;
+    t.l2_footprint_mb = 4.0;
+    t.mem_parallelism = 0.70;
+    t.latency_fraction = 1.0;
+    t.latency_sensitivity = 1.2;
+    t.occupancy = 0.55;
+    out.push_back(make(arch, t, WorkloadClass::US,
+                       "2-D discrete wavelet transform, stage-chain bound"));
+  }
+  {
+    KernelTargets t;
+    t.name = "kmeans";
+    t.runtime_seconds = 0.018;
+    set_util(t, Pipe::Fp32, 0.13);
+    set_util(t, Pipe::Int, 0.06);
+    t.pipe_efficiency = 0.80;
+    t.dram_time_fraction = 0.08;
+    t.l2_hit_rate = 0.50;
+    t.l2_footprint_mb = 3.0;
+    t.mem_parallelism = 0.80;
+    t.latency_fraction = 1.0;
+    t.latency_sensitivity = 0.8;
+    t.occupancy = 0.45;
+    out.push_back(make(arch, t, WorkloadClass::US,
+                       "k-means clustering, host-iteration bound"));
+  }
+  {
+    KernelTargets t;
+    t.name = "needle";
+    t.runtime_seconds = 0.016;
+    set_util(t, Pipe::Int, 0.07);
+    set_util(t, Pipe::Fp32, 0.04);
+    t.pipe_efficiency = 0.70;
+    t.dram_time_fraction = 0.09;
+    t.l2_hit_rate = 0.45;
+    t.l2_footprint_mb = 4.0;
+    t.mem_parallelism = 0.60;
+    t.latency_fraction = 1.0;
+    t.latency_sensitivity = 1.0;
+    t.occupancy = 0.40;
+    out.push_back(make(arch, t, WorkloadClass::US,
+                       "Needleman-Wunsch wavefront, dependency-chain bound"));
+  }
+  {
+    KernelTargets t;
+    t.name = "pathfinder";
+    t.runtime_seconds = 0.013;
+    set_util(t, Pipe::Fp32, 0.09);
+    set_util(t, Pipe::Int, 0.05);
+    t.pipe_efficiency = 0.75;
+    t.dram_time_fraction = 0.07;
+    t.l2_hit_rate = 0.50;
+    t.l2_footprint_mb = 3.5;
+    t.mem_parallelism = 0.70;
+    t.latency_fraction = 1.0;
+    t.latency_sensitivity = 0.9;
+    t.occupancy = 0.50;
+    out.push_back(make(arch, t, WorkloadClass::US,
+                       "dynamic-programming path search, row-step bound"));
+  }
+
+  return out;
+}
+
+}  // namespace migopt::wl

@@ -1,0 +1,16 @@
+// The Rodinia heterogeneous-computing kernels used by the paper (Table 7):
+// compute-intensive, memory-intensive, and un-scalable representatives.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/arch_config.hpp"
+#include "workloads/characteristics.hpp"
+
+namespace migopt::wl {
+
+/// hotspot, lavaMD, srad, heartwell, gaussian, leukocyte, lud, backprop,
+/// bfs, dwt2d, kmeans, needle, pathfinder.
+std::vector<WorkloadSpec> rodinia_suite(const gpusim::ArchConfig& arch);
+
+}  // namespace migopt::wl

@@ -1,0 +1,102 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace migopt {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  CsvDocument doc({"a", "b"});
+  doc.add_row({"1", "2"});
+  doc.add_row({"3", "4"});
+  EXPECT_EQ(doc.row_count(), 2u);
+  EXPECT_EQ(doc.column_count(), 2u);
+  EXPECT_EQ(doc.cell(1, "b"), "4");
+}
+
+TEST(Csv, EmptyHeaderRejected) {
+  EXPECT_THROW(CsvDocument(std::vector<std::string>{}), ContractViolation);
+}
+
+TEST(Csv, RowWidthMismatchRejected) {
+  CsvDocument doc({"a", "b"});
+  EXPECT_THROW(doc.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Csv, ColumnIndexLookup) {
+  CsvDocument doc({"x", "y", "z"});
+  EXPECT_EQ(doc.column_index("y"), 1u);
+  EXPECT_FALSE(doc.column_index("missing").has_value());
+}
+
+TEST(Csv, UnknownColumnThrows) {
+  CsvDocument doc({"a"});
+  doc.add_row({"1"});
+  EXPECT_THROW(doc.cell(0, "nope"), ContractViolation);
+}
+
+TEST(Csv, NumericCellParsing) {
+  CsvDocument doc({"v"});
+  doc.add_row({"2.5"});
+  doc.add_row({"not-a-number"});
+  EXPECT_DOUBLE_EQ(doc.cell_as_double(0, "v"), 2.5);
+  EXPECT_THROW(doc.cell_as_double(1, "v"), ContractViolation);
+}
+
+TEST(Csv, SerializeParseRoundTrip) {
+  CsvDocument doc({"name", "value"});
+  doc.add_row({"plain", "1"});
+  doc.add_row({"with,comma", "2"});
+  doc.add_row({"with\"quote", "3"});
+  doc.add_row({"with\nnewline", "4"});
+  doc.add_row({"", "5"});  // empty field
+
+  const CsvDocument parsed = CsvDocument::parse(doc.to_string());
+  ASSERT_EQ(parsed.row_count(), doc.row_count());
+  for (std::size_t r = 0; r < doc.row_count(); ++r) {
+    EXPECT_EQ(parsed.row(r)[0], doc.row(r)[0]);
+    EXPECT_EQ(parsed.row(r)[1], doc.row(r)[1]);
+  }
+}
+
+TEST(Csv, ParsesCrLfLineEndings) {
+  const CsvDocument doc = CsvDocument::parse("a,b\r\n1,2\r\n");
+  ASSERT_EQ(doc.row_count(), 1u);
+  EXPECT_EQ(doc.cell(0, "b"), "2");
+}
+
+TEST(Csv, RaggedRowRejected) {
+  EXPECT_THROW(CsvDocument::parse("a,b\n1\n"), ContractViolation);
+}
+
+TEST(Csv, UnterminatedQuoteRejected) {
+  EXPECT_THROW(CsvDocument::parse("a\n\"unclosed\n"), ContractViolation);
+}
+
+TEST(Csv, FileRoundTrip) {
+  CsvDocument doc({"k", "v"});
+  doc.add_row({"alpha", "0.2"});
+  const std::string path = ::testing::TempDir() + "/migopt_csv_test.csv";
+  doc.save(path);
+  const CsvDocument loaded = CsvDocument::load(path);
+  EXPECT_EQ(loaded.cell(0, "k"), "alpha");
+  EXPECT_DOUBLE_EQ(loaded.cell_as_double(0, "v"), 0.2);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, LoadMissingFileThrows) {
+  EXPECT_THROW(CsvDocument::load("/nonexistent/dir/file.csv"), ContractViolation);
+}
+
+TEST(Csv, RowIndexOutOfRangeThrows) {
+  CsvDocument doc({"a"});
+  EXPECT_THROW(doc.row(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace migopt

@@ -1,0 +1,231 @@
+#include "common/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace migopt::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(-2.0, 2.0);
+  return m;
+}
+
+// ---- QR ---------------------------------------------------------------------
+
+class QrProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(QrProperty, ReconstructsAndIsOrthonormal) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(rows * 131 + cols));
+  const Matrix a =
+      random_matrix(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols), rng);
+  const QrFactors f = qr_decompose(a);
+
+  // A == Q R.
+  const Matrix reconstructed = f.q * f.r;
+  EXPECT_LT(reconstructed.max_abs_diff(a), 1e-10);
+
+  // Q^T Q == I.
+  const Matrix qtq = f.q.transposed() * f.q;
+  EXPECT_LT(qtq.max_abs_diff(Matrix::identity(static_cast<std::size_t>(cols))), 1e-10);
+
+  // R upper triangular.
+  for (std::size_t r = 1; r < f.r.rows(); ++r)
+    for (std::size_t c = 0; c < r; ++c) EXPECT_DOUBLE_EQ(f.r(r, c), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrProperty,
+                         ::testing::Values(std::tuple{1, 1}, std::tuple{3, 2},
+                                           std::tuple{6, 6}, std::tuple{10, 4},
+                                           std::tuple{24, 6}, std::tuple{50, 8}));
+
+TEST(Qr, RejectsUnderdetermined) {
+  const Matrix a(2, 3);
+  EXPECT_THROW(qr_decompose(a), ContractViolation);
+}
+
+// ---- triangular solve --------------------------------------------------------
+
+TEST(UpperTriangularSolve, KnownSystem) {
+  const Matrix r = {{2.0, 1.0}, {0.0, 4.0}};
+  const std::vector<double> b = {5.0, 8.0};
+  const auto x = solve_upper_triangular(r, b);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[0], 1.5, 1e-12);
+}
+
+TEST(UpperTriangularSolve, RankDeficiencyPinsCoefficient) {
+  const Matrix r = {{1.0, 1.0}, {0.0, 0.0}};
+  const std::vector<double> b = {3.0, 0.0};
+  const auto x = solve_upper_triangular(r, b);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+}
+
+// ---- Cholesky ----------------------------------------------------------------
+
+TEST(Cholesky, FactorsSpdMatrix) {
+  const Matrix a = {{4.0, 2.0}, {2.0, 3.0}};
+  const auto l_opt = cholesky(a);
+  ASSERT_TRUE(l_opt.has_value());
+  const Matrix recon = *l_opt * l_opt->transposed();
+  EXPECT_LT(recon.max_abs_diff(a), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix a = {{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky(a).has_value());
+}
+
+TEST(SolveSpd, MatchesDirectSolution) {
+  const Matrix a = {{4.0, 1.0}, {1.0, 3.0}};
+  const std::vector<double> b = {1.0, 2.0};
+  const auto x = solve_spd(a, b);
+  // Verify A x == b.
+  EXPECT_NEAR(4.0 * x[0] + 1.0 * x[1], 1.0, 1e-12);
+  EXPECT_NEAR(1.0 * x[0] + 3.0 * x[1], 2.0, 1e-12);
+}
+
+TEST(SolveSpd, ThrowsOnNonSpd) {
+  const Matrix a = {{0.0, 0.0}, {0.0, 0.0}};
+  const std::vector<double> b = {1.0, 1.0};
+  EXPECT_THROW(solve_spd(a, b), ContractViolation);
+}
+
+// ---- least squares -------------------------------------------------------------
+
+class LeastSquaresRecovery : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeastSquaresRecovery, RecoversExactCoefficients) {
+  // y = A beta exactly -> least squares must recover beta.
+  const int cols = GetParam();
+  Rng rng(static_cast<std::uint64_t>(1000 + cols));
+  const std::size_t rows = static_cast<std::size_t>(cols) * 4;
+  const Matrix a = random_matrix(rows, static_cast<std::size_t>(cols), rng);
+  std::vector<double> beta(static_cast<std::size_t>(cols));
+  for (auto& v : beta) v = rng.uniform(-5.0, 5.0);
+  const auto y = matvec(a, beta);
+
+  const auto fit = least_squares(a, y);
+  ASSERT_EQ(fit.coefficients.size(), beta.size());
+  for (std::size_t i = 0; i < beta.size(); ++i)
+    EXPECT_NEAR(fit.coefficients[i], beta[i], 1e-9);
+  EXPECT_LT(fit.residual_norm, 1e-9);
+  EXPECT_EQ(fit.rank, static_cast<std::size_t>(cols));
+}
+
+INSTANTIATE_TEST_SUITE_P(Columns, LeastSquaresRecovery, ::testing::Values(1, 2, 3, 6, 9));
+
+TEST(LeastSquares, ProjectsNoisyData) {
+  // Overdetermined line fit: y = 2x + 1 with symmetric noise.
+  Matrix a(4, 2);
+  std::vector<double> y = {3.1, 4.9, 7.1, 8.9};
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 1.0;
+  }
+  const auto fit = least_squares(a, y);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 0.05);
+  EXPECT_NEAR(fit.coefficients[1], 1.0, 0.15);
+  EXPECT_GT(fit.residual_norm, 0.0);
+}
+
+TEST(LeastSquares, DuplicateColumnHandledByRankDetection) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = static_cast<double>(i + 1);  // identical column
+  }
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  const auto fit = least_squares(a, y);
+  EXPECT_EQ(fit.rank, 1u);
+  // The fit must still reproduce y.
+  const auto pred = matvec(a, fit.coefficients);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(pred[i], y[i], 1e-9);
+}
+
+TEST(LeastSquares, Contracts) {
+  const Matrix a(3, 2);
+  const std::vector<double> wrong_size = {1.0};
+  EXPECT_THROW(least_squares(a, wrong_size), ContractViolation);
+  const Matrix wide(2, 3);
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(least_squares(wide, b), ContractViolation);
+}
+
+// ---- ridge ----------------------------------------------------------------------
+
+TEST(Ridge, ZeroLambdaMatchesLeastSquares) {
+  Rng rng(77);
+  const Matrix a = random_matrix(12, 4, rng);
+  std::vector<double> y(12);
+  for (auto& v : y) v = rng.uniform(-1.0, 1.0);
+  const auto ols = least_squares(a, y);
+  const auto ridge_fit = ridge(a, y, 0.0);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(ridge_fit.coefficients[i], ols.coefficients[i], 1e-9);
+}
+
+TEST(Ridge, ShrinksCoefficients) {
+  Rng rng(78);
+  const Matrix a = random_matrix(20, 3, rng);
+  std::vector<double> y(20);
+  for (auto& v : y) v = rng.uniform(-1.0, 1.0);
+  const auto small = ridge(a, y, 1e-6);
+  const auto large = ridge(a, y, 100.0);
+  double norm_small = 0.0;
+  double norm_large = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    norm_small += small.coefficients[i] * small.coefficients[i];
+    norm_large += large.coefficients[i] * large.coefficients[i];
+  }
+  EXPECT_LT(norm_large, norm_small);
+}
+
+TEST(Ridge, UnpenalizedInterceptSurvivesLargeLambda) {
+  // Data with a big constant offset: y = 10 + small noise; the intercept (last
+  // column) must not shrink even under heavy regularization.
+  Matrix a(8, 2);
+  std::vector<double> y(8);
+  Rng rng(79);
+  for (std::size_t i = 0; i < 8; ++i) {
+    a(i, 0) = rng.uniform(-1.0, 1.0);
+    a(i, 1) = 1.0;
+    y[i] = 10.0 + 0.01 * a(i, 0);
+  }
+  const auto fit = ridge(a, y, 1000.0, /*penalize_last_column=*/false);
+  EXPECT_NEAR(fit.coefficients[1], 10.0, 0.1);
+  EXPECT_NEAR(fit.coefficients[0], 0.0, 0.05);
+}
+
+TEST(Ridge, StabilizesCollinearColumns) {
+  Matrix a(6, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = static_cast<double>(i) * (1.0 + 1e-13);  // nearly identical
+  }
+  std::vector<double> y(6);
+  for (std::size_t i = 0; i < 6; ++i) y[i] = 3.0 * static_cast<double>(i);
+  const auto fit = ridge(a, y, 1e-6);
+  // Combined effect must reproduce slope 3 without exploding coefficients.
+  EXPECT_NEAR(fit.coefficients[0] + fit.coefficients[1], 3.0, 1e-3);
+  EXPECT_LT(std::abs(fit.coefficients[0]), 10.0);
+  EXPECT_LT(std::abs(fit.coefficients[1]), 10.0);
+}
+
+TEST(Ridge, RejectsNegativeLambda) {
+  const Matrix a(3, 1, 1.0);
+  const std::vector<double> y = {1.0, 1.0, 1.0};
+  EXPECT_THROW(ridge(a, y, -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace migopt::linalg

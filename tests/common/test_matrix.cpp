@@ -1,0 +1,130 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace migopt {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 2, 1.5);
+  EXPECT_DOUBLE_EQ(m(1, 1), 1.5);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  auto make = [] { return Matrix{{1.0, 2.0}, {3.0}}; };
+  EXPECT_THROW(make(), ContractViolation);
+}
+
+TEST(Matrix, IndexOutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), ContractViolation);
+  EXPECT_THROW(m(0, 2), ContractViolation);
+  const Matrix& cm = m;
+  EXPECT_THROW(cm(5, 5), ContractViolation);
+}
+
+TEST(Matrix, IdentityMultiplicationIsNoop) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix i = Matrix::identity(2);
+  EXPECT_DOUBLE_EQ((a * i).max_abs_diff(a), 0.0);
+  EXPECT_DOUBLE_EQ((i * a).max_abs_diff(a), 0.0);
+}
+
+TEST(Matrix, MultiplyKnownResult) {
+  const Matrix a = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix b = {{7.0, 8.0}, {9.0, 10.0}, {11.0, 12.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, ContractViolation);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  const Matrix a = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t.transposed().max_abs_diff(a), 0.0);
+}
+
+TEST(Matrix, AddSubtract) {
+  const Matrix a = {{1.0, 2.0}};
+  const Matrix b = {{3.0, 5.0}};
+  EXPECT_DOUBLE_EQ((a + b)(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 2.0);
+  EXPECT_THROW(a + Matrix(2, 2), ContractViolation);
+}
+
+TEST(Matrix, ScalarScale) {
+  Matrix a = {{1.0, -2.0}};
+  a *= -2.0;
+  EXPECT_DOUBLE_EQ(a(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 4.0);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix a = {{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, ColumnFactory) {
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  const Matrix col = Matrix::column(values);
+  EXPECT_EQ(col.rows(), 3u);
+  EXPECT_EQ(col.cols(), 1u);
+  EXPECT_DOUBLE_EQ(col(1, 0), 2.0);
+}
+
+TEST(Matrix, RowSpanAccess) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  auto row = m.row(1);
+  EXPECT_EQ(row.size(), 2u);
+  row[0] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+  EXPECT_THROW(m.row(2), ContractViolation);
+}
+
+TEST(MatVec, KnownResultAndContracts) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> x = {1.0, 1.0};
+  const auto y = matvec(a, x);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  const std::vector<double> bad = {1.0};
+  EXPECT_THROW(matvec(a, bad), ContractViolation);
+}
+
+TEST(Dot, KnownResultAndContracts) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  const std::vector<double> bad = {1.0};
+  EXPECT_THROW(dot(a, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace migopt

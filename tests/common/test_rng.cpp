@@ -1,0 +1,119 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace migopt {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(7);
+  std::array<std::uint64_t, 16> first{};
+  for (auto& x : first) x = rng.next();
+  rng.reseed(7);
+  for (const auto& x : first) EXPECT_EQ(rng.next(), x);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 8.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 8.25);
+  }
+}
+
+TEST(Rng, UniformMeanNearCenter) {
+  Rng rng(5);
+  double acc = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(6);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000003ull}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST(Rng, BoundedZeroReturnsZero) {
+  Rng rng(8);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Rng, BoundedCoversAllResidues) {
+  Rng rng(9);
+  std::array<int, 7> histogram{};
+  for (int i = 0; i < 7000; ++i) ++histogram[rng.bounded(7)];
+  for (int count : histogram) EXPECT_GT(count, 700);  // ~1000 each
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(10);
+  constexpr int kSamples = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsShifts) {
+  Rng rng(11);
+  constexpr int kSamples = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.05);
+}
+
+TEST(Rng, WorksWithStdShuffleInterface) {
+  Rng rng(12);
+  std::vector<int> values(50);
+  for (int i = 0; i < 50; ++i) values[static_cast<std::size_t>(i)] = i;
+  std::shuffle(values.begin(), values.end(), rng);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace migopt

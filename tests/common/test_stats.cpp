@@ -1,0 +1,99 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace migopt::stats {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(Stats, StddevSample) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, GeomeanBasics) {
+  const std::vector<double> xs = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> xs = {1.0, 0.0};
+  EXPECT_THROW(geomean(xs), ContractViolation);
+  const std::vector<double> neg = {1.0, -2.0};
+  EXPECT_THROW(geomean(neg), ContractViolation);
+}
+
+TEST(Stats, GeomeanBelowArithmeticMean) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 10.0};
+  EXPECT_LT(geomean(xs), mean(xs));
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 7.0);
+  EXPECT_THROW(min(std::vector<double>{}), ContractViolation);
+  EXPECT_THROW(max(std::vector<double>{}), ContractViolation);
+}
+
+TEST(Stats, MapeMatchesPaperDefinition) {
+  // "average of absolute differences divided by the measured value"
+  const std::vector<double> measured = {1.0, 2.0, 4.0};
+  const std::vector<double> predicted = {1.1, 1.8, 4.0};
+  EXPECT_NEAR(mape(measured, predicted), (0.1 + 0.1 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(Stats, MapeContracts) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW(mape(a, b), ContractViolation);
+  const std::vector<double> zero = {0.0, 1.0};
+  EXPECT_THROW(mape(zero, a), ContractViolation);
+}
+
+TEST(Stats, RmseBasics) {
+  const std::vector<double> measured = {0.0, 0.0};
+  const std::vector<double> predicted = {3.0, 4.0};
+  EXPECT_NEAR(rmse(measured, predicted), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> anti = {6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, anti), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonZeroVarianceIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, RSquaredPerfectFitIsOne) {
+  const std::vector<double> measured = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(measured, measured), 1.0);
+}
+
+TEST(Stats, RSquaredMeanPredictorIsZero) {
+  const std::vector<double> measured = {1.0, 2.0, 3.0};
+  const std::vector<double> mean_pred = {2.0, 2.0, 2.0};
+  EXPECT_NEAR(r_squared(measured, mean_pred), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace migopt::stats

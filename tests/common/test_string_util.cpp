@@ -1,0 +1,93 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace migopt::str {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, SingleFieldWithoutDelimiter) {
+  const auto parts = split("plain", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "plain");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\na b\r "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("Shared", "shared"));
+  EXPECT_TRUE(iequals("ABC", "abc"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "ab"));
+}
+
+TEST(ToLower, Basics) {
+  EXPECT_EQ(to_lower("MiG-OPT"), "mig-opt");
+}
+
+TEST(ParseDouble, AcceptsNumbersRejectsGarbage) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("  -3e2 ").value(), -300.0);
+  EXPECT_FALSE(parse_double("12x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("   ").has_value());
+}
+
+TEST(ParseInt, AcceptsIntegersRejectsGarbage) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int(" -7 ").value(), -7);
+  EXPECT_FALSE(parse_int("4.2").has_value());
+  EXPECT_FALSE(parse_int("abc").has_value());
+}
+
+TEST(FormatFixed, RoundsToDecimals) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_fixed(1.235, 2), "1.24");
+  EXPECT_EQ(format_fixed(-0.5, 0), "-0");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("MIG-abc", "MIG-"));
+  EXPECT_FALSE(starts_with("MI", "MIG"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(FormatExact, RoundTripsBitExactly) {
+  // The model/profile CSV layer relies on exact double round-trips.
+  const double cases[] = {0.0,      -0.0,         1.0 / 3.0,  0.1,
+                          -123.456, 1.0e-300,     9.87e300,   42.0,
+                          0.918273645546372819e-5, -1.0 / 7.0};
+  for (const double value : cases) {
+    const auto text = format_exact(value);
+    const auto parsed = parse_double(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, value) << text;
+  }
+}
+
+}  // namespace
+}  // namespace migopt::str

@@ -1,0 +1,47 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace migopt {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "v"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.to_string();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("| name  | v  |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1  |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22 |"), std::string::npos);
+}
+
+TEST(TextTable, NumericRowFormatsDecimals) {
+  TextTable table({"label", "x", "y"});
+  table.add_numeric_row("row", {1.23456, 2.0}, 2);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(TextTable, WidthMismatchRejected) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only"}), ContractViolation);
+  EXPECT_THROW(table.add_numeric_row("l", {1.0, 2.0, 3.0}), ContractViolation);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable(std::vector<std::string>{}), ContractViolation);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace migopt

@@ -1,0 +1,94 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace migopt {
+namespace {
+
+TEST(ThreadPool, RunsAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleIndexRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    hits.fetch_add(1);
+  });
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [&](std::size_t i) {
+                          if (i == 137) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(10, [](std::size_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> hits{0};
+  pool.parallel_for(50, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 50);
+}
+
+TEST(ThreadPool, ThreadCountDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, SubmitRejectsNullTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), ContractViolation);
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(8);
+  constexpr std::size_t kCount = 5000;
+  std::vector<double> values(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) values[i] = static_cast<double>(i) * 0.5;
+  std::vector<double> doubled(kCount, 0.0);
+  pool.parallel_for(kCount, [&](std::size_t i) { doubled[i] = values[i] * 2.0; });
+  const double total = std::accumulate(doubled.begin(), doubled.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(kCount) * (kCount - 1) / 2.0);
+}
+
+}  // namespace
+}  // namespace migopt

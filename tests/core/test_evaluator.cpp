@@ -1,0 +1,169 @@
+#include "core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "test_util.hpp"
+
+namespace migopt::core {
+namespace {
+
+using gpusim::MemOption;
+using test::shared_artifacts;
+using test::shared_chip;
+using test::shared_registry;
+
+TEST(MeasurePair, MetricsAreConsistent) {
+  const auto& a = shared_registry().by_name("sgemm").kernel;
+  const auto& b = shared_registry().by_name("stream").kernel;
+  const PartitionState state{4, 3, MemOption::Shared};
+  const PairMetrics m = measure_pair(shared_chip(), a, b, state, 230.0);
+  EXPECT_NEAR(m.throughput, m.relperf_app1 + m.relperf_app2, 1e-12);
+  EXPECT_DOUBLE_EQ(m.fairness, std::min(m.relperf_app1, m.relperf_app2));
+  EXPECT_DOUBLE_EQ(m.power_cap_watts, 230.0);
+  EXPECT_NEAR(m.energy_efficiency, m.throughput / 230.0, 1e-15);
+}
+
+TEST(MeasurePair, MatchesDirectChipRun) {
+  const auto& a = shared_registry().by_name("dgemm").kernel;
+  const auto& b = shared_registry().by_name("dwt2d").kernel;
+  const PartitionState state{4, 3, MemOption::Private};
+  const PairMetrics m = measure_pair(shared_chip(), a, b, state, 210.0);
+  const auto run = shared_chip().run_pair(a, 4, b, 3, MemOption::Private, 210.0);
+  EXPECT_NEAR(m.relperf_app1,
+              shared_chip().relative_performance(a, run.apps[0]), 1e-12);
+  EXPECT_NEAR(m.relperf_app2,
+              shared_chip().relative_performance(b, run.apps[1]), 1e-12);
+}
+
+TEST(PredictPair, MatchesModelFormula) {
+  const auto& artifacts = shared_artifacts();
+  const auto& f1 = artifacts.profiles.at("sgemm");
+  const auto& f2 = artifacts.profiles.at("stream");
+  const PartitionState state{4, 3, MemOption::Shared};
+  const PairMetrics m = predict_pair(artifacts.model, f1, f2, state, 230.0);
+
+  const ModelKey key1 = ModelKey::make(4, MemOption::Shared, 230.0);
+  const ModelKey key2 = ModelKey::make(3, MemOption::Shared, 230.0);
+  const double expected1 =
+      PerfModel::clamp_relperf(artifacts.model.predict(key1, f1, {&f2, 1}));
+  const double expected2 =
+      PerfModel::clamp_relperf(artifacts.model.predict(key2, f2, {&f1, 1}));
+  EXPECT_NEAR(m.relperf_app1, expected1, 1e-12);
+  EXPECT_NEAR(m.relperf_app2, expected2, 1e-12);
+  EXPECT_NEAR(m.throughput, expected1 + expected2, 1e-12);
+}
+
+TEST(PredictPair, SwappedStateSwapsRoles) {
+  const auto& artifacts = shared_artifacts();
+  const auto& f1 = artifacts.profiles.at("hgemm");
+  const auto& f2 = artifacts.profiles.at("lud");
+  const PartitionState s1{4, 3, MemOption::Shared};
+  const PairMetrics forward = predict_pair(artifacts.model, f1, f2, s1, 250.0);
+  const PairMetrics swapped =
+      predict_pair(artifacts.model, f2, f1, s1.swapped(), 250.0);
+  EXPECT_NEAR(forward.relperf_app1, swapped.relperf_app2, 1e-12);
+  EXPECT_NEAR(forward.relperf_app2, swapped.relperf_app1, 1e-12);
+  EXPECT_NEAR(forward.throughput, swapped.throughput, 1e-12);
+}
+
+TEST(MeasurePair, PrivateEliminatesInterferenceForUsVictim) {
+  // The paper's Section 3 observation, as a measured invariant.
+  const auto& ci = shared_registry().by_name("dgemm").kernel;
+  const auto& us = shared_registry().by_name("dwt2d").kernel;
+  const PairMetrics shared =
+      measure_pair(shared_chip(), ci, us, {4, 3, MemOption::Shared}, 250.0);
+  const PairMetrics priv =
+      measure_pair(shared_chip(), ci, us, {4, 3, MemOption::Private}, 250.0);
+  EXPECT_GT(priv.relperf_app2, shared.relperf_app2 * 1.05);
+}
+
+TEST(MeasureGroup, TwoMemberGroupMatchesMeasurePair) {
+  const auto& a = shared_registry().by_name("igemm4").kernel;
+  const auto& b = shared_registry().by_name("stream").kernel;
+  const PartitionState pair_state{4, 3, MemOption::Shared};
+  const PairMetrics pair = measure_pair(shared_chip(), a, b, pair_state, 230.0);
+
+  const std::vector<const gpusim::KernelDescriptor*> kernels = {&a, &b};
+  const GroupMetrics group = measure_group(
+      shared_chip(), kernels, GroupState::from_pair(pair_state), 230.0);
+  ASSERT_EQ(group.relperf.size(), 2u);
+  EXPECT_DOUBLE_EQ(group.relperf[0], pair.relperf_app1);
+  EXPECT_DOUBLE_EQ(group.relperf[1], pair.relperf_app2);
+  EXPECT_DOUBLE_EQ(group.throughput, pair.throughput);
+  EXPECT_DOUBLE_EQ(group.fairness, pair.fairness);
+}
+
+TEST(MeasureGroup, ThreeWayMetricsAreConsistent) {
+  const auto& a = shared_registry().by_name("igemm4").kernel;
+  const auto& b = shared_registry().by_name("stream").kernel;
+  const auto& c = shared_registry().by_name("needle").kernel;
+  GroupState state;
+  state.gpcs = {3, 2, 2};
+  state.option = MemOption::Shared;
+  const std::vector<const gpusim::KernelDescriptor*> kernels = {&a, &b, &c};
+  const GroupMetrics m = measure_group(shared_chip(), kernels, state, 230.0);
+  ASSERT_EQ(m.relperf.size(), 3u);
+  double sum = 0.0, min = 1e9;
+  for (const double r : m.relperf) {
+    sum += r;
+    min = std::min(min, r);
+    EXPECT_GT(r, 0.0);
+  }
+  EXPECT_NEAR(m.throughput, sum, 1e-12);
+  EXPECT_DOUBLE_EQ(m.fairness, min);
+  EXPECT_NEAR(m.energy_efficiency, m.throughput / 230.0, 1e-15);
+}
+
+TEST(PredictGroup, TwoMemberGroupMatchesPredictPair) {
+  const auto& artifacts = shared_artifacts();
+  const auto& f1 = artifacts.profiles.at("sgemm");
+  const auto& f2 = artifacts.profiles.at("stream");
+  const PartitionState pair_state{4, 3, MemOption::Shared};
+  const PairMetrics pair = predict_pair(artifacts.model, f1, f2, pair_state, 230.0);
+
+  const std::vector<prof::CounterSet> profiles = {f1, f2};
+  const GroupMetrics group = predict_group(
+      artifacts.model, profiles, GroupState::from_pair(pair_state), 230.0);
+  ASSERT_EQ(group.relperf.size(), 2u);
+  EXPECT_NEAR(group.relperf[0], pair.relperf_app1, 1e-12);
+  EXPECT_NEAR(group.relperf[1], pair.relperf_app2, 1e-12);
+  EXPECT_NEAR(group.throughput, pair.throughput, 1e-12);
+}
+
+TEST(PredictGroup, ThreeWaySumsInterferenceOverCoRunners) {
+  // The paper's equation: RPerf_i = C·H(F_i) + Σ_{j≠i} D·J(F_j).
+  const auto& artifacts = test::shared_flexible_artifacts();
+  const auto& f1 = artifacts.profiles.at("igemm4");
+  const auto& f2 = artifacts.profiles.at("stream");
+  const auto& f3 = artifacts.profiles.at("needle");
+  GroupState state;
+  state.gpcs = {3, 2, 2};
+  state.option = MemOption::Shared;
+  const std::vector<prof::CounterSet> profiles = {f1, f2, f3};
+  const GroupMetrics m = predict_group(artifacts.model, profiles, state, 230.0);
+
+  const ModelKey key1 = ModelKey::make(3, MemOption::Shared, 230.0);
+  const std::vector<prof::CounterSet> others = {f2, f3};
+  const double expected =
+      PerfModel::clamp_relperf(artifacts.model.predict(key1, f1, others));
+  EXPECT_NEAR(m.relperf[0], expected, 1e-12);
+}
+
+TEST(GroupEvaluator, SizeMismatchContracts) {
+  const auto& artifacts = shared_artifacts();
+  const auto& a = shared_registry().by_name("sgemm").kernel;
+  GroupState state;
+  state.gpcs = {3, 2, 2};
+  const std::vector<const gpusim::KernelDescriptor*> two = {&a, &a};
+  EXPECT_THROW(measure_group(shared_chip(), two, state, 230.0),
+               ContractViolation);
+  const std::vector<prof::CounterSet> one = {artifacts.profiles.at("sgemm")};
+  EXPECT_THROW(predict_group(artifacts.model, one, state, 230.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace migopt::core

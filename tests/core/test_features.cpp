@@ -1,0 +1,84 @@
+#include "core/features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace migopt::core {
+namespace {
+
+using prof::Counter;
+using prof::CounterSet;
+
+CounterSet make_counters(double f1, double f2, double f3, double f4, double f5,
+                         double f6, double f7, double f8) {
+  CounterSet f;
+  f[Counter::ComputeThroughputPct] = f1;
+  f[Counter::MemoryThroughputPct] = f2;
+  f[Counter::DramThroughputPct] = f3;
+  f[Counter::L2HitRatePct] = f4;
+  f[Counter::OccupancyPct] = f5;
+  f[Counter::TensorMixedPct] = f6;
+  f[Counter::TensorDoublePct] = f7;
+  f[Counter::TensorIntegerPct] = f8;
+  return f;
+}
+
+TEST(BasisH, NonTensorComputeKernel) {
+  // sgemm-like: F1=100, no tensor -> H1=1, H2=0.
+  const auto h = basis_h(make_counters(100, 35, 15, 85, 50, 0, 0, 0));
+  EXPECT_NEAR(h[0], 1.0, 1e-12);   // H1 non-tensor compute
+  EXPECT_NEAR(h[1], 0.0, 1e-12);   // H2 tensor
+  EXPECT_NEAR(h[2], 0.35, 1e-12);  // H3 = F2/F1
+  EXPECT_NEAR(h[3], 0.85, 1e-12);  // H4 = F4/100
+  EXPECT_NEAR(h[4], 0.50, 1e-12);  // H5 = F5/100
+  EXPECT_DOUBLE_EQ(h[5], 1.0);     // H6 const
+}
+
+TEST(BasisH, TensorKernelMovesIntensityToH2) {
+  // hgemm-like: F1=100 (the tensor pipe), F6=100.
+  const auto h = basis_h(make_counters(100, 45, 20, 88, 45, 100, 0, 0));
+  EXPECT_NEAR(h[0], 0.0, 1e-12);  // H1 = F1/100 - H2
+  EXPECT_NEAR(h[1], 1.0, 1e-12);
+}
+
+TEST(BasisH, TensorSumAcrossCategories) {
+  const auto h = basis_h(make_counters(100, 40, 10, 90, 40, 30, 30, 30));
+  EXPECT_NEAR(h[1], 0.9, 1e-12);
+  EXPECT_NEAR(h[0], 0.1, 1e-12);
+}
+
+TEST(BasisH, H1NeverNegative) {
+  // Tensor counters can exceed F1 (different pipes); H1 clamps at zero.
+  const auto h = basis_h(make_counters(50, 40, 10, 90, 40, 80, 0, 0));
+  EXPECT_DOUBLE_EQ(h[0], 0.0);
+}
+
+TEST(BasisH, H2CapsAtOne) {
+  const auto h = basis_h(make_counters(100, 40, 10, 90, 40, 90, 90, 0));
+  EXPECT_DOUBLE_EQ(h[1], 1.0);
+}
+
+TEST(BasisH, H3ClampsForMemorySaturatedKernels) {
+  // stream-like: tiny F1, F2=100 -> raw ratio far above the clamp.
+  const auto h = basis_h(make_counters(5, 100, 100, 12, 90, 0, 0, 0));
+  EXPECT_DOUBLE_EQ(h[2], kMemComputeRatioClamp);
+}
+
+TEST(BasisH, H3ZeroWhenComputeIdle) {
+  const auto h = basis_h(make_counters(0, 50, 50, 50, 50, 0, 0, 0));
+  EXPECT_DOUBLE_EQ(h[2], 0.0);
+}
+
+TEST(BasisJ, MatchesTable4) {
+  const auto j = basis_j(make_counters(10, 20, 35, 60, 50, 0, 0, 0));
+  EXPECT_NEAR(j[0], 0.35, 1e-12);  // J1 = F3/100
+  EXPECT_NEAR(j[1], 0.60, 1e-12);  // J2 = F4/100
+  EXPECT_DOUBLE_EQ(j[2], 1.0);     // J3 const
+}
+
+TEST(BasisNames, SizesMatchCounts) {
+  EXPECT_EQ(kHBasisNames.size(), kHBasisCount);
+  EXPECT_EQ(kJBasisNames.size(), kJBasisCount);
+}
+
+}  // namespace
+}  // namespace migopt::core

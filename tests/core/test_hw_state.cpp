@@ -1,0 +1,198 @@
+#include "core/hw_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "gpusim/mig.hpp"
+
+namespace migopt::core {
+namespace {
+
+using gpusim::MemOption;
+
+TEST(PartitionState, PaperStateNames) {
+  EXPECT_EQ((PartitionState{4, 3, MemOption::Shared}).name(), "S1");
+  EXPECT_EQ((PartitionState{3, 4, MemOption::Shared}).name(), "S2");
+  EXPECT_EQ((PartitionState{4, 3, MemOption::Private}).name(), "S3");
+  EXPECT_EQ((PartitionState{3, 4, MemOption::Private}).name(), "S4");
+}
+
+TEST(PartitionState, GeneralizedStateName) {
+  EXPECT_EQ((PartitionState{2, 1, MemOption::Private}).name(), "2g+1g-private");
+  EXPECT_EQ((PartitionState{1, 2, MemOption::Shared}).name(), "1g+2g-shared");
+}
+
+TEST(PartitionState, GpcsOfAndSwap) {
+  const PartitionState s{4, 3, MemOption::Shared};
+  EXPECT_EQ(s.gpcs_of(0), 4);
+  EXPECT_EQ(s.gpcs_of(1), 3);
+  const PartitionState swapped = s.swapped();
+  EXPECT_EQ(swapped.gpcs_app1, 3);
+  EXPECT_EQ(swapped.gpcs_app2, 4);
+  EXPECT_EQ(swapped.option, MemOption::Shared);
+}
+
+TEST(PaperStates, ExactlyTheTable5Four) {
+  const auto states = paper_states();
+  ASSERT_EQ(states.size(), 4u);
+  EXPECT_EQ(states[0].name(), "S1");
+  EXPECT_EQ(states[1].name(), "S2");
+  EXPECT_EQ(states[2].name(), "S3");
+  EXPECT_EQ(states[3].name(), "S4");
+}
+
+TEST(PaperCaps, Table5Grid) {
+  const auto caps = paper_power_caps();
+  ASSERT_EQ(caps.size(), 6u);
+  EXPECT_DOUBLE_EQ(caps.front(), 150.0);
+  EXPECT_DOUBLE_EQ(caps.back(), 250.0);
+  for (std::size_t i = 1; i < caps.size(); ++i)
+    EXPECT_DOUBLE_EQ(caps[i] - caps[i - 1], 20.0);
+}
+
+TEST(FlexibleStates, AllStatesArePlaceable) {
+  // Every enumerated state must be realizable by the MIG manager.
+  const auto arch = gpusim::a100_sxm_like();
+  for (const auto& state : flexible_states(arch)) {
+    gpusim::MigManager mig(arch);
+    mig.enable_mig();
+    EXPECT_NO_THROW(mig.place_pair(state.gpcs_app1, state.gpcs_app2, state.option))
+        << state.name();
+  }
+}
+
+TEST(FlexibleStates, IncludePaperStates) {
+  const auto arch = gpusim::a100_sxm_like();
+  const auto flexible = flexible_states(arch);
+  for (const auto& paper : paper_states()) {
+    bool found = false;
+    for (const auto& state : flexible)
+      if (state == paper) found = true;
+    EXPECT_TRUE(found) << paper.name();
+  }
+}
+
+TEST(FlexibleStates, ExcludeInvalidCombos) {
+  const auto arch = gpusim::a100_sxm_like();
+  for (const auto& state : flexible_states(arch)) {
+    EXPECT_LE(state.gpcs_app1 + state.gpcs_app2, arch.mig_usable_gpcs) << state.name();
+    EXPECT_TRUE(arch.valid_gi_size(state.gpcs_app1)) << state.name();
+    EXPECT_TRUE(arch.valid_gi_size(state.gpcs_app2)) << state.name();
+    if (state.option == MemOption::Private) {
+      EXPECT_LE(arch.modules_for_gpcs(state.gpcs_app1) +
+                    arch.modules_for_gpcs(state.gpcs_app2),
+                arch.memory_modules)
+          << state.name();
+    }
+  }
+}
+
+TEST(FlexibleStates, PrivateFourPlusFourAbsent) {
+  // 4g+4g exceeds the 7 usable GPCs; 3g+3g private is allowed (8 modules).
+  const auto arch = gpusim::a100_sxm_like();
+  for (const auto& state : flexible_states(arch))
+    EXPECT_FALSE(state.gpcs_app1 == 4 && state.gpcs_app2 == 4) << state.name();
+}
+
+TEST(PowerCapSweep, CoversRangeInclusive) {
+  const auto arch = gpusim::a100_sxm_like();
+  const auto caps = power_cap_sweep(arch, 25.0);
+  EXPECT_DOUBLE_EQ(caps.front(), arch.min_power_cap_watts);
+  EXPECT_DOUBLE_EQ(caps.back(), arch.tdp_watts);
+  EXPECT_THROW(power_cap_sweep(arch, 0.0), ContractViolation);
+}
+
+TEST(GroupState, NameAndAccessors) {
+  GroupState state;
+  state.gpcs = {4, 2, 1};
+  state.option = MemOption::Private;
+  EXPECT_EQ(state.name(), "4g+2g+1g-private");
+  EXPECT_EQ(state.size(), 3u);
+  EXPECT_EQ(state.gpcs_of(1), 2);
+  EXPECT_EQ(state.total_gpcs(), 7);
+}
+
+TEST(GroupState, PairRoundTrip) {
+  const PartitionState pair{4, 3, MemOption::Shared};
+  const GroupState group = GroupState::from_pair(pair);
+  EXPECT_EQ(group.size(), 2u);
+  EXPECT_EQ(group.as_pair(), pair);
+
+  GroupState triple;
+  triple.gpcs = {2, 2, 3};
+  EXPECT_THROW(triple.as_pair(), ContractViolation);
+}
+
+TEST(GroupStates, PairEnumerationMatchesFlexibleStates) {
+  // group_states(arch, 2) and flexible_states must enumerate the same set.
+  const auto arch = gpusim::a100_sxm_like();
+  const auto pairs = flexible_states(arch);
+  const auto groups = group_states(arch, 2);
+  EXPECT_EQ(groups.size(), pairs.size());
+  for (const auto& pair : pairs) {
+    bool found = false;
+    for (const auto& group : groups)
+      if (group == GroupState::from_pair(pair)) found = true;
+    EXPECT_TRUE(found) << pair.name();
+  }
+}
+
+class GroupStatesSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GroupStatesSizes, InvariantsHoldForEveryEnumeratedState) {
+  const auto arch = gpusim::a100_sxm_like();
+  const auto states = group_states(arch, GetParam());
+  ASSERT_FALSE(states.empty());
+  for (const auto& state : states) {
+    EXPECT_EQ(state.size(), GetParam()) << state.name();
+    EXPECT_LE(state.total_gpcs(), arch.mig_usable_gpcs) << state.name();
+    int modules = 0;
+    for (const int g : state.gpcs) {
+      EXPECT_TRUE(arch.valid_gi_size(g)) << state.name();
+      modules += arch.modules_for_gpcs(g);
+    }
+    if (state.option == MemOption::Private) {
+      EXPECT_LE(modules, arch.memory_modules) << state.name();
+    }
+  }
+}
+
+TEST_P(GroupStatesSizes, EveryStateIsPlaceable) {
+  const auto arch = gpusim::a100_sxm_like();
+  for (const auto& state : group_states(arch, GetParam())) {
+    gpusim::MigManager mig(arch);
+    mig.enable_mig();
+    EXPECT_NO_THROW(mig.place_group(state.gpcs, state.option)) << state.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UpToSeven, GroupStatesSizes,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{3}, std::size_t{4},
+                                           std::size_t{5}, std::size_t{6},
+                                           std::size_t{7}));
+
+TEST(GroupStates, TripleExampleContainsBalancedSplit) {
+  const auto arch = gpusim::a100_sxm_like();
+  const auto states = group_states(arch, 3);
+  GroupState balanced;
+  balanced.gpcs = {2, 2, 3};
+  balanced.option = MemOption::Shared;
+  EXPECT_NE(std::find(states.begin(), states.end(), balanced), states.end());
+  // Private (3,3,1) needs 4+4+1 = 9 memory modules: impossible on 8.
+  GroupState overcommitted;
+  overcommitted.gpcs = {3, 3, 1};
+  overcommitted.option = MemOption::Private;
+  EXPECT_EQ(std::find(states.begin(), states.end(), overcommitted), states.end());
+}
+
+TEST(GroupStates, RejectsImpossibleAppCounts) {
+  const auto arch = gpusim::a100_sxm_like();
+  EXPECT_THROW(group_states(arch, 0), ContractViolation);
+  EXPECT_THROW(group_states(arch, 8), ContractViolation);
+}
+
+}  // namespace
+}  // namespace migopt::core

@@ -1,0 +1,51 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace migopt::core {
+namespace {
+
+TEST(Metrics, WeightedSpeedupIsSum) {
+  const std::vector<double> rels = {0.6, 0.7};
+  EXPECT_DOUBLE_EQ(weighted_speedup(rels), 1.3);
+}
+
+TEST(Metrics, WeightedSpeedupAboveOneBeatsTimeSharing) {
+  // The paper's interpretation: WS > 1 means co-running wins.
+  const std::vector<double> good = {0.9, 0.95};
+  EXPECT_GT(weighted_speedup(good), 1.0);
+  const std::vector<double> bad = {0.4, 0.5};
+  EXPECT_LT(weighted_speedup(bad), 1.0);
+}
+
+TEST(Metrics, FairnessIsMinimum) {
+  const std::vector<double> rels = {0.6, 0.3, 0.9};
+  EXPECT_DOUBLE_EQ(fairness(rels), 0.3);
+}
+
+TEST(Metrics, SingleAppDegenerateCase) {
+  const std::vector<double> rels = {0.8};
+  EXPECT_DOUBLE_EQ(weighted_speedup(rels), 0.8);
+  EXPECT_DOUBLE_EQ(fairness(rels), 0.8);
+}
+
+TEST(Metrics, EnergyEfficiencyDividesByCap) {
+  EXPECT_DOUBLE_EQ(energy_efficiency(1.5, 150.0), 0.01);
+}
+
+TEST(Metrics, Contracts) {
+  const std::vector<double> empty;
+  EXPECT_THROW(weighted_speedup(empty), ContractViolation);
+  EXPECT_THROW(fairness(empty), ContractViolation);
+  const std::vector<double> negative = {-0.1};
+  EXPECT_THROW(weighted_speedup(negative), ContractViolation);
+  EXPECT_THROW(energy_efficiency(1.0, 0.0), ContractViolation);
+  EXPECT_THROW(energy_efficiency(1.0, -5.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace migopt::core

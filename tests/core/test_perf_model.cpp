@@ -1,0 +1,165 @@
+#include "core/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace migopt::core {
+namespace {
+
+using gpusim::MemOption;
+using prof::Counter;
+using prof::CounterSet;
+
+CounterSet sample_profile() {
+  CounterSet f;
+  f[Counter::ComputeThroughputPct] = 100.0;
+  f[Counter::MemoryThroughputPct] = 40.0;
+  f[Counter::DramThroughputPct] = 15.0;
+  f[Counter::L2HitRatePct] = 85.0;
+  f[Counter::OccupancyPct] = 50.0;
+  return f;
+}
+
+TEST(ModelKey, MakeAndToString) {
+  const ModelKey key = ModelKey::make(4, MemOption::Shared, 230.0);
+  EXPECT_EQ(key.gpcs, 4);
+  EXPECT_EQ(key.power_cap_watts, 230);
+  EXPECT_EQ(key.to_string(), "4g/shared/230W");
+}
+
+TEST(ModelKey, RejectsNonIntegralCapsAndBadArgs) {
+  EXPECT_THROW(ModelKey::make(4, MemOption::Shared, 230.5), ContractViolation);
+  EXPECT_THROW(ModelKey::make(0, MemOption::Shared, 230.0), ContractViolation);
+  EXPECT_THROW(ModelKey::make(4, MemOption::Shared, -1.0), ContractViolation);
+}
+
+TEST(ModelKey, OrderingDistinguishesAllFields) {
+  const ModelKey a = ModelKey::make(3, MemOption::Shared, 150.0);
+  const ModelKey b = ModelKey::make(4, MemOption::Shared, 150.0);
+  const ModelKey c = ModelKey::make(3, MemOption::Private, 150.0);
+  const ModelKey d = ModelKey::make(3, MemOption::Shared, 250.0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(a, ModelKey::make(3, MemOption::Shared, 150.0));
+}
+
+TEST(PerfModel, PredictSoloIsDotProduct) {
+  PerfModel model;
+  const ModelKey key = ModelKey::make(4, MemOption::Shared, 250.0);
+  // C = e_6 (constant only) -> prediction == constant.
+  model.set_scalability(key, {0, 0, 0, 0, 0, 0.42});
+  EXPECT_NEAR(model.predict_solo(key, sample_profile()), 0.42, 1e-12);
+
+  // C weights H4 (= F4/100 = 0.85).
+  model.set_scalability(key, {0, 0, 0, 2.0, 0, 0});
+  EXPECT_NEAR(model.predict_solo(key, sample_profile()), 1.7, 1e-12);
+}
+
+TEST(PerfModel, PredictAddsInterferenceTerms) {
+  PerfModel model;
+  const ModelKey key = ModelKey::make(3, MemOption::Shared, 250.0);
+  model.set_scalability(key, {0, 0, 0, 0, 0, 0.5});
+  // D = (-0.2 on J1=F3/100, 0, -0.1 const).
+  model.set_interference(key, {-0.2, 0.0, -0.1});
+
+  CounterSet other;
+  other[Counter::DramThroughputPct] = 50.0;
+  const std::vector<CounterSet> others = {other};
+  // 0.5 - 0.2*0.5 - 0.1 = 0.3.
+  EXPECT_NEAR(model.predict(key, sample_profile(), others), 0.3, 1e-12);
+}
+
+TEST(PerfModel, PredictWithoutOthersSkipsD) {
+  PerfModel model;
+  const ModelKey key = ModelKey::make(3, MemOption::Shared, 250.0);
+  model.set_scalability(key, {0, 0, 0, 0, 0, 0.5});
+  // No D set; empty others must not require it.
+  EXPECT_NEAR(model.predict(key, sample_profile(), {}), 0.5, 1e-12);
+}
+
+TEST(PerfModel, MissingCoefficientsThrow) {
+  PerfModel model;
+  const ModelKey key = ModelKey::make(4, MemOption::Private, 150.0);
+  EXPECT_THROW(model.predict_solo(key, sample_profile()), ContractViolation);
+  model.set_scalability(key, {0, 0, 0, 0, 0, 1.0});
+  const std::vector<CounterSet> others = {sample_profile()};
+  EXPECT_THROW(model.predict(key, sample_profile(), others), ContractViolation);
+}
+
+TEST(PerfModel, HasAndCounts) {
+  PerfModel model;
+  const ModelKey key = ModelKey::make(4, MemOption::Private, 150.0);
+  EXPECT_FALSE(model.has_scalability(key));
+  model.set_scalability(key, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(model.has_scalability(key));
+  EXPECT_EQ(model.scalability_entries(), 1u);
+  EXPECT_EQ(model.interference_entries(), 0u);
+  EXPECT_EQ(model.scalability_keys().size(), 1u);
+}
+
+TEST(PerfModel, ClampRelPerf) {
+  EXPECT_DOUBLE_EQ(PerfModel::clamp_relperf(-0.5), PerfModel::kRelPerfFloor);
+  EXPECT_DOUBLE_EQ(PerfModel::clamp_relperf(0.7), 0.7);
+}
+
+TEST(PerfModel, SaveLoadRoundTrip) {
+  PerfModel model;
+  const ModelKey key1 = ModelKey::make(4, MemOption::Shared, 250.0);
+  const ModelKey key2 = ModelKey::make(3, MemOption::Private, 170.0);
+  model.set_scalability(key1, {0.1, -0.2, 0.3, -0.4, 0.5, 0.6});
+  model.set_scalability(key2, {1, 2, 3, 4, 5, 6});
+  model.set_interference(key2, {-0.01, 0.02, -0.03});
+
+  const std::string path = ::testing::TempDir() + "/migopt_model_test.csv";
+  model.save(path);
+  const PerfModel loaded = PerfModel::load(path);
+
+  EXPECT_EQ(loaded.scalability_entries(), 2u);
+  EXPECT_EQ(loaded.interference_entries(), 1u);
+  for (std::size_t i = 0; i < kHBasisCount; ++i)
+    EXPECT_NEAR(loaded.scalability(key1)[i], model.scalability(key1)[i], 1e-9);
+  for (std::size_t i = 0; i < kJBasisCount; ++i)
+    EXPECT_NEAR(loaded.interference(key2)[i], model.interference(key2)[i], 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(PerfModel, LoadRejectsCorruptedFiles) {
+  const std::string path = ::testing::TempDir() + "/migopt_model_corrupt.csv";
+  const auto write_file = [&path](const char* contents) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(contents, f);
+    std::fclose(f);
+  };
+
+  // Unknown coefficient kind.
+  write_file(
+      "kind,gpcs,option,power_cap_watts,coeff0,coeff1,coeff2,coeff3,coeff4,"
+      "coeff5\n"
+      "banana,4,shared,250,1,2,3,4,5,6\n");
+  EXPECT_THROW(PerfModel::load(path), ContractViolation);
+
+  // Unknown memory option.
+  write_file(
+      "kind,gpcs,option,power_cap_watts,coeff0,coeff1,coeff2,coeff3,coeff4,"
+      "coeff5\n"
+      "scalability,4,exclusive,250,1,2,3,4,5,6\n");
+  EXPECT_THROW(PerfModel::load(path), ContractViolation);
+
+  // Non-numeric coefficient.
+  write_file(
+      "kind,gpcs,option,power_cap_watts,coeff0,coeff1,coeff2,coeff3,coeff4,"
+      "coeff5\n"
+      "scalability,4,shared,250,one,2,3,4,5,6\n");
+  EXPECT_THROW(PerfModel::load(path), ContractViolation);
+
+  std::remove(path.c_str());
+  EXPECT_THROW(PerfModel::load("/no/such/model.csv"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace migopt::core

@@ -1,0 +1,87 @@
+#include "core/workflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "profiling/profiler.hpp"
+#include "test_util.hpp"
+
+namespace migopt::core {
+namespace {
+
+using test::shared_chip;
+using test::shared_pairs;
+using test::shared_registry;
+
+const ResourcePowerAllocator& shared_allocator() {
+  static ResourcePowerAllocator allocator = ResourcePowerAllocator::train(
+      shared_chip(), shared_registry(), shared_pairs());
+  return allocator;
+}
+
+TEST(Workflow, TrainPopulatesModelAndProfiles) {
+  const auto& allocator = shared_allocator();
+  EXPECT_EQ(allocator.profiles().size(), shared_registry().size());
+  EXPECT_GT(allocator.model().scalability_entries(), 0u);
+  EXPECT_GT(allocator.model().interference_entries(), 0u);
+  EXPECT_GT(allocator.report().solo_runs, 0u);
+}
+
+TEST(Workflow, CanCoscheduleOnlyProfiledApps) {
+  const auto& allocator = shared_allocator();
+  EXPECT_TRUE(allocator.can_coschedule("sgemm"));
+  EXPECT_FALSE(allocator.can_coschedule("never-seen-app"));
+}
+
+TEST(Workflow, AllocateRequiresProfiles) {
+  const auto& allocator = shared_allocator();
+  EXPECT_THROW(allocator.allocate("sgemm", "unknown", Policy::problem1(230.0, 0.2)),
+               ContractViolation);
+}
+
+TEST(Workflow, AllocateReturnsFeasibleDecisionForEasyPair) {
+  const auto& allocator = shared_allocator();
+  const Decision d =
+      allocator.allocate("kmeans", "needle", Policy::problem1(230.0, 0.2));
+  EXPECT_TRUE(d.feasible);
+  EXPECT_GT(d.predicted.throughput, 1.0);
+}
+
+TEST(Workflow, RecordProfileEnablesCoscheduling) {
+  ResourcePowerAllocator allocator = ResourcePowerAllocator::train(
+      shared_chip(), shared_registry(), shared_pairs());
+  EXPECT_FALSE(allocator.can_coschedule("new-app"));
+  // Simulate a profile run of an unseen app (reuse a kernel's counters).
+  const auto counters =
+      prof::profile_run(shared_chip(), shared_registry().by_name("srad").kernel);
+  allocator.record_profile("new-app", counters);
+  EXPECT_TRUE(allocator.can_coschedule("new-app"));
+  const Decision d =
+      allocator.allocate("new-app", "stream", Policy::problem2(0.2));
+  EXPECT_TRUE(d.feasible);
+}
+
+TEST(Workflow, AssembleFromPretrainedArtifacts) {
+  // Persist + reload path: model/profile round trip through disk, then build
+  // an allocator without retraining.
+  const auto& trained = test::shared_artifacts();
+  const std::string model_path = ::testing::TempDir() + "/workflow_model.csv";
+  const std::string profile_path = ::testing::TempDir() + "/workflow_profiles.csv";
+  trained.model.save(model_path);
+  trained.profiles.save(profile_path);
+
+  ResourcePowerAllocator allocator(PerfModel::load(model_path),
+                                   prof::ProfileDb::load(profile_path),
+                                   ResourcePowerAllocator::Config{});
+  const Decision from_disk =
+      allocator.allocate("igemm4", "stream", Policy::problem1(250.0, 0.2));
+  const Decision from_training =
+      shared_allocator().allocate("igemm4", "stream", Policy::problem1(250.0, 0.2));
+  EXPECT_EQ(from_disk.state.name(), from_training.state.name());
+  EXPECT_NEAR(from_disk.objective_value, from_training.objective_value, 1e-6);
+  std::remove(model_path.c_str());
+  std::remove(profile_path.c_str());
+}
+
+}  // namespace
+}  // namespace migopt::core

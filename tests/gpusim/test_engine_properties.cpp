@@ -1,0 +1,163 @@
+// Property suite over the full 24-benchmark registry: the engine invariants
+// the paper's methodology rests on, checked for every workload rather than a
+// hand-picked few.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gpusim/gpu.hpp"
+#include "profiling/profiler.hpp"
+#include "test_util.hpp"
+#include "workloads/registry.hpp"
+
+namespace migopt::gpusim {
+namespace {
+
+using test::shared_chip;
+using test::shared_registry;
+
+std::vector<std::string> all_workloads() { return shared_registry().names(); }
+
+class EngineProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  const KernelDescriptor& kernel() const {
+    return shared_registry().by_name(GetParam()).kernel;
+  }
+};
+
+TEST_P(EngineProperty, SoloRelPerfStaysInUnitBand) {
+  // No MIG slice may beat the paper's normalization baseline (exclusive full
+  // chip at TDP), and every run must make progress.
+  const auto& chip = shared_chip();
+  for (const MemOption option : {MemOption::Private, MemOption::Shared}) {
+    for (const int gpcs : {1, 2, 3, 4, 7}) {
+      const RunResult run = chip.run_solo(kernel(), gpcs, option, 250.0);
+      const double rel = chip.relative_performance(kernel(), run.apps[0]);
+      EXPECT_GT(rel, 0.0) << gpcs << " " << to_string(option);
+      EXPECT_LE(rel, 1.0 + 1e-9) << gpcs << " " << to_string(option);
+    }
+  }
+}
+
+TEST_P(EngineProperty, PowerHonorsEveryGridCap) {
+  const auto& chip = shared_chip();
+  for (const double cap : {150.0, 170.0, 190.0, 210.0, 230.0, 250.0}) {
+    const RunResult full = chip.run_full_chip(kernel(), cap);
+    EXPECT_LE(full.power_watts, cap + 1e-6) << cap;
+    const RunResult sliced = chip.run_solo(kernel(), 3, MemOption::Shared, cap);
+    EXPECT_LE(sliced.power_watts, cap + 1e-6) << cap;
+  }
+}
+
+TEST_P(EngineProperty, RelPerfMonotoneInGpcs) {
+  const auto& chip = shared_chip();
+  for (const MemOption option : {MemOption::Private, MemOption::Shared}) {
+    double previous = 0.0;
+    for (const int gpcs : {1, 2, 3, 4, 7}) {
+      const RunResult run = chip.run_solo(kernel(), gpcs, option, 250.0);
+      const double rel = chip.relative_performance(kernel(), run.apps[0]);
+      EXPECT_GE(rel, previous - 1e-9)
+          << gpcs << " GPCs, " << to_string(option);
+      previous = rel;
+    }
+  }
+}
+
+TEST_P(EngineProperty, RelPerfMonotoneInPowerCap) {
+  const auto& chip = shared_chip();
+  double previous = 0.0;
+  for (const double cap : {150.0, 170.0, 190.0, 210.0, 230.0, 250.0}) {
+    const RunResult run = chip.run_solo(kernel(), 7, MemOption::Shared, cap);
+    const double rel = chip.relative_performance(kernel(), run.apps[0]);
+    EXPECT_GE(rel, previous - 1e-9) << cap;
+    previous = rel;
+  }
+}
+
+TEST_P(EngineProperty, PrivatePartitionsIsolateMemoryInterference) {
+  // The paper's Section 3 observation as a universal invariant: a private
+  // victim's performance is independent of who runs in the other partition —
+  // as long as the power cap does not bind. (Under a binding cap the
+  // chip-global DVFS clock still couples partitions: a power-hungry
+  // neighbour throttles everyone. That coupling is real on the A100 and is
+  // exactly why the paper co-tunes the cap with the partitioning.)
+  const auto& chip = shared_chip();
+  const double generous_cap = 10000.0;  // never binds
+  const RunResult solo =
+      chip.run_solo(kernel(), 4, MemOption::Private, generous_cap);
+  for (const char* partner : {"stream", "hgemm", "needle", "randomaccess"}) {
+    if (GetParam() == partner) continue;
+    const auto& other = shared_registry().by_name(partner).kernel;
+    const RunResult pair =
+        chip.run_pair(kernel(), 4, other, 3, MemOption::Private, generous_cap);
+    EXPECT_NEAR(pair.apps[0].seconds_per_wu, solo.apps[0].seconds_per_wu,
+                solo.apps[0].seconds_per_wu * 1e-9)
+        << "partner " << partner;
+  }
+}
+
+TEST_P(EngineProperty, BindingCapCouplesPrivatePartitions) {
+  // Corollary of the chip-global clock: with a power-hungry private
+  // neighbour under a binding cap, no kernel may run *faster* than solo.
+  const auto& chip = shared_chip();
+  const RunResult solo = chip.run_solo(kernel(), 4, MemOption::Private, 190.0);
+  const auto& hog = shared_registry().by_name("hgemm").kernel;
+  if (GetParam() == "hgemm") return;
+  const RunResult pair =
+      chip.run_pair(kernel(), 4, hog, 3, MemOption::Private, 190.0);
+  EXPECT_GE(pair.apps[0].seconds_per_wu,
+            solo.apps[0].seconds_per_wu * (1.0 - 1e-9));
+}
+
+TEST_P(EngineProperty, SharedCoRunnerNeverHelps) {
+  // Adding a co-runner to a shared memory domain can only cost performance.
+  const auto& chip = shared_chip();
+  const RunResult solo = chip.run_solo(kernel(), 4, MemOption::Shared, 250.0);
+  for (const char* partner : {"stream", "hgemm", "needle"}) {
+    const auto& other = shared_registry().by_name(partner).kernel;
+    const RunResult pair =
+        chip.run_pair(kernel(), 4, other, 3, MemOption::Shared, 250.0);
+    EXPECT_GE(pair.apps[0].seconds_per_wu,
+              solo.apps[0].seconds_per_wu * (1.0 - 1e-9))
+        << "partner " << partner;
+  }
+}
+
+TEST_P(EngineProperty, ProfileCountersWellFormed) {
+  const auto counters = prof::profile_run(shared_chip(), kernel());
+  EXPECT_NO_THROW(counters.validate());
+  // Occupancy is a kernel property, reported verbatim as F5.
+  EXPECT_NEAR(counters[prof::Counter::OccupancyPct], kernel().occupancy * 100.0,
+              1e-9);
+  // DRAM traffic cannot exceed the memory subsystem activity (F3 <= F2).
+  EXPECT_LE(counters[prof::Counter::DramThroughputPct],
+            counters[prof::Counter::MemoryThroughputPct] + 1e-9);
+}
+
+TEST_P(EngineProperty, InstanceCapNeverBeatsUncapped) {
+  const auto& chip = shared_chip();
+  const std::vector<GpuChip::GroupMember> members = {
+      {&kernel(), 4},
+      {&shared_registry().by_name("stream").kernel, 3}};
+  const RunResult free_run = chip.run_group(members, MemOption::Private, 250.0);
+  const std::vector<double> caps = {60.0, 60.0};
+  const RunResult capped =
+      chip.run_group_instance_caps(members, MemOption::Private, caps);
+  EXPECT_GE(capped.apps[0].seconds_per_wu,
+            free_run.apps[0].seconds_per_wu * (1.0 - 1e-9));
+  EXPECT_LE(capped.apps[0].instance_power_watts, 60.0 + 1e-6);
+}
+
+std::string sanitize_name(const ::testing::TestParamInfo<std::string>& param) {
+  std::string name = param.param;
+  for (char& c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, EngineProperty,
+                         ::testing::ValuesIn(all_workloads()), sanitize_name);
+
+}  // namespace
+}  // namespace migopt::gpusim

@@ -1,0 +1,278 @@
+#include "gpusim/gpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "test_util.hpp"
+#include "workloads/registry.hpp"
+
+namespace migopt::gpusim {
+namespace {
+
+using test::shared_chip;
+using test::shared_registry;
+
+TEST(GpuChip, PowerLimitDefaultsToTdp) {
+  GpuChip chip;
+  EXPECT_DOUBLE_EQ(chip.power_limit_watts(), chip.arch().tdp_watts);
+}
+
+TEST(GpuChip, PowerLimitRangeEnforced) {
+  GpuChip chip;
+  chip.set_power_limit_watts(150.0);
+  EXPECT_DOUBLE_EQ(chip.power_limit_watts(), 150.0);
+  EXPECT_THROW(chip.set_power_limit_watts(chip.arch().min_power_cap_watts - 1.0),
+               ContractViolation);
+  EXPECT_THROW(chip.set_power_limit_watts(chip.arch().tdp_watts + 1.0),
+               ContractViolation);
+}
+
+TEST(GpuChip, BaselineRelativePerformanceIsOne) {
+  const GpuChip& chip = shared_chip();
+  for (const auto& spec : shared_registry().all()) {
+    const RunResult run = chip.run_full_chip(spec.kernel, chip.arch().tdp_watts);
+    EXPECT_NEAR(chip.relative_performance(spec.kernel, run.apps[0]), 1.0, 1e-9)
+        << spec.kernel.name;
+  }
+}
+
+TEST(GpuChip, BaselineCacheIsConsistent) {
+  const GpuChip& chip = shared_chip();
+  const auto& kernel = shared_registry().by_name("sgemm").kernel;
+  const double first = chip.baseline_seconds(kernel);
+  const double second = chip.baseline_seconds(kernel);
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_GT(first, 0.0);
+}
+
+TEST(GpuChip, RunSoloRejectsInvalidSizes) {
+  const GpuChip& chip = shared_chip();
+  const auto& kernel = shared_registry().by_name("sgemm").kernel;
+  for (int bad : {0, 5, 6, 8})
+    EXPECT_THROW(chip.run_solo(kernel, bad, MemOption::Private, 200.0),
+                 ContractViolation)
+        << bad;
+}
+
+TEST(GpuChip, RunPairRejectsOversizedSplit) {
+  const GpuChip& chip = shared_chip();
+  const auto& a = shared_registry().by_name("sgemm").kernel;
+  const auto& b = shared_registry().by_name("stream").kernel;
+  EXPECT_THROW(chip.run_pair(a, 4, b, 4, MemOption::Shared, 250.0),
+               ContractViolation);
+}
+
+TEST(GpuChip, SoloPrivateVsSharedMemoryVisibility) {
+  const GpuChip& chip = shared_chip();
+  const auto& stream = shared_registry().by_name("stream").kernel;
+  const RunResult priv = chip.run_solo(stream, 3, MemOption::Private, 250.0);
+  const RunResult shared = chip.run_solo(stream, 3, MemOption::Shared, 250.0);
+  // Private 3g sees 4/8 modules; shared sees everything.
+  EXPECT_GT(shared.apps[0].achieved_dram_bw, priv.apps[0].achieved_dram_bw * 1.5);
+}
+
+TEST(GpuChip, RunOnInstancesMatchesRunPair) {
+  // The system path (MIG state + instance launch) and the experiment path
+  // (direct placements) must agree exactly.
+  GpuChip chip;
+  const wl::WorkloadRegistry registry(chip.arch());
+  const auto& a = registry.by_name("sgemm").kernel;
+  const auto& b = registry.by_name("stream").kernel;
+
+  chip.set_power_limit_watts(230.0);
+  chip.mig().enable_mig();
+  const auto placement = chip.mig().place_pair(4, 3, MemOption::Shared);
+  const std::vector<GpuChip::InstanceLaunch> launches = {
+      {placement.ci_app1, &a}, {placement.ci_app2, &b}};
+  const RunResult via_instances = chip.run_on_instances(launches);
+  const RunResult via_pair = chip.run_pair(a, 4, b, 3, MemOption::Shared, 230.0);
+
+  ASSERT_EQ(via_instances.apps.size(), 2u);
+  EXPECT_NEAR(via_instances.apps[0].seconds_per_wu, via_pair.apps[0].seconds_per_wu,
+              1e-12);
+  EXPECT_NEAR(via_instances.apps[1].seconds_per_wu, via_pair.apps[1].seconds_per_wu,
+              1e-12);
+  EXPECT_NEAR(via_instances.power_watts, via_pair.power_watts, 1e-9);
+}
+
+TEST(GpuChip, RunOnInstancesPrivateMatchesRunPair) {
+  GpuChip chip;
+  const wl::WorkloadRegistry registry(chip.arch());
+  const auto& a = registry.by_name("dgemm").kernel;
+  const auto& b = registry.by_name("dwt2d").kernel;
+
+  chip.set_power_limit_watts(210.0);
+  chip.mig().enable_mig();
+  const auto placement = chip.mig().place_pair(4, 3, MemOption::Private);
+  const std::vector<GpuChip::InstanceLaunch> launches = {
+      {placement.ci_app1, &a}, {placement.ci_app2, &b}};
+  const RunResult via_instances = chip.run_on_instances(launches);
+  const RunResult via_pair = chip.run_pair(a, 4, b, 3, MemOption::Private, 210.0);
+  EXPECT_NEAR(via_instances.apps[0].seconds_per_wu, via_pair.apps[0].seconds_per_wu,
+              1e-12);
+  EXPECT_NEAR(via_instances.apps[1].seconds_per_wu, via_pair.apps[1].seconds_per_wu,
+              1e-12);
+}
+
+TEST(GpuChip, RunOnInstancesContracts) {
+  GpuChip chip;
+  EXPECT_THROW(chip.run_on_instances({}), ContractViolation);
+  const wl::WorkloadRegistry registry(chip.arch());
+  const auto& a = registry.by_name("sgemm").kernel;
+  const std::vector<GpuChip::InstanceLaunch> unknown_ci = {{12345, &a}};
+  EXPECT_THROW(chip.run_on_instances(unknown_ci), MigError);
+}
+
+TEST(GpuChip, RelativePerformanceDecreasesWithSmallerSlices) {
+  const GpuChip& chip = shared_chip();
+  const auto& kernel = shared_registry().by_name("sgemm").kernel;
+  double previous = 0.0;
+  for (int gpcs : {1, 2, 3, 4, 7}) {
+    const RunResult run = chip.run_solo(kernel, gpcs, MemOption::Shared, 250.0);
+    const double rel = chip.relative_performance(kernel, run.apps[0]);
+    EXPECT_GT(rel, previous) << gpcs;
+    previous = rel;
+  }
+  EXPECT_LT(previous, 1.0);  // 7 GPCs under MIG < full chip
+}
+
+TEST(GpuChipGroup, TwoMemberGroupMatchesRunPairExactly) {
+  const GpuChip& chip = shared_chip();
+  const auto& a = shared_registry().by_name("igemm4").kernel;
+  const auto& b = shared_registry().by_name("stream").kernel;
+  for (const MemOption option : {MemOption::Shared, MemOption::Private}) {
+    const RunResult pair = chip.run_pair(a, 4, b, 3, option, 230.0);
+    const std::vector<GpuChip::GroupMember> members = {{&a, 4}, {&b, 3}};
+    const RunResult group = chip.run_group(members, option, 230.0);
+    ASSERT_EQ(group.apps.size(), 2u);
+    EXPECT_DOUBLE_EQ(group.apps[0].seconds_per_wu, pair.apps[0].seconds_per_wu);
+    EXPECT_DOUBLE_EQ(group.apps[1].seconds_per_wu, pair.apps[1].seconds_per_wu);
+    EXPECT_DOUBLE_EQ(group.power_watts, pair.power_watts);
+  }
+}
+
+TEST(GpuChipGroup, ThreeWayPrivateMembersAreIsolated) {
+  // A private member's runtime must not depend on who its neighbours are.
+  const GpuChip& chip = shared_chip();
+  const auto& victim = shared_registry().by_name("needle").kernel;
+  const auto& calm = shared_registry().by_name("kmeans").kernel;
+  const auto& hog = shared_registry().by_name("stream").kernel;
+
+  const std::vector<GpuChip::GroupMember> with_calm = {
+      {&victim, 2}, {&calm, 2}, {&calm, 3}};
+  const std::vector<GpuChip::GroupMember> with_hogs = {
+      {&victim, 2}, {&hog, 2}, {&hog, 3}};
+  const RunResult calm_run = chip.run_group(with_calm, MemOption::Private, 250.0);
+  const RunResult hog_run = chip.run_group(with_hogs, MemOption::Private, 250.0);
+  EXPECT_NEAR(hog_run.apps[0].seconds_per_wu, calm_run.apps[0].seconds_per_wu,
+              calm_run.apps[0].seconds_per_wu * 0.02);
+}
+
+TEST(GpuChipGroup, ThreeWaySharedBandwidthIsConserved) {
+  const GpuChip& chip = shared_chip();
+  const auto& hog = shared_registry().by_name("stream").kernel;
+  const std::vector<GpuChip::GroupMember> members = {
+      {&hog, 3}, {&hog, 2}, {&hog, 2}};
+  const RunResult run = chip.run_group(members, MemOption::Shared, 250.0);
+  double total_bw = 0.0;
+  for (const auto& app : run.apps) total_bw += app.achieved_dram_bw;
+  EXPECT_LE(total_bw, chip.arch().hbm_bandwidth_total * 1.001);
+  EXPECT_GT(total_bw, chip.arch().hbm_bandwidth_total * 0.9);
+}
+
+TEST(GpuChipGroup, GroupPowerStaysUnderCap) {
+  const GpuChip& chip = shared_chip();
+  const auto& a = shared_registry().by_name("hgemm").kernel;
+  const auto& b = shared_registry().by_name("dgemm").kernel;
+  const auto& c = shared_registry().by_name("sgemm").kernel;
+  const std::vector<GpuChip::GroupMember> members = {{&a, 3}, {&b, 2}, {&c, 2}};
+  for (const double cap : {150.0, 190.0, 230.0}) {
+    const RunResult run = chip.run_group(members, MemOption::Shared, cap);
+    EXPECT_LE(run.power_watts, cap + 1e-6) << cap;
+  }
+}
+
+TEST(GpuChipMps, UsesAllEightGpcsAndBeatsMigForComputePairs) {
+  // MPS keeps the 8th GPC that MIG fuses off; for two compute-bound kernels
+  // the extra GPC outweighs the interleaving penalty.
+  const GpuChip& chip = shared_chip();
+  const auto& a = shared_registry().by_name("sgemm").kernel;
+  const auto& b = shared_registry().by_name("lavaMD").kernel;
+  const std::vector<GpuChip::GroupMember> mps_members = {{&a, 4}, {&b, 4}};
+  const RunResult mps = chip.run_mps(mps_members, 250.0);
+  const double ws_mps = chip.relative_performance(a, mps.apps[0]) +
+                        chip.relative_performance(b, mps.apps[1]);
+
+  double ws_mig_best = 0.0;
+  for (const MemOption option : {MemOption::Shared, MemOption::Private}) {
+    const RunResult mig = chip.run_pair(a, 4, b, 3, option, 250.0);
+    ws_mig_best = std::max(ws_mig_best,
+                           chip.relative_performance(a, mig.apps[0]) +
+                               chip.relative_performance(b, mig.apps[1]));
+  }
+  EXPECT_GT(ws_mps, ws_mig_best);
+}
+
+TEST(GpuChipMps, NoIsolationAgainstBandwidthHog) {
+  // Under MPS the latency-bound victim shares the memory system with the
+  // hog; MIG private shields it.
+  const GpuChip& chip = shared_chip();
+  const auto& victim = shared_registry().by_name("needle").kernel;
+  const auto& hog = shared_registry().by_name("stream").kernel;
+
+  const std::vector<GpuChip::GroupMember> mps_members = {{&victim, 4},
+                                                         {&hog, 4}};
+  const RunResult mps = chip.run_mps(mps_members, 250.0);
+  const RunResult mig =
+      chip.run_pair(victim, 4, hog, 3, MemOption::Private, 250.0);
+  EXPECT_LT(chip.relative_performance(victim, mps.apps[0]),
+            chip.relative_performance(victim, mig.apps[0]));
+}
+
+TEST(GpuChipMps, HonorsPowerCap) {
+  const GpuChip& chip = shared_chip();
+  const auto& a = shared_registry().by_name("hgemm").kernel;
+  const auto& b = shared_registry().by_name("dgemm").kernel;
+  const std::vector<GpuChip::GroupMember> members = {{&a, 4}, {&b, 4}};
+  for (const double cap : {150.0, 200.0, 250.0}) {
+    const RunResult run = chip.run_mps(members, cap);
+    EXPECT_LE(run.power_watts, cap + 1e-6) << cap;
+  }
+}
+
+TEST(GpuChipMps, Contracts) {
+  const GpuChip& chip = shared_chip();
+  const auto& a = shared_registry().by_name("sgemm").kernel;
+  EXPECT_THROW(chip.run_mps({}, 250.0), ContractViolation);
+  const std::vector<GpuChip::GroupMember> oversub = {{&a, 5}, {&a, 4}};
+  EXPECT_THROW(chip.run_mps(oversub, 250.0), ContractViolation);
+  const std::vector<GpuChip::GroupMember> zero_share = {{&a, 0}, {&a, 4}};
+  EXPECT_THROW(chip.run_mps(zero_share, 250.0), ContractViolation);
+  const std::vector<GpuChip::GroupMember> null_kernel = {{nullptr, 4}};
+  EXPECT_THROW(chip.run_mps(null_kernel, 250.0), ContractViolation);
+}
+
+TEST(GpuChipGroup, Contracts) {
+  const GpuChip& chip = shared_chip();
+  const auto& a = shared_registry().by_name("sgemm").kernel;
+  EXPECT_THROW(chip.run_group({}, MemOption::Shared, 200.0), ContractViolation);
+  // GPC sum above the usable 7.
+  const std::vector<GpuChip::GroupMember> oversized = {{&a, 4}, {&a, 3}, {&a, 1}};
+  EXPECT_THROW(chip.run_group(oversized, MemOption::Shared, 200.0),
+               ContractViolation);
+  // Null kernel.
+  const std::vector<GpuChip::GroupMember> null_kernel = {{nullptr, 4}};
+  EXPECT_THROW(chip.run_group(null_kernel, MemOption::Shared, 200.0),
+               ContractViolation);
+  // Private member with an invalid GI size.
+  const std::vector<GpuChip::GroupMember> bad_size = {{&a, 5}, {&a, 2}};
+  EXPECT_THROW(chip.run_group(bad_size, MemOption::Private, 200.0),
+               ContractViolation);
+  // Private module overcommit: 3g+3g+1g needs 9 modules.
+  const std::vector<GpuChip::GroupMember> overcommit = {{&a, 3}, {&a, 3}, {&a, 1}};
+  EXPECT_THROW(chip.run_group(overcommit, MemOption::Private, 200.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace migopt::gpusim

@@ -1,0 +1,102 @@
+#include "gpusim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace migopt::gpusim {
+namespace {
+
+KernelDescriptor valid_kernel() {
+  KernelDescriptor k;
+  k.name = "k";
+  k.ops(Pipe::Fp32) = 1.0e9;
+  k.l2_bytes = 1.0e6;
+  k.l2_hit_rate = 0.5;
+  k.l2_footprint_mb = 10.0;
+  k.latency_seconds = 1.0e-4;
+  k.occupancy = 0.5;
+  return k;
+}
+
+TEST(KernelDescriptor, ValidKernelPasses) {
+  EXPECT_NO_THROW(valid_kernel().validate());
+}
+
+TEST(KernelDescriptor, DramBytesFollowHitRate) {
+  KernelDescriptor k = valid_kernel();
+  k.l2_bytes = 100.0;
+  EXPECT_DOUBLE_EQ(k.dram_bytes(0.75), 25.0);
+  EXPECT_DOUBLE_EQ(k.dram_bytes(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(k.dram_bytes(0.0), 100.0);
+}
+
+TEST(KernelDescriptor, TensorDetection) {
+  KernelDescriptor k = valid_kernel();
+  EXPECT_FALSE(k.uses_tensor_cores());
+  k.ops(Pipe::TensorMixed) = 1.0;
+  EXPECT_TRUE(k.uses_tensor_cores());
+  k.ops(Pipe::TensorMixed) = 0.0;
+  k.ops(Pipe::TensorInteger) = 1.0;
+  EXPECT_TRUE(k.uses_tensor_cores());
+}
+
+TEST(KernelDescriptor, RejectsEmptyName) {
+  KernelDescriptor k = valid_kernel();
+  k.name.clear();
+  EXPECT_THROW(k.validate(), ContractViolation);
+}
+
+TEST(KernelDescriptor, RejectsKernelThatDemandsNothing) {
+  KernelDescriptor k;
+  k.name = "empty";
+  EXPECT_THROW(k.validate(), ContractViolation);
+}
+
+TEST(KernelDescriptor, RejectsNegativeOps) {
+  KernelDescriptor k = valid_kernel();
+  k.ops(Pipe::Fp64) = -1.0;
+  EXPECT_THROW(k.validate(), ContractViolation);
+}
+
+TEST(KernelDescriptor, RejectsBadHitRate) {
+  KernelDescriptor k = valid_kernel();
+  k.l2_hit_rate = 1.5;
+  EXPECT_THROW(k.validate(), ContractViolation);
+  k.l2_hit_rate = -0.1;
+  EXPECT_THROW(k.validate(), ContractViolation);
+}
+
+TEST(KernelDescriptor, RejectsBadMemoryParallelism) {
+  KernelDescriptor k = valid_kernel();
+  k.memory_parallelism = 0.0;
+  EXPECT_THROW(k.validate(), ContractViolation);
+  k.memory_parallelism = 1.5;
+  EXPECT_THROW(k.validate(), ContractViolation);
+}
+
+TEST(KernelDescriptor, RejectsBadEfficiencyAndOccupancy) {
+  KernelDescriptor k = valid_kernel();
+  k.pipe_efficiency = 0.0;
+  EXPECT_THROW(k.validate(), ContractViolation);
+  k = valid_kernel();
+  k.occupancy = 1.0001;
+  EXPECT_THROW(k.validate(), ContractViolation);
+}
+
+TEST(KernelDescriptor, RejectsBadLatencySensitivity) {
+  KernelDescriptor k = valid_kernel();
+  k.latency_sensitivity = -0.1;
+  EXPECT_THROW(k.validate(), ContractViolation);
+  k.latency_sensitivity = 2.5;
+  EXPECT_THROW(k.validate(), ContractViolation);
+}
+
+TEST(KernelDescriptor, RejectsNonPositiveWorkUnits) {
+  KernelDescriptor k = valid_kernel();
+  k.total_work_units = 0.0;
+  EXPECT_THROW(k.validate(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace migopt::gpusim

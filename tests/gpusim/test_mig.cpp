@@ -1,0 +1,306 @@
+#include "gpusim/mig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gpusim/arch_config.hpp"
+
+namespace migopt::gpusim {
+namespace {
+
+class MigTest : public ::testing::Test {
+ protected:
+  MigTest() : arch_(a100_sxm_like()), mig_(arch_) {}
+  ArchConfig arch_;
+  MigManager mig_;
+};
+
+TEST_F(MigTest, StartsDisabled) {
+  EXPECT_FALSE(mig_.mig_enabled());
+  EXPECT_EQ(mig_.total_compute_slices(), 0);
+}
+
+TEST_F(MigTest, EnableExposesSevenSlices) {
+  mig_.enable_mig();
+  EXPECT_TRUE(mig_.mig_enabled());
+  EXPECT_EQ(mig_.total_compute_slices(), 7);  // one GPC fused off
+  EXPECT_EQ(mig_.free_compute_slices(), 7);
+  EXPECT_EQ(mig_.free_memory_modules(), 8);
+}
+
+TEST_F(MigTest, CreateRequiresMigEnabled) {
+  EXPECT_THROW(mig_.create_gpu_instance(1), MigError);
+}
+
+TEST_F(MigTest, RejectsUnsupportedSizes) {
+  mig_.enable_mig();
+  for (int bad : {0, 5, 6, 8, -1}) EXPECT_THROW(mig_.create_gpu_instance(bad), MigError);
+}
+
+TEST_F(MigTest, GiConsumesSlicesAndModules) {
+  mig_.enable_mig();
+  const GiId gi = mig_.create_gpu_instance(3);
+  EXPECT_EQ(mig_.free_compute_slices(), 4);
+  EXPECT_EQ(mig_.free_memory_modules(), 4);  // 3g owns 4 modules
+  const GpuInstance& info = mig_.gpu_instance(gi);
+  EXPECT_EQ(info.gpc_slices, 3);
+  EXPECT_EQ(info.mem_modules, 4);
+}
+
+TEST_F(MigTest, PaperPairPrivateFits) {
+  mig_.enable_mig();
+  const GiId gi4 = mig_.create_gpu_instance(4);
+  const GiId gi3 = mig_.create_gpu_instance(3);
+  EXPECT_EQ(mig_.free_compute_slices(), 0);
+  EXPECT_EQ(mig_.free_memory_modules(), 0);  // 4 + 4 modules
+  EXPECT_NE(gi4, gi3);
+}
+
+TEST_F(MigTest, MemoryModulesCanRunOutBeforeSlices) {
+  mig_.enable_mig();
+  // 3g + 3g consumes all 8 modules while only 6 of 7 slices.
+  mig_.create_gpu_instance(3);
+  mig_.create_gpu_instance(3);
+  EXPECT_EQ(mig_.free_compute_slices(), 1);
+  EXPECT_EQ(mig_.free_memory_modules(), 0);
+  EXPECT_THROW(mig_.create_gpu_instance(1), MigError);
+}
+
+TEST_F(MigTest, SevenSliceProfileTakesWholeGpu) {
+  mig_.enable_mig();
+  mig_.create_gpu_instance(7);
+  EXPECT_EQ(mig_.free_compute_slices(), 0);
+  EXPECT_THROW(mig_.create_gpu_instance(1), MigError);
+}
+
+TEST_F(MigTest, SingleSliceInstancesFillAllSeven) {
+  mig_.enable_mig();
+  for (int i = 0; i < 7; ++i) EXPECT_NO_THROW(mig_.create_gpu_instance(1)) << i;
+  EXPECT_THROW(mig_.create_gpu_instance(1), MigError);
+}
+
+TEST_F(MigTest, AnchoredPlacementLimitsLargeProfiles) {
+  mig_.enable_mig();
+  // A 1g instance at slice 0 blocks the 4g profile (anchor at 0 only).
+  mig_.create_gpu_instance(1);
+  EXPECT_THROW(mig_.create_gpu_instance(4), MigError);
+}
+
+TEST_F(MigTest, DestroyGiReleasesResources) {
+  mig_.enable_mig();
+  const GiId gi = mig_.create_gpu_instance(4);
+  mig_.destroy_gpu_instance(gi);
+  EXPECT_EQ(mig_.free_compute_slices(), 7);
+  EXPECT_EQ(mig_.free_memory_modules(), 8);
+  EXPECT_THROW(mig_.gpu_instance(gi), MigError);
+}
+
+TEST_F(MigTest, DestroyUnknownGiThrows) {
+  mig_.enable_mig();
+  EXPECT_THROW(mig_.destroy_gpu_instance(42), MigError);
+}
+
+TEST_F(MigTest, CiLifecycleInsideGi) {
+  mig_.enable_mig();
+  const GiId gi = mig_.create_gpu_instance(7);
+  const CiId ci1 = mig_.create_compute_instance(gi, 4);
+  const CiId ci2 = mig_.create_compute_instance(gi, 3);
+  EXPECT_EQ(mig_.free_ci_slices(gi), 0);
+  EXPECT_THROW(mig_.create_compute_instance(gi, 1), MigError);
+  mig_.destroy_compute_instance(ci1);
+  EXPECT_EQ(mig_.free_ci_slices(gi), 4);
+  mig_.destroy_compute_instance(ci2);
+  EXPECT_EQ(mig_.free_ci_slices(gi), 7);
+}
+
+TEST_F(MigTest, CiRejectsOversizeAndUnknownGi) {
+  mig_.enable_mig();
+  const GiId gi = mig_.create_gpu_instance(3);
+  EXPECT_THROW(mig_.create_compute_instance(gi, 4), MigError);
+  EXPECT_THROW(mig_.create_compute_instance(gi, 0), MigError);
+  EXPECT_THROW(mig_.create_compute_instance(999, 1), MigError);
+}
+
+TEST_F(MigTest, GiWithCisCannotBeDestroyed) {
+  mig_.enable_mig();
+  const GiId gi = mig_.create_gpu_instance(3);
+  mig_.create_compute_instance(gi, 3);
+  EXPECT_THROW(mig_.destroy_gpu_instance(gi), MigError);
+}
+
+TEST_F(MigTest, UuidsAreUniqueAndLookupable) {
+  mig_.enable_mig();
+  const GiId gi = mig_.create_gpu_instance(7);
+  std::set<std::string> uuids;
+  std::vector<CiId> cis;
+  for (int i = 0; i < 7; ++i) {
+    const CiId ci = mig_.create_compute_instance(gi, 1);
+    cis.push_back(ci);
+    uuids.insert(mig_.compute_instance(ci).uuid);
+  }
+  EXPECT_EQ(uuids.size(), 7u);
+  for (const CiId ci : cis) {
+    const auto found = mig_.find_ci_by_uuid(mig_.compute_instance(ci).uuid);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, ci);
+  }
+  EXPECT_FALSE(mig_.find_ci_by_uuid("MIG-nonexistent").has_value());
+}
+
+TEST_F(MigTest, DisableRequiresEmptyConfig) {
+  mig_.enable_mig();
+  const GiId gi = mig_.create_gpu_instance(2);
+  EXPECT_THROW(mig_.disable_mig(), MigError);
+  mig_.destroy_gpu_instance(gi);
+  EXPECT_NO_THROW(mig_.disable_mig());
+  EXPECT_FALSE(mig_.mig_enabled());
+}
+
+TEST_F(MigTest, ClearRemovesEverything) {
+  mig_.enable_mig();
+  const GiId gi = mig_.create_gpu_instance(7);
+  mig_.create_compute_instance(gi, 4);
+  mig_.clear();
+  EXPECT_EQ(mig_.free_compute_slices(), 7);
+  EXPECT_TRUE(mig_.list_gpu_instances().empty());
+  EXPECT_TRUE(mig_.list_compute_instances().empty());
+}
+
+TEST_F(MigTest, PlacePairPrivateBuildsTwoGis) {
+  mig_.enable_mig();
+  const auto placement = mig_.place_pair(4, 3, MemOption::Private);
+  EXPECT_EQ(mig_.list_gpu_instances().size(), 2u);
+  EXPECT_EQ(mig_.list_compute_instances().size(), 2u);
+  const auto& ci1 = mig_.compute_instance(placement.ci_app1);
+  const auto& ci2 = mig_.compute_instance(placement.ci_app2);
+  EXPECT_EQ(ci1.gpc_slices, 4);
+  EXPECT_EQ(ci2.gpc_slices, 3);
+  EXPECT_NE(ci1.gi, ci2.gi);  // memory fully partitioned
+}
+
+TEST_F(MigTest, PlacePairPrivateSmallerFirstArgumentStillWorks) {
+  mig_.enable_mig();
+  const auto placement = mig_.place_pair(3, 4, MemOption::Private);
+  EXPECT_EQ(mig_.compute_instance(placement.ci_app1).gpc_slices, 3);
+  EXPECT_EQ(mig_.compute_instance(placement.ci_app2).gpc_slices, 4);
+}
+
+TEST_F(MigTest, PlacePairSharedBuildsOneGi) {
+  mig_.enable_mig();
+  const auto placement = mig_.place_pair(4, 3, MemOption::Shared);
+  EXPECT_EQ(mig_.list_gpu_instances().size(), 1u);
+  const auto& ci1 = mig_.compute_instance(placement.ci_app1);
+  const auto& ci2 = mig_.compute_instance(placement.ci_app2);
+  EXPECT_EQ(ci1.gi, ci2.gi);  // same memory domain
+  EXPECT_EQ(mig_.gpu_instance(ci1.gi).mem_modules, 8);
+}
+
+TEST_F(MigTest, PlacePairRequiresEmptyConfig) {
+  mig_.enable_mig();
+  mig_.create_gpu_instance(1);
+  EXPECT_THROW(mig_.place_pair(4, 3, MemOption::Shared), MigError);
+}
+
+TEST_F(MigTest, PlacePairRejectsOversizedPair) {
+  mig_.enable_mig();
+  EXPECT_THROW(mig_.place_pair(4, 4, MemOption::Shared), MigError);
+}
+
+TEST_F(MigTest, PlaceSoloPrivateScalesMemory) {
+  mig_.enable_mig();
+  const CiId ci = mig_.place_solo(2, MemOption::Private);
+  const auto& info = mig_.compute_instance(ci);
+  EXPECT_EQ(mig_.gpu_instance(info.gi).mem_modules, 2);
+}
+
+TEST_F(MigTest, PlaceSoloSharedSeesAllMemory) {
+  mig_.enable_mig();
+  const CiId ci = mig_.place_solo(2, MemOption::Shared);
+  const auto& info = mig_.compute_instance(ci);
+  EXPECT_EQ(mig_.gpu_instance(info.gi).mem_modules, 8);
+  EXPECT_EQ(mig_.gpu_instance(info.gi).gpc_slices, 7);
+}
+
+TEST_F(MigTest, ListCisByGi) {
+  mig_.enable_mig();
+  const GiId gi7 = mig_.create_gpu_instance(7);
+  mig_.create_compute_instance(gi7, 2);
+  mig_.create_compute_instance(gi7, 2);
+  EXPECT_EQ(mig_.list_compute_instances(gi7).size(), 2u);
+}
+
+TEST_F(MigTest, PlaceGroupPrivateBuildsOneGiPerMember) {
+  mig_.enable_mig();
+  const std::vector<int> sizes = {4, 2, 1};
+  const auto cis = mig_.place_group(sizes, MemOption::Private);
+  ASSERT_EQ(cis.size(), 3u);
+  EXPECT_EQ(mig_.list_gpu_instances().size(), 3u);
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    EXPECT_EQ(mig_.compute_instance(cis[i]).gpc_slices, sizes[i]) << i;
+  // Distinct memory domains.
+  EXPECT_NE(mig_.compute_instance(cis[0]).gi, mig_.compute_instance(cis[1]).gi);
+  EXPECT_NE(mig_.compute_instance(cis[1]).gi, mig_.compute_instance(cis[2]).gi);
+}
+
+TEST_F(MigTest, PlaceGroupSharedBuildsOneGi) {
+  mig_.enable_mig();
+  const std::vector<int> sizes = {3, 2, 2};
+  const auto cis = mig_.place_group(sizes, MemOption::Shared);
+  ASSERT_EQ(cis.size(), 3u);
+  EXPECT_EQ(mig_.list_gpu_instances().size(), 1u);
+  const GiId gi = mig_.compute_instance(cis[0]).gi;
+  for (const CiId ci : cis) EXPECT_EQ(mig_.compute_instance(ci).gi, gi);
+  EXPECT_EQ(mig_.gpu_instance(gi).mem_modules, 8);
+}
+
+TEST_F(MigTest, PlaceGroupReportsMembersInCallerOrder) {
+  mig_.enable_mig();
+  // Ascending sizes: the internal placement reorders (largest first), but the
+  // returned CIs must match the argument order.
+  const std::vector<int> sizes = {1, 2, 4};
+  const auto cis = mig_.place_group(sizes, MemOption::Private);
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    EXPECT_EQ(mig_.compute_instance(cis[i]).gpc_slices, sizes[i]) << i;
+}
+
+TEST_F(MigTest, PlaceGroupBacktracksOverAnchoredStarts) {
+  mig_.enable_mig();
+  // 3g+2g+2g only fits as 2g@0, 2g@2, 3g@4 — greedy first-fit (3g@0) dead-
+  // ends, so the placement search must backtrack.
+  const std::vector<int> sizes = {3, 2, 2};
+  const auto cis = mig_.place_group(sizes, MemOption::Private);
+  ASSERT_EQ(cis.size(), 3u);
+  EXPECT_EQ(mig_.gpu_instance(mig_.compute_instance(cis[0]).gi).start_slice, 4);
+  EXPECT_EQ(mig_.free_compute_slices(), 0);
+}
+
+TEST_F(MigTest, ExplicitStartSlicePlacement) {
+  mig_.enable_mig();
+  const GiId gi = mig_.create_gpu_instance(3, /*start_slice=*/4);
+  EXPECT_EQ(mig_.gpu_instance(gi).start_slice, 4);
+  // 3g may only start at 0 or 4.
+  EXPECT_THROW(mig_.create_gpu_instance(3, 2), MigError);
+  // Occupied start.
+  EXPECT_THROW(mig_.create_gpu_instance(3, 4), MigError);
+}
+
+TEST_F(MigTest, PlaceGroupErrors) {
+  mig_.enable_mig();
+  EXPECT_THROW(mig_.place_group({}, MemOption::Shared), MigError);
+  const std::vector<int> oversized = {4, 3, 1};
+  EXPECT_THROW(mig_.place_group(oversized, MemOption::Shared), MigError);
+  const std::vector<int> module_overcommit = {3, 3, 1};  // 9 modules
+  EXPECT_THROW(mig_.place_group(module_overcommit, MemOption::Private), MigError);
+  mig_.create_gpu_instance(1);
+  const std::vector<int> pair = {2, 2};
+  EXPECT_THROW(mig_.place_group(pair, MemOption::Shared), MigError);
+}
+
+TEST(MemOption, Names) {
+  EXPECT_STREQ(to_string(MemOption::Private), "private");
+  EXPECT_STREQ(to_string(MemOption::Shared), "shared");
+}
+
+}  // namespace
+}  // namespace migopt::gpusim

@@ -1,0 +1,230 @@
+// Evaluation-level reproduction: the model-accuracy and decision-quality
+// claims of the paper's Section 5.2 must hold on the simulated device.
+//
+//  * Figure 8:  throughput / fairness estimation error in the ballpark of the
+//               paper's 9.7% / 14.5%;
+//  * Figure 9:  Problem-1 proposal throughput within a few percent of the
+//               measured best at 230 W, alpha = 0.2;
+//  * Figure 10: the same across the full power-cap sweep;
+//  * Figures 11/13: Problem-2 proposal energy efficiency close to best.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/evaluator.hpp"
+#include "core/optimizer.hpp"
+#include "test_util.hpp"
+
+namespace migopt {
+namespace {
+
+using core::Decision;
+using core::Optimizer;
+using core::PairMetrics;
+using core::Policy;
+using test::shared_artifacts;
+using test::shared_chip;
+using test::shared_pairs;
+using test::shared_registry;
+
+PairMetrics measured(const wl::CorunPair& pair, const core::PartitionState& state,
+                     double cap) {
+  const auto resolved = wl::resolve(shared_registry(), pair);
+  return core::measure_pair(shared_chip(), resolved.app1->kernel,
+                            resolved.app2->kernel, state, cap);
+}
+
+TEST(Figure8, ModelErrorMatchesPaperBallpark) {
+  std::vector<double> measured_tp;
+  std::vector<double> estimated_tp;
+  std::vector<double> measured_fair;
+  std::vector<double> estimated_fair;
+  for (const auto& pair : shared_pairs()) {
+    const auto& f1 = shared_artifacts().profiles.at(pair.app1);
+    const auto& f2 = shared_artifacts().profiles.at(pair.app2);
+    for (const auto& state : core::paper_states()) {
+      for (const double cap : core::paper_power_caps()) {
+        const PairMetrics m = measured(pair, state, cap);
+        const PairMetrics e =
+            core::predict_pair(shared_artifacts().model, f1, f2, state, cap);
+        measured_tp.push_back(m.throughput);
+        estimated_tp.push_back(e.throughput);
+        measured_fair.push_back(m.fairness);
+        estimated_fair.push_back(e.fairness);
+      }
+    }
+  }
+  // Paper: ~9.7% throughput error, ~14.5% fairness error. Allow headroom but
+  // require the same order of accuracy.
+  EXPECT_LT(stats::mape(measured_tp, estimated_tp), 0.13);
+  EXPECT_LT(stats::mape(measured_fair, estimated_fair), 0.20);
+  // And the predictions must track measurements tightly overall.
+  EXPECT_GT(stats::pearson(measured_tp, estimated_tp), 0.95);
+}
+
+TEST(Figure9, Problem1ProposalNearBestAt230W) {
+  const Optimizer optimizer = Optimizer::paper_default(shared_artifacts().model);
+  std::vector<double> best_values;
+  std::vector<double> proposal_values;
+  int violations = 0;
+  for (const auto& pair : shared_pairs()) {
+    double best = -1.0;
+    for (const auto& state : core::paper_states()) {
+      const PairMetrics m = measured(pair, state, 230.0);
+      if (m.fairness > 0.2) best = std::max(best, m.throughput);
+    }
+    ASSERT_GT(best, 0.0) << pair.name;
+
+    const Decision decision =
+        optimizer.decide(shared_artifacts().profiles.at(pair.app1),
+                         shared_artifacts().profiles.at(pair.app2),
+                         Policy::problem1(230.0, 0.2));
+    ASSERT_TRUE(decision.feasible) << pair.name;
+    const PairMetrics chosen = measured(pair, decision.state, 230.0);
+    if (chosen.fairness <= 0.2) ++violations;
+    best_values.push_back(best);
+    proposal_values.push_back(chosen.throughput);
+    // Per-pair: never catastrophically far from best.
+    EXPECT_GT(chosen.throughput, best * 0.85) << pair.name;
+  }
+  // Paper: geomean 1.52 (proposal) vs 1.54 (best) => ratio 0.987; we require
+  // at least 0.95 and no fairness violations ("no fairness violation
+  // happened for our approach").
+  EXPECT_GT(stats::geomean(proposal_values) / stats::geomean(best_values), 0.95);
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(Figure10, Problem1TracksBestAcrossCaps) {
+  const Optimizer optimizer = Optimizer::paper_default(shared_artifacts().model);
+  for (const double cap : core::paper_power_caps()) {
+    std::vector<double> best_values;
+    std::vector<double> proposal_values;
+    for (const auto& pair : shared_pairs()) {
+      double best = -1.0;
+      for (const auto& state : core::paper_states()) {
+        const PairMetrics m = measured(pair, state, cap);
+        if (m.fairness > 0.2) best = std::max(best, m.throughput);
+      }
+      if (best <= 0.0) continue;  // no feasible state at this cap
+      const Decision decision =
+          optimizer.decide(shared_artifacts().profiles.at(pair.app1),
+                           shared_artifacts().profiles.at(pair.app2),
+                           Policy::problem1(cap, 0.2));
+      if (!decision.feasible) continue;
+      best_values.push_back(best);
+      proposal_values.push_back(measured(pair, decision.state, cap).throughput);
+    }
+    ASSERT_GT(best_values.size(), 12u) << cap;
+    EXPECT_GT(stats::geomean(proposal_values) / stats::geomean(best_values), 0.93)
+        << cap;
+  }
+}
+
+TEST(Figure10, GeomeanThroughputGrowsWithCap) {
+  const Optimizer optimizer = Optimizer::paper_default(shared_artifacts().model);
+  double previous = 0.0;
+  for (const double cap : core::paper_power_caps()) {
+    std::vector<double> proposal_values;
+    for (const auto& pair : shared_pairs()) {
+      const Decision decision =
+          optimizer.decide(shared_artifacts().profiles.at(pair.app1),
+                           shared_artifacts().profiles.at(pair.app2),
+                           Policy::problem1(cap, 0.2));
+      if (decision.feasible)
+        proposal_values.push_back(measured(pair, decision.state, cap).throughput);
+    }
+    const double geo = stats::geomean(proposal_values);
+    EXPECT_GE(geo, previous - 0.01) << cap;
+    previous = geo;
+  }
+}
+
+TEST(Figure11, Problem2ProposalNearBestEnergyEfficiency) {
+  const Optimizer optimizer = Optimizer::paper_default(shared_artifacts().model);
+  const double alpha = 0.2;
+  std::vector<double> best_values;
+  std::vector<double> proposal_values;
+  for (const auto& pair : shared_pairs()) {
+    double best = -1.0;
+    for (const auto& state : core::paper_states()) {
+      for (const double cap : core::paper_power_caps()) {
+        const PairMetrics m = measured(pair, state, cap);
+        if (m.fairness > alpha) best = std::max(best, m.energy_efficiency);
+      }
+    }
+    ASSERT_GT(best, 0.0) << pair.name;
+    const Decision decision =
+        optimizer.decide(shared_artifacts().profiles.at(pair.app1),
+                         shared_artifacts().profiles.at(pair.app2),
+                         Policy::problem2(alpha));
+    ASSERT_TRUE(decision.feasible) << pair.name;
+    const PairMetrics chosen =
+        measured(pair, decision.state, decision.power_cap_watts);
+    best_values.push_back(best);
+    proposal_values.push_back(chosen.energy_efficiency);
+  }
+  EXPECT_GT(stats::geomean(proposal_values) / stats::geomean(best_values), 0.93);
+}
+
+TEST(Figure12, Problem2PicksLowCapsForPowerInsensitivePairs) {
+  // US-US pairs gain nothing from high caps: the optimizer should allocate
+  // the minimum (150 W), freeing budget for other nodes — the paper's power
+  // shifting story.
+  const Optimizer optimizer = Optimizer::paper_default(shared_artifacts().model);
+  for (const char* pair_name : {"US-US1", "US-US2"}) {
+    const auto& pair = wl::pair_by_name(shared_pairs(), pair_name);
+    const Decision decision =
+        optimizer.decide(shared_artifacts().profiles.at(pair.app1),
+                         shared_artifacts().profiles.at(pair.app2),
+                         Policy::problem2(0.2));
+    ASSERT_TRUE(decision.feasible) << pair_name;
+    EXPECT_DOUBLE_EQ(decision.power_cap_watts, 150.0) << pair_name;
+  }
+}
+
+TEST(Figure12, HigherAlphaRaisesChosenCapsForComputePairs) {
+  // The fairness knob forces more power toward compute-heavy pairs
+  // (the alpha-sensitivity visible between the two halves of Fig. 12).
+  const Optimizer optimizer = Optimizer::paper_default(shared_artifacts().model);
+  double cap_sum_low = 0.0;
+  double cap_sum_high = 0.0;
+  int counted = 0;
+  for (const char* pair_name : {"TI-TI1", "TI-TI2", "CI-CI1", "CI-CI2"}) {
+    const auto& pair = wl::pair_by_name(shared_pairs(), pair_name);
+    const auto& f1 = shared_artifacts().profiles.at(pair.app1);
+    const auto& f2 = shared_artifacts().profiles.at(pair.app2);
+    const Decision low = optimizer.decide(f1, f2, Policy::problem2(0.2));
+    const Decision high = optimizer.decide(f1, f2, Policy::problem2(0.40));
+    if (!low.feasible || !high.feasible) continue;
+    cap_sum_low += low.power_cap_watts;
+    cap_sum_high += high.power_cap_watts;
+    ++counted;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_GT(cap_sum_high, cap_sum_low);
+}
+
+TEST(Figure13, EfficiencyDecreasesAsAlphaTightens) {
+  const Optimizer optimizer = Optimizer::paper_default(shared_artifacts().model);
+  double previous = 1e18;
+  for (const double alpha : {0.20, 0.30, 0.40}) {
+    std::vector<double> values;
+    for (const auto& pair : shared_pairs()) {
+      const Decision decision =
+          optimizer.decide(shared_artifacts().profiles.at(pair.app1),
+                           shared_artifacts().profiles.at(pair.app2),
+                           Policy::problem2(alpha));
+      if (!decision.feasible) continue;
+      values.push_back(
+          measured(pair, decision.state, decision.power_cap_watts).energy_efficiency);
+    }
+    ASSERT_GT(values.size(), 10u) << alpha;
+    const double geo = stats::geomean(values);
+    EXPECT_LE(geo, previous + 1e-9) << alpha;
+    previous = geo;
+  }
+}
+
+}  // namespace
+}  // namespace migopt

@@ -1,0 +1,196 @@
+// Paper-level reproduction properties: the qualitative shapes of the paper's
+// observation figures (4, 5, 6) must hold on the simulated device, and the
+// classification rule must reproduce Table 7 aggregate counts.
+#include <gtest/gtest.h>
+
+#include "core/classifier.hpp"
+#include "core/evaluator.hpp"
+#include "profiling/profiler.hpp"
+#include "test_util.hpp"
+
+namespace migopt {
+namespace {
+
+using core::PartitionState;
+using gpusim::MemOption;
+using test::shared_chip;
+using test::shared_registry;
+
+double solo_relperf(const std::string& app, int gpcs, MemOption option, double cap) {
+  const auto& kernel = shared_registry().by_name(app).kernel;
+  const auto run = shared_chip().run_solo(kernel, gpcs, option, cap);
+  return shared_chip().relative_performance(kernel, run.apps[0]);
+}
+
+// ---- Figure 4: scalability across partition sizes and memory options --------
+
+TEST(Figure4, KmeansIsFlatRegardlessOfOption) {
+  for (const auto option : {MemOption::Private, MemOption::Shared}) {
+    for (int gpcs : {1, 2, 3, 4, 7}) {
+      EXPECT_GT(solo_relperf("kmeans", gpcs, option, 250.0), 0.9)
+          << gpcs << " " << gpusim::to_string(option);
+    }
+  }
+}
+
+TEST(Figure4, StreamSharedBeatsPrivateAtSmallSizes) {
+  // The memory option matters for the memory-intensive kernel (Section 3.1).
+  for (int gpcs : {1, 2, 3, 4}) {
+    const double priv = solo_relperf("stream", gpcs, MemOption::Private, 250.0);
+    const double shared = solo_relperf("stream", gpcs, MemOption::Shared, 250.0);
+    EXPECT_GT(shared, priv * 1.5) << gpcs;
+  }
+}
+
+TEST(Figure4, StreamPrivateTracksModuleCount) {
+  // Modules scale 1,2,4,4,8 -> private bandwidth plateaus between 3 and 4 GPCs.
+  const double at3 = solo_relperf("stream", 3, MemOption::Private, 250.0);
+  const double at4 = solo_relperf("stream", 4, MemOption::Private, 250.0);
+  EXPECT_NEAR(at3, at4, 0.02);  // same 4 modules
+  const double at2 = solo_relperf("stream", 2, MemOption::Private, 250.0);
+  EXPECT_NEAR(at3 / at2, 2.0, 0.2);  // 4 vs 2 modules
+}
+
+TEST(Figure4, GemmsInsensitiveToMemoryOption) {
+  for (const char* app : {"dgemm", "hgemm"}) {
+    for (int gpcs : {1, 2, 3, 4, 7}) {
+      const double priv = solo_relperf(app, gpcs, MemOption::Private, 250.0);
+      const double shared = solo_relperf(app, gpcs, MemOption::Shared, 250.0);
+      EXPECT_NEAR(priv, shared, 0.02) << app << " " << gpcs;
+    }
+  }
+}
+
+TEST(Figure4, GemmsScaleWithGpcs) {
+  for (const char* app : {"dgemm", "hgemm"}) {
+    double previous = 0.0;
+    for (int gpcs : {1, 2, 3, 4, 7}) {
+      const double rel = solo_relperf(app, gpcs, MemOption::Shared, 250.0);
+      EXPECT_GT(rel, previous) << app << " " << gpcs;
+      previous = rel;
+    }
+  }
+}
+
+// ---- Figure 5: power-cap sensitivity ---------------------------------------
+
+TEST(Figure5, KmeansAndStreamInsensitiveToCaps) {
+  for (const char* app : {"kmeans", "stream"}) {
+    const double at_250 = solo_relperf(app, 7, MemOption::Shared, 250.0);
+    const double at_150 = solo_relperf(app, 7, MemOption::Shared, 150.0);
+    EXPECT_GT(at_150 / at_250, 0.93) << app;
+  }
+}
+
+TEST(Figure5, ComputeKernelsLoseSignificantlyAt150W) {
+  for (const char* app : {"dgemm", "hgemm"}) {
+    const double at_250 = solo_relperf(app, 7, MemOption::Shared, 250.0);
+    const double at_150 = solo_relperf(app, 7, MemOption::Shared, 150.0);
+    EXPECT_LT(at_150 / at_250, 0.85) << app;  // clearly affected
+  }
+}
+
+TEST(Figure5, CapSensitivityGrowsWithPartitionSize) {
+  // Small instances draw little power, so capping barely binds; the 7-GPC
+  // instance throttles hardest (the flattening curves of Fig. 5).
+  const double small_ratio = solo_relperf("hgemm", 1, MemOption::Shared, 150.0) /
+                             solo_relperf("hgemm", 1, MemOption::Shared, 250.0);
+  const double large_ratio = solo_relperf("hgemm", 7, MemOption::Shared, 150.0) /
+                             solo_relperf("hgemm", 7, MemOption::Shared, 250.0);
+  EXPECT_GT(small_ratio, 0.99);
+  EXPECT_LT(large_ratio, 0.80);
+}
+
+TEST(Figure5, RelPerfMonotoneInCapForAllFourKernels) {
+  for (const char* app : {"kmeans", "stream", "dgemm", "hgemm"}) {
+    double previous = 0.0;
+    for (double cap : {150.0, 170.0, 190.0, 210.0, 230.0, 250.0}) {
+      const double rel = solo_relperf(app, 7, MemOption::Shared, cap);
+      EXPECT_GE(rel, previous - 1e-9) << app << " " << cap;
+      previous = rel;
+    }
+  }
+}
+
+// ---- Figure 6: co-run throughput across S1-S4 -------------------------------
+
+core::PairMetrics measure(const std::string& app1, const std::string& app2,
+                          const PartitionState& state, double cap) {
+  return core::measure_pair(shared_chip(), shared_registry().by_name(app1).kernel,
+                            shared_registry().by_name(app2).kernel, state, cap);
+}
+
+TEST(Figure6, TiMi2PrefersSharedWithMoreGpcsForTensorApp) {
+  // S1 = (4 GPCs to igemm4, 3 to stream, shared) wins; spread vs the worst
+  // state is large (paper: 34%).
+  const double s1 = measure("igemm4", "stream", {4, 3, MemOption::Shared}, 250.0).throughput;
+  const double s2 = measure("igemm4", "stream", {3, 4, MemOption::Shared}, 250.0).throughput;
+  const double s3 = measure("igemm4", "stream", {4, 3, MemOption::Private}, 250.0).throughput;
+  const double s4 = measure("igemm4", "stream", {3, 4, MemOption::Private}, 250.0).throughput;
+  EXPECT_GT(s1, s2);
+  EXPECT_GT(s1, s3);
+  EXPECT_GT(s1, s4);
+  const double worst = std::min({s2, s3, s4});
+  EXPECT_GT(s1 / worst, 1.2);
+  EXPECT_LT(s1 / worst, 1.6);
+}
+
+TEST(Figure6, CiUsPrefersPrivate) {
+  // Both CI-US pairings (the figure uses dgemm+dwt2d; Table 8's CI-US1 is
+  // srad+needle): S3 best, ~25% over the worst (paper).
+  for (const auto& [app1, app2] : {std::pair{"dgemm", "dwt2d"}, std::pair{"srad", "needle"}}) {
+    const double s1 = measure(app1, app2, {4, 3, MemOption::Shared}, 250.0).throughput;
+    const double s2 = measure(app1, app2, {3, 4, MemOption::Shared}, 250.0).throughput;
+    const double s3 = measure(app1, app2, {4, 3, MemOption::Private}, 250.0).throughput;
+    const double s4 = measure(app1, app2, {3, 4, MemOption::Private}, 250.0).throughput;
+    EXPECT_GT(s3, s1) << app1;
+    EXPECT_GT(s3, s2) << app1;
+    EXPECT_GT(s3, s4) << app1;
+    const double worst = std::min({s1, s2, s4});
+    EXPECT_GT(s3 / worst, 1.15) << app1;
+    EXPECT_LT(s3 / worst, 1.45) << app1;
+  }
+}
+
+TEST(Figure6, PrivateFullyIsolatesUsVictim) {
+  const auto priv = measure("dgemm", "dwt2d", {4, 3, MemOption::Private}, 250.0);
+  EXPECT_GT(priv.relperf_app2, 0.97);  // dwt2d unharmed in its own GI
+}
+
+// ---- Table 7 aggregate -------------------------------------------------------
+
+TEST(Table7, DerivedClassCountsMatchPaper) {
+  int ti = 0;
+  int ci = 0;
+  int mi = 0;
+  int us = 0;
+  for (const auto& spec : shared_registry().all()) {
+    const auto profile = prof::profile_run(shared_chip(), spec.kernel);
+    switch (core::classify(shared_chip(), spec.kernel, profile)) {
+      case wl::WorkloadClass::TI: ++ti; break;
+      case wl::WorkloadClass::CI: ++ci; break;
+      case wl::WorkloadClass::MI: ++mi; break;
+      case wl::WorkloadClass::US: ++us; break;
+    }
+  }
+  EXPECT_EQ(ti, 7);
+  EXPECT_EQ(ci, 6);
+  EXPECT_EQ(mi, 5);
+  EXPECT_EQ(us, 6);
+}
+
+// ---- Weighted-speedup sanity --------------------------------------------------
+
+TEST(WeightedSpeedup, UsPairsBeatTimeSharingByFar) {
+  const auto m = measure("kmeans", "needle", {4, 3, MemOption::Private}, 250.0);
+  EXPECT_GT(m.throughput, 1.7);  // both nearly unimpaired
+}
+
+TEST(WeightedSpeedup, SameClassComputePairsNearGpcShare) {
+  const auto m = measure("tdgemm", "tf32gemm", {4, 3, MemOption::Private}, 250.0);
+  EXPECT_GT(m.throughput, 0.8);
+  EXPECT_LT(m.throughput, 1.1);
+}
+
+}  // namespace
+}  // namespace migopt

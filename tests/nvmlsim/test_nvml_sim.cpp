@@ -1,0 +1,214 @@
+#include "nvmlsim/nvml_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "gpusim/gpu.hpp"
+#include "nvmlsim/nvml_sim_host.hpp"
+
+namespace {
+
+using migopt::gpusim::GpuChip;
+
+/// The C facade holds process-global device registrations; tests in this
+/// binary share one registered device and re-init per fixture.
+class NvmlSimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    static GpuChip* chip = new GpuChip();  // deliberately leaked: process-global
+    migopt::nvml::reset_devices();
+    migopt::nvml::register_device(chip);
+    chip_ = chip;
+  }
+
+  void SetUp() override {
+    ASSERT_EQ(nvmlSimInit(), NVMLSIM_SUCCESS);
+    ASSERT_EQ(nvmlSimDeviceGetHandleByIndex(0, &device_), NVMLSIM_SUCCESS);
+    // Reset device state left over from previous tests.
+    chip_->mig().clear();
+    if (chip_->mig().mig_enabled()) chip_->mig().disable_mig();
+    chip_->set_power_limit_watts(chip_->arch().tdp_watts);
+  }
+
+  static GpuChip* chip_;
+  nvmlSimDevice_t device_ = nullptr;
+};
+
+GpuChip* NvmlSimTest::chip_ = nullptr;
+
+TEST_F(NvmlSimTest, DeviceCount) {
+  unsigned int count = 0;
+  ASSERT_EQ(nvmlSimDeviceGetCount(&count), NVMLSIM_SUCCESS);
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(NvmlSimTest, InvalidIndexIsNotFound) {
+  nvmlSimDevice_t device = nullptr;
+  EXPECT_EQ(nvmlSimDeviceGetHandleByIndex(99, &device), NVMLSIM_ERROR_NOT_FOUND);
+}
+
+TEST_F(NvmlSimTest, NullArgumentsRejected) {
+  EXPECT_EQ(nvmlSimDeviceGetCount(nullptr), NVMLSIM_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(nvmlSimDeviceGetHandleByIndex(0, nullptr), NVMLSIM_ERROR_INVALID_ARGUMENT);
+  unsigned int out = 0;
+  EXPECT_EQ(nvmlSimDeviceGetPowerManagementLimit(nullptr, &out),
+            NVMLSIM_ERROR_INVALID_ARGUMENT);
+}
+
+TEST_F(NvmlSimTest, DeviceName) {
+  char name[NVMLSIM_NAME_BUFFER_SIZE] = {};
+  ASSERT_EQ(nvmlSimDeviceGetName(device_, name, sizeof(name)), NVMLSIM_SUCCESS);
+  EXPECT_NE(std::string(name).find("A100-SIM"), std::string::npos);
+}
+
+TEST_F(NvmlSimTest, DeviceNameBufferTooSmall) {
+  char tiny[4] = {};
+  EXPECT_EQ(nvmlSimDeviceGetName(device_, tiny, sizeof(tiny)),
+            NVMLSIM_ERROR_INSUFFICIENT_SIZE);
+}
+
+TEST_F(NvmlSimTest, PowerLimitRoundTripInMilliwatts) {
+  unsigned int limit_mw = 0;
+  ASSERT_EQ(nvmlSimDeviceGetPowerManagementLimit(device_, &limit_mw), NVMLSIM_SUCCESS);
+  EXPECT_EQ(limit_mw, 250000u);  // TDP
+
+  ASSERT_EQ(nvmlSimDeviceSetPowerManagementLimit(device_, 170000), NVMLSIM_SUCCESS);
+  ASSERT_EQ(nvmlSimDeviceGetPowerManagementLimit(device_, &limit_mw), NVMLSIM_SUCCESS);
+  EXPECT_EQ(limit_mw, 170000u);
+  EXPECT_DOUBLE_EQ(chip_->power_limit_watts(), 170.0);
+}
+
+TEST_F(NvmlSimTest, PowerLimitConstraints) {
+  unsigned int min_mw = 0;
+  unsigned int max_mw = 0;
+  ASSERT_EQ(nvmlSimDeviceGetPowerManagementLimitConstraints(device_, &min_mw, &max_mw),
+            NVMLSIM_SUCCESS);
+  EXPECT_EQ(min_mw, 100000u);
+  EXPECT_EQ(max_mw, 250000u);
+  EXPECT_EQ(nvmlSimDeviceSetPowerManagementLimit(device_, min_mw - 1000),
+            NVMLSIM_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(nvmlSimDeviceSetPowerManagementLimit(device_, max_mw + 1000),
+            NVMLSIM_ERROR_INVALID_ARGUMENT);
+}
+
+TEST_F(NvmlSimTest, MigModeToggle) {
+  unsigned int mode = 99;
+  ASSERT_EQ(nvmlSimDeviceGetMigMode(device_, &mode), NVMLSIM_SUCCESS);
+  EXPECT_EQ(mode, static_cast<unsigned int>(NVMLSIM_DEVICE_MIG_DISABLE));
+
+  ASSERT_EQ(nvmlSimDeviceSetMigMode(device_, NVMLSIM_DEVICE_MIG_ENABLE),
+            NVMLSIM_SUCCESS);
+  ASSERT_EQ(nvmlSimDeviceGetMigMode(device_, &mode), NVMLSIM_SUCCESS);
+  EXPECT_EQ(mode, static_cast<unsigned int>(NVMLSIM_DEVICE_MIG_ENABLE));
+
+  EXPECT_EQ(nvmlSimDeviceSetMigMode(device_, 7), NVMLSIM_ERROR_INVALID_ARGUMENT);
+}
+
+TEST_F(NvmlSimTest, GpuInstanceLifecycle) {
+  ASSERT_EQ(nvmlSimDeviceSetMigMode(device_, NVMLSIM_DEVICE_MIG_ENABLE),
+            NVMLSIM_SUCCESS);
+  unsigned int gi = 0;
+  ASSERT_EQ(nvmlSimDeviceCreateGpuInstance(
+                device_, NVMLSIM_GPU_INSTANCE_PROFILE_4_SLICE, &gi),
+            NVMLSIM_SUCCESS);
+
+  unsigned int slices = 0;
+  unsigned int modules = 0;
+  ASSERT_EQ(nvmlSimGpuInstanceGetInfo(device_, gi, &slices, &modules), NVMLSIM_SUCCESS);
+  EXPECT_EQ(slices, 4u);
+  EXPECT_EQ(modules, 4u);
+
+  unsigned int count = 0;
+  ASSERT_EQ(nvmlSimDeviceGetGpuInstanceCount(device_, &count), NVMLSIM_SUCCESS);
+  EXPECT_EQ(count, 1u);
+
+  ASSERT_EQ(nvmlSimDeviceDestroyGpuInstance(device_, gi), NVMLSIM_SUCCESS);
+  EXPECT_EQ(nvmlSimDeviceDestroyGpuInstance(device_, gi), NVMLSIM_ERROR_NOT_FOUND);
+}
+
+TEST_F(NvmlSimTest, GpuInstanceWithoutMigIsNotSupported) {
+  unsigned int gi = 0;
+  EXPECT_EQ(nvmlSimDeviceCreateGpuInstance(device_,
+                                           NVMLSIM_GPU_INSTANCE_PROFILE_1_SLICE, &gi),
+            NVMLSIM_ERROR_NOT_SUPPORTED);
+}
+
+TEST_F(NvmlSimTest, InstanceExhaustionReportsInsufficientResources) {
+  ASSERT_EQ(nvmlSimDeviceSetMigMode(device_, NVMLSIM_DEVICE_MIG_ENABLE),
+            NVMLSIM_SUCCESS);
+  unsigned int gi = 0;
+  ASSERT_EQ(nvmlSimDeviceCreateGpuInstance(
+                device_, NVMLSIM_GPU_INSTANCE_PROFILE_7_SLICE, &gi),
+            NVMLSIM_SUCCESS);
+  unsigned int gi2 = 0;
+  EXPECT_EQ(nvmlSimDeviceCreateGpuInstance(device_,
+                                           NVMLSIM_GPU_INSTANCE_PROFILE_1_SLICE, &gi2),
+            NVMLSIM_ERROR_INSUFFICIENT_RESOURCES);
+}
+
+TEST_F(NvmlSimTest, ComputeInstanceLifecycleAndUuid) {
+  ASSERT_EQ(nvmlSimDeviceSetMigMode(device_, NVMLSIM_DEVICE_MIG_ENABLE),
+            NVMLSIM_SUCCESS);
+  unsigned int gi = 0;
+  ASSERT_EQ(nvmlSimDeviceCreateGpuInstance(
+                device_, NVMLSIM_GPU_INSTANCE_PROFILE_7_SLICE, &gi),
+            NVMLSIM_SUCCESS);
+  unsigned int ci1 = 0;
+  unsigned int ci2 = 0;
+  ASSERT_EQ(nvmlSimGpuInstanceCreateComputeInstance(device_, gi, 4, &ci1),
+            NVMLSIM_SUCCESS);
+  ASSERT_EQ(nvmlSimGpuInstanceCreateComputeInstance(device_, gi, 3, &ci2),
+            NVMLSIM_SUCCESS);
+
+  char uuid1[NVMLSIM_UUID_BUFFER_SIZE] = {};
+  char uuid2[NVMLSIM_UUID_BUFFER_SIZE] = {};
+  ASSERT_EQ(nvmlSimComputeInstanceGetUuid(device_, ci1, uuid1, sizeof(uuid1)),
+            NVMLSIM_SUCCESS);
+  ASSERT_EQ(nvmlSimComputeInstanceGetUuid(device_, ci2, uuid2, sizeof(uuid2)),
+            NVMLSIM_SUCCESS);
+  EXPECT_NE(std::string(uuid1), std::string(uuid2));
+  EXPECT_EQ(std::string(uuid1).substr(0, 4), "MIG-");
+
+  unsigned int ids[8] = {};
+  unsigned int count = 0;
+  ASSERT_EQ(nvmlSimDeviceGetComputeInstanceIds(device_, ids, 8, &count),
+            NVMLSIM_SUCCESS);
+  EXPECT_EQ(count, 2u);
+
+  // Over-subscription of the GI fails.
+  unsigned int ci3 = 0;
+  EXPECT_EQ(nvmlSimGpuInstanceCreateComputeInstance(device_, gi, 1, &ci3),
+            NVMLSIM_ERROR_INSUFFICIENT_RESOURCES);
+
+  // GI busy while CIs exist.
+  EXPECT_EQ(nvmlSimDeviceDestroyGpuInstance(device_, gi), NVMLSIM_ERROR_IN_USE);
+
+  ASSERT_EQ(nvmlSimGpuInstanceDestroyComputeInstance(device_, ci1), NVMLSIM_SUCCESS);
+  ASSERT_EQ(nvmlSimGpuInstanceDestroyComputeInstance(device_, ci2), NVMLSIM_SUCCESS);
+  ASSERT_EQ(nvmlSimDeviceDestroyGpuInstance(device_, gi), NVMLSIM_SUCCESS);
+}
+
+TEST_F(NvmlSimTest, ErrorStringsAreStable) {
+  EXPECT_STREQ(nvmlSimErrorString(NVMLSIM_SUCCESS), "success");
+  EXPECT_STREQ(nvmlSimErrorString(NVMLSIM_ERROR_NOT_FOUND), "not found");
+  EXPECT_STREQ(nvmlSimErrorString(NVMLSIM_ERROR_IN_USE), "resource in use");
+}
+
+TEST_F(NvmlSimTest, UuidBufferTooSmall) {
+  ASSERT_EQ(nvmlSimDeviceSetMigMode(device_, NVMLSIM_DEVICE_MIG_ENABLE),
+            NVMLSIM_SUCCESS);
+  unsigned int gi = 0;
+  ASSERT_EQ(nvmlSimDeviceCreateGpuInstance(
+                device_, NVMLSIM_GPU_INSTANCE_PROFILE_1_SLICE, &gi),
+            NVMLSIM_SUCCESS);
+  unsigned int ci = 0;
+  ASSERT_EQ(nvmlSimGpuInstanceCreateComputeInstance(device_, gi, 1, &ci),
+            NVMLSIM_SUCCESS);
+  char tiny[4] = {};
+  EXPECT_EQ(nvmlSimComputeInstanceGetUuid(device_, ci, tiny, sizeof(tiny)),
+            NVMLSIM_ERROR_INSUFFICIENT_SIZE);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+#include "nvmlsim/nvml_wrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "gpusim/gpu.hpp"
+#include "nvmlsim/nvml_sim_host.hpp"
+
+namespace migopt::nvml {
+namespace {
+
+class NvmlWrapTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    static gpusim::GpuChip* chip = new gpusim::GpuChip();  // process-global
+    reset_devices();
+    register_device(chip);
+    chip_ = chip;
+  }
+
+  void SetUp() override {
+    session_ = std::make_unique<Session>();
+    chip_->mig().clear();
+    if (chip_->mig().mig_enabled()) chip_->mig().disable_mig();
+    chip_->set_power_limit_watts(chip_->arch().tdp_watts);
+  }
+
+  static gpusim::GpuChip* chip_;
+  std::unique_ptr<Session> session_;
+};
+
+gpusim::GpuChip* NvmlWrapTest::chip_ = nullptr;
+
+TEST_F(NvmlWrapTest, DeviceBasics) {
+  Device device(0);
+  EXPECT_NE(device.name().find("A100"), std::string::npos);
+  EXPECT_DOUBLE_EQ(device.power_limit_watts(), 250.0);
+  const auto [min_w, max_w] = device.power_limit_constraints_watts();
+  EXPECT_DOUBLE_EQ(min_w, 100.0);
+  EXPECT_DOUBLE_EQ(max_w, 250.0);
+}
+
+TEST_F(NvmlWrapTest, UnknownDeviceThrows) {
+  EXPECT_THROW(Device(99), NvmlError);
+}
+
+TEST_F(NvmlWrapTest, ErrorCarriesCode) {
+  try {
+    Device device(99);
+    FAIL() << "expected NvmlError";
+  } catch (const NvmlError& error) {
+    EXPECT_EQ(error.code(), NVMLSIM_ERROR_NOT_FOUND);
+    EXPECT_NE(std::string(error.what()).find("not found"), std::string::npos);
+  }
+}
+
+TEST_F(NvmlWrapTest, ScopedPowerLimitRestores) {
+  Device device(0);
+  {
+    ScopedPowerLimit guard(device, 170.0);
+    EXPECT_DOUBLE_EQ(device.power_limit_watts(), 170.0);
+  }
+  EXPECT_DOUBLE_EQ(device.power_limit_watts(), 250.0);
+}
+
+TEST_F(NvmlWrapTest, ScopedPowerLimitNests) {
+  Device device(0);
+  {
+    ScopedPowerLimit outer(device, 200.0);
+    {
+      ScopedPowerLimit inner(device, 150.0);
+      EXPECT_DOUBLE_EQ(device.power_limit_watts(), 150.0);
+    }
+    EXPECT_DOUBLE_EQ(device.power_limit_watts(), 200.0);
+  }
+  EXPECT_DOUBLE_EQ(device.power_limit_watts(), 250.0);
+}
+
+TEST_F(NvmlWrapTest, ProfileForGpcsMapping) {
+  EXPECT_EQ(profile_for_gpcs(1), NVMLSIM_GPU_INSTANCE_PROFILE_1_SLICE);
+  EXPECT_EQ(profile_for_gpcs(4), NVMLSIM_GPU_INSTANCE_PROFILE_4_SLICE);
+  EXPECT_EQ(profile_for_gpcs(7), NVMLSIM_GPU_INSTANCE_PROFILE_7_SLICE);
+  EXPECT_THROW(profile_for_gpcs(5), ContractViolation);
+}
+
+TEST_F(NvmlWrapTest, ScopedMigPairSharedLayout) {
+  Device device(0);
+  {
+    ScopedMigPair pair(device, 4, 3, /*shared_memory=*/true);
+    EXPECT_TRUE(device.mig_enabled());
+    EXPECT_EQ(device.gpu_instance_ids().size(), 1u);
+    EXPECT_EQ(device.compute_instance_ids().size(), 2u);
+    EXPECT_NE(pair.uuid_app1(), pair.uuid_app2());
+    EXPECT_EQ(pair.uuid_app1().substr(0, 4), "MIG-");
+  }
+  // Full teardown.
+  EXPECT_FALSE(device.mig_enabled());
+  EXPECT_TRUE(device.gpu_instance_ids().empty());
+}
+
+TEST_F(NvmlWrapTest, ScopedMigPairPrivateLayout) {
+  Device device(0);
+  {
+    ScopedMigPair pair(device, 4, 3, /*shared_memory=*/false);
+    EXPECT_EQ(device.gpu_instance_ids().size(), 2u);
+    EXPECT_EQ(device.compute_instance_ids().size(), 2u);
+  }
+  EXPECT_FALSE(device.mig_enabled());
+}
+
+TEST_F(NvmlWrapTest, ScopedMigPairPrivateSmallerFirst) {
+  Device device(0);
+  ScopedMigPair pair(device, 3, 4, /*shared_memory=*/false);
+  // App1 asked for 3 GPCs; its CI must be the 3-slice one. Verify via the
+  // chip-side MIG state.
+  const auto ci = chip_->mig().find_ci_by_uuid(pair.uuid_app1());
+  ASSERT_TRUE(ci.has_value());
+  EXPECT_EQ(chip_->mig().compute_instance(*ci).gpc_slices, 3);
+}
+
+TEST_F(NvmlWrapTest, ScopedMigPairRollsBackOnFailure) {
+  Device device(0);
+  // 4 + 4 does not fit 7 usable slices -> constructor must throw and leave
+  // the device clean.
+  EXPECT_THROW(ScopedMigPair(device, 4, 4, /*shared_memory=*/true), NvmlError);
+  EXPECT_FALSE(device.mig_enabled());
+  EXPECT_TRUE(device.gpu_instance_ids().empty());
+  EXPECT_TRUE(device.compute_instance_ids().empty());
+}
+
+}  // namespace
+}  // namespace migopt::nvml

@@ -1,0 +1,99 @@
+#include "profiling/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "profiling/profiler.hpp"
+#include "test_util.hpp"
+
+namespace migopt::prof {
+namespace {
+
+using test::shared_chip;
+using test::shared_registry;
+
+TEST(CounterSet, DefaultIsZeroAndValid) {
+  CounterSet f;
+  EXPECT_NO_THROW(f.validate());
+  for (double v : f.values) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(CounterSet, IndexedAccess) {
+  CounterSet f;
+  f[Counter::L2HitRatePct] = 85.0;
+  EXPECT_DOUBLE_EQ(f[Counter::L2HitRatePct], 85.0);
+  EXPECT_DOUBLE_EQ(f.values[3], 85.0);
+}
+
+TEST(CounterSet, ValidateRejectsOutOfRange) {
+  CounterSet f;
+  f[Counter::OccupancyPct] = 101.0;
+  EXPECT_THROW(f.validate(), ContractViolation);
+  f[Counter::OccupancyPct] = -1.0;
+  EXPECT_THROW(f.validate(), ContractViolation);
+}
+
+TEST(CounterSet, ToStringListsAllCounters) {
+  CounterSet f;
+  f[Counter::ComputeThroughputPct] = 50.0;
+  const std::string s = f.to_string();
+  EXPECT_NE(s.find("F1=50.0"), std::string::npos);
+  EXPECT_NE(s.find("F8=0.0"), std::string::npos);
+}
+
+TEST(ProfileRun, AllBenchmarksProduceValidCounters) {
+  for (const auto& spec : shared_registry().all()) {
+    const CounterSet f = profile_run(shared_chip(), spec.kernel);
+    EXPECT_NO_THROW(f.validate()) << spec.kernel.name;
+  }
+}
+
+TEST(ProfileRun, TensorCountersIsolatePipes) {
+  const CounterSet hgemm = profile_run(shared_chip(), shared_registry().by_name("hgemm").kernel);
+  EXPECT_GT(hgemm[Counter::TensorMixedPct], 90.0);
+  EXPECT_DOUBLE_EQ(hgemm[Counter::TensorDoublePct], 0.0);
+  EXPECT_DOUBLE_EQ(hgemm[Counter::TensorIntegerPct], 0.0);
+
+  const CounterSet tdgemm = profile_run(shared_chip(), shared_registry().by_name("tdgemm").kernel);
+  EXPECT_GT(tdgemm[Counter::TensorDoublePct], 90.0);
+  EXPECT_DOUBLE_EQ(tdgemm[Counter::TensorMixedPct], 0.0);
+
+  const CounterSet igemm8 = profile_run(shared_chip(), shared_registry().by_name("igemm8").kernel);
+  EXPECT_GT(igemm8[Counter::TensorIntegerPct], 90.0);
+}
+
+TEST(ProfileRun, StreamIsMemorySaturated) {
+  const CounterSet f = profile_run(shared_chip(), shared_registry().by_name("stream").kernel);
+  EXPECT_GT(f[Counter::MemoryThroughputPct], 95.0);
+  EXPECT_GT(f[Counter::DramThroughputPct], 95.0);
+  EXPECT_LT(f[Counter::ComputeThroughputPct], 25.0);
+}
+
+TEST(ProfileRun, ComputeKernelsShowHighF1LowF3) {
+  const CounterSet f = profile_run(shared_chip(), shared_registry().by_name("sgemm").kernel);
+  EXPECT_GT(f[Counter::ComputeThroughputPct], 95.0);
+  EXPECT_LT(f[Counter::DramThroughputPct], 30.0);
+}
+
+TEST(ProfileRun, OccupancyComesFromKernel) {
+  const auto& kernel = shared_registry().by_name("kmeans").kernel;
+  const CounterSet f = profile_run(shared_chip(), kernel);
+  EXPECT_NEAR(f[Counter::OccupancyPct], kernel.occupancy * 100.0, 1e-9);
+}
+
+TEST(ProfileRun, L2HitRateReflectsKernel) {
+  const auto& kernel = shared_registry().by_name("lavaMD").kernel;
+  const CounterSet f = profile_run(shared_chip(), kernel);
+  EXPECT_NEAR(f[Counter::L2HitRatePct], kernel.l2_hit_rate * 100.0, 1.0);
+}
+
+TEST(ProfileRun, Deterministic) {
+  const auto& kernel = shared_registry().by_name("srad").kernel;
+  const CounterSet a = profile_run(shared_chip(), kernel);
+  const CounterSet b = profile_run(shared_chip(), kernel);
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    EXPECT_DOUBLE_EQ(a.values[i], b.values[i]);
+}
+
+}  // namespace
+}  // namespace migopt::prof

@@ -1,0 +1,109 @@
+#include "profiling/profile_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace migopt::prof {
+namespace {
+
+CounterSet sample_counters(double base) {
+  CounterSet f;
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    f.values[i] = base + static_cast<double>(i);
+  return f;
+}
+
+TEST(ProfileDb, PutAndFind) {
+  ProfileDb db;
+  EXPECT_FALSE(db.contains("app"));
+  EXPECT_FALSE(db.find("app").has_value());
+  db.put("app", sample_counters(10.0));
+  EXPECT_TRUE(db.contains("app"));
+  ASSERT_TRUE(db.find("app").has_value());
+  EXPECT_DOUBLE_EQ(db.find("app")->values[0], 10.0);
+}
+
+TEST(ProfileDb, AtThrowsWhenMissing) {
+  ProfileDb db;
+  EXPECT_THROW(db.at("missing"), ContractViolation);
+}
+
+TEST(ProfileDb, PutOverwrites) {
+  ProfileDb db;
+  db.put("app", sample_counters(1.0));
+  db.put("app", sample_counters(2.0));
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_DOUBLE_EQ(db.at("app").values[0], 2.0);
+}
+
+TEST(ProfileDb, RejectsEmptyNameAndBadCounters) {
+  ProfileDb db;
+  EXPECT_THROW(db.put("", sample_counters(1.0)), ContractViolation);
+  CounterSet bad = sample_counters(1.0);
+  bad.values[0] = 200.0;
+  EXPECT_THROW(db.put("app", bad), ContractViolation);
+}
+
+TEST(ProfileDb, AppNamesSorted) {
+  ProfileDb db;
+  db.put("zeta", sample_counters(1.0));
+  db.put("alpha", sample_counters(2.0));
+  const auto names = db.app_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");  // std::map ordering
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(ProfileDb, FileRoundTripPreservesValues) {
+  ProfileDb db;
+  db.put("stream", sample_counters(12.25));
+  db.put("hgemm", sample_counters(30.5));
+  const std::string path = ::testing::TempDir() + "/migopt_profiles_test.csv";
+  db.save(path);
+
+  const ProfileDb loaded = ProfileDb::load(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    EXPECT_DOUBLE_EQ(loaded.at("stream").values[i], db.at("stream").values[i]);
+    EXPECT_DOUBLE_EQ(loaded.at("hgemm").values[i], db.at("hgemm").values[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ProfileDb, LoadMissingFileThrows) {
+  EXPECT_THROW(ProfileDb::load("/no/such/path.csv"), ContractViolation);
+}
+
+TEST(ProfileDb, LoadRejectsCorruptedFiles) {
+  const std::string path = ::testing::TempDir() + "/migopt_profiles_corrupt.csv";
+  const auto write_file = [&path](const std::string& contents) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(contents.c_str(), f);
+    std::fclose(f);
+  };
+  const std::string header =
+      "app,compute_throughput_pct,memory_throughput_pct,dram_throughput_pct,"
+      "l2_hit_rate_pct,occupancy_pct,tensor_mixed_pct,tensor_double_pct,"
+      "tensor_integer_pct\n";
+
+  // Counter out of the [0,100] contract.
+  write_file(header + "stream,120,50,50,50,50,0,0,0\n");
+  EXPECT_THROW(ProfileDb::load(path), ContractViolation);
+
+  // Non-numeric counter.
+  write_file(header + "stream,high,50,50,50,50,0,0,0\n");
+  EXPECT_THROW(ProfileDb::load(path), ContractViolation);
+
+  // Missing column (short row).
+  write_file(header + "stream,50,50,50\n");
+  EXPECT_THROW(ProfileDb::load(path), ContractViolation);
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace migopt::prof

@@ -1,0 +1,236 @@
+#include "sched/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/assert.hpp"
+#include "test_util.hpp"
+
+namespace migopt::sched {
+namespace {
+
+core::ResourcePowerAllocator make_allocator() {
+  return core::ResourcePowerAllocator::train(
+      test::shared_chip(), test::shared_registry(), test::shared_pairs());
+}
+
+std::vector<Job> mixed_job_set() {
+  // One job from each class family, sized so every job runs ~12 s solo on
+  // the full chip. Comparable durations are the pairing-friendly case: the
+  // co-location overlap covers the whole runtime instead of stranding a long
+  // job on a small partition after a short partner exits.
+  const std::vector<std::string> apps = {"igemm4", "stream", "dgemm",  "dwt2d",
+                                         "kmeans", "sgemm",  "needle", "hgemm"};
+  std::vector<Job> jobs;
+  int id = 0;
+  for (const auto& app : apps) {
+    Job job;
+    job.id = id++;
+    job.app = app;
+    job.kernel = &test::shared_registry().by_name(app).kernel;
+    job.solo_seconds_per_wu = test::shared_chip().baseline_seconds(*job.kernel);
+    job.work_units = std::max(1.0, std::round(12.0 / job.solo_seconds_per_wu));
+    job.submit_time = 0.0;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+TEST(Cluster, AllJobsComplete) {
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));
+  ClusterConfig config;
+  config.node_count = 2;
+  Cluster cluster(config);
+  const ClusterReport report = cluster.run(mixed_job_set(), scheduler);
+  EXPECT_EQ(report.jobs_completed, 8u);
+  EXPECT_GT(report.makespan_seconds, 0.0);
+  EXPECT_GT(report.total_energy_joules, 0.0);
+  // Every job id present exactly once.
+  std::set<JobId> ids;
+  for (const auto& stat : report.jobs) ids.insert(stat.id);
+  EXPECT_EQ(ids.size(), 8u);
+}
+
+TEST(Cluster, CoschedulingPairsJobs) {
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));
+  ClusterConfig config;
+  config.node_count = 1;
+  Cluster cluster(config);
+  const ClusterReport report = cluster.run(mixed_job_set(), scheduler);
+  EXPECT_GT(report.pair_dispatches, 0u);
+}
+
+TEST(Cluster, ExclusiveBaselineNeverPairs) {
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));
+  ClusterConfig config;
+  config.node_count = 2;
+  config.enable_coscheduling = false;
+  Cluster cluster(config);
+  const ClusterReport report = cluster.run(mixed_job_set(), scheduler);
+  EXPECT_EQ(report.pair_dispatches, 0u);
+  EXPECT_EQ(report.exclusive_dispatches, 8u);
+  EXPECT_EQ(report.jobs_completed, 8u);
+}
+
+TEST(Cluster, CoschedulingBeatsExclusiveMakespan) {
+  // The paper's premise: co-locating complementary jobs raises system
+  // throughput. With pairing-friendly jobs, makespan must shrink.
+  auto allocator_a = make_allocator();
+  CoScheduler cosched(allocator_a, core::Policy::problem1(250.0, 0.2));
+  ClusterConfig config;
+  config.node_count = 2;
+  Cluster co_cluster(config);
+  const ClusterReport with_pairs = co_cluster.run(mixed_job_set(), cosched);
+
+  auto allocator_b = make_allocator();
+  CoScheduler excl_sched(allocator_b, core::Policy::problem1(250.0, 0.2));
+  config.enable_coscheduling = false;
+  Cluster excl_cluster(config);
+  const ClusterReport exclusive = excl_cluster.run(mixed_job_set(), excl_sched);
+
+  EXPECT_LT(with_pairs.makespan_seconds, exclusive.makespan_seconds);
+}
+
+TEST(Cluster, UnprofiledJobTriggersProfileRunThenPairs) {
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));
+
+  std::vector<Job> jobs = mixed_job_set();
+  // Two instances of an app the allocator has never profiled.
+  for (int i = 0; i < 2; ++i) {
+    Job job;
+    job.id = 100 + i;
+    job.app = "unseen-app";
+    job.kernel = &test::shared_registry().by_name("lavaMD").kernel;
+    job.work_units = 150.0;
+    job.submit_time = 0.0;
+    jobs.push_back(job);
+  }
+
+  ClusterConfig config;
+  config.node_count = 2;
+  Cluster cluster(config);
+  const ClusterReport report = cluster.run(jobs, scheduler);
+  EXPECT_EQ(report.jobs_completed, 10u);
+  // Exactly one exclusive profile run for the unseen app; the second instance
+  // can already be co-scheduled (or at least no second profile run happens).
+  EXPECT_EQ(report.profile_runs, 1u);
+  EXPECT_TRUE(allocator.can_coschedule("unseen-app"));
+}
+
+TEST(Cluster, StaggeredSubmitTimesRespected) {
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));
+  std::vector<Job> jobs = mixed_job_set();
+  jobs[3].submit_time = 1000.0;  // far in the future
+  ClusterConfig config;
+  config.node_count = 4;
+  Cluster cluster(config);
+  const ClusterReport report = cluster.run(jobs, scheduler);
+  EXPECT_EQ(report.jobs_completed, 8u);
+  for (const auto& stat : report.jobs) {
+    if (stat.id == 3) {
+      // turnaround measured from its late submit time, so it stays modest.
+      EXPECT_LT(stat.turnaround, 1000.0);
+    }
+  }
+  EXPECT_GE(report.makespan_seconds, 1000.0);
+}
+
+TEST(Cluster, EnergyAccountingSumsNodes) {
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem2(0.2));
+  ClusterConfig config;
+  config.node_count = 2;
+  Cluster cluster(config);
+  const ClusterReport report = cluster.run(mixed_job_set(), scheduler);
+  double sum = 0.0;
+  for (const auto& node : cluster.nodes()) sum += node->energy_joules();
+  EXPECT_NEAR(report.total_energy_joules, sum, 1e-9);
+}
+
+TEST(Cluster, ConfigContracts) {
+  ClusterConfig config;
+  config.node_count = 0;
+  EXPECT_THROW(Cluster{config}, ContractViolation);
+}
+
+TEST(Cluster, PowerBudgetCapsConcurrentDispatches) {
+  // Two nodes but only 1.5x the 250 W default cap of budget: concurrent caps
+  // must never sum above it, and all jobs still finish.
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));
+  ClusterConfig config;
+  config.node_count = 2;
+  config.total_power_budget_watts = 375.0;
+  Cluster cluster(config);
+  const ClusterReport report = cluster.run(mixed_job_set(), scheduler);
+  EXPECT_EQ(report.jobs_completed, 8u);
+  EXPECT_LE(report.peak_cap_sum_watts, 375.0 + 1e-9);
+  EXPECT_GT(report.peak_cap_sum_watts, 0.0);
+}
+
+TEST(Cluster, TightBudgetSerializesNodes) {
+  // Budget for one full-cap dispatch only: the second node can still run,
+  // but only at caps that fit the remainder; with 250 W total and a 150 W
+  // minimum grid cap, two full-cap dispatches can never overlap.
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem2(0.2));
+  ClusterConfig config;
+  config.node_count = 2;
+  config.total_power_budget_watts = 250.0;
+  Cluster cluster(config);
+  const ClusterReport report = cluster.run(mixed_job_set(), scheduler);
+  EXPECT_EQ(report.jobs_completed, 8u);
+  EXPECT_LE(report.peak_cap_sum_watts, 250.0 + 1e-9);
+}
+
+TEST(Cluster, BudgetAppliesToExclusiveBaselineToo) {
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));
+  ClusterConfig config;
+  config.node_count = 2;
+  config.enable_coscheduling = false;
+  config.total_power_budget_watts = 300.0;
+  Cluster cluster(config);
+  const ClusterReport report = cluster.run(mixed_job_set(), scheduler);
+  EXPECT_EQ(report.jobs_completed, 8u);
+  EXPECT_EQ(report.pair_dispatches, 0u);
+  EXPECT_LE(report.peak_cap_sum_watts, 300.0 + 1e-9);
+}
+
+TEST(Cluster, LargerBudgetNeverSlowsTheQueue) {
+  auto allocator_small = make_allocator();
+  CoScheduler sched_small(allocator_small, core::Policy::problem1(250.0, 0.2));
+  ClusterConfig config;
+  config.node_count = 2;
+  config.total_power_budget_watts = 300.0;
+  Cluster small(config);
+  const double t_small =
+      small.run(mixed_job_set(), sched_small).makespan_seconds;
+
+  auto allocator_big = make_allocator();
+  CoScheduler sched_big(allocator_big, core::Policy::problem1(250.0, 0.2));
+  config.total_power_budget_watts = 500.0;
+  Cluster big(config);
+  const double t_big = big.run(mixed_job_set(), sched_big).makespan_seconds;
+  EXPECT_LE(t_big, t_small * 1.001);
+}
+
+TEST(Cluster, BudgetBelowCheapestDispatchRejected) {
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));
+  ClusterConfig config;
+  config.node_count = 1;
+  config.total_power_budget_watts = 100.0;  // grid floor is 150 W
+  Cluster cluster(config);
+  EXPECT_THROW(cluster.run(mixed_job_set(), scheduler), ContractViolation);
+}
+
+}  // namespace
+}  // namespace migopt::sched

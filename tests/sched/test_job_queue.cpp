@@ -1,0 +1,77 @@
+#include "sched/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "test_util.hpp"
+
+namespace migopt::sched {
+namespace {
+
+Job make_job(int id, const std::string& app, double submit = 0.0) {
+  Job job;
+  job.id = id;
+  job.app = app;
+  job.kernel = &test::shared_registry().by_name(app).kernel;
+  job.work_units = 100.0;
+  job.submit_time = submit;
+  return job;
+}
+
+TEST(JobQueue, FifoOrder) {
+  JobQueue queue;
+  queue.push(make_job(0, "sgemm"));
+  queue.push(make_job(1, "stream"));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.front().id, 0);
+  EXPECT_EQ(queue.pop_front().id, 0);
+  EXPECT_EQ(queue.pop_front().id, 1);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(JobQueue, PeekDoesNotRemove) {
+  JobQueue queue;
+  queue.push(make_job(0, "sgemm"));
+  queue.push(make_job(1, "stream"));
+  EXPECT_EQ(queue.peek(1).id, 1);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_THROW(queue.peek(2), ContractViolation);
+}
+
+TEST(JobQueue, PopAtRemovesMiddle) {
+  JobQueue queue;
+  queue.push(make_job(0, "sgemm"));
+  queue.push(make_job(1, "stream"));
+  queue.push(make_job(2, "kmeans"));
+  EXPECT_EQ(queue.pop_at(1).id, 1);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.pop_front().id, 0);
+  EXPECT_EQ(queue.pop_front().id, 2);
+}
+
+TEST(JobQueue, EmptyAccessThrows) {
+  JobQueue queue;
+  EXPECT_THROW(queue.front(), ContractViolation);
+  EXPECT_THROW(queue.pop_front(), ContractViolation);
+  EXPECT_THROW(queue.pop_at(0), ContractViolation);
+}
+
+TEST(JobQueue, InvalidJobRejected) {
+  JobQueue queue;
+  Job bad = make_job(0, "sgemm");
+  bad.work_units = 0.0;
+  EXPECT_THROW(queue.push(bad), ContractViolation);
+}
+
+TEST(JobQueue, ReadyCountHonorsSubmitTimes) {
+  JobQueue queue;
+  queue.push(make_job(0, "sgemm", 0.0));
+  queue.push(make_job(1, "stream", 5.0));
+  queue.push(make_job(2, "kmeans", 10.0));
+  EXPECT_EQ(queue.ready_count(0.0), 1u);
+  EXPECT_EQ(queue.ready_count(5.0), 2u);
+  EXPECT_EQ(queue.ready_count(100.0), 3u);
+}
+
+}  // namespace
+}  // namespace migopt::sched

@@ -1,0 +1,47 @@
+// Shared fixtures: a process-wide simulated device, workload registry, and
+// (lazily) trained artifacts, so the many tests that need them do not redo
+// the expensive setup.
+#pragma once
+
+#include "core/trainer.hpp"
+#include "gpusim/gpu.hpp"
+#include "workloads/corun_pairs.hpp"
+#include "workloads/registry.hpp"
+
+namespace migopt::test {
+
+inline gpusim::GpuChip& shared_chip() {
+  static gpusim::GpuChip chip;
+  return chip;
+}
+
+inline const wl::WorkloadRegistry& shared_registry() {
+  static wl::WorkloadRegistry registry(shared_chip().arch());
+  return registry;
+}
+
+inline const std::vector<wl::CorunPair>& shared_pairs() {
+  static std::vector<wl::CorunPair> pairs = wl::table8_pairs();
+  return pairs;
+}
+
+/// Full paper-grid training, done once per test binary.
+inline const core::TrainedArtifacts& shared_artifacts() {
+  static core::TrainedArtifacts artifacts = core::train_offline(
+      shared_chip(), shared_registry(), shared_pairs(), core::TrainingConfig{});
+  return artifacts;
+}
+
+/// Training over the flexible pair grid: interference coefficients cover
+/// every GI size 1-4 in both options, which group (N-way) predictions need.
+inline const core::TrainedArtifacts& shared_flexible_artifacts() {
+  static core::TrainedArtifacts artifacts = [] {
+    core::TrainingConfig config;
+    config.corun_states = core::flexible_states(shared_chip().arch());
+    return core::train_offline(shared_chip(), shared_registry(), shared_pairs(),
+                               config);
+  }();
+  return artifacts;
+}
+
+}  // namespace migopt::test

@@ -1,0 +1,130 @@
+#include "workloads/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "gpusim/exec_engine.hpp"
+
+namespace migopt::wl {
+namespace {
+
+using gpusim::ArchConfig;
+using gpusim::Pipe;
+
+KernelTargets base_targets() {
+  KernelTargets t;
+  t.name = "synthetic";
+  t.runtime_seconds = 0.04;
+  t.pipe_util[static_cast<std::size_t>(Pipe::Fp32)] = 1.0;
+  t.pipe_efficiency = 0.9;
+  t.dram_time_fraction = 0.2;
+  t.l2_hit_rate = 0.8;
+  t.occupancy = 0.6;
+  return t;
+}
+
+TEST(Builder, DominantPipeOpsMatchTargetRuntime) {
+  const ArchConfig arch = gpusim::a100_sxm_like();
+  const KernelTargets t = base_targets();
+  const auto kernel = build_kernel(arch, t);
+  // ops / (full-chip rate * efficiency) == runtime.
+  const double rate = arch.pipe_rate(Pipe::Fp32, arch.total_gpcs, 1.0) * 0.9;
+  EXPECT_NEAR(kernel.ops(Pipe::Fp32) / rate, 0.04, 1e-12);
+}
+
+TEST(Builder, SecondaryPipeScalesWithUtil) {
+  const ArchConfig arch = gpusim::a100_sxm_like();
+  KernelTargets t = base_targets();
+  t.pipe_util[static_cast<std::size_t>(Pipe::Int)] = 0.25;
+  const auto kernel = build_kernel(arch, t);
+  const double rate = arch.pipe_rate(Pipe::Int, arch.total_gpcs, 1.0) * 0.9;
+  EXPECT_NEAR(kernel.ops(Pipe::Int) / rate, 0.25 * 0.04, 1e-12);
+}
+
+TEST(Builder, DramTrafficMatchesTimeFraction) {
+  const ArchConfig arch = gpusim::a100_sxm_like();
+  const KernelTargets t = base_targets();
+  const auto kernel = build_kernel(arch, t);
+  // dram bytes = frac * t * reachable bandwidth; l2 bytes = dram / (1-h).
+  const double dram = kernel.dram_bytes(kernel.l2_hit_rate);
+  EXPECT_NEAR(dram, 0.2 * 0.04 * arch.hbm_bandwidth_total, 1.0);
+}
+
+TEST(Builder, IssueLimitedKernelGetsReducedTraffic) {
+  const ArchConfig arch = gpusim::a100_sxm_like();
+  KernelTargets t = base_targets();
+  t.mem_parallelism = 0.2;  // 8 GPCs * 0.3 * 0.2 = 0.48 of chip bandwidth
+  const auto kernel = build_kernel(arch, t);
+  const double dram = kernel.dram_bytes(kernel.l2_hit_rate);
+  const double reachable = 0.48 * arch.hbm_bandwidth_total;
+  EXPECT_NEAR(dram, 0.2 * 0.04 * reachable, 1.0);
+}
+
+TEST(Builder, LatencyFractionBecomesSeconds) {
+  const ArchConfig arch = gpusim::a100_sxm_like();
+  KernelTargets t = base_targets();
+  t.latency_fraction = 0.5;
+  const auto kernel = build_kernel(arch, t);
+  EXPECT_NEAR(kernel.latency_seconds, 0.02, 1e-12);
+}
+
+TEST(Builder, FullChipRunMatchesIntendedRuntime) {
+  // The whole point of the builder: executing the built kernel on the full
+  // chip at max clock reproduces the target runtime.
+  const ArchConfig arch = gpusim::a100_sxm_like();
+  const gpusim::ExecEngine engine(arch);
+  const auto kernel = build_kernel(arch, base_targets());
+  gpusim::AppPlacement p;
+  p.kernel = &kernel;
+  p.gpcs = arch.total_gpcs;
+  p.mem_domain = 0;
+  p.domain_modules = arch.memory_modules;
+  const auto run = engine.run_at_clock({&p, 1}, 1.0);
+  EXPECT_NEAR(run.apps[0].seconds_per_wu, 0.04, 0.04 * 1e-6);
+}
+
+TEST(Builder, MemoryBoundTargetProducesMemoryBoundKernel) {
+  const ArchConfig arch = gpusim::a100_sxm_like();
+  const gpusim::ExecEngine engine(arch);
+  KernelTargets t = base_targets();
+  t.pipe_util[static_cast<std::size_t>(Pipe::Fp32)] = 0.1;
+  t.dram_time_fraction = 1.0;
+  const auto kernel = build_kernel(arch, t);
+  gpusim::AppPlacement p;
+  p.kernel = &kernel;
+  p.gpcs = arch.total_gpcs;
+  p.mem_domain = 0;
+  p.domain_modules = arch.memory_modules;
+  const auto run = engine.run_at_clock({&p, 1}, 1.0);
+  EXPECT_EQ(run.apps[0].bound, gpusim::AppResult::Bound::Memory);
+}
+
+TEST(Builder, ContractChecks) {
+  const ArchConfig arch = gpusim::a100_sxm_like();
+  KernelTargets t = base_targets();
+  t.name.clear();
+  EXPECT_THROW(build_kernel(arch, t), ContractViolation);
+
+  t = base_targets();
+  t.runtime_seconds = 0.0;
+  EXPECT_THROW(build_kernel(arch, t), ContractViolation);
+
+  t = base_targets();
+  t.dram_time_fraction = 1.2;
+  EXPECT_THROW(build_kernel(arch, t), ContractViolation);
+
+  t = base_targets();
+  t.l2_hit_rate = 0.999;  // above the 0.98 ceiling
+  EXPECT_THROW(build_kernel(arch, t), ContractViolation);
+
+  t = base_targets();
+  t.pipe_util[0] = 1.5;
+  EXPECT_THROW(build_kernel(arch, t), ContractViolation);
+
+  t = base_targets();
+  t.latency_fraction = -0.1;
+  EXPECT_THROW(build_kernel(arch, t), ContractViolation);
+}
+
+}  // namespace
+}  // namespace migopt::wl

@@ -1,0 +1,39 @@
+// The Table 7 reproduction test: every one of the 24 benchmarks must be
+// classified into the paper's class when the measurement-driven rule of
+// Section 5.1.2 is applied to the simulated device.
+#include <gtest/gtest.h>
+
+#include "core/classifier.hpp"
+#include "profiling/profiler.hpp"
+#include "test_util.hpp"
+
+namespace migopt {
+namespace {
+
+using test::shared_chip;
+using test::shared_registry;
+
+class ClassificationMatchesTable7
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ClassificationMatchesTable7, Benchmark) {
+  const auto& spec = shared_registry().by_name(GetParam());
+  const prof::CounterSet profile = prof::profile_run(shared_chip(), spec.kernel);
+  const wl::WorkloadClass derived =
+      core::classify(shared_chip(), spec.kernel, profile);
+  EXPECT_EQ(derived, spec.expected_class)
+      << GetParam() << ": derived " << wl::to_string(derived) << ", paper says "
+      << wl::to_string(spec.expected_class);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ClassificationMatchesTable7,
+    ::testing::Values("sgemm", "dgemm", "tdgemm", "tf32gemm", "hgemm", "fp16gemm",
+                      "bf16gemm", "igemm4", "igemm8", "hotspot", "lavaMD", "srad",
+                      "heartwell", "gaussian", "leukocyte", "lud", "backprop", "bfs",
+                      "dwt2d", "kmeans", "needle", "pathfinder", "stream",
+                      "randomaccess"),
+    [](const ::testing::TestParamInfo<std::string>& param_info) { return param_info.param; });
+
+}  // namespace
+}  // namespace migopt

@@ -1,0 +1,96 @@
+#include "workloads/corun_pairs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/assert.hpp"
+#include "test_util.hpp"
+
+namespace migopt::wl {
+namespace {
+
+using test::shared_registry;
+
+TEST(CorunPairs, HasAllEighteenTable8Pairs) {
+  EXPECT_EQ(table8_pairs().size(), 18u);
+}
+
+TEST(CorunPairs, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& pair : table8_pairs()) names.insert(pair.name);
+  EXPECT_EQ(names.size(), 18u);
+}
+
+TEST(CorunPairs, Table8Definitions) {
+  const auto pairs = table8_pairs();
+  const auto check = [&](const char* name, const char* app1, const char* app2) {
+    const CorunPair& pair = pair_by_name(pairs, name);
+    EXPECT_EQ(pair.app1, app1) << name;
+    EXPECT_EQ(pair.app2, app2) << name;
+  };
+  check("TI-TI1", "tdgemm", "tf32gemm");
+  check("TI-TI2", "fp16gemm", "bf16gemm");
+  check("CI-CI1", "sgemm", "lavaMD");
+  check("CI-CI2", "dgemm", "hotspot");
+  check("MI-MI1", "randomaccess", "gaussian");
+  check("MI-MI2", "stream", "leukocyte");
+  check("US-US1", "bfs", "dwt2d");
+  check("US-US2", "kmeans", "needle");
+  check("TI-MI1", "hgemm", "lud");
+  check("TI-MI2", "igemm4", "stream");
+  check("CI-MI1", "heartwell", "gaussian");
+  check("CI-MI2", "sgemm", "randomaccess");
+  check("TI-US1", "igemm8", "backprop");
+  check("TI-US2", "fp16gemm", "pathfinder");
+  check("CI-US1", "srad", "needle");
+  check("CI-US2", "dgemm", "dwt2d");
+  check("MI-US1", "leukocyte", "kmeans");
+  check("MI-US2", "lud", "needle");
+}
+
+TEST(CorunPairs, ClassTagsMatchRegistry) {
+  for (const auto& pair : table8_pairs()) {
+    EXPECT_EQ(shared_registry().by_name(pair.app1).expected_class, pair.class1)
+        << pair.name;
+    EXPECT_EQ(shared_registry().by_name(pair.app2).expected_class, pair.class2)
+        << pair.name;
+  }
+}
+
+TEST(CorunPairs, NamesEncodeClasses) {
+  for (const auto& pair : table8_pairs()) {
+    const std::string expected = std::string(to_string(pair.class1)) + "-" +
+                                 to_string(pair.class2);
+    EXPECT_EQ(pair.name.substr(0, expected.size()), expected) << pair.name;
+  }
+}
+
+TEST(CorunPairs, ResolveFindsBothApps) {
+  const auto pairs = table8_pairs();
+  const auto resolved = resolve(shared_registry(), pair_by_name(pairs, "TI-MI2"));
+  ASSERT_NE(resolved.app1, nullptr);
+  ASSERT_NE(resolved.app2, nullptr);
+  EXPECT_EQ(resolved.app1->kernel.name, "igemm4");
+  EXPECT_EQ(resolved.app2->kernel.name, "stream");
+}
+
+TEST(CorunPairs, UnknownPairNameThrows) {
+  const auto pairs = table8_pairs();
+  EXPECT_THROW(pair_by_name(pairs, "XX-YY9"), ContractViolation);
+}
+
+TEST(CorunPairs, EveryClassCombinationCovered) {
+  // Table 8 covers 9 of the 10 unordered class pairs, two variants each:
+  // all 4 same-class combos plus 5 mixed combos. TI-CI is the one mix the
+  // paper does not evaluate, so it must stay absent here too.
+  std::set<std::string> combos;
+  for (const auto& pair : table8_pairs())
+    combos.insert(std::string(to_string(pair.class1)) + "-" + to_string(pair.class2));
+  EXPECT_EQ(combos.size(), 9u);
+  EXPECT_EQ(combos.count("TI-CI"), 0u);
+  EXPECT_EQ(combos.count("CI-TI"), 0u);
+}
+
+}  // namespace
+}  // namespace migopt::wl

@@ -1,0 +1,93 @@
+#include "workloads/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/assert.hpp"
+#include "test_util.hpp"
+
+namespace migopt::wl {
+namespace {
+
+using test::shared_registry;
+
+TEST(Registry, HasAllTwentyFourPaperBenchmarks) {
+  EXPECT_EQ(shared_registry().size(), 24u);
+}
+
+TEST(Registry, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& spec : shared_registry().all()) names.insert(spec.kernel.name);
+  EXPECT_EQ(names.size(), shared_registry().size());
+}
+
+TEST(Registry, ClassSizesMatchTable7) {
+  // Table 7: 7 TI, 6 CI, 5 MI, 6 US.
+  EXPECT_EQ(shared_registry().by_class(WorkloadClass::TI).size(), 7u);
+  EXPECT_EQ(shared_registry().by_class(WorkloadClass::CI).size(), 6u);
+  EXPECT_EQ(shared_registry().by_class(WorkloadClass::MI).size(), 5u);
+  EXPECT_EQ(shared_registry().by_class(WorkloadClass::US).size(), 6u);
+}
+
+TEST(Registry, Table7MembershipExact) {
+  const auto expect_class = [&](const char* name, WorkloadClass cls) {
+    EXPECT_EQ(shared_registry().by_name(name).expected_class, cls) << name;
+  };
+  for (const char* name :
+       {"tdgemm", "tf32gemm", "hgemm", "fp16gemm", "bf16gemm", "igemm4", "igemm8"})
+    expect_class(name, WorkloadClass::TI);
+  for (const char* name : {"hotspot", "lavaMD", "sgemm", "dgemm", "srad", "heartwell"})
+    expect_class(name, WorkloadClass::CI);
+  for (const char* name : {"randomaccess", "stream", "gaussian", "leukocyte", "lud"})
+    expect_class(name, WorkloadClass::MI);
+  for (const char* name : {"backprop", "bfs", "dwt2d", "kmeans", "needle", "pathfinder"})
+    expect_class(name, WorkloadClass::US);
+}
+
+TEST(Registry, LookupByNameAndContains) {
+  EXPECT_TRUE(shared_registry().contains("hgemm"));
+  EXPECT_FALSE(shared_registry().contains("nonexistent"));
+  EXPECT_EQ(shared_registry().by_name("hgemm").kernel.name, "hgemm");
+  EXPECT_THROW(shared_registry().by_name("nonexistent"), ContractViolation);
+}
+
+TEST(Registry, AllKernelsValidate) {
+  for (const auto& spec : shared_registry().all())
+    EXPECT_NO_THROW(spec.kernel.validate()) << spec.kernel.name;
+}
+
+TEST(Registry, TensorUsageMatchesClass) {
+  for (const auto& spec : shared_registry().all()) {
+    if (spec.expected_class == WorkloadClass::TI)
+      EXPECT_TRUE(spec.kernel.uses_tensor_cores()) << spec.kernel.name;
+    else
+      EXPECT_FALSE(spec.kernel.uses_tensor_cores()) << spec.kernel.name;
+  }
+}
+
+TEST(Registry, UsKernelsAreLatencyDominated) {
+  for (const auto* spec : shared_registry().by_class(WorkloadClass::US)) {
+    EXPECT_GT(spec->kernel.latency_seconds, 0.0) << spec->kernel.name;
+    EXPECT_GT(spec->kernel.latency_sensitivity, 0.0) << spec->kernel.name;
+  }
+}
+
+TEST(Registry, DescriptionsPresent) {
+  for (const auto& spec : shared_registry().all())
+    EXPECT_FALSE(spec.description.empty()) << spec.kernel.name;
+}
+
+TEST(Registry, NamesAccessorMatchesSize) {
+  EXPECT_EQ(shared_registry().names().size(), shared_registry().size());
+}
+
+TEST(WorkloadClass, Names) {
+  EXPECT_STREQ(to_string(WorkloadClass::TI), "TI");
+  EXPECT_STREQ(to_string(WorkloadClass::CI), "CI");
+  EXPECT_STREQ(to_string(WorkloadClass::MI), "MI");
+  EXPECT_STREQ(to_string(WorkloadClass::US), "US");
+}
+
+}  // namespace
+}  // namespace migopt::wl
