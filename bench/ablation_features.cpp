@@ -81,7 +81,7 @@ double throughput_mape_without(const bench::Environment& env, std::size_t droppe
       }
     }
   }
-  return stats::mape(measured, predicted);
+  return bench::checked_mape("ablation feature grid", measured, predicted);
 }
 
 double throughput_mape_without_interference(const bench::Environment& env) {
@@ -104,7 +104,7 @@ double throughput_mape_without_interference(const bench::Environment& env) {
       }
     }
   }
-  return stats::mape(measured, predicted);
+  return bench::checked_mape("ablation no-interference grid", measured, predicted);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/stats.hpp"
 
@@ -85,6 +86,36 @@ void print_header(const std::string& experiment_id, const std::string& descripti
 double geomean_or_zero(const std::vector<double>& values) {
   if (values.empty()) return 0.0;
   return stats::geomean(values);
+}
+
+namespace {
+
+[[noreturn]] void fail_empty_samples(const std::string& what) {
+  std::fprintf(stderr,
+               "bench misconfiguration: no samples collected for %s — "
+               "check the sweep/filter settings of this bench\n",
+               what.c_str());
+  std::exit(EXIT_FAILURE);
+}
+
+}  // namespace
+
+double checked_geomean(const std::string& what, const std::vector<double>& values) {
+  if (values.empty()) fail_empty_samples(what);
+  return stats::geomean(values);
+}
+
+double checked_mape(const std::string& what, const std::vector<double>& measured,
+                    const std::vector<double>& predicted) {
+  if (measured.empty() || predicted.empty()) fail_empty_samples(what);
+  if (measured.size() != predicted.size()) {
+    std::fprintf(stderr,
+                 "bench misconfiguration: %s collected %zu measured but %zu "
+                 "predicted samples\n",
+                 what.c_str(), measured.size(), predicted.size());
+    std::exit(EXIT_FAILURE);
+  }
+  return stats::mape(measured, predicted);
 }
 
 }  // namespace migopt::bench

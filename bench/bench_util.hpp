@@ -68,7 +68,18 @@ Comparison compare_for_pair(const Environment& env, const wl::CorunPair& pair,
 /// Print a section header for a figure/table.
 void print_header(const std::string& experiment_id, const std::string& description);
 
-/// Geometric mean helper guarding empties.
+/// Geometric mean that maps an empty sample set to 0.0 — for sweeps where
+/// emptiness is a legitimate outcome (e.g. no feasible pair at a tight
+/// alpha/cap) and the bench reports the feasible count alongside.
 double geomean_or_zero(const std::vector<double>& values);
+
+/// Geometric mean that aborts the bench with a clear message naming `what`
+/// when the sample set is empty (a misconfigured sweep), instead of letting
+/// MIGOPT_REQUIRE fire deep inside stats::geomean.
+double checked_geomean(const std::string& what, const std::vector<double>& values);
+
+/// MAPE with the same empty/mismatch guarding as checked_geomean.
+double checked_mape(const std::string& what, const std::vector<double>& measured,
+                    const std::vector<double>& predicted);
 
 }  // namespace migopt::bench

@@ -112,7 +112,7 @@ int main() {
 
   std::printf("%s", table.to_string().c_str());
   std::printf("\ngeomean per-instance/chip-global ratio: %.3f\n",
-              bench::geomean_or_zero(gains));
+              bench::checked_geomean("per-instance cap gains", gains));
   std::printf(
       "\nReading: per-instance budgets pay off exactly where the pair is\n"
       "asymmetric in power appetite (TI/CI next to MI/US): the chip-global\n"

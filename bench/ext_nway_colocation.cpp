@@ -120,8 +120,8 @@ int main() {
   }
 
   std::printf("%s", table.to_string().c_str());
-  const double prop_geo = bench::geomean_or_zero(proposal_values);
-  const double best_geo = bench::geomean_or_zero(best_values);
+  const double prop_geo = bench::checked_geomean("nway proposal", proposal_values);
+  const double best_geo = bench::checked_geomean("nway best", best_values);
   std::printf("\ngeomean: proposal %.3f | best %.3f (ratio %.3f)\n", prop_geo,
               best_geo, best_geo > 0.0 ? prop_geo / best_geo : 0.0);
   std::printf("measured fairness violations by the proposal: %d\n", violations);

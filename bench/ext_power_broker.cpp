@@ -96,7 +96,8 @@ int main() {
   }
 
   std::printf("%s", table.to_string().c_str());
-  std::printf("\ngeomean broker/uniform: %.3f\n", bench::geomean_or_zero(gains));
+  std::printf("\ngeomean broker/uniform: %.3f\n",
+              bench::checked_geomean("broker gains", gains));
   std::printf(
       "\nReading: at tight budgets the broker parks the unscalable node at\n"
       "150 W and spends the difference on the Tensor/compute nodes, which\n"

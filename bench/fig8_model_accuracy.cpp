@@ -49,9 +49,11 @@ int main() {
   std::printf("\nfull grid (18 pairs x 4 states x 6 caps = %zu points):\n",
               m_tp.size());
   std::printf("  throughput: MAPE %.1f%%  (paper: ~9.7%%)   R^2 %.3f\n",
-              100.0 * stats::mape(m_tp, e_tp), stats::r_squared(m_tp, e_tp));
+              100.0 * bench::checked_mape("fig8 throughput grid", m_tp, e_tp),
+              stats::r_squared(m_tp, e_tp));
   std::printf("  fairness:   MAPE %.1f%%  (paper: ~14.5%%)  R^2 %.3f\n",
-              100.0 * stats::mape(m_fair, e_fair), stats::r_squared(m_fair, e_fair));
+              100.0 * bench::checked_mape("fig8 fairness grid", m_fair, e_fair),
+              stats::r_squared(m_fair, e_fair));
   std::printf("  training:   solo-fit RMSE %.4f, corun-fit RMSE %.4f\n",
               env.artifacts.report.solo_fit_rmse, env.artifacts.report.corun_fit_rmse);
   return 0;

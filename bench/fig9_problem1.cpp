@@ -40,9 +40,9 @@ int main() {
   }
 
   std::printf("%s", table.to_string().c_str());
-  const double worst_geo = bench::geomean_or_zero(worst_values);
-  const double prop_geo = bench::geomean_or_zero(proposal_values);
-  const double best_geo = bench::geomean_or_zero(best_values);
+  const double worst_geo = bench::checked_geomean("fig9 worst", worst_values);
+  const double prop_geo = bench::checked_geomean("fig9 proposal", proposal_values);
+  const double best_geo = bench::checked_geomean("fig9 best", best_values);
   std::printf("\ngeomean: worst %.3f | proposal %.3f | best %.3f  "
               "(proposal/best = %.3f; paper: 1.52/1.54 = 0.987)\n",
               worst_geo, prop_geo, best_geo, prop_geo / best_geo);

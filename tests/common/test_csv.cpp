@@ -64,6 +64,31 @@ TEST(Csv, SerializeParseRoundTrip) {
   }
 }
 
+TEST(Csv, TrailingEmptyFieldBeforeNewline) {
+  // A data line ending in a comma carries a final empty field; it must not
+  // be dropped (which would make the row ragged against the header).
+  const CsvDocument doc = CsvDocument::parse("a,b\n1,\n");
+  ASSERT_EQ(doc.row_count(), 1u);
+  ASSERT_EQ(doc.row(0).size(), 2u);
+  EXPECT_EQ(doc.cell(0, "a"), "1");
+  EXPECT_EQ(doc.cell(0, "b"), "");
+}
+
+TEST(Csv, TrailingEmptyFieldBeforeCrLf) {
+  const CsvDocument doc = CsvDocument::parse("a,b\r\n1,\r\n");
+  ASSERT_EQ(doc.row_count(), 1u);
+  ASSERT_EQ(doc.row(0).size(), 2u);
+  EXPECT_EQ(doc.cell(0, "b"), "");
+}
+
+TEST(Csv, TrailingEmptyFieldAtEof) {
+  // Same record shape, but the file ends without a final newline.
+  const CsvDocument doc = CsvDocument::parse("a,b\n1,");
+  ASSERT_EQ(doc.row_count(), 1u);
+  ASSERT_EQ(doc.row(0).size(), 2u);
+  EXPECT_EQ(doc.cell(0, "b"), "");
+}
+
 TEST(Csv, ParsesCrLfLineEndings) {
   const CsvDocument doc = CsvDocument::parse("a,b\r\n1,2\r\n");
   ASSERT_EQ(doc.row_count(), 1u);

@@ -55,6 +55,8 @@ TEST(Figure8, ModelErrorMatchesPaperBallpark) {
       }
     }
   }
+  ASSERT_FALSE(measured_tp.empty())
+      << "no model-accuracy samples collected — pair/state/cap grids are empty";
   // Paper: ~9.7% throughput error, ~14.5% fairness error. Allow headroom but
   // require the same order of accuracy.
   EXPECT_LT(stats::mape(measured_tp, estimated_tp), 0.13);
@@ -88,6 +90,8 @@ TEST(Figure9, Problem1ProposalNearBestAt230W) {
     // Per-pair: never catastrophically far from best.
     EXPECT_GT(chosen.throughput, best * 0.85) << pair.name;
   }
+  ASSERT_FALSE(proposal_values.empty())
+      << "no Problem-1 decisions collected — every pair was infeasible";
   // Paper: geomean 1.52 (proposal) vs 1.54 (best) => ratio 0.987; we require
   // at least 0.95 and no fairness violations ("no fairness violation
   // happened for our approach").
@@ -134,6 +138,8 @@ TEST(Figure10, GeomeanThroughputGrowsWithCap) {
       if (decision.feasible)
         proposal_values.push_back(measured(pair, decision.state, cap).throughput);
     }
+    ASSERT_FALSE(proposal_values.empty())
+        << "no feasible decision at cap " << cap;
     const double geo = stats::geomean(proposal_values);
     EXPECT_GE(geo, previous - 0.01) << cap;
     previous = geo;
@@ -164,6 +170,8 @@ TEST(Figure11, Problem2ProposalNearBestEnergyEfficiency) {
     best_values.push_back(best);
     proposal_values.push_back(chosen.energy_efficiency);
   }
+  ASSERT_FALSE(proposal_values.empty())
+      << "no Problem-2 decisions collected — every pair was infeasible";
   EXPECT_GT(stats::geomean(proposal_values) / stats::geomean(best_values), 0.93);
 }
 
