@@ -2,23 +2,22 @@
 // model accuracy? For each H term we refit the solo scalability model with
 // that column removed and report the throughput-prediction error across the
 // full evaluation grid; likewise the whole interference term (D = 0).
-#include <cstdio>
 #include <vector>
 
-#include "bench_util.hpp"
 #include "common/linalg.hpp"
-#include "common/stats.hpp"
-#include "common/table.hpp"
 #include "core/features.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
 namespace {
 
 using namespace migopt;
+using report::MetricValue;
 
 /// Refit C per (state-view, cap) with column `dropped` removed (SIZE_MAX =
 /// keep all), then measure fairness/throughput MAPE over the pair grid with
 /// the original interference coefficients.
-double throughput_mape_without(const bench::Environment& env, std::size_t dropped) {
+double throughput_mape_without(const report::Environment& env, std::size_t dropped) {
   // Collect solo samples per key and refit.
   core::PerfModel model;
   for (const int gpcs : {3, 4}) {
@@ -59,7 +58,7 @@ double throughput_mape_without(const bench::Environment& env, std::size_t droppe
     const auto& f2 = env.profile(pair.app2);
     for (const auto& state : core::paper_states()) {
       for (const double cap : core::paper_power_caps()) {
-        const auto m = bench::measure(env, pair, state, cap);
+        const auto m = report::measure(env, pair, state, cap);
         const core::ModelKey key1 =
             core::ModelKey::make(state.gpcs_app1, state.option, cap);
         const core::ModelKey key2 =
@@ -81,10 +80,10 @@ double throughput_mape_without(const bench::Environment& env, std::size_t droppe
       }
     }
   }
-  return bench::checked_mape("ablation feature grid", measured, predicted);
+  return report::checked_mape("ablation feature grid", measured, predicted);
 }
 
-double throughput_mape_without_interference(const bench::Environment& env) {
+double throughput_mape_without_interference(const report::Environment& env) {
   std::vector<double> measured;
   std::vector<double> predicted;
   for (const auto& pair : env.pairs) {
@@ -92,7 +91,7 @@ double throughput_mape_without_interference(const bench::Environment& env) {
     const auto& f2 = env.profile(pair.app2);
     for (const auto& state : core::paper_states()) {
       for (const double cap : core::paper_power_caps()) {
-        const auto m = bench::measure(env, pair, state, cap);
+        const auto m = report::measure(env, pair, state, cap);
         const double r1 = core::PerfModel::clamp_relperf(
             env.artifacts.model.predict_solo(
                 core::ModelKey::make(state.gpcs_app1, state.option, cap), f1));
@@ -104,35 +103,54 @@ double throughput_mape_without_interference(const bench::Environment& env) {
       }
     }
   }
-  return bench::checked_mape("ablation no-interference grid", measured, predicted);
+  return report::checked_mape("ablation no-interference grid", measured, predicted);
 }
+
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
+
+  // Variant 0 is the full model; 1..kHBasisCount drop one H term each; the
+  // last variant zeroes the interference term. Each refit is independent.
+  const std::size_t variants = core::kHBasisCount + 2;
+  std::vector<double> mape(variants);
+  ctx.parallel_for(variants, [&](std::size_t v) {
+    if (v == 0)
+      mape[v] = throughput_mape_without(env, SIZE_MAX);
+    else if (v <= core::kHBasisCount)
+      mape[v] = throughput_mape_without(env, v - 1);
+    else
+      mape[v] = throughput_mape_without_interference(env);
+  });
+
+  report::ScenarioResult result;
+  report::Section section;
+  section.label_header = "variant";
+  section.columns = {"throughput MAPE [%]", "delta vs full [pp]"};
+  const double full = mape[0];
+  section.add_row("full model (all H terms)",
+                  {MetricValue::num(100 * full, 2), MetricValue::str("-")});
+  for (std::size_t i = 0; i < core::kHBasisCount; ++i)
+    section.add_row(std::string("drop ") + core::kHBasisNames[i],
+                    {MetricValue::num(100 * mape[i + 1], 2),
+                     MetricValue::num(100 * (mape[i + 1] - full), 2)});
+  section.add_row("drop interference term (D=0)",
+                  {MetricValue::num(100 * mape[variants - 1], 2),
+                   MetricValue::num(100 * (mape[variants - 1] - full), 2)});
+  result.add_section(std::move(section));
+  result.add_note(
+      "Reading: large deltas mark the load-bearing terms of the paper's\n"
+      "hand-picked basis (Section 6 acknowledges the manual selection).");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"basis_term_ablation", "Ablation A",
+     "basis-function content (drop one Table 4 H-term at a time; refit; "
+     "full-grid throughput MAPE)",
+     run});
 
 }  // namespace
 
-int main() {
-  const auto& env = bench::Environment::get();
-  bench::print_header("Ablation A",
-                      "basis-function content (drop one Table 4 H-term at a "
-                      "time; refit; full-grid throughput MAPE)");
-
-  TextTable table({"variant", "throughput MAPE", "delta vs full"});
-  const double full = throughput_mape_without(env, SIZE_MAX);
-  table.add_row({"full model (all H terms)", str::format_fixed(100 * full, 2) + "%",
-                 "-"});
-  for (std::size_t i = 0; i < core::kHBasisCount; ++i) {
-    const double ablated = throughput_mape_without(env, i);
-    table.add_row({std::string("drop ") + core::kHBasisNames[i],
-                   str::format_fixed(100 * ablated, 2) + "%",
-                   (ablated >= full ? "+" : "") +
-                       str::format_fixed(100 * (ablated - full), 2) + "pp"});
-  }
-  const double no_d = throughput_mape_without_interference(env);
-  table.add_row({"drop interference term (D=0)",
-                 str::format_fixed(100 * no_d, 2) + "%",
-                 "+" + str::format_fixed(100 * (no_d - full), 2) + "pp"});
-  std::printf("%s", table.to_string().c_str());
-  std::printf(
-      "\nReading: large deltas mark the load-bearing terms of the paper's\n"
-      "hand-picked basis (Section 6 acknowledges the manual selection).\n");
-  return 0;
+int main(int argc, char** argv) {
+  return migopt::report::run_main("ablation_features", argc, argv);
 }

@@ -2,55 +2,83 @@
 // the raw constraint). Near the feasibility boundary, model error can pick a
 // state whose *measured* fairness violates alpha; a predicted-fairness margin
 // trades a little efficiency for fewer violations.
-#include <cstdio>
-#include <vector>
+#include <array>
 
-#include "bench_util.hpp"
-#include "common/stats.hpp"
-#include "common/table.hpp"
+#include "common/string_util.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
-int main() {
-  using namespace migopt;
-  const auto& env = bench::Environment::get();
-  bench::print_header("Ablation C",
-                      "fairness margin vs measured violations (Problem 2, "
-                      "alpha=0.42, the paper's tightest setting)");
+namespace {
 
-  TextTable table({"margin", "violations", "infeasible decisions",
-                   "geomean efficiency", "vs margin 0"});
-  double base_geo = 0.0;
-  for (const double margin : {0.00, 0.01, 0.02, 0.03, 0.04, 0.06}) {
+using namespace migopt;
+using report::MetricValue;
+
+constexpr std::array<double, 6> kMargins = {0.00, 0.01, 0.02, 0.03, 0.04, 0.06};
+
+struct MarginOutcome {
+  long long violations = 0;
+  long long infeasible = 0;
+  double geomean = 0.0;
+};
+
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
+
+  std::vector<MarginOutcome> outcomes(kMargins.size());
+  ctx.parallel_for(kMargins.size(), [&](std::size_t m) {
     core::Policy policy = core::Policy::problem2(0.42);
-    policy.fairness_margin = margin;
+    policy.fairness_margin = kMargins[m];
     const core::Optimizer optimizer =
         core::Optimizer::paper_default(env.artifacts.model);
-    int violations = 0;
-    int infeasible = 0;
     std::vector<double> efficiencies;
     for (const auto& pair : env.pairs) {
       const core::Decision decision = optimizer.decide(
           env.profile(pair.app1), env.profile(pair.app2), policy);
       if (!decision.feasible) {
-        ++infeasible;
+        ++outcomes[m].infeasible;
         continue;
       }
-      const auto m =
-          bench::measure(env, pair, decision.state, decision.power_cap_watts);
-      if (m.fairness <= 0.42) ++violations;
-      efficiencies.push_back(m.energy_efficiency);
+      const auto measured =
+          report::measure(env, pair, decision.state, decision.power_cap_watts);
+      if (measured.fairness <= 0.42) ++outcomes[m].violations;
+      efficiencies.push_back(measured.energy_efficiency);
     }
-    const double geo = bench::geomean_or_zero(efficiencies);
-    if (margin == 0.0) base_geo = geo;
-    table.add_row({str::format_fixed(margin, 2), std::to_string(violations),
-                   std::to_string(infeasible), str::format_fixed(geo, 5),
-                   base_geo > 0 ? str::format_fixed(100.0 * (geo / base_geo - 1.0), 1) + "%"
-                                : "-"});
+    outcomes[m].geomean = report::geomean_or_zero(efficiencies);
+  });
+
+  report::ScenarioResult result;
+  report::Section section;
+  section.label_header = "margin";
+  section.columns = {"violations", "infeasible decisions", "geomean efficiency",
+                     "vs margin 0 [%]"};
+  const double base_geo = outcomes[0].geomean;
+  for (std::size_t m = 0; m < kMargins.size(); ++m) {
+    section.add_row(
+        str::format_fixed(kMargins[m], 2),
+        {MetricValue::of_count(outcomes[m].violations),
+         MetricValue::of_count(outcomes[m].infeasible),
+         MetricValue::num(outcomes[m].geomean, 5),
+         base_geo > 0
+             ? MetricValue::num(100.0 * (outcomes[m].geomean / base_geo - 1.0), 1)
+             : MetricValue::str("-")});
   }
-  std::printf("%s", table.to_string().c_str());
-  std::printf(
-      "\nReading: at alpha=0.42 the feasible region is razor thin (measured\n"
+  result.add_section(std::move(section));
+  result.add_note(
+      "Reading: at alpha=0.42 the feasible region is razor thin (measured\n"
       "max fairness ~0.44), so raw-constraint decisions can violate after\n"
       "measurement; a small margin removes violations at the cost of marking\n"
-      "more pairs infeasible.\n");
-  return 0;
+      "more pairs infeasible.");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"fairness_margin_ablation", "Ablation C",
+     "fairness margin vs measured violations (Problem 2, alpha=0.42, the "
+     "paper's tightest setting)",
+     run});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("ablation_margin", argc, argv);
 }

@@ -2,65 +2,103 @@
 // generalized ("future flexible GPU") state space the paper's Section 6
 // anticipates. Reports decision quality (measured objective of each method's
 // choice) and the number of candidate evaluations.
-#include <cstdio>
-#include <vector>
-
-#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
-#include "common/table.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
-int main() {
-  using namespace migopt;
-  const auto& env = bench::Environment::get();
-  bench::print_header("Ablation B",
-                      "exhaustive vs hill-climbing search on the flexible "
-                      "partition space (Problem 2, alpha=0.2)");
+namespace {
+
+using namespace migopt;
+using report::MetricValue;
+
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
 
   // The flexible space includes 1g/2g allocations, so the interference term
   // must be trained over those states as well (the paper's default grid only
   // covers the 4+3 splits).
   const auto states = core::flexible_states(env.chip.arch());
-  const auto& artifacts = bench::flexible_artifacts(env);
+  const auto& artifacts = report::flexible_artifacts(env);
   const core::Optimizer optimizer(artifacts.model, states,
                                   core::paper_power_caps());
-  std::printf("state space: %zu partition states x %zu caps = %zu candidates\n",
-              states.size(), core::paper_power_caps().size(),
-              states.size() * core::paper_power_caps().size());
-
   const core::Policy policy = core::Policy::problem2(0.2);
-  TextTable table({"workload", "exhaustive", "hill-climb", "ratio", "evals ex.",
-                   "evals hc"});
-  std::vector<double> ratios;
-  Rng rng(0xab1a7e);
-  for (const auto& pair : env.pairs) {
+
+  struct PairOutcome {
+    bool feasible = false;
+    double exhaustive = 0.0;
+    double hill_climb = 0.0;
+    long long evals_exhaustive = 0;
+    long long evals_hill_climb = 0;
+  };
+  // Each pair gets its own deterministically seeded RNG, so results do not
+  // depend on the thread count or on pair execution order.
+  std::vector<PairOutcome> outcomes(env.pairs.size());
+  ctx.parallel_for(env.pairs.size(), [&](std::size_t i) {
+    const auto& pair = env.pairs[i];
     const auto& f1 = artifacts.profiles.at(pair.app1);
     const auto& f2 = artifacts.profiles.at(pair.app2);
+    Rng rng(0xab1a7e + static_cast<std::uint64_t>(i));
     const core::Decision exhaustive = optimizer.decide(f1, f2, policy);
     const core::Decision climbed =
         optimizer.decide_hill_climb(f1, f2, policy, rng, 4);
-    if (!exhaustive.feasible) {
-      table.add_row({pair.name, "infeasible", "-", "-", "-", "-"});
+    if (!exhaustive.feasible) return;
+    outcomes[i].feasible = true;
+    outcomes[i].exhaustive =
+        report::measure(env, pair, exhaustive.state, exhaustive.power_cap_watts)
+            .energy_efficiency;
+    outcomes[i].hill_climb =
+        report::measure(env, pair, climbed.state, climbed.power_cap_watts)
+            .energy_efficiency;
+    outcomes[i].evals_exhaustive =
+        static_cast<long long>(exhaustive.evaluations);
+    outcomes[i].evals_hill_climb = static_cast<long long>(climbed.evaluations);
+  });
+
+  report::ScenarioResult result;
+  report::Section section;
+  section.columns = {"exhaustive", "hill-climb", "ratio", "evals ex.",
+                     "evals hc"};
+  std::vector<double> ratios;
+  for (std::size_t i = 0; i < env.pairs.size(); ++i) {
+    const auto& outcome = outcomes[i];
+    if (!outcome.feasible) {
+      section.add_row(env.pairs[i].name,
+                      {MetricValue::str("infeasible"), MetricValue::str("-"),
+                       MetricValue::str("-"), MetricValue::str("-"),
+                       MetricValue::str("-")});
       continue;
     }
-    const auto measured_ex =
-        bench::measure(env, pair, exhaustive.state, exhaustive.power_cap_watts);
-    const auto measured_hc =
-        bench::measure(env, pair, climbed.state, climbed.power_cap_watts);
-    const double ratio =
-        measured_hc.energy_efficiency / measured_ex.energy_efficiency;
+    const double ratio = outcome.hill_climb / outcome.exhaustive;
     ratios.push_back(ratio);
-    table.add_row({pair.name, str::format_fixed(measured_ex.energy_efficiency, 5),
-                   str::format_fixed(measured_hc.energy_efficiency, 5),
-                   str::format_fixed(ratio, 3),
-                   std::to_string(exhaustive.evaluations),
-                   std::to_string(climbed.evaluations)});
+    section.add_row(env.pairs[i].name,
+                    {MetricValue::num(outcome.exhaustive, 5),
+                     MetricValue::num(outcome.hill_climb, 5),
+                     MetricValue::num(ratio),
+                     MetricValue::of_count(outcome.evals_exhaustive),
+                     MetricValue::of_count(outcome.evals_hill_climb)});
   }
-  std::printf("%s", table.to_string().c_str());
-  std::printf("\nmean measured-quality ratio (hill-climb / exhaustive): %.3f\n",
-              stats::mean(ratios));
-  std::printf(
+  section.add_summary(
+      "state_space_candidates",
+      MetricValue::of_count(static_cast<long long>(
+          states.size() * core::paper_power_caps().size())));
+  section.add_summary("mean_quality_ratio",
+                      MetricValue::num(stats::mean(ratios)));
+  result.add_section(std::move(section));
+  result.add_note(
       "Reading: the paper uses exhaustive search (24 candidates) and points\n"
-      "at hill climbing for larger spaces; this quantifies that trade-off.\n");
-  return 0;
+      "at hill climbing for larger spaces; this quantifies that trade-off.");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"search_strategy_ablation", "Ablation B",
+     "exhaustive vs hill-climbing search on the flexible partition space "
+     "(Problem 2, alpha=0.2)",
+     run});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("ablation_search", argc, argv);
 }

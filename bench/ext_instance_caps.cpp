@@ -10,116 +10,146 @@
 //
 // The comparison is apples-to-apples: a chip cap P covers idle power, so the
 // per-instance variant distributes (P - idle) across the instance budgets.
-#include <cstdio>
+#include <algorithm>
+#include <array>
 #include <string>
 #include <vector>
 
-#include "bench_util.hpp"
-#include "common/table.hpp"
+#include "common/string_util.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
 namespace {
 
 using namespace migopt;
+using report::MetricValue;
 
 struct PairSpec {
-  std::string name;
-  std::string app1;
-  std::string app2;
+  const char* name;
+  const char* app1;
+  const char* app2;
 };
 
-}  // namespace
+constexpr std::array<PairSpec, 5> kSpecs = {{
+    {"TI-MI2", "igemm4", "stream"},
+    {"CI-MI2", "sgemm", "randomaccess"},
+    {"TI-US1", "igemm8", "backprop"},
+    {"CI-CI1", "sgemm", "lavaMD"},
+    {"TI-TI1", "tdgemm", "tf32gemm"},
+}};
+constexpr std::array<double, 3> kBudgets = {150.0, 190.0, 230.0};
 
-int main() {
-  const auto& env = bench::Environment::get();
-  bench::print_header(
-      "Extension: per-instance power budgets",
-      "best measured weighted speedup, chip-global cap vs per-instance "
-      "budget split (fairness > 0.2)");
+struct PointOutcome {
+  bool feasible = false;
+  double best_global = -1.0;
+  double best_instance = -1.0;
+  double best_fraction = 0.0;
+};
 
-  const std::vector<PairSpec> specs = {
-      {"TI-MI2", "igemm4", "stream"},
-      {"CI-MI2", "sgemm", "randomaccess"},
-      {"TI-US1", "igemm8", "backprop"},
-      {"CI-CI1", "sgemm", "lavaMD"},
-      {"TI-TI1", "tdgemm", "tf32gemm"},
-  };
+PointOutcome evaluate(const report::Environment& env, const PairSpec& spec,
+                      double total, const std::vector<double>& splits,
+                      double alpha) {
+  const auto& k1 = env.kernel(spec.app1);
+  const auto& k2 = env.kernel(spec.app2);
+  const double base1 = env.chip.baseline_seconds(k1);
+  const double base2 = env.chip.baseline_seconds(k2);
+  const double idle = env.chip.arch().idle_power_watts;
+
+  PointOutcome outcome;
+  for (const auto& state : core::paper_states()) {
+    const std::vector<gpusim::GpuChip::GroupMember> members = {
+        {&k1, state.gpcs_app1}, {&k2, state.gpcs_app2}};
+
+    // (a) chip-global cap (the paper's knob).
+    const auto global = env.chip.run_group(members, state.option, total);
+    const double g1 = base1 / global.apps[0].seconds_per_wu;
+    const double g2 = base2 / global.apps[1].seconds_per_wu;
+    if (std::min(g1, g2) > alpha)
+      outcome.best_global = std::max(outcome.best_global, g1 + g2);
+
+    // (b) per-instance budgets over the split grid.
+    const double dynamic_budget = total - idle;
+    for (const double fraction : splits) {
+      const std::vector<double> caps = {dynamic_budget * fraction,
+                                        dynamic_budget * (1.0 - fraction)};
+      const auto split_run =
+          env.chip.run_group_instance_caps(members, state.option, caps);
+      const double r1 = base1 / split_run.apps[0].seconds_per_wu;
+      const double r2 = base2 / split_run.apps[1].seconds_per_wu;
+      if (std::min(r1, r2) <= alpha) continue;
+      if (r1 + r2 > outcome.best_instance) {
+        outcome.best_instance = r1 + r2;
+        outcome.best_fraction = fraction;
+      }
+    }
+  }
+  outcome.feasible = outcome.best_global > 0.0 && outcome.best_instance > 0.0;
+  return outcome;
+}
+
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
   // Fine split grid: any chip-global solution corresponds to *some* budget
   // split, so per-instance can only lose to quantization; 2.5% steps keep
   // that error negligible.
   std::vector<double> splits;
   for (double f = 0.200; f <= 0.801; f += 0.025) splits.push_back(f);
   const double alpha = 0.2;
-  const double idle = env.chip.arch().idle_power_watts;
 
-  TextTable table({"workload", "P [W]", "chip-global", "per-instance",
-                   "gain", "best split"});
+  std::vector<PointOutcome> outcomes(kSpecs.size() * kBudgets.size());
+  ctx.parallel_for(outcomes.size(), [&](std::size_t i) {
+    outcomes[i] = evaluate(env, kSpecs[i / kBudgets.size()],
+                           kBudgets[i % kBudgets.size()], splits, alpha);
+  });
+
+  report::ScenarioResult result;
+  report::Section section;
+  section.columns = {"P [W]", "chip-global", "per-instance", "gain [%]",
+                     "best split"};
   std::vector<double> gains;
-
-  for (const auto& spec : specs) {
-    const auto& k1 = env.kernel(spec.app1);
-    const auto& k2 = env.kernel(spec.app2);
-    const double base1 = env.chip.baseline_seconds(k1);
-    const double base2 = env.chip.baseline_seconds(k2);
-
-    for (const double total : {150.0, 190.0, 230.0}) {
-      double best_global = -1.0;
-      double best_instance = -1.0;
-      double best_fraction = 0.0;
-
-      for (const auto& state : core::paper_states()) {
-        const std::vector<gpusim::GpuChip::GroupMember> members = {
-            {&k1, state.gpcs_app1}, {&k2, state.gpcs_app2}};
-
-        // (a) chip-global cap (the paper's knob).
-        const auto global =
-            env.chip.run_group(members, state.option, total);
-        const double g1 = base1 / global.apps[0].seconds_per_wu;
-        const double g2 = base2 / global.apps[1].seconds_per_wu;
-        if (std::min(g1, g2) > alpha)
-          best_global = std::max(best_global, g1 + g2);
-
-        // (b) per-instance budgets over the split grid.
-        const double dynamic_budget = total - idle;
-        for (const double fraction : splits) {
-          const std::vector<double> caps = {dynamic_budget * fraction,
-                                            dynamic_budget * (1.0 - fraction)};
-          const auto split_run = env.chip.run_group_instance_caps(
-              members, state.option, caps);
-          const double r1 = base1 / split_run.apps[0].seconds_per_wu;
-          const double r2 = base2 / split_run.apps[1].seconds_per_wu;
-          if (std::min(r1, r2) <= alpha) continue;
-          if (r1 + r2 > best_instance) {
-            best_instance = r1 + r2;
-            best_fraction = fraction;
-          }
-        }
-      }
-
-      if (best_global < 0.0 || best_instance < 0.0) {
-        table.add_row({spec.name, str::format_fixed(total, 0), "infeasible",
-                       "-", "-", "-"});
-        continue;
-      }
-      const double gain = best_instance / best_global - 1.0;
-      gains.push_back(best_instance / best_global);
-      table.add_row({spec.name, str::format_fixed(total, 0),
-                     str::format_fixed(best_global, 3),
-                     str::format_fixed(best_instance, 3),
-                     str::format_fixed(gain * 100.0, 1) + "%",
-                     str::format_fixed(best_fraction, 3)});
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& spec = kSpecs[i / kBudgets.size()];
+    const double total = kBudgets[i % kBudgets.size()];
+    const auto& outcome = outcomes[i];
+    if (!outcome.feasible) {
+      section.add_row(spec.name,
+                      {MetricValue::num(total, 0), MetricValue::str("infeasible"),
+                       MetricValue::str("-"), MetricValue::str("-"),
+                       MetricValue::str("-")});
+      continue;
     }
+    const double ratio = outcome.best_instance / outcome.best_global;
+    gains.push_back(ratio);
+    section.add_row(spec.name,
+                    {MetricValue::num(total, 0),
+                     MetricValue::num(outcome.best_global),
+                     MetricValue::num(outcome.best_instance),
+                     MetricValue::num((ratio - 1.0) * 100.0, 1),
+                     MetricValue::num(outcome.best_fraction)});
   }
-
-  std::printf("%s", table.to_string().c_str());
-  std::printf("\ngeomean per-instance/chip-global ratio: %.3f\n",
-              bench::checked_geomean("per-instance cap gains", gains));
-  std::printf(
-      "\nReading: per-instance budgets pay off exactly where the pair is\n"
+  section.add_summary(
+      "geomean_instance_over_global",
+      MetricValue::num(report::checked_geomean("per-instance cap gains", gains)));
+  result.add_section(std::move(section));
+  result.add_note(
+      "Reading: per-instance budgets pay off exactly where the pair is\n"
       "asymmetric in power appetite (TI/CI next to MI/US): the chip-global\n"
       "governor throttles both clock domains together, while a split shifts\n"
       "headroom the bandwidth-bound member cannot convert into speed over to\n"
       "the compute-bound member. Symmetric pairs see little to no gain —\n"
       "consistent with the paper treating chip-level capping as sufficient\n"
-      "for its balanced 4+3 splits.\n");
-  return 0;
+      "for its balanced 4+3 splits.");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"per_instance_power_caps", "Extension: per-instance power budgets",
+     "best measured weighted speedup, chip-global cap vs per-instance budget "
+     "split (fairness > 0.2)",
+     run});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("ext_instance_caps", argc, argv);
 }

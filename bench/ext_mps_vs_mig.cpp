@@ -8,16 +8,21 @@
 //   MIG  — best of the paper's states S1-S4 (measured);
 //   MPS  — best of the 4+4 / 5+3 / 6+2 SM-share splits (measured).
 // Reported per pair: weighted speedup, fairness, and the winner.
-#include <cstdio>
+#include <algorithm>
+#include <array>
 #include <string>
 #include <vector>
 
-#include "bench_util.hpp"
-#include "common/table.hpp"
+#include "common/string_util.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
 namespace {
 
 using namespace migopt;
+using report::MetricValue;
+
+constexpr std::array<double, 2> kCaps = {250.0, 150.0};
 
 struct Best {
   double throughput = -1.0;
@@ -25,70 +30,98 @@ struct Best {
   std::string name;
 };
 
-}  // namespace
+struct PairOutcome {
+  Best mig;
+  Best mps;
+};
 
-int main() {
-  const auto& env = bench::Environment::get();
-  bench::print_header("Extension: MIG vs MPS",
-                      "best measured throughput per concurrency mechanism "
-                      "(Table 8 pairs)");
-
+PairOutcome evaluate(const report::Environment& env, const wl::CorunPair& pair,
+                     double cap) {
   const std::vector<std::pair<int, int>> mps_splits = {{4, 4}, {5, 3}, {6, 2},
                                                        {3, 5}, {2, 6}};
-  int mig_wins = 0;
-  int mps_wins = 0;
+  const auto& k1 = env.kernel(pair.app1);
+  const auto& k2 = env.kernel(pair.app2);
+  const double base1 = env.chip.baseline_seconds(k1);
+  const double base2 = env.chip.baseline_seconds(k2);
 
-  for (const double cap : {250.0, 150.0}) {
-    std::printf("\n--- power cap %.0f W ---\n", cap);
-    TextTable table({"workload", "MIG ws", "MIG fair", "MIG S", "MPS ws",
-                     "MPS fair", "MPS split", "winner"});
-    for (const auto& pair : env.pairs) {
-      const auto& k1 = env.kernel(pair.app1);
-      const auto& k2 = env.kernel(pair.app2);
-      const double base1 = env.chip.baseline_seconds(k1);
-      const double base2 = env.chip.baseline_seconds(k2);
-
-      Best mig;
-      for (const auto& state : core::paper_states()) {
-        const auto run = env.chip.run_pair(k1, state.gpcs_app1, k2,
-                                           state.gpcs_app2, state.option, cap);
-        const double r1 = base1 / run.apps[0].seconds_per_wu;
-        const double r2 = base2 / run.apps[1].seconds_per_wu;
-        if (r1 + r2 > mig.throughput)
-          mig = {r1 + r2, std::min(r1, r2), state.name()};
-      }
-
-      Best mps;
-      for (const auto& split : mps_splits) {
-        const std::vector<gpusim::GpuChip::GroupMember> members = {
-            {&k1, split.first}, {&k2, split.second}};
-        const auto run = env.chip.run_mps(members, cap);
-        const double r1 = base1 / run.apps[0].seconds_per_wu;
-        const double r2 = base2 / run.apps[1].seconds_per_wu;
-        if (r1 + r2 > mps.throughput)
-          mps = {r1 + r2, std::min(r1, r2),
-                 std::to_string(split.first) + "+" + std::to_string(split.second)};
-      }
-
-      const bool mig_better = mig.throughput >= mps.throughput;
-      (mig_better ? mig_wins : mps_wins) += 1;
-      table.add_row({pair.name, str::format_fixed(mig.throughput, 3),
-                     str::format_fixed(mig.fairness, 3), mig.name,
-                     str::format_fixed(mps.throughput, 3),
-                     str::format_fixed(mps.fairness, 3), mps.name,
-                     mig_better ? "MIG" : "MPS"});
-    }
-    std::printf("%s", table.to_string().c_str());
+  PairOutcome outcome;
+  for (const auto& state : core::paper_states()) {
+    const auto run = env.chip.run_pair(k1, state.gpcs_app1, k2,
+                                       state.gpcs_app2, state.option, cap);
+    const double r1 = base1 / run.apps[0].seconds_per_wu;
+    const double r2 = base2 / run.apps[1].seconds_per_wu;
+    if (r1 + r2 > outcome.mig.throughput)
+      outcome.mig = {r1 + r2, std::min(r1, r2), state.name()};
   }
+  for (const auto& split : mps_splits) {
+    const std::vector<gpusim::GpuChip::GroupMember> members = {
+        {&k1, split.first}, {&k2, split.second}};
+    const auto run = env.chip.run_mps(members, cap);
+    const double r1 = base1 / run.apps[0].seconds_per_wu;
+    const double r2 = base2 / run.apps[1].seconds_per_wu;
+    if (r1 + r2 > outcome.mps.throughput)
+      outcome.mps = {r1 + r2, std::min(r1, r2),
+                     std::to_string(split.first) + "+" +
+                         std::to_string(split.second)};
+  }
+  return outcome;
+}
 
-  std::printf("\nwins across both caps: MIG %d | MPS %d\n", mig_wins, mps_wins);
-  std::printf(
-      "\nReading: MPS's extra GPC and flexible shares win when interference\n"
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
+
+  std::vector<PairOutcome> outcomes(kCaps.size() * env.pairs.size());
+  ctx.parallel_for(outcomes.size(), [&](std::size_t i) {
+    outcomes[i] = evaluate(env, env.pairs[i % env.pairs.size()],
+                           kCaps[i / env.pairs.size()]);
+  });
+
+  report::ScenarioResult result;
+  long long mig_wins = 0;
+  long long mps_wins = 0;
+  for (std::size_t c = 0; c < kCaps.size(); ++c) {
+    report::Section section;
+    section.title = "power cap " + str::format_fixed(kCaps[c], 0) + " W";
+    section.columns = {"MIG ws", "MIG fair", "MIG S", "MPS ws", "MPS fair",
+                       "MPS split", "winner"};
+    for (std::size_t p = 0; p < env.pairs.size(); ++p) {
+      const auto& outcome = outcomes[c * env.pairs.size() + p];
+      const bool mig_better = outcome.mig.throughput >= outcome.mps.throughput;
+      (mig_better ? mig_wins : mps_wins) += 1;
+      section.add_row(env.pairs[p].name,
+                      {MetricValue::num(outcome.mig.throughput),
+                       MetricValue::num(outcome.mig.fairness),
+                       MetricValue::str(outcome.mig.name),
+                       MetricValue::num(outcome.mps.throughput),
+                       MetricValue::num(outcome.mps.fairness),
+                       MetricValue::str(outcome.mps.name),
+                       MetricValue::str(mig_better ? "MIG" : "MPS")});
+    }
+    result.add_section(std::move(section));
+  }
+  report::Section totals;
+  totals.title = "wins across both caps";
+  totals.add_summary("mig_wins", MetricValue::of_count(mig_wins));
+  totals.add_summary("mps_wins", MetricValue::of_count(mps_wins));
+  result.add_section(std::move(totals));
+  result.add_note(
+      "Reading: MPS's extra GPC and flexible shares win when interference\n"
       "is mild (compute-compute, unscalable pairs); MIG wins when a memory-\n"
       "intensive co-runner needs containment (MI next to latency-sensitive\n"
       "kernels) or when fairness matters — the private option bounds the\n"
       "victim's slowdown where MPS cannot. This is the trade-off the paper\n"
       "cites for focusing on MIG as the scheduler-friendly mechanism\n"
-      "(isolation + per-instance UUIDs), accepting its 1-GPC tax.\n");
-  return 0;
+      "(isolation + per-instance UUIDs), accepting its 1-GPC tax.");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"mig_vs_mps", "Extension: MIG vs MPS",
+     "best measured throughput per concurrency mechanism (Table 8 pairs)",
+     run});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("ext_mps_vs_mig", argc, argv);
 }

@@ -7,16 +7,18 @@
 // LLC/HBM option) and, for Problem 2, the chip power cap. It also reports
 // whether the measured-best triple beats the best pair-plus-exclusive plan,
 // quantifying when deeper partitioning pays.
-#include <cstdio>
+#include <algorithm>
+#include <array>
 #include <string>
 #include <vector>
 
-#include "bench_util.hpp"
-#include "common/table.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
 namespace {
 
 using namespace migopt;
+using report::MetricValue;
 
 struct Triple {
   std::string name;
@@ -37,7 +39,7 @@ std::vector<Triple> triples() {
   };
 }
 
-core::GroupMetrics measure_triple(const bench::Environment& env,
+core::GroupMetrics measure_triple(const report::Environment& env,
                                   const Triple& triple,
                                   const core::GroupState& state, double cap) {
   const std::vector<const gpusim::KernelDescriptor*> kernels = {
@@ -46,90 +48,134 @@ core::GroupMetrics measure_triple(const bench::Environment& env,
   return core::measure_group(env.chip, kernels, state, cap);
 }
 
-}  // namespace
+struct TripleOutcome {
+  bool any_feasible = false;
+  double worst = 0.0;
+  double best = 0.0;
+  double proposal = 0.0;
+  std::string chosen_state;
+  bool violation = false;
+  double best_pair = 0.0;
+};
 
-int main() {
-  const auto& env = bench::Environment::get();
-  const auto& artifacts = bench::flexible_artifacts(env);
-  bench::print_header("Extension: N-way co-location",
-                      "3-way groups, Problem 1 (P=230W, alpha=0.2): worst vs "
-                      "proposal vs best measured throughput");
+TripleOutcome evaluate(const report::Environment& env,
+                       const core::TrainedArtifacts& artifacts,
+                       const std::vector<core::GroupState>& states,
+                       const core::Optimizer& optimizer,
+                       const core::Policy& policy, const Triple& triple) {
+  TripleOutcome outcome;
+  const std::vector<prof::CounterSet> profiles = {
+      artifacts.profiles.at(triple.apps[0]),
+      artifacts.profiles.at(triple.apps[1]),
+      artifacts.profiles.at(triple.apps[2])};
 
+  // Measured scan of the full triple space at the fixed cap.
+  double worst = 1e300, best = -1e300;
+  for (const auto& state : states) {
+    const auto m = measure_triple(env, triple, state, 230.0);
+    if (m.fairness <= policy.alpha) continue;
+    outcome.any_feasible = true;
+    worst = std::min(worst, m.throughput);
+    best = std::max(best, m.throughput);
+  }
+  if (!outcome.any_feasible) return outcome;
+  outcome.worst = worst;
+  outcome.best = best;
+
+  // Model-driven proposal, then measured.
+  const core::GroupDecision decision =
+      optimizer.decide_group(profiles, states, policy);
+  const auto chosen = measure_triple(env, triple, decision.state, 230.0);
+  outcome.proposal = chosen.throughput;
+  outcome.chosen_state = decision.state.name();
+  outcome.violation = chosen.fairness <= policy.alpha;
+
+  // Baseline: the best measured *pair* among the three apps at 230 W; the
+  // third app would wait (time sharing), so its contribution is 0 in the
+  // same weighted-speedup accounting window.
+  double best_pair = -1e300;
+  const std::array<std::array<int, 2>, 3> combos = {{{0, 1}, {0, 2}, {1, 2}}};
+  for (const auto& combo : combos) {
+    for (const auto& pair_state : core::paper_states()) {
+      const auto m = core::measure_pair(
+          env.chip, env.kernel(triple.apps[static_cast<std::size_t>(combo[0])]),
+          env.kernel(triple.apps[static_cast<std::size_t>(combo[1])]),
+          pair_state, 230.0);
+      if (m.fairness <= policy.alpha) continue;
+      best_pair = std::max(best_pair, m.throughput);
+    }
+  }
+  outcome.best_pair = best_pair;
+  return outcome;
+}
+
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
+  const auto& artifacts = report::flexible_artifacts(env);
   const auto states = core::group_states(env.chip.arch(), 3);
   const core::Optimizer optimizer(artifacts.model, core::paper_states(),
                                   core::paper_power_caps());
   const core::Policy policy = core::Policy::problem1(230.0, 0.2);
+  const auto cases = triples();
 
-  std::printf("state space: %zu three-member partition states\n", states.size());
+  std::vector<TripleOutcome> outcomes(cases.size());
+  ctx.parallel_for(cases.size(), [&](std::size_t i) {
+    outcomes[i] = evaluate(env, artifacts, states, optimizer, policy, cases[i]);
+  });
 
-  TextTable table({"workload", "worst", "proposal", "best", "chosen S",
-                   "best pair+excl"});
+  report::ScenarioResult result;
+  report::Section section;
+  section.columns = {"worst", "proposal", "best", "chosen S", "best pair+excl"};
   std::vector<double> proposal_values;
   std::vector<double> best_values;
-  int violations = 0;
-
-  for (const auto& triple : triples()) {
-    const std::vector<prof::CounterSet> profiles = {
-        artifacts.profiles.at(triple.apps[0]),
-        artifacts.profiles.at(triple.apps[1]),
-        artifacts.profiles.at(triple.apps[2])};
-
-    // Measured scan of the full triple space at the fixed cap.
-    double worst = 1e300, best = -1e300;
-    bool any = false;
-    for (const auto& state : states) {
-      const auto m = measure_triple(env, triple, state, 230.0);
-      if (m.fairness <= policy.alpha) continue;
-      any = true;
-      worst = std::min(worst, m.throughput);
-      best = std::max(best, m.throughput);
-    }
-    if (!any) {
-      std::printf("  %s: no fairness-feasible state\n", triple.name.c_str());
+  long long violations = 0;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& outcome = outcomes[i];
+    if (!outcome.any_feasible) {
+      section.add_row(cases[i].name,
+                      {MetricValue::str("infeasible"), MetricValue::str("-"),
+                       MetricValue::str("-"), MetricValue::str("-"),
+                       MetricValue::str("-")});
       continue;
     }
-
-    // Model-driven proposal, then measured.
-    const core::GroupDecision decision =
-        optimizer.decide_group(profiles, states, policy);
-    const auto chosen = measure_triple(env, triple, decision.state, 230.0);
-    if (chosen.fairness <= policy.alpha) ++violations;
-
-    // Baseline: the best measured *pair* among the three apps at 230 W; the
-    // third app would wait (time sharing), so its contribution is 0 in the
-    // same weighted-speedup accounting window.
-    double best_pair = -1e300;
-    const std::array<std::array<int, 2>, 3> combos = {{{0, 1}, {0, 2}, {1, 2}}};
-    for (const auto& combo : combos) {
-      for (const auto& pair_state : core::paper_states()) {
-        const auto m = core::measure_pair(
-            env.chip, env.kernel(triple.apps[static_cast<std::size_t>(combo[0])]),
-            env.kernel(triple.apps[static_cast<std::size_t>(combo[1])]),
-            pair_state, 230.0);
-        if (m.fairness <= policy.alpha) continue;
-        best_pair = std::max(best_pair, m.throughput);
-      }
-    }
-
-    table.add_row({triple.name, str::format_fixed(worst, 3),
-                   str::format_fixed(chosen.throughput, 3),
-                   str::format_fixed(best, 3), decision.state.name(),
-                   str::format_fixed(best_pair, 3)});
-    proposal_values.push_back(chosen.throughput);
-    best_values.push_back(best);
+    section.add_row(cases[i].name,
+                    {MetricValue::num(outcome.worst),
+                     MetricValue::num(outcome.proposal),
+                     MetricValue::num(outcome.best),
+                     MetricValue::str(outcome.chosen_state),
+                     MetricValue::num(outcome.best_pair)});
+    proposal_values.push_back(outcome.proposal);
+    best_values.push_back(outcome.best);
+    if (outcome.violation) ++violations;
   }
-
-  std::printf("%s", table.to_string().c_str());
-  const double prop_geo = bench::checked_geomean("nway proposal", proposal_values);
-  const double best_geo = bench::checked_geomean("nway best", best_values);
-  std::printf("\ngeomean: proposal %.3f | best %.3f (ratio %.3f)\n", prop_geo,
-              best_geo, best_geo > 0.0 ? prop_geo / best_geo : 0.0);
-  std::printf("measured fairness violations by the proposal: %d\n", violations);
-  std::printf(
-      "\nReading: a third member only helps when it brings a complementary\n"
+  const double prop_geo = report::checked_geomean("nway proposal", proposal_values);
+  const double best_geo = report::checked_geomean("nway best", best_values);
+  section.add_summary("state_space_size",
+                      MetricValue::of_count(static_cast<long long>(states.size())));
+  section.add_summary("geomean_proposal", MetricValue::num(prop_geo));
+  section.add_summary("geomean_best", MetricValue::num(best_geo));
+  section.add_summary(
+      "proposal_over_best",
+      MetricValue::num(best_geo > 0.0 ? prop_geo / best_geo : 0.0));
+  section.add_summary("fairness_violations", MetricValue::of_count(violations));
+  result.add_section(std::move(section));
+  result.add_note(
+      "Reading: a third member only helps when it brings a complementary\n"
       "resource demand (TI/CI compute + MI bandwidth + US latency-bound);\n"
       "same-class triples split the same bottleneck three ways and lose to\n"
       "the best pair. The linear interference model (sum of D*J terms)\n"
-      "extends to triples without retraining beyond the flexible pair grid.\n");
-  return 0;
+      "extends to triples without retraining beyond the flexible pair grid.");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"nway_colocation", "Extension: N-way co-location",
+     "3-way groups, Problem 1 (P=230W, alpha=0.2): worst vs proposal vs best "
+     "measured throughput",
+     run});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("ext_nway_colocation", argc, argv);
 }

@@ -10,19 +10,20 @@
 //   uniform — every node gets the same cap (budget / nodes, snapped down);
 //   broker  — greedy marginal-throughput-per-watt assignment on the model;
 //   oracle  — exhaustive assignment on the model (reference).
-#include <cstdio>
 #include <string>
 #include <vector>
 
-#include "bench_util.hpp"
-#include "common/table.hpp"
+#include "common/string_util.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 #include "sched/power_broker.hpp"
 
 namespace {
 
 using namespace migopt;
+using report::MetricValue;
 
-double measured_total(const bench::Environment& env,
+double measured_total(const report::Environment& env,
                       const std::vector<sched::NodePairWorkload>& nodes,
                       const sched::ClusterPowerPlan& plan) {
   double total = 0.0;
@@ -37,13 +38,15 @@ double measured_total(const bench::Environment& env,
   return total;
 }
 
-}  // namespace
+struct BudgetOutcome {
+  double uniform = 0.0;
+  double broker = 0.0;
+  double oracle = 0.0;
+  std::string broker_caps;
+};
 
-int main() {
-  const auto& env = bench::Environment::get();
-  bench::print_header("Extension: cluster power budget shifting",
-                      "4 nodes, one global GPU budget: uniform vs broker vs "
-                      "exhaustive oracle (measured total throughput)");
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
 
   // Two power-hungry Tensor/compute nodes, one balanced, one insensitive.
   const std::vector<sched::NodePairWorkload> nodes = {
@@ -57,11 +60,13 @@ int main() {
       core::ResourcePowerAllocator::train(env.chip, env.registry, env.pairs);
   const sched::PowerBroker broker(allocator, alpha);
 
-  TextTable table({"budget [W]", "uniform", "broker", "oracle",
-                   "broker gain", "per-node caps (broker)"});
-  std::vector<double> gains;
+  std::vector<double> budgets;
+  for (double budget = 600.0; budget <= 1000.0 + 1e-9; budget += 80.0)
+    budgets.push_back(budget);
 
-  for (double budget = 600.0; budget <= 1000.0 + 1e-9; budget += 80.0) {
+  std::vector<BudgetOutcome> outcomes(budgets.size());
+  ctx.parallel_for(budgets.size(), [&](std::size_t i) {
+    const double budget = budgets[i];
     // Uniform: the largest grid cap every node can receive equally.
     double uniform_cap = 150.0;
     for (const double cap : core::paper_power_caps())
@@ -73,37 +78,57 @@ int main() {
       uniform_plan =
           pinned.allocate(nodes, uniform_cap * static_cast<double>(nodes.size()));
     }
-
     const auto broker_plan = broker.allocate(nodes, budget);
     const auto oracle_plan = broker.allocate_exhaustive(nodes, budget);
 
-    const double uniform_measured = measured_total(env, nodes, uniform_plan);
-    const double broker_measured = measured_total(env, nodes, broker_plan);
-    const double oracle_measured = measured_total(env, nodes, oracle_plan);
-
-    std::string caps;
+    outcomes[i].uniform = measured_total(env, nodes, uniform_plan);
+    outcomes[i].broker = measured_total(env, nodes, broker_plan);
+    outcomes[i].oracle = measured_total(env, nodes, oracle_plan);
     for (const auto& node : broker_plan.nodes) {
-      if (!caps.empty()) caps += '/';
-      caps += str::format_fixed(node.cap_watts, 0);
+      if (!outcomes[i].broker_caps.empty()) outcomes[i].broker_caps += '/';
+      outcomes[i].broker_caps += str::format_fixed(node.cap_watts, 0);
     }
-    const double gain = broker_measured / uniform_measured - 1.0;
-    gains.push_back(broker_measured / uniform_measured);
-    table.add_row({str::format_fixed(budget, 0),
-                   str::format_fixed(uniform_measured, 3),
-                   str::format_fixed(broker_measured, 3),
-                   str::format_fixed(oracle_measured, 3),
-                   str::format_fixed(gain * 100.0, 1) + "%", caps});
-  }
+  });
 
-  std::printf("%s", table.to_string().c_str());
-  std::printf("\ngeomean broker/uniform: %.3f\n",
-              bench::checked_geomean("broker gains", gains));
-  std::printf(
-      "\nReading: at tight budgets the broker parks the unscalable node at\n"
+  report::ScenarioResult result;
+  report::Section section;
+  section.label_header = "budget [W]";
+  section.columns = {"uniform", "broker", "oracle", "broker gain [%]",
+                     "per-node caps (broker)"};
+  std::vector<double> gains;
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    const auto& outcome = outcomes[i];
+    const double ratio = outcome.broker / outcome.uniform;
+    gains.push_back(ratio);
+    section.add_row(str::format_fixed(budgets[i], 0),
+                    {MetricValue::num(outcome.uniform),
+                     MetricValue::num(outcome.broker),
+                     MetricValue::num(outcome.oracle),
+                     MetricValue::num((ratio - 1.0) * 100.0, 1),
+                     MetricValue::str(outcome.broker_caps)});
+  }
+  section.add_summary(
+      "geomean_broker_over_uniform",
+      MetricValue::num(report::checked_geomean("broker gains", gains)));
+  result.add_section(std::move(section));
+  result.add_note(
+      "Reading: at tight budgets the broker parks the unscalable node at\n"
       "150 W and spends the difference on the Tensor/compute nodes, which\n"
       "convert watts into throughput; uniform splitting wastes cap headroom\n"
       "on nodes that cannot use it. As the budget approaches nodes x TDP the\n"
       "three strategies converge — the paper's observation that budget\n"
-      "shifting matters exactly when power is scarce.\n");
-  return 0;
+      "shifting matters exactly when power is scarce.");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"cluster_power_shifting", "Extension: cluster power budget shifting",
+     "4 nodes, one global GPU budget: uniform vs broker vs exhaustive oracle "
+     "(measured total throughput)",
+     run});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("ext_power_broker", argc, argv);
 }

@@ -1,44 +1,66 @@
 // Figure 10 reproduction: Problem-1 geometric-mean throughput as a function of
 // the allocated power cap (150..250 W), alpha = 0.2 — worst vs proposal vs
 // best series.
-#include <cstdio>
-#include <vector>
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
-#include "bench_util.hpp"
-#include "common/table.hpp"
+namespace {
 
-int main() {
-  using namespace migopt;
-  const auto& env = bench::Environment::get();
-  bench::print_header("Figure 10",
-                      "Problem 1 geomean throughput vs power cap (alpha=0.2)");
+using namespace migopt;
+using report::MetricValue;
 
-  TextTable table({"cap", "worst", "proposal", "best", "proposal/best", "pairs"});
-  for (const double cap : core::paper_power_caps()) {
-    const core::Policy policy = core::Policy::problem1(cap, 0.2);
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
+  const auto caps = core::paper_power_caps();
+
+  // Every (cap, pair) point is independent: flatten the sweep over the pool.
+  std::vector<report::Comparison> points(caps.size() * env.pairs.size());
+  ctx.parallel_for(points.size(), [&](std::size_t i) {
+    const double cap = caps[i / env.pairs.size()];
+    const auto& pair = env.pairs[i % env.pairs.size()];
+    points[i] =
+        report::compare_for_pair(env, pair, core::Policy::problem1(cap, 0.2));
+  });
+
+  report::ScenarioResult result;
+  report::Section section;
+  section.label_header = "cap";
+  section.columns = {"worst", "proposal", "best", "proposal/best", "pairs"};
+  for (std::size_t c = 0; c < caps.size(); ++c) {
     std::vector<double> worst_values;
     std::vector<double> proposal_values;
     std::vector<double> best_values;
-    for (const auto& pair : env.pairs) {
-      const auto cmp = bench::compare_for_pair(env, pair, policy);
+    for (std::size_t p = 0; p < env.pairs.size(); ++p) {
+      const auto& cmp = points[c * env.pairs.size() + p];
       if (!cmp.has_feasible) continue;
       worst_values.push_back(cmp.worst);
       proposal_values.push_back(cmp.proposal);
       best_values.push_back(cmp.best);
     }
-    const double worst_geo = bench::geomean_or_zero(worst_values);
-    const double prop_geo = bench::geomean_or_zero(proposal_values);
-    const double best_geo = bench::geomean_or_zero(best_values);
-    table.add_row({std::to_string(static_cast<int>(cap)) + "W",
-                   str::format_fixed(worst_geo, 3), str::format_fixed(prop_geo, 3),
-                   str::format_fixed(best_geo, 3),
-                   str::format_fixed(best_geo > 0 ? prop_geo / best_geo : 0.0, 3),
-                   std::to_string(worst_values.size())});
+    const double worst_geo = report::geomean_or_zero(worst_values);
+    const double prop_geo = report::geomean_or_zero(proposal_values);
+    const double best_geo = report::geomean_or_zero(best_values);
+    section.add_row(
+        std::to_string(static_cast<int>(caps[c])) + "W",
+        {MetricValue::num(worst_geo), MetricValue::num(prop_geo),
+         MetricValue::num(best_geo),
+         MetricValue::num(best_geo > 0 ? prop_geo / best_geo : 0.0),
+         MetricValue::of_count(static_cast<long long>(worst_values.size()))});
   }
-  std::printf("%s", table.to_string().c_str());
-  std::printf(
-      "\nExpected shape (paper Fig. 10): proposal close to best at every cap;\n"
+  result.add_section(std::move(section));
+  result.add_note(
+      "Expected shape (paper Fig. 10): proposal close to best at every cap;\n"
       "throughput rises with the cap. No fairness violation occurred in the\n"
-      "paper's runs.\n");
-  return 0;
+      "paper's runs.");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"problem1_cap_sweep", "Figure 10",
+     "Problem 1 geomean throughput vs power cap (alpha=0.2)", run});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("fig10_power_sweep", argc, argv);
 }

@@ -1,59 +1,88 @@
 // Figure 11 reproduction: Problem 2 (joint S and P optimization for energy
 // efficiency = throughput / cap) per workload, at alpha = 0.20 and 0.42.
-#include <cstdio>
-#include <vector>
+#include <array>
 
-#include "bench_util.hpp"
-#include "common/table.hpp"
+#include "common/string_util.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
-int main() {
-  using namespace migopt;
-  const auto& env = bench::Environment::get();
-  bench::print_header("Figure 11",
-                      "Problem 2 energy efficiency (throughput/P): worst vs "
-                      "proposal vs best, alpha in {0.20, 0.42}");
+namespace {
 
-  for (const double alpha : {0.20, 0.42}) {
-    std::printf("\nalpha = %.2f:\n", alpha);
-    const core::Policy policy = core::Policy::problem2(alpha);
-    TextTable table({"workload", "worst", "proposal", "best", "chosen"});
+using namespace migopt;
+using report::MetricValue;
+
+constexpr std::array<double, 2> kAlphas = {0.20, 0.42};
+
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
+
+  std::vector<report::Comparison> points(kAlphas.size() * env.pairs.size());
+  ctx.parallel_for(points.size(), [&](std::size_t i) {
+    const double alpha = kAlphas[i / env.pairs.size()];
+    points[i] = report::compare_for_pair(env, env.pairs[i % env.pairs.size()],
+                                         core::Policy::problem2(alpha));
+  });
+
+  report::ScenarioResult result;
+  for (std::size_t a = 0; a < kAlphas.size(); ++a) {
+    report::Section section;
+    section.title = "alpha = " + str::format_fixed(kAlphas[a], 2);
+    section.columns = {"worst", "proposal", "best", "chosen"};
     std::vector<double> worst_values;
     std::vector<double> proposal_values;
     std::vector<double> best_values;
-    int violations = 0;
-    int infeasible = 0;
-    for (const auto& pair : env.pairs) {
-      const auto cmp = bench::compare_for_pair(env, pair, policy);
+    long long violations = 0;
+    long long infeasible = 0;
+    for (std::size_t p = 0; p < env.pairs.size(); ++p) {
+      const auto& cmp = points[a * env.pairs.size() + p];
       if (!cmp.has_feasible) {
         ++infeasible;
-        table.add_row({pair.name, "-", "-", "-", "infeasible"});
+        section.add_row(env.pairs[p].name,
+                        {MetricValue::str("-"), MetricValue::str("-"),
+                         MetricValue::str("-"), MetricValue::str("infeasible")});
         continue;
       }
-      table.add_row({pair.name, str::format_fixed(cmp.worst, 5),
-                     str::format_fixed(cmp.proposal, 5),
-                     str::format_fixed(cmp.best, 5),
-                     cmp.proposal_state + "@" +
-                         std::to_string(static_cast<int>(cmp.proposal_cap)) + "W"});
+      section.add_row(
+          env.pairs[p].name,
+          {MetricValue::num(cmp.worst, 5), MetricValue::num(cmp.proposal, 5),
+           MetricValue::num(cmp.best, 5),
+           MetricValue::str(cmp.proposal_state + "@" +
+                            std::to_string(static_cast<int>(cmp.proposal_cap)) +
+                            "W")});
       worst_values.push_back(cmp.worst);
       proposal_values.push_back(cmp.proposal);
       best_values.push_back(cmp.best);
       if (cmp.fairness_violation) ++violations;
     }
-    std::printf("%s", table.to_string().c_str());
-    const double prop_geo = bench::geomean_or_zero(proposal_values);
-    const double best_geo = bench::geomean_or_zero(best_values);
-    std::printf("geomean: worst %.5f | proposal %.5f | best %.5f "
-                "(proposal/best = %.3f)\n",
-                bench::geomean_or_zero(worst_values), prop_geo, best_geo,
-                best_geo > 0 ? prop_geo / best_geo : 0.0);
-    std::printf("fairness violations: %d, pairs without feasible choice: %d\n",
-                violations, infeasible);
+    const double prop_geo = report::geomean_or_zero(proposal_values);
+    const double best_geo = report::geomean_or_zero(best_values);
+    section.add_summary("geomean_worst",
+                        MetricValue::num(report::geomean_or_zero(worst_values), 5));
+    section.add_summary("geomean_proposal", MetricValue::num(prop_geo, 5));
+    section.add_summary("geomean_best", MetricValue::num(best_geo, 5));
+    section.add_summary(
+        "proposal_over_best",
+        MetricValue::num(best_geo > 0 ? prop_geo / best_geo : 0.0));
+    section.add_summary("fairness_violations", MetricValue::of_count(violations));
+    section.add_summary("infeasible_pairs", MetricValue::of_count(infeasible));
+    result.add_section(std::move(section));
   }
-
-  std::printf(
-      "\nPaper reference: proposal reaches almost the best energy efficiency\n"
+  result.add_note(
+      "Paper reference: proposal reaches almost the best energy efficiency\n"
       "for every workload at both alpha settings; alpha >= 0.43 leaves some\n"
       "workloads without any feasible state (our simulated boundary is close,\n"
-      "see EXPERIMENTS.md).\n");
-  return 0;
+      "see EXPERIMENTS.md).");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"problem2_energy_efficiency", "Figure 11",
+     "Problem 2 energy efficiency (throughput/P): worst vs proposal vs best, "
+     "alpha in {0.20, 0.42}",
+     run});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("fig11_energy_eff", argc, argv);
 }

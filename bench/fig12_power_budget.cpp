@@ -2,44 +2,71 @@
 // (worst / proposal / best candidates), at alpha = 0.20 and 0.42. The paper's
 // point: the right caps differ per pair, and tightening alpha pushes caps up
 // for compute-heavy pairs — freed budget can be shifted elsewhere.
-#include <cstdio>
-#include <vector>
+#include <array>
 
-#include "bench_util.hpp"
-#include "common/table.hpp"
+#include "common/string_util.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
-int main() {
-  using namespace migopt;
-  const auto& env = bench::Environment::get();
-  bench::print_header("Figure 12",
-                      "Problem 2 chosen power caps per workload, "
-                      "alpha in {0.20, 0.42}");
+namespace {
 
-  for (const double alpha : {0.20, 0.42}) {
-    std::printf("\nalpha = %.2f:\n", alpha);
-    const core::Policy policy = core::Policy::problem2(alpha);
-    TextTable table({"workload", "best-cap [W]", "proposal-cap [W]", "chosen S"});
+using namespace migopt;
+using report::MetricValue;
+
+constexpr std::array<double, 2> kAlphas = {0.20, 0.42};
+
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
+
+  std::vector<report::Comparison> points(kAlphas.size() * env.pairs.size());
+  ctx.parallel_for(points.size(), [&](std::size_t i) {
+    const double alpha = kAlphas[i / env.pairs.size()];
+    points[i] = report::compare_for_pair(env, env.pairs[i % env.pairs.size()],
+                                         core::Policy::problem2(alpha));
+  });
+
+  report::ScenarioResult result;
+  for (std::size_t a = 0; a < kAlphas.size(); ++a) {
+    report::Section section;
+    section.title = "alpha = " + str::format_fixed(kAlphas[a], 2);
+    section.columns = {"best-cap [W]", "proposal-cap [W]", "chosen S"};
     double proposal_cap_sum = 0.0;
-    int counted = 0;
-    for (const auto& pair : env.pairs) {
-      const auto cmp = bench::compare_for_pair(env, pair, policy);
+    long long counted = 0;
+    for (std::size_t p = 0; p < env.pairs.size(); ++p) {
+      const auto& cmp = points[a * env.pairs.size() + p];
       if (!cmp.has_feasible) {
-        table.add_row({pair.name, "-", "-", "infeasible"});
+        section.add_row(env.pairs[p].name,
+                        {MetricValue::str("-"), MetricValue::str("-"),
+                         MetricValue::str("infeasible")});
         continue;
       }
-      table.add_row({pair.name, str::format_fixed(cmp.best_cap, 0),
-                     str::format_fixed(cmp.proposal_cap, 0), cmp.proposal_state});
+      section.add_row(env.pairs[p].name,
+                      {MetricValue::num(cmp.best_cap, 0),
+                       MetricValue::num(cmp.proposal_cap, 0),
+                       MetricValue::str(cmp.proposal_state)});
       proposal_cap_sum += cmp.proposal_cap;
       ++counted;
     }
-    std::printf("%s", table.to_string().c_str());
-    if (counted > 0)
-      std::printf("mean proposal cap: %.1f W over %d workloads\n",
-                  proposal_cap_sum / counted, counted);
+    if (counted > 0) {
+      section.add_summary(
+          "mean_proposal_cap_watts",
+          MetricValue::num(proposal_cap_sum / static_cast<double>(counted), 1));
+      section.add_summary("feasible_pairs", MetricValue::of_count(counted));
+    }
+    result.add_section(std::move(section));
   }
+  result.add_note(
+      "Expected shape (paper Fig. 12): US/MI-dominated pairs sit at 150 W;\n"
+      "compute-heavy pairs demand more power as alpha tightens.");
+  return result;
+}
 
-  std::printf(
-      "\nExpected shape (paper Fig. 12): US/MI-dominated pairs sit at 150 W;\n"
-      "compute-heavy pairs demand more power as alpha tightens.\n");
-  return 0;
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"problem2_chosen_caps", "Figure 12",
+     "Problem 2 chosen power caps per workload, alpha in {0.20, 0.42}", run});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("fig12_power_budget", argc, argv);
 }

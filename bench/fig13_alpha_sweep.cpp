@@ -1,49 +1,72 @@
 // Figure 13 reproduction: geometric-mean Problem-2 energy efficiency as a
 // function of the fairness threshold alpha (0.20 .. 0.42).
-#include <cstdio>
-#include <vector>
+#include <array>
 
-#include "bench_util.hpp"
-#include "common/table.hpp"
+#include "common/string_util.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
-int main() {
-  using namespace migopt;
-  const auto& env = bench::Environment::get();
-  bench::print_header("Figure 13",
-                      "Problem 2 geomean energy efficiency vs fairness "
-                      "threshold alpha");
+namespace {
 
-  TextTable table({"alpha", "worst", "proposal", "best", "proposal/best",
-                   "feasible pairs", "violations"});
-  for (const double alpha : {0.20, 0.25, 0.30, 0.35, 0.40, 0.42}) {
-    const core::Policy policy = core::Policy::problem2(alpha);
+using namespace migopt;
+using report::MetricValue;
+
+constexpr std::array<double, 6> kAlphas = {0.20, 0.25, 0.30, 0.35, 0.40, 0.42};
+
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
+
+  std::vector<report::Comparison> points(kAlphas.size() * env.pairs.size());
+  ctx.parallel_for(points.size(), [&](std::size_t i) {
+    const double alpha = kAlphas[i / env.pairs.size()];
+    points[i] = report::compare_for_pair(env, env.pairs[i % env.pairs.size()],
+                                         core::Policy::problem2(alpha));
+  });
+
+  report::ScenarioResult result;
+  report::Section section;
+  section.label_header = "alpha";
+  section.columns = {"worst", "proposal", "best", "proposal/best",
+                     "feasible pairs", "violations"};
+  for (std::size_t a = 0; a < kAlphas.size(); ++a) {
     std::vector<double> worst_values;
     std::vector<double> proposal_values;
     std::vector<double> best_values;
-    int violations = 0;
-    for (const auto& pair : env.pairs) {
-      const auto cmp = bench::compare_for_pair(env, pair, policy);
+    long long violations = 0;
+    for (std::size_t p = 0; p < env.pairs.size(); ++p) {
+      const auto& cmp = points[a * env.pairs.size() + p];
       if (!cmp.has_feasible) continue;
       worst_values.push_back(cmp.worst);
       proposal_values.push_back(cmp.proposal);
       best_values.push_back(cmp.best);
       if (cmp.fairness_violation) ++violations;
     }
-    const double prop_geo = bench::geomean_or_zero(proposal_values);
-    const double best_geo = bench::geomean_or_zero(best_values);
-    table.add_row({str::format_fixed(alpha, 2),
-                   str::format_fixed(bench::geomean_or_zero(worst_values), 5),
-                   str::format_fixed(prop_geo, 5), str::format_fixed(best_geo, 5),
-                   str::format_fixed(best_geo > 0 ? prop_geo / best_geo : 0.0, 3),
-                   std::to_string(proposal_values.size()),
-                   std::to_string(violations)});
+    const double prop_geo = report::geomean_or_zero(proposal_values);
+    const double best_geo = report::geomean_or_zero(best_values);
+    section.add_row(
+        str::format_fixed(kAlphas[a], 2),
+        {MetricValue::num(report::geomean_or_zero(worst_values), 5),
+         MetricValue::num(prop_geo, 5), MetricValue::num(best_geo, 5),
+         MetricValue::num(best_geo > 0 ? prop_geo / best_geo : 0.0),
+         MetricValue::of_count(static_cast<long long>(proposal_values.size())),
+         MetricValue::of_count(violations)});
   }
-  std::printf("%s", table.to_string().c_str());
-  std::printf(
-      "\nExpected shape (paper Fig. 13): proposal hugs best across the alpha\n"
+  result.add_section(std::move(section));
+  result.add_note(
+      "Expected shape (paper Fig. 13): proposal hugs best across the alpha\n"
       "range; efficiency shrinks as the fairness requirement tightens because\n"
       "power-hungry configurations become mandatory. A proposal/best ratio\n"
       "above 1.0 signals measured-fairness violations near the feasibility\n"
-      "boundary (see bench_ablation_margin for the mitigation).\n");
-  return 0;
+      "boundary (see bench_ablation_margin for the mitigation).");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"problem2_alpha_sweep", "Figure 13",
+     "Problem 2 geomean energy efficiency vs fairness threshold alpha", run});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("fig13_alpha_sweep", argc, argv);
 }

@@ -2,42 +2,71 @@
 // for the private vs shared LLC/HBM options, at P = 250 W, for one
 // representative benchmark per class (kmeans=US, stream=MI, dgemm=CI,
 // hgemm=TI) — exactly the series the paper plots.
-#include <cstdio>
+#include <array>
 
-#include "bench_util.hpp"
-#include "common/table.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
-int main() {
-  using namespace migopt;
-  const auto& env = bench::Environment::get();
-  bench::print_header("Figure 4",
-                      "scalability vs #GPCs, private vs shared LLC/HBM, P=250W "
-                      "(relative performance, baseline = full chip)");
+namespace {
 
-  const int gpc_series[] = {1, 2, 3, 4, 7};
+using namespace migopt;
+using report::MetricValue;
+
+constexpr std::array<int, 5> kGpcSeries = {1, 2, 3, 4, 7};
+constexpr std::array<const char*, 4> kApps = {"kmeans", "stream", "dgemm",
+                                              "hgemm"};
+
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
   const double cap = 250.0;
+  const std::array<gpusim::MemOption, 2> options = {gpusim::MemOption::Private,
+                                                    gpusim::MemOption::Shared};
 
-  for (const char* app : {"kmeans", "stream", "dgemm", "hgemm"}) {
-    const auto& kernel = env.kernel(app);
-    TextTable table({"option", "1 GPC", "2 GPC", "3 GPC", "4 GPC", "7 GPC"});
-    for (const auto option :
-         {gpusim::MemOption::Private, gpusim::MemOption::Shared}) {
-      std::vector<double> row;
-      for (const int gpcs : gpc_series) {
-        const auto run = env.chip.run_solo(kernel, gpcs, option, cap);
-        row.push_back(env.chip.relative_performance(kernel, run.apps[0]));
-      }
-      table.add_numeric_row(gpusim::to_string(option), row);
+  // One independent point per (app, option, gpc-count).
+  std::vector<double> relperf(kApps.size() * options.size() * kGpcSeries.size());
+  ctx.parallel_for(relperf.size(), [&](std::size_t i) {
+    const std::size_t app = i / (options.size() * kGpcSeries.size());
+    const std::size_t option = (i / kGpcSeries.size()) % options.size();
+    const std::size_t gpc = i % kGpcSeries.size();
+    const auto& kernel = env.kernel(kApps[app]);
+    const auto solo =
+        env.chip.run_solo(kernel, kGpcSeries[gpc], options[option], cap);
+    relperf[i] = env.chip.relative_performance(kernel, solo.apps[0]);
+  });
+
+  report::ScenarioResult result;
+  for (std::size_t app = 0; app < kApps.size(); ++app) {
+    report::Section section;
+    section.title = std::string(kApps[app]) + " (" +
+                    wl::to_string(env.registry.by_name(kApps[app]).expected_class) +
+                    ")";
+    section.label_header = "option";
+    section.columns = {"1 GPC", "2 GPC", "3 GPC", "4 GPC", "7 GPC"};
+    for (std::size_t option = 0; option < options.size(); ++option) {
+      std::vector<MetricValue> cells;
+      for (std::size_t gpc = 0; gpc < kGpcSeries.size(); ++gpc)
+        cells.push_back(MetricValue::num(
+            relperf[(app * options.size() + option) * kGpcSeries.size() + gpc]));
+      section.add_row(gpusim::to_string(options[option]), std::move(cells));
     }
-    std::printf("\n%s (%s):\n%s", app,
-                wl::to_string(env.registry.by_name(app).expected_class),
-                table.to_string().c_str());
+    result.add_section(std::move(section));
   }
-
-  std::printf(
-      "\nExpected shapes (paper Section 3.1): kmeans flat for both options;\n"
+  result.add_note(
+      "Expected shapes (paper Section 3.1): kmeans flat for both options;\n"
       "stream strongly option-dependent (private tracks the 1/2/4/4/8 module\n"
       "scaling, shared saturates early); dgemm/hgemm option-independent and\n"
-      "near-linear in GPCs at 250 W.\n");
-  return 0;
+      "near-linear in GPCs at 250 W.");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"solo_scalability_options", "Figure 4",
+     "scalability vs #GPCs, private vs shared LLC/HBM, P=250W (relative "
+     "performance, baseline = full chip)",
+     run});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("fig4_scalability", argc, argv);
 }

@@ -1,39 +1,67 @@
 // Figure 5 reproduction: solo scalability under power caps 150..250 W with
 // the shared partitioning option, for the four class representatives.
-#include <cstdio>
+#include <array>
 
-#include "bench_util.hpp"
-#include "common/table.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
-int main() {
-  using namespace migopt;
-  const auto& env = bench::Environment::get();
-  bench::print_header("Figure 5",
-                      "scalability vs power cap (shared option; relative "
-                      "performance, baseline = full chip at TDP)");
+namespace {
 
-  const int gpc_series[] = {1, 2, 3, 4, 7};
+using namespace migopt;
+using report::MetricValue;
 
-  for (const char* app : {"kmeans", "stream", "dgemm", "hgemm"}) {
-    const auto& kernel = env.kernel(app);
-    TextTable table({"cap", "1 GPC", "2 GPC", "3 GPC", "4 GPC", "7 GPC"});
-    for (const double cap : core::paper_power_caps()) {
-      std::vector<double> row;
-      for (const int gpcs : gpc_series) {
-        const auto run =
-            env.chip.run_solo(kernel, gpcs, gpusim::MemOption::Shared, cap);
-        row.push_back(env.chip.relative_performance(kernel, run.apps[0]));
-      }
-      table.add_numeric_row(std::to_string(static_cast<int>(cap)) + "W", row);
+constexpr std::array<int, 5> kGpcSeries = {1, 2, 3, 4, 7};
+constexpr std::array<const char*, 4> kApps = {"kmeans", "stream", "dgemm",
+                                              "hgemm"};
+
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
+  const auto caps = core::paper_power_caps();
+
+  std::vector<double> relperf(kApps.size() * caps.size() * kGpcSeries.size());
+  ctx.parallel_for(relperf.size(), [&](std::size_t i) {
+    const std::size_t app = i / (caps.size() * kGpcSeries.size());
+    const std::size_t cap = (i / kGpcSeries.size()) % caps.size();
+    const std::size_t gpc = i % kGpcSeries.size();
+    const auto& kernel = env.kernel(kApps[app]);
+    const auto solo = env.chip.run_solo(kernel, kGpcSeries[gpc],
+                                        gpusim::MemOption::Shared, caps[cap]);
+    relperf[i] = env.chip.relative_performance(kernel, solo.apps[0]);
+  });
+
+  report::ScenarioResult result;
+  for (std::size_t app = 0; app < kApps.size(); ++app) {
+    report::Section section;
+    section.title = std::string(kApps[app]) + " (" +
+                    wl::to_string(env.registry.by_name(kApps[app]).expected_class) +
+                    ")";
+    section.label_header = "cap";
+    section.columns = {"1 GPC", "2 GPC", "3 GPC", "4 GPC", "7 GPC"};
+    for (std::size_t cap = 0; cap < caps.size(); ++cap) {
+      std::vector<MetricValue> cells;
+      for (std::size_t gpc = 0; gpc < kGpcSeries.size(); ++gpc)
+        cells.push_back(MetricValue::num(
+            relperf[(app * caps.size() + cap) * kGpcSeries.size() + gpc]));
+      section.add_row(std::to_string(static_cast<int>(caps[cap])) + "W",
+                      std::move(cells));
     }
-    std::printf("\n%s (%s):\n%s", app,
-                wl::to_string(env.registry.by_name(app).expected_class),
-                table.to_string().c_str());
+    result.add_section(std::move(section));
   }
-
-  std::printf(
-      "\nExpected shapes (paper Section 3.1): kmeans/stream insensitive to\n"
+  result.add_note(
+      "Expected shapes (paper Section 3.1): kmeans/stream insensitive to\n"
       "caps; dgemm and especially Tensor-Core hgemm flatten sharply at large\n"
-      "GPC counts under low caps.\n");
-  return 0;
+      "GPC counts under low caps.");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"solo_scalability_caps", "Figure 5",
+     "scalability vs power cap (shared option; relative performance, "
+     "baseline = full chip at TDP)",
+     run});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("fig5_powercap", argc, argv);
 }

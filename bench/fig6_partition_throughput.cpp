@@ -3,55 +3,85 @@
 // pairs — TI-MI2 = (igemm4, stream) and the CI-US pair (dgemm, dwt2d) the
 // figure plots, plus Table 8's CI-US1 = (srad, needle) for completeness.
 #include <algorithm>
-#include <cstdio>
+#include <array>
 
-#include "bench_util.hpp"
-#include "common/table.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
-int main() {
-  using namespace migopt;
-  const auto& env = bench::Environment::get();
-  bench::print_header("Figure 6",
-                      "co-run throughput across S1..S4 at P=250W "
-                      "(S1/S2 shared, S3/S4 private; 4+3 vs 3+4 GPCs)");
+namespace {
 
-  struct PairCase {
-    const char* label;
-    const char* app1;
-    const char* app2;
-    const char* expect;
-  };
-  const PairCase cases[] = {
-      {"TI-MI2", "igemm4", "stream", "S1 best (shared + more GPCs for igemm4)"},
-      {"CI-US (fig.)", "dgemm", "dwt2d", "S3 best (private isolates dwt2d)"},
-      {"CI-US1", "srad", "needle", "S3 best (private isolates needle)"},
-  };
+using namespace migopt;
+using report::MetricValue;
 
-  for (const auto& pair_case : cases) {
-    const auto& k1 = env.kernel(pair_case.app1);
-    const auto& k2 = env.kernel(pair_case.app2);
-    TextTable table({"state", "RPerf(app1)", "RPerf(app2)", "throughput", "fairness"});
+struct PairCase {
+  const char* label;
+  const char* app1;
+  const char* app2;
+  const char* expect;
+};
+
+constexpr std::array<PairCase, 3> kCases = {{
+    {"TI-MI2", "igemm4", "stream", "S1 best (shared + more GPCs for igemm4)"},
+    {"CI-US (fig.)", "dgemm", "dwt2d", "S3 best (private isolates dwt2d)"},
+    {"CI-US1", "srad", "needle", "S3 best (private isolates needle)"},
+}};
+
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
+  const auto states = core::paper_states();
+
+  std::vector<core::PairMetrics> metrics(kCases.size() * states.size());
+  ctx.parallel_for(metrics.size(), [&](std::size_t i) {
+    const auto& pair_case = kCases[i / states.size()];
+    metrics[i] = core::measure_pair(env.chip, env.kernel(pair_case.app1),
+                                    env.kernel(pair_case.app2),
+                                    states[i % states.size()], 250.0);
+  });
+
+  report::ScenarioResult result;
+  for (std::size_t c = 0; c < kCases.size(); ++c) {
+    const auto& pair_case = kCases[c];
+    report::Section section;
+    section.title = std::string(pair_case.label) + " = (" + pair_case.app1 +
+                    ", " + pair_case.app2 + ")";
+    section.label_header = "state";
+    section.columns = {"RPerf(app1)", "RPerf(app2)", "throughput", "fairness"};
     double best = -1.0;
     double worst = 1e300;
     std::string best_name;
-    for (const auto& state : core::paper_states()) {
-      const auto m = core::measure_pair(env.chip, k1, k2, state, 250.0);
-      table.add_numeric_row(state.name(),
-                            {m.relperf_app1, m.relperf_app2, m.throughput, m.fairness});
+    for (std::size_t s = 0; s < states.size(); ++s) {
+      const auto& m = metrics[c * states.size() + s];
+      section.add_row(states[s].name(),
+                      {MetricValue::num(m.relperf_app1),
+                       MetricValue::num(m.relperf_app2),
+                       MetricValue::num(m.throughput),
+                       MetricValue::num(m.fairness)});
       if (m.throughput > best) {
         best = m.throughput;
-        best_name = state.name();
+        best_name = states[s].name();
       }
       worst = std::min(worst, m.throughput);
     }
-    std::printf("\n%s = (%s, %s):\n%s", pair_case.label, pair_case.app1,
-                pair_case.app2, table.to_string().c_str());
-    std::printf("best state: %s; best/worst spread: %.1f%%  [expected: %s]\n",
-                best_name.c_str(), 100.0 * (best / worst - 1.0), pair_case.expect);
+    section.add_summary("best_state", MetricValue::str(best_name));
+    section.add_summary("best_over_worst_pct",
+                        MetricValue::num(100.0 * (best / worst - 1.0), 1));
+    section.add_summary("expected", MetricValue::str(pair_case.expect));
+    result.add_section(std::move(section));
   }
+  result.add_note(
+      "Paper reference: TI-MI2 best state S1, +34% over worst; CI-US best\n"
+      "state S3, +25% over worst.");
+  return result;
+}
 
-  std::printf(
-      "\nPaper reference: TI-MI2 best state S1, +34%% over worst; CI-US best\n"
-      "state S3, +25%% over worst.\n");
-  return 0;
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"corun_state_throughput", "Figure 6",
+     "co-run throughput across S1..S4 at P=250W (S1/S2 shared, S3/S4 "
+     "private; 4+3 vs 3+4 GPCs)",
+     run});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("fig6_partition_throughput", argc, argv);
 }

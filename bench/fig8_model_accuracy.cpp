@@ -2,59 +2,116 @@
 // all 18 Table 8 workloads x S1..S4 at P = 250 W, plus the overall error
 // statistics the paper reports for the whole cap grid (~9.7% throughput,
 // ~14.5% fairness).
-#include <cstdio>
-#include <vector>
-
-#include "bench_util.hpp"
 #include "common/stats.hpp"
-#include "common/table.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
-int main() {
-  using namespace migopt;
-  const auto& env = bench::Environment::get();
-  bench::print_header("Figure 8",
-                      "estimated vs measured throughput/fairness per workload "
-                      "and state (P=250W), plus full-grid error statistics");
+namespace {
 
-  TextTable table({"workload/state", "T meas", "T est", "F meas", "F est"});
-  for (const auto& pair : env.pairs) {
-    for (const auto& state : core::paper_states()) {
-      const auto m = bench::measure(env, pair, state, 250.0);
-      const auto e = core::predict_pair(env.artifacts.model, env.profile(pair.app1),
-                                        env.profile(pair.app2), state, 250.0);
-      table.add_numeric_row(pair.name + "/" + state.name(),
-                            {m.throughput, e.throughput, m.fairness, e.fairness});
-    }
+using namespace migopt;
+using report::MetricValue;
+
+report::ScenarioResult run_per_state(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
+  const auto states = core::paper_states();
+
+  struct Point {
+    core::PairMetrics measured;
+    core::PairMetrics estimated;
+  };
+  std::vector<Point> points(env.pairs.size() * states.size());
+  ctx.parallel_for(points.size(), [&](std::size_t i) {
+    const auto& pair = env.pairs[i / states.size()];
+    const auto& state = states[i % states.size()];
+    points[i].measured = report::measure(env, pair, state, 250.0);
+    points[i].estimated =
+        core::predict_pair(env.artifacts.model, env.profile(pair.app1),
+                           env.profile(pair.app2), state, 250.0);
+  });
+
+  report::ScenarioResult result;
+  report::Section section;
+  section.label_header = "workload/state";
+  section.columns = {"T meas", "T est", "F meas", "F est"};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pair = env.pairs[i / states.size()];
+    const auto& state = states[i % states.size()];
+    section.add_row(pair.name + "/" + state.name(),
+                    {MetricValue::num(points[i].measured.throughput),
+                     MetricValue::num(points[i].estimated.throughput),
+                     MetricValue::num(points[i].measured.fairness),
+                     MetricValue::num(points[i].estimated.fairness)});
   }
-  std::printf("%s", table.to_string().c_str());
+  result.add_section(std::move(section));
+  return result;
+}
 
-  // Overall error across caps 150..250 W (paper Section 5.2.1).
-  std::vector<double> m_tp;
-  std::vector<double> e_tp;
-  std::vector<double> m_fair;
-  std::vector<double> e_fair;
-  for (const auto& pair : env.pairs) {
-    for (const auto& state : core::paper_states()) {
-      for (const double cap : core::paper_power_caps()) {
-        const auto m = bench::measure(env, pair, state, cap);
-        const auto e = core::predict_pair(env.artifacts.model, env.profile(pair.app1),
-                                          env.profile(pair.app2), state, cap);
-        m_tp.push_back(m.throughput);
-        e_tp.push_back(e.throughput);
-        m_fair.push_back(m.fairness);
-        e_fair.push_back(e.fairness);
-      }
-    }
+report::ScenarioResult run_full_grid(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
+  const auto states = core::paper_states();
+  const auto caps = core::paper_power_caps();
+
+  struct Point {
+    double m_tp, e_tp, m_fair, e_fair;
+  };
+  std::vector<Point> points(env.pairs.size() * states.size() * caps.size());
+  ctx.parallel_for(points.size(), [&](std::size_t i) {
+    const auto& pair = env.pairs[i / (states.size() * caps.size())];
+    const auto& state = states[(i / caps.size()) % states.size()];
+    const double cap = caps[i % caps.size()];
+    const auto m = report::measure(env, pair, state, cap);
+    const auto e = core::predict_pair(env.artifacts.model, env.profile(pair.app1),
+                                      env.profile(pair.app2), state, cap);
+    points[i] = {m.throughput, e.throughput, m.fairness, e.fairness};
+  });
+
+  std::vector<double> m_tp, e_tp, m_fair, e_fair;
+  for (const auto& point : points) {
+    m_tp.push_back(point.m_tp);
+    e_tp.push_back(point.e_tp);
+    m_fair.push_back(point.m_fair);
+    e_fair.push_back(point.e_fair);
   }
-  std::printf("\nfull grid (18 pairs x 4 states x 6 caps = %zu points):\n",
-              m_tp.size());
-  std::printf("  throughput: MAPE %.1f%%  (paper: ~9.7%%)   R^2 %.3f\n",
-              100.0 * bench::checked_mape("fig8 throughput grid", m_tp, e_tp),
-              stats::r_squared(m_tp, e_tp));
-  std::printf("  fairness:   MAPE %.1f%%  (paper: ~14.5%%)  R^2 %.3f\n",
-              100.0 * bench::checked_mape("fig8 fairness grid", m_fair, e_fair),
-              stats::r_squared(m_fair, e_fair));
-  std::printf("  training:   solo-fit RMSE %.4f, corun-fit RMSE %.4f\n",
-              env.artifacts.report.solo_fit_rmse, env.artifacts.report.corun_fit_rmse);
-  return 0;
+
+  report::ScenarioResult result;
+  report::Section section;
+  section.title = "full grid (18 pairs x 4 states x 6 caps = " +
+                  std::to_string(points.size()) + " points)";
+  section.add_summary(
+      "throughput_mape_pct",
+      MetricValue::num(
+          100.0 * report::checked_mape("fig8 throughput grid", m_tp, e_tp), 1));
+  section.add_summary("throughput_r2",
+                      MetricValue::num(stats::r_squared(m_tp, e_tp)));
+  section.add_summary(
+      "fairness_mape_pct",
+      MetricValue::num(
+          100.0 * report::checked_mape("fig8 fairness grid", m_fair, e_fair), 1));
+  section.add_summary("fairness_r2",
+                      MetricValue::num(stats::r_squared(m_fair, e_fair)));
+  section.add_summary("solo_fit_rmse",
+                      MetricValue::num(env.artifacts.report.solo_fit_rmse, 4));
+  section.add_summary("corun_fit_rmse",
+                      MetricValue::num(env.artifacts.report.corun_fit_rmse, 4));
+  result.add_section(std::move(section));
+  result.add_note(
+      "Paper reference: ~9.7% throughput MAPE and ~14.5% fairness MAPE over\n"
+      "the full cap grid (Section 5.2.1).");
+  return result;
+}
+
+[[maybe_unused]] const bool registered_per_state = report::register_scenario(
+    {"accuracy_per_state", "Figure 8",
+     "estimated vs measured throughput/fairness per workload and state "
+     "(P=250W)",
+     run_per_state});
+[[maybe_unused]] const bool registered_grid = report::register_scenario(
+    {"accuracy_full_grid", "Figure 8",
+     "model error statistics across the full (pair, state, cap) grid",
+     run_full_grid});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("fig8_model_accuracy", argc, argv);
 }

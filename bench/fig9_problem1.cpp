@@ -1,52 +1,67 @@
 // Figure 9 reproduction: Problem 1 (max throughput s.t. fairness > alpha at a
 // fixed cap) at P = 230 W, alpha = 0.2 — worst / proposal / best throughput
 // per workload plus the geometric mean (paper: proposal 1.52 vs best 1.54).
-#include <cstdio>
-#include <vector>
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
-#include "bench_util.hpp"
-#include "common/table.hpp"
+namespace {
 
-int main() {
-  using namespace migopt;
-  const auto& env = bench::Environment::get();
-  bench::print_header("Figure 9",
-                      "Problem 1 throughput: worst vs proposal vs best at "
-                      "P=230W, alpha=0.2");
+using namespace migopt;
+using report::MetricValue;
 
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
   const core::Policy policy = core::Policy::problem1(230.0, 0.2);
-  TextTable table({"workload", "worst", "proposal", "best", "chosen S"});
+  const auto comparisons = report::compare_all(env, policy, ctx);
+
+  report::ScenarioResult result;
+  report::Section section;
+  section.columns = {"worst", "proposal", "best", "chosen S"};
   std::vector<double> worst_values;
   std::vector<double> proposal_values;
   std::vector<double> best_values;
-  int violations = 0;
+  long long violations = 0;
 
-  for (const auto& pair : env.pairs) {
-    const auto cmp = bench::compare_for_pair(env, pair, policy);
+  for (std::size_t i = 0; i < env.pairs.size(); ++i) {
+    const auto& cmp = comparisons[i];
     if (!cmp.has_feasible) {
-      std::printf("  %s: no fairness-feasible state\n", pair.name.c_str());
+      section.add_row(env.pairs[i].name,
+                      {MetricValue::str("-"), MetricValue::str("-"),
+                       MetricValue::str("-"), MetricValue::str("infeasible")});
       continue;
     }
-    std::vector<std::string> row = {pair.name,
-                                    str::format_fixed(cmp.worst, 3),
-                                    str::format_fixed(cmp.proposal, 3),
-                                    str::format_fixed(cmp.best, 3),
-                                    cmp.proposal_state};
-    table.add_row(std::move(row));
+    section.add_row(env.pairs[i].name,
+                    {MetricValue::num(cmp.worst), MetricValue::num(cmp.proposal),
+                     MetricValue::num(cmp.best),
+                     MetricValue::str(cmp.proposal_state)});
     worst_values.push_back(cmp.worst);
     proposal_values.push_back(cmp.proposal);
     best_values.push_back(cmp.best);
     if (cmp.fairness_violation) ++violations;
   }
 
-  std::printf("%s", table.to_string().c_str());
-  const double worst_geo = bench::checked_geomean("fig9 worst", worst_values);
-  const double prop_geo = bench::checked_geomean("fig9 proposal", proposal_values);
-  const double best_geo = bench::checked_geomean("fig9 best", best_values);
-  std::printf("\ngeomean: worst %.3f | proposal %.3f | best %.3f  "
-              "(proposal/best = %.3f; paper: 1.52/1.54 = 0.987)\n",
-              worst_geo, prop_geo, best_geo, prop_geo / best_geo);
-  std::printf("measured fairness violations by the proposal: %d (paper: 0)\n",
-              violations);
-  return 0;
+  const double worst_geo = report::checked_geomean("fig9 worst", worst_values);
+  const double prop_geo = report::checked_geomean("fig9 proposal", proposal_values);
+  const double best_geo = report::checked_geomean("fig9 best", best_values);
+  section.add_summary("geomean_worst", MetricValue::num(worst_geo));
+  section.add_summary("geomean_proposal", MetricValue::num(prop_geo));
+  section.add_summary("geomean_best", MetricValue::num(best_geo));
+  section.add_summary("proposal_over_best", MetricValue::num(prop_geo / best_geo));
+  section.add_summary("fairness_violations", MetricValue::of_count(violations));
+  result.add_section(std::move(section));
+  result.add_note(
+      "Paper reference: geomean proposal 1.52 vs best 1.54 (ratio 0.987); no\n"
+      "measured fairness violation by the proposal.");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"problem1_throughput", "Figure 9",
+     "Problem 1 throughput: worst vs proposal vs best at P=230W, alpha=0.2",
+     run});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("fig9_problem1", argc, argv);
 }

@@ -2,20 +2,32 @@
 // steady-state solves, model training, prediction, and optimizer decisions.
 // These quantify the cost of the online phase (the paper's workflow runs the
 // decision step inside a job scheduler, so latency matters).
+//
+// main() speaks the shared report-harness CLI (--json/--filter/--list) and
+// maps it onto Google Benchmark's flags; --json captures every run into the
+// same BENCH_<name>.json schema the figure benches emit. --threads is
+// accepted for CLI uniformity but ignored: each timing loop must own the
+// machine. Native --benchmark_* flags (e.g. --benchmark_repetitions=5,
+// --benchmark_min_time) pass through to Google Benchmark untouched.
 #include <benchmark/benchmark.h>
 
-#include "bench_util.hpp"
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "core/optimizer.hpp"
 #include "core/trainer.hpp"
 #include "profiling/profiler.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
 namespace {
 
 using namespace migopt;
+using report::MetricValue;
 
 void BM_SimulatorSoloRun(benchmark::State& state) {
-  const auto& env = bench::Environment::get();
+  const auto& env = report::Environment::get();
   const auto& kernel = env.kernel("sgemm");
   for (auto _ : state) {
     const auto run = env.chip.run_solo(kernel, 4, gpusim::MemOption::Shared, 200.0);
@@ -25,7 +37,7 @@ void BM_SimulatorSoloRun(benchmark::State& state) {
 BENCHMARK(BM_SimulatorSoloRun);
 
 void BM_SimulatorPairRunCapped(benchmark::State& state) {
-  const auto& env = bench::Environment::get();
+  const auto& env = report::Environment::get();
   const auto& a = env.kernel("igemm4");
   const auto& b = env.kernel("stream");
   for (auto _ : state) {
@@ -36,7 +48,7 @@ void BM_SimulatorPairRunCapped(benchmark::State& state) {
 BENCHMARK(BM_SimulatorPairRunCapped);
 
 void BM_ProfileRun(benchmark::State& state) {
-  const auto& env = bench::Environment::get();
+  const auto& env = report::Environment::get();
   const auto& kernel = env.kernel("leukocyte");
   for (auto _ : state) {
     const auto counters = prof::profile_run(env.chip, kernel);
@@ -46,7 +58,7 @@ void BM_ProfileRun(benchmark::State& state) {
 BENCHMARK(BM_ProfileRun);
 
 void BM_ModelPredictPair(benchmark::State& state) {
-  const auto& env = bench::Environment::get();
+  const auto& env = report::Environment::get();
   const auto& f1 = env.profile("igemm4");
   const auto& f2 = env.profile("stream");
   const core::PartitionState s{4, 3, gpusim::MemOption::Shared};
@@ -58,7 +70,7 @@ void BM_ModelPredictPair(benchmark::State& state) {
 BENCHMARK(BM_ModelPredictPair);
 
 void BM_OptimizerExhaustiveProblem1(benchmark::State& state) {
-  const auto& env = bench::Environment::get();
+  const auto& env = report::Environment::get();
   const core::Optimizer optimizer =
       core::Optimizer::paper_default(env.artifacts.model);
   const core::Policy policy = core::Policy::problem1(230.0, 0.2);
@@ -70,7 +82,7 @@ void BM_OptimizerExhaustiveProblem1(benchmark::State& state) {
 BENCHMARK(BM_OptimizerExhaustiveProblem1);
 
 void BM_OptimizerExhaustiveProblem2(benchmark::State& state) {
-  const auto& env = bench::Environment::get();
+  const auto& env = report::Environment::get();
   const core::Optimizer optimizer =
       core::Optimizer::paper_default(env.artifacts.model);
   const core::Policy policy = core::Policy::problem2(0.2);
@@ -82,11 +94,11 @@ void BM_OptimizerExhaustiveProblem2(benchmark::State& state) {
 BENCHMARK(BM_OptimizerExhaustiveProblem2);
 
 void BM_OptimizerHillClimbFlexible(benchmark::State& state) {
-  const auto& env = bench::Environment::get();
+  const auto& env = report::Environment::get();
   // The flexible space includes 1g/2g splits, so the interference term must
   // be trained over those states too (the paper grid covers only the 4+3
   // splits).
-  const core::Optimizer optimizer(bench::flexible_artifacts(env).model,
+  const core::Optimizer optimizer(report::flexible_artifacts(env).model,
                                   core::flexible_states(env.chip.arch()),
                                   core::paper_power_caps());
   const core::Policy policy = core::Policy::problem2(0.2);
@@ -100,7 +112,7 @@ void BM_OptimizerHillClimbFlexible(benchmark::State& state) {
 BENCHMARK(BM_OptimizerHillClimbFlexible);
 
 void BM_OfflineTrainingFullGrid(benchmark::State& state) {
-  const auto& env = bench::Environment::get();
+  const auto& env = report::Environment::get();
   core::TrainingConfig config;
   for (auto _ : state) {
     const auto artifacts =
@@ -110,6 +122,111 @@ void BM_OfflineTrainingFullGrid(benchmark::State& state) {
 }
 BENCHMARK(BM_OfflineTrainingFullGrid)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that additionally captures every run for the BENCH
+/// document.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    long long iterations;
+    double real_time;
+    double cpu_time;
+    std::string time_unit;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      captured_.push_back({run.benchmark_name(),
+                           static_cast<long long>(run.iterations),
+                           run.GetAdjustedRealTime(), run.GetAdjustedCPUTime(),
+                           benchmark::GetTimeUnitString(run.time_unit)});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Captured>& captured() const { return captured_; }
+
+ private:
+  std::vector<Captured> captured_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Split native --benchmark_* flags out before the shared parser sees (and
+  // rejects) them; they are handed to benchmark::Initialize verbatim.
+  std::vector<std::string> native_flags;
+  std::vector<char*> harness_argv = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_", 0) == 0)
+      native_flags.push_back(argv[i]);
+    else
+      harness_argv.push_back(argv[i]);
+  }
+  const auto options =
+      report::parse_options(static_cast<int>(harness_argv.size()),
+                            harness_argv.data(), /*allow_positionals=*/false);
+  if (!options.has_value()) return 1;
+  if (options->help) {
+    std::printf("gb_microbench — google-benchmark hot-path timings\n\n"
+                "options (--filter maps to --benchmark_filter; any native\n"
+                "--benchmark_* flag passes through; --threads is accepted\n"
+                "but ignored — timing loops must own the machine):\n%s",
+                report::usage_text().c_str());
+    return 0;
+  }
+
+  std::vector<std::string> args = {argv[0]};
+  if (options->list) args.push_back("--benchmark_list_tests=true");
+  if (!options->filter.empty())
+    args.push_back("--benchmark_filter=" + options->filter);
+  args.insert(args.end(), native_flags.begin(), native_flags.end());
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (auto& arg : args) argv2.push_back(arg.data());
+  int argc2 = static_cast<int>(argv2.size());
+
+  benchmark::Initialize(&argc2, argv2.data());
+  CaptureReporter reporter;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (options->list) return 0;
+  if (ran == 0 && !options->filter.empty()) {
+    std::fprintf(stderr, "error: no microbenchmark matches filter '%s'\n",
+                 options->filter.c_str());
+    return 1;
+  }
+
+  if (options->json_path.has_value()) {
+    report::Section section;
+    section.label_header = "benchmark";
+    section.columns = {"iterations", "real_time", "cpu_time", "time_unit"};
+    for (const auto& run : reporter.captured())
+      section.add_row(run.name,
+                      {MetricValue::of_count(run.iterations),
+                       MetricValue::num(run.real_time, 1),
+                       MetricValue::num(run.cpu_time, 1),
+                       MetricValue::str(run.time_unit)});
+    report::ScenarioResult result;
+    result.add_section(std::move(section));
+    const report::Scenario scenario{
+        "hot_path_latency", "Microbench",
+        "google-benchmark timings of the simulator/model/optimizer hot paths",
+        nullptr};
+    report::CompletedScenario completed;
+    completed.scenario = &scenario;
+    completed.result = std::move(result);
+    try {
+      report::write_json_file(
+          *options->json_path,
+          report::to_json("gb_microbench", options->metadata, {completed}));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::printf("\nwrote %s (%zu benchmarks)\n", options->json_path->c_str(),
+                reporter.captured().size());
+  }
+  return 0;
+}

@@ -1,70 +1,110 @@
 // Tables 5/6/7 reproduction: the explored hardware-state space, the GEMM
 // variant list, and the benchmark classification derived from measurements
-// (US probe at 1 GPC/private/150 W, then the F1/F2 ratio rule).
-#include <cstdio>
-
-#include "bench_util.hpp"
-#include "common/table.hpp"
+// (US probe at 1 GPC/private/150 W, then the F1/F2 ratio rule). Three
+// scenarios in one binary — `--filter table7` runs just the classification.
 #include "core/classifier.hpp"
 #include "profiling/profiler.hpp"
+#include "report/bench_env.hpp"
+#include "report/harness.hpp"
 
-int main() {
-  using namespace migopt;
-  const auto& env = bench::Environment::get();
+namespace {
 
-  bench::print_header("Table 5", "power cap and partitioning selections");
-  {
-    TextTable table({"variable", "selections"});
-    std::string caps;
-    for (const double cap : core::paper_power_caps())
-      caps += std::to_string(static_cast<int>(cap)) + "W ";
-    table.add_row({"P", caps});
-    std::string states;
-    for (const auto& state : core::paper_states())
-      states += state.name() + "=(" + std::to_string(state.gpcs_app1) + "g," +
-                std::to_string(state.gpcs_app2) + "g," +
-                gpusim::to_string(state.option) + ") ";
-    table.add_row({"S", states});
-    std::printf("%s", table.to_string().c_str());
+using namespace migopt;
+using report::MetricValue;
+
+report::ScenarioResult run_table5(const report::RunContext&) {
+  report::ScenarioResult result;
+  report::Section section;
+  section.label_header = "variable";
+  section.columns = {"selections"};
+  std::string caps;
+  for (const double cap : core::paper_power_caps())
+    caps += std::to_string(static_cast<int>(cap)) + "W ";
+  section.add_row("P", {MetricValue::str(caps)});
+  std::string states;
+  for (const auto& state : core::paper_states())
+    states += state.name() + "=(" + std::to_string(state.gpcs_app1) + "g," +
+              std::to_string(state.gpcs_app2) + "g," +
+              gpusim::to_string(state.option) + ") ";
+  section.add_row("S", {MetricValue::str(states)});
+  result.add_section(std::move(section));
+  return result;
+}
+
+report::ScenarioResult run_table6(const report::RunContext&) {
+  const auto& env = report::Environment::get();
+  report::ScenarioResult result;
+  report::Section section;
+  section.label_header = "name";
+  section.columns = {"description"};
+  for (const char* name : {"sgemm", "dgemm", "tdgemm", "tf32gemm", "hgemm",
+                           "fp16gemm", "bf16gemm", "igemm4", "igemm8"})
+    section.add_row(name, {MetricValue::str(env.registry.by_name(name).description)});
+  result.add_section(std::move(section));
+  return result;
+}
+
+report::ScenarioResult run_table7(const report::RunContext& ctx) {
+  const auto& env = report::Environment::get();
+  const auto& specs = env.registry.all();
+
+  struct Derived {
+    wl::WorkloadClass cls;
+    double degradation, f1, f2;
+  };
+  std::vector<Derived> derived(specs.size());
+  ctx.parallel_for(specs.size(), [&](std::size_t i) {
+    const auto& spec = specs[i];
+    const auto profile = prof::profile_run(env.chip, spec.kernel);
+    const auto probe =
+        env.chip.run_solo(spec.kernel, 1, gpusim::MemOption::Private, 150.0);
+    derived[i] = {core::classify(env.chip, spec.kernel, profile),
+                  1.0 - env.chip.relative_performance(spec.kernel, probe.apps[0]),
+                  profile[prof::Counter::ComputeThroughputPct],
+                  profile[prof::Counter::MemoryThroughputPct]};
+  });
+
+  report::ScenarioResult result;
+  report::Section section;
+  section.label_header = "benchmark";
+  section.columns = {"paper class", "derived class", "deg@150W/1g",
+                     "F1", "F2", "F1/F2", "match"};
+  long long matches = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    const bool match = derived[i].cls == spec.expected_class;
+    if (match) ++matches;
+    section.add_row(
+        spec.kernel.name,
+        {MetricValue::str(wl::to_string(spec.expected_class)),
+         MetricValue::str(wl::to_string(derived[i].cls)),
+         MetricValue::num(derived[i].degradation),
+         MetricValue::num(derived[i].f1, 1), MetricValue::num(derived[i].f2, 1),
+         MetricValue::num(
+             derived[i].f2 > 0 ? derived[i].f1 / derived[i].f2 : 99.0, 2),
+         MetricValue::str(match ? "yes" : "NO")});
   }
+  section.add_summary("classification_matches", MetricValue::of_count(matches));
+  section.add_summary("benchmarks",
+                      MetricValue::of_count(static_cast<long long>(specs.size())));
+  result.add_section(std::move(section));
+  return result;
+}
 
-  bench::print_header("Table 6", "GEMM variant workloads (CUTLASS profiler analogues)");
-  {
-    TextTable table({"name", "description"});
-    for (const char* name : {"sgemm", "dgemm", "tdgemm", "tf32gemm", "hgemm",
-                             "fp16gemm", "bf16gemm", "igemm4", "igemm8"})
-      table.add_row({name, env.registry.by_name(name).description});
-    std::printf("%s", table.to_string().c_str());
-  }
+[[maybe_unused]] const bool registered_t5 = report::register_scenario(
+    {"table5_state_space", "Table 5", "power cap and partitioning selections",
+     run_table5});
+[[maybe_unused]] const bool registered_t6 = report::register_scenario(
+    {"table6_gemm_variants", "Table 6",
+     "GEMM variant workloads (CUTLASS profiler analogues)", run_table6});
+[[maybe_unused]] const bool registered_t7 = report::register_scenario(
+    {"table7_classification", "Table 7",
+     "benchmark classification from measurements (deg@1GPC/150W/private < "
+     "10% => US; else F1/F2 > 0.8 => TI/CI; else MI)",
+     run_table7});
 
-  bench::print_header("Table 7",
-                      "benchmark classification from measurements "
-                      "(deg@1GPC/150W/private < 10% => US; else F1/F2 > 0.8 => "
-                      "TI/CI; else MI)");
-  {
-    TextTable table({"benchmark", "paper class", "derived class", "deg@150W/1g",
-                     "F1", "F2", "F1/F2", "match"});
-    int matches = 0;
-    for (const auto& spec : env.registry.all()) {
-      const auto profile = prof::profile_run(env.chip, spec.kernel);
-      const auto derived = core::classify(env.chip, spec.kernel, profile);
-      const auto probe =
-          env.chip.run_solo(spec.kernel, 1, gpusim::MemOption::Private, 150.0);
-      const double degradation =
-          1.0 - env.chip.relative_performance(spec.kernel, probe.apps[0]);
-      const double f1 = profile[prof::Counter::ComputeThroughputPct];
-      const double f2 = profile[prof::Counter::MemoryThroughputPct];
-      const bool match = derived == spec.expected_class;
-      if (match) ++matches;
-      table.add_row({spec.kernel.name, wl::to_string(spec.expected_class),
-                     wl::to_string(derived), str::format_fixed(degradation, 3),
-                     str::format_fixed(f1, 1), str::format_fixed(f2, 1),
-                     str::format_fixed(f2 > 0 ? f1 / f2 : 99.0, 2),
-                     match ? "yes" : "NO"});
-    }
-    std::printf("%s", table.to_string().c_str());
-    std::printf("\nclassification agreement with Table 7: %d / %zu\n", matches,
-                env.registry.size());
-  }
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("table7_classification", argc, argv);
 }

@@ -45,9 +45,11 @@ function(migopt_add_test_suite label)
 endfunction()
 
 # migopt_add_bench(<name>)  — one paper-figure/ablation binary from <name>.cpp.
+# Benches register scenarios with migopt::report and delegate main() to its
+# shared CLI harness (--json/--filter/--list/--threads).
 function(migopt_add_bench name)
   add_executable(${name} ${name}.cpp)
-  target_link_libraries(${name} PRIVATE migopt::bench_util migopt::build_flags)
+  target_link_libraries(${name} PRIVATE migopt::report migopt::build_flags)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bin)
   install(TARGETS ${name} RUNTIME DESTINATION ${CMAKE_INSTALL_BINDIR}/bench)

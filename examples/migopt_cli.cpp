@@ -8,31 +8,35 @@
 //   migopt_cli train   --out DIR
 //       run the offline phase; write DIR/model.csv + DIR/profiles.csv
 //   migopt_cli decide  --artifacts DIR --app1 A --app2 B
-//                      [--problem 1|2] [--cap WATTS] [--alpha A]
+//                      [--problem 1|2] [--cap WATTS] [--alpha A] [--json PATH]
 //       load artifacts, print the chosen state/cap + predicted metrics
-//   migopt_cli classify --app A
+//   migopt_cli classify --app A [--json PATH]
 //       print the Table 7 class and profile counters of a benchmark
 //   migopt_cli list
 //       list the bundled benchmarks and their classes
 //
+// decide/classify render through migopt::report, so --json emits the same
+// BENCH document schema the bench binaries produce.
 // Exit code 0 on success, 1 on bad usage or missing data.
 #include <cstdio>
-#include <cstring>
 #include <map>
 #include <optional>
 #include <string>
 
+#include "common/string_util.hpp"
 #include "core/classifier.hpp"
 #include "core/trainer.hpp"
 #include "core/workflow.hpp"
 #include "gpusim/gpu.hpp"
 #include "profiling/profiler.hpp"
+#include "report/reporter.hpp"
 #include "workloads/corun_pairs.hpp"
 #include "workloads/registry.hpp"
 
 namespace {
 
 using namespace migopt;
+using report::MetricValue;
 
 /// Minimal --key value parser; positional args are rejected.
 std::optional<std::map<std::string, std::string>> parse_flags(int argc,
@@ -57,9 +61,30 @@ int usage() {
                "  migopt_cli train    --out DIR\n"
                "  migopt_cli decide   --artifacts DIR --app1 A --app2 B\n"
                "                      [--problem 1|2] [--cap WATTS] [--alpha A]\n"
-               "  migopt_cli classify --app A\n"
+               "                      [--json PATH]\n"
+               "  migopt_cli classify --app A [--json PATH]\n"
                "  migopt_cli list\n");
   return 1;
+}
+
+/// Render one ad-hoc scenario result the same way the bench harness does:
+/// text to stdout, plus the BENCH JSON document when --json was given.
+int emit(const std::map<std::string, std::string>& flags,
+         const std::string& name, const std::string& tag,
+         const std::string& description, report::ScenarioResult result) {
+  const report::Scenario scenario{name, tag, description, nullptr};
+  report::CompletedScenario completed;
+  completed.scenario = &scenario;
+  completed.result = std::move(result);
+  std::printf("%s", report::render_text(scenario, completed.result).c_str());
+  const auto json = flags.find("json");
+  if (json != flags.end()) {
+    report::write_json_file(
+        json->second, report::to_json("migopt_cli", report::RunMetadata{},
+                                      {completed}));
+    std::printf("\nwrote %s\n", json->second.c_str());
+  }
+  return 0;
 }
 
 int cmd_train(const std::map<std::string, std::string>& flags) {
@@ -118,19 +143,31 @@ int cmd_decide(const std::map<std::string, std::string>& flags) {
                                   : core::Policy::problem1(cap, alpha);
   const core::Decision decision =
       allocator.allocate(app1->second, app2->second, policy);
-  if (!decision.feasible) {
-    std::printf("no state satisfies fairness > %.2f; run exclusively\n", alpha);
-    return 0;
+
+  report::ScenarioResult result;
+  report::Section section;
+  section.label_header = "pair";
+  section.columns = {"problem", "alpha", "state", "cap [W]", "pred T",
+                     "pred F", "pred eff [1/W]", "evaluations"};
+  if (decision.feasible) {
+    section.add_row(app1->second + "+" + app2->second,
+                    {MetricValue::of_count(problem), MetricValue::num(alpha, 2),
+                     MetricValue::str(decision.state.name()),
+                     MetricValue::num(decision.power_cap_watts, 0),
+                     MetricValue::num(decision.predicted.throughput),
+                     MetricValue::num(decision.predicted.fairness),
+                     MetricValue::num(decision.predicted.energy_efficiency, 5),
+                     MetricValue::of_count(
+                         static_cast<long long>(decision.evaluations))});
+  } else {
+    result.add_note("no state satisfies fairness > " +
+                    str::format_fixed(alpha, 2) + "; run exclusively");
   }
-  std::printf("pair (%s, %s), problem %d, alpha %.2f\n", app1->second.c_str(),
-              app2->second.c_str(), problem, alpha);
-  std::printf("  state:      %s\n", decision.state.name().c_str());
-  std::printf("  power cap:  %.0f W\n", decision.power_cap_watts);
-  std::printf("  predicted:  throughput %.3f | fairness %.3f | %.5f 1/W\n",
-              decision.predicted.throughput, decision.predicted.fairness,
-              decision.predicted.energy_efficiency);
-  std::printf("  (%zu candidates scored)\n", decision.evaluations);
-  return 0;
+  result.add_section(std::move(section));
+  return emit(flags, "decide", "Online decision",
+              "allocator decision for (" + app1->second + ", " + app2->second +
+                  ")",
+              std::move(result));
 }
 
 int cmd_classify(const std::map<std::string, std::string>& flags) {
@@ -141,10 +178,18 @@ int cmd_classify(const std::map<std::string, std::string>& flags) {
   const auto& spec = registry.by_name(app->second);
   const auto profile = prof::profile_run(chip, spec.kernel);
   const auto cls = core::classify(chip, spec.kernel, profile);
-  std::printf("%s: class %s (expected %s)\n", app->second.c_str(),
-              wl::to_string(cls), wl::to_string(spec.expected_class));
-  std::printf("  counters: %s\n", profile.to_string().c_str());
-  return 0;
+
+  report::ScenarioResult result;
+  report::Section section;
+  section.label_header = "benchmark";
+  section.columns = {"derived class", "expected class", "counters"};
+  section.add_row(app->second,
+                  {MetricValue::str(wl::to_string(cls)),
+                   MetricValue::str(wl::to_string(spec.expected_class)),
+                   MetricValue::str(profile.to_string())});
+  result.add_section(std::move(section));
+  return emit(flags, "classify", "Table 7 classification",
+              "measured classification of " + app->second, std::move(result));
 }
 
 int cmd_list() {

@@ -3,80 +3,163 @@
 // alongside the model's predictions and the optimizer's picks. Handy for
 // understanding *why* the allocator chooses what it chooses.
 //
+// The landscape is a report scenario registered at startup from the CLI
+// arguments, so the tool shares the bench harness: --json writes the same
+// BENCH document schema, --threads fans the (state, cap) grid out.
+//
 // Usage: ./examples/power_sweep_explorer [app1] [app2] [alpha]
-//        ./examples/power_sweep_explorer --list
+//            [--json PATH] [--threads N] ...
+//        ./examples/power_sweep_explorer --workloads   (also: --list)
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/string_util.hpp"
-#include "common/table.hpp"
 #include "core/evaluator.hpp"
 #include "core/workflow.hpp"
+#include "report/harness.hpp"
 #include "workloads/corun_pairs.hpp"
 #include "workloads/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace migopt;
+namespace {
 
+using namespace migopt;
+using report::MetricValue;
+
+struct ExplorerConfig {
+  std::string app1 = "hgemm";
+  std::string app2 = "lud";
+  double alpha = 0.2;
+};
+
+report::ScenarioResult explore(const ExplorerConfig& config,
+                               const report::RunContext& ctx) {
   gpusim::GpuChip chip;
   const wl::WorkloadRegistry registry(chip.arch());
-
-  if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
-    std::printf("available workloads:\n");
-    for (const auto& spec : registry.all())
-      std::printf("  %-14s %s  %s\n", spec.kernel.name.c_str(),
-                  wl::to_string(spec.expected_class), spec.description.c_str());
-    return 0;
-  }
-
-  const std::string app1 = argc > 1 ? argv[1] : "hgemm";
-  const std::string app2 = argc > 2 ? argv[2] : "lud";
-  const double alpha = argc > 3 ? std::atof(argv[3]) : 0.2;
-  if (!registry.contains(app1) || !registry.contains(app2)) {
-    std::fprintf(stderr, "unknown workload; run with --list to see options\n");
-    return 1;
-  }
-
   const auto pairs = wl::table8_pairs();
   const auto allocator = core::ResourcePowerAllocator::train(chip, registry, pairs);
-  const auto& k1 = registry.by_name(app1).kernel;
-  const auto& k2 = registry.by_name(app2).kernel;
+  const auto& k1 = registry.by_name(config.app1).kernel;
+  const auto& k2 = registry.by_name(config.app2).kernel;
+  const auto states = core::paper_states();
+  const auto caps = core::paper_power_caps();
 
-  std::printf("pair: %s (%s) + %s (%s), alpha = %.2f\n\n", app1.c_str(),
-              wl::to_string(registry.by_name(app1).expected_class), app2.c_str(),
-              wl::to_string(registry.by_name(app2).expected_class), alpha);
+  struct Point {
+    core::PairMetrics measured;
+    core::PairMetrics estimated;
+  };
+  std::vector<Point> points(states.size() * caps.size());
+  ctx.parallel_for(points.size(), [&](std::size_t i) {
+    const auto& state = states[i / caps.size()];
+    const double cap = caps[i % caps.size()];
+    points[i].measured = core::measure_pair(chip, k1, k2, state, cap);
+    points[i].estimated = core::predict_pair(
+        allocator.model(), allocator.profiles().at(config.app1),
+        allocator.profiles().at(config.app2), state, cap);
+  });
 
-  TextTable table({"state", "cap", "T meas", "T est", "F meas", "F est",
-                   "eff meas", "feasible"});
-  for (const auto& state : core::paper_states()) {
-    for (const double cap : core::paper_power_caps()) {
-      const auto measured = core::measure_pair(chip, k1, k2, state, cap);
-      const auto estimated = core::predict_pair(
-          allocator.model(), allocator.profiles().at(app1),
-          allocator.profiles().at(app2), state, cap);
-      table.add_row({state.name(), std::to_string(static_cast<int>(cap)),
-                     str::format_fixed(measured.throughput, 3),
-                     str::format_fixed(estimated.throughput, 3),
-                     str::format_fixed(measured.fairness, 3),
-                     str::format_fixed(estimated.fairness, 3),
-                     str::format_fixed(measured.energy_efficiency, 5),
-                     measured.fairness > alpha ? "yes" : "no"});
+  report::ScenarioResult result;
+  report::Section landscape;
+  landscape.title = "pair: " + config.app1 + " (" +
+                    wl::to_string(registry.by_name(config.app1).expected_class) +
+                    ") + " + config.app2 + " (" +
+                    wl::to_string(registry.by_name(config.app2).expected_class) +
+                    "), alpha = " + str::format_fixed(config.alpha, 2);
+  landscape.label_header = "state@cap";
+  landscape.columns = {"T meas", "T est", "F meas", "F est", "eff meas",
+                       "feasible"};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& state = states[i / caps.size()];
+    const double cap = caps[i % caps.size()];
+    const auto& measured = points[i].measured;
+    const auto& estimated = points[i].estimated;
+    landscape.add_row(
+        state.name() + "@" + std::to_string(static_cast<int>(cap)),
+        {MetricValue::num(measured.throughput),
+         MetricValue::num(estimated.throughput),
+         MetricValue::num(measured.fairness),
+         MetricValue::num(estimated.fairness),
+         MetricValue::num(measured.energy_efficiency, 5),
+         MetricValue::str(measured.fairness > config.alpha ? "yes" : "no")});
+  }
+  result.add_section(std::move(landscape));
+
+  report::Section decisions;
+  decisions.title = "optimizer picks";
+  decisions.label_header = "problem";
+  decisions.columns = {"state", "cap [W]", "predicted T", "predicted eff",
+                       "feasible"};
+  const auto d1 =
+      allocator.allocate(config.app1, config.app2,
+                         core::Policy::problem1(230.0, config.alpha));
+  decisions.add_row("problem1@230W",
+                    {MetricValue::str(d1.state.name()),
+                     MetricValue::num(d1.power_cap_watts, 0),
+                     MetricValue::num(d1.predicted.throughput),
+                     MetricValue::num(d1.predicted.energy_efficiency, 5),
+                     MetricValue::str(d1.feasible ? "yes" : "no")});
+  const auto d2 = allocator.allocate(config.app1, config.app2,
+                                     core::Policy::problem2(config.alpha));
+  decisions.add_row("problem2",
+                    {MetricValue::str(d2.state.name()),
+                     MetricValue::num(d2.power_cap_watts, 0),
+                     MetricValue::num(d2.predicted.throughput),
+                     MetricValue::num(d2.predicted.energy_efficiency, 5),
+                     MetricValue::str(d2.feasible ? "yes" : "no")});
+  result.add_section(std::move(decisions));
+  return result;
+}
+
+int list_workloads() {
+  gpusim::GpuChip chip;
+  const wl::WorkloadRegistry registry(chip.arch());
+  std::printf("available workloads:\n");
+  for (const auto& spec : registry.all())
+    std::printf("  %-14s %s  %s\n", spec.kernel.name.c_str(),
+                wl::to_string(spec.expected_class), spec.description.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --list keeps its historical meaning here (list the workloads the
+  // positional args accept); the one dynamically registered scenario is not
+  // worth a listing.
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--workloads" ||
+        std::string(argv[i]) == "--list")
+      return list_workloads();
+
+  const auto options =
+      report::parse_options(argc, argv, /*allow_positionals=*/true);
+  if (!options.has_value()) return 1;
+
+  ExplorerConfig config;
+  if (options->positionals.size() > 0) config.app1 = options->positionals[0];
+  if (options->positionals.size() > 1) config.app2 = options->positionals[1];
+  if (options->positionals.size() > 2) {
+    const auto alpha = str::parse_double(options->positionals[2]);
+    if (!alpha.has_value()) {
+      std::fprintf(stderr, "error: alpha must be a number, got '%s'\n",
+                   options->positionals[2].c_str());
+      return 1;
+    }
+    config.alpha = *alpha;
+  }
+  {
+    gpusim::GpuChip chip;
+    const wl::WorkloadRegistry registry(chip.arch());
+    if (!registry.contains(config.app1) || !registry.contains(config.app2)) {
+      std::fprintf(stderr,
+                   "unknown workload; run with --workloads to see options\n");
+      return 1;
     }
   }
-  std::printf("%s", table.to_string().c_str());
 
-  for (const double cap : {230.0}) {
-    const auto d1 = allocator.allocate(app1, app2, core::Policy::problem1(cap, alpha));
-    std::printf("\nProblem 1 @%.0fW: %s (predicted T=%.3f)%s\n", cap,
-                d1.state.name().c_str(), d1.predicted.throughput,
-                d1.feasible ? "" : "  [no feasible state]");
-  }
-  const auto d2 = allocator.allocate(app1, app2, core::Policy::problem2(alpha));
-  std::printf("Problem 2: %s @%.0fW (predicted eff=%.5f)%s\n",
-              d2.state.name().c_str(), d2.power_cap_watts,
-              d2.predicted.energy_efficiency,
-              d2.feasible ? "" : "  [no feasible state]");
-  return 0;
+  report::register_scenario(
+      {"power_sweep_" + config.app1 + "_" + config.app2, "Explorer",
+       "measured vs predicted landscape for (" + config.app1 + ", " +
+           config.app2 + ") across S1..S4 x 150..250W",
+       [config](const report::RunContext& ctx) { return explore(config, ctx); }});
+  return report::run_scenarios("power_sweep_explorer", *options);
 }

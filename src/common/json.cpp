@@ -1,0 +1,148 @@
+#include "common/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace migopt::json {
+
+Value::Value(double d) : kind_(Kind::Double), double_(d) {
+  MIGOPT_REQUIRE(std::isfinite(d), "JSON numbers must be finite");
+}
+
+void Value::push_back(Value element) {
+  MIGOPT_REQUIRE(kind_ == Kind::Array, "push_back on a non-array JSON value");
+  array_.push_back(std::move(element));
+}
+
+void Value::set(std::string key, Value value) {
+  MIGOPT_REQUIRE(kind_ == Kind::Object, "set on a non-object JSON value");
+  for (auto& member : object_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+const Value* Value::find(std::string_view key) const {
+  MIGOPT_REQUIRE(kind_ == Kind::Object, "find on a non-object JSON value");
+  for (const auto& member : object_)
+    if (member.first == key) return &member.second;
+  return nullptr;
+}
+
+std::size_t Value::size() const noexcept {
+  if (kind_ == Kind::Array) return array_.size();
+  if (kind_ == Kind::Object) return object_.size();
+  return 0;
+}
+
+double Value::as_double() const {
+  return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const auto byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (byte < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", byte);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 continuation/lead bytes pass through untouched
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  MIGOPT_REQUIRE(std::isfinite(value), "JSON numbers must be finite");
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof buf, value);
+  std::string out(buf, result.ptr);
+  // "3" would re-parse as an integer; keep the double-ness visible.
+  if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+  return out;
+}
+
+namespace {
+
+void newline_and_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void Value::write(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::Null: out += "null"; return;
+    case Kind::Bool: out += bool_ ? "true" : "false"; return;
+    case Kind::Int: out += std::to_string(int_); return;
+    case Kind::Double: out += format_double(double_); return;
+    case Kind::String:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      return;
+    case Kind::Array: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += indent > 0 ? "," : ", ";
+        newline_and_indent(out, indent, depth + 1);
+        array_[i].write(out, indent, depth + 1);
+      }
+      newline_and_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::Object: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += indent > 0 ? "," : ", ";
+        newline_and_indent(out, indent, depth + 1);
+        out += '"';
+        out += escape(object_[i].first);
+        out += "\": ";
+        object_[i].second.write(out, indent, depth + 1);
+      }
+      newline_and_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace migopt::json

@@ -1,0 +1,102 @@
+// Dependency-free JSON value + writer for the reporting layer.
+//
+// Only what BENCH_*.json emission needs: build a document out of
+// objects/arrays/strings/numbers and serialize it deterministically.
+// Deliberate constraints:
+//   - object keys keep insertion order (stable, diffable output);
+//   - doubles must be finite (MIGOPT_REQUIRE) and are written with the
+//     shortest round-trip representation, so output is byte-reproducible
+//     across runs and thread counts;
+//   - strings are treated as UTF-8 and passed through; only the characters
+//     RFC 8259 requires escaping (quote, backslash, control chars) are
+//     escaped.
+// There is no parser — the repo emits JSON, it never consumes it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace migopt::json {
+
+class Value {
+ public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Value() noexcept : kind_(Kind::Null) {}
+  Value(bool b) noexcept : kind_(Kind::Bool), bool_(b) {}
+  Value(int i) noexcept : kind_(Kind::Int), int_(i) {}
+  Value(std::int64_t i) noexcept : kind_(Kind::Int), int_(i) {}
+  Value(std::size_t i) : kind_(Kind::Int), int_(static_cast<std::int64_t>(i)) {}
+  /// Requires a finite value: NaN/Inf have no JSON representation and a
+  /// silent "null" would corrupt the perf baselines downstream tooling reads.
+  Value(double d);
+  Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+  Value(const char* s) : kind_(Kind::String), string_(s) {}
+
+  static Value array() {
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+  }
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::Null; }
+
+  /// Array append. Requires an Array value.
+  void push_back(Value element);
+
+  /// Object insert/replace; new keys append (insertion order is the
+  /// serialization order). Requires an Object value.
+  void set(std::string key, Value value);
+
+  /// Object lookup; nullptr when absent. Requires an Object value.
+  const Value* find(std::string_view key) const;
+
+  /// Element count of an Array or Object (0 for scalars).
+  std::size_t size() const noexcept;
+
+  const std::vector<Value>& elements() const { return array_; }
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return object_;
+  }
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const { return int_; }
+  double as_double() const;
+  const std::string& as_string() const { return string_; }
+
+  /// Serialize. `indent == 0` -> compact one-line form; `indent > 0` ->
+  /// pretty-printed with that many spaces per nesting level. Both forms are
+  /// deterministic for the same value.
+  std::string dump(int indent = 0) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// JSON string escaping (without the surrounding quotes), exposed for tests:
+/// quote, backslash, and control characters below 0x20 are escaped; all other
+/// bytes (including multi-byte UTF-8 sequences) pass through unchanged.
+std::string escape(std::string_view text);
+
+/// Shortest decimal form of a finite double that round-trips exactly
+/// (std::to_chars); integral doubles gain a trailing ".0" so the JSON type
+/// stays "number with fraction" across serializations.
+std::string format_double(double value);
+
+}  // namespace migopt::json

@@ -1,12 +1,11 @@
-#include "bench_util.hpp"
+#include "report/bench_env.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
 
 #include "common/stats.hpp"
 
-namespace migopt::bench {
+namespace migopt::report {
 
 Environment::Environment()
     : chip(), registry(chip.arch()), pairs(wl::table8_pairs()),
@@ -77,10 +76,14 @@ Comparison compare_for_pair(const Environment& env, const wl::CorunPair& pair,
   return cmp;
 }
 
-void print_header(const std::string& experiment_id, const std::string& description) {
-  std::printf("\n================================================================\n");
-  std::printf("%s — %s\n", experiment_id.c_str(), description.c_str());
-  std::printf("================================================================\n");
+std::vector<Comparison> compare_all(const Environment& env,
+                                    const core::Policy& policy,
+                                    const RunContext& context) {
+  std::vector<Comparison> comparisons(env.pairs.size());
+  context.parallel_for(env.pairs.size(), [&](std::size_t i) {
+    comparisons[i] = compare_for_pair(env, env.pairs[i], policy);
+  });
+  return comparisons;
 }
 
 double geomean_or_zero(const std::vector<double>& values) {
@@ -91,11 +94,9 @@ double geomean_or_zero(const std::vector<double>& values) {
 namespace {
 
 [[noreturn]] void fail_empty_samples(const std::string& what) {
-  std::fprintf(stderr,
-               "bench misconfiguration: no samples collected for %s — "
-               "check the sweep/filter settings of this bench\n",
-               what.c_str());
-  std::exit(EXIT_FAILURE);
+  throw std::runtime_error(
+      "bench misconfiguration: no samples collected for " + what +
+      " — check the sweep/filter settings of this bench");
 }
 
 }  // namespace
@@ -109,13 +110,12 @@ double checked_mape(const std::string& what, const std::vector<double>& measured
                     const std::vector<double>& predicted) {
   if (measured.empty() || predicted.empty()) fail_empty_samples(what);
   if (measured.size() != predicted.size()) {
-    std::fprintf(stderr,
-                 "bench misconfiguration: %s collected %zu measured but %zu "
-                 "predicted samples\n",
-                 what.c_str(), measured.size(), predicted.size());
-    std::exit(EXIT_FAILURE);
+    throw std::runtime_error(
+        "bench misconfiguration: " + what + " collected " +
+        std::to_string(measured.size()) + " measured but " +
+        std::to_string(predicted.size()) + " predicted samples");
   }
   return stats::mape(measured, predicted);
 }
 
-}  // namespace migopt::bench
+}  // namespace migopt::report

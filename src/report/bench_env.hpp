@@ -1,4 +1,5 @@
-// Shared harness for the per-figure/table reproduction benches.
+// Shared evaluation environment for the per-figure/table reproduction
+// scenarios (promoted from the old bench/bench_util harness).
 //
 // Every bench builds (once) the same environment the paper's evaluation uses:
 // the simulated A100, the 24-benchmark registry, the Table 8 pairs, and the
@@ -9,16 +10,15 @@
 #include <string>
 #include <vector>
 
-#include "common/string_util.hpp"
-#include "common/table.hpp"
 #include "core/evaluator.hpp"
 #include "core/optimizer.hpp"
 #include "core/trainer.hpp"
 #include "gpusim/gpu.hpp"
+#include "report/scenario.hpp"
 #include "workloads/corun_pairs.hpp"
 #include "workloads/registry.hpp"
 
-namespace migopt::bench {
+namespace migopt::report {
 
 /// Process-wide evaluation environment (built lazily, reused by every table).
 struct Environment {
@@ -65,21 +65,25 @@ struct Comparison {
 Comparison compare_for_pair(const Environment& env, const wl::CorunPair& pair,
                             const core::Policy& policy);
 
-/// Print a section header for a figure/table.
-void print_header(const std::string& experiment_id, const std::string& description);
+/// compare_for_pair over every Table 8 pair, fanned out over the context's
+/// worker threads. Result i belongs to env.pairs[i] regardless of thread
+/// count, so downstream aggregation is deterministic.
+std::vector<Comparison> compare_all(const Environment& env,
+                                    const core::Policy& policy,
+                                    const RunContext& context);
 
 /// Geometric mean that maps an empty sample set to 0.0 — for sweeps where
 /// emptiness is a legitimate outcome (e.g. no feasible pair at a tight
 /// alpha/cap) and the bench reports the feasible count alongside.
 double geomean_or_zero(const std::vector<double>& values);
 
-/// Geometric mean that aborts the bench with a clear message naming `what`
-/// when the sample set is empty (a misconfigured sweep), instead of letting
-/// MIGOPT_REQUIRE fire deep inside stats::geomean.
+/// Geometric mean that fails the bench loudly (std::runtime_error, naming
+/// `what`) when the sample set is empty — a misconfigured sweep — instead of
+/// letting MIGOPT_REQUIRE fire deep inside stats::geomean.
 double checked_geomean(const std::string& what, const std::vector<double>& values);
 
 /// MAPE with the same empty/mismatch guarding as checked_geomean.
 double checked_mape(const std::string& what, const std::vector<double>& measured,
                     const std::vector<double>& predicted);
 
-}  // namespace migopt::bench
+}  // namespace migopt::report

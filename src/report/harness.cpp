@@ -1,0 +1,139 @@
+#include "report/harness.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <regex>
+
+#include "common/string_util.hpp"
+
+namespace migopt::report {
+
+std::string usage_text() {
+  return
+      "  --list            list registered scenarios and exit\n"
+      "  --filter REGEX    run only scenarios whose name matches\n"
+      "  --json PATH       write the machine-readable BENCH document to PATH\n"
+      "  --threads N       parallelize independent points over N threads\n"
+      "  --preset NAME     build preset recorded in the JSON run metadata\n"
+      "  --git-sha SHA     git revision recorded in the JSON run metadata\n"
+      "  --date DATE       recording date for the JSON run metadata\n"
+      "  --help            this message\n";
+}
+
+std::optional<Options> parse_options(int argc, char** argv,
+                                     bool allow_positionals) {
+  Options options;
+  auto value_of = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s requires a value\n", flag);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg == "--filter") {
+      const char* value = value_of(i, "--filter");
+      if (value == nullptr) return std::nullopt;
+      options.filter = value;
+    } else if (arg == "--json") {
+      const char* value = value_of(i, "--json");
+      if (value == nullptr) return std::nullopt;
+      options.json_path = value;
+    } else if (arg == "--threads") {
+      const char* value = value_of(i, "--threads");
+      if (value == nullptr) return std::nullopt;
+      const auto parsed = str::parse_int(value);
+      if (!parsed.has_value() || *parsed < 1) {
+        std::fprintf(stderr, "error: --threads expects a positive integer\n");
+        return std::nullopt;
+      }
+      options.threads = static_cast<std::size_t>(*parsed);
+    } else if (arg == "--preset") {
+      const char* value = value_of(i, "--preset");
+      if (value == nullptr) return std::nullopt;
+      options.metadata.preset = value;
+    } else if (arg == "--git-sha") {
+      const char* value = value_of(i, "--git-sha");
+      if (value == nullptr) return std::nullopt;
+      options.metadata.git_sha = value;
+    } else if (arg == "--date") {
+      const char* value = value_of(i, "--date");
+      if (value == nullptr) return std::nullopt;
+      options.metadata.date = value;
+    } else if (allow_positionals && !str::starts_with(arg, "--")) {
+      options.positionals.push_back(arg);
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n%s", arg.c_str(),
+                   usage_text().c_str());
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+int run_scenarios(const std::string& bench_name, const Options& options) {
+  if (options.help) {
+    std::printf("%s — registered scenarios:\n", bench_name.c_str());
+    for (const auto& scenario : scenarios())
+      std::printf("  %-28s %s\n", scenario.name.c_str(),
+                  scenario.description.c_str());
+    std::printf("\noptions:\n%s", usage_text().c_str());
+    return 0;
+  }
+  if (options.list) {
+    for (const auto& scenario : scenarios())
+      std::printf("%-28s [%s] %s\n", scenario.name.c_str(),
+                  scenario.tag.c_str(), scenario.description.c_str());
+    return 0;
+  }
+
+  std::vector<const Scenario*> selected;
+  try {
+    selected = match_scenarios(options.filter);
+  } catch (const std::regex_error& e) {
+    std::fprintf(stderr, "error: bad --filter regex '%s': %s\n",
+                 options.filter.c_str(), e.what());
+    return 1;
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "error: no scenario matches filter '%s' (%zu registered)\n",
+                 options.filter.c_str(), scenarios().size());
+    return 1;
+  }
+
+  const RunContext context(options.threads);
+  std::vector<CompletedScenario> completed;
+  completed.reserve(selected.size());
+  try {
+    for (const Scenario* scenario : selected) {
+      CompletedScenario item;
+      item.scenario = scenario;
+      item.result = scenario->run(context);
+      std::printf("%s", render_text(*scenario, item.result).c_str());
+      completed.push_back(std::move(item));
+    }
+    if (options.json_path.has_value()) {
+      write_json_file(*options.json_path,
+                      to_json(bench_name, options.metadata, completed));
+      std::printf("\nwrote %s (%zu scenario%s)\n", options.json_path->c_str(),
+                  completed.size(), completed.size() == 1 ? "" : "s");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int run_main(const std::string& bench_name, int argc, char** argv) {
+  const auto options = parse_options(argc, argv, /*allow_positionals=*/false);
+  if (!options.has_value()) return 1;
+  return run_scenarios(bench_name, *options);
+}
+
+}  // namespace migopt::report

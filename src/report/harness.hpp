@@ -1,0 +1,47 @@
+// Shared CLI front end for every bench binary.
+//
+// A bench registers scenarios (report/scenario.hpp) and delegates main() to
+// run_main. Common flags:
+//   --list            print registered scenarios and exit
+//   --filter REGEX    run only scenarios whose name matches (regex search)
+//   --json PATH       additionally write the BENCH_<name>.json document
+//   --threads N       fan independent points out over N worker threads
+//                     (output is byte-identical to --threads 1)
+//   --preset/--git-sha/--date   run metadata recorded in the JSON document
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "report/reporter.hpp"
+
+namespace migopt::report {
+
+struct Options {
+  bool list = false;
+  bool help = false;
+  std::string filter;
+  std::optional<std::string> json_path;
+  std::size_t threads = 1;
+  RunMetadata metadata;
+  std::vector<std::string> positionals;  ///< only when the caller allows them
+};
+
+/// Parse the shared flags. Unknown flags (and positionals, unless
+/// `allow_positionals`) produce nullopt after printing a usage message to
+/// stderr.
+std::optional<Options> parse_options(int argc, char** argv,
+                                     bool allow_positionals = false);
+
+/// Usage text for the shared flags (callers prepend their own synopsis).
+std::string usage_text();
+
+/// List/filter/run the registered scenarios, print each result as text, and
+/// write the JSON document when requested. Returns a process exit code.
+int run_scenarios(const std::string& bench_name, const Options& options);
+
+/// parse_options + run_scenarios — the whole main() of a standard bench.
+int run_main(const std::string& bench_name, int argc, char** argv);
+
+}  // namespace migopt::report

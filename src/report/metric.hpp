@@ -1,0 +1,86 @@
+// Structured metric rows produced by report scenarios.
+//
+// A scenario returns Sections instead of printing: each Section is one table
+// (ordered columns, labeled rows, summary metrics such as geomeans). The
+// Reporter renders the same Section twice — as the human-readable ASCII table
+// the benches always printed, and as part of the machine-readable
+// BENCH_<name>.json document.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace migopt::report {
+
+/// One table cell / summary metric: a number (with a table display precision),
+/// an exact integer count, or free text ("S3", "infeasible").
+struct MetricValue {
+  enum class Kind { Number, Count, Text };
+
+  Kind kind = Kind::Text;
+  double number = 0.0;
+  long long count = 0;
+  std::string text;
+  int decimals = 3;  ///< table rendering precision for Kind::Number
+
+  static MetricValue num(double value, int decimals = 3) {
+    MetricValue v;
+    v.kind = Kind::Number;
+    v.number = value;
+    v.decimals = decimals;
+    return v;
+  }
+  static MetricValue of_count(long long value) {
+    MetricValue v;
+    v.kind = Kind::Count;
+    v.count = value;
+    return v;
+  }
+  static MetricValue str(std::string value) {
+    MetricValue v;
+    v.kind = Kind::Text;
+    v.text = std::move(value);
+    return v;
+  }
+};
+
+/// One table: `columns` are the value-column headers; every row carries a
+/// label (first column) plus one cell per column. `summary` holds the
+/// aggregate metrics the bench used to print under the table (geomeans,
+/// violation counts, ...). A scenario may return several sections (e.g. one
+/// per application or per alpha setting).
+struct Section {
+  struct Row {
+    std::string label;
+    std::vector<MetricValue> cells;
+  };
+
+  std::string title;         ///< optional sub-heading ("alpha = 0.20", "kmeans")
+  std::string label_header = "workload";  ///< header of the label column
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  std::vector<std::pair<std::string, MetricValue>> summary;
+
+  void add_row(std::string label, std::vector<MetricValue> cells) {
+    rows.push_back(Row{std::move(label), std::move(cells)});
+  }
+  void add_summary(std::string name, MetricValue value) {
+    summary.emplace_back(std::move(name), std::move(value));
+  }
+};
+
+/// Everything one scenario produced: its tables plus freeform reading notes
+/// (the "expected shape" commentary the benches print after the numbers).
+struct ScenarioResult {
+  std::vector<Section> sections;
+  std::vector<std::string> notes;
+
+  Section& add_section(Section section) {
+    sections.push_back(std::move(section));
+    return sections.back();
+  }
+  void add_note(std::string note) { notes.push_back(std::move(note)); }
+};
+
+}  // namespace migopt::report

@@ -1,0 +1,129 @@
+#include "report/reporter.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace migopt::report {
+
+namespace {
+
+json::Value metric_to_json(const MetricValue& value) {
+  switch (value.kind) {
+    case MetricValue::Kind::Number: return json::Value(value.number);
+    case MetricValue::Kind::Count:
+      return json::Value(static_cast<std::int64_t>(value.count));
+    case MetricValue::Kind::Text: return json::Value(value.text);
+  }
+  return json::Value();
+}
+
+json::Value section_to_json(const Section& section) {
+  json::Value out = json::Value::object();
+  if (!section.title.empty()) out.set("title", section.title);
+  json::Value columns = json::Value::array();
+  for (const auto& column : section.columns) columns.push_back(column);
+  out.set("columns", std::move(columns));
+  json::Value rows = json::Value::array();
+  for (const auto& row : section.rows) {
+    MIGOPT_REQUIRE(row.cells.size() == section.columns.size(),
+                   "row '" + row.label + "' does not match the column count");
+    json::Value entry = json::Value::object();
+    entry.set(section.label_header, row.label);
+    json::Value values = json::Value::object();
+    for (std::size_t i = 0; i < row.cells.size(); ++i)
+      values.set(section.columns[i], metric_to_json(row.cells[i]));
+    entry.set("values", std::move(values));
+    rows.push_back(std::move(entry));
+  }
+  out.set("rows", std::move(rows));
+  if (!section.summary.empty()) {
+    json::Value summary = json::Value::object();
+    for (const auto& [name, value] : section.summary)
+      summary.set(name, metric_to_json(value));
+    out.set("summary", std::move(summary));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_cell(const MetricValue& value) {
+  switch (value.kind) {
+    case MetricValue::Kind::Number:
+      return str::format_fixed(value.number, value.decimals);
+    case MetricValue::Kind::Count: return std::to_string(value.count);
+    case MetricValue::Kind::Text: return value.text;
+  }
+  return {};
+}
+
+std::string render_text(const Scenario& scenario, const ScenarioResult& result) {
+  std::string out = "\n================================================================\n";
+  out += scenario.tag + " — " + scenario.description + "\n";
+  out += "================================================================\n";
+  for (const auto& section : result.sections) {
+    if (!section.title.empty()) out += "\n" + section.title + ":\n";
+    if (!section.rows.empty() || !section.columns.empty()) {
+      std::vector<std::string> header = {section.label_header};
+      header.insert(header.end(), section.columns.begin(),
+                    section.columns.end());
+      TextTable table(std::move(header));
+      for (const auto& row : section.rows) {
+        MIGOPT_REQUIRE(row.cells.size() == section.columns.size(),
+                       "row '" + row.label + "' does not match the column count");
+        std::vector<std::string> cells = {row.label};
+        for (const auto& cell : row.cells) cells.push_back(format_cell(cell));
+        table.add_row(std::move(cells));
+      }
+      out += table.to_string();
+    }
+    for (const auto& [name, value] : section.summary)
+      out += name + ": " + format_cell(value) + "\n";
+  }
+  for (const auto& note : result.notes) out += "\n" + note + "\n";
+  return out;
+}
+
+json::Value to_json(const std::string& bench_name, const RunMetadata& metadata,
+                    const std::vector<CompletedScenario>& completed) {
+  json::Value document = json::Value::object();
+  document.set("schema_version", 1);
+  document.set("bench", bench_name);
+  json::Value run = json::Value::object();
+  run.set("preset", metadata.preset);
+  run.set("git_sha", metadata.git_sha);
+  run.set("date", metadata.date);
+  document.set("run", std::move(run));
+  json::Value list = json::Value::array();
+  for (const auto& item : completed) {
+    json::Value entry = json::Value::object();
+    entry.set("name", item.scenario->name);
+    entry.set("tag", item.scenario->tag);
+    entry.set("description", item.scenario->description);
+    json::Value sections = json::Value::array();
+    for (const auto& section : item.result.sections)
+      sections.push_back(section_to_json(section));
+    entry.set("sections", std::move(sections));
+    if (!item.result.notes.empty()) {
+      json::Value notes = json::Value::array();
+      for (const auto& note : item.result.notes) notes.push_back(note);
+      entry.set("notes", std::move(notes));
+    }
+    list.push_back(std::move(entry));
+  }
+  document.set("scenarios", std::move(list));
+  return document;
+}
+
+void write_json_file(const std::string& path, const json::Value& document) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  out << document.dump(2) << '\n';
+  if (!out) throw std::runtime_error("failed writing '" + path + "'");
+}
+
+}  // namespace migopt::report

@@ -1,0 +1,46 @@
+// Rendering of scenario results: the human-readable tables the benches have
+// always printed, and the machine-readable BENCH_<name>.json document the
+// perf-trajectory tooling consumes (schema documented in README.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "report/metric.hpp"
+#include "report/scenario.hpp"
+
+namespace migopt::report {
+
+/// Run provenance recorded in the JSON document. All fields arrive via CLI
+/// flags (--preset/--git-sha/--date) so the library stays free of git/clock
+/// dependencies and output is reproducible byte-for-byte.
+struct RunMetadata {
+  std::string preset;   ///< build preset the numbers came from ("release")
+  std::string git_sha;  ///< tree the numbers describe
+  std::string date;     ///< ISO date of the recording
+};
+
+/// A scenario paired with what it produced, in execution order.
+struct CompletedScenario {
+  const Scenario* scenario = nullptr;
+  ScenarioResult result;
+};
+
+/// Render one MetricValue the way the legacy benches formatted table cells.
+std::string format_cell(const MetricValue& value);
+
+/// The "================" header + per-section ASCII tables + summary lines +
+/// notes, matching the layout of the hand-rolled benches.
+std::string render_text(const Scenario& scenario, const ScenarioResult& result);
+
+/// The full BENCH document for one binary:
+/// { schema_version, bench, run: {...}, scenarios: [...] }.
+json::Value to_json(const std::string& bench_name, const RunMetadata& metadata,
+                    const std::vector<CompletedScenario>& completed);
+
+/// Serialize `document` (2-space pretty print, trailing newline) to `path`.
+/// Throws std::runtime_error when the file cannot be written.
+void write_json_file(const std::string& path, const json::Value& document);
+
+}  // namespace migopt::report

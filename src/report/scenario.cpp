@@ -1,0 +1,58 @@
+#include "report/scenario.hpp"
+
+#include <regex>
+
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+
+namespace migopt::report {
+
+namespace {
+
+std::vector<Scenario>& mutable_registry() {
+  static std::vector<Scenario> registry;
+  return registry;
+}
+
+}  // namespace
+
+RunContext::RunContext(std::size_t threads)
+    : threads_(threads == 0 ? 1 : threads),
+      pool_(threads_ > 1 ? std::make_unique<ThreadPool>(threads_) : nullptr) {}
+
+RunContext::~RunContext() = default;
+
+void RunContext::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) const {
+  if (pool_ == nullptr || count < 2) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool_->parallel_for(count, fn);
+}
+
+bool register_scenario(Scenario scenario) {
+  MIGOPT_REQUIRE(!scenario.name.empty(), "scenario needs a name");
+  MIGOPT_REQUIRE(static_cast<bool>(scenario.run), "scenario needs a run function");
+  for (const auto& existing : mutable_registry())
+    MIGOPT_REQUIRE(existing.name != scenario.name,
+                   "duplicate scenario name: " + scenario.name);
+  mutable_registry().push_back(std::move(scenario));
+  return true;
+}
+
+const std::vector<Scenario>& scenarios() { return mutable_registry(); }
+
+std::vector<const Scenario*> match_scenarios(const std::string& filter) {
+  std::vector<const Scenario*> matched;
+  if (filter.empty()) {
+    for (const auto& scenario : scenarios()) matched.push_back(&scenario);
+    return matched;
+  }
+  const std::regex pattern(filter);
+  for (const auto& scenario : scenarios())
+    if (std::regex_search(scenario.name, pattern)) matched.push_back(&scenario);
+  return matched;
+}
+
+}  // namespace migopt::report

@@ -1,0 +1,67 @@
+// Scenario registry: named experiment units a bench binary exposes.
+//
+// Each bench registers one or more scenarios at static-initialization time
+// (or dynamically, for CLI-parameterized tools) and hands control to
+// report::run_main. The harness lists/filters/runs them and feeds their
+// ScenarioResults to the Reporter. Registration order is execution and
+// serialization order, so output is reproducible.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "report/metric.hpp"
+
+namespace migopt {
+class ThreadPool;
+}  // namespace migopt
+
+namespace migopt::report {
+
+/// Execution context handed to a scenario's run function. `parallel_for`
+/// fans independent (pair, state, cap) points out over a shared ThreadPool;
+/// with `threads <= 1` (the default) it degenerates to a serial loop.
+/// Callers write results into per-index slots, so the assembled output is
+/// identical for any thread count.
+class RunContext {
+ public:
+  explicit RunContext(std::size_t threads = 1);
+  ~RunContext();
+
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  std::size_t threads() const noexcept { return threads_; }
+
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  std::size_t threads_;
+  std::unique_ptr<ThreadPool> pool_;  ///< non-null only when threads_ > 1
+};
+
+/// One registered experiment.
+struct Scenario {
+  std::string name;         ///< registry key; must be unique within a binary
+  std::string tag;          ///< paper anchor ("Figure 9", "Table 7", ...)
+  std::string description;  ///< one-line summary printed in headers/--list
+  std::function<ScenarioResult(const RunContext&)> run;
+};
+
+/// Append to the process-wide registry. Returns true so static initializers
+/// can use it directly; duplicate names are rejected loudly.
+bool register_scenario(Scenario scenario);
+
+/// All scenarios in registration order.
+const std::vector<Scenario>& scenarios();
+
+/// The subset whose name matches `filter` as an (unanchored) ECMAScript
+/// regex; an empty filter matches everything. Throws std::regex_error on a
+/// malformed pattern.
+std::vector<const Scenario*> match_scenarios(const std::string& filter);
+
+}  // namespace migopt::report

@@ -37,20 +37,28 @@ bool CoScheduler::pair_acceptable(const Job& pivot, const Job& candidate,
   return true;
 }
 
-double CoScheduler::default_cap(double max_cap_watts) const noexcept {
+double CoScheduler::default_cap(double max_cap_watts) const {
   // Exclusive runs execute under Problem 1's fixed cap when one is set;
   // otherwise at the highest cap the optimizer may choose — in both cases
   // clamped into the budget ceiling via the trained grid.
   if (policy_.fixed_power_cap.has_value() &&
       *policy_.fixed_power_cap <= max_cap_watts)
     return *policy_.fixed_power_cap;
+  MIGOPT_REQUIRE(!allocator_->optimizer().caps().empty(),
+                 "optimizer cap grid is empty — cannot pick a dispatch cap");
   double best = -1.0;
   for (const double cap : allocator_->optimizer().caps())
     if (cap <= max_cap_watts) best = std::max(best, cap);
   return best;
 }
 
-double CoScheduler::min_cap() const noexcept {
+double CoScheduler::min_cap() const {
+  // An empty grid would make the +inf seed escape as a "real" cap and
+  // silently starve dispatch forever; fail loudly instead. (The Optimizer
+  // constructor rejects empty grids, so this guards future regressions of
+  // that contract.)
+  MIGOPT_REQUIRE(!allocator_->optimizer().caps().empty(),
+                 "optimizer cap grid is empty — no dispatch can be afforded");
   double low = std::numeric_limits<double>::infinity();
   for (const double cap : allocator_->optimizer().caps())
     low = std::min(low, cap);

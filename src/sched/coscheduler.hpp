@@ -65,8 +65,9 @@ class CoScheduler {
                                        std::numeric_limits<double>::infinity());
 
   /// The smallest cap in the optimizer's grid — the cheapest dispatch the
-  /// cluster's budget accounting must be able to afford.
-  double min_cap() const noexcept;
+  /// cluster's budget accounting must be able to afford. Throws
+  /// ContractViolation when the grid is empty instead of returning +inf.
+  double min_cap() const;
 
   /// Record a profile measured during an exclusive first run. Releases any
   /// queued jobs of the same application held back while it was in flight.
@@ -74,8 +75,9 @@ class CoScheduler {
 
  private:
   /// Cap for exclusive dispatches, honouring `max_cap_watts`; negative when
-  /// nothing in the grid fits.
-  double default_cap(double max_cap_watts) const noexcept;
+  /// nothing in the grid fits. Throws ContractViolation when the grid is
+  /// empty instead of returning -1.0.
+  double default_cap(double max_cap_watts) const;
   /// Apply the tuning gates to a candidate decision for (pivot, candidate).
   bool pair_acceptable(const Job& pivot, const Job& candidate,
                        const core::Decision& decision) const noexcept;

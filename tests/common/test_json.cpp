@@ -1,0 +1,130 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace migopt::json {
+namespace {
+
+TEST(Json, ScalarsDumpCompactly) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, DoublesUseShortestRoundTrip) {
+  EXPECT_EQ(Value(0.5).dump(), "0.5");
+  EXPECT_EQ(Value(0.1).dump(), "0.1");
+  // Integral doubles keep a fraction marker so the type survives re-parsing.
+  EXPECT_EQ(Value(3.0).dump(), "3.0");
+  EXPECT_EQ(Value(-0.0).dump(), "-0.0");
+  EXPECT_EQ(Value(1e300).dump(), "1e+300");
+}
+
+TEST(Json, NonFiniteDoublesRejected) {
+  EXPECT_THROW(Value(std::nan("")), ContractViolation);
+  EXPECT_THROW(Value(std::numeric_limits<double>::infinity()),
+               ContractViolation);
+  EXPECT_THROW(Value(-std::numeric_limits<double>::infinity()),
+               ContractViolation);
+  EXPECT_THROW(format_double(std::nan("")), ContractViolation);
+}
+
+TEST(Json, EscapingCoversControlCharsAndQuotes) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escape("tab\there"), "tab\\there");
+  EXPECT_EQ(escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(escape("cr\rlf"), "cr\\rlf");
+  EXPECT_EQ(escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(escape("\x01\x1f"), "\\u0001\\u001f");
+  EXPECT_EQ(escape("bell\x07"), "bell\\u0007");
+}
+
+TEST(Json, Utf8PassesThroughUntouched) {
+  // Multi-byte sequences (é, 日本語, emoji) must not be escaped or mangled.
+  const std::string utf8 = "caf\xc3\xa9 \xe6\x97\xa5\xe6\x9c\xac\xf0\x9f\x9a\x80";
+  EXPECT_EQ(escape(utf8), utf8);
+  EXPECT_EQ(Value(utf8).dump(), "\"" + utf8 + "\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndReplacesInPlace) {
+  Value object = Value::object();
+  object.set("zebra", 1);
+  object.set("alpha", 2);
+  object.set("mid", 3);
+  EXPECT_EQ(object.dump(), "{\"zebra\": 1, \"alpha\": 2, \"mid\": 3}");
+  object.set("alpha", 9);  // replacement must not move the key to the back
+  EXPECT_EQ(object.dump(), "{\"zebra\": 1, \"alpha\": 9, \"mid\": 3}");
+  EXPECT_EQ(object.size(), 3u);
+  ASSERT_NE(object.find("alpha"), nullptr);
+  EXPECT_EQ(object.find("alpha")->as_int(), 9);
+  EXPECT_EQ(object.find("missing"), nullptr);
+}
+
+TEST(Json, NestedGoldenCompact) {
+  Value doc = Value::object();
+  doc.set("name", "fig9");
+  Value rows = Value::array();
+  Value row = Value::object();
+  row.set("workload", "TI-MI2");
+  row.set("proposal", 1.5);
+  row.set("feasible", true);
+  rows.push_back(std::move(row));
+  rows.push_back(Value());
+  doc.set("rows", std::move(rows));
+  doc.set("count", 2);
+  EXPECT_EQ(doc.dump(),
+            "{\"name\": \"fig9\", \"rows\": [{\"workload\": \"TI-MI2\", "
+            "\"proposal\": 1.5, \"feasible\": true}, null], \"count\": 2}");
+}
+
+TEST(Json, NestedGoldenPretty) {
+  Value doc = Value::object();
+  doc.set("a", 1);
+  Value inner = Value::array();
+  inner.push_back("x");
+  doc.set("b", std::move(inner));
+  EXPECT_EQ(doc.dump(2),
+            "{\n  \"a\": 1,\n  \"b\": [\n    \"x\"\n  ]\n}");
+  Value empty = Value::object();
+  empty.set("arr", Value::array());
+  empty.set("obj", Value::object());
+  EXPECT_EQ(empty.dump(2), "{\n  \"arr\": [],\n  \"obj\": {}\n}");
+}
+
+TEST(Json, DumpIsDeterministic) {
+  auto build = [] {
+    Value doc = Value::object();
+    doc.set("metrics", Value::array());
+    for (int i = 0; i < 8; ++i) {
+      Value entry = Value::object();
+      entry.set("i", i);
+      entry.set("v", 0.1 * i);
+      // NOLINTNEXTLINE: rebuilding through the accessor exercises find()
+      doc.set("last", std::move(entry));
+    }
+    return doc.dump(2);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(Json, TypeContractsEnforced) {
+  Value array = Value::array();
+  EXPECT_THROW(array.set("k", 1), ContractViolation);
+  Value object = Value::object();
+  EXPECT_THROW(object.push_back(1), ContractViolation);
+  EXPECT_THROW(Value(1).push_back(2), ContractViolation);
+  EXPECT_THROW(Value("s").find("k"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace migopt::json

@@ -1,0 +1,121 @@
+#include "report/reporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace migopt::report {
+namespace {
+
+Scenario probe_scenario() {
+  return {"probe", "Figure X", "golden-output probe", nullptr};
+}
+
+ScenarioResult probe_result() {
+  ScenarioResult result;
+  Section section;
+  section.title = "alpha = 0.20";
+  section.label_header = "workload";
+  section.columns = {"proposal", "pairs", "state"};
+  section.add_row("TI-MI2", {MetricValue::num(1.5), MetricValue::of_count(18),
+                             MetricValue::str("S1")});
+  section.add_row("CI-US1", {MetricValue::num(0.98765, 5),
+                             MetricValue::of_count(17), MetricValue::str("S3")});
+  section.add_summary("geomean_proposal", MetricValue::num(1.217));
+  result.add_section(std::move(section));
+  result.add_note("a note");
+  return result;
+}
+
+TEST(Reporter, FormatCellMatchesLegacyTableFormatting) {
+  EXPECT_EQ(format_cell(MetricValue::num(1.5)), "1.500");
+  EXPECT_EQ(format_cell(MetricValue::num(1.98765, 5)), "1.98765");
+  EXPECT_EQ(format_cell(MetricValue::num(230.0, 0)), "230");
+  EXPECT_EQ(format_cell(MetricValue::of_count(18)), "18");
+  EXPECT_EQ(format_cell(MetricValue::str("S3")), "S3");
+}
+
+TEST(Reporter, RenderTextContainsHeaderTablesAndSummaries) {
+  const Scenario scenario = probe_scenario();
+  const std::string text = render_text(scenario, probe_result());
+  EXPECT_NE(text.find("Figure X — golden-output probe"), std::string::npos);
+  EXPECT_NE(text.find("alpha = 0.20:"), std::string::npos);
+  EXPECT_NE(text.find("| workload |"), std::string::npos);
+  EXPECT_NE(text.find("1.500"), std::string::npos);
+  EXPECT_NE(text.find("0.98765"), std::string::npos);
+  EXPECT_NE(text.find("geomean_proposal: 1.217"), std::string::npos);
+  EXPECT_NE(text.find("a note"), std::string::npos);
+}
+
+TEST(Reporter, RowCellCountMismatchFailsLoudly) {
+  const Scenario scenario = probe_scenario();
+  ScenarioResult result;
+  Section section;
+  section.columns = {"a", "b"};
+  section.add_row("short", {MetricValue::num(1.0)});
+  result.add_section(std::move(section));
+  EXPECT_THROW(render_text(scenario, result), ContractViolation);
+  CompletedScenario completed;
+  completed.scenario = &scenario;
+  completed.result = result;
+  EXPECT_THROW(to_json("b", RunMetadata{}, {completed}), ContractViolation);
+}
+
+TEST(Reporter, JsonDocumentGolden) {
+  const Scenario scenario = probe_scenario();
+  CompletedScenario completed;
+  completed.scenario = &scenario;
+  completed.result = probe_result();
+  RunMetadata metadata;
+  metadata.preset = "release";
+  metadata.git_sha = "abc1234";
+  metadata.date = "2026-07-30";
+  const json::Value document = to_json("fig_probe", metadata, {completed});
+
+  EXPECT_EQ(document.find("schema_version")->as_int(), 1);
+  EXPECT_EQ(document.find("bench")->as_string(), "fig_probe");
+  EXPECT_EQ(document.find("run")->find("preset")->as_string(), "release");
+  EXPECT_EQ(document.find("run")->find("git_sha")->as_string(), "abc1234");
+  EXPECT_EQ(document.find("run")->find("date")->as_string(), "2026-07-30");
+
+  const auto& scenario_json = document.find("scenarios")->elements().at(0);
+  EXPECT_EQ(scenario_json.find("name")->as_string(), "probe");
+  EXPECT_EQ(scenario_json.find("tag")->as_string(), "Figure X");
+  const auto& section = scenario_json.find("sections")->elements().at(0);
+  EXPECT_EQ(section.find("title")->as_string(), "alpha = 0.20");
+  const auto& row0 = section.find("rows")->elements().at(0);
+  EXPECT_EQ(row0.find("workload")->as_string(), "TI-MI2");
+  EXPECT_DOUBLE_EQ(row0.find("values")->find("proposal")->as_double(), 1.5);
+  EXPECT_EQ(row0.find("values")->find("pairs")->as_int(), 18);
+  EXPECT_EQ(row0.find("values")->find("state")->as_string(), "S1");
+  EXPECT_DOUBLE_EQ(
+      section.find("summary")->find("geomean_proposal")->as_double(), 1.217);
+
+  // Golden string for the compact serialization of one row: locks in key
+  // order (label first, then values in column order).
+  EXPECT_EQ(row0.dump(),
+            "{\"workload\": \"TI-MI2\", \"values\": {\"proposal\": 1.5, "
+            "\"pairs\": 18, \"state\": \"S1\"}}");
+}
+
+TEST(Reporter, WriteJsonFileRoundTripsAndRejectsBadPaths) {
+  json::Value document = json::Value::object();
+  document.set("ok", true);
+  const std::string path = ::testing::TempDir() + "migopt_reporter_test.json";
+  write_json_file(path, document);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "{\n  \"ok\": true\n}\n");
+  std::remove(path.c_str());
+
+  EXPECT_THROW(write_json_file("/nonexistent-dir/x/y.json", document),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace migopt::report

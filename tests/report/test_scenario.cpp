@@ -1,0 +1,170 @@
+#include "report/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <regex>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "report/harness.hpp"
+#include "report/reporter.hpp"
+
+namespace migopt::report {
+namespace {
+
+ScenarioResult empty_result(const RunContext&) { return ScenarioResult{}; }
+
+// The registry is process-global; use a distinctive prefix so lookups are
+// robust against scenarios registered by other tests in this binary.
+[[maybe_unused]] const bool reg_a =
+    register_scenario({"regtest/alpha", "T1", "first", empty_result});
+[[maybe_unused]] const bool reg_b =
+    register_scenario({"regtest/beta", "T2", "second", empty_result});
+[[maybe_unused]] const bool reg_c =
+    register_scenario({"regtest/gamma_sweep", "T3", "third", empty_result});
+
+TEST(ScenarioRegistry, KeepsRegistrationOrder) {
+  std::vector<std::string> names;
+  for (const auto& scenario : scenarios())
+    if (scenario.name.rfind("regtest/", 0) == 0) names.push_back(scenario.name);
+  ASSERT_GE(names.size(), 3u);
+  EXPECT_EQ(names[0], "regtest/alpha");
+  EXPECT_EQ(names[1], "regtest/beta");
+  EXPECT_EQ(names[2], "regtest/gamma_sweep");
+}
+
+TEST(ScenarioRegistry, RejectsDuplicatesAndEmpty) {
+  EXPECT_THROW(register_scenario({"regtest/alpha", "", "", empty_result}),
+               ContractViolation);
+  EXPECT_THROW(register_scenario({"", "", "", empty_result}), ContractViolation);
+  EXPECT_THROW(register_scenario({"regtest/norun", "", "", nullptr}),
+               ContractViolation);
+}
+
+TEST(ScenarioRegistry, FilterIsRegexSearch) {
+  const auto all = match_scenarios("regtest/");
+  EXPECT_GE(all.size(), 3u);
+
+  const auto sweeps = match_scenarios("regtest/.*sweep$");
+  ASSERT_EQ(sweeps.size(), 1u);
+  EXPECT_EQ(sweeps[0]->name, "regtest/gamma_sweep");
+
+  const auto pair = match_scenarios("regtest/(alpha|beta)");
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_EQ(pair[0]->name, "regtest/alpha");
+  EXPECT_EQ(pair[1]->name, "regtest/beta");
+
+  EXPECT_TRUE(match_scenarios("no-such-scenario-anywhere").empty());
+  EXPECT_THROW(match_scenarios("regtest/("), std::regex_error);
+}
+
+TEST(RunContext, SerialAndParallelVisitEveryIndexOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const RunContext context(threads);
+    EXPECT_EQ(context.threads(), threads);
+    std::vector<std::atomic<int>> visits(97);
+    context.parallel_for(visits.size(),
+                         [&](std::size_t i) { visits[i].fetch_add(1); });
+    for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+  }
+}
+
+TEST(RunContext, ZeroThreadsMeansSerial) {
+  const RunContext context(0);
+  EXPECT_EQ(context.threads(), 1u);
+  int calls = 0;
+  context.parallel_for(5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 5);
+}
+
+// The acceptance contract of the whole subsystem: a scenario whose points
+// complete in scrambled order under threading must serialize byte-identically
+// to the single-threaded run.
+TEST(RunContext, ThreadedJsonIsByteIdenticalToSerial) {
+  const Scenario scenario{
+      "determinism_probe", "Test",
+      "per-index slots, scrambled completion order",
+      [](const RunContext& context) {
+        std::vector<double> values(40);
+        context.parallel_for(values.size(), [&](std::size_t i) {
+          // Later indices finish first under threading.
+          std::this_thread::sleep_for(
+              std::chrono::microseconds((values.size() - i) * 25));
+          values[i] = 0.123456789 * static_cast<double>(i + 1);
+        });
+        ScenarioResult result;
+        Section section;
+        section.columns = {"value"};
+        for (std::size_t i = 0; i < values.size(); ++i)
+          section.add_row("point" + std::to_string(i),
+                          {MetricValue::num(values[i])});
+        section.add_summary("count",
+                            MetricValue::of_count(
+                                static_cast<long long>(values.size())));
+        result.add_section(std::move(section));
+        return result;
+      }};
+
+  auto dump_with_threads = [&](std::size_t threads) {
+    const RunContext context(threads);
+    CompletedScenario completed;
+    completed.scenario = &scenario;
+    completed.result = scenario.run(context);
+    return to_json("determinism_bench", RunMetadata{}, {completed}).dump(2);
+  };
+  const std::string serial = dump_with_threads(1);
+  EXPECT_EQ(dump_with_threads(4), serial);
+  EXPECT_EQ(dump_with_threads(8), serial);
+}
+
+TEST(HarnessOptions, ParsesSharedFlags) {
+  const char* argv[] = {"bench",          "--filter", "fig9",  "--json",
+                        "/tmp/out.json",  "--threads", "4",    "--preset",
+                        "release",        "--git-sha", "abc1234", "--date",
+                        "2026-07-30"};
+  const auto options =
+      parse_options(static_cast<int>(std::size(argv)),
+                    const_cast<char**>(argv));
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->filter, "fig9");
+  ASSERT_TRUE(options->json_path.has_value());
+  EXPECT_EQ(*options->json_path, "/tmp/out.json");
+  EXPECT_EQ(options->threads, 4u);
+  EXPECT_EQ(options->metadata.preset, "release");
+  EXPECT_EQ(options->metadata.git_sha, "abc1234");
+  EXPECT_EQ(options->metadata.date, "2026-07-30");
+  EXPECT_FALSE(options->list);
+}
+
+TEST(HarnessOptions, RejectsUnknownFlagsAndBadValues) {
+  {
+    const char* argv[] = {"bench", "--bogus"};
+    EXPECT_FALSE(parse_options(2, const_cast<char**>(argv)).has_value());
+  }
+  {
+    const char* argv[] = {"bench", "--threads", "zero"};
+    EXPECT_FALSE(parse_options(3, const_cast<char**>(argv)).has_value());
+  }
+  {
+    const char* argv[] = {"bench", "--threads", "0"};
+    EXPECT_FALSE(parse_options(3, const_cast<char**>(argv)).has_value());
+  }
+  {
+    const char* argv[] = {"bench", "--json"};
+    EXPECT_FALSE(parse_options(2, const_cast<char**>(argv)).has_value());
+  }
+  {  // positionals rejected unless explicitly allowed
+    const char* argv[] = {"bench", "stray"};
+    EXPECT_FALSE(parse_options(2, const_cast<char**>(argv)).has_value());
+    const auto allowed =
+        parse_options(2, const_cast<char**>(argv), /*allow_positionals=*/true);
+    ASSERT_TRUE(allowed.has_value());
+    ASSERT_EQ(allowed->positionals.size(), 1u);
+    EXPECT_EQ(allowed->positionals[0], "stray");
+  }
+}
+
+}  // namespace
+}  // namespace migopt::report

@@ -206,6 +206,20 @@ TEST(CoScheduler, Problem2PlanCarriesChosenCap) {
   EXPECT_LE(plan->power_cap_watts, 190.0);
 }
 
+TEST(CoScheduler, EmptyCapGridFailsLoudly) {
+  // min_cap()/default_cap() MIGOPT_REQUIRE a non-empty cap grid instead of
+  // returning +inf/-1.0 (which silently starved dispatch). The contract is
+  // enforced at the earliest layer: an allocator cannot even be assembled
+  // over an empty grid.
+  auto trained = make_allocator();
+  core::ResourcePowerAllocator::Config config;
+  config.caps.clear();
+  EXPECT_THROW(core::ResourcePowerAllocator(
+                   core::PerfModel(trained.model()),
+                   prof::ProfileDb(trained.profiles()), config),
+               ContractViolation);
+}
+
 TEST(CoScheduler, ZeroWindowRejected) {
   auto allocator = make_allocator();
   SchedulerTuning tuning;
