@@ -20,6 +20,7 @@
 #include "profiling/profiler.hpp"
 #include "report/bench_env.hpp"
 #include "report/harness.hpp"
+#include "sched/coscheduler.hpp"
 
 namespace {
 
@@ -57,7 +58,31 @@ void BM_ProfileRun(benchmark::State& state) {
 }
 BENCHMARK(BM_ProfileRun);
 
+// Steady-state per-candidate prediction cost on the decision hot path: the
+// optimizer computes the H/J bases once per decide() and pre-interns the
+// dense coefficient keys of its candidate grid, so each scored (S, P) pays
+// only this prepared kernel. (Before the dense-table refactor this bench
+// recomputed bases and took four std::map lookups per call — that legacy
+// shape is kept as BM_ModelPredictPairColdBases below.)
 void BM_ModelPredictPair(benchmark::State& state) {
+  const auto& env = report::Environment::get();
+  const core::PartitionState s{4, 3, gpusim::MemOption::Shared};
+  const core::PreparedPair prepared =
+      core::prepare_pair(env.profile("igemm4"), env.profile("stream"));
+  const auto& model = env.artifacts.model;
+  const auto key1 = model.dense_key(s.gpcs_app1, s.option, 230);
+  const auto key2 = model.dense_key(s.gpcs_app2, s.option, 230);
+  for (auto _ : state) {
+    const auto m =
+        core::predict_pair_prepared(model, prepared, key1, key2, s, 230.0);
+    benchmark::DoNotOptimize(m.throughput);
+  }
+}
+BENCHMARK(BM_ModelPredictPair);
+
+// One-shot prediction from raw profiles (basis features recomputed per call)
+// — what callers outside a search loop pay.
+void BM_ModelPredictPairColdBases(benchmark::State& state) {
   const auto& env = report::Environment::get();
   const auto& f1 = env.profile("igemm4");
   const auto& f2 = env.profile("stream");
@@ -67,7 +92,40 @@ void BM_ModelPredictPair(benchmark::State& state) {
     benchmark::DoNotOptimize(m.throughput);
   }
 }
-BENCHMARK(BM_ModelPredictPair);
+BENCHMARK(BM_ModelPredictPairColdBases);
+
+// The batched kernel: sweep every cap of one partition state against the
+// pre-interned coefficient rows — the optimizer's inner loop per state.
+void BM_ModelPredictStateSweepBatched(benchmark::State& state) {
+  const auto& env = report::Environment::get();
+  const auto& model = env.artifacts.model;
+  const core::PartitionState s{4, 3, gpusim::MemOption::Shared};
+  const core::PreparedPair prepared =
+      core::prepare_pair(env.profile("igemm4"), env.profile("stream"));
+  const auto caps = core::paper_power_caps();
+  struct Candidate {
+    core::PerfModel::DenseKey key1;
+    core::PerfModel::DenseKey key2;
+    double cap;
+  };
+  std::vector<Candidate> grid;
+  for (const double cap : caps) {
+    const int watts = core::cap_grid_watts(cap);
+    grid.push_back({model.dense_key(s.gpcs_app1, s.option, watts),
+                    model.dense_key(s.gpcs_app2, s.option, watts), cap});
+  }
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const Candidate& c : grid)
+      acc += core::predict_pair_prepared(model, prepared, c.key1, c.key2, s,
+                                         c.cap)
+                 .throughput;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+}
+BENCHMARK(BM_ModelPredictStateSweepBatched);
 
 void BM_OptimizerExhaustiveProblem1(benchmark::State& state) {
   const auto& env = report::Environment::get();
@@ -110,6 +168,84 @@ void BM_OptimizerHillClimbFlexible(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OptimizerHillClimbFlexible);
+
+// Exhaustive decide() over a large synthetic state space (every 2-way split
+// of 1..6 GPCs in both options x a 100..400 W cap grid in 10 W steps —
+// ~1300 candidates), the "far larger search spaces" direction of Section 6.
+void BM_OptimizerExhaustiveLargeSynthetic(benchmark::State& state) {
+  const auto& env = report::Environment::get();
+  static const core::PerfModel synthetic_model = [] {
+    core::PerfModel model;
+    for (int gpcs = 1; gpcs <= 6; ++gpcs) {
+      for (const auto option :
+           {gpusim::MemOption::Shared, gpusim::MemOption::Private}) {
+        for (int cap = 100; cap <= 400; cap += 10) {
+          const auto key = core::ModelKey::make(gpcs, option, cap);
+          const double scale =
+              (0.12 + 0.11 * gpcs) * (0.6 + 0.4 * (cap - 100.0) / 300.0);
+          model.set_scalability(key, {0.3 * scale, 0.5 * scale, -0.05 * scale,
+                                      0.1 * scale, 0.2 * scale, 0.4 * scale});
+          model.set_interference(key, {-0.08, -0.03, -0.01});
+        }
+      }
+    }
+    return model;
+  }();
+  static const std::vector<core::PartitionState> synthetic_states = [] {
+    std::vector<core::PartitionState> states;
+    for (int g1 = 1; g1 <= 6; ++g1)
+      for (int g2 = 1; g2 + g1 <= 7; ++g2)
+        for (const auto option :
+             {gpusim::MemOption::Shared, gpusim::MemOption::Private})
+          states.push_back({g1, g2, option});
+    return states;
+  }();
+  static const std::vector<double> synthetic_caps = [] {
+    std::vector<double> caps;
+    for (int cap = 100; cap <= 400; cap += 10) caps.push_back(cap);
+    return caps;
+  }();
+  const core::Optimizer optimizer(synthetic_model, synthetic_states,
+                                  synthetic_caps);
+  const core::Policy policy = core::Policy::problem2(0.2);
+  for (auto _ : state) {
+    const auto d =
+        optimizer.decide(env.profile("srad"), env.profile("needle"), policy);
+    benchmark::DoNotOptimize(d.objective_value);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(synthetic_states.size() * synthetic_caps.size()));
+}
+BENCHMARK(BM_OptimizerExhaustiveLargeSynthetic);
+
+// A warm-cache scheduler dispatch: the pairing-window search is answered by
+// the DecisionCache instead of re-running the exhaustive search.
+void BM_SchedulerCachedDispatch(benchmark::State& state) {
+  const auto& env = report::Environment::get();
+  static core::ResourcePowerAllocator allocator(
+      env.artifacts.model, env.artifacts.profiles,
+      core::ResourcePowerAllocator::Config{});
+  static sched::CoScheduler scheduler(allocator,
+                                      core::Policy::problem1(230.0, 0.2));
+  sched::Job job1;
+  job1.id = 0;
+  job1.app = "igemm4";
+  job1.kernel = &env.kernel("igemm4");
+  job1.work_units = 100.0;
+  sched::Job job2 = job1;
+  job2.id = 1;
+  job2.app = "stream";
+  job2.kernel = &env.kernel("stream");
+  sched::JobQueue queue;
+  for (auto _ : state) {
+    queue.push(job1);
+    queue.push(job2);
+    const auto plan = scheduler.next(queue, 0.0);
+    benchmark::DoNotOptimize(plan->power_cap_watts);
+  }
+}
+BENCHMARK(BM_SchedulerCachedDispatch);
 
 void BM_OfflineTrainingFullGrid(benchmark::State& state) {
   const auto& env = report::Environment::get();

@@ -12,20 +12,28 @@
 //  4. verify by measurement, and place the winning configuration through the
 //     MIG state machine exactly as a job manager would.
 //
-// Build & run:  ./examples/nway_colocation  (no arguments)
+// The walk is a report scenario, so the tool speaks the shared bench CLI and
+// --json emits the same schema-v1 BENCH document as the benches.
+//
+// Build & run:  ./examples/nway_colocation  [--json PATH] [--list] ...
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/evaluator.hpp"
 #include "core/optimizer.hpp"
 #include "core/trainer.hpp"
 #include "gpusim/gpu.hpp"
+#include "report/harness.hpp"
 #include "workloads/corun_pairs.hpp"
 #include "workloads/registry.hpp"
 
-int main() {
-  using namespace migopt;
+namespace {
 
+using namespace migopt;
+using report::MetricValue;
+
+report::ScenarioResult run_triple(const report::RunContext&) {
   // 1. Device + flexible-grid training.
   gpusim::GpuChip chip;
   const wl::WorkloadRegistry registry(chip.arch());
@@ -33,13 +41,9 @@ int main() {
   config.corun_states = core::flexible_states(chip.arch());
   const auto artifacts =
       core::train_offline(chip, registry, wl::table8_pairs(), config);
-  std::printf("trained over the flexible pair grid: %zu interference keys\n",
-              artifacts.model.interference_entries());
 
   // 2. The three-member state space.
   const auto states = core::group_states(chip.arch(), 3);
-  std::printf("three-member partition states on this device: %zu\n\n",
-              states.size());
 
   // 3. Decide for a complementary triple: Tensor + bandwidth + latency-bound.
   const std::vector<std::string> apps = {"igemm4", "stream", "needle"};
@@ -50,12 +54,28 @@ int main() {
                                   core::paper_power_caps());
   const core::GroupDecision decision =
       optimizer.decide_group(profiles, states, core::Policy::problem2(0.2));
-  std::printf("Problem 2 decision for (%s, %s, %s):\n", apps[0].c_str(),
-              apps[1].c_str(), apps[2].c_str());
-  std::printf("  state %s at %.0f W — predicted throughput %.3f, fairness %.3f\n",
-              decision.state.name().c_str(), decision.power_cap_watts,
-              decision.predicted.throughput, decision.predicted.fairness);
-  std::printf("  (%zu candidates scored)\n\n", decision.evaluations);
+
+  report::ScenarioResult result;
+  report::Section decision_section;
+  decision_section.title = "Problem 2 decision for (igemm4, stream, needle)";
+  decision_section.label_header = "decision";
+  decision_section.columns = {"state", "cap [W]", "pred. throughput",
+                              "pred. fairness", "candidates"};
+  decision_section.add_row(
+      "optimizer pick",
+      {MetricValue::str(decision.state.name()),
+       MetricValue::num(decision.power_cap_watts, 0),
+       MetricValue::num(decision.predicted.throughput),
+       MetricValue::num(decision.predicted.fairness),
+       MetricValue::of_count(static_cast<long long>(decision.evaluations))});
+  decision_section.add_summary(
+      "interference_keys",
+      MetricValue::of_count(
+          static_cast<long long>(artifacts.model.interference_entries())));
+  decision_section.add_summary(
+      "three_member_states",
+      MetricValue::of_count(static_cast<long long>(states.size())));
+  result.add_section(std::move(decision_section));
 
   // 4a. Verify by measurement.
   const std::vector<const gpusim::KernelDescriptor*> kernels = {
@@ -63,25 +83,56 @@ int main() {
       &registry.by_name(apps[2]).kernel};
   const core::GroupMetrics measured = core::measure_group(
       chip, kernels, decision.state, decision.power_cap_watts);
-  std::printf("measured at the chosen configuration:\n");
+  report::Section measured_section;
+  measured_section.title = "measured at the chosen configuration";
+  measured_section.label_header = "member";
+  measured_section.columns = {"GPCs", "RPerf"};
   for (std::size_t i = 0; i < apps.size(); ++i)
-    std::printf("  RPerf(%s on %dg) = %.3f\n", apps[i].c_str(),
-                decision.state.gpcs_of(i), measured.relperf[i]);
-  std::printf("  throughput %.3f, fairness %.3f, efficiency %.5f 1/W\n\n",
-              measured.throughput, measured.fairness,
-              measured.energy_efficiency);
+    measured_section.add_row(
+        apps[i], {MetricValue::of_count(decision.state.gpcs_of(i)),
+                  MetricValue::num(measured.relperf[i])});
+  measured_section.add_summary("throughput", MetricValue::num(measured.throughput));
+  measured_section.add_summary("fairness", MetricValue::num(measured.fairness));
+  measured_section.add_summary("efficiency_per_watt",
+                               MetricValue::num(measured.energy_efficiency, 5));
+  result.add_section(std::move(measured_section));
 
   // 4b. Build the MIG configuration a job manager would create for it.
   chip.mig().enable_mig();
   const auto cis = chip.mig().place_group(decision.state.gpcs,
                                           decision.state.option);
-  std::printf("MIG layout for %s:\n", decision.state.name().c_str());
+  report::Section layout;
+  layout.title = "MIG layout for " + decision.state.name();
+  layout.label_header = "member";
+  layout.columns = {"CI", "CI GPCs", "GI", "first slice", "last slice",
+                    "mem modules"};
   for (std::size_t i = 0; i < cis.size(); ++i) {
     const auto& ci = chip.mig().compute_instance(cis[i]);
     const auto& gi = chip.mig().gpu_instance(ci.gi);
-    std::printf("  %s -> CI %d (%dg) in GI %d [slices %d-%d, %d mem modules]\n",
-                apps[i].c_str(), ci.id, ci.gpc_slices, gi.id, gi.start_slice,
-                gi.start_slice + gi.gpc_slices - 1, gi.mem_modules);
+    layout.add_row(apps[i],
+                   {MetricValue::of_count(ci.id),
+                    MetricValue::of_count(ci.gpc_slices),
+                    MetricValue::of_count(gi.id),
+                    MetricValue::of_count(gi.start_slice),
+                    MetricValue::of_count(gi.start_slice + gi.gpc_slices - 1),
+                    MetricValue::of_count(gi.mem_modules)});
   }
-  return 0;
+  result.add_section(std::move(layout));
+  result.add_note(
+      "The optimizer searches the full three-member space with interference\n"
+      "coefficients trained on the flexible pair grid; the measured check\n"
+      "runs the winning (state, cap) on the simulated device.");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"nway_triple", "Extension",
+     "three-way co-location: flexible training, group search, measured check, "
+     "MIG placement",
+     run_triple});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("nway_colocation", argc, argv);
 }

@@ -9,17 +9,52 @@
 
 namespace migopt::core {
 
+namespace detail {
+
+void throw_missing_pair_coeffs(const PerfModel& model,
+                               const PartitionState& state,
+                               double power_cap_watts) {
+  // Reproduce the exact failure predict_pair's slow path raises, in the same
+  // order: key construction contracts first, then key1's C/D, then key2's.
+  const ModelKey key1 =
+      ModelKey::make(state.gpcs_app1, state.option, power_cap_watts);
+  const ModelKey key2 =
+      ModelKey::make(state.gpcs_app2, state.option, power_cap_watts);
+  if (!model.has_scalability(key1)) model.scalability(key1);
+  if (!model.has_interference(key1)) model.interference(key1);
+  if (!model.has_scalability(key2)) model.scalability(key2);
+  if (!model.has_interference(key2)) model.interference(key2);
+  MIGOPT_ENSURE(false, "dense coefficient index out of sync with the maps");
+}
+
+namespace {
+
+[[noreturn]] void throw_missing_member_coeffs(const PerfModel& model, int gpcs,
+                                              gpusim::MemOption option,
+                                              double power_cap_watts,
+                                              bool need_interference) {
+  const ModelKey key = ModelKey::make(gpcs, option, power_cap_watts);
+  if (!model.has_scalability(key)) model.scalability(key);
+  if (need_interference && !model.has_interference(key)) model.interference(key);
+  MIGOPT_ENSURE(false, "dense coefficient index out of sync with the maps");
+}
+
+}  // namespace
+
+}  // namespace detail
+
 namespace {
 
 PairMetrics finish(double r1, double r2, double cap) {
-  PairMetrics m;
-  m.relperf_app1 = r1;
-  m.relperf_app2 = r2;
+  const PairMetrics m = make_pair_metrics(r1, r2, cap);
+  // The span-based helpers define (and validate) the metrics; the inline
+  // assembly must agree exactly, or predicted and measured pair metrics
+  // would silently diverge.
   const std::array<double, 2> rels = {r1, r2};
-  m.throughput = weighted_speedup(rels);
-  m.fairness = fairness(rels);
-  m.power_cap_watts = cap;
-  m.energy_efficiency = energy_efficiency(m.throughput, cap);
+  MIGOPT_ENSURE(m.throughput == weighted_speedup(rels) &&
+                    m.fairness == fairness(rels) &&
+                    m.energy_efficiency == energy_efficiency(m.throughput, cap),
+                "make_pair_metrics diverged from the core metric helpers");
   return m;
 }
 
@@ -37,18 +72,26 @@ PairMetrics measure_pair(const gpusim::GpuChip& chip,
   return finish(r1, r2, power_cap_watts);
 }
 
+PairMetrics predict_pair_prepared(const PerfModel& model,
+                                  const PreparedPair& prepared,
+                                  const PartitionState& state,
+                                  double power_cap_watts) {
+  const int watts = cap_grid_watts(power_cap_watts);
+  PerfModel::DenseKey key1 = PerfModel::kNoKey;
+  PerfModel::DenseKey key2 = PerfModel::kNoKey;
+  if (watts > 0) {
+    key1 = model.dense_key(state.gpcs_app1, state.option, watts);
+    key2 = model.dense_key(state.gpcs_app2, state.option, watts);
+  }
+  return predict_pair_prepared(model, prepared, key1, key2, state,
+                               power_cap_watts);
+}
+
 PairMetrics predict_pair(const PerfModel& model, const prof::CounterSet& profile1,
                          const prof::CounterSet& profile2,
                          const PartitionState& state, double power_cap_watts) {
-  const ModelKey key1 =
-      ModelKey::make(state.gpcs_app1, state.option, power_cap_watts);
-  const ModelKey key2 =
-      ModelKey::make(state.gpcs_app2, state.option, power_cap_watts);
-  const double r1 = PerfModel::clamp_relperf(
-      model.predict(key1, profile1, {&profile2, 1}));
-  const double r2 = PerfModel::clamp_relperf(
-      model.predict(key2, profile2, {&profile1, 1}));
-  return finish(r1, r2, power_cap_watts);
+  return predict_pair_prepared(model, prepare_pair(profile1, profile2), state,
+                               power_cap_watts);
 }
 
 namespace {
@@ -84,23 +127,60 @@ GroupMetrics measure_group(const gpusim::GpuChip& chip,
   return finish_group(std::move(relperf), power_cap_watts);
 }
 
+PreparedGroup prepare_group(std::span<const prof::CounterSet> profiles) {
+  PreparedGroup prepared;
+  prepared.h.reserve(profiles.size());
+  prepared.j.reserve(profiles.size());
+  for (const auto& profile : profiles) {
+    prepared.h.push_back(basis_h(profile));
+    prepared.j.push_back(basis_j(profile));
+  }
+  return prepared;
+}
+
+GroupMetrics predict_group_prepared(const PerfModel& model,
+                                    const PreparedGroup& prepared,
+                                    const GroupState& state,
+                                    double power_cap_watts) {
+  MIGOPT_REQUIRE(prepared.size() == state.size(),
+                 "profile count does not match the group state");
+  const std::size_t n = prepared.size();
+  const bool need_interference = n > 1;
+  const int watts = cap_grid_watts(power_cap_watts);
+  std::vector<double> relperf(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int gpcs = state.gpcs_of(i);
+    const PerfModel::DenseKey key =
+        watts > 0 ? model.dense_key(gpcs, state.option, watts)
+                  : PerfModel::kNoKey;
+    if (!model.dense_has_scalability(key) ||
+        (need_interference && !model.dense_has_interference(key))) [[unlikely]]
+      detail::throw_missing_member_coeffs(model, gpcs, state.option,
+                                          power_cap_watts, need_interference);
+    const double* c = model.scalability_row(key);
+    double acc = 0.0;
+    for (std::size_t b = 0; b < kHBasisCount; ++b)
+      acc += c[b] * prepared.h[i][b];
+    if (need_interference) {
+      const double* d = model.interference_row(key);
+      for (std::size_t other = 0; other < n; ++other) {
+        if (other == i) continue;
+        for (std::size_t b = 0; b < kJBasisCount; ++b)
+          acc += d[b] * prepared.j[other][b];
+      }
+    }
+    relperf[i] = PerfModel::clamp_relperf(acc);
+  }
+  return finish_group(std::move(relperf), power_cap_watts);
+}
+
 GroupMetrics predict_group(const PerfModel& model,
                            std::span<const prof::CounterSet> profiles,
                            const GroupState& state, double power_cap_watts) {
   MIGOPT_REQUIRE(profiles.size() == state.size(),
                  "profile count does not match the group state");
-  std::vector<double> relperf(profiles.size(), 0.0);
-  std::vector<prof::CounterSet> others;
-  others.reserve(profiles.size() - 1);
-  for (std::size_t i = 0; i < profiles.size(); ++i) {
-    const ModelKey key =
-        ModelKey::make(state.gpcs_of(i), state.option, power_cap_watts);
-    others.clear();
-    for (std::size_t j = 0; j < profiles.size(); ++j)
-      if (j != i) others.push_back(profiles[j]);
-    relperf[i] = PerfModel::clamp_relperf(model.predict(key, profiles[i], others));
-  }
-  return finish_group(std::move(relperf), power_cap_watts);
+  return predict_group_prepared(model, prepare_group(profiles), state,
+                                power_cap_watts);
 }
 
 }  // namespace migopt::core

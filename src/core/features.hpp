@@ -4,8 +4,13 @@
 // interference term uses J (3 components incl. a constant). The model is
 // linear in these bases; the coefficient vectors C and D are per hardware
 // state (see perf_model.hpp).
+//
+// Everything here is header-inline: the bases sit on the per-candidate hot
+// path of the optimizer's search, and the callers that cannot hoist them out
+// of a loop (predict_pair on raw profiles) must still inline them fully.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 
@@ -16,11 +21,18 @@ namespace migopt::core {
 inline constexpr std::size_t kHBasisCount = 6;
 inline constexpr std::size_t kJBasisCount = 3;
 
+using HBasis = std::array<double, kHBasisCount>;
+using JBasis = std::array<double, kJBasisCount>;
+
 inline constexpr std::array<const char*, kHBasisCount> kHBasisNames = {
     "H1_nontensor_compute", "H2_tensor_compute", "H3_mem_compute_ratio",
     "H4_l2_locality",       "H5_occupancy",      "H6_const"};
 inline constexpr std::array<const char*, kJBasisCount> kJBasisNames = {
     "J1_dram_intensity", "J2_access_pattern", "J3_const"};
+
+/// Upper clamp applied to H3 so bandwidth-saturating kernels with tiny
+/// compute utilization do not produce unbounded leverage in the fit.
+inline constexpr double kMemComputeRatioClamp = 2.0;
 
 /// Table 4:
 ///   H1 = F1/100 - H2   (non-tensor compute intensity)
@@ -29,16 +41,29 @@ inline constexpr std::array<const char*, kJBasisCount> kJBasisNames = {
 ///   H4 = F4/100         (LLC locality)
 ///   H5 = F5/100         (resource utilization / occupancy)
 ///   H6 = 1              (constant)
-std::array<double, kHBasisCount> basis_h(const prof::CounterSet& f) noexcept;
+inline HBasis basis_h(const prof::CounterSet& f) noexcept {
+  using prof::Counter;
+  const double tensor = (f[Counter::TensorMixedPct] + f[Counter::TensorDoublePct] +
+                         f[Counter::TensorIntegerPct]) /
+                        100.0;
+  const double h2 = std::min(1.0, tensor);
+  const double h1 = std::max(0.0, f[Counter::ComputeThroughputPct] / 100.0 - h2);
+  double h3 = 0.0;
+  if (f[Counter::ComputeThroughputPct] > 1e-9)
+    h3 = std::min(kMemComputeRatioClamp,
+                  f[Counter::MemoryThroughputPct] / f[Counter::ComputeThroughputPct]);
+  const double h4 = f[Counter::L2HitRatePct] / 100.0;
+  const double h5 = f[Counter::OccupancyPct] / 100.0;
+  return {h1, h2, h3, h4, h5, 1.0};
+}
 
 /// Table 4:
 ///   J1 = F3/100 (DRAM intensity of the co-runner)
 ///   J2 = F4/100 (access-pattern proxy: co-runner LLC hit rate)
 ///   J3 = 1      (constant)
-std::array<double, kJBasisCount> basis_j(const prof::CounterSet& f) noexcept;
-
-/// Upper clamp applied to H3 so bandwidth-saturating kernels with tiny
-/// compute utilization do not produce unbounded leverage in the fit.
-inline constexpr double kMemComputeRatioClamp = 2.0;
+inline JBasis basis_j(const prof::CounterSet& f) noexcept {
+  using prof::Counter;
+  return {f[Counter::DramThroughputPct] / 100.0, f[Counter::L2HitRatePct] / 100.0, 1.0};
+}
 
 }  // namespace migopt::core

@@ -13,38 +13,87 @@ Optimizer::Optimizer(const PerfModel& model, std::vector<PartitionState> states,
     : model_(&model), states_(std::move(states)), caps_(std::move(caps)) {
   MIGOPT_REQUIRE(!states_.empty(), "optimizer needs at least one state");
   MIGOPT_REQUIRE(!caps_.empty(), "optimizer needs at least one power cap");
+  model_revision_ = model.revision();
+
+  cap_watts_.resize(caps_.size());
+  for (std::size_t c = 0; c < caps_.size(); ++c)
+    cap_watts_[c] = cap_grid_watts(caps_[c]);
+
+  caps_sorted_.resize(caps_.size());
+  for (std::size_t c = 0; c < caps_.size(); ++c) caps_sorted_[c] = c;
+  std::sort(caps_sorted_.begin(), caps_sorted_.end(),
+            [this](std::size_t a, std::size_t b) { return caps_[a] < caps_[b]; });
+  min_cap_value_ = caps_[caps_sorted_.front()];
+
+  grid_.resize(states_.size() * caps_.size());
+  for (std::size_t s = 0; s < states_.size(); ++s)
+    for (std::size_t c = 0; c < caps_.size(); ++c)
+      grid_[s * caps_.size() + c] = keys_for(states_[s], cap_watts_[c]);
 }
 
 Optimizer Optimizer::paper_default(const PerfModel& model) {
   return Optimizer(model, paper_states(), paper_power_caps());
 }
 
-std::vector<double> Optimizer::caps_for(const Policy& policy) const {
+Optimizer::KeyPair Optimizer::keys_for(const PartitionState& state,
+                                       int watts) const noexcept {
+  if (watts < 0) return {};
+  return {model_->dense_key(state.gpcs_app1, state.option, watts),
+          model_->dense_key(state.gpcs_app2, state.option, watts)};
+}
+
+void Optimizer::check_model_unchanged() const {
+  MIGOPT_REQUIRE(model_->revision() == model_revision_,
+                 "PerfModel was mutated after this Optimizer pre-interned its "
+                 "candidate grid — rebuild the Optimizer");
+}
+
+Optimizer::CapSelection Optimizer::select_caps(const Policy& policy) const {
+  CapSelection sel;
   const double ceiling = policy.power_cap_ceiling.value_or(
       std::numeric_limits<double>::infinity());
   if (policy.fixed_power_cap.has_value()) {
-    if (*policy.fixed_power_cap <= ceiling) return {*policy.fixed_power_cap};
+    sel.single = true;
+    if (*policy.fixed_power_cap <= ceiling) {
+      sel.value = *policy.fixed_power_cap;
+      sel.watts = cap_grid_watts(sel.value);
+      for (std::size_t c = 0; c < caps_.size(); ++c) {
+        if (caps_[c] == sel.value) {
+          sel.index = static_cast<int>(c);
+          break;
+        }
+      }
+      return sel;
+    }
     // Fixed cap above the ceiling: degrade to the best trained cap that
     // still fits (may be none).
-    std::vector<double> fallback;
-    for (const double cap : caps_)
-      if (cap <= ceiling) fallback.push_back(cap);
-    if (!fallback.empty()) fallback = {*std::max_element(fallback.begin(),
-                                                         fallback.end())};
-    return fallback;
+    for (std::size_t i = caps_sorted_.size(); i-- > 0;) {
+      const std::size_t c = caps_sorted_[i];
+      if (caps_[c] <= ceiling) {
+        sel.value = caps_[c];
+        sel.index = static_cast<int>(c);
+        sel.watts = cap_watts_[c];
+        return sel;
+      }
+    }
+    sel.none = true;
+    return sel;
   }
-  std::vector<double> out;
-  for (const double cap : caps_)
-    if (cap <= ceiling) out.push_back(cap);
-  return out;
+  if (min_cap_value_ > ceiling) {
+    sel.none = true;
+    return sel;
+  }
+  sel.ceiling = ceiling;
+  return sel;
 }
 
-Optimizer::Scored Optimizer::score(const prof::CounterSet& profile1,
-                                   const prof::CounterSet& profile2,
-                                   const PartitionState& state, double cap,
-                                   const Policy& policy) const {
+Optimizer::Scored Optimizer::score_prepared(const PreparedPair& prepared,
+                                            const PartitionState& state,
+                                            KeyPair keys, double cap,
+                                            const Policy& policy) const {
   Scored scored;
-  scored.metrics = predict_pair(*model_, profile1, profile2, state, cap);
+  scored.metrics =
+      predict_pair_prepared(*model_, prepared, keys.key1, keys.key2, state, cap);
   scored.feasible =
       scored.metrics.fairness > policy.alpha + policy.fairness_margin;
   if (scored.feasible) {
@@ -65,21 +114,40 @@ bool Optimizer::better(const Scored& a, const Scored& b) noexcept {
 Decision Optimizer::decide(const prof::CounterSet& profile1,
                            const prof::CounterSet& profile2,
                            const Policy& policy) const {
+  check_model_unchanged();
   Decision decision;
-  const std::vector<double> caps = caps_for(policy);
-  if (caps.empty()) return decision;  // ceiling below every trained cap
+  const CapSelection sel = select_caps(policy);
+  if (sel.none) return decision;  // ceiling below every trained cap
+
+  const PreparedPair prepared = prepare_pair(profile1, profile2);
   bool first = true;
   Scored best;
-  for (const auto& state : states_) {
-    for (const double cap : caps) {
-      const Scored candidate = score(profile1, profile2, state, cap, policy);
-      ++decision.evaluations;
-      if (first || better(candidate, best)) {
-        first = false;
-        best = candidate;
-        decision.state = state;
-        decision.power_cap_watts = cap;
-      }
+  const auto consider = [&](const PartitionState& state, KeyPair keys,
+                            double cap) {
+    const Scored candidate = score_prepared(prepared, state, keys, cap, policy);
+    ++decision.evaluations;
+    if (first || better(candidate, best)) {
+      first = false;
+      best = candidate;
+      decision.state = state;
+      decision.power_cap_watts = cap;
+    }
+  };
+
+  const std::size_t cap_count = caps_.size();
+  for (std::size_t s = 0; s < states_.size(); ++s) {
+    const PartitionState& state = states_[s];
+    if (sel.single) {
+      const KeyPair keys = sel.index >= 0
+                               ? grid_[s * cap_count + static_cast<std::size_t>(sel.index)]
+                               : keys_for(state, sel.watts);
+      consider(state, keys, sel.value);
+    } else {
+      // Batched sweep: every admissible cap of this state against the
+      // pre-interned coefficient rows.
+      const KeyPair* row = grid_.data() + s * cap_count;
+      for (std::size_t c = 0; c < cap_count; ++c)
+        if (caps_[c] <= sel.ceiling) consider(state, row[c], caps_[c]);
     }
   }
   decision.feasible = best.feasible;
@@ -93,37 +161,47 @@ GroupDecision Optimizer::decide_group(std::span<const prof::CounterSet> profiles
                                       const Policy& policy) const {
   MIGOPT_REQUIRE(!profiles.empty(), "decide_group needs at least one profile");
   MIGOPT_REQUIRE(!group_states.empty(), "decide_group needs at least one state");
+  check_model_unchanged();
 
   GroupDecision decision;
-  const std::vector<double> caps = caps_for(policy);
-  if (caps.empty()) return decision;  // ceiling below every trained cap
+  const CapSelection sel = select_caps(policy);
+  if (sel.none) return decision;  // ceiling below every trained cap
+
+  const PreparedGroup prepared = prepare_group(profiles);
   bool first = true;
   bool best_feasible = false;
   double best_score = 0.0;
+  const auto consider = [&](const GroupState& state, double cap) {
+    const GroupMetrics metrics =
+        predict_group_prepared(*model_, prepared, state, cap);
+    ++decision.evaluations;
+    const bool feasible =
+        metrics.fairness > policy.alpha + policy.fairness_margin;
+    const double score =
+        feasible ? (policy.objective == PolicyObjective::Throughput
+                        ? metrics.throughput
+                        : metrics.energy_efficiency)
+                 : metrics.fairness;
+    const bool take = first || (feasible != best_feasible ? feasible
+                                                          : score > best_score);
+    if (take) {
+      first = false;
+      best_feasible = feasible;
+      best_score = score;
+      decision.state = state;
+      decision.power_cap_watts = cap;
+      decision.predicted = metrics;
+    }
+  };
+
   for (const GroupState& state : group_states) {
     MIGOPT_REQUIRE(state.size() == profiles.size(),
                    "group state size does not match the profile count");
-    for (const double cap : caps) {
-      const GroupMetrics metrics =
-          predict_group(*model_, profiles, state, cap);
-      ++decision.evaluations;
-      const bool feasible =
-          metrics.fairness > policy.alpha + policy.fairness_margin;
-      const double score =
-          feasible ? (policy.objective == PolicyObjective::Throughput
-                          ? metrics.throughput
-                          : metrics.energy_efficiency)
-                   : metrics.fairness;
-      const bool take = first || (feasible != best_feasible ? feasible
-                                                            : score > best_score);
-      if (take) {
-        first = false;
-        best_feasible = feasible;
-        best_score = score;
-        decision.state = state;
-        decision.power_cap_watts = cap;
-        decision.predicted = metrics;
-      }
+    if (sel.single) {
+      consider(state, sel.value);
+    } else {
+      for (std::size_t c = 0; c < caps_.size(); ++c)
+        if (caps_[c] <= sel.ceiling) consider(state, caps_[c]);
     }
   }
   decision.feasible = best_feasible;
@@ -136,8 +214,37 @@ Decision Optimizer::decide_hill_climb(const prof::CounterSet& profile1,
                                       const Policy& policy, Rng& rng,
                                       int restarts) const {
   MIGOPT_REQUIRE(restarts >= 1, "need at least one restart");
-  const std::vector<double> caps = caps_for(policy);
-  if (caps.empty()) return Decision{};  // ceiling below every trained cap
+  check_model_unchanged();
+  const CapSelection sel = select_caps(policy);
+  if (sel.none) return Decision{};  // ceiling below every trained cap
+
+  // The climb moves along the cap axis by adjacent indices, so it needs the
+  // admissible caps materialized once per call (grid indices + values; -1
+  // index for an off-grid fixed cap).
+  struct CapRef {
+    double value;
+    int index;
+    int watts;
+  };
+  std::vector<CapRef> caps;
+  if (sel.single) {
+    caps.push_back({sel.value, sel.index, sel.watts});
+  } else {
+    caps.reserve(caps_.size());
+    for (std::size_t c = 0; c < caps_.size(); ++c)
+      if (caps_[c] <= sel.ceiling)
+        caps.push_back({caps_[c], static_cast<int>(c), cap_watts_[c]});
+  }
+
+  const PreparedPair prepared = prepare_pair(profile1, profile2);
+  const std::size_t cap_count = caps_.size();
+  const auto score_at = [&](std::size_t state_idx, const CapRef& cap) {
+    const KeyPair keys =
+        cap.index >= 0
+            ? grid_[state_idx * cap_count + static_cast<std::size_t>(cap.index)]
+            : keys_for(states_[state_idx], cap.watts);
+    return score_prepared(prepared, states_[state_idx], keys, cap.value, policy);
+  };
 
   // Neighborhood: states whose split differs by at most one GPC on each side
   // with the same option, or the same split with the other option; plus
@@ -166,8 +273,7 @@ Decision Optimizer::decide_hill_climb(const prof::CounterSet& profile1,
   for (int restart = 0; restart < restarts; ++restart) {
     std::size_t state_idx = static_cast<std::size_t>(rng.bounded(states_.size()));
     std::size_t cap_idx = static_cast<std::size_t>(rng.bounded(caps.size()));
-    Scored current =
-        score(profile1, profile2, states_[state_idx], caps[cap_idx], policy);
+    Scored current = score_at(state_idx, caps[cap_idx]);
     ++decision.evaluations;
 
     bool improved = true;
@@ -175,8 +281,7 @@ Decision Optimizer::decide_hill_climb(const prof::CounterSet& profile1,
       improved = false;
       // State moves.
       for (const std::size_t j : state_neighbors(state_idx)) {
-        const Scored candidate =
-            score(profile1, profile2, states_[j], caps[cap_idx], policy);
+        const Scored candidate = score_at(j, caps[cap_idx]);
         ++decision.evaluations;
         if (better(candidate, current)) {
           current = candidate;
@@ -190,8 +295,7 @@ Decision Optimizer::decide_hill_climb(const prof::CounterSet& profile1,
         if (down && cap_idx == 0) continue;
         if (!down && cap_idx + 1 >= caps.size()) continue;
         const std::size_t j = down ? cap_idx - 1 : cap_idx + 1;
-        const Scored candidate =
-            score(profile1, profile2, states_[state_idx], caps[j], policy);
+        const Scored candidate = score_at(state_idx, caps[j]);
         ++decision.evaluations;
         if (better(candidate, current)) {
           current = candidate;
@@ -205,7 +309,7 @@ Decision Optimizer::decide_hill_climb(const prof::CounterSet& profile1,
       have_best = true;
       best = current;
       decision.state = states_[state_idx];
-      decision.power_cap_watts = caps[cap_idx];
+      decision.power_cap_watts = caps[cap_idx].value;
     }
   }
 

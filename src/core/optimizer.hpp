@@ -5,8 +5,17 @@
 // The paper uses exhaustive search ("the number of selections here is very
 // small... 4 x 6 = 24") and points at hill climbing for larger future spaces
 // (Section 6); both are provided.
+//
+// Hot-path layout: the constructor pre-interns the whole (state × cap)
+// candidate grid into dense PerfModel keys, so a decide() computes the basis
+// features once per profile, selects admissible caps as an index range over
+// the grid (no allocation), and sweeps candidates through the prepared
+// scoring kernel — two array reads and a handful of FMAs each. The grid is
+// tied to the model's revision(): mutating the model afterwards makes
+// decisions throw instead of silently using stale coefficients.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -44,7 +53,9 @@ struct GroupDecision {
 class Optimizer {
  public:
   /// The optimizer searches over `states` x `caps`; all combinations must be
-  /// covered by the model's trained keys.
+  /// covered by the model's trained keys. The model must outlive the
+  /// optimizer and must not be mutated afterwards (decisions check the
+  /// model's revision and throw on staleness).
   Optimizer(const PerfModel& model, std::vector<PartitionState> states,
             std::vector<double> caps);
 
@@ -60,7 +71,7 @@ class Optimizer {
 
   /// Random-restart hill climbing for large state spaces. Moves along the
   /// partition-split / option / cap axes; quality is validated against the
-  /// exhaustive oracle in the test suite.
+  /// exhaustive oracle in the test suite. Deterministic for a fixed seed.
   Decision decide_hill_climb(const prof::CounterSet& profile1,
                              const prof::CounterSet& profile2, const Policy& policy,
                              Rng& rng, int restarts = 4) const;
@@ -73,6 +84,12 @@ class Optimizer {
                              const Policy& policy) const;
 
  private:
+  /// Pre-interned dense keys of one (state, cap) candidate.
+  struct KeyPair {
+    PerfModel::DenseKey key1 = PerfModel::kNoKey;
+    PerfModel::DenseKey key2 = PerfModel::kNoKey;
+  };
+
   /// Lexicographic score: any feasible beats all infeasible; feasible ranks by
   /// objective; infeasible ranks by fairness (to drive toward feasibility).
   struct Scored {
@@ -80,15 +97,41 @@ class Optimizer {
     double score = 0.0;
     PairMetrics metrics;
   };
-  Scored score(const prof::CounterSet& profile1, const prof::CounterSet& profile2,
-               const PartitionState& state, double cap, const Policy& policy) const;
+
+  /// Which caps a policy admits, resolved once per decision without
+  /// materializing a vector: either one explicit cap (Problem 1 / ceiling
+  /// fallback) or the grid filtered by a ceiling.
+  struct CapSelection {
+    bool none = false;     ///< ceiling below every admissible cap
+    bool single = false;   ///< exactly one cap (fixed or ceiling fallback)
+    double value = 0.0;    ///< single-cap value
+    int index = -1;        ///< its caps_ index, or -1 when off the grid
+    int watts = -1;        ///< its integer-watt grid value, or -1
+    double ceiling = 0.0;  ///< range mode: admit caps_[i] <= ceiling
+  };
+  CapSelection select_caps(const Policy& policy) const;
+
+  Scored score_prepared(const PreparedPair& prepared, const PartitionState& state,
+                        KeyPair keys, double cap, const Policy& policy) const;
   static bool better(const Scored& a, const Scored& b) noexcept;
 
-  std::vector<double> caps_for(const Policy& policy) const;
+  KeyPair keys_for(const PartitionState& state, int watts) const noexcept;
+  void check_model_unchanged() const;
 
   const PerfModel* model_;
   std::vector<PartitionState> states_;
   std::vector<double> caps_;
+
+  // Candidate grid: grid_[s * caps_.size() + c] holds the dense keys of
+  // (states_[s], caps_[c]). cap_watts_ is the grid-rounded value per cap
+  // (-1 when off the integer-watt grid — scoring such a cap throws, as
+  // before). caps_sorted_ orders cap indices by value for the ceiling
+  // fallback; min_cap_value_ answers "is any cap admissible" in O(1).
+  std::vector<KeyPair> grid_;
+  std::vector<int> cap_watts_;
+  std::vector<std::size_t> caps_sorted_;
+  double min_cap_value_ = 0.0;
+  std::uint64_t model_revision_ = 0;
 };
 
 }  // namespace migopt::core

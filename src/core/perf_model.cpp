@@ -10,12 +10,42 @@
 
 namespace migopt::core {
 
+namespace {
+
+// Sanity bounds for dense interning: the slot arrays are direct-addressed by
+// GPC count / integer watts, so reject keys that would make them absurd.
+constexpr int kMaxGpcs = 4096;
+constexpr int kMaxCapWatts = 100000;  // 100 kW
+
+// Every entry (across both tables) contributes at most one distinct GPC and
+// one distinct cap value, so bounding the combined entry count guarantees
+// the int16 slot indices in reindex() can never overflow — which keeps
+// reindex() non-throwing on valid models (it runs from ~BatchUpdate, where
+// an escaping exception would terminate the process).
+constexpr std::size_t kMaxTotalEntries = 32767;
+
+void check_key_bounds(const ModelKey& key, std::size_t total_entries) {
+  MIGOPT_REQUIRE(key.gpcs > 0 && key.gpcs <= kMaxGpcs,
+                 "model key GPC count out of range: " + std::to_string(key.gpcs));
+  MIGOPT_REQUIRE(key.power_cap_watts > 0 && key.power_cap_watts <= kMaxCapWatts,
+                 "model key power cap out of range: " +
+                     std::to_string(key.power_cap_watts) + " W");
+  MIGOPT_REQUIRE(total_entries < kMaxTotalEntries,
+                 "coefficient tables are full (" +
+                     std::to_string(kMaxTotalEntries) + " combined entries)");
+}
+
+}  // namespace
+
 ModelKey ModelKey::make(int gpcs, gpusim::MemOption option, double cap_watts) {
   MIGOPT_REQUIRE(gpcs > 0, "model key needs positive GPC count");
   MIGOPT_REQUIRE(cap_watts > 0.0, "model key needs positive power cap");
-  const int rounded = static_cast<int>(std::lround(cap_watts));
-  MIGOPT_REQUIRE(std::abs(cap_watts - rounded) < 1e-6,
-                 "power caps must be integral watts for model keys");
+  const int rounded = cap_grid_watts(cap_watts);
+  MIGOPT_REQUIRE(rounded > 0,
+                 "power cap " + str::format_exact(cap_watts) +
+                     " W is off the integer-watt model grid by more than " +
+                     str::format_exact(kCapGridEpsilonWatts) +
+                     " W — caps must sit on the trained grid");
   return ModelKey{gpcs, option, rounded};
 }
 
@@ -25,11 +55,81 @@ std::string ModelKey::to_string() const {
 }
 
 void PerfModel::set_scalability(const ModelKey& key, const CVector& c) {
+  check_key_bounds(key, c_.size() + d_.size());
   c_[key] = c;
+  ++revision_;
+  if (batch_depth_ == 0) reindex();
 }
 
 void PerfModel::set_interference(const ModelKey& key, const DVector& d) {
+  check_key_bounds(key, c_.size() + d_.size());
   d_[key] = d;
+  ++revision_;
+  if (batch_depth_ == 0) reindex();
+}
+
+void PerfModel::reindex() {
+  // Bump here as well as in set_*: consumers that interned dense keys while a
+  // BatchUpdate was open (stale slot arrays) must fail their revision check
+  // once the batch closes and the slots move, not read the wrong rows.
+  ++revision_;
+  int max_gpcs = 0;
+  int max_cap = 0;
+  std::vector<int> gpcs_values;
+  std::vector<int> cap_values;
+  const auto collect = [&](const ModelKey& key) {
+    gpcs_values.push_back(key.gpcs);
+    cap_values.push_back(key.power_cap_watts);
+    max_gpcs = std::max(max_gpcs, key.gpcs);
+    max_cap = std::max(max_cap, key.power_cap_watts);
+  };
+  for (const auto& [key, coeffs] : c_) collect(key);
+  for (const auto& [key, coeffs] : d_) collect(key);
+
+  std::sort(gpcs_values.begin(), gpcs_values.end());
+  gpcs_values.erase(std::unique(gpcs_values.begin(), gpcs_values.end()),
+                    gpcs_values.end());
+  std::sort(cap_values.begin(), cap_values.end());
+  cap_values.erase(std::unique(cap_values.begin(), cap_values.end()),
+                   cap_values.end());
+
+  // Slot indices are int16. Unreachable: check_key_bounds caps the combined
+  // tables at kMaxTotalEntries entries, and every entry contributes at most
+  // one distinct GPC and one distinct cap value.
+  MIGOPT_ENSURE(gpcs_values.size() <= kMaxTotalEntries &&
+                    cap_values.size() <= kMaxTotalEntries,
+                "too many distinct GPC/cap values to intern densely");
+
+  gpc_slot_.assign(static_cast<std::size_t>(max_gpcs) + 1, -1);
+  cap_slot_.assign(static_cast<std::size_t>(max_cap) + 1, -1);
+  for (std::size_t i = 0; i < gpcs_values.size(); ++i)
+    gpc_slot_[static_cast<std::size_t>(gpcs_values[i])] =
+        static_cast<std::int16_t>(i);
+  for (std::size_t i = 0; i < cap_values.size(); ++i)
+    cap_slot_[static_cast<std::size_t>(cap_values[i])] =
+        static_cast<std::int16_t>(i);
+  cap_count_ = cap_values.size();
+
+  const std::size_t rows = gpcs_values.size() * 2 * cap_count_;
+  c_flat_.assign(rows * kHBasisCount, 0.0);
+  d_flat_.assign(rows * kJBasisCount, 0.0);
+  has_c_.assign(rows, 0);
+  has_d_.assign(rows, 0);
+
+  for (const auto& [key, coeffs] : c_) {
+    const DenseKey k = dense_key(key);
+    MIGOPT_ENSURE(k >= 0, "dense interning missed a scalability key");
+    has_c_[static_cast<std::size_t>(k)] = 1;
+    std::copy(coeffs.begin(), coeffs.end(),
+              c_flat_.begin() + static_cast<std::size_t>(k) * kHBasisCount);
+  }
+  for (const auto& [key, coeffs] : d_) {
+    const DenseKey k = dense_key(key);
+    MIGOPT_ENSURE(k >= 0, "dense interning missed an interference key");
+    has_d_[static_cast<std::size_t>(k)] = 1;
+    std::copy(coeffs.begin(), coeffs.end(),
+              d_flat_.begin() + static_cast<std::size_t>(k) * kJBasisCount);
+  }
 }
 
 bool PerfModel::has_scalability(const ModelKey& key) const noexcept {
@@ -56,7 +156,13 @@ const PerfModel::DVector& PerfModel::interference(const ModelKey& key) const {
 
 double PerfModel::predict_solo(const ModelKey& key,
                                const prof::CounterSet& profile) const {
-  const CVector& c = scalability(key);
+  const DenseKey k = dense_key(key);
+  const double* c;
+  if (dense_has_scalability(k)) {
+    c = scalability_row(k);
+  } else {
+    c = scalability(key).data();  // throws the standard missing-key message
+  }
   const auto h = basis_h(profile);
   double acc = 0.0;
   for (std::size_t i = 0; i < kHBasisCount; ++i) acc += c[i] * h[i];
@@ -67,7 +173,13 @@ double PerfModel::predict(const ModelKey& key, const prof::CounterSet& self,
                           std::span<const prof::CounterSet> others) const {
   double acc = predict_solo(key, self);
   if (!others.empty()) {
-    const DVector& d = interference(key);
+    const DenseKey k = dense_key(key);
+    const double* d;
+    if (dense_has_interference(k)) {
+      d = interference_row(k);
+    } else {
+      d = interference(key).data();  // throws the standard missing-key message
+    }
     for (const auto& other : others) {
       const auto j = basis_j(other);
       for (std::size_t i = 0; i < kJBasisCount; ++i) acc += d[i] * j[i];
@@ -116,29 +228,45 @@ void PerfModel::save(const std::string& path) const {
 PerfModel PerfModel::load(const std::string& path) {
   const CsvDocument doc = CsvDocument::load(path);
   PerfModel model;
-  for (std::size_t r = 0; r < doc.row_count(); ++r) {
-    ModelKey key;
-    key.gpcs = static_cast<int>(doc.cell_as_double(r, "gpcs"));
-    const std::string& option = doc.cell(r, "option");
-    MIGOPT_REQUIRE(option == "private" || option == "shared",
-                   "bad option in model file: " + option);
-    key.option = option == "private" ? gpusim::MemOption::Private
-                                     : gpusim::MemOption::Shared;
-    key.power_cap_watts = static_cast<int>(doc.cell_as_double(r, "power_cap_watts"));
+  // One dense re-intern for the whole file instead of one per row. The batch
+  // scope must close before `return model`: whether the return elides or
+  // moves, the guard has to reindex *this* object, not a moved-from shell.
+  {
+    const BatchUpdate batch(model);
+    for (std::size_t r = 0; r < doc.row_count(); ++r) {
+      const double gpcs_value = doc.cell_as_double(r, "gpcs");
+      MIGOPT_REQUIRE(gpcs_value >= 1.0 && gpcs_value <= kMaxGpcs,
+                     "gpcs out of range in model file: " +
+                         str::format_exact(gpcs_value));
+      const int gpcs = static_cast<int>(gpcs_value);
+      MIGOPT_REQUIRE(static_cast<double>(gpcs) == gpcs_value,
+                     "non-integer gpcs in model file: " +
+                         str::format_exact(gpcs_value));
+      const std::string& option = doc.cell(r, "option");
+      MIGOPT_REQUIRE(option == "private" || option == "shared",
+                     "bad option in model file: " + option);
+      // ModelKey::make validates the cap against the integer-watt grid, so a
+      // hand-edited 230.7 W row fails loudly instead of truncating to 230.
+      const ModelKey key = ModelKey::make(
+          gpcs,
+          option == "private" ? gpusim::MemOption::Private
+                              : gpusim::MemOption::Shared,
+          doc.cell_as_double(r, "power_cap_watts"));
 
-    const std::string& kind = doc.cell(r, "kind");
-    if (kind == kKindScalability) {
-      CVector c{};
-      for (std::size_t i = 0; i < kHBasisCount; ++i)
-        c[i] = doc.cell_as_double(r, "coeff" + std::to_string(i));
-      model.set_scalability(key, c);
-    } else if (kind == kKindInterference) {
-      DVector d{};
-      for (std::size_t i = 0; i < kJBasisCount; ++i)
-        d[i] = doc.cell_as_double(r, "coeff" + std::to_string(i));
-      model.set_interference(key, d);
-    } else {
-      MIGOPT_REQUIRE(false, "bad coefficient kind in model file: " + kind);
+      const std::string& kind = doc.cell(r, "kind");
+      if (kind == kKindScalability) {
+        CVector c{};
+        for (std::size_t i = 0; i < kHBasisCount; ++i)
+          c[i] = doc.cell_as_double(r, "coeff" + std::to_string(i));
+        model.set_scalability(key, c);
+      } else if (kind == kKindInterference) {
+        DVector d{};
+        for (std::size_t i = 0; i < kJBasisCount; ++i)
+          d[i] = doc.cell_as_double(r, "coeff" + std::to_string(i));
+        model.set_interference(key, d);
+      } else {
+        MIGOPT_REQUIRE(false, "bad coefficient kind in model file: " + kind);
+      }
     }
   }
   return model;

@@ -6,10 +6,20 @@
 // application: its GPC count, the LLC/HBM option, and the chip power cap.
 // C comes from exclusive solo runs over the scaling grid; D comes from
 // co-run residuals. Both are stored in this table.
+//
+// Storage is two-tier. The std::map tables are authoritative and serve
+// build/save/load; every mutation re-interns the (gpcs × option × cap) key
+// space into a dense index backed by flat, index-addressed coefficient
+// arrays, which is what the prediction hot path reads. `dense_key` is a pair
+// of direct array lookups — no tree walk, no hashing — so `predict` and
+// `predict_solo` are O(1) per candidate and the optimizer can pre-intern its
+// whole candidate grid once (see optimizer.hpp).
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <compare>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <span>
@@ -22,6 +32,21 @@
 
 namespace migopt::core {
 
+/// Tolerance for snapping a floating-point cap onto the integer-watt grid
+/// the coefficient tables are keyed by.
+inline constexpr double kCapGridEpsilonWatts = 1e-6;
+
+/// Round a cap to the integer-watt model grid. Returns -1 when the cap is
+/// non-positive, absurd, or off the grid by more than kCapGridEpsilonWatts —
+/// callers either reject loudly (ModelKey::make) or fall back to a cold path
+/// that throws with full context.
+inline int cap_grid_watts(double cap_watts) noexcept {
+  if (!(cap_watts > 0.0) || cap_watts >= 1e9) return -1;
+  const int rounded = static_cast<int>(cap_watts + 0.5);
+  if (std::abs(cap_watts - rounded) > kCapGridEpsilonWatts) return -1;
+  return rounded;
+}
+
 /// Per-application hardware view keying the coefficient tables. The power cap
 /// is stored in integer watts (the paper's grid is 20 W steps; keys must
 /// compare exactly).
@@ -32,6 +57,9 @@ struct ModelKey {
 
   auto operator<=>(const ModelKey&) const = default;
 
+  /// Rounds `cap_watts` to the nearest integer watt; throws ContractViolation
+  /// (naming the offending value) when the cap is off the integer-watt grid
+  /// by more than kCapGridEpsilonWatts rather than silently truncating.
   static ModelKey make(int gpcs, gpusim::MemOption option, double cap_watts);
   std::string to_string() const;
 };
@@ -41,8 +69,34 @@ class PerfModel {
   using CVector = std::array<double, kHBasisCount>;
   using DVector = std::array<double, kJBasisCount>;
 
+  /// Index of one interned (gpcs, option, cap) combination in the flat
+  /// coefficient arrays; kNoKey when the combination is not interned.
+  using DenseKey = std::int32_t;
+  static constexpr DenseKey kNoKey = -1;
+
   void set_scalability(const ModelKey& key, const CVector& c);
   void set_interference(const ModelKey& key, const DVector& d);
+
+  /// RAII guard batching many set_* calls into one dense re-intern. Inside
+  /// the scope, mutations update the maps and bump revision() immediately but
+  /// defer the flat-table rebuild until the guard closes, so bulk builders
+  /// (trainer, load) pay O(keys) instead of O(keys²). Dense lookups and
+  /// predictions are stale within the scope — finish the batch first.
+  /// Nestable; the outermost close reindexes.
+  class BatchUpdate {
+   public:
+    explicit BatchUpdate(PerfModel& model) : model_(&model) {
+      ++model_->batch_depth_;
+    }
+    ~BatchUpdate() {
+      if (--model_->batch_depth_ == 0) model_->reindex();
+    }
+    BatchUpdate(const BatchUpdate&) = delete;
+    BatchUpdate& operator=(const BatchUpdate&) = delete;
+
+   private:
+    PerfModel* model_;
+  };
 
   bool has_scalability(const ModelKey& key) const noexcept;
   bool has_interference(const ModelKey& key) const noexcept;
@@ -63,6 +117,52 @@ class PerfModel {
   static constexpr double kRelPerfFloor = 1e-3;
   static double clamp_relperf(double predicted) noexcept;
 
+  // --- Dense hot-path interface -------------------------------------------
+  //
+  // dense_key interns (gpcs, option, integer cap) via two direct-address slot
+  // arrays; the returned index addresses the flat coefficient rows below.
+  // Rows are only meaningful when the matching dense_has_* check passes.
+
+  DenseKey dense_key(int gpcs, gpusim::MemOption option, int cap_watts) const noexcept {
+    const auto g = static_cast<std::size_t>(gpcs);
+    const auto w = static_cast<std::size_t>(cap_watts);
+    if (g >= gpc_slot_.size() || w >= cap_slot_.size()) return kNoKey;
+    const int gpc_slot = gpc_slot_[g];
+    const int cap_slot = cap_slot_[w];
+    if ((gpc_slot | cap_slot) < 0) return kNoKey;
+    const std::size_t option_slot = option == gpusim::MemOption::Shared ? 1 : 0;
+    return static_cast<DenseKey>(
+        (static_cast<std::size_t>(gpc_slot) * 2 + option_slot) * cap_count_ +
+        static_cast<std::size_t>(cap_slot));
+  }
+  DenseKey dense_key(const ModelKey& key) const noexcept {
+    return dense_key(key.gpcs, key.option, key.power_cap_watts);
+  }
+
+  // The size() bound makes keys interned against an older revision (or
+  // during an open BatchUpdate) fail closed instead of reading out of range.
+  bool dense_has_scalability(DenseKey key) const noexcept {
+    return key >= 0 && static_cast<std::size_t>(key) < has_c_.size() &&
+           has_c_[static_cast<std::size_t>(key)] != 0;
+  }
+  bool dense_has_interference(DenseKey key) const noexcept {
+    return key >= 0 && static_cast<std::size_t>(key) < has_d_.size() &&
+           has_d_[static_cast<std::size_t>(key)] != 0;
+  }
+
+  /// Flat coefficient rows (kHBasisCount / kJBasisCount doubles). Only valid
+  /// for keys passing the matching dense_has_* check.
+  const double* scalability_row(DenseKey key) const noexcept {
+    return c_flat_.data() + static_cast<std::size_t>(key) * kHBasisCount;
+  }
+  const double* interference_row(DenseKey key) const noexcept {
+    return d_flat_.data() + static_cast<std::size_t>(key) * kJBasisCount;
+  }
+
+  /// Bumped on every mutation (set_*). Consumers that pre-intern dense keys
+  /// (the Optimizer's candidate grid) check this to detect staleness.
+  std::uint64_t revision() const noexcept { return revision_; }
+
   std::size_t scalability_entries() const noexcept { return c_.size(); }
   std::size_t interference_entries() const noexcept { return d_.size(); }
   std::vector<ModelKey> scalability_keys() const;
@@ -72,8 +172,23 @@ class PerfModel {
   static PerfModel load(const std::string& path);
 
  private:
+  /// Re-intern the key space and rebuild the flat arrays from the maps.
+  void reindex();
+
   std::map<ModelKey, CVector> c_;
   std::map<ModelKey, DVector> d_;
+
+  // Dense mirror: slot arrays are direct-addressed by gpcs / integer watts;
+  // rows live at ((gpc_slot * 2 + option) * cap_count_ + cap_slot).
+  std::vector<std::int16_t> gpc_slot_;
+  std::vector<std::int16_t> cap_slot_;
+  std::size_t cap_count_ = 0;
+  std::vector<double> c_flat_;
+  std::vector<double> d_flat_;
+  std::vector<std::uint8_t> has_c_;
+  std::vector<std::uint8_t> has_d_;
+  std::uint64_t revision_ = 0;
+  int batch_depth_ = 0;
 };
 
 }  // namespace migopt::core

@@ -119,9 +119,14 @@ TrainedArtifacts train_offline(const gpusim::GpuChip& chip,
   });
 
   double solo_sq_sum = 0.0;
-  for (std::size_t i = 0; i < solo_tasks.size(); ++i) {
-    artifacts.model.set_scalability(solo_tasks[i].key, c_results[i]);
-    solo_sq_sum += solo_sq_residual[i];
+  {
+    // One dense re-intern for the whole grid; the co-run residual step below
+    // reads predict_solo, so the batch must close before it.
+    const PerfModel::BatchUpdate batch(artifacts.model);
+    for (std::size_t i = 0; i < solo_tasks.size(); ++i) {
+      artifacts.model.set_scalability(solo_tasks[i].key, c_results[i]);
+      solo_sq_sum += solo_sq_residual[i];
+    }
   }
   artifacts.report.solo_runs = solo_tasks.size() * registry.size();
   artifacts.report.solo_fit_rmse = std::sqrt(
@@ -177,23 +182,30 @@ TrainedArtifacts train_offline(const gpusim::GpuChip& chip,
 
   double corun_sq_sum = 0.0;
   std::size_t corun_sample_count = 0;
-  for (const auto& [key, samples] : samples_by_key) {
-    MIGOPT_ENSURE(samples.size() >= kJBasisCount,
-                  "too few co-run samples for " + key.to_string());
-    Matrix design(samples.size(), kJBasisCount);
-    std::vector<double> rhs(samples.size(), 0.0);
-    for (std::size_t s = 0; s < samples.size(); ++s) {
+  {
+    // Scoped like the solo batch: the guard must reindex before `artifacts`
+    // is returned (NRVO is not guaranteed; a move would strand the guard on
+    // the moved-from model).
+    const PerfModel::BatchUpdate interference_batch(artifacts.model);
+    for (const auto& [key, samples] : samples_by_key) {
+      MIGOPT_ENSURE(samples.size() >= kJBasisCount,
+                    "too few co-run samples for " + key.to_string());
+      Matrix design(samples.size(), kJBasisCount);
+      std::vector<double> rhs(samples.size(), 0.0);
+      for (std::size_t s = 0; s < samples.size(); ++s) {
+        for (std::size_t col = 0; col < kJBasisCount; ++col)
+          design(s, col) = samples[s].j[col];
+        rhs[s] = samples[s].residual;
+      }
+      const auto fit = linalg::ridge(design, rhs, config.ridge_lambda,
+                                     /*penalize_last_column=*/false);
+      PerfModel::DVector d{};
       for (std::size_t col = 0; col < kJBasisCount; ++col)
-        design(s, col) = samples[s].j[col];
-      rhs[s] = samples[s].residual;
+        d[col] = fit.coefficients[col];
+      artifacts.model.set_interference(key, d);
+      corun_sq_sum += fit.residual_norm * fit.residual_norm;
+      corun_sample_count += samples.size();
     }
-    const auto fit = linalg::ridge(design, rhs, config.ridge_lambda,
-                                   /*penalize_last_column=*/false);
-    PerfModel::DVector d{};
-    for (std::size_t col = 0; col < kJBasisCount; ++col) d[col] = fit.coefficients[col];
-    artifacts.model.set_interference(key, d);
-    corun_sq_sum += fit.residual_norm * fit.residual_norm;
-    corun_sample_count += samples.size();
   }
   if (corun_sample_count > 0)
     artifacts.report.corun_fit_rmse =

@@ -26,6 +26,7 @@ void ProfileDb::put(const std::string& app, const CounterSet& counters) {
   MIGOPT_REQUIRE(!app.empty(), "profile needs an app name");
   counters.validate();
   profiles_[app] = counters;
+  ++revision_;
 }
 
 std::vector<std::string> ProfileDb::app_names() const {

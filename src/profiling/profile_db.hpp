@@ -3,6 +3,7 @@
 // exclusively once before they are eligible for co-scheduling.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -29,12 +30,18 @@ class ProfileDb {
   std::size_t size() const noexcept { return profiles_.size(); }
   std::vector<std::string> app_names() const;
 
+  /// Bumped on every put(). Consumers that cache decisions derived from the
+  /// stored profiles (sched::DecisionCache) compare revisions to detect
+  /// mutation through any path.
+  std::uint64_t revision() const noexcept { return revision_; }
+
   /// CSV round-trip: header "app,f1..f8".
   void save(const std::string& path) const;
   static ProfileDb load(const std::string& path);
 
  private:
   std::map<std::string, CounterSet> profiles_;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace migopt::prof

@@ -19,6 +19,7 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
 
 ClusterReport Cluster::run(std::vector<Job> jobs, CoScheduler& scheduler) {
   ClusterReport report;
+  const DecisionCache::Stats cache_before = scheduler.decision_cache().stats();
   JobQueue queue;
   std::stable_sort(jobs.begin(), jobs.end(),
                    [](const Job& a, const Job& b) {
@@ -152,6 +153,9 @@ ClusterReport Cluster::run(std::vector<Job> jobs, CoScheduler& scheduler) {
     for (const JobStat& stat : report.jobs) acc += stat.turnaround;
     report.mean_turnaround = acc / static_cast<double>(report.jobs.size());
   }
+  const DecisionCache::Stats cache_after = scheduler.decision_cache().stats();
+  report.decision_cache_hits = cache_after.hits - cache_before.hits;
+  report.decision_cache_misses = cache_after.misses - cache_before.misses;
   return report;
 }
 

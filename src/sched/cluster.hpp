@@ -44,6 +44,10 @@ struct ClusterReport {
   std::size_t pair_dispatches = 0;
   std::size_t exclusive_dispatches = 0;
   std::size_t profile_runs = 0;
+  /// Allocator searches saved / paid by the scheduler's DecisionCache over
+  /// this run (deltas of the scheduler's counters).
+  std::size_t decision_cache_hits = 0;
+  std::size_t decision_cache_misses = 0;
   double mean_turnaround = 0.0;
   /// Highest sum of concurrently active node caps observed (<= the budget
   /// whenever one is configured).

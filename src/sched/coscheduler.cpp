@@ -9,7 +9,8 @@ namespace migopt::sched {
 
 CoScheduler::CoScheduler(core::ResourcePowerAllocator& allocator,
                          core::Policy policy, SchedulerTuning tuning)
-    : allocator_(&allocator), policy_(policy), tuning_(tuning) {
+    : allocator_(&allocator), policy_(policy), tuning_(tuning),
+      cached_profile_revision_(allocator.profiles().revision()) {
   MIGOPT_REQUIRE(tuning_.pairing_window >= 1, "pairing window must be >= 1");
   MIGOPT_REQUIRE(tuning_.min_pair_speedup >= 0.0,
                  "negative pairing speedup threshold");
@@ -65,8 +66,24 @@ double CoScheduler::min_cap() const {
   return low;
 }
 
+void CoScheduler::sync_cache_with_profiles() {
+  const std::uint64_t revision = allocator_->profiles().revision();
+  if (revision != cached_profile_revision_) {
+    decision_cache_.invalidate();
+    cached_profile_revision_ = revision;
+  }
+}
+
+double CoScheduler::canonical_ceiling(double max_cap_watts) const {
+  // Identical resolution to default_cap — fixed cap if it fits, else the
+  // largest trained cap under the budget — which is exactly the information
+  // a decision can extract from the ceiling, so it canonicalizes the key.
+  return default_cap(max_cap_watts);
+}
+
 std::optional<DispatchPlan> CoScheduler::next(JobQueue& queue, double now,
                                               double max_cap_watts) {
+  sync_cache_with_profiles();
   const std::size_t ready = queue.ready_count(now);
   if (ready == 0) return std::nullopt;
   if (max_cap_watts < min_cap()) return std::nullopt;  // budget exhausted
@@ -74,6 +91,12 @@ std::optional<DispatchPlan> CoScheduler::next(JobQueue& queue, double now,
   const core::Policy policy = std::isfinite(max_cap_watts)
                                   ? policy_.with_ceiling(max_cap_watts)
                                   : policy_;
+  // Decisions are computed under the exact policy but cached under the
+  // canonical ceiling, so budget headroom wobble still hits the cache.
+  const core::Policy cache_policy =
+      std::isfinite(max_cap_watts)
+          ? policy_.with_ceiling(canonical_ceiling(max_cap_watts))
+          : policy_;
 
   // Pivot: the first ready job not waiting on an in-flight profile run of its
   // own application (only one profile run per app may be outstanding).
@@ -105,8 +128,11 @@ std::optional<DispatchPlan> CoScheduler::next(JobQueue& queue, double now,
     const Job& candidate = queue.peek(i);
     if (profiling_in_flight_.count(candidate.app) > 0) continue;
     if (!allocator_->can_coschedule(candidate.app)) continue;
-    const core::Decision decision =
-        allocator_->allocate(queue.peek(*pivot).app, candidate.app, policy);
+    const core::Decision& decision = decision_cache_.get_or_compute(
+        queue.peek(*pivot).app, candidate.app, cache_policy, [&] {
+          return allocator_->allocate(queue.peek(*pivot).app, candidate.app,
+                                      policy);
+        });
     if (!pair_acceptable(queue.peek(*pivot), candidate, decision)) continue;
     if (!best_index.has_value() ||
         decision.objective_value > best_decision.objective_value) {
@@ -132,6 +158,10 @@ void CoScheduler::record_profile(const std::string& app,
                                  const prof::CounterSet& counters) {
   profiling_in_flight_.erase(app);
   allocator_->record_profile(app, counters);
+  // A new/updated profile changes what the allocator may answer; drop every
+  // memoized decision and resync with the store's revision.
+  decision_cache_.invalidate();
+  cached_profile_revision_ = allocator_->profiles().revision();
 }
 
 }  // namespace migopt::sched

@@ -7,6 +7,7 @@
 // the profile run").
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <optional>
 #include <set>
@@ -14,6 +15,7 @@
 
 #include "core/policy.hpp"
 #include "core/workflow.hpp"
+#include "sched/decision_cache.hpp"
 #include "sched/job_queue.hpp"
 
 namespace migopt::sched {
@@ -70,8 +72,13 @@ class CoScheduler {
   double min_cap() const;
 
   /// Record a profile measured during an exclusive first run. Releases any
-  /// queued jobs of the same application held back while it was in flight.
+  /// queued jobs of the same application held back while it was in flight and
+  /// invalidates the decision cache (the allocator's answers may change).
   void record_profile(const std::string& app, const prof::CounterSet& counters);
+
+  /// Memoized allocator decisions for the pairing window; hits/misses expose
+  /// how much search the cache saved across dispatches.
+  const DecisionCache& decision_cache() const noexcept { return decision_cache_; }
 
  private:
   /// Cap for exclusive dispatches, honouring `max_cap_watts`; negative when
@@ -82,12 +89,23 @@ class CoScheduler {
   bool pair_acceptable(const Job& pivot, const Job& candidate,
                        const core::Decision& decision) const noexcept;
 
+  /// Drop cached decisions when the allocator's profile store changed under
+  /// us (e.g. record_profile called on the allocator directly).
+  void sync_cache_with_profiles();
+  /// Canonical ceiling for cache keys: decisions depend on a budget ceiling
+  /// only through the admissible trained-cap set, so every ceiling admitting
+  /// the same caps maps to one value (otherwise the continuously varying
+  /// headroom of a cluster power budget would defeat the cache).
+  double canonical_ceiling(double max_cap_watts) const;
+
   core::ResourcePowerAllocator* allocator_;
   core::Policy policy_;
   SchedulerTuning tuning_;
   /// Applications whose first (profiling) run has been dispatched but has not
   /// completed yet; further instances wait so only one profile run happens.
   std::set<std::string> profiling_in_flight_;
+  DecisionCache decision_cache_;
+  std::uint64_t cached_profile_revision_ = 0;
 };
 
 }  // namespace migopt::sched

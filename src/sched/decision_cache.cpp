@@ -1,0 +1,17 @@
+#include "sched/decision_cache.hpp"
+
+namespace migopt::sched {
+
+PolicySignature PolicySignature::of(const core::Policy& policy) noexcept {
+  PolicySignature sig;
+  sig.objective = static_cast<int>(policy.objective);
+  sig.alpha = policy.alpha;
+  sig.fairness_margin = policy.fairness_margin;
+  sig.has_fixed_cap = policy.fixed_power_cap.has_value();
+  sig.fixed_cap = policy.fixed_power_cap.value_or(0.0);
+  sig.has_ceiling = policy.power_cap_ceiling.has_value();
+  sig.ceiling = policy.power_cap_ceiling.value_or(0.0);
+  return sig;
+}
+
+}  // namespace migopt::sched

@@ -1,0 +1,110 @@
+// Scheduler-level memoization of allocator decisions.
+//
+// The co-scheduler re-runs the allocator's exhaustive search for every
+// (pivot, partner) pair in its pairing window on every dispatch, and the same
+// pairs keep reappearing while a queue drains. Decisions are pure functions
+// of (profile-pair identity, policy signature) as long as the allocator's
+// profile database and model are unchanged, so they can be cached across the
+// window and across dispatches.
+//
+// Invalidation: the owner (CoScheduler) clears the cache whenever the profile
+// store mutates — both through its own record_profile and, via
+// ProfileDb::revision(), when someone records through the allocator directly.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/optimizer.hpp"
+#include "core/policy.hpp"
+
+namespace migopt::sched {
+
+/// The policy fields an allocator decision depends on, flattened for exact
+/// comparison. Two policies with equal signatures yield identical decisions.
+struct PolicySignature {
+  int objective = 0;
+  double alpha = 0.0;
+  double fairness_margin = 0.0;
+  bool has_fixed_cap = false;
+  double fixed_cap = 0.0;
+  bool has_ceiling = false;
+  double ceiling = 0.0;
+
+  static PolicySignature of(const core::Policy& policy) noexcept;
+  auto operator<=>(const PolicySignature&) const = default;
+};
+
+class DecisionCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t invalidations = 0;
+  };
+
+  /// Return the cached decision for (app1, app2, policy) or compute, store,
+  /// and return it. The returned reference is valid until the next
+  /// invalidate(). Lookup is heterogeneous: the hit path copies no strings.
+  template <typename Compute>
+  const core::Decision& get_or_compute(const std::string& app1,
+                                       const std::string& app2,
+                                       const core::Policy& policy,
+                                       Compute&& compute) {
+    const PolicySignature signature = PolicySignature::of(policy);
+    const KeyView view{app1, app2, signature};
+    const auto it = entries_.find(view);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
+    return entries_.emplace(Key{app1, app2, signature}, compute())
+        .first->second;
+  }
+
+  /// Drop every entry (the backing model/profiles changed).
+  void invalidate() noexcept {
+    entries_.clear();
+    ++stats_.invalidations;
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Key {
+    std::string app1;
+    std::string app2;
+    PolicySignature policy;
+  };
+  /// Borrowed view of a Key for allocation-free probing.
+  struct KeyView {
+    std::string_view app1;
+    std::string_view app2;
+    const PolicySignature& policy;
+  };
+  struct KeyLess {
+    using is_transparent = void;
+
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const noexcept {
+      if (const auto cmp = std::string_view(a.app1) <=> std::string_view(b.app1);
+          cmp != 0)
+        return cmp < 0;
+      if (const auto cmp = std::string_view(a.app2) <=> std::string_view(b.app2);
+          cmp != 0)
+        return cmp < 0;
+      return a.policy < b.policy;
+    }
+  };
+
+  std::map<Key, core::Decision, KeyLess> entries_;
+  Stats stats_;
+};
+
+}  // namespace migopt::sched

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 
 #include "common/assert.hpp"
+#include "core/metrics.hpp"
 #include "test_util.hpp"
 
 namespace migopt::core {
@@ -163,6 +165,96 @@ TEST(GroupEvaluator, SizeMismatchContracts) {
   const std::vector<prof::CounterSet> one = {artifacts.profiles.at("sgemm")};
   EXPECT_THROW(predict_group(artifacts.model, one, state, 230.0),
                ContractViolation);
+}
+
+TEST(PairMetricsAssembly, MatchesTheSpanBasedMetricHelpers) {
+  // make_pair_metrics is the hot-path inline twin of the metric helpers that
+  // define throughput/fairness/efficiency; pin them together so a helper
+  // change cannot silently diverge from predictions.
+  for (const auto& [r1, r2] : {std::pair{0.4, 0.7}, {0.7, 0.4}, {0.5, 0.5},
+                               {PerfModel::kRelPerfFloor, 1.0}}) {
+    for (const double cap : {150.0, 230.0}) {
+      const PairMetrics m = make_pair_metrics(r1, r2, cap);
+      const std::array<double, 2> rels = {r1, r2};
+      EXPECT_EQ(m.throughput, weighted_speedup(rels));
+      EXPECT_EQ(m.fairness, fairness(rels));
+      EXPECT_EQ(m.energy_efficiency, energy_efficiency(m.throughput, cap));
+      EXPECT_EQ(m.power_cap_watts, cap);
+    }
+  }
+}
+
+TEST(PreparedPair, KernelMatchesPredictPairBitForBit) {
+  // The prepared scoring kernel must be numerically identical to the
+  // convenience wrapper over the whole trained candidate grid, for both
+  // pre-interned and self-interning overloads.
+  const auto& artifacts = shared_artifacts();
+  const PerfModel& model = artifacts.model;
+  for (const char* app1 : {"igemm4", "stream", "srad"}) {
+    for (const char* app2 : {"needle", "lud"}) {
+      const auto& f1 = artifacts.profiles.at(app1);
+      const auto& f2 = artifacts.profiles.at(app2);
+      const PreparedPair prepared = prepare_pair(f1, f2);
+      for (const auto& state : paper_states()) {
+        for (const double cap : paper_power_caps()) {
+          const PairMetrics expected = predict_pair(model, f1, f2, state, cap);
+          const PairMetrics via_lookup =
+              predict_pair_prepared(model, prepared, state, cap);
+          const int watts = cap_grid_watts(cap);
+          const PairMetrics via_keys = predict_pair_prepared(
+              model, prepared,
+              model.dense_key(state.gpcs_app1, state.option, watts),
+              model.dense_key(state.gpcs_app2, state.option, watts), state, cap);
+          for (const PairMetrics* m : {&via_lookup, &via_keys}) {
+            EXPECT_EQ(m->relperf_app1, expected.relperf_app1);
+            EXPECT_EQ(m->relperf_app2, expected.relperf_app2);
+            EXPECT_EQ(m->throughput, expected.throughput);
+            EXPECT_EQ(m->fairness, expected.fairness);
+            EXPECT_EQ(m->energy_efficiency, expected.energy_efficiency);
+            EXPECT_EQ(m->power_cap_watts, expected.power_cap_watts);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PreparedPair, MissingCoefficientsThrowLikePredictPair) {
+  const auto& artifacts = shared_artifacts();
+  const PreparedPair prepared = prepare_pair(artifacts.profiles.at("sgemm"),
+                                             artifacts.profiles.at("stream"));
+  // 6 GPCs is not on the paper training grid.
+  const PartitionState untrained{6, 1, gpusim::MemOption::Shared};
+  EXPECT_THROW(
+      predict_pair_prepared(artifacts.model, prepared, untrained, 230.0),
+      ContractViolation);
+  // Off-grid cap fails the key contract, exactly like predict_pair.
+  const PartitionState trained{4, 3, gpusim::MemOption::Shared};
+  EXPECT_THROW(
+      predict_pair_prepared(artifacts.model, prepared, trained, 230.5),
+      ContractViolation);
+}
+
+TEST(PreparedGroup, KernelMatchesPredictGroupBitForBit) {
+  const auto& artifacts = test::shared_flexible_artifacts();
+  const std::vector<prof::CounterSet> profiles = {
+      artifacts.profiles.at("igemm4"), artifacts.profiles.at("stream"),
+      artifacts.profiles.at("needle")};
+  const PreparedGroup prepared = prepare_group(profiles);
+  for (const auto& state : group_states(shared_chip().arch(), 3)) {
+    for (const double cap : {150.0, 230.0}) {
+      const GroupMetrics expected =
+          predict_group(artifacts.model, profiles, state, cap);
+      const GroupMetrics actual =
+          predict_group_prepared(artifacts.model, prepared, state, cap);
+      ASSERT_EQ(actual.relperf.size(), expected.relperf.size());
+      for (std::size_t i = 0; i < expected.relperf.size(); ++i)
+        EXPECT_EQ(actual.relperf[i], expected.relperf[i]) << state.name();
+      EXPECT_EQ(actual.throughput, expected.throughput) << state.name();
+      EXPECT_EQ(actual.fairness, expected.fairness) << state.name();
+      EXPECT_EQ(actual.energy_efficiency, expected.energy_efficiency);
+    }
+  }
 }
 
 }  // namespace

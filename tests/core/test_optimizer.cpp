@@ -192,6 +192,49 @@ TEST(Optimizer, HillClimbOnFlexibleSpace) {
   EXPECT_GE(climbed.objective_value, exhaustive.objective_value * 0.95);
 }
 
+TEST(Optimizer, HillClimbIsDeterministicForAFixedSeed) {
+  // Same seed -> byte-identical decision, metrics, and evaluation count, no
+  // matter how often the climb is repeated.
+  const Optimizer opt = make_optimizer();
+  const auto& f1 = profile_of("igemm4");
+  const auto& f2 = profile_of("stream");
+  const Policy policy = Policy::problem2(0.2);
+  Rng rng_a(99);
+  const Decision first = opt.decide_hill_climb(f1, f2, policy, rng_a, 6);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    Rng rng_b(99);
+    const Decision again = opt.decide_hill_climb(f1, f2, policy, rng_b, 6);
+    EXPECT_EQ(again.feasible, first.feasible);
+    EXPECT_TRUE(again.state == first.state);
+    EXPECT_EQ(again.power_cap_watts, first.power_cap_watts);
+    EXPECT_EQ(again.objective_value, first.objective_value);
+    EXPECT_EQ(again.evaluations, first.evaluations);
+    EXPECT_EQ(again.predicted.throughput, first.predicted.throughput);
+    EXPECT_EQ(again.predicted.fairness, first.predicted.fairness);
+  }
+}
+
+TEST(Optimizer, MutatingTheModelAfterConstructionIsRejected) {
+  // The optimizer pre-interns dense keys at construction; a model mutated
+  // afterwards would silently serve stale coefficients, so decide() must
+  // refuse instead.
+  PerfModel model = shared_artifacts().model;
+  const Optimizer opt(model, paper_states(), paper_power_caps());
+  const Decision before =
+      opt.decide(profile_of("sgemm"), profile_of("stream"), Policy::problem2(0.2));
+  EXPECT_GT(before.evaluations, 0u);
+
+  model.set_scalability(ModelKey::make(4, gpusim::MemOption::Shared, 230.0),
+                        {0, 0, 0, 0, 0, 1.0});
+  EXPECT_THROW(opt.decide(profile_of("sgemm"), profile_of("stream"),
+                          Policy::problem2(0.2)),
+               ContractViolation);
+  Rng rng(5);
+  EXPECT_THROW(opt.decide_hill_climb(profile_of("sgemm"), profile_of("stream"),
+                                     Policy::problem2(0.2), rng),
+               ContractViolation);
+}
+
 TEST(Optimizer, HillClimbContract) {
   const Optimizer opt = make_optimizer();
   Rng rng(1);

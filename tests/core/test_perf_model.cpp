@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <stdexcept>
+#include <vector>
 
 #include "common/assert.hpp"
+#include "test_util.hpp"
 
 namespace migopt::core {
 namespace {
@@ -34,6 +37,36 @@ TEST(ModelKey, RejectsNonIntegralCapsAndBadArgs) {
   EXPECT_THROW(ModelKey::make(4, MemOption::Shared, 230.5), ContractViolation);
   EXPECT_THROW(ModelKey::make(0, MemOption::Shared, 230.0), ContractViolation);
   EXPECT_THROW(ModelKey::make(4, MemOption::Shared, -1.0), ContractViolation);
+}
+
+TEST(ModelKey, SnapsNearGridCapsToNearestWatt) {
+  // Floating-point noise within the grid epsilon rounds to the nearest watt
+  // instead of truncating or throwing.
+  EXPECT_EQ(ModelKey::make(4, MemOption::Shared, 229.9999995).power_cap_watts, 230);
+  EXPECT_EQ(ModelKey::make(4, MemOption::Shared, 230.0000004).power_cap_watts, 230);
+  EXPECT_EQ(ModelKey::make(4, MemOption::Shared, 150.0 + 5e-7).power_cap_watts, 150);
+}
+
+TEST(ModelKey, OffGridCapThrowsNamingTheValue) {
+  try {
+    ModelKey::make(4, MemOption::Shared, 230.25);
+    FAIL() << "off-grid cap must throw";
+  } catch (const ContractViolation& error) {
+    EXPECT_NE(std::string(error.what()).find("230.25"), std::string::npos)
+        << error.what();
+  }
+  // Truncation victims of the old int cast are rejected, not rounded down.
+  EXPECT_THROW(ModelKey::make(4, MemOption::Shared, 230.9), ContractViolation);
+  EXPECT_THROW(ModelKey::make(4, MemOption::Shared, 149.01), ContractViolation);
+}
+
+TEST(CapGridWatts, RoundsAndRejects) {
+  EXPECT_EQ(cap_grid_watts(230.0), 230);
+  EXPECT_EQ(cap_grid_watts(229.9999995), 230);
+  EXPECT_EQ(cap_grid_watts(230.25), -1);
+  EXPECT_EQ(cap_grid_watts(0.0), -1);
+  EXPECT_EQ(cap_grid_watts(-5.0), -1);
+  EXPECT_EQ(cap_grid_watts(1e12), -1);
 }
 
 TEST(ModelKey, OrderingDistinguishesAllFields) {
@@ -106,6 +139,100 @@ TEST(PerfModel, ClampRelPerf) {
   EXPECT_DOUBLE_EQ(PerfModel::clamp_relperf(0.7), 0.7);
 }
 
+TEST(PerfModelDense, DenseKeyInternsTrainedCombinationsOnly) {
+  PerfModel model;
+  const ModelKey trained = ModelKey::make(4, MemOption::Shared, 250.0);
+  EXPECT_EQ(model.dense_key(trained), PerfModel::kNoKey);
+  model.set_scalability(trained, {1, 2, 3, 4, 5, 6});
+  EXPECT_GE(model.dense_key(trained), 0);
+  EXPECT_TRUE(model.dense_has_scalability(model.dense_key(trained)));
+  EXPECT_FALSE(model.dense_has_interference(model.dense_key(trained)));
+  // Untrained neighbors in the same slot space stay unkeyed or coefficient-less.
+  EXPECT_EQ(model.dense_key(3, MemOption::Shared, 250), PerfModel::kNoKey);
+  EXPECT_EQ(model.dense_key(4, MemOption::Shared, 230), PerfModel::kNoKey);
+  const PerfModel::DenseKey other_option =
+      model.dense_key(4, MemOption::Private, 250);
+  EXPECT_FALSE(model.dense_has_scalability(other_option));
+  EXPECT_FALSE(model.dense_has_scalability(PerfModel::kNoKey));
+}
+
+TEST(PerfModelDense, MutationBumpsRevisionAndReindexes) {
+  PerfModel model;
+  const std::uint64_t initial = model.revision();
+  const ModelKey key1 = ModelKey::make(4, MemOption::Shared, 250.0);
+  model.set_scalability(key1, {0, 0, 0, 0, 0, 1.0});
+  EXPECT_GT(model.revision(), initial);
+  const std::uint64_t after_first = model.revision();
+  const PerfModel::DenseKey dense1 = model.dense_key(key1);
+
+  // A new key re-interns the space; the old key keeps resolving correctly
+  // even if its dense index moved.
+  const ModelKey key2 = ModelKey::make(2, MemOption::Private, 170.0);
+  model.set_scalability(key2, {0, 0, 0, 0, 0, 2.0});
+  EXPECT_GT(model.revision(), after_first);
+  EXPECT_TRUE(model.dense_has_scalability(model.dense_key(key1)));
+  EXPECT_TRUE(model.dense_has_scalability(model.dense_key(key2)));
+  EXPECT_DOUBLE_EQ(model.scalability_row(model.dense_key(key1))[5], 1.0);
+  EXPECT_DOUBLE_EQ(model.scalability_row(model.dense_key(key2))[5], 2.0);
+  (void)dense1;
+}
+
+TEST(PerfModelDense, DenseRowsMatchMapTablesOnEveryTrainedKey) {
+  // The flat hot-path arrays must agree with the authoritative maps for the
+  // full production-trained key space, and predictions through the dense
+  // path must equal the explicit dot products bit for bit.
+  const auto& artifacts = test::shared_artifacts();
+  const PerfModel& model = artifacts.model;
+  const CounterSet self = artifacts.profiles.at("igemm4");
+  const CounterSet other = artifacts.profiles.at("stream");
+  const auto h = basis_h(self);
+  const std::vector<CounterSet> others = {other};
+  const auto j = basis_j(other);
+
+  ASSERT_GT(model.scalability_entries(), 0u);
+  for (const ModelKey& key : model.scalability_keys()) {
+    const PerfModel::DenseKey dense = model.dense_key(key);
+    ASSERT_GE(dense, 0) << key.to_string();
+    ASSERT_TRUE(model.dense_has_scalability(dense)) << key.to_string();
+
+    const auto& c = model.scalability(key);
+    const double* row = model.scalability_row(dense);
+    for (std::size_t i = 0; i < kHBasisCount; ++i)
+      EXPECT_EQ(row[i], c[i]) << key.to_string();
+
+    double expected = 0.0;
+    for (std::size_t i = 0; i < kHBasisCount; ++i) expected += c[i] * h[i];
+    EXPECT_EQ(model.predict_solo(key, self), expected) << key.to_string();
+
+    if (model.has_interference(key)) {
+      ASSERT_TRUE(model.dense_has_interference(dense)) << key.to_string();
+      const auto& d = model.interference(key);
+      const double* drow = model.interference_row(dense);
+      for (std::size_t i = 0; i < kJBasisCount; ++i)
+        EXPECT_EQ(drow[i], d[i]) << key.to_string();
+      double with_other = expected;
+      for (std::size_t i = 0; i < kJBasisCount; ++i) with_other += d[i] * j[i];
+      EXPECT_EQ(model.predict(key, self, others), with_other) << key.to_string();
+    }
+  }
+}
+
+TEST(PerfModelDense, SaveLoadPreservesDenseLookups) {
+  PerfModel model;
+  const ModelKey key = ModelKey::make(3, MemOption::Private, 170.0);
+  model.set_scalability(key, {1, 2, 3, 4, 5, 6});
+  model.set_interference(key, {-0.1, 0.2, -0.3});
+  const std::string path = ::testing::TempDir() + "/migopt_model_dense.csv";
+  model.save(path);
+  const PerfModel loaded = PerfModel::load(path);
+  const PerfModel::DenseKey dense = loaded.dense_key(key);
+  ASSERT_TRUE(loaded.dense_has_scalability(dense));
+  ASSERT_TRUE(loaded.dense_has_interference(dense));
+  for (std::size_t i = 0; i < kHBasisCount; ++i)
+    EXPECT_NEAR(loaded.scalability_row(dense)[i], model.scalability(key)[i], 1e-9);
+  std::remove(path.c_str());
+}
+
 TEST(PerfModel, SaveLoadRoundTrip) {
   PerfModel model;
   const ModelKey key1 = ModelKey::make(4, MemOption::Shared, 250.0);
@@ -159,6 +286,31 @@ TEST(PerfModel, LoadRejectsCorruptedFiles) {
 
   std::remove(path.c_str());
   EXPECT_THROW(PerfModel::load("/no/such/model.csv"), ContractViolation);
+}
+
+TEST(PerfModel, LoadRejectsOffGridAndNonIntegerKeys) {
+  const std::string path = ::testing::TempDir() + "/migopt_model_offgrid.csv";
+  const auto write_file = [&path](const char* contents) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(contents, f);
+    std::fclose(f);
+  };
+  const std::string header =
+      "kind,gpcs,option,power_cap_watts,coeff0,coeff1,coeff2,coeff3,coeff4,"
+      "coeff5\n";
+
+  // An off-grid cap must fail loudly, not truncate to 230 W.
+  write_file((header + "C,4,shared,230.7,1,2,3,4,5,6\n").c_str());
+  EXPECT_THROW(PerfModel::load(path), ContractViolation);
+
+  // Fractional and non-positive GPC counts are rejected the same way.
+  write_file((header + "C,4.7,shared,230,1,2,3,4,5,6\n").c_str());
+  EXPECT_THROW(PerfModel::load(path), ContractViolation);
+  write_file((header + "C,0,shared,230,1,2,3,4,5,6\n").c_str());
+  EXPECT_THROW(PerfModel::load(path), ContractViolation);
+
+  std::remove(path.c_str());
 }
 
 }  // namespace

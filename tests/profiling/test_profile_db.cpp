@@ -105,5 +105,20 @@ TEST(ProfileDb, LoadRejectsCorruptedFiles) {
   std::remove(path.c_str());
 }
 
+TEST(ProfileDb, RevisionBumpsOnEveryPut) {
+  ProfileDb db;
+  const std::uint64_t initial = db.revision();
+  CounterSet counters;
+  counters[Counter::OccupancyPct] = 50.0;
+  db.put("app-a", counters);
+  EXPECT_GT(db.revision(), initial);
+  const std::uint64_t after_insert = db.revision();
+  db.put("app-a", counters);  // overwrite counts too — consumers must refresh
+  EXPECT_GT(db.revision(), after_insert);
+  // Rejected puts leave the revision alone.
+  EXPECT_THROW(db.put("", counters), ContractViolation);
+  EXPECT_EQ(db.revision(), after_insert + 1);
+}
+
 }  // namespace
 }  // namespace migopt::prof

@@ -1,0 +1,221 @@
+#include "sched/decision_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "profiling/profiler.hpp"
+#include "sched/coscheduler.hpp"
+#include "test_util.hpp"
+
+namespace migopt::sched {
+namespace {
+
+core::ResourcePowerAllocator make_allocator() {
+  return core::ResourcePowerAllocator::train(
+      test::shared_chip(), test::shared_registry(), test::shared_pairs());
+}
+
+Job make_job(int id, const std::string& app) {
+  Job job;
+  job.id = id;
+  job.app = app;
+  job.kernel = &test::shared_registry().by_name(app).kernel;
+  job.work_units = 100.0;
+  return job;
+}
+
+void expect_identical(const core::Decision& a, const core::Decision& b) {
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_TRUE(a.state == b.state);
+  EXPECT_EQ(a.power_cap_watts, b.power_cap_watts);
+  EXPECT_EQ(a.objective_value, b.objective_value);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.predicted.relperf_app1, b.predicted.relperf_app1);
+  EXPECT_EQ(a.predicted.relperf_app2, b.predicted.relperf_app2);
+  EXPECT_EQ(a.predicted.throughput, b.predicted.throughput);
+  EXPECT_EQ(a.predicted.fairness, b.predicted.fairness);
+  EXPECT_EQ(a.predicted.energy_efficiency, b.predicted.energy_efficiency);
+}
+
+TEST(PolicySignature, DistinguishesEveryDecisionRelevantField) {
+  const core::Policy base = core::Policy::problem2(0.2);
+  EXPECT_EQ(PolicySignature::of(base), PolicySignature::of(base));
+  core::Policy other = base;
+  other.alpha = 0.3;
+  EXPECT_NE(PolicySignature::of(base), PolicySignature::of(other));
+  other = base;
+  other.objective = core::PolicyObjective::Throughput;
+  EXPECT_NE(PolicySignature::of(base), PolicySignature::of(other));
+  other = base;
+  other.fairness_margin = 0.05;
+  EXPECT_NE(PolicySignature::of(base), PolicySignature::of(other));
+  other = base;
+  other.fixed_power_cap = 230.0;
+  EXPECT_NE(PolicySignature::of(base), PolicySignature::of(other));
+  other = base;
+  other.power_cap_ceiling = 210.0;
+  EXPECT_NE(PolicySignature::of(base), PolicySignature::of(other));
+  // A missing optional differs from the same field at 0.0.
+  core::Policy zero_cap = base;
+  zero_cap.power_cap_ceiling = 0.0;
+  EXPECT_NE(PolicySignature::of(base), PolicySignature::of(zero_cap));
+}
+
+TEST(DecisionCache, HitReturnsTheMemoizedDecisionUnchanged) {
+  auto allocator = make_allocator();
+  DecisionCache cache;
+  const core::Policy policy = core::Policy::problem2(0.2);
+  int computations = 0;
+  const auto compute = [&] {
+    ++computations;
+    return allocator.allocate("igemm4", "stream", policy);
+  };
+  const core::Decision& first =
+      cache.get_or_compute("igemm4", "stream", policy, compute);
+  const core::Decision& second =
+      cache.get_or_compute("igemm4", "stream", policy, compute);
+  EXPECT_EQ(computations, 1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // Cached answer is byte-identical to a fresh allocator search.
+  expect_identical(second, allocator.allocate("igemm4", "stream", policy));
+  expect_identical(first, second);
+}
+
+TEST(DecisionCache, KeyIsOrderAndPolicySensitive) {
+  auto allocator = make_allocator();
+  DecisionCache cache;
+  const core::Policy p1 = core::Policy::problem1(230.0, 0.2);
+  const core::Policy p2 = core::Policy::problem2(0.2);
+  int computations = 0;
+  const auto compute_for = [&](const std::string& a, const std::string& b,
+                               const core::Policy& policy) {
+    return cache.get_or_compute(a, b, policy, [&] {
+      ++computations;
+      return allocator.allocate(a, b, policy);
+    });
+  };
+  compute_for("igemm4", "stream", p1);
+  compute_for("stream", "igemm4", p1);  // member order is part of the identity
+  compute_for("igemm4", "stream", p2);
+  EXPECT_EQ(computations, 3);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(DecisionCache, InvalidateDropsEntriesAndCounts) {
+  auto allocator = make_allocator();
+  DecisionCache cache;
+  const core::Policy policy = core::Policy::problem2(0.2);
+  cache.get_or_compute("igemm4", "stream", policy,
+                       [&] { return allocator.allocate("igemm4", "stream", policy); });
+  EXPECT_EQ(cache.size(), 1u);
+  cache.invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  cache.get_or_compute("igemm4", "stream", policy,
+                       [&] { return allocator.allocate("igemm4", "stream", policy); });
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CoSchedulerCache, RepeatedDispatchHitsTheCache) {
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem1(230.0, 0.2));
+  JobQueue queue;
+  queue.push(make_job(0, "igemm4"));
+  queue.push(make_job(1, "stream"));
+  const auto first = scheduler.next(queue, 0.0);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(first->job2.has_value());
+  EXPECT_EQ(scheduler.decision_cache().stats().hits, 0u);
+  const std::size_t misses = scheduler.decision_cache().stats().misses;
+  EXPECT_GT(misses, 0u);
+
+  // The same pair again: the allocator search is answered from the cache and
+  // the plan is identical.
+  queue.push(make_job(2, "igemm4"));
+  queue.push(make_job(3, "stream"));
+  const auto second = scheduler.next(queue, 0.0);
+  ASSERT_TRUE(second.has_value());
+  ASSERT_TRUE(second->job2.has_value());
+  EXPECT_GT(scheduler.decision_cache().stats().hits, 0u);
+  EXPECT_EQ(scheduler.decision_cache().stats().misses, misses);
+  expect_identical(second->allocation, first->allocation);
+}
+
+TEST(CoSchedulerCache, RecordProfileInvalidates) {
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem1(230.0, 0.2));
+  JobQueue queue;
+  queue.push(make_job(0, "igemm4"));
+  queue.push(make_job(1, "stream"));
+  ASSERT_TRUE(scheduler.next(queue, 0.0).has_value());
+  EXPECT_GT(scheduler.decision_cache().size(), 0u);
+
+  const auto counters = prof::profile_run(
+      test::shared_chip(), test::shared_registry().by_name("lud").kernel);
+  scheduler.record_profile("fresh-app", counters);
+  EXPECT_EQ(scheduler.decision_cache().size(), 0u);
+  EXPECT_GT(scheduler.decision_cache().stats().invalidations, 0u);
+
+  // Post-invalidation decisions still equal a fresh allocator search.
+  queue.push(make_job(2, "igemm4"));
+  queue.push(make_job(3, "stream"));
+  const auto plan = scheduler.next(queue, 0.0);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_TRUE(plan->job2.has_value());
+  expect_identical(plan->allocation,
+                   allocator.allocate("igemm4", "stream",
+                                      core::Policy::problem1(230.0, 0.2)));
+}
+
+TEST(CoSchedulerCache, BudgetCeilingWobbleStillHitsTheCache) {
+  // Under a cluster power budget the headroom ceiling varies continuously;
+  // ceilings admitting the same trained caps must share one cache entry,
+  // while the dispatched decision stays identical to an exact fresh search.
+  auto allocator = make_allocator();
+  SchedulerTuning tuning;
+  tuning.min_pair_speedup = 0.0;  // accept the pair so both jobs dequeue
+  CoScheduler scheduler(allocator, core::Policy::problem2(0.2), tuning);
+  JobQueue queue;
+  queue.push(make_job(0, "igemm4"));
+  queue.push(make_job(1, "stream"));
+  const auto first = scheduler.next(queue, 0.0, 251.3);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(first->job2.has_value());
+  const std::size_t misses = scheduler.decision_cache().stats().misses;
+  EXPECT_GT(misses, 0u);
+
+  queue.push(make_job(2, "igemm4"));
+  queue.push(make_job(3, "stream"));
+  const auto plan = scheduler.next(queue, 0.0, 260.7);  // same admissible caps
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_TRUE(plan->job2.has_value());
+  EXPECT_EQ(scheduler.decision_cache().stats().misses, misses);
+  EXPECT_GT(scheduler.decision_cache().stats().hits, 0u);
+  expect_identical(
+      plan->allocation,
+      allocator.allocate("igemm4", "stream",
+                         core::Policy::problem2(0.2).with_ceiling(260.7)));
+}
+
+TEST(CoSchedulerCache, DirectAllocatorMutationIsDetectedByRevision) {
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem1(230.0, 0.2));
+  JobQueue queue;
+  queue.push(make_job(0, "igemm4"));
+  queue.push(make_job(1, "stream"));
+  ASSERT_TRUE(scheduler.next(queue, 0.0).has_value());
+  EXPECT_GT(scheduler.decision_cache().size(), 0u);
+
+  // Recording through the allocator (bypassing the scheduler) bumps the
+  // profile store's revision; the next dispatch must notice and invalidate.
+  const auto counters = prof::profile_run(
+      test::shared_chip(), test::shared_registry().by_name("lud").kernel);
+  allocator.record_profile("side-channel-app", counters);
+  queue.push(make_job(2, "igemm4"));
+  queue.push(make_job(3, "stream"));
+  ASSERT_TRUE(scheduler.next(queue, 0.0).has_value());
+  EXPECT_GT(scheduler.decision_cache().stats().invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace migopt::sched
