@@ -1,0 +1,158 @@
+// Extension bench: trace-driven discrete-event replay of large multi-tenant
+// job streams through the scheduler stack (migopt::trace).
+//
+// The paper optimizes partitioning/allocation per co-run pair; this bench
+// measures what those decisions add up to when an *online* cluster serves
+// sustained load: 10k-job seeded synthetic traces (Poisson, bursty/diurnal,
+// and Poisson under a random-walk power budget) are replayed through
+// sched::Cluster + CoScheduler by trace::SimEngine, reporting queueing
+// behavior, per-tenant fairness, and the DecisionCache hit/miss/eviction
+// profile under load. A fourth section replays the Poisson trace against a
+// deliberately tiny decision cache, so the LRU eviction path shows up in
+// the numbers instead of only in unit tests.
+//
+// Everything is deterministic (one seed, no wall-clock), so every summary
+// is an exact regression gate; sections are assembled per-regime into
+// pre-sized slots, keeping --threads N byte-identical to --threads 1.
+#include <string>
+#include <vector>
+
+#include "report/harness.hpp"
+#include "trace/presets.hpp"
+#include "trace/sim_engine.hpp"
+#include "workloads/corun_pairs.hpp"
+
+namespace {
+
+using namespace migopt;
+using report::MetricValue;
+
+constexpr std::size_t kJobs = 10000;
+constexpr int kNodes = 8;
+constexpr std::uint64_t kSeed = 7;
+
+struct Regime {
+  const char* name;
+  const char* blurb;
+  trace::ReplayRegime preset = trace::ReplayRegime::Poisson;
+  /// 0 = scheduler default (generous); >0 = forced tiny cache.
+  std::size_t cache_capacity = 0;
+};
+
+trace::SimReport run_regime(const Regime& regime) {
+  // Fully independent environment per regime: the allocator is mutated by
+  // profile runs, and regimes run concurrently under --threads.
+  gpusim::GpuChip chip;
+  const wl::WorkloadRegistry registry(chip.arch());
+  auto allocator =
+      core::ResourcePowerAllocator::train(chip, registry, wl::table8_pairs());
+  sched::SchedulerTuning tuning;
+  if (regime.cache_capacity > 0)
+    tuning.decision_cache_capacity = regime.cache_capacity;
+  sched::CoScheduler scheduler(allocator, trace::regime_policy(regime.preset),
+                               tuning);
+
+  sched::ClusterConfig cluster_config;
+  cluster_config.node_count = kNodes;
+  cluster_config.max_sim_seconds = 1.0e8;
+  sched::Cluster cluster(cluster_config);
+
+  trace::SimConfig sim_config;
+  sim_config.max_sim_seconds = 1.0e8;
+  return trace::SimEngine(sim_config)
+      .replay(trace::make_regime_trace(regime.preset, kJobs, kNodes, kSeed,
+                                       registry.names()),
+              registry, cluster, scheduler);
+}
+
+report::Section render(const Regime& regime, const trace::SimReport& sim) {
+  report::Section section;
+  section.title = regime.name;
+  section.label_header = "tenant";
+  section.columns = {"submitted", "completed", "mean wait [s]",
+                     "mean slowdown"};
+  for (const trace::TenantStats& tenant : sim.tenants) {
+    section.add_row(
+        tenant.tenant,
+        {MetricValue::of_count(static_cast<long long>(tenant.jobs_submitted)),
+         MetricValue::of_count(static_cast<long long>(tenant.jobs_completed)),
+         MetricValue::num(tenant.mean_queue_wait_seconds, 1),
+         MetricValue::num(tenant.mean_slowdown, 2)});
+  }
+  const auto& cluster = sim.cluster;
+  const double probes = static_cast<double>(cluster.decision_cache_hits +
+                                            cluster.decision_cache_misses);
+  section.add_summary("jobs_completed",
+                      MetricValue::of_count(
+                          static_cast<long long>(cluster.jobs_completed)));
+  section.add_summary("makespan_s",
+                      MetricValue::num(cluster.makespan_seconds, 1));
+  section.add_summary("jobs_per_hour", MetricValue::num(sim.jobs_per_hour, 1));
+  section.add_summary("mean_wait_s",
+                      MetricValue::num(sim.mean_queue_wait_seconds, 1));
+  section.add_summary("mean_slowdown", MetricValue::num(sim.mean_slowdown));
+  section.add_summary("peak_queue_depth",
+                      MetricValue::of_count(
+                          static_cast<long long>(sim.peak_queue_depth)));
+  section.add_summary(
+      "pair_dispatch_fraction",
+      MetricValue::num(cluster.jobs_completed == 0
+                           ? 0.0
+                           : 2.0 * static_cast<double>(cluster.pair_dispatches) /
+                                 static_cast<double>(cluster.jobs_completed)));
+  section.add_summary(
+      "cache_hit_rate",
+      MetricValue::num(probes == 0.0 ? 0.0
+                                     : static_cast<double>(
+                                           cluster.decision_cache_hits) /
+                                           probes));
+  section.add_summary("cache_evictions",
+                      MetricValue::of_count(static_cast<long long>(
+                          cluster.decision_cache_evictions)));
+  section.add_summary("peak_cap_sum_w",
+                      MetricValue::num(cluster.peak_cap_sum_watts, 0));
+  section.add_summary("energy_MJ",
+                      MetricValue::num(cluster.total_energy_joules / 1.0e6, 2));
+  return section;
+}
+
+report::ScenarioResult run(const report::RunContext& ctx) {
+  const std::vector<Regime> regimes = {
+      {"poisson 10k jobs", "steady arrivals, unconstrained budget",
+       trace::ReplayRegime::Poisson},
+      {"bursty 10k jobs", "diurnal swing, crest ~2x trough",
+       trace::ReplayRegime::Bursty},
+      {"budget-walk 10k jobs", "random-walk cluster power budget",
+       trace::ReplayRegime::BudgetWalk},
+      {"poisson 10k jobs, 48-entry cache", "LRU pressure on the DecisionCache",
+       trace::ReplayRegime::Poisson, 48},
+  };
+
+  std::vector<trace::SimReport> outcomes(regimes.size());
+  ctx.parallel_for(regimes.size(),
+                   [&](std::size_t i) { outcomes[i] = run_regime(regimes[i]); });
+
+  report::ScenarioResult result;
+  for (std::size_t i = 0; i < regimes.size(); ++i)
+    result.add_section(render(regimes[i], outcomes[i]));
+  result.add_note(
+      "Reading: poisson holds ~85% utilization with single-digit waits; the\n"
+      "bursty crest saturates the cluster and the trough drains it; the\n"
+      "budget walk throttles dispatch whenever the contract dips (Problem 2\n"
+      "re-picks caps under the moving ceiling). The 48-entry cache run pays\n"
+      "evictions and a lower hit rate for the same schedule — the cost of\n"
+      "undersizing the DecisionCache under multi-tenant load.");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = report::register_scenario(
+    {"trace_replay", "Extension: trace-driven cluster engine",
+     "10k-job multi-tenant traces (poisson/bursty/budget-walk) replayed "
+     "through Cluster+CoScheduler by trace::SimEngine",
+     run});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return migopt::report::run_main("ext_trace_replay", argc, argv);
+}

@@ -1,5 +1,6 @@
 #include "common/json.hpp"
 
+#include <cctype>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -144,5 +145,196 @@ std::string Value::dump(int indent) const {
   write(out, indent, 0);
   return out;
 }
+
+namespace {
+
+/// Strict recursive-descent parser over the `dump` grammar. Offsets are kept
+/// for error messages; depth is bounded so hostile nesting cannot blow the
+/// stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    const Value value = parse_value(0);
+    skip_whitespace();
+    require(pos_ == text_.size(), "trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ContractViolation("JSON parse error at offset " +
+                            std::to_string(pos_) + ": " + what);
+  }
+  void require(bool ok, const char* what) const {
+    if (!ok) fail(what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    require(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    require(pos_ < text_.size() && text_[pos_] == c,
+            "unexpected character (or end of input)");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Value parse_value(int depth) {
+    require(depth < kMaxDepth, "nesting deeper than 256 levels");
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value(parse_string());
+      case 't':
+        require(consume_literal("true"), "invalid literal");
+        return Value(true);
+      case 'f':
+        require(consume_literal("false"), "invalid literal");
+        return Value(false);
+      case 'n':
+        require(consume_literal("null"), "invalid literal");
+        return Value();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{');
+    Value object = Value::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.set(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return object;
+      require(next == ',', "expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array(int depth) {
+    expect('[');
+    Value array = Value::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return array;
+      require(next == ',', "expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      require(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      require(pos_ < text_.size(), "unterminated escape");
+      const char escape_char = text_[pos_++];
+      switch (escape_char) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          require(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          const auto [ptr, ec] = std::from_chars(
+              text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          require(ec == std::errc{} && ptr == text_.data() + pos_ + 4,
+                  "invalid \\u escape");
+          // The writer only emits \u for control characters; anything above
+          // ASCII would need surrogate/UTF-8 handling this layer avoids.
+          require(code < 0x80, "\\u escape beyond ASCII is not supported");
+          pos_ += 4;
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    const std::string_view token = text_.substr(start, pos_ - start);
+    require(!token.empty() && token != "-", "expected a JSON value");
+    if (token.find_first_of(".eE") == std::string_view::npos) {
+      std::int64_t integer = 0;
+      const auto [ptr, ec] = std::from_chars(
+          token.data(), token.data() + token.size(), integer);
+      if (ec == std::errc{} && ptr == token.data() + token.size())
+        return Value(integer);
+      // Integral but beyond int64 range: fall through to double.
+    }
+    double number = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), number);
+    require(ec == std::errc{} && ptr == token.data() + token.size(),
+            "malformed number");
+    require(std::isfinite(number), "JSON numbers must be finite");
+    return Value(number);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
 
 }  // namespace migopt::json

@@ -10,7 +10,10 @@
 //   - strings are treated as UTF-8 and passed through; only the characters
 //     RFC 8259 requires escaping (quote, backslash, control chars) are
 //     escaped.
-// There is no parser — the repo emits JSON, it never consumes it.
+// `parse` is the strict inverse: it accepts exactly the documents `dump`
+// produces (plus arbitrary inter-token whitespace) so traces and BENCH
+// documents can round-trip; it throws ContractViolation on malformed input
+// instead of guessing.
 #pragma once
 
 #include <cstdint>
@@ -98,5 +101,12 @@ std::string escape(std::string_view text);
 /// (std::to_chars); integral doubles gain a trailing ".0" so the JSON type
 /// stays "number with fraction" across serializations.
 std::string format_double(double value);
+
+/// Parse one JSON document (RFC 8259 subset matching what `dump` emits:
+/// objects keep member order, numbers without '.'/'e' become Int, the rest
+/// Double, `\uXXXX` escapes outside ASCII are rejected). Throws
+/// ContractViolation — with a byte offset — on malformed input, trailing
+/// garbage, or non-finite numbers.
+Value parse(std::string_view text);
 
 }  // namespace migopt::json

@@ -10,142 +10,141 @@
 
 namespace migopt::sched {
 
-Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), budget_(config.total_power_budget_watts) {
   MIGOPT_REQUIRE(config.node_count >= 1, "cluster needs at least one node");
   nodes_.reserve(static_cast<std::size_t>(config.node_count));
   for (int i = 0; i < config.node_count; ++i)
     nodes_.push_back(std::make_unique<Node>(i));
+  profiling_jobs_.resize(nodes_.size());
 }
 
-ClusterReport Cluster::run(std::vector<Job> jobs, CoScheduler& scheduler) {
-  ClusterReport report;
-  const DecisionCache::Stats cache_before = scheduler.decision_cache().stats();
-  JobQueue queue;
-  std::stable_sort(jobs.begin(), jobs.end(),
-                   [](const Job& a, const Job& b) {
-                     return a.submit_time < b.submit_time;
-                   });
-  for (Job& job : jobs) queue.push(std::move(job));
+double Cluster::busy_cap_sum() const noexcept {
+  double sum = 0.0;
+  for (const auto& node : nodes_)
+    if (!node->idle()) sum += node->cap_watts();
+  return sum;
+}
 
-  double now = 0.0;
-  std::size_t busy_nodes = 0;
+std::size_t Cluster::running_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) count += node->running_jobs();
+  return count;
+}
 
-  if (config_.total_power_budget_watts.has_value()) {
-    const double floor = config_.enable_coscheduling
-                             ? scheduler.min_cap()
-                             : nodes_.front()->chip().arch().min_power_cap_watts;
-    MIGOPT_REQUIRE(*config_.total_power_budget_watts >= floor,
-                   "power budget below the cheapest possible dispatch");
+void Cluster::begin_session(const CoScheduler& scheduler) {
+  queue_ = JobQueue{};
+  budget_ = config_.total_power_budget_watts;
+  session_ = ClusterReport{};
+  cache_at_session_start_ = scheduler.decision_cache().stats();
+  energy_at_session_start_ = 0.0;
+  clock_at_session_start_ = 0.0;
+  for (const auto& node : nodes_) {
+    energy_at_session_start_ += node->energy_joules();
+    clock_at_session_start_ = std::max(clock_at_session_start_, node->now());
   }
+  for (auto& per_node : profiling_jobs_) per_node.clear();
+}
 
-  const auto busy_cap_sum = [this]() {
-    double sum = 0.0;
-    for (const auto& node : nodes_)
-      if (!node->idle()) sum += node->cap_watts();
-    return sum;
-  };
+void Cluster::submit(Job job) { queue_.push(std::move(job)); }
 
-  auto handle_completion = [&](Node& node, Job&& job, bool was_profile_run) {
-    report.jobs_completed += 1;
-    JobStat stat;
-    stat.id = job.id;
-    stat.app = job.app;
-    stat.turnaround = job.finish_time - job.submit_time;
-    stat.runtime = job.finish_time - job.start_time;
-    report.jobs.push_back(stat);
-    if (was_profile_run) {
-      scheduler.record_profile(job.app, prof::profile_run(node.chip(), *job.kernel));
-      report.profile_runs += 1;
-    }
-  };
+void Cluster::set_power_budget(std::optional<double> watts) {
+  budget_ = watts;
+}
 
-  // Track which jobs were profile runs per node (job id -> flag).
-  std::vector<std::vector<JobId>> profiling_jobs(nodes_.size());
-
-  while (true) {
-    // Dispatch onto every idle node while work is available.
-    bool dispatched = true;
-    while (dispatched) {
-      dispatched = false;
-      for (std::size_t n = 0; n < nodes_.size(); ++n) {
-        Node& node = *nodes_[n];
-        if (!node.idle()) continue;
-
-        // Budget headroom left for this dispatch (cap accounting).
-        double max_affordable = std::numeric_limits<double>::infinity();
-        if (config_.total_power_budget_watts.has_value())
-          max_affordable = *config_.total_power_budget_watts - busy_cap_sum();
-
-        auto plan_opt = config_.enable_coscheduling
-                            ? scheduler.next(queue, now, max_affordable)
-                            : std::optional<DispatchPlan>{};
-        if (!config_.enable_coscheduling && queue.ready_count(now) > 0) {
-          const double cap = std::min(node.chip().arch().tdp_watts, max_affordable);
-          if (cap >= node.chip().arch().min_power_cap_watts) {
-            DispatchPlan exclusive;
-            exclusive.job1 = queue.pop_front();
-            exclusive.power_cap_watts = cap;
-            exclusive.profile_run = false;
-            plan_opt = std::move(exclusive);
-          }
-        }
-        if (!plan_opt.has_value()) continue;
-
-        DispatchPlan& plan = *plan_opt;
-        // Node clock may lag global time if it has been idle.
-        node.advance_to(now);
-        if (plan.job2.has_value()) {
-          node.dispatch_pair(std::move(plan.job1), std::move(*plan.job2),
-                             plan.allocation.state, plan.power_cap_watts);
-          report.pair_dispatches += 1;
-        } else {
-          if (plan.profile_run) profiling_jobs[n].push_back(plan.job1.id);
-          node.dispatch_exclusive(std::move(plan.job1), plan.power_cap_watts);
-          report.exclusive_dispatches += 1;
-        }
-        busy_nodes = 0;
-        for (const auto& check : nodes_)
-          if (!check->idle()) ++busy_nodes;
-        report.peak_cap_sum_watts =
-            std::max(report.peak_cap_sum_watts, busy_cap_sum());
-        dispatched = true;
-      }
-    }
-
-    if (queue.empty() && busy_nodes == 0) break;
-
-    // Find the next event: earliest completion across nodes, or the next
-    // submit time when everything idles but jobs are still in the future.
-    // A job that is already ready is not an event — it waits for a node to
-    // free up, otherwise the loop would spin at the same timestamp.
-    double next_event = std::numeric_limits<double>::infinity();
-    for (const auto& node : nodes_)
-      next_event = std::min(next_event, node->next_completion_time());
-    if (!queue.empty() && queue.front().submit_time > now)
-      next_event = std::min(next_event, queue.front().submit_time);
-    MIGOPT_ENSURE(std::isfinite(next_event), "cluster deadlock: no next event");
-    MIGOPT_ENSURE(next_event <= config_.max_sim_seconds,
-                  "cluster simulation exceeded its time guard");
-    now = std::max(now, next_event);
-
+std::size_t Cluster::dispatch(CoScheduler& scheduler, double now) {
+  std::size_t dispatches = 0;
+  bool dispatched = true;
+  while (dispatched) {
+    dispatched = false;
     for (std::size_t n = 0; n < nodes_.size(); ++n) {
       Node& node = *nodes_[n];
-      for (Job& job : node.advance_to(now)) {
-        auto& plist = profiling_jobs[n];
-        const auto it = std::find(plist.begin(), plist.end(), job.id);
-        const bool was_profile = it != plist.end();
-        if (was_profile) plist.erase(it);
-        handle_completion(node, std::move(job), was_profile);
-      }
-    }
-    busy_nodes = 0;
-    for (const auto& check : nodes_)
-      if (!check->idle()) ++busy_nodes;
-  }
+      if (!node.idle()) continue;
 
+      // Budget headroom left for this dispatch (cap accounting).
+      double max_affordable = std::numeric_limits<double>::infinity();
+      if (budget_.has_value()) max_affordable = *budget_ - busy_cap_sum();
+
+      auto plan_opt = config_.enable_coscheduling
+                          ? scheduler.next(queue_, now, max_affordable)
+                          : std::optional<DispatchPlan>{};
+      if (!config_.enable_coscheduling && queue_.ready_count(now) > 0) {
+        const double cap = std::min(node.chip().arch().tdp_watts, max_affordable);
+        if (cap >= node.chip().arch().min_power_cap_watts) {
+          DispatchPlan exclusive;
+          exclusive.job1 = queue_.pop_front();
+          exclusive.power_cap_watts = cap;
+          exclusive.profile_run = false;
+          plan_opt = std::move(exclusive);
+        }
+      }
+      if (!plan_opt.has_value()) continue;
+
+      DispatchPlan& plan = *plan_opt;
+      // Node clock may lag global time if it has been idle.
+      node.advance_to(now);
+      if (plan.job2.has_value()) {
+        node.dispatch_pair(std::move(plan.job1), std::move(*plan.job2),
+                           plan.allocation.state, plan.power_cap_watts);
+        session_.pair_dispatches += 1;
+      } else {
+        if (plan.profile_run) profiling_jobs_[n].push_back(plan.job1.id);
+        node.dispatch_exclusive(std::move(plan.job1), plan.power_cap_watts);
+        session_.exclusive_dispatches += 1;
+      }
+      session_.peak_cap_sum_watts =
+          std::max(session_.peak_cap_sum_watts, busy_cap_sum());
+      dispatched = true;
+      ++dispatches;
+    }
+  }
+  return dispatches;
+}
+
+double Cluster::next_completion_time() const noexcept {
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& node : nodes_)
+    next = std::min(next, node->next_completion_time());
+  return next;
+}
+
+std::vector<Job> Cluster::advance_to(double t, CoScheduler& scheduler) {
+  std::vector<Job> finished;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    Node& node = *nodes_[n];
+    for (Job& job : node.advance_to(t)) {
+      auto& plist = profiling_jobs_[n];
+      const auto it = std::find(plist.begin(), plist.end(), job.id);
+      const bool was_profile = it != plist.end();
+      if (was_profile) plist.erase(it);
+
+      session_.jobs_completed += 1;
+      JobStat stat;
+      stat.id = job.id;
+      stat.app = job.app;
+      stat.turnaround = job.finish_time - job.submit_time;
+      stat.runtime = job.finish_time - job.start_time;
+      session_.jobs.push_back(stat);
+      if (was_profile) {
+        scheduler.record_profile(job.app, prof::profile_run(node.chip(), *job.kernel));
+        session_.profile_runs += 1;
+      }
+      finished.push_back(std::move(job));
+    }
+  }
+  return finished;
+}
+
+ClusterReport Cluster::report(const CoScheduler& scheduler) const {
+  ClusterReport report = session_;
+  // Session deltas: a reused cluster's node clocks/energy carry over from
+  // earlier sessions, so both subtract their begin_session snapshot (a
+  // fresh cluster starts at zero, making the subtraction a no-op).
   report.makespan_seconds = 0.0;
+  report.total_energy_joules = -energy_at_session_start_;
   for (const auto& node : nodes_) {
-    report.makespan_seconds = std::max(report.makespan_seconds, node->now());
+    report.makespan_seconds =
+        std::max(report.makespan_seconds, node->now() - clock_at_session_start_);
     report.total_energy_joules += node->energy_joules();
   }
   if (!report.jobs.empty()) {
@@ -153,10 +152,56 @@ ClusterReport Cluster::run(std::vector<Job> jobs, CoScheduler& scheduler) {
     for (const JobStat& stat : report.jobs) acc += stat.turnaround;
     report.mean_turnaround = acc / static_cast<double>(report.jobs.size());
   }
-  const DecisionCache::Stats cache_after = scheduler.decision_cache().stats();
-  report.decision_cache_hits = cache_after.hits - cache_before.hits;
-  report.decision_cache_misses = cache_after.misses - cache_before.misses;
+  const DecisionCache::Stats cache = scheduler.decision_cache().stats();
+  report.decision_cache_hits = cache.hits - cache_at_session_start_.hits;
+  report.decision_cache_misses = cache.misses - cache_at_session_start_.misses;
+  report.decision_cache_evictions =
+      cache.evictions - cache_at_session_start_.evictions;
   return report;
+}
+
+ClusterReport Cluster::run(std::vector<Job> jobs, CoScheduler& scheduler) {
+  begin_session(scheduler);
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const Job& a, const Job& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+
+  if (budget_.has_value()) {
+    const double floor = config_.enable_coscheduling
+                             ? scheduler.min_cap()
+                             : nodes_.front()->chip().arch().min_power_cap_watts;
+    MIGOPT_REQUIRE(*budget_ >= floor,
+                   "power budget below the cheapest possible dispatch");
+  }
+
+  // Jobs enter the queue at their submit times (not all up front): the queue
+  // orders by priority, so an early-submitted high-priority job must not
+  // gate already-arrived work behind its future submit time.
+  double now = 0.0;
+  std::size_t next_submit = 0;
+  while (true) {
+    while (next_submit < jobs.size() &&
+           jobs[next_submit].submit_time <= now)
+      submit(std::move(jobs[next_submit++]));
+    dispatch(scheduler, now);
+    if (next_submit == jobs.size() && queue_.empty() && running_count() == 0)
+      break;
+
+    // Next event: earliest completion across nodes, or the next arrival. A
+    // job that is already queued is not an event — it waits for a node to
+    // free up, otherwise the loop would spin at the same timestamp.
+    double next_event = next_completion_time();
+    if (next_submit < jobs.size())
+      next_event = std::min(next_event, jobs[next_submit].submit_time);
+    MIGOPT_ENSURE(std::isfinite(next_event), "cluster deadlock: no next event");
+    MIGOPT_ENSURE(next_event <= config_.max_sim_seconds,
+                  "cluster simulation exceeded its time guard");
+    now = std::max(now, next_event);
+    advance_to(now, scheduler);
+  }
+
+  return report(scheduler);
 }
 
 }  // namespace migopt::sched

@@ -2,9 +2,16 @@
 // ("selecting an optimal combination of co-locating jobs from a job queue at
 // cluster scale"), built on the Node and CoScheduler pieces.
 //
-// The event loop dispatches from a shared queue onto idle nodes, collects
-// profiles from exclusive first runs, and reports makespan, energy, and
-// per-job statistics. A plain exclusive-FIFO mode provides the baseline.
+// Two ways to drive it:
+//   - run(): the batch event loop — all jobs known up front, dispatched from
+//     a shared queue onto idle nodes, profiles collected from exclusive first
+//     runs; reports makespan, energy, and per-job statistics. A plain
+//     exclusive-FIFO mode provides the baseline.
+//   - the incremental session API (begin_session / submit / dispatch /
+//     advance_to / set_power_budget / report): the same machinery exposed
+//     step by step, so an external discrete-event engine (migopt::trace's
+//     SimEngine) can interleave online arrivals and power-budget changes
+//     with completions. run() is itself implemented on these hooks.
 #pragma once
 
 #include <memory>
@@ -44,10 +51,11 @@ struct ClusterReport {
   std::size_t pair_dispatches = 0;
   std::size_t exclusive_dispatches = 0;
   std::size_t profile_runs = 0;
-  /// Allocator searches saved / paid by the scheduler's DecisionCache over
-  /// this run (deltas of the scheduler's counters).
+  /// Allocator searches saved / paid / evicted by the scheduler's
+  /// DecisionCache over this run (deltas of the scheduler's counters).
   std::size_t decision_cache_hits = 0;
   std::size_t decision_cache_misses = 0;
+  std::size_t decision_cache_evictions = 0;
   double mean_turnaround = 0.0;
   /// Highest sum of concurrently active node caps observed (<= the budget
   /// whenever one is configured).
@@ -63,12 +71,66 @@ class Cluster {
   /// Jobs may have staggered submit times.
   ClusterReport run(std::vector<Job> jobs, CoScheduler& scheduler);
 
+  // --- Incremental session API (what run() is built on) -------------------
+  //
+  // Protocol: begin_session once, then any interleaving of submit /
+  // set_power_budget / dispatch / advance_to with a non-decreasing clock
+  // supplied by the caller, then report() to assemble the statistics.
+
+  /// Start a fresh accounting session: clears the queue, per-job statistics,
+  /// and dispatch counters, and snapshots the scheduler's DecisionCache
+  /// counters plus node energy so report() returns session deltas.
+  void begin_session(const CoScheduler& scheduler);
+
+  /// Enqueue an arriving job.
+  void submit(Job job);
+
+  /// Replace the cluster power budget for all *future* dispatches (running
+  /// jobs keep their caps — a cap is a provisioning contract). Empty lifts
+  /// the constraint.
+  void set_power_budget(std::optional<double> watts);
+  const std::optional<double>& power_budget() const noexcept { return budget_; }
+
+  /// Dispatch onto idle nodes until no further plan fits the queue/budget at
+  /// `now`; returns the number of dispatches made.
+  std::size_t dispatch(CoScheduler& scheduler, double now);
+
+  /// Earliest completion across nodes; +infinity when every node idles.
+  double next_completion_time() const noexcept;
+
+  /// Advance every node to `t` (>= all node clocks), returning finished jobs
+  /// with their finish_time set. Profile runs are recorded with the
+  /// scheduler (releasing held-back jobs of the same application) and all
+  /// per-job statistics are accumulated for report().
+  std::vector<Job> advance_to(double t, CoScheduler& scheduler);
+
+  std::size_t queued_count() const noexcept { return queue_.size(); }
+  std::size_t running_count() const noexcept;
+  const JobQueue& queue() const noexcept { return queue_; }
+
+  /// Statistics accumulated since begin_session (makespan from node clocks,
+  /// energy and DecisionCache counters as deltas against the session start).
+  ClusterReport report(const CoScheduler& scheduler) const;
+
   /// Nodes are heap-held because a Node embeds a GpuChip (non-movable).
   const std::vector<std::unique_ptr<Node>>& nodes() const noexcept { return nodes_; }
 
  private:
+  /// Sum of caps of currently busy nodes (the budget accounting quantity).
+  double busy_cap_sum() const noexcept;
+
   ClusterConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
+
+  // Session state (reset by begin_session).
+  JobQueue queue_;
+  std::optional<double> budget_;
+  ClusterReport session_;
+  DecisionCache::Stats cache_at_session_start_;
+  double energy_at_session_start_ = 0.0;
+  double clock_at_session_start_ = 0.0;
+  /// Per-node ids of in-flight profile runs.
+  std::vector<std::vector<JobId>> profiling_jobs_;
 };
 
 }  // namespace migopt::sched

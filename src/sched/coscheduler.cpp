@@ -10,6 +10,7 @@ namespace migopt::sched {
 CoScheduler::CoScheduler(core::ResourcePowerAllocator& allocator,
                          core::Policy policy, SchedulerTuning tuning)
     : allocator_(&allocator), policy_(policy), tuning_(tuning),
+      decision_cache_(tuning.decision_cache_capacity),
       cached_profile_revision_(allocator.profiles().revision()) {
   MIGOPT_REQUIRE(tuning_.pairing_window >= 1, "pairing window must be >= 1");
   MIGOPT_REQUIRE(tuning_.min_pair_speedup >= 0.0,

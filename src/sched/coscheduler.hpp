@@ -46,6 +46,10 @@ struct SchedulerTuning {
   /// fraction of the serial time (only with duration hints). Thin-margin
   /// pairs sit inside the model's error band, so they run serially instead.
   double duration_benefit_margin = 0.1;
+  /// Bound on the memoized allocator decisions (LRU-evicted beyond it). The
+  /// default is generous for the 24-workload registry; long multi-tenant
+  /// traces may size it down to study thrashing (evictions are reported).
+  std::size_t decision_cache_capacity = DecisionCache::kDefaultCapacity;
 };
 
 class CoScheduler {

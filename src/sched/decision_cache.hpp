@@ -10,15 +10,23 @@
 // Invalidation: the owner (CoScheduler) clears the cache whenever the profile
 // store mutates — both through its own record_profile and, via
 // ProfileDb::revision(), when someone records through the allocator directly.
+//
+// Capacity: the cache is bounded with LRU eviction so a large multi-tenant
+// trace (arbitrarily many distinct tenants/policies over time) cannot grow it
+// without limit. The default is generous — the 24-workload registry needs at
+// most 24*24 pair entries per policy signature — and evictions are counted so
+// an undersized cache shows up in reports rather than silently thrashing.
 #pragma once
 
 #include <compare>
 #include <cstddef>
+#include <list>
 #include <map>
 #include <string>
 #include <string_view>
 #include <utility>
 
+#include "common/assert.hpp"
 #include "core/optimizer.hpp"
 #include "core/policy.hpp"
 
@@ -41,15 +49,29 @@ struct PolicySignature {
 
 class DecisionCache {
  public:
+  /// Room for every pair of the 24-workload registry under several policy
+  /// signatures at once; traces with more distinct keys start evicting.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
   struct Stats {
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t invalidations = 0;
+    std::size_t evictions = 0;
   };
 
+  explicit DecisionCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {
+    MIGOPT_REQUIRE(capacity >= 1, "decision cache capacity must be >= 1");
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
   /// Return the cached decision for (app1, app2, policy) or compute, store,
-  /// and return it. The returned reference is valid until the next
-  /// invalidate(). Lookup is heterogeneous: the hit path copies no strings.
+  /// and return it — evicting the least-recently-used entry when the cache
+  /// is full. The returned reference is valid until the next get_or_compute
+  /// or invalidate() (an eviction may reclaim it). Lookup is heterogeneous:
+  /// the hit path copies no strings.
   template <typename Compute>
   const core::Decision& get_or_compute(const std::string& app1,
                                        const std::string& app2,
@@ -60,16 +82,30 @@ class DecisionCache {
     const auto it = entries_.find(view);
     if (it != entries_.end()) {
       ++stats_.hits;
-      return it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.recency);
+      return it->second.decision;
     }
     ++stats_.misses;
-    return entries_.emplace(Key{app1, app2, signature}, compute())
-        .first->second;
+    // Compute before evicting: a throwing compute() must not cost a
+    // resident entry or record a phantom eviction.
+    core::Decision decision = compute();
+    if (entries_.size() >= capacity_) {
+      // Map keys are node-stable, so the recency list can point at them.
+      entries_.erase(entries_.find(*lru_.back()));
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    const auto inserted = entries_.emplace(Key{app1, app2, signature},
+                                           Entry{std::move(decision), {}});
+    lru_.push_front(&inserted.first->first);
+    inserted.first->second.recency = lru_.begin();
+    return inserted.first->second.decision;
   }
 
   /// Drop every entry (the backing model/profiles changed).
   void invalidate() noexcept {
     entries_.clear();
+    lru_.clear();
     ++stats_.invalidations;
   }
 
@@ -103,7 +139,15 @@ class DecisionCache {
     }
   };
 
-  std::map<Key, core::Decision, KeyLess> entries_;
+  struct Entry {
+    core::Decision decision;
+    /// Position in `lru_` (front = most recently used).
+    std::list<const Key*>::iterator recency;
+  };
+
+  std::size_t capacity_;
+  std::map<Key, Entry, KeyLess> entries_;
+  std::list<const Key*> lru_;
   Stats stats_;
 };
 

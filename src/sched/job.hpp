@@ -17,6 +17,10 @@ struct Job {
   const gpusim::KernelDescriptor* kernel = nullptr;
   double work_units = 0.0;   ///< total work to execute
   double submit_time = 0.0;  ///< seconds, simulation clock
+  /// Scheduling priority: higher dispatches first; equal priorities keep
+  /// strict FIFO arrival order (deterministic trace replay relies on the
+  /// tie-break being stable).
+  int priority = 0;
   /// Expected solo full-chip seconds per work unit (the walltime estimate a
   /// user or history database supplies to an HPC scheduler). 0 = unknown;
   /// when both jobs of a candidate pair carry hints, the co-scheduler uses

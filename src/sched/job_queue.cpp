@@ -6,7 +6,12 @@ namespace migopt::sched {
 
 void JobQueue::push(Job job) {
   job.validate();
-  jobs_.push_back(std::move(job));
+  // Stable priority insertion: scan back over strictly lower priorities, so
+  // equal-priority jobs keep push order (FIFO tie-break). The common case —
+  // uniform priorities — appends in O(1).
+  auto it = jobs_.end();
+  while (it != jobs_.begin() && std::prev(it)->priority < job.priority) --it;
+  jobs_.insert(it, std::move(job));
 }
 
 const Job& JobQueue::front() const {
@@ -39,7 +44,7 @@ std::size_t JobQueue::ready_count(double now) const noexcept {
     if (job.submit_time <= now)
       ++count;
     else
-      break;  // FIFO by submit time
+      break;  // a future job gates the rest of the queue order
   }
   return count;
 }

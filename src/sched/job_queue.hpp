@@ -1,4 +1,10 @@
-// FIFO job queue with lookahead access for pair selection.
+// Priority job queue with lookahead access for pair selection.
+//
+// Ordering: strict priority (higher Job::priority first); within one
+// priority the queue is FIFO in *push* order. The tie-break is stable on
+// purpose — replaying the same trace must enqueue, pair, and dispatch
+// identically every run — and is regression-tested. With every priority at
+// its default of 0 the queue degenerates to the plain FIFO it used to be.
 #pragma once
 
 #include <deque>
@@ -10,6 +16,8 @@ namespace migopt::sched {
 
 class JobQueue {
  public:
+  /// Insert keeping the (priority desc, push order) ordering: the job lands
+  /// after every queued job of equal or higher priority.
   void push(Job job);
 
   bool empty() const noexcept { return jobs_.empty(); }
@@ -24,7 +32,11 @@ class JobQueue {
   /// out of order).
   Job pop_at(std::size_t index);
 
-  /// Jobs submitted at or before `now` (FIFO order preserved).
+  /// Length of the queue-order *prefix* of jobs submitted at or before
+  /// `now` — the slots the scheduler may peek/pop this round. A queued job
+  /// with a future submit time gates everything ordered behind it (strict
+  /// priority semantics; in trace replay jobs are only pushed once they have
+  /// arrived, so the prefix is the whole ready set).
   std::size_t ready_count(double now) const noexcept;
 
  private:

@@ -28,6 +28,8 @@ class Node {
   const gpusim::GpuChip& chip() const noexcept { return chip_; }
 
   bool idle() const noexcept { return slots_.empty(); }
+  /// Jobs currently resident (co-located slots still executing).
+  std::size_t running_jobs() const noexcept { return slots_.size(); }
   double now() const noexcept { return now_; }
   double energy_joules() const noexcept { return energy_joules_; }
   /// Cap of the current dispatch (meaningful only while busy).

@@ -1,0 +1,70 @@
+// Seeded synthetic trace generators.
+//
+// Arrival processes the GPU-datacenter scheduling literature evaluates on:
+// Poisson arrivals (memoryless steady load), bursty/diurnal arrivals
+// (sinusoidally modulated rate via thinning — the day/night swing of a
+// shared cluster), heavy-tailed job mixes (Zipf over the workload registry,
+// lognormal job sizes), and a random-walk cluster power budget (the
+// datacenter reclaiming and returning watts). Everything flows through
+// common/rng, so one 64-bit seed reproduces a trace bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace migopt::trace {
+
+/// Arrival-stream shape. With `diurnal_amplitude == 0` the stream is plain
+/// Poisson at `arrival_rate_hz`; above 0 the instantaneous rate swings
+/// sinusoidally (period `diurnal_period_seconds`) and arrivals are drawn by
+/// thinning, producing bursts at the crest and lulls in the trough.
+struct ArrivalConfig {
+  std::size_t jobs = 1000;
+  double arrival_rate_hz = 1.0;      ///< mean arrivals per second
+  double diurnal_amplitude = 0.0;    ///< in [0, 1): rate swing fraction
+  double diurnal_period_seconds = 3600.0;
+
+  /// Job sizes are lognormal — exp(Normal(ln median, sigma)) — clamped into
+  /// [min, max]: most jobs are small, a heavy tail is not.
+  double median_work_seconds = 20.0;
+  double work_sigma = 0.75;
+  double min_work_seconds = 2.0;
+  double max_work_seconds = 600.0;
+
+  /// Tenants "t0".."tN-1", sampled Zipf(1.0) — a few tenants dominate.
+  int tenant_count = 4;
+  /// App-mix skew: Zipf(zipf_s) over a seeded shuffle of the app list, so
+  /// *which* workloads are hot varies with the seed but the tail shape
+  /// doesn't.
+  double zipf_s = 1.1;
+
+  /// Fraction of jobs arriving at priority 1 (the rest at 0).
+  double high_priority_fraction = 0.0;
+  /// Deadline = factor x work_seconds after arrival; 0 = no deadlines.
+  double deadline_factor = 0.0;
+};
+
+/// Generate `config.jobs` arrival events over `apps` (usually
+/// registry.names()). Deterministic in (config, apps, seed).
+Trace make_arrival_trace(const ArrivalConfig& config,
+                         const std::vector<std::string>& apps,
+                         std::uint64_t seed);
+
+/// Random-walk cluster power budget: every `interval_seconds` the budget
+/// takes a +/- `step_watts` step (reflected at the [min, max] walls),
+/// starting from `start_watts`, until `horizon_seconds`.
+struct BudgetWalkConfig {
+  double start_watts = 1000.0;
+  double min_watts = 600.0;
+  double max_watts = 2000.0;
+  double step_watts = 100.0;
+  double interval_seconds = 120.0;
+  double horizon_seconds = 3600.0;
+};
+
+Trace make_budget_walk(const BudgetWalkConfig& config, std::uint64_t seed);
+
+}  // namespace migopt::trace

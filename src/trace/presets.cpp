@@ -1,0 +1,53 @@
+#include "trace/presets.hpp"
+
+#include "trace/generator.hpp"
+
+namespace migopt::trace {
+
+std::optional<ReplayRegime> parse_regime(const std::string& name) {
+  if (name == "poisson") return ReplayRegime::Poisson;
+  if (name == "bursty") return ReplayRegime::Bursty;
+  if (name == "budget-walk") return ReplayRegime::BudgetWalk;
+  return std::nullopt;
+}
+
+const char* regime_name(ReplayRegime regime) noexcept {
+  switch (regime) {
+    case ReplayRegime::Poisson: return "poisson";
+    case ReplayRegime::Bursty: return "bursty";
+    case ReplayRegime::BudgetWalk: return "budget-walk";
+  }
+  return "?";
+}
+
+Trace make_regime_trace(ReplayRegime regime, std::size_t jobs, int nodes,
+                        std::uint64_t seed,
+                        const std::vector<std::string>& apps) {
+  ArrivalConfig arrivals;
+  arrivals.jobs = jobs;
+  arrivals.arrival_rate_hz = 0.033 * static_cast<double>(nodes);
+  arrivals.tenant_count = 6;
+  if (regime == ReplayRegime::Bursty) {
+    arrivals.diurnal_amplitude = 0.9;
+    arrivals.diurnal_period_seconds = 1800.0;
+  }
+  Trace generated = make_arrival_trace(arrivals, apps, seed);
+  if (regime == ReplayRegime::BudgetWalk) {
+    BudgetWalkConfig walk;
+    walk.start_watts = 250.0 * static_cast<double>(nodes);
+    walk.max_watts = walk.start_watts;
+    walk.min_watts = 150.0 * static_cast<double>(nodes) / 2.0;
+    walk.step_watts = 100.0;
+    walk.interval_seconds = 120.0;
+    walk.horizon_seconds = generated.horizon_seconds();
+    generated = Trace::merge(generated, make_budget_walk(walk, seed + 1));
+  }
+  return generated;
+}
+
+core::Policy regime_policy(ReplayRegime regime) {
+  return regime == ReplayRegime::BudgetWalk ? core::Policy::problem2(0.2)
+                                            : core::Policy::problem1(250.0, 0.2);
+}
+
+}  // namespace migopt::trace

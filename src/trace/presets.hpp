@@ -1,0 +1,44 @@
+// Shared replay-regime presets.
+//
+// The `trace_replay` example and the `ext_trace_replay` bench replay the
+// same three regimes; the recipe (arrival rate per node, diurnal shape,
+// budget-walk walls, per-regime policy) lives here once so the checked-in
+// BENCH baseline and the example smoke run can never silently diverge.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "trace/trace.hpp"
+
+namespace migopt::trace {
+
+enum class ReplayRegime {
+  Poisson,     ///< steady memoryless arrivals, unconstrained budget
+  Bursty,      ///< diurnally modulated arrivals (crest ~2x the trough)
+  BudgetWalk,  ///< Poisson arrivals under a random-walk power budget
+};
+
+/// Parse "poisson" / "bursty" / "budget-walk"; nullopt otherwise.
+std::optional<ReplayRegime> parse_regime(const std::string& name);
+const char* regime_name(ReplayRegime regime) noexcept;
+
+/// The shared trace recipe: jobs average ~26 solo seconds, so 0.033
+/// arrivals/s per node lands near 85% utilization — busy with a real queue,
+/// but stable (the bursty crest pushes past saturation and the trough
+/// drains it). Six Zipf-skewed tenants. The budget walk starts at
+/// nodes x 250 W and can dip to half the fleet's 150 W floor.
+/// Deterministic in (regime, jobs, nodes, seed, apps).
+Trace make_regime_trace(ReplayRegime regime, std::size_t jobs, int nodes,
+                        std::uint64_t seed,
+                        const std::vector<std::string>& apps);
+
+/// Policy each regime runs under: the pure arrival regimes use Problem 1 at
+/// the paper's 250 W cap; the budget walk lets Problem 2 re-pick caps under
+/// the moving ceiling.
+core::Policy regime_policy(ReplayRegime regime);
+
+}  // namespace migopt::trace

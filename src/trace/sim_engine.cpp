@@ -1,0 +1,209 @@
+#include "trace/sim_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace migopt::trace {
+
+namespace {
+
+/// Per-job bookkeeping the sched::Job does not carry (indexed by JobId,
+/// which the engine assigns densely in arrival order).
+struct JobBook {
+  std::size_t tenant_index = 0;
+  double deadline_absolute = 0.0;  ///< 0 = none
+  double modeled_solo_seconds = 0.0;
+};
+
+struct TenantAccum {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t deadline_misses = 0;
+  double work_seconds = 0.0;
+  double wait_sum = 0.0;
+  double slowdown_sum = 0.0;
+};
+
+}  // namespace
+
+SimEngine::SimEngine(SimConfig config) : config_(config) {
+  MIGOPT_REQUIRE(config_.max_sim_seconds > 0.0,
+                 "simulation guard must be > 0 seconds");
+  MIGOPT_REQUIRE(config_.sample_interval_seconds >= 0.0,
+                 "sample interval must be >= 0");
+}
+
+SimReport SimEngine::replay(const Trace& trace,
+                            const wl::WorkloadRegistry& registry,
+                            sched::Cluster& cluster,
+                            sched::CoScheduler& scheduler) const {
+  trace.validate();
+  const auto cache_at_start = scheduler.decision_cache().stats();
+  cluster.begin_session(scheduler);
+  const gpusim::GpuChip& chip = cluster.nodes().front()->chip();
+
+  SimReport report;
+  std::vector<JobBook> books;
+  books.reserve(trace.job_count());
+  // Tenant indices in first-appearance order; names sorted for the report.
+  std::map<std::string, std::size_t> tenant_index;
+  std::vector<TenantAccum> tenants;
+
+  double wait_sum = 0.0;
+  double slowdown_sum = 0.0;
+  std::size_t completed = 0;
+  double now = 0.0;
+  std::size_t next_event = 0;
+  double next_sample = config_.sample_interval_seconds > 0.0
+                           ? 0.0
+                           : std::numeric_limits<double>::infinity();
+
+  const auto cache_hit_rate = [&] {
+    const auto stats = scheduler.decision_cache().stats();
+    const std::size_t hits = stats.hits - cache_at_start.hits;
+    const std::size_t probes = hits + (stats.misses - cache_at_start.misses);
+    return probes == 0 ? 0.0
+                       : static_cast<double>(hits) / static_cast<double>(probes);
+  };
+
+  const auto handle_completion = [&](const sched::Job& job) {
+    MIGOPT_ENSURE(job.id >= 0 && static_cast<std::size_t>(job.id) < books.size(),
+                  "completion for a job the engine never submitted");
+    const JobBook& book = books[static_cast<std::size_t>(job.id)];
+    TenantAccum& tenant = tenants[book.tenant_index];
+    const double wait = job.start_time - job.submit_time;
+    const double turnaround = job.finish_time - job.submit_time;
+    const double slowdown =
+        turnaround / std::max(book.modeled_solo_seconds, 1e-9);
+    ++completed;
+    ++tenant.completed;
+    tenant.wait_sum += wait;
+    tenant.slowdown_sum += slowdown;
+    wait_sum += wait;
+    slowdown_sum += slowdown;
+    report.max_queue_wait_seconds =
+        std::max(report.max_queue_wait_seconds, wait);
+    if (book.deadline_absolute > 0.0 &&
+        job.finish_time > book.deadline_absolute) {
+      ++report.deadline_misses;
+      ++tenant.deadline_misses;
+    }
+  };
+
+  while (true) {
+    // 1. Apply every trace event due at the clock.
+    while (next_event < trace.events.size() &&
+           trace.events[next_event].time_seconds <= now) {
+      const TraceEvent& event = trace.events[next_event];
+      if (event.kind == EventKind::JobArrival) {
+        const auto inserted =
+            tenant_index.emplace(event.tenant, tenants.size());
+        if (inserted.second) tenants.emplace_back();
+        TenantAccum& tenant = tenants[inserted.first->second];
+
+        sched::Job job;
+        job.id = static_cast<sched::JobId>(books.size());
+        job.app = event.app;
+        job.kernel = &registry.by_name(event.app).kernel;
+        job.solo_seconds_per_wu = chip.baseline_seconds(*job.kernel);
+        job.work_units =
+            std::max(1.0, event.work_seconds / job.solo_seconds_per_wu);
+        job.submit_time = event.time_seconds;
+        job.priority = event.priority;
+
+        JobBook book;
+        book.tenant_index = inserted.first->second;
+        book.deadline_absolute = event.deadline_seconds > 0.0
+                                     ? event.time_seconds + event.deadline_seconds
+                                     : 0.0;
+        book.modeled_solo_seconds = job.work_units * job.solo_seconds_per_wu;
+        books.push_back(book);
+
+        ++report.jobs_submitted;
+        ++tenant.submitted;
+        tenant.work_seconds += book.modeled_solo_seconds;
+        cluster.submit(std::move(job));
+      } else {
+        cluster.set_power_budget(event.budget_watts > 0.0
+                                     ? std::optional<double>(event.budget_watts)
+                                     : std::nullopt);
+        ++report.budget_events_applied;
+      }
+      ++next_event;
+    }
+
+    // 2. Dispatch whatever fits the idle nodes and the budget headroom.
+    cluster.dispatch(scheduler, now);
+
+    report.peak_queue_depth =
+        std::max(report.peak_queue_depth, cluster.queued_count());
+    MIGOPT_ENSURE(report.jobs_submitted ==
+                      completed + cluster.queued_count() +
+                          cluster.running_count(),
+                  "conservation violated: submitted != completed + queued + "
+                  "running");
+    if (now >= next_sample) {
+      report.samples.push_back({now, cluster.queued_count(),
+                                cluster.running_count(), cache_hit_rate()});
+      next_sample = now + config_.sample_interval_seconds;
+    }
+
+    // 3. Advance to the next event on the heap's two spines.
+    const double t_trace = next_event < trace.events.size()
+                               ? trace.events[next_event].time_seconds
+                               : std::numeric_limits<double>::infinity();
+    const double t_done = cluster.next_completion_time();
+    const double t_next = std::min(t_trace, t_done);
+    if (!std::isfinite(t_next)) {
+      // No future event of any kind: the replay is done — unless jobs are
+      // still queued, which means nothing can ever release them (e.g. the
+      // final budget left the cluster unable to afford any cap).
+      MIGOPT_ENSURE(cluster.queued_count() == 0,
+                    "trace replay stalled: jobs queued but no future event "
+                    "can release them");
+      break;
+    }
+    MIGOPT_ENSURE(t_next <= config_.max_sim_seconds,
+                  "trace replay exceeded its simulated-time guard");
+    now = std::max(now, t_next);
+    // Advance every node (idle ones accrue idle power, exactly as the batch
+    // loop does); completions due at `now` come back here — before the loop
+    // top applies arrivals stamped at the same instant.
+    for (const sched::Job& job : cluster.advance_to(now, scheduler))
+      handle_completion(job);
+  }
+
+  report.cluster = cluster.report(scheduler);
+  if (completed > 0) {
+    report.mean_queue_wait_seconds = wait_sum / static_cast<double>(completed);
+    report.mean_slowdown = slowdown_sum / static_cast<double>(completed);
+  }
+  if (report.cluster.makespan_seconds > 0.0)
+    report.jobs_per_hour = 3600.0 * static_cast<double>(completed) /
+                           report.cluster.makespan_seconds;
+
+  report.tenants.reserve(tenants.size());
+  for (const auto& [name, index] : tenant_index) {
+    const TenantAccum& accum = tenants[index];
+    TenantStats stats;
+    stats.tenant = name;
+    stats.jobs_submitted = accum.submitted;
+    stats.jobs_completed = accum.completed;
+    stats.deadline_misses = accum.deadline_misses;
+    stats.work_seconds_submitted = accum.work_seconds;
+    if (accum.completed > 0) {
+      stats.mean_queue_wait_seconds =
+          accum.wait_sum / static_cast<double>(accum.completed);
+      stats.mean_slowdown =
+          accum.slowdown_sum / static_cast<double>(accum.completed);
+    }
+    report.tenants.push_back(std::move(stats));
+  }
+  return report;
+}
+
+}  // namespace migopt::trace

@@ -1,0 +1,90 @@
+// Deterministic discrete-event replay of a Trace through the scheduler
+// stack (sched::Cluster driven incrementally + sched::CoScheduler).
+//
+// The engine owns the event loop only; all scheduling/execution semantics
+// stay in sched. Per step it (1) applies every trace event due at the
+// clock — arrivals enqueue, budget events re-broker the cluster power
+// contract for future dispatches — (2) lets the cluster dispatch onto idle
+// nodes, then (3) advances to the earliest of {next trace event, next
+// completion}, collecting finished jobs. Completions at time T are
+// processed before arrivals at T.
+//
+// On top of the cluster report it accumulates the online-serving metrics a
+// batch run cannot see: queue waits, slowdowns, per-tenant accounting,
+// deadline misses, peak queue depth, and an optional time series of the
+// DecisionCache hit rate and queue depth. A conservation invariant —
+// submitted == completed + queued + running — is checked at every step.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sched/cluster.hpp"
+#include "trace/trace.hpp"
+#include "workloads/registry.hpp"
+
+namespace migopt::trace {
+
+struct SimConfig {
+  /// Hard guard on the simulated clock (a runaway trace fails loudly).
+  double max_sim_seconds = 1.0e7;
+  /// > 0: sample {time, queue depth, cumulative cache hit rate} roughly
+  /// every this many simulated seconds (at event-loop steps, so sample
+  /// times land on event times). 0 disables the series.
+  double sample_interval_seconds = 0.0;
+};
+
+struct TenantStats {
+  std::string tenant;
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t deadline_misses = 0;
+  double work_seconds_submitted = 0.0;
+  double mean_queue_wait_seconds = 0.0;  ///< start - submit, over completions
+  double mean_slowdown = 0.0;            ///< turnaround / modeled solo time
+};
+
+struct SamplePoint {
+  double time_seconds = 0.0;
+  std::size_t queue_depth = 0;
+  std::size_t running = 0;
+  /// Cumulative DecisionCache hit rate since replay start (0 when the cache
+  /// has not been consulted yet).
+  double cache_hit_rate = 0.0;
+};
+
+struct SimReport {
+  sched::ClusterReport cluster;  ///< makespan/energy/dispatch/cache counters
+  std::size_t jobs_submitted = 0;
+  std::size_t budget_events_applied = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t peak_queue_depth = 0;
+  double mean_queue_wait_seconds = 0.0;
+  double max_queue_wait_seconds = 0.0;
+  double mean_slowdown = 0.0;
+  double jobs_per_hour = 0.0;  ///< completed jobs over the makespan
+  std::vector<TenantStats> tenants;  ///< sorted by tenant name
+  std::vector<SamplePoint> samples;  ///< empty unless sampling enabled
+};
+
+class SimEngine {
+ public:
+  explicit SimEngine(SimConfig config = {});
+
+  /// Replay `trace` through `cluster`+`scheduler` to completion. The
+  /// cluster is reset via begin_session (its configured power budget is the
+  /// starting contract; trace budget events override it from their
+  /// timestamp on). Apps must exist in `registry`. Throws ContractViolation
+  /// on unsorted traces, unknown apps, a violated conservation invariant,
+  /// or a stalled replay (queued jobs left but no event can ever release
+  /// them).
+  SimReport replay(const Trace& trace, const wl::WorkloadRegistry& registry,
+                   sched::Cluster& cluster,
+                   sched::CoScheduler& scheduler) const;
+
+ private:
+  SimConfig config_;
+};
+
+}  // namespace migopt::trace

@@ -117,6 +117,78 @@ TEST(Json, DumpIsDeterministic) {
   EXPECT_EQ(build(), build());
 }
 
+TEST(JsonParse, ScalarsAndWhitespace) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse(" true ").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-7").kind(), Value::Kind::Int);
+  EXPECT_EQ(parse("0.5").as_double(), 0.5);
+  EXPECT_EQ(parse("3.0").kind(), Value::Kind::Double);
+  EXPECT_EQ(parse("1e+300").as_double(), 1e300);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse("\t\n [1, 2] \r").size(), 2u);
+}
+
+TEST(JsonParse, StringsDecodeEscapes) {
+  EXPECT_EQ(parse("\"a\\\"b\"").as_string(), "a\"b");
+  EXPECT_EQ(parse("\"back\\\\slash\"").as_string(), "back\\slash");
+  EXPECT_EQ(parse("\"tab\\there\"").as_string(), "tab\there");
+  EXPECT_EQ(parse("\"line\\nbreak\"").as_string(), "line\nbreak");
+  EXPECT_EQ(parse("\"\\u0007\"").as_string(), "\x07");
+  EXPECT_EQ(parse("\"slash\\/ok\"").as_string(), "slash/ok");
+  // UTF-8 passes through raw, matching the writer.
+  const std::string utf8 = "caf\xc3\xa9";
+  EXPECT_EQ(parse("\"" + utf8 + "\"").as_string(), utf8);
+}
+
+TEST(JsonParse, ObjectsKeepMemberOrder) {
+  const Value doc = parse("{\"zebra\": 1, \"alpha\": {\"x\": [1, 2.5]}}");
+  ASSERT_EQ(doc.kind(), Value::Kind::Object);
+  EXPECT_EQ(doc.members()[0].first, "zebra");
+  EXPECT_EQ(doc.members()[1].first, "alpha");
+  ASSERT_NE(doc.find("alpha"), nullptr);
+  EXPECT_EQ(doc.find("alpha")->find("x")->elements()[1].as_double(), 2.5);
+}
+
+TEST(JsonParse, RoundTripsDumpOutput) {
+  Value doc = Value::object();
+  doc.set("name", "trace");
+  doc.set("count", 3);
+  doc.set("rate", 0.25);
+  Value events = Value::array();
+  for (int i = 0; i < 3; ++i) {
+    Value event = Value::object();
+    event.set("t", 1.5 * i);
+    event.set("app", i % 2 == 0 ? "sgemm" : "line\nbreak \"q\"");
+    event.set("ok", i != 1);
+    events.push_back(std::move(event));
+  }
+  doc.set("events", std::move(events));
+  doc.set("none", Value());
+  for (const int indent : {0, 2}) {
+    const std::string text = doc.dump(indent);
+    EXPECT_EQ(parse(text).dump(indent), text);
+  }
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  EXPECT_THROW(parse(""), ContractViolation);
+  EXPECT_THROW(parse("{"), ContractViolation);
+  EXPECT_THROW(parse("[1,]"), ContractViolation);
+  EXPECT_THROW(parse("{\"a\" 1}"), ContractViolation);
+  EXPECT_THROW(parse("tru"), ContractViolation);
+  EXPECT_THROW(parse("\"unterminated"), ContractViolation);
+  EXPECT_THROW(parse("\"bad\\x\""), ContractViolation);
+  EXPECT_THROW(parse("\"\\u00e9\""), ContractViolation);  // beyond ASCII
+  EXPECT_THROW(parse("1 2"), ContractViolation);          // trailing garbage
+  EXPECT_THROW(parse("1e999"), ContractViolation);        // non-finite
+  EXPECT_THROW(parse("nan"), ContractViolation);
+  EXPECT_THROW(parse("--1"), ContractViolation);
+  const std::string deep(1000, '[');
+  EXPECT_THROW(parse(deep), ContractViolation);  // nesting bound
+}
+
 TEST(Json, TypeContractsEnforced) {
   Value array = Value::array();
   EXPECT_THROW(array.set("k", 1), ContractViolation);

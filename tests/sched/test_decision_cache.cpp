@@ -116,6 +116,73 @@ TEST(DecisionCache, InvalidateDropsEntriesAndCounts) {
   EXPECT_EQ(cache.stats().misses, 2u);
 }
 
+TEST(DecisionCache, EvictsLeastRecentlyUsedAtCapacity) {
+  DecisionCache cache(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  const core::Policy policy = core::Policy::problem2(0.2);
+  int computations = 0;
+  const auto fetch = [&](const std::string& a, const std::string& b) {
+    cache.get_or_compute(a, b, policy, [&] {
+      ++computations;
+      return core::Decision{};
+    });
+  };
+  fetch("a", "b");      // miss -> {ab}
+  fetch("c", "d");      // miss -> {ab, cd}
+  fetch("a", "b");      // hit: ab becomes most recent
+  fetch("e", "f");      // miss at capacity -> evicts cd (the LRU), not ab
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  fetch("a", "b");      // still resident
+  EXPECT_EQ(computations, 3);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  fetch("c", "d");      // was evicted: recomputed, evicting ab's partner ef
+  EXPECT_EQ(computations, 4);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(DecisionCache, CapacityOneStillServesRepeats) {
+  DecisionCache cache(1);
+  const core::Policy policy = core::Policy::problem2(0.2);
+  int computations = 0;
+  const auto fetch = [&](const std::string& a) {
+    cache.get_or_compute(a, "x", policy, [&] {
+      ++computations;
+      return core::Decision{};
+    });
+  };
+  fetch("a");
+  fetch("a");  // hit
+  EXPECT_EQ(cache.stats().hits, 1u);
+  fetch("b");  // evicts a
+  fetch("a");  // recompute
+  EXPECT_EQ(computations, 3);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DecisionCache, InvalidateResetsRecencyBookkeeping) {
+  DecisionCache cache(2);
+  const core::Policy policy = core::Policy::problem2(0.2);
+  const auto fetch = [&](const std::string& a) {
+    cache.get_or_compute(a, "x", policy, [] { return core::Decision{}; });
+  };
+  fetch("a");
+  fetch("b");
+  cache.invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  // A full refill after invalidate must not evict (the list was cleared too).
+  fetch("c");
+  fetch("d");
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(DecisionCache, ZeroCapacityRejected) {
+  EXPECT_THROW(DecisionCache cache(0), ContractViolation);
+}
+
 TEST(CoSchedulerCache, RepeatedDispatchHitsTheCache) {
   auto allocator = make_allocator();
   CoScheduler scheduler(allocator, core::Policy::problem1(230.0, 0.2));

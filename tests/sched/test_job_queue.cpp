@@ -8,13 +8,15 @@
 namespace migopt::sched {
 namespace {
 
-Job make_job(int id, const std::string& app, double submit = 0.0) {
+Job make_job(int id, const std::string& app, double submit = 0.0,
+             int priority = 0) {
   Job job;
   job.id = id;
   job.app = app;
   job.kernel = &test::shared_registry().by_name(app).kernel;
   job.work_units = 100.0;
   job.submit_time = submit;
+  job.priority = priority;
   return job;
 }
 
@@ -61,6 +63,42 @@ TEST(JobQueue, InvalidJobRejected) {
   Job bad = make_job(0, "sgemm");
   bad.work_units = 0.0;
   EXPECT_THROW(queue.push(bad), ContractViolation);
+}
+
+TEST(JobQueue, HigherPriorityOvertakesLowerButNotEqual) {
+  JobQueue queue;
+  queue.push(make_job(0, "sgemm"));            // priority 0
+  queue.push(make_job(1, "stream", 0.0, 2));   // overtakes 0
+  queue.push(make_job(2, "kmeans", 0.0, 1));   // between
+  queue.push(make_job(3, "needle", 0.0, 2));   // equal to 1: stays behind it
+  EXPECT_EQ(queue.pop_front().id, 1);
+  EXPECT_EQ(queue.pop_front().id, 3);
+  EXPECT_EQ(queue.pop_front().id, 2);
+  EXPECT_EQ(queue.pop_front().id, 0);
+}
+
+// Deterministic replay depends on this: many same-priority arrivals must
+// drain in exactly their push order, every time (no unstable reordering).
+TEST(JobQueue, EqualPriorityKeepsFifoOrderUnderInterleavedPushes) {
+  JobQueue queue;
+  // Interleave priorities so insertions repeatedly land mid-queue.
+  const int priorities[] = {0, 1, 0, 1, 0, 1, 0, 1};
+  for (int i = 0; i < 8; ++i)
+    queue.push(make_job(i, "sgemm", 0.0, priorities[i]));
+  // All priority-1 jobs first, in push order; then priority-0, in push order.
+  const int expected[] = {1, 3, 5, 7, 0, 2, 4, 6};
+  for (const int id : expected) EXPECT_EQ(queue.pop_front().id, id);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(JobQueue, NegativePrioritySinksBehindDefault) {
+  JobQueue queue;
+  queue.push(make_job(0, "sgemm", 0.0, -1));
+  queue.push(make_job(1, "stream"));  // default 0 overtakes -1
+  queue.push(make_job(2, "kmeans", 0.0, -1));
+  EXPECT_EQ(queue.pop_front().id, 1);
+  EXPECT_EQ(queue.pop_front().id, 0);
+  EXPECT_EQ(queue.pop_front().id, 2);
 }
 
 TEST(JobQueue, ReadyCountHonorsSubmitTimes) {

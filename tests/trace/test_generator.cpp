@@ -1,0 +1,152 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/assert.hpp"
+#include "test_util.hpp"
+#include "trace/presets.hpp"
+
+namespace migopt::trace {
+namespace {
+
+std::vector<std::string> app_names() { return test::shared_registry().names(); }
+
+TEST(Generator, FixedSeedReproducesTheTraceExactly) {
+  ArrivalConfig config;
+  config.jobs = 500;
+  config.high_priority_fraction = 0.2;
+  config.deadline_factor = 20.0;
+  config.diurnal_amplitude = 0.5;
+  const Trace a = make_arrival_trace(config, app_names(), 1234);
+  const Trace b = make_arrival_trace(config, app_names(), 1234);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time_seconds, b.events[i].time_seconds);
+    EXPECT_EQ(a.events[i].tenant, b.events[i].tenant);
+    EXPECT_EQ(a.events[i].app, b.events[i].app);
+    EXPECT_EQ(a.events[i].work_seconds, b.events[i].work_seconds);
+    EXPECT_EQ(a.events[i].priority, b.events[i].priority);
+    EXPECT_EQ(a.events[i].deadline_seconds, b.events[i].deadline_seconds);
+  }
+  // A different seed must not replay the same stream.
+  const Trace c = make_arrival_trace(config, app_names(), 1235);
+  bool any_difference = c.events.size() != a.events.size();
+  for (std::size_t i = 0; !any_difference && i < a.events.size(); ++i)
+    any_difference = a.events[i].time_seconds != c.events[i].time_seconds ||
+                     a.events[i].app != c.events[i].app;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, ArrivalTraceIsSortedSizedAndInBounds) {
+  ArrivalConfig config;
+  config.jobs = 1000;
+  config.tenant_count = 3;
+  config.high_priority_fraction = 0.25;
+  const Trace trace = make_arrival_trace(config, app_names(), 42);
+  trace.validate();  // sorted + per-event sanity
+  EXPECT_EQ(trace.job_count(), config.jobs);
+  EXPECT_EQ(trace.budget_event_count(), 0u);
+  std::set<std::string> tenants;
+  std::set<std::string> apps;
+  std::size_t high_priority = 0;
+  for (const TraceEvent& event : trace.events) {
+    tenants.insert(event.tenant);
+    apps.insert(event.app);
+    EXPECT_GE(event.work_seconds, config.min_work_seconds);
+    EXPECT_LE(event.work_seconds, config.max_work_seconds);
+    if (event.priority == 1) ++high_priority;
+  }
+  EXPECT_EQ(tenants.size(), 3u);
+  // The Zipf mix is heavy-tailed, not degenerate: several apps appear.
+  EXPECT_GT(apps.size(), 5u);
+  // Priority sampling is stochastic but 1000 draws at 25% cannot miss.
+  EXPECT_GT(high_priority, 100u);
+  EXPECT_LT(high_priority, 500u);
+}
+
+TEST(Generator, DiurnalModulationShiftsArrivalMass) {
+  // With amplitude 0.9 and a period of 1000 s, the first half-period (crest)
+  // must hold clearly more arrivals than the second (trough).
+  ArrivalConfig config;
+  config.jobs = 2000;
+  config.arrival_rate_hz = 2.0;
+  config.diurnal_amplitude = 0.9;
+  config.diurnal_period_seconds = 1000.0;
+  const Trace trace = make_arrival_trace(config, app_names(), 99);
+  std::size_t crest = 0;
+  std::size_t trough = 0;
+  for (const TraceEvent& event : trace.events) {
+    const double phase = std::fmod(event.time_seconds, 1000.0);
+    (phase < 500.0 ? crest : trough) += 1;
+  }
+  EXPECT_GT(crest, trough * 2);
+}
+
+TEST(Generator, BudgetWalkStaysInsideItsWalls) {
+  BudgetWalkConfig config;
+  config.start_watts = 1000.0;
+  config.min_watts = 700.0;
+  config.max_watts = 1300.0;
+  config.step_watts = 150.0;
+  config.interval_seconds = 10.0;
+  config.horizon_seconds = 5000.0;
+  const Trace walk = make_budget_walk(config, 5);
+  walk.validate();
+  EXPECT_EQ(walk.job_count(), 0u);
+  EXPECT_EQ(walk.budget_event_count(), 501u);  // t=0 plus 500 intervals
+  std::set<double> levels;
+  for (const TraceEvent& event : walk.events) {
+    EXPECT_GE(event.budget_watts, config.min_watts);
+    EXPECT_LE(event.budget_watts, config.max_watts);
+    levels.insert(event.budget_watts);
+  }
+  EXPECT_GT(levels.size(), 2u);  // it actually walks
+  const Trace again = make_budget_walk(config, 5);
+  for (std::size_t i = 0; i < walk.events.size(); ++i)
+    EXPECT_EQ(walk.events[i].budget_watts, again.events[i].budget_watts);
+}
+
+TEST(Presets, RegimeNamesRoundTripAndRecipesDiffer) {
+  for (const auto regime :
+       {ReplayRegime::Poisson, ReplayRegime::Bursty, ReplayRegime::BudgetWalk})
+    EXPECT_EQ(parse_regime(regime_name(regime)), regime);
+  EXPECT_FALSE(parse_regime("nonsense").has_value());
+
+  const auto apps = app_names();
+  const Trace poisson =
+      make_regime_trace(ReplayRegime::Poisson, 200, 4, 7, apps);
+  EXPECT_EQ(poisson.job_count(), 200u);
+  EXPECT_EQ(poisson.budget_event_count(), 0u);
+  const Trace walk =
+      make_regime_trace(ReplayRegime::BudgetWalk, 200, 4, 7, apps);
+  EXPECT_EQ(walk.job_count(), 200u);
+  EXPECT_GT(walk.budget_event_count(), 0u);
+  walk.validate();
+  // The budget-walk regime frees the optimizer to move caps; the arrival
+  // regimes pin Problem 1's fixed cap.
+  EXPECT_TRUE(regime_policy(ReplayRegime::Poisson).fixed_power_cap.has_value());
+  EXPECT_FALSE(
+      regime_policy(ReplayRegime::BudgetWalk).fixed_power_cap.has_value());
+}
+
+TEST(Generator, ConfigValidation) {
+  ArrivalConfig bad_rate;
+  bad_rate.arrival_rate_hz = 0.0;
+  EXPECT_THROW(make_arrival_trace(bad_rate, app_names(), 1),
+               ContractViolation);
+  ArrivalConfig bad_amplitude;
+  bad_amplitude.diurnal_amplitude = 1.0;
+  EXPECT_THROW(make_arrival_trace(bad_amplitude, app_names(), 1),
+               ContractViolation);
+  EXPECT_THROW(make_arrival_trace(ArrivalConfig{}, {}, 1), ContractViolation);
+  BudgetWalkConfig bad_start;
+  bad_start.start_watts = 100.0;  // below min_watts
+  EXPECT_THROW(make_budget_walk(bad_start, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace migopt::trace

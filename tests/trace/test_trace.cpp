@@ -1,0 +1,135 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace migopt::trace {
+namespace {
+
+Trace sample_trace() {
+  Trace trace;
+  trace.events.push_back(TraceEvent::budget(0.0, 1500.0));
+  trace.events.push_back(
+      TraceEvent::arrival(0.5, "t0", "sgemm", 12.25, 0, 0.0));
+  trace.events.push_back(
+      TraceEvent::arrival(0.5, "t1", "stream", 3.875, 1, 60.5));
+  trace.events.push_back(TraceEvent::budget(2.0, 0.0));  // lifts the budget
+  trace.events.push_back(
+      TraceEvent::arrival(7.125, "t0", "kmeans", 100.0, -2, 0.0));
+  return trace;
+}
+
+void expect_equal(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    SCOPED_TRACE(i);
+    const TraceEvent& x = a.events[i];
+    const TraceEvent& y = b.events[i];
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.time_seconds, y.time_seconds);
+    EXPECT_EQ(x.tenant, y.tenant);
+    EXPECT_EQ(x.app, y.app);
+    EXPECT_EQ(x.work_seconds, y.work_seconds);
+    EXPECT_EQ(x.priority, y.priority);
+    EXPECT_EQ(x.deadline_seconds, y.deadline_seconds);
+    EXPECT_EQ(x.budget_watts, y.budget_watts);
+  }
+}
+
+/// Self-deleting temp path so round-trip tests leave no droppings.
+class TempFile {
+ public:
+  explicit TempFile(const char* name)
+      : path_(::testing::TempDir() + "/" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Trace, CountsAndHorizon) {
+  const Trace trace = sample_trace();
+  EXPECT_EQ(trace.job_count(), 3u);
+  EXPECT_EQ(trace.budget_event_count(), 2u);
+  EXPECT_EQ(trace.horizon_seconds(), 7.125);
+  EXPECT_EQ(Trace{}.horizon_seconds(), 0.0);
+}
+
+TEST(Trace, ValidateRejectsBadEvents) {
+  EXPECT_THROW(TraceEvent::arrival(1.0, "t0", "", 5.0), ContractViolation);
+  EXPECT_THROW(TraceEvent::arrival(1.0, "t0", "sgemm", 0.0),
+               ContractViolation);
+  EXPECT_THROW(TraceEvent::arrival(-1.0, "t0", "sgemm", 5.0),
+               ContractViolation);
+  Trace unsorted = sample_trace();
+  std::swap(unsorted.events.front(), unsorted.events.back());
+  EXPECT_THROW(unsorted.validate(), ContractViolation);
+}
+
+TEST(Trace, CsvRoundTripIsExact) {
+  const Trace trace = sample_trace();
+  const CsvDocument document = trace.to_csv();
+  EXPECT_EQ(document.row_count(), trace.events.size());
+  expect_equal(trace, Trace::from_csv(document));
+  // And through an actual file.
+  const TempFile file("trace_roundtrip.csv");
+  trace.save_csv(file.path());
+  expect_equal(trace, Trace::load_csv(file.path()));
+}
+
+TEST(Trace, JsonRoundTripIsExact) {
+  const Trace trace = sample_trace();
+  const json::Value document = trace.to_json();
+  expect_equal(trace, Trace::from_json(document));
+  // dump -> parse -> from_json as the file path will see it.
+  expect_equal(trace, Trace::from_json(json::parse(document.dump(2))));
+  const TempFile file("trace_roundtrip.json");
+  trace.save_json(file.path());
+  expect_equal(trace, Trace::load_json(file.path()));
+}
+
+TEST(Trace, JsonRejectsWrongSchema) {
+  json::Value document = sample_trace().to_json();
+  document.set("schema", "something-else");
+  EXPECT_THROW(Trace::from_json(document), ContractViolation);
+  EXPECT_THROW(Trace::from_json(json::Value::object()), ContractViolation);
+}
+
+TEST(Trace, CsvRejectsMissingColumnsAndBadCells) {
+  CsvDocument missing({"kind", "time_s"});
+  EXPECT_THROW(Trace::from_csv(missing), ContractViolation);
+  CsvDocument bad_kind({"kind", "time_s", "tenant", "app", "work_s",
+                        "priority", "deadline_s", "budget_w"});
+  bad_kind.add_row({"nonsense", "0.0", "t", "sgemm", "5.0", "0", "0.0", "0.0"});
+  EXPECT_THROW(Trace::from_csv(bad_kind), ContractViolation);
+  CsvDocument bad_priority({"kind", "time_s", "tenant", "app", "work_s",
+                            "priority", "deadline_s", "budget_w"});
+  bad_priority.add_row({"arrival", "0.0", "t", "sgemm", "5.0", "0.5", "0.0",
+                        "0.0"});
+  EXPECT_THROW(Trace::from_csv(bad_priority), ContractViolation);
+}
+
+TEST(Trace, MergeIsStableByTime) {
+  Trace arrivals;
+  arrivals.events.push_back(TraceEvent::arrival(1.0, "t0", "sgemm", 5.0));
+  arrivals.events.push_back(TraceEvent::arrival(2.0, "t0", "stream", 5.0));
+  Trace budgets;
+  budgets.events.push_back(TraceEvent::budget(0.0, 900.0));
+  budgets.events.push_back(TraceEvent::budget(2.0, 700.0));
+  const Trace merged = Trace::merge(arrivals, budgets);
+  ASSERT_EQ(merged.events.size(), 4u);
+  EXPECT_EQ(merged.events[0].kind, EventKind::PowerBudget);
+  EXPECT_EQ(merged.events[1].app, "sgemm");
+  // Tie at t=2.0: the first operand's event precedes.
+  EXPECT_EQ(merged.events[2].app, "stream");
+  EXPECT_EQ(merged.events[3].kind, EventKind::PowerBudget);
+  merged.validate();
+}
+
+}  // namespace
+}  // namespace migopt::trace
