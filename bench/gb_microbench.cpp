@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/interner.hpp"
 #include "common/rng.hpp"
 #include "core/optimizer.hpp"
 #include "core/trainer.hpp"
@@ -21,6 +22,8 @@
 #include "report/bench_env.hpp"
 #include "report/harness.hpp"
 #include "sched/coscheduler.hpp"
+#include "trace/presets.hpp"
+#include "trace/sim_engine.hpp"
 
 namespace {
 
@@ -246,6 +249,73 @@ void BM_SchedulerCachedDispatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SchedulerCachedDispatch);
+
+// SymbolTable hit path: what the trace->sched boundary pays per event for
+// an app/tenant identity instead of a string map walk.
+void BM_SymbolTableInternHit(benchmark::State& state) {
+  const auto& env = report::Environment::get();
+  SymbolTable table;
+  for (const auto& name : env.registry.names()) table.intern(name);
+  std::size_t i = 0;
+  const auto names = env.registry.names();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.intern(names[i]));
+    i = (i + 1) % names.size();
+  }
+}
+BENCHMARK(BM_SymbolTableInternHit);
+
+// End-to-end trace replay at a fixed job count over a widening fleet. With
+// the Indexed event core, per-event cost must not scale with the node
+// count: time per job stays flat from 8 to 128 nodes. The Exact core
+// (advance every node at every event — the bit-pinned baseline
+// integration) is benchmarked alongside as the contrast: its per-job cost
+// grows with the fleet.
+void replay_nodes_benchmark(benchmark::State& state, sched::EventCore core) {
+  const auto& env = report::Environment::get();
+  static core::ResourcePowerAllocator allocator(
+      env.artifacts.model, env.artifacts.profiles,
+      core::ResourcePowerAllocator::Config{});
+  constexpr std::size_t kReplayJobs = 4000;
+  const int nodes = static_cast<int>(state.range(0));
+
+  sched::CoScheduler scheduler(allocator,
+                               trace::regime_policy(trace::ReplayRegime::Poisson));
+  sched::ClusterConfig cluster_config;
+  cluster_config.node_count = nodes;
+  cluster_config.max_sim_seconds = 1.0e8;
+  cluster_config.event_core = core;
+  cluster_config.collect_job_stats = false;
+  trace::SimConfig sim_config;
+  sim_config.max_sim_seconds = 1.0e8;
+  const trace::SimEngine engine(sim_config);
+  const trace::Trace job_trace = trace::make_regime_trace(
+      trace::ReplayRegime::Poisson, kReplayJobs, nodes, 7, env.registry.names());
+
+  for (auto _ : state) {
+    // Fresh cluster per replay: trace timestamps are absolute, so a reused
+    // cluster's advanced node clocks cannot host a t=0 session.
+    sched::Cluster cluster(cluster_config);
+    const auto report = engine.replay(job_trace, env.registry, cluster, scheduler);
+    benchmark::DoNotOptimize(report.cluster.jobs_completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kReplayJobs));
+}
+
+void BM_TraceReplayIndexedCore(benchmark::State& state) {
+  replay_nodes_benchmark(state, sched::EventCore::Indexed);
+}
+BENCHMARK(BM_TraceReplayIndexedCore)
+    ->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TraceReplayExactCore(benchmark::State& state) {
+  replay_nodes_benchmark(state, sched::EventCore::Exact);
+}
+BENCHMARK(BM_TraceReplayExactCore)
+    ->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_OfflineTrainingFullGrid(benchmark::State& state) {
   const auto& env = report::Environment::get();

@@ -19,8 +19,23 @@
 //
 // Usage: ./examples/trace_replay [num_jobs] [num_nodes] [seed] [regime]
 //            [trace_path(.csv|.json)] [--json PATH] [--filter REGEX] ...
+//
+// Named flags (preferred; override the positionals) make large runs
+// reproducible from the CLI:
+//   --jobs N / --nodes N / --seed N    trace shape and its RNG seed
+//   --regime poisson|bursty|budget-walk
+//   --trace PATH                       save + re-load round-trip
+//   --indexed-core                     replay through the Indexed event core
+//                                      without per-job stats — the mega
+//                                      configuration (million-job traces in
+//                                      seconds; see README "Scaling the
+//                                      trace engine")
+//
+// The 1M reproduction: trace_replay --jobs 1000000 --nodes 64 --seed 7
+//                          --indexed-core
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <string>
 #include <type_traits>
@@ -42,6 +57,8 @@ struct ReplayConfig {
   std::uint64_t seed = 7;
   trace::ReplayRegime regime = trace::ReplayRegime::Poisson;
   std::string trace_path;  ///< optional save/re-load round-trip
+  /// Indexed event core + no per-job stats: the million-job configuration.
+  bool indexed_core = false;
 };
 
 report::ScenarioResult run_replay(const ReplayConfig& config,
@@ -75,6 +92,10 @@ report::ScenarioResult run_replay(const ReplayConfig& config,
   sched::ClusterConfig cluster_config;
   cluster_config.node_count = config.num_nodes;
   cluster_config.max_sim_seconds = 1.0e8;
+  if (config.indexed_core) {
+    cluster_config.event_core = sched::EventCore::Indexed;
+    cluster_config.collect_job_stats = false;
+  }
   sched::Cluster cluster(cluster_config);
 
   trace::SimConfig sim_config;
@@ -88,7 +109,8 @@ report::ScenarioResult run_replay(const ReplayConfig& config,
   section.title = std::to_string(config.num_jobs) + " jobs, " +
                   std::to_string(config.num_nodes) + " nodes, regime " +
                   trace::regime_name(config.regime) + ", seed " +
-                  std::to_string(config.seed);
+                  std::to_string(config.seed) +
+                  (config.indexed_core ? ", indexed core" : "");
   section.label_header = "tenant";
   section.columns = {"submitted", "completed",      "work [s]",
                      "mean wait [s]", "mean slowdown", "deadline misses"};
@@ -155,11 +177,46 @@ report::ScenarioResult run_replay(const ReplayConfig& config,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto options =
-      migopt::report::parse_options(argc, argv, /*allow_positionals=*/true);
+  // Split this tool's named flags out before the shared parser sees (and
+  // rejects) them; whatever remains (shared flags + legacy positionals) goes
+  // to the report harness untouched.
+  std::string jobs_flag;
+  std::string nodes_flag;
+  std::string seed_flag;
+  std::string regime_flag;
+  std::string trace_flag;
+  bool indexed_core = false;
+  std::vector<char*> harness_argv = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto take_value = [&](const char* flag, std::string& out) {
+      if (arg != flag) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      out = argv[++i];
+      return true;
+    };
+    if (take_value("--jobs", jobs_flag) || take_value("--nodes", nodes_flag) ||
+        take_value("--seed", seed_flag) ||
+        take_value("--regime", regime_flag) ||
+        take_value("--trace", trace_flag))
+      continue;
+    if (arg == "--indexed-core") {
+      indexed_core = true;
+      continue;
+    }
+    harness_argv.push_back(argv[i]);
+  }
+
+  const auto options = migopt::report::parse_options(
+      static_cast<int>(harness_argv.size()), harness_argv.data(),
+      /*allow_positionals=*/true);
   if (!options.has_value()) return 1;
 
   ReplayConfig config;
+  config.indexed_core = indexed_core;
   const auto parse_int = [](const std::string& text, const char* what,
                             double minimum, auto& out) {
     using Out = std::remove_reference_t<decltype(out)>;
@@ -200,6 +257,28 @@ int main(int argc, char** argv) {
     config.regime = *regime;
   }
   if (positionals.size() > 4) config.trace_path = positionals[4];
+
+  // Named flags override the positionals.
+  if (!jobs_flag.empty() &&
+      !parse_int(jobs_flag, "--jobs", 1.0, config.num_jobs))
+    return 1;
+  if (!nodes_flag.empty() &&
+      !parse_int(nodes_flag, "--nodes", 1.0, config.num_nodes))
+    return 1;
+  if (!seed_flag.empty() && !parse_int(seed_flag, "--seed", 0.0, config.seed))
+    return 1;
+  if (!regime_flag.empty()) {
+    const auto regime = migopt::trace::parse_regime(regime_flag);
+    if (!regime.has_value()) {
+      std::fprintf(stderr,
+                   "error: --regime must be poisson|bursty|budget-walk, got "
+                   "'%s'\n",
+                   regime_flag.c_str());
+      return 1;
+    }
+    config.regime = *regime;
+  }
+  if (!trace_flag.empty()) config.trace_path = trace_flag;
 
   migopt::report::register_scenario(
       {"trace_replay", "Trace engine",

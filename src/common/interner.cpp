@@ -1,0 +1,30 @@
+#include "common/interner.hpp"
+
+#include "common/assert.hpp"
+
+namespace migopt {
+
+Symbol SymbolTable::intern(std::string_view name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  MIGOPT_REQUIRE(names_.size() < static_cast<std::size_t>(kNoSymbol),
+                 "symbol table full");
+  const Symbol id = static_cast<Symbol>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<Symbol> SymbolTable::find(std::string_view name) const noexcept {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& SymbolTable::name(Symbol id) const {
+  MIGOPT_REQUIRE(id < names_.size(),
+                 "symbol id was never assigned by this table");
+  return names_[id];
+}
+
+}  // namespace migopt

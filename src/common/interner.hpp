@@ -1,0 +1,67 @@
+// Symbol interning: dense uint32 ids for the small, hot string vocabularies
+// (application and tenant names) that the trace→sched replay path used to
+// compare and copy as std::string on every event.
+//
+// A SymbolTable assigns ids in first-intern order, so two tables fed the
+// same name sequence assign the same ids — replay determinism never depends
+// on hash order. Ids index plain vectors (ProfileDb's dense profile mirror,
+// the scheduler's profiling-in-flight bitmap, SimEngine's per-tenant
+// accumulators), turning per-event string-keyed map lookups into O(1) loads.
+//
+// Ids are only meaningful against the table that produced them; code that
+// stores a Symbol (e.g. sched::Job::app_id) documents which table owns it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace migopt {
+
+using Symbol = std::uint32_t;
+
+/// "No symbol" sentinel (e.g. a Job whose app has not been interned yet).
+inline constexpr Symbol kNoSymbol = 0xFFFFFFFFu;
+
+class SymbolTable {
+ public:
+  /// Return the id of `name`, assigning the next dense id on first sight.
+  /// Ids are stable for the table's lifetime (nothing is ever un-interned).
+  Symbol intern(std::string_view name);
+
+  /// Lookup without interning; nullopt when the name was never interned.
+  std::optional<Symbol> find(std::string_view name) const noexcept;
+
+  bool contains(std::string_view name) const noexcept {
+    return find(name).has_value();
+  }
+
+  /// Reverse lookup; throws ContractViolation on an id this table never
+  /// assigned (including kNoSymbol).
+  const std::string& name(Symbol id) const;
+
+  /// Number of interned symbols; valid ids are [0, size()).
+  std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
+  std::unordered_map<std::string, Symbol, Hash, Eq> index_;
+  std::vector<std::string> names_;  ///< id -> name, in intern order
+};
+
+}  // namespace migopt

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
+#include "common/interner.hpp"
 #include "core/optimizer.hpp"
 #include "core/trainer.hpp"
 
@@ -39,6 +41,16 @@ class ResourcePowerAllocator {
   /// An app can be co-scheduled only once a profile exists (Fig. 7: the first
   /// run must be exclusive to collect one).
   bool can_coschedule(const std::string& app) const noexcept;
+
+  /// O(1) interned-id form of can_coschedule (ids from intern_app).
+  bool can_coschedule(Symbol app) const noexcept {
+    return profiles_.contains(app);
+  }
+
+  /// Get-or-assign the dense profile-database id of `app`. Ids are only
+  /// meaningful against this allocator's profile store; the scheduler uses
+  /// them for its in-flight bitmap and DecisionCache keys.
+  Symbol intern_app(std::string_view app) { return profiles_.intern_app(app); }
 
   /// Record a profile collected during an exclusive first run.
   void record_profile(const std::string& app, const prof::CounterSet& counters);

@@ -26,6 +26,9 @@ void ProfileDb::put(const std::string& app, const CounterSet& counters) {
   MIGOPT_REQUIRE(!app.empty(), "profile needs an app name");
   counters.validate();
   profiles_[app] = counters;
+  const Symbol id = symbols_.intern(app);
+  if (by_id_.size() <= id) by_id_.resize(static_cast<std::size_t>(id) + 1);
+  by_id_[id] = counters;
   ++revision_;
 }
 

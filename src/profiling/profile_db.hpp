@@ -1,14 +1,22 @@
 // Persistent profile database (the "App Profiles" store in the paper's
 // Figure 7 workflow). Applications without a stored profile must run
 // exclusively once before they are eligible for co-scheduling.
+//
+// The string-keyed map stays authoritative (save/load and app_names iterate
+// it in name order), mirrored into a dense id-indexed fast path over a
+// SymbolTable — the same pattern PerfModel uses for its coefficient tables —
+// so the scheduler's per-candidate contains()/at() probes on the dispatch
+// hot path are O(1) vector loads instead of string-keyed map walks.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/interner.hpp"
 #include "profiling/counters.hpp"
 
 namespace migopt::prof {
@@ -32,15 +40,46 @@ class ProfileDb {
 
   /// Bumped on every put(). Consumers that cache decisions derived from the
   /// stored profiles (sched::DecisionCache) compare revisions to detect
-  /// mutation through any path.
+  /// mutation through any path. Interning does NOT bump the revision — an id
+  /// assignment changes no stored profile.
   std::uint64_t revision() const noexcept { return revision_; }
+
+  // --- Interned fast path ---------------------------------------------------
+  //
+  // Ids are dense, assigned in first-intern order, and stable for the
+  // database's lifetime; they are only meaningful against this instance.
+
+  /// Get-or-assign the dense id of `app` (no profile needs to exist yet).
+  Symbol intern_app(std::string_view app) { return symbols_.intern(app); }
+
+  /// Lookup without interning; nullopt when the app was never interned.
+  std::optional<Symbol> app_symbol(std::string_view app) const noexcept {
+    return symbols_.find(app);
+  }
+
+  /// Name of an interned app id (throws on ids this db never assigned).
+  const std::string& app_name(Symbol id) const { return symbols_.name(id); }
+
+  /// O(1): does a profile exist for this interned id?
+  bool contains(Symbol id) const noexcept {
+    return id < by_id_.size() && by_id_[id].has_value();
+  }
+
+  /// O(1) profile lookup by interned id; nullptr when absent.
+  const CounterSet* find_by_id(Symbol id) const noexcept {
+    return contains(id) ? &*by_id_[id] : nullptr;
+  }
 
   /// CSV round-trip: header "app,f1..f8".
   void save(const std::string& path) const;
   static ProfileDb load(const std::string& path);
 
  private:
-  std::map<std::string, CounterSet> profiles_;
+  std::map<std::string, CounterSet> profiles_;  ///< authoritative store
+  SymbolTable symbols_;                         ///< app name -> dense id
+  /// Dense mirror of profiles_ indexed by symbol id (value copies, so the
+  /// database stays trivially copyable); empty slot = interned, no profile.
+  std::vector<std::optional<CounterSet>> by_id_;
   std::uint64_t revision_ = 0;
 };
 

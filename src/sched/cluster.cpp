@@ -10,26 +10,39 @@
 
 namespace migopt::sched {
 
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Min-heap comparator: std::pop_heap with greater<> surfaces the smallest
+/// (time, node) pair — equal times break toward the lower node index.
+constexpr auto kHeapOrder = std::greater<std::pair<double, int>>{};
+}  // namespace
+
 Cluster::Cluster(const ClusterConfig& config)
     : config_(config), budget_(config.total_power_budget_watts) {
   MIGOPT_REQUIRE(config.node_count >= 1, "cluster needs at least one node");
   nodes_.reserve(static_cast<std::size_t>(config.node_count));
   for (int i = 0; i < config.node_count; ++i)
     nodes_.push_back(std::make_unique<Node>(i));
-  profiling_jobs_.resize(nodes_.size());
+  // All nodes run the same architecture, so they share one physics memo.
+  for (const auto& node : nodes_) node->set_run_memo(&run_memo_);
+  profiling_job_.assign(nodes_.size(), -1);
+  node_next_.assign(nodes_.size(), kInf);
+  for (int i = 0; i < config.node_count; ++i) idle_.insert(i);
 }
 
 double Cluster::busy_cap_sum() const noexcept {
   double sum = 0.0;
-  for (const auto& node : nodes_)
-    if (!node->idle()) sum += node->cap_watts();
+  for (const int n : busy_) sum += nodes_[static_cast<std::size_t>(n)]->cap_watts();
   return sum;
 }
 
-std::size_t Cluster::running_count() const noexcept {
-  std::size_t count = 0;
-  for (const auto& node : nodes_) count += node->running_jobs();
-  return count;
+void Cluster::set_node_next(int n, double next) {
+  node_next_[static_cast<std::size_t>(n)] = next;
+  if (config_.event_core == EventCore::Indexed && std::isfinite(next)) {
+    completion_heap_.emplace_back(next, n);
+    std::push_heap(completion_heap_.begin(), completion_heap_.end(), kHeapOrder);
+  }
 }
 
 void Cluster::begin_session(const CoScheduler& scheduler) {
@@ -39,11 +52,27 @@ void Cluster::begin_session(const CoScheduler& scheduler) {
   cache_at_session_start_ = scheduler.decision_cache().stats();
   energy_at_session_start_ = 0.0;
   clock_at_session_start_ = 0.0;
-  for (const auto& node : nodes_) {
-    energy_at_session_start_ += node->energy_joules();
-    clock_at_session_start_ = std::max(clock_at_session_start_, node->now());
+  turnaround_sum_ = 0.0;
+  running_jobs_ = 0;
+  idle_.clear();
+  busy_.clear();
+  completion_heap_.clear();
+  run_memo_.clear();
+  profiling_job_.assign(nodes_.size(), -1);
+  node_next_.assign(nodes_.size(), kInf);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const Node& node = *nodes_[n];
+    energy_at_session_start_ += node.energy_joules();
+    clock_at_session_start_ = std::max(clock_at_session_start_, node.now());
+    if (node.idle()) {
+      idle_.insert(static_cast<int>(n));
+    } else {
+      busy_.insert(static_cast<int>(n));
+      running_jobs_ += node.running_jobs();
+      set_node_next(static_cast<int>(n), node.next_completion_time());
+    }
   }
-  for (auto& per_node : profiling_jobs_) per_node.clear();
+  session_now_ = clock_at_session_start_;
 }
 
 void Cluster::submit(Job job) { queue_.push(std::move(job)); }
@@ -53,17 +82,22 @@ void Cluster::set_power_budget(std::optional<double> watts) {
 }
 
 std::size_t Cluster::dispatch(CoScheduler& scheduler, double now) {
+  session_now_ = std::max(session_now_, now);
   std::size_t dispatches = 0;
   bool dispatched = true;
   while (dispatched) {
     dispatched = false;
-    for (std::size_t n = 0; n < nodes_.size(); ++n) {
-      Node& node = *nodes_[n];
-      if (!node.idle()) continue;
+    // The busy-cap sum only changes when a dispatch lands, so it is
+    // computed per pass and after each dispatch instead of per idle-node
+    // probe (same index-order additions, hence bit-identical values).
+    double busy_sum = busy_cap_sum();
+    for (auto it = idle_.begin(); it != idle_.end();) {
+      const int n = *it;
+      Node& node = *nodes_[static_cast<std::size_t>(n)];
 
       // Budget headroom left for this dispatch (cap accounting).
-      double max_affordable = std::numeric_limits<double>::infinity();
-      if (budget_.has_value()) max_affordable = *budget_ - busy_cap_sum();
+      double max_affordable = kInf;
+      if (budget_.has_value()) max_affordable = *budget_ - busy_sum;
 
       auto plan_opt = config_.enable_coscheduling
                           ? scheduler.next(queue_, now, max_affordable)
@@ -78,22 +112,42 @@ std::size_t Cluster::dispatch(CoScheduler& scheduler, double now) {
           plan_opt = std::move(exclusive);
         }
       }
-      if (!plan_opt.has_value()) continue;
+      if (!plan_opt.has_value()) {
+        ++it;
+        continue;
+      }
 
       DispatchPlan& plan = *plan_opt;
-      // Node clock may lag global time if it has been idle.
+      // Node clock may lag global time if it has been idle (under the
+      // Indexed core possibly by many events — the idle catch-up).
       node.advance_to(now);
       if (plan.job2.has_value()) {
         node.dispatch_pair(std::move(plan.job1), std::move(*plan.job2),
                            plan.allocation.state, plan.power_cap_watts);
         session_.pair_dispatches += 1;
+        running_jobs_ += 2;
       } else {
-        if (plan.profile_run) profiling_jobs_[n].push_back(plan.job1.id);
+        if (plan.profile_run) {
+          MIGOPT_ENSURE(profiling_job_[static_cast<std::size_t>(n)] == -1,
+                        "node already tracks an in-flight profile run — a job "
+                        "id would be tracked twice");
+          // The slot's -1 means "none", so a profile job must carry a real
+          // id or its completion could never be told apart from the
+          // sentinel.
+          MIGOPT_REQUIRE(plan.job1.id >= 0,
+                         "profile-run job needs a non-negative id");
+          profiling_job_[static_cast<std::size_t>(n)] = plan.job1.id;
+        }
         node.dispatch_exclusive(std::move(plan.job1), plan.power_cap_watts);
         session_.exclusive_dispatches += 1;
+        running_jobs_ += 1;
       }
+      it = idle_.erase(it);
+      busy_.insert(n);
+      set_node_next(n, node.next_completion_time());
+      busy_sum = busy_cap_sum();
       session_.peak_cap_sum_watts =
-          std::max(session_.peak_cap_sum_watts, busy_cap_sum());
+          std::max(session_.peak_cap_sum_watts, busy_sum);
       dispatched = true;
       ++dispatches;
     }
@@ -102,40 +156,101 @@ std::size_t Cluster::dispatch(CoScheduler& scheduler, double now) {
 }
 
 double Cluster::next_completion_time() const noexcept {
-  double next = std::numeric_limits<double>::infinity();
-  for (const auto& node : nodes_)
-    next = std::min(next, node->next_completion_time());
-  return next;
+  if (config_.event_core == EventCore::Exact) {
+    double next = kInf;
+    for (const auto& node : nodes_)
+      next = std::min(next, node->next_completion_time());
+    return next;
+  }
+  // Indexed: discard stale heap tops (their node's next completion moved),
+  // then the top is the earliest pending completion.
+  while (!completion_heap_.empty()) {
+    const auto [time, n] = completion_heap_.front();
+    if (time == node_next_[static_cast<std::size_t>(n)]) return time;
+    std::pop_heap(completion_heap_.begin(), completion_heap_.end(), kHeapOrder);
+    completion_heap_.pop_back();
+  }
+  return kInf;
 }
 
-std::vector<Job> Cluster::advance_to(double t, CoScheduler& scheduler) {
-  std::vector<Job> finished;
-  for (std::size_t n = 0; n < nodes_.size(); ++n) {
-    Node& node = *nodes_[n];
-    for (Job& job : node.advance_to(t)) {
-      auto& plist = profiling_jobs_[n];
-      const auto it = std::find(plist.begin(), plist.end(), job.id);
-      const bool was_profile = it != plist.end();
-      if (was_profile) plist.erase(it);
+void Cluster::drain_node(int n, double t, bool expect_completion,
+                         CoScheduler& scheduler, std::vector<Job>& finished) {
+  Node& node = *nodes_[static_cast<std::size_t>(n)];
+  std::vector<Job> done = node.advance_to(t);
+  if (done.empty() && expect_completion && !node.idle()) {
+    // The completion heap said a job is due by `t`, but floating-point
+    // residue left it with a sliver of work whose remaining time rounds
+    // below the clock's resolution — stepping can never clear it, so the
+    // due slot completes at the clock (the Exact core's eager per-event
+    // stepping resolves the same sliver as part of its next dt > 0 step).
+    done.push_back(node.finish_head_slot());
+  }
+  for (Job& job : done) {
+    // job.id >= 0 guards the sentinel: a job submitted with the default id
+    // (-1) must not alias the "no profile run" slot value.
+    const bool was_profile =
+        job.id >= 0 && profiling_job_[static_cast<std::size_t>(n)] == job.id;
+    if (was_profile) profiling_job_[static_cast<std::size_t>(n)] = -1;
 
-      session_.jobs_completed += 1;
+    session_.jobs_completed += 1;
+    running_jobs_ -= 1;
+    turnaround_sum_ += job.finish_time - job.submit_time;
+    if (config_.collect_job_stats) {
       JobStat stat;
       stat.id = job.id;
       stat.app = job.app;
       stat.turnaround = job.finish_time - job.submit_time;
       stat.runtime = job.finish_time - job.start_time;
-      session_.jobs.push_back(stat);
-      if (was_profile) {
-        scheduler.record_profile(job.app, prof::profile_run(node.chip(), *job.kernel));
-        session_.profile_runs += 1;
-      }
-      finished.push_back(std::move(job));
+      session_.jobs.push_back(std::move(stat));
     }
+    if (was_profile) {
+      scheduler.record_profile(job.app, prof::profile_run(node.chip(), *job.kernel));
+      session_.profile_runs += 1;
+    }
+    finished.push_back(std::move(job));
+  }
+  if (node.idle() && busy_.erase(n) > 0) idle_.insert(n);
+  set_node_next(n, node.next_completion_time());
+}
+
+std::vector<Job> Cluster::advance_to(double t, CoScheduler& scheduler) {
+  session_now_ = std::max(session_now_, t);
+  std::vector<Job> finished;
+  if (config_.event_core == EventCore::Exact) {
+    // Step every node to t (idle nodes accrue idle power): the original
+    // integration order the checked-in baselines pin.
+    for (std::size_t n = 0; n < nodes_.size(); ++n)
+      drain_node(static_cast<int>(n), t, /*expect_completion=*/false,
+                 scheduler, finished);
+    return finished;
+  }
+  // Indexed: pop due completions in (time, node) order — equal-time
+  // completions drain in node-index order, exactly like the Exact scan.
+  while (!completion_heap_.empty()) {
+    const auto [time, n] = completion_heap_.front();
+    if (time != node_next_[static_cast<std::size_t>(n)]) {
+      std::pop_heap(completion_heap_.begin(), completion_heap_.end(), kHeapOrder);
+      completion_heap_.pop_back();
+      continue;  // stale entry
+    }
+    if (time > t) break;
+    std::pop_heap(completion_heap_.begin(), completion_heap_.end(), kHeapOrder);
+    completion_heap_.pop_back();
+    drain_node(n, t, /*expect_completion=*/true, scheduler, finished);
   }
   return finished;
 }
 
 ClusterReport Cluster::report(const CoScheduler& scheduler) const {
+  if (config_.event_core == EventCore::Indexed) {
+    // Catch idle nodes up to the session clock so idle power accrues to the
+    // end of the session (the Exact core advances them eagerly). Nodes are
+    // simulation state behind const unique_ptrs; no completions can fire
+    // (advance_to already drained everything <= session_now_).
+    for (const auto& node : nodes_)
+      if (node->idle() && node->now() < session_now_)
+        node->advance_to(session_now_);
+  }
   ClusterReport report = session_;
   // Session deltas: a reused cluster's node clocks/energy carry over from
   // earlier sessions, so both subtract their begin_session snapshot (a
@@ -146,12 +261,22 @@ ClusterReport Cluster::report(const CoScheduler& scheduler) const {
     report.makespan_seconds =
         std::max(report.makespan_seconds, node->now() - clock_at_session_start_);
     report.total_energy_joules += node->energy_joules();
+    // Mid-session under the Indexed core a *busy* node may lag the session
+    // clock (its next event is still ahead); its draw is constant over the
+    // gap, so the missing energy is one multiply. At session end all nodes
+    // are idle and caught up, so this term vanishes and the report equals
+    // the plain node sums (the Exact core's shape).
+    if (config_.event_core == EventCore::Indexed && !node->idle() &&
+        node->now() < session_now_)
+      report.total_energy_joules +=
+          node->power_watts() * (session_now_ - node->now());
   }
-  if (!report.jobs.empty()) {
-    double acc = 0.0;
-    for (const JobStat& stat : report.jobs) acc += stat.turnaround;
-    report.mean_turnaround = acc / static_cast<double>(report.jobs.size());
-  }
+  if (config_.event_core == EventCore::Indexed)
+    report.makespan_seconds = std::max(
+        report.makespan_seconds, session_now_ - clock_at_session_start_);
+  if (report.jobs_completed > 0)
+    report.mean_turnaround =
+        turnaround_sum_ / static_cast<double>(report.jobs_completed);
   const DecisionCache::Stats cache = scheduler.decision_cache().stats();
   report.decision_cache_hits = cache.hits - cache_at_session_start_.hits;
   report.decision_cache_misses = cache.misses - cache_at_session_start_.misses;

@@ -82,6 +82,19 @@ double CoScheduler::canonical_ceiling(double max_cap_watts) const {
   return default_cap(max_cap_watts);
 }
 
+AppId CoScheduler::app_id_at(JobQueue& queue, std::size_t index) {
+  Job& job = queue.peek_mutable(index);
+  if (job.app_id == kNoSymbol) job.app_id = allocator_->intern_app(job.app);
+  return job.app_id;
+}
+
+void CoScheduler::set_profiling_in_flight(AppId app, bool value) {
+  MIGOPT_REQUIRE(app != kNoSymbol, "profiling flag for an uninterned app");
+  if (profiling_in_flight_.size() <= app)
+    profiling_in_flight_.resize(static_cast<std::size_t>(app) + 1, 0);
+  profiling_in_flight_[app] = value ? 1 : 0;
+}
+
 std::optional<DispatchPlan> CoScheduler::next(JobQueue& queue, double now,
                                               double max_cap_watts) {
   sync_cache_with_profiles();
@@ -102,9 +115,12 @@ std::optional<DispatchPlan> CoScheduler::next(JobQueue& queue, double now,
   // Pivot: the first ready job not waiting on an in-flight profile run of its
   // own application (only one profile run per app may be outstanding).
   std::optional<std::size_t> pivot;
+  AppId pivot_app = kNoSymbol;
   for (std::size_t i = 0; i < ready; ++i) {
-    if (profiling_in_flight_.count(queue.peek(i).app) == 0) {
+    const AppId app = app_id_at(queue, i);
+    if (!profiling_in_flight(app)) {
       pivot = i;
+      pivot_app = app;
       break;
     }
   }
@@ -114,8 +130,8 @@ std::optional<DispatchPlan> CoScheduler::next(JobQueue& queue, double now,
   plan.power_cap_watts = default_cap(max_cap_watts);
 
   // Unprofiled pivot -> exclusive profile run.
-  if (!allocator_->can_coschedule(queue.peek(*pivot).app)) {
-    profiling_in_flight_.insert(queue.peek(*pivot).app);
+  if (!allocator_->can_coschedule(pivot_app)) {
+    set_profiling_in_flight(pivot_app, true);
     plan.job1 = queue.pop_at(*pivot);
     plan.profile_run = true;
     return plan;
@@ -126,11 +142,12 @@ std::optional<DispatchPlan> CoScheduler::next(JobQueue& queue, double now,
   std::optional<std::size_t> best_index;
   core::Decision best_decision;
   for (std::size_t i = *pivot + 1; i < window; ++i) {
+    const AppId candidate_app = app_id_at(queue, i);
     const Job& candidate = queue.peek(i);
-    if (profiling_in_flight_.count(candidate.app) > 0) continue;
-    if (!allocator_->can_coschedule(candidate.app)) continue;
+    if (profiling_in_flight(candidate_app)) continue;
+    if (!allocator_->can_coschedule(candidate_app)) continue;
     const core::Decision& decision = decision_cache_.get_or_compute(
-        queue.peek(*pivot).app, candidate.app, cache_policy, [&] {
+        pivot_app, candidate_app, cache_policy, [&] {
           return allocator_->allocate(queue.peek(*pivot).app, candidate.app,
                                       policy);
         });
@@ -157,7 +174,7 @@ std::optional<DispatchPlan> CoScheduler::next(JobQueue& queue, double now,
 
 void CoScheduler::record_profile(const std::string& app,
                                  const prof::CounterSet& counters) {
-  profiling_in_flight_.erase(app);
+  set_profiling_in_flight(allocator_->intern_app(app), false);
   allocator_->record_profile(app, counters);
   // A new/updated profile changes what the allocator may answer; drop every
   // memoized decision and resync with the store's revision.

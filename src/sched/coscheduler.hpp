@@ -10,8 +10,8 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
-#include <set>
 #include <string>
+#include <vector>
 
 #include "core/policy.hpp"
 #include "core/workflow.hpp"
@@ -80,6 +80,12 @@ class CoScheduler {
   /// invalidates the decision cache (the allocator's answers may change).
   void record_profile(const std::string& app, const prof::CounterSet& counters);
 
+  /// Intern an app name against the allocator's profile store (the id space
+  /// Job::app_id, the in-flight bitmap, and DecisionCache keys live in).
+  /// Producers of many jobs (trace::SimEngine) intern once per distinct app;
+  /// next() interns lazily for jobs that arrive with only the string.
+  AppId intern_app(const std::string& app) { return allocator_->intern_app(app); }
+
   /// Memoized allocator decisions for the pairing window; hits/misses expose
   /// how much search the cache saved across dispatches.
   const DecisionCache& decision_cache() const noexcept { return decision_cache_; }
@@ -102,12 +108,22 @@ class CoScheduler {
   /// headroom of a cluster power budget would defeat the cache).
   double canonical_ceiling(double max_cap_watts) const;
 
+  /// Interned app id of the job at queue position `index` (interning it on
+  /// first sight, so jobs submitted without ids still take the fast path).
+  AppId app_id_at(JobQueue& queue, std::size_t index);
+  bool profiling_in_flight(AppId app) const noexcept {
+    return app < profiling_in_flight_.size() && profiling_in_flight_[app] != 0;
+  }
+  void set_profiling_in_flight(AppId app, bool value);
+
   core::ResourcePowerAllocator* allocator_;
   core::Policy policy_;
   SchedulerTuning tuning_;
   /// Applications whose first (profiling) run has been dispatched but has not
   /// completed yet; further instances wait so only one profile run happens.
-  std::set<std::string> profiling_in_flight_;
+  /// Dense bitmap indexed by AppId — an O(1) load per window candidate where
+  /// a std::set<std::string> paid a string-compare tree walk.
+  std::vector<std::uint8_t> profiling_in_flight_;
   DecisionCache decision_cache_;
   std::uint64_t cached_profile_revision_ = 0;
 };

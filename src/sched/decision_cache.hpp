@@ -7,6 +7,14 @@
 // profile database and model are unchanged, so they can be cached across the
 // window and across dispatches.
 //
+// Keys are (AppId, AppId, PolicySignature) integer tuples — apps interned
+// against the allocator's profile store — so the probe on every
+// window-candidate is a hash over a few words instead of two std::string
+// comparisons per tree level. Interning is injective, so the hit/miss/evict
+// sequence (and therefore every decision served) is identical to the old
+// string-keyed cache; a regression test pins interned-key decisions against
+// fresh string-path allocator searches.
+//
 // Invalidation: the owner (CoScheduler) clears the cache whenever the profile
 // store mutates — both through its own record_profile and, via
 // ProfileDb::revision(), when someone records through the allocator directly.
@@ -20,13 +28,14 @@
 
 #include <compare>
 #include <cstddef>
+#include <cstdint>
 #include <list>
-#include <map>
-#include <string>
-#include <string_view>
+#include <unordered_map>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/hash_mix.hpp"
+#include "common/interner.hpp"
 #include "core/optimizer.hpp"
 #include "core/policy.hpp"
 
@@ -69,17 +78,15 @@ class DecisionCache {
 
   /// Return the cached decision for (app1, app2, policy) or compute, store,
   /// and return it — evicting the least-recently-used entry when the cache
-  /// is full. The returned reference is valid until the next get_or_compute
-  /// or invalidate() (an eviction may reclaim it). Lookup is heterogeneous:
-  /// the hit path copies no strings.
+  /// is full. App ids must come from one symbol table (the allocator's
+  /// profile store). The returned reference is valid until the next
+  /// get_or_compute or invalidate() (an eviction may reclaim it).
   template <typename Compute>
-  const core::Decision& get_or_compute(const std::string& app1,
-                                       const std::string& app2,
+  const core::Decision& get_or_compute(Symbol app1, Symbol app2,
                                        const core::Policy& policy,
                                        Compute&& compute) {
-    const PolicySignature signature = PolicySignature::of(policy);
-    const KeyView view{app1, app2, signature};
-    const auto it = entries_.find(view);
+    const Key key{app1, app2, PolicySignature::of(policy)};
+    const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
       lru_.splice(lru_.begin(), lru_, it->second.recency);
@@ -90,13 +97,13 @@ class DecisionCache {
     // resident entry or record a phantom eviction.
     core::Decision decision = compute();
     if (entries_.size() >= capacity_) {
-      // Map keys are node-stable, so the recency list can point at them.
+      // unordered_map nodes are stable, so the recency list points at keys.
       entries_.erase(entries_.find(*lru_.back()));
       lru_.pop_back();
       ++stats_.evictions;
     }
-    const auto inserted = entries_.emplace(Key{app1, app2, signature},
-                                           Entry{std::move(decision), {}});
+    const auto inserted =
+        entries_.emplace(key, Entry{std::move(decision), {}});
     lru_.push_front(&inserted.first->first);
     inserted.first->second.recency = lru_.begin();
     return inserted.first->second.decision;
@@ -114,28 +121,24 @@ class DecisionCache {
 
  private:
   struct Key {
-    std::string app1;
-    std::string app2;
+    Symbol app1 = kNoSymbol;
+    Symbol app2 = kNoSymbol;
     PolicySignature policy;
-  };
-  /// Borrowed view of a Key for allocation-free probing.
-  struct KeyView {
-    std::string_view app1;
-    std::string_view app2;
-    const PolicySignature& policy;
-  };
-  struct KeyLess {
-    using is_transparent = void;
 
-    template <typename A, typename B>
-    bool operator()(const A& a, const B& b) const noexcept {
-      if (const auto cmp = std::string_view(a.app1) <=> std::string_view(b.app1);
-          cmp != 0)
-        return cmp < 0;
-      if (const auto cmp = std::string_view(a.app2) <=> std::string_view(b.app2);
-          cmp != 0)
-        return cmp < 0;
-      return a.policy < b.policy;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      std::uint64_t h = hash_mix(0x6d696770ULL,
+                                 (std::uint64_t(key.app1) << 32) | key.app2);
+      h = hash_mix(h, static_cast<std::uint64_t>(key.policy.objective));
+      h = hash_mix(h, hash_bits(key.policy.alpha));
+      h = hash_mix(h, hash_bits(key.policy.fairness_margin));
+      h = hash_mix(h, (std::uint64_t(key.policy.has_fixed_cap) << 1) |
+                          std::uint64_t(key.policy.has_ceiling));
+      h = hash_mix(h, hash_bits(key.policy.fixed_cap));
+      h = hash_mix(h, hash_bits(key.policy.ceiling));
+      return static_cast<std::size_t>(h);
     }
   };
 
@@ -146,7 +149,7 @@ class DecisionCache {
   };
 
   std::size_t capacity_;
-  std::map<Key, Entry, KeyLess> entries_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
   std::list<const Key*> lru_;
   Stats stats_;
 };

@@ -5,15 +5,27 @@
 
 #include <string>
 
+#include "common/interner.hpp"
 #include "gpusim/kernel.hpp"
 
 namespace migopt::sched {
 
 using JobId = int;
+/// Interned Job::app against the scheduling allocator's profile store.
+using AppId = Symbol;
+/// Interned tenant name (trace::SimEngine's accounting table).
+using TenantId = Symbol;
 
 struct Job {
   JobId id = -1;
   std::string app;  ///< workload name (profile-database key)
+  /// Interned `app` (kNoSymbol until interned). Only meaningful against the
+  /// allocator/scheduler the job is dispatched through: trace::SimEngine
+  /// pre-interns arrivals, and CoScheduler::next interns lazily for jobs
+  /// submitted with the string only — both end up with the same ids.
+  AppId app_id = kNoSymbol;
+  /// Interned tenant for engine-side accounting (kNoSymbol outside traces).
+  TenantId tenant_id = kNoSymbol;
   const gpusim::KernelDescriptor* kernel = nullptr;
   double work_units = 0.0;   ///< total work to execute
   double submit_time = 0.0;  ///< seconds, simulation clock

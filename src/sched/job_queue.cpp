@@ -11,7 +11,19 @@ void JobQueue::push(Job job) {
   // uniform priorities — appends in O(1).
   auto it = jobs_.end();
   while (it != jobs_.begin() && std::prev(it)->priority < job.priority) --it;
+  const std::size_t index =
+      static_cast<std::size_t>(std::distance(jobs_.begin(), it));
+  const bool ready = job.submit_time <= ready_now_;
   jobs_.insert(it, std::move(job));
+  if (!ready_valid_) return;
+  // Incremental prefix maintenance: an insertion inside the prefix either
+  // extends it (ready job) or becomes the new gate (future job); an
+  // insertion beyond the prefix cannot change it (the old gate still gates).
+  if (ready) {
+    if (index <= ready_count_) ++ready_count_;
+  } else if (index < ready_count_) {
+    ready_count_ = index;
+  }
 }
 
 const Job& JobQueue::front() const {
@@ -24,10 +36,22 @@ const Job& JobQueue::peek(std::size_t index) const {
   return jobs_[index];
 }
 
+Job& JobQueue::peek_mutable(std::size_t index) {
+  MIGOPT_REQUIRE(index < jobs_.size(), "peek beyond queue size");
+  return jobs_[index];
+}
+
 Job JobQueue::pop_front() {
   MIGOPT_REQUIRE(!jobs_.empty(), "pop from empty queue");
   Job job = std::move(jobs_.front());
   jobs_.pop_front();
+  if (ready_valid_) {
+    if (ready_count_ > 0)
+      --ready_count_;
+    else
+      // The popped front was the gate; jobs behind it may now be ready.
+      ready_valid_ = false;
+  }
   return job;
 }
 
@@ -35,18 +59,35 @@ Job JobQueue::pop_at(std::size_t index) {
   MIGOPT_REQUIRE(index < jobs_.size(), "pop_at beyond queue size");
   Job job = std::move(jobs_[index]);
   jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(index));
+  if (ready_valid_) {
+    if (index < ready_count_)
+      --ready_count_;
+    else if (index == ready_count_)
+      // Removed the gate job: the prefix may extend past it now.
+      ready_valid_ = false;
+  }
   return job;
 }
 
+void JobQueue::extend_ready_prefix() const noexcept {
+  while (ready_count_ < jobs_.size() &&
+         jobs_[ready_count_].submit_time <= ready_now_)
+    ++ready_count_;
+}
+
 std::size_t JobQueue::ready_count(double now) const noexcept {
-  std::size_t count = 0;
-  for (const Job& job : jobs_) {
-    if (job.submit_time <= now)
-      ++count;
-    else
-      break;  // a future job gates the rest of the queue order
+  if (ready_valid_ && now == ready_now_) return ready_count_;
+  if (ready_valid_ && now > ready_now_) {
+    // The clock only moved forward: the old prefix is still ready, so
+    // resume the scan at the old gate instead of rescanning from the front.
+    ready_now_ = now;
+  } else {
+    ready_now_ = now;
+    ready_count_ = 0;
   }
-  return count;
+  extend_ready_prefix();
+  ready_valid_ = true;
+  return ready_count_;
 }
 
 }  // namespace migopt::sched

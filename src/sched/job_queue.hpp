@@ -5,6 +5,13 @@
 // purpose — replaying the same trace must enqueue, pair, and dispatch
 // identically every run — and is regression-tested. With every priority at
 // its default of 0 the queue degenerates to the plain FIFO it used to be.
+//
+// ready_count() memoizes the ready prefix: the scheduler probes it several
+// times per dispatch round (once per idle node, plus once inside every
+// CoScheduler::next call) at the same clock, and the answer only changes
+// when the queue mutates or the clock moves. push/pop adjust or invalidate
+// the cached prefix, so steady-state replay pays O(1) per probe instead of
+// a linear rescan of a potentially deep queue.
 #pragma once
 
 #include <deque>
@@ -26,6 +33,10 @@ class JobQueue {
   const Job& front() const;
   /// Look at position `index` from the front (0 == front).
   const Job& peek(std::size_t index) const;
+  /// Mutable access for bookkeeping writes (the scheduler interning
+  /// Job::app_id in place). Callers must not touch the fields the queue
+  /// orders by (priority, submit_time) — reorder by pop + push instead.
+  Job& peek_mutable(std::size_t index);
 
   Job pop_front();
   /// Remove and return the job at `index` (used when a partner is selected
@@ -36,11 +47,21 @@ class JobQueue {
   /// `now` — the slots the scheduler may peek/pop this round. A queued job
   /// with a future submit time gates everything ordered behind it (strict
   /// priority semantics; in trace replay jobs are only pushed once they have
-  /// arrived, so the prefix is the whole ready set).
+  /// arrived, so the prefix is the whole ready set). Memoized: repeated
+  /// probes at the same (or a later) clock resume from the cached prefix.
   std::size_t ready_count(double now) const noexcept;
 
  private:
+  /// Extend the cached prefix over jobs with submit_time <= ready_now_.
+  void extend_ready_prefix() const noexcept;
+
   std::deque<Job> jobs_;
+
+  // Cached ready prefix: valid means ready_count_ is the prefix length for
+  // clock ready_now_. push/pop keep it consistent or drop it (see .cpp).
+  mutable bool ready_valid_ = false;
+  mutable double ready_now_ = 0.0;
+  mutable std::size_t ready_count_ = 0;
 };
 
 }  // namespace migopt::sched

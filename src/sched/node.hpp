@@ -16,12 +16,19 @@
 #include "core/hw_state.hpp"
 #include "gpusim/gpu.hpp"
 #include "sched/job.hpp"
+#include "sched/run_memo.hpp"
 
 namespace migopt::sched {
 
 class Node {
  public:
   explicit Node(int id, gpusim::ArchConfig arch = gpusim::a100_sxm_like());
+
+  /// Install a shared physics memo (see sched/run_memo.hpp). The owner
+  /// guarantees it outlives the node and that every node sharing it runs an
+  /// identical architecture (the memo key carries no arch identity). Null
+  /// detaches — every rate recompute solves fresh.
+  void set_run_memo(RunMemo* memo) noexcept { run_memo_ = memo; }
 
   int id() const noexcept { return id_; }
   gpusim::GpuChip& chip() noexcept { return chip_; }
@@ -34,6 +41,9 @@ class Node {
   double energy_joules() const noexcept { return energy_joules_; }
   /// Cap of the current dispatch (meaningful only while busy).
   double cap_watts() const noexcept { return cap_watts_; }
+  /// Instantaneous draw at the node clock (run power while busy, idle power
+  /// otherwise) — what the next advance step integrates.
+  double power_watts() const noexcept { return current_power(); }
 
   /// Next time a running job completes; infinity when idle.
   double next_completion_time() const noexcept;
@@ -54,6 +64,14 @@ class Node {
   /// last completion leaves the node idle at its final completion time and
   /// idles forward (idle power accrues).
   std::vector<Job> advance_to(double t);
+
+  /// Finish the slot closest to completion at the current clock. The
+  /// indexed event core calls this when its completion heap says a job is
+  /// due at the node clock but floating-point residue left the slot with a
+  /// sliver of work whose remaining time rounds below one ulp of the clock
+  /// — without it the due completion could never fire and the event loop
+  /// would spin. Node must be busy.
+  Job finish_head_slot();
 
  private:
   struct Slot {
@@ -76,6 +94,7 @@ class Node {
   std::optional<gpusim::MemOption> option_;
   double cap_watts_;
   double run_power_watts_ = 0.0;
+  RunMemo* run_memo_ = nullptr;  ///< optional, owned by the cluster
 };
 
 }  // namespace migopt::sched

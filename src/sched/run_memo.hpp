@@ -1,0 +1,83 @@
+// Memoized node physics for cluster replay.
+//
+// A cluster replays the same dispatch shapes millions of times: an exclusive
+// full-chip run of app A at cap P, the pair (A, B) under partition state S at
+// cap P, the survivor of a pair finishing solo on its slice. The execution
+// engine's steady-state solve for one of those shapes is a pure function of
+// (kernels, GPC split, LLC/HBM option, cap) — the fixed-point iteration
+// returns the same RunResult every time — yet a million-job replay used to
+// re-run it once per dispatch and once per co-runner exit (~15 solver
+// iterations each, dozens of heap allocations per iteration). The memo keys
+// the solve by exactly its inputs and hands back a reference to the stored
+// result, so replay pays one hash probe where it paid a physics solve; the
+// values served are bit-identical to fresh solves by construction.
+//
+// Keys hold kernel *pointers*: the cluster's jobs reference registry-owned
+// KernelDescriptors that must outlive the session anyway (nodes dereference
+// them while executing), so pointer identity is the job-identity the
+// scheduler already relies on. The owner (Cluster) clears the memo at
+// begin_session so entries never outlive the kernel storage of a previous
+// session. Only 1- and 2-member shapes are memoized — larger N-way groups
+// fall through to a fresh solve (no cluster path dispatches them today).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/hash_mix.hpp"
+#include "gpusim/gpu.hpp"
+
+namespace migopt::sched {
+
+class RunMemo {
+ public:
+  struct Key {
+    const gpusim::KernelDescriptor* kernel1 = nullptr;
+    const gpusim::KernelDescriptor* kernel2 = nullptr;  ///< null for solo
+    int gpcs1 = 0;
+    int gpcs2 = 0;
+    int option = -1;  ///< gpusim::MemOption, -1 = exclusive full chip
+    double cap_watts = 0.0;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  /// Return the memoized RunResult for `key`, or run `solve`, store, and
+  /// return it. The reference stays valid until clear() (entries are never
+  /// evicted individually; unordered_map nodes are stable).
+  template <typename Solve>
+  const gpusim::RunResult& get_or_solve(const Key& key, Solve&& solve) {
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) return it->second;
+    // Epoch reset instead of LRU: the key space of a real replay is tiny
+    // (apps x caps x shapes), so the bound only guards pathological drivers.
+    if (entries_.size() >= kMaxEntries) entries_.clear();
+    return entries_.emplace(key, solve()).first->second;
+  }
+
+  void clear() noexcept { entries_.clear(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  static constexpr std::size_t kMaxEntries = 1 << 16;
+
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      std::uint64_t h = hash_mix(0x6e6f6465ULL,
+                                 reinterpret_cast<std::uintptr_t>(key.kernel1));
+      h = hash_mix(h, reinterpret_cast<std::uintptr_t>(key.kernel2));
+      h = hash_mix(h, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                           key.gpcs1))
+                       << 32) |
+                          static_cast<std::uint32_t>(key.gpcs2));
+      h = hash_mix(h, static_cast<std::uint64_t>(
+                          static_cast<std::uint32_t>(key.option)));
+      h = hash_mix(h, hash_bits(key.cap_watts));
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::unordered_map<Key, gpusim::RunResult, KeyHash> entries_;
+};
+
+}  // namespace migopt::sched

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
+#include <utility>
 
 #include "common/assert.hpp"
+#include "common/interner.hpp"
 
 namespace migopt::trace {
 
@@ -17,6 +18,14 @@ struct JobBook {
   std::size_t tenant_index = 0;
   double deadline_absolute = 0.0;  ///< 0 = none
   double modeled_solo_seconds = 0.0;
+};
+
+/// Memoized per-app arrival constants (indexed by the scheduler's AppId):
+/// the registry walk and the baseline-seconds model run once per distinct
+/// app instead of once per job.
+struct AppInfo {
+  const gpusim::KernelDescriptor* kernel = nullptr;
+  double solo_seconds_per_wu = 0.0;
 };
 
 struct TenantAccum {
@@ -49,9 +58,12 @@ SimReport SimEngine::replay(const Trace& trace,
   SimReport report;
   std::vector<JobBook> books;
   books.reserve(trace.job_count());
-  // Tenant indices in first-appearance order; names sorted for the report.
-  std::map<std::string, std::size_t> tenant_index;
+  // Tenant ids in first-appearance order (dense, so the accumulator is a
+  // flat vector instead of a string-keyed map); names sorted for the report.
+  SymbolTable tenant_symbols;
   std::vector<TenantAccum> tenants;
+  // Per-app arrival constants, memoized under the scheduler's app ids.
+  std::vector<AppInfo> app_info;
 
   double wait_sum = 0.0;
   double slowdown_sum = 0.0;
@@ -100,23 +112,39 @@ SimReport SimEngine::replay(const Trace& trace,
            trace.events[next_event].time_seconds <= now) {
       const TraceEvent& event = trace.events[next_event];
       if (event.kind == EventKind::JobArrival) {
-        const auto inserted =
-            tenant_index.emplace(event.tenant, tenants.size());
-        if (inserted.second) tenants.emplace_back();
-        TenantAccum& tenant = tenants[inserted.first->second];
+        const sched::TenantId tenant_id = tenant_symbols.intern(event.tenant);
+        if (tenant_id >= tenants.size()) tenants.emplace_back();
+        TenantAccum& tenant = tenants[tenant_id];
 
         sched::Job job;
         job.id = static_cast<sched::JobId>(books.size());
         job.app = event.app;
-        job.kernel = &registry.by_name(event.app).kernel;
-        job.solo_seconds_per_wu = chip.baseline_seconds(*job.kernel);
+        if (config_.intern_symbols) {
+          // Fast path: the registry walk and baseline model run once per
+          // distinct app; the job carries its interned ids so the scheduler
+          // never touches the strings again.
+          job.app_id = scheduler.intern_app(event.app);
+          job.tenant_id = tenant_id;
+          if (job.app_id >= app_info.size())
+            app_info.resize(static_cast<std::size_t>(job.app_id) + 1);
+          AppInfo& info = app_info[job.app_id];
+          if (info.kernel == nullptr) {
+            info.kernel = &registry.by_name(event.app).kernel;
+            info.solo_seconds_per_wu = chip.baseline_seconds(*info.kernel);
+          }
+          job.kernel = info.kernel;
+          job.solo_seconds_per_wu = info.solo_seconds_per_wu;
+        } else {
+          job.kernel = &registry.by_name(event.app).kernel;
+          job.solo_seconds_per_wu = chip.baseline_seconds(*job.kernel);
+        }
         job.work_units =
             std::max(1.0, event.work_seconds / job.solo_seconds_per_wu);
         job.submit_time = event.time_seconds;
         job.priority = event.priority;
 
         JobBook book;
-        book.tenant_index = inserted.first->second;
+        book.tenant_index = tenant_id;
         book.deadline_absolute = event.deadline_seconds > 0.0
                                      ? event.time_seconds + event.deadline_seconds
                                      : 0.0;
@@ -186,8 +214,14 @@ SimReport SimEngine::replay(const Trace& trace,
     report.jobs_per_hour = 3600.0 * static_cast<double>(completed) /
                            report.cluster.makespan_seconds;
 
+  // Names sorted for the report (what the string-keyed map used to yield).
+  std::vector<std::pair<std::string, std::size_t>> by_name;
+  by_name.reserve(tenants.size());
+  for (std::size_t id = 0; id < tenants.size(); ++id)
+    by_name.emplace_back(tenant_symbols.name(static_cast<Symbol>(id)), id);
+  std::sort(by_name.begin(), by_name.end());
   report.tenants.reserve(tenants.size());
-  for (const auto& [name, index] : tenant_index) {
+  for (const auto& [name, index] : by_name) {
     const TenantAccum& accum = tenants[index];
     TenantStats stats;
     stats.tenant = name;

@@ -33,6 +33,15 @@ struct SimConfig {
   /// every this many simulated seconds (at event-loop steps, so sample
   /// times land on event times). 0 disables the series.
   double sample_interval_seconds = 0.0;
+  /// When true (default) the engine interns app/tenant names once per
+  /// distinct symbol and stamps Job::app_id/tenant_id on every arrival, with
+  /// the registry lookup and baseline-seconds model memoized per app — the
+  /// fast path for million-job traces. When false, jobs are submitted with
+  /// only the string (the scheduler interns lazily) and per-arrival lookups
+  /// go through the registry each time — the legacy string path the
+  /// interning-equivalence tests replay against. Both produce bit-identical
+  /// reports.
+  bool intern_symbols = true;
 };
 
 struct TenantStats {

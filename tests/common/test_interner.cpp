@@ -1,0 +1,93 @@
+#include "common/interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace migopt {
+namespace {
+
+TEST(SymbolTable, RoundTripsNamesThroughDenseIds) {
+  SymbolTable table;
+  const Symbol a = table.intern("igemm4");
+  const Symbol b = table.intern("stream");
+  const Symbol c = table.intern("kmeans");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.name(a), "igemm4");
+  EXPECT_EQ(table.name(b), "stream");
+  EXPECT_EQ(table.name(c), "kmeans");
+}
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable table;
+  const Symbol first = table.intern("sgemm");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.intern("sgemm"), first);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SymbolTable, FindDoesNotIntern) {
+  SymbolTable table;
+  EXPECT_FALSE(table.find("ghost").has_value());
+  EXPECT_FALSE(table.contains("ghost"));
+  EXPECT_EQ(table.size(), 0u);
+  table.intern("real");
+  ASSERT_TRUE(table.find("real").has_value());
+  EXPECT_EQ(*table.find("real"), 0u);
+  EXPECT_TRUE(table.contains("real"));
+}
+
+TEST(SymbolTable, SimilarNamesNeverCollide) {
+  // Interning is a bijection: near-identical strings (prefixes, case,
+  // suffix digits — the shapes real app/tenant vocabularies produce) must
+  // all receive distinct ids that reverse to exactly their own name.
+  SymbolTable table;
+  const std::vector<std::string> names = {
+      "t0",  "t00", "t1",     "T1",     "gemm",  "gemm ", " gemm",
+      "gem", "gemm0", "gemm00", "0gemm", "",     "stream", "streams"};
+  std::vector<Symbol> ids;
+  for (const auto& name : names) ids.push_back(table.intern(name));
+  EXPECT_EQ(table.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(table.name(ids[i]), names[i]);
+    for (std::size_t j = i + 1; j < names.size(); ++j)
+      EXPECT_NE(ids[i], ids[j]);
+  }
+}
+
+TEST(SymbolTable, IdsAreDeterministicInInternOrder) {
+  // Two tables fed the same name sequence assign identical ids — replay
+  // determinism must never depend on hash iteration order.
+  const std::vector<std::string> sequence = {"b", "a", "c", "a", "d", "b"};
+  SymbolTable first;
+  SymbolTable second;
+  for (const auto& name : sequence)
+    EXPECT_EQ(first.intern(name), second.intern(name));
+  EXPECT_EQ(first.size(), 4u);
+}
+
+TEST(SymbolTable, UnknownIdThrows) {
+  SymbolTable table;
+  table.intern("only");
+  EXPECT_THROW(table.name(1), ContractViolation);
+  EXPECT_THROW(table.name(kNoSymbol), ContractViolation);
+}
+
+TEST(SymbolTable, CopyKeepsLookupsIndependent) {
+  SymbolTable original;
+  original.intern("shared");
+  SymbolTable copy = original;
+  const Symbol fresh = copy.intern("copy-only");
+  EXPECT_EQ(copy.name(fresh), "copy-only");
+  EXPECT_FALSE(original.contains("copy-only"));
+  EXPECT_EQ(original.size(), 1u);
+  EXPECT_EQ(copy.size(), 2u);
+}
+
+}  // namespace
+}  // namespace migopt

@@ -222,6 +222,114 @@ TEST(Cluster, LargerBudgetNeverSlowsTheQueue) {
   EXPECT_LE(t_big, t_small * 1.001);
 }
 
+TEST(Cluster, IndexedCoreMatchesExactCoreSchedule) {
+  // The Indexed event core must make the same dispatch decisions as the
+  // Exact core — every count and every per-job identity identical; only the
+  // continuous outputs may differ by floating-point step partitioning.
+  auto allocator_exact = make_allocator();
+  CoScheduler sched_exact(allocator_exact, core::Policy::problem1(250.0, 0.2));
+  ClusterConfig config;
+  config.node_count = 3;
+  Cluster exact(config);
+  const ClusterReport a = exact.run(mixed_job_set(), sched_exact);
+
+  auto allocator_indexed = make_allocator();
+  CoScheduler sched_indexed(allocator_indexed,
+                            core::Policy::problem1(250.0, 0.2));
+  config.event_core = EventCore::Indexed;
+  Cluster indexed(config);
+  const ClusterReport b = indexed.run(mixed_job_set(), sched_indexed);
+
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.pair_dispatches, b.pair_dispatches);
+  EXPECT_EQ(a.exclusive_dispatches, b.exclusive_dispatches);
+  EXPECT_EQ(a.profile_runs, b.profile_runs);
+  EXPECT_EQ(a.decision_cache_hits, b.decision_cache_hits);
+  EXPECT_EQ(a.decision_cache_misses, b.decision_cache_misses);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].id, b.jobs[i].id);  // same completion order
+    EXPECT_NEAR(a.jobs[i].turnaround, b.jobs[i].turnaround,
+                1e-6 * (1.0 + a.jobs[i].turnaround));
+  }
+  EXPECT_NEAR(a.makespan_seconds, b.makespan_seconds,
+              1e-9 * a.makespan_seconds);
+  EXPECT_NEAR(a.total_energy_joules, b.total_energy_joules,
+              1e-9 * a.total_energy_joules);
+  EXPECT_EQ(a.peak_cap_sum_watts, b.peak_cap_sum_watts);
+}
+
+TEST(Cluster, IndexedCoreEnergyAccountsIdleDrawToSessionEnd) {
+  // One staggered late job keeps the cluster's clock running long past the
+  // early jobs; idle nodes must accrue idle power up to the session end even
+  // though the Indexed core never touches them in between (report catches
+  // them up).
+  auto allocator_exact = make_allocator();
+  CoScheduler sched_exact(allocator_exact, core::Policy::problem1(250.0, 0.2));
+  std::vector<Job> jobs = mixed_job_set();
+  jobs[5].submit_time = 2000.0;
+  ClusterConfig config;
+  config.node_count = 4;
+  Cluster exact(config);
+  const ClusterReport a = exact.run(jobs, sched_exact);
+
+  auto allocator_indexed = make_allocator();
+  CoScheduler sched_indexed(allocator_indexed,
+                            core::Policy::problem1(250.0, 0.2));
+  config.event_core = EventCore::Indexed;
+  Cluster indexed(config);
+  const ClusterReport b = indexed.run(jobs, sched_indexed);
+
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_NEAR(a.total_energy_joules, b.total_energy_joules,
+              1e-9 * a.total_energy_joules);
+  // And the report total still equals the sum over the caught-up nodes.
+  double sum = 0.0;
+  for (const auto& node : indexed.nodes()) sum += node->energy_joules();
+  EXPECT_NEAR(b.total_energy_joules, sum, 1e-9);
+}
+
+TEST(Cluster, IndexedCoreMidSessionReportMatchesExact) {
+  // report() in the middle of a session — running jobs still on the nodes —
+  // must account energy and makespan up to the session clock even though
+  // the Indexed core has not touched the busy nodes since dispatch (their
+  // draw is constant over the gap, so the report adds it analytically).
+  const auto run_half = [](EventCore core) {
+    auto allocator = make_allocator();
+    CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));
+    ClusterConfig config;
+    config.node_count = 2;
+    config.event_core = core;
+    Cluster cluster(config);
+    cluster.begin_session(scheduler);
+    for (Job& job : mixed_job_set()) cluster.submit(std::move(job));
+    cluster.dispatch(scheduler, 0.0);
+    cluster.advance_to(5.0, scheduler);  // before the first completion
+    return cluster.report(scheduler);
+  };
+  const ClusterReport exact = run_half(EventCore::Exact);
+  const ClusterReport indexed = run_half(EventCore::Indexed);
+  EXPECT_GT(exact.total_energy_joules, 0.0);
+  EXPECT_NEAR(indexed.total_energy_joules, exact.total_energy_joules,
+              1e-9 * exact.total_energy_joules);
+  EXPECT_DOUBLE_EQ(exact.makespan_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(indexed.makespan_seconds, 5.0);
+}
+
+TEST(Cluster, JobStatCollectionCanBeDisabled) {
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));
+  ClusterConfig config;
+  config.node_count = 2;
+  config.collect_job_stats = false;
+  Cluster cluster(config);
+  const ClusterReport report = cluster.run(mixed_job_set(), scheduler);
+  EXPECT_EQ(report.jobs_completed, 8u);
+  EXPECT_TRUE(report.jobs.empty());
+  // Aggregates still accumulate without the per-job vector.
+  EXPECT_GT(report.mean_turnaround, 0.0);
+}
+
 TEST(Cluster, BudgetBelowCheapestDispatchRejected) {
   auto allocator = make_allocator();
   CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));

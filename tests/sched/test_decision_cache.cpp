@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/interner.hpp"
 #include "profiling/profiler.hpp"
 #include "sched/coscheduler.hpp"
 #include "test_util.hpp"
@@ -64,19 +65,22 @@ TEST(DecisionCache, HitReturnsTheMemoizedDecisionUnchanged) {
   auto allocator = make_allocator();
   DecisionCache cache;
   const core::Policy policy = core::Policy::problem2(0.2);
+  const Symbol igemm4 = allocator.intern_app("igemm4");
+  const Symbol stream = allocator.intern_app("stream");
   int computations = 0;
   const auto compute = [&] {
     ++computations;
     return allocator.allocate("igemm4", "stream", policy);
   };
   const core::Decision& first =
-      cache.get_or_compute("igemm4", "stream", policy, compute);
+      cache.get_or_compute(igemm4, stream, policy, compute);
   const core::Decision& second =
-      cache.get_or_compute("igemm4", "stream", policy, compute);
+      cache.get_or_compute(igemm4, stream, policy, compute);
   EXPECT_EQ(computations, 1);
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.stats().misses, 1u);
-  // Cached answer is byte-identical to a fresh allocator search.
+  // The interned-key cached answer is byte-identical to a fresh string-path
+  // allocator search (the interned ↔ string decision equivalence pin).
   expect_identical(second, allocator.allocate("igemm4", "stream", policy));
   expect_identical(first, second);
 }
@@ -89,10 +93,11 @@ TEST(DecisionCache, KeyIsOrderAndPolicySensitive) {
   int computations = 0;
   const auto compute_for = [&](const std::string& a, const std::string& b,
                                const core::Policy& policy) {
-    return cache.get_or_compute(a, b, policy, [&] {
-      ++computations;
-      return allocator.allocate(a, b, policy);
-    });
+    return cache.get_or_compute(allocator.intern_app(a),
+                                allocator.intern_app(b), policy, [&] {
+                                  ++computations;
+                                  return allocator.allocate(a, b, policy);
+                                });
   };
   compute_for("igemm4", "stream", p1);
   compute_for("stream", "igemm4", p1);  // member order is part of the identity
@@ -101,17 +106,41 @@ TEST(DecisionCache, KeyIsOrderAndPolicySensitive) {
   EXPECT_EQ(cache.size(), 3u);
 }
 
+TEST(DecisionCache, InternedKeysMatchStringIdentityExactly) {
+  // Interning is injective, so two distinct names never share an id — and
+  // re-interning the same name always lands on the same entry.
+  auto allocator = make_allocator();
+  DecisionCache cache;
+  const core::Policy policy = core::Policy::problem2(0.2);
+  int computations = 0;
+  for (const char* a : {"igemm4", "stream", "igemm4"}) {
+    for (const char* b : {"stream", "kmeans"}) {
+      cache.get_or_compute(allocator.intern_app(a), allocator.intern_app(b),
+                           policy, [&] {
+                             ++computations;
+                             return allocator.allocate(a, b, policy);
+                           });
+    }
+  }
+  // 6 probes over 4 distinct (a, b) string pairs -> exactly 4 computes.
+  EXPECT_EQ(computations, 4);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
 TEST(DecisionCache, InvalidateDropsEntriesAndCounts) {
   auto allocator = make_allocator();
   DecisionCache cache;
   const core::Policy policy = core::Policy::problem2(0.2);
-  cache.get_or_compute("igemm4", "stream", policy,
+  const Symbol igemm4 = allocator.intern_app("igemm4");
+  const Symbol stream = allocator.intern_app("stream");
+  cache.get_or_compute(igemm4, stream, policy,
                        [&] { return allocator.allocate("igemm4", "stream", policy); });
   EXPECT_EQ(cache.size(), 1u);
   cache.invalidate();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.stats().invalidations, 1u);
-  cache.get_or_compute("igemm4", "stream", policy,
+  cache.get_or_compute(igemm4, stream, policy,
                        [&] { return allocator.allocate("igemm4", "stream", policy); });
   EXPECT_EQ(cache.stats().misses, 2u);
 }
@@ -119,10 +148,11 @@ TEST(DecisionCache, InvalidateDropsEntriesAndCounts) {
 TEST(DecisionCache, EvictsLeastRecentlyUsedAtCapacity) {
   DecisionCache cache(2);
   EXPECT_EQ(cache.capacity(), 2u);
+  SymbolTable table;
   const core::Policy policy = core::Policy::problem2(0.2);
   int computations = 0;
   const auto fetch = [&](const std::string& a, const std::string& b) {
-    cache.get_or_compute(a, b, policy, [&] {
+    cache.get_or_compute(table.intern(a), table.intern(b), policy, [&] {
       ++computations;
       return core::Decision{};
     });
@@ -144,10 +174,11 @@ TEST(DecisionCache, EvictsLeastRecentlyUsedAtCapacity) {
 
 TEST(DecisionCache, CapacityOneStillServesRepeats) {
   DecisionCache cache(1);
+  SymbolTable table;
   const core::Policy policy = core::Policy::problem2(0.2);
   int computations = 0;
   const auto fetch = [&](const std::string& a) {
-    cache.get_or_compute(a, "x", policy, [&] {
+    cache.get_or_compute(table.intern(a), table.intern("x"), policy, [&] {
       ++computations;
       return core::Decision{};
     });
@@ -164,9 +195,11 @@ TEST(DecisionCache, CapacityOneStillServesRepeats) {
 
 TEST(DecisionCache, InvalidateResetsRecencyBookkeeping) {
   DecisionCache cache(2);
+  SymbolTable table;
   const core::Policy policy = core::Policy::problem2(0.2);
   const auto fetch = [&](const std::string& a) {
-    cache.get_or_compute(a, "x", policy, [] { return core::Decision{}; });
+    cache.get_or_compute(table.intern(a), table.intern("x"), policy,
+                         [] { return core::Decision{}; });
   };
   fetch("a");
   fetch("b");
@@ -195,6 +228,8 @@ TEST(CoSchedulerCache, RepeatedDispatchHitsTheCache) {
   EXPECT_EQ(scheduler.decision_cache().stats().hits, 0u);
   const std::size_t misses = scheduler.decision_cache().stats().misses;
   EXPECT_GT(misses, 0u);
+  // The scheduler interned the jobs it touched (the lazy string fallback).
+  EXPECT_NE(first->job1.app_id, kNoSymbol);
 
   // The same pair again: the allocator search is answered from the cache and
   // the plan is identical.
@@ -206,6 +241,42 @@ TEST(CoSchedulerCache, RepeatedDispatchHitsTheCache) {
   EXPECT_GT(scheduler.decision_cache().stats().hits, 0u);
   EXPECT_EQ(scheduler.decision_cache().stats().misses, misses);
   expect_identical(second->allocation, first->allocation);
+}
+
+TEST(CoSchedulerCache, PreInternedJobsTakeTheSamePathAsStrings) {
+  // Jobs arriving with app_id already stamped (the SimEngine fast path) must
+  // produce the same plan and the same cache hit/miss trajectory as jobs
+  // that arrive with only the string.
+  auto string_allocator = make_allocator();
+  CoScheduler string_scheduler(string_allocator,
+                               core::Policy::problem1(230.0, 0.2));
+  JobQueue string_queue;
+  string_queue.push(make_job(0, "igemm4"));
+  string_queue.push(make_job(1, "stream"));
+  const auto from_strings = string_scheduler.next(string_queue, 0.0);
+
+  auto interned_allocator = make_allocator();
+  CoScheduler interned_scheduler(interned_allocator,
+                                 core::Policy::problem1(230.0, 0.2));
+  JobQueue interned_queue;
+  Job a = make_job(0, "igemm4");
+  a.app_id = interned_scheduler.intern_app(a.app);
+  Job b = make_job(1, "stream");
+  b.app_id = interned_scheduler.intern_app(b.app);
+  interned_queue.push(std::move(a));
+  interned_queue.push(std::move(b));
+  const auto from_ids = interned_scheduler.next(interned_queue, 0.0);
+
+  ASSERT_TRUE(from_strings.has_value());
+  ASSERT_TRUE(from_ids.has_value());
+  ASSERT_TRUE(from_strings->job2.has_value());
+  ASSERT_TRUE(from_ids->job2.has_value());
+  expect_identical(from_strings->allocation, from_ids->allocation);
+  EXPECT_EQ(from_strings->power_cap_watts, from_ids->power_cap_watts);
+  EXPECT_EQ(string_scheduler.decision_cache().stats().misses,
+            interned_scheduler.decision_cache().stats().misses);
+  EXPECT_EQ(string_scheduler.decision_cache().stats().hits,
+            interned_scheduler.decision_cache().stats().hits);
 }
 
 TEST(CoSchedulerCache, RecordProfileInvalidates) {

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "common/assert.hpp"
+#include "common/rng.hpp"
 #include "test_util.hpp"
 
 namespace migopt::sched {
@@ -109,6 +113,90 @@ TEST(JobQueue, ReadyCountHonorsSubmitTimes) {
   EXPECT_EQ(queue.ready_count(0.0), 1u);
   EXPECT_EQ(queue.ready_count(5.0), 2u);
   EXPECT_EQ(queue.ready_count(100.0), 3u);
+  // The clock may also move backwards between sessions: full rescan.
+  EXPECT_EQ(queue.ready_count(5.0), 2u);
+  EXPECT_EQ(queue.ready_count(0.0), 1u);
+}
+
+// The cached ready prefix must be invalidated (or adjusted) by every
+// mutation. Each block is a mutation pattern that once had a stale-cache
+// failure mode: the probe before the mutation primes the cache, the probe
+// after must see the new truth.
+TEST(JobQueue, ReadyCountCacheInvalidatedByPushAndPop) {
+  JobQueue queue;
+  queue.push(make_job(0, "sgemm", 0.0));
+  queue.push(make_job(1, "stream", 20.0));
+  EXPECT_EQ(queue.ready_count(10.0), 1u);  // prime: gate at index 1
+
+  // Push of a ready job inside the prefix (higher priority jumps the gate).
+  queue.push(make_job(2, "kmeans", 0.0, 1));
+  EXPECT_EQ(queue.ready_count(10.0), 2u);  // {2, 0} ready, 1 still gates
+
+  // Push of a future job that lands inside the prefix becomes the new gate.
+  queue.push(make_job(3, "needle", 15.0, 2));  // front of the queue, future
+  EXPECT_EQ(queue.ready_count(10.0), 0u);
+
+  // Popping the gate re-opens everything behind it.
+  EXPECT_EQ(queue.pop_front().id, 3);
+  EXPECT_EQ(queue.ready_count(10.0), 2u);
+
+  // pop_at inside the prefix shrinks it by one.
+  EXPECT_EQ(queue.pop_at(1).id, 0);
+  EXPECT_EQ(queue.ready_count(10.0), 1u);
+
+  // pop_at of the gate job extends the prefix over what it was hiding.
+  queue.push(make_job(4, "dgemm", 0.0, -1));  // ready, but ordered last
+  EXPECT_EQ(queue.ready_count(10.0), 1u);     // {2} ready, 1 gates 4
+  EXPECT_EQ(queue.pop_at(1).id, 1);           // remove the gate
+  EXPECT_EQ(queue.ready_count(10.0), 2u);     // {2, 4}
+}
+
+TEST(JobQueue, ReadyCountCacheMatchesBruteForceUnderRandomOps) {
+  // Randomized cross-check: every cached answer must equal a fresh linear
+  // scan over an identically mutated reference deque.
+  Rng rng(2024);
+  JobQueue queue;
+  std::vector<Job> reference;  // mirrors queue order
+  const auto reference_push = [&](Job job) {
+    auto it = reference.end();
+    while (it != reference.begin() && std::prev(it)->priority < job.priority)
+      --it;
+    reference.insert(it, std::move(job));
+  };
+  const auto reference_ready = [&](double now) {
+    std::size_t count = 0;
+    for (const Job& job : reference) {
+      if (job.submit_time > now) break;
+      ++count;
+    }
+    return count;
+  };
+
+  double now = 0.0;
+  int next_id = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const std::uint64_t op = rng.next() % 10;
+    if (op < 4 || queue.empty()) {
+      const double submit = now + static_cast<double>(rng.next() % 7) - 3.0;
+      const int priority = static_cast<int>(rng.next() % 3);
+      Job job = make_job(next_id++, "sgemm", std::max(0.0, submit), priority);
+      queue.push(job);
+      reference_push(job);
+    } else if (op < 6) {
+      EXPECT_EQ(queue.pop_front().id, reference.front().id);
+      reference.erase(reference.begin());
+    } else if (op < 8) {
+      const std::size_t index = rng.next() % queue.size();
+      EXPECT_EQ(queue.pop_at(index).id, reference[index].id);
+      reference.erase(reference.begin() +
+                      static_cast<std::ptrdiff_t>(index));
+    } else {
+      now += static_cast<double>(rng.next() % 3);  // clock moves forward
+    }
+    ASSERT_EQ(queue.ready_count(now), reference_ready(now))
+        << "step " << step << " at now=" << now;
+    ASSERT_EQ(queue.size(), reference.size());
+  }
 }
 
 }  // namespace
