@@ -31,8 +31,23 @@
 //                                      seconds; see README "Scaling the
 //                                      trace engine")
 //
+// Fleet flags (see README "Fleet-scale replay"): --clusters N > 1 reads the
+// trace at datacenter scope and replays it through trace::FleetEngine — N
+// independent cluster sessions of --nodes nodes each behind the admission
+// router, sharded over --threads workers (bit-identical for any count):
+//   --clusters N                       cluster count (1 = single-cluster path)
+//   --router round-robin|affinity|least-loaded
+//   --spill-delay S                    affinity spillover threshold [s]
+//   --power-split uniform|demand       fleet budget split policy
+//   --fleet-budget W                   fleet-level power contract [W]
+//
 // The 1M reproduction: trace_replay --jobs 1000000 --nodes 64 --seed 7
 //                          --indexed-core
+// A 16-cluster fleet:   trace_replay --jobs 200000 --clusters 16 --nodes 8
+//                          --router affinity --spill-delay 60
+//                          --fleet-budget 20000 --power-split demand
+//                          --indexed-core --threads 16
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +58,7 @@
 
 #include "common/string_util.hpp"
 #include "report/harness.hpp"
+#include "trace/fleet.hpp"
 #include "trace/presets.hpp"
 #include "trace/sim_engine.hpp"
 
@@ -59,10 +75,113 @@ struct ReplayConfig {
   std::string trace_path;  ///< optional save/re-load round-trip
   /// Indexed event core + no per-job stats: the million-job configuration.
   bool indexed_core = false;
+
+  // Fleet mode (clusters > 1): the trace becomes a fleet trace routed
+  // across `clusters` sessions of `num_nodes` nodes each.
+  int clusters = 1;
+  trace::RouterPolicy router = trace::RouterPolicy::TenantAffinity;
+  double spill_delay_seconds = 0.0;
+  trace::PowerSplit power_split = trace::PowerSplit::Uniform;
+  double fleet_budget_watts = 0.0;  ///< <= 0: no fleet-level contract
 };
 
+/// Fleet mode: the same regime trace, sized for the whole fleet, routed by
+/// trace::FleetEngine across `clusters` independent sessions and replayed
+/// shard-parallel over the harness's --threads workers.
+report::ScenarioResult run_fleet_replay(const ReplayConfig& config,
+                                        const report::RunContext& ctx) {
+  gpusim::GpuChip reference_chip;
+  const wl::WorkloadRegistry registry(reference_chip.arch());
+  const trace::Trace fleet_trace = trace::make_regime_trace(
+      config.regime, config.num_jobs, config.clusters * config.num_nodes,
+      config.seed, registry.names());
+
+  trace::FleetConfig fleet;
+  fleet.cluster_count = config.clusters;
+  fleet.cluster.node_count = config.num_nodes;
+  fleet.cluster.max_sim_seconds = 1.0e8;
+  if (config.indexed_core) {
+    fleet.cluster.event_core = sched::EventCore::Indexed;
+    fleet.cluster.collect_job_stats = false;
+  }
+  fleet.router.policy = config.router;
+  fleet.router.spill_delay_seconds = config.spill_delay_seconds;
+  fleet.power_split = config.power_split;
+  if (config.fleet_budget_watts > 0.0)
+    fleet.fleet_power_budget_watts = config.fleet_budget_watts;
+  fleet.sim.max_sim_seconds = 1.0e8;
+  fleet.policy = trace::regime_policy(config.regime);
+  fleet.seed = config.seed;
+  fleet.threads = std::max<std::size_t>(1, ctx.threads());
+
+  const trace::FleetReport report =
+      trace::FleetEngine(fleet).replay(fleet_trace);
+
+  report::ScenarioResult result;
+  report::Section section;
+  section.title = std::to_string(config.num_jobs) + " jobs, " +
+                  std::to_string(config.clusters) + " clusters x " +
+                  std::to_string(config.num_nodes) + " nodes, " +
+                  trace::router_policy_name(config.router) + " router, " +
+                  trace::regime_name(config.regime) + ", seed " +
+                  std::to_string(config.seed) +
+                  (config.indexed_core ? ", indexed core" : "");
+  section.label_header = "cluster";
+  section.columns = {"routed", "completed", "mean wait [s]", "mean slowdown",
+                     "energy [MJ]"};
+  for (std::size_t c = 0; c < report.clusters.size(); ++c) {
+    const trace::SimReport& shard = report.clusters[c];
+    section.add_row(
+        "c" + std::to_string(c),
+        {MetricValue::of_count(static_cast<long long>(shard.jobs_submitted)),
+         MetricValue::of_count(
+             static_cast<long long>(shard.cluster.jobs_completed)),
+         MetricValue::num(shard.mean_queue_wait_seconds, 1),
+         MetricValue::num(shard.mean_slowdown, 2),
+         MetricValue::num(shard.cluster.total_energy_joules / 1.0e6, 2)});
+  }
+  const double decisions = static_cast<double>(report.router.decisions);
+  const double memo_probes =
+      static_cast<double>(report.run_memo_hits + report.run_memo_misses);
+  section.add_summary("jobs_completed",
+                      MetricValue::of_count(
+                          static_cast<long long>(report.jobs_completed)));
+  section.add_summary("makespan_s",
+                      MetricValue::num(report.makespan_seconds, 1));
+  section.add_summary("agg_jobs_per_hour",
+                      MetricValue::num(report.aggregate_jobs_per_hour, 1));
+  section.add_summary("mean_wait_s",
+                      MetricValue::num(report.mean_queue_wait_seconds, 1));
+  section.add_summary("mean_slowdown", MetricValue::num(report.mean_slowdown));
+  section.add_summary(
+      "spill_fraction",
+      MetricValue::num(decisions == 0.0
+                           ? 0.0
+                           : static_cast<double>(report.router.spills) /
+                                 decisions));
+  section.add_summary("budget_splits",
+                      MetricValue::of_count(static_cast<long long>(
+                          report.router.budget_splits)));
+  section.add_summary(
+      "run_memo_hit_rate",
+      MetricValue::num(memo_probes == 0.0
+                           ? 0.0
+                           : static_cast<double>(report.run_memo_hits) /
+                                 memo_probes));
+  section.add_summary("energy_MJ",
+                      MetricValue::num(report.total_energy_joules / 1.0e6, 2));
+  result.add_section(std::move(section));
+  result.add_note(
+      "each cluster is a fully private SimEngine session (own chip, "
+      "registry, allocator,\nscheduler); the router pre-assigned every "
+      "arrival before replay, so the merged\nreport is bit-identical for any "
+      "--threads value.");
+  return result;
+}
+
 report::ScenarioResult run_replay(const ReplayConfig& config,
-                                  const report::RunContext&) {
+                                  const report::RunContext& ctx) {
+  if (config.clusters > 1) return run_fleet_replay(config, ctx);
   gpusim::GpuChip reference_chip;
   const wl::WorkloadRegistry registry(reference_chip.arch());
   const auto pairs = wl::table8_pairs();
@@ -185,6 +304,11 @@ int main(int argc, char** argv) {
   std::string seed_flag;
   std::string regime_flag;
   std::string trace_flag;
+  std::string clusters_flag;
+  std::string router_flag;
+  std::string spill_flag;
+  std::string split_flag;
+  std::string fleet_budget_flag;
   bool indexed_core = false;
   std::vector<char*> harness_argv = {argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -201,7 +325,12 @@ int main(int argc, char** argv) {
     if (take_value("--jobs", jobs_flag) || take_value("--nodes", nodes_flag) ||
         take_value("--seed", seed_flag) ||
         take_value("--regime", regime_flag) ||
-        take_value("--trace", trace_flag))
+        take_value("--trace", trace_flag) ||
+        take_value("--clusters", clusters_flag) ||
+        take_value("--router", router_flag) ||
+        take_value("--spill-delay", spill_flag) ||
+        take_value("--power-split", split_flag) ||
+        take_value("--fleet-budget", fleet_budget_flag))
       continue;
     if (arg == "--indexed-core") {
       indexed_core = true;
@@ -280,11 +409,58 @@ int main(int argc, char** argv) {
   }
   if (!trace_flag.empty()) config.trace_path = trace_flag;
 
+  // Fleet flags.
+  if (!clusters_flag.empty() &&
+      !parse_int(clusters_flag, "--clusters", 1.0, config.clusters))
+    return 1;
+  if (!router_flag.empty()) {
+    const auto policy = migopt::trace::parse_router_policy(router_flag);
+    if (!policy.has_value()) {
+      std::fprintf(stderr,
+                   "error: --router must be round-robin|affinity|"
+                   "least-loaded, got '%s'\n",
+                   router_flag.c_str());
+      return 1;
+    }
+    config.router = *policy;
+  }
+  if (!spill_flag.empty()) {
+    const auto value = migopt::str::parse_double(spill_flag);
+    if (!value.has_value() || *value < 0.0) {
+      std::fprintf(stderr, "error: --spill-delay must be >= 0, got '%s'\n",
+                   spill_flag.c_str());
+      return 1;
+    }
+    config.spill_delay_seconds = *value;
+  }
+  if (!split_flag.empty()) {
+    const auto split = migopt::trace::parse_power_split(split_flag);
+    if (!split.has_value()) {
+      std::fprintf(stderr,
+                   "error: --power-split must be uniform|demand, got '%s'\n",
+                   split_flag.c_str());
+      return 1;
+    }
+    config.power_split = *split;
+  }
+  if (!fleet_budget_flag.empty()) {
+    const auto value = migopt::str::parse_double(fleet_budget_flag);
+    if (!value.has_value() || *value <= 0.0) {
+      std::fprintf(stderr, "error: --fleet-budget must be > 0 W, got '%s'\n",
+                   fleet_budget_flag.c_str());
+      return 1;
+    }
+    config.fleet_budget_watts = *value;
+  }
+
   migopt::report::register_scenario(
       {"trace_replay", "Trace engine",
        std::string(migopt::trace::regime_name(config.regime)) + " replay of " +
            std::to_string(config.num_jobs) + " jobs on " +
-           std::to_string(config.num_nodes) + " nodes",
+           (config.clusters > 1
+                ? std::to_string(config.clusters) + " clusters x " +
+                      std::to_string(config.num_nodes) + " nodes"
+                : std::to_string(config.num_nodes) + " nodes"),
        [config](const migopt::report::RunContext& ctx) {
          return run_replay(config, ctx);
        }});

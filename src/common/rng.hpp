@@ -27,6 +27,17 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Seed of the `index`-th independent deterministic stream derived from
+/// `base` — two SplitMix64 scrambles with a golden-ratio offset between
+/// indices, so shard streams of a data-parallel replay (trace::FleetEngine)
+/// neither collide with each other nor with the base sequence.
+inline std::uint64_t stream_seed(std::uint64_t base,
+                                 std::uint64_t index) noexcept {
+  SplitMix64 scrambler(base ^ (index * 0x9e3779b97f4a7c15ULL));
+  const std::uint64_t first = scrambler.next();
+  return SplitMix64(first + index).next();
+}
+
 /// xoshiro256** 1.0 with convenience distributions.
 /// Satisfies UniformRandomBitGenerator, so it also works with <random>.
 class Rng {

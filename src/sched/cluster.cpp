@@ -50,6 +50,7 @@ void Cluster::begin_session(const CoScheduler& scheduler) {
   budget_ = config_.total_power_budget_watts;
   session_ = ClusterReport{};
   cache_at_session_start_ = scheduler.decision_cache().stats();
+  memo_at_session_start_ = run_memo_.stats();
   energy_at_session_start_ = 0.0;
   clock_at_session_start_ = 0.0;
   turnaround_sum_ = 0.0;
@@ -178,11 +179,13 @@ void Cluster::drain_node(int n, double t, bool expect_completion,
   Node& node = *nodes_[static_cast<std::size_t>(n)];
   std::vector<Job> done = node.advance_to(t);
   if (done.empty() && expect_completion && !node.idle()) {
-    // The completion heap said a job is due by `t`, but floating-point
-    // residue left it with a sliver of work whose remaining time rounds
-    // below the clock's resolution — stepping can never clear it, so the
-    // due slot completes at the clock (the Exact core's eager per-event
-    // stepping resolves the same sliver as part of its next dt > 0 step).
+    // A completion was advertised as due by `t`, but floating-point residue
+    // left the slot with a sliver of work whose remaining time rounds below
+    // the clock's resolution — the node's step loop exits at dt == 0 and
+    // can never clear it, so the due slot completes at the node clock.
+    // Both cores need this: the Indexed core expects the completion its
+    // heap popped, the Exact core the node's advertised next-completion
+    // time. A fleet-scale overloaded shard first exposed the Exact wedge.
     done.push_back(node.finish_head_slot());
   }
   for (Job& job : done) {
@@ -218,10 +221,14 @@ std::vector<Job> Cluster::advance_to(double t, CoScheduler& scheduler) {
   std::vector<Job> finished;
   if (config_.event_core == EventCore::Exact) {
     // Step every node to t (idle nodes accrue idle power): the original
-    // integration order the checked-in baselines pin.
+    // integration order the checked-in baselines pin. A node whose
+    // advertised completion is due by `t` must deliver it — see the sliver
+    // note in drain_node; without the expectation a sub-ulp remainder
+    // freezes the node clock and the event loop spins forever.
     for (std::size_t n = 0; n < nodes_.size(); ++n)
-      drain_node(static_cast<int>(n), t, /*expect_completion=*/false,
-                 scheduler, finished);
+      drain_node(static_cast<int>(n), t,
+                 /*expect_completion=*/node_next_[n] <= t, scheduler,
+                 finished);
     return finished;
   }
   // Indexed: pop due completions in (time, node) order — equal-time
@@ -282,6 +289,9 @@ ClusterReport Cluster::report(const CoScheduler& scheduler) const {
   report.decision_cache_misses = cache.misses - cache_at_session_start_.misses;
   report.decision_cache_evictions =
       cache.evictions - cache_at_session_start_.evictions;
+  const RunMemo::Stats memo = run_memo_.stats();
+  report.run_memo_hits = memo.hits - memo_at_session_start_.hits;
+  report.run_memo_misses = memo.misses - memo_at_session_start_.misses;
   return report;
 }
 

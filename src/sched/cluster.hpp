@@ -89,6 +89,12 @@ struct ClusterReport {
   std::size_t decision_cache_hits = 0;
   std::size_t decision_cache_misses = 0;
   std::size_t decision_cache_evictions = 0;
+  /// Physics solves served from / paid into the session's RunMemo (deltas
+  /// of its monotonic counters) — how much of the execution-engine work the
+  /// memo absorbed. hits / (hits + misses) is the memoization efficacy the
+  /// fleet benches surface.
+  std::size_t run_memo_hits = 0;
+  std::size_t run_memo_misses = 0;
   double mean_turnaround = 0.0;
   /// Highest sum of concurrently active node caps observed (<= the budget
   /// whenever one is configured).
@@ -143,6 +149,13 @@ class Cluster {
   std::size_t queued_count() const noexcept { return queue_.size(); }
   /// Jobs resident on nodes right now (maintained incrementally — O(1)).
   std::size_t running_count() const noexcept { return running_jobs_; }
+  /// Sum of Job::work_units waiting in the queue — the backlog signal an
+  /// admission router consults when spreading load across clusters
+  /// (trace::FleetRouter models it open-loop; a live router would read this
+  /// directly). Maintained by the queue on push/pop — O(1).
+  double queued_work_units() const noexcept {
+    return queue_.total_work_units();
+  }
   const JobQueue& queue() const noexcept { return queue_; }
 
   /// Statistics accumulated since begin_session (makespan from node clocks,
@@ -179,6 +192,7 @@ class Cluster {
   std::optional<double> budget_;
   ClusterReport session_;
   DecisionCache::Stats cache_at_session_start_;
+  RunMemo::Stats memo_at_session_start_;
   double energy_at_session_start_ = 0.0;
   double clock_at_session_start_ = 0.0;
   double turnaround_sum_ = 0.0;  ///< accumulated in completion order

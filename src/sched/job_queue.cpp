@@ -14,6 +14,7 @@ void JobQueue::push(Job job) {
   const std::size_t index =
       static_cast<std::size_t>(std::distance(jobs_.begin(), it));
   const bool ready = job.submit_time <= ready_now_;
+  total_work_units_ += job.work_units;
   jobs_.insert(it, std::move(job));
   if (!ready_valid_) return;
   // Incremental prefix maintenance: an insertion inside the prefix either
@@ -45,6 +46,8 @@ Job JobQueue::pop_front() {
   MIGOPT_REQUIRE(!jobs_.empty(), "pop from empty queue");
   Job job = std::move(jobs_.front());
   jobs_.pop_front();
+  total_work_units_ -= job.work_units;
+  if (jobs_.empty()) total_work_units_ = 0.0;  // cancel residual FP drift
   if (ready_valid_) {
     if (ready_count_ > 0)
       --ready_count_;
@@ -59,6 +62,8 @@ Job JobQueue::pop_at(std::size_t index) {
   MIGOPT_REQUIRE(index < jobs_.size(), "pop_at beyond queue size");
   Job job = std::move(jobs_[index]);
   jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(index));
+  total_work_units_ -= job.work_units;
+  if (jobs_.empty()) total_work_units_ = 0.0;  // cancel residual FP drift
   if (ready_valid_) {
     if (index < ready_count_)
       --ready_count_;

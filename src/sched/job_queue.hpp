@@ -43,6 +43,12 @@ class JobQueue {
   /// out of order).
   Job pop_at(std::size_t index);
 
+  /// Sum of Job::work_units across queued jobs — the O(1) backlog signal an
+  /// admission layer reads (see sched::Cluster::queued_work_units).
+  /// Maintained as a running add/subtract, so it is a load estimate, not a
+  /// bit-exact re-summation; nothing schedules off it.
+  double total_work_units() const noexcept { return total_work_units_; }
+
   /// Length of the queue-order *prefix* of jobs submitted at or before
   /// `now` — the slots the scheduler may peek/pop this round. A queued job
   /// with a future submit time gates everything ordered behind it (strict
@@ -56,6 +62,7 @@ class JobQueue {
   void extend_ready_prefix() const noexcept;
 
   std::deque<Job> jobs_;
+  double total_work_units_ = 0.0;
 
   // Cached ready prefix: valid means ready_count_ is the prefix length for
   // clock ready_now_. push/pop keep it consistent or drop it (see .cpp).

@@ -31,6 +31,14 @@ namespace migopt::sched {
 
 class RunMemo {
  public:
+  /// Monotonic probe counters (a hit serves a stored solve, a miss pays a
+  /// fresh one). Never reset — owners snapshot them at session start and
+  /// report deltas, exactly like DecisionCache::Stats.
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+  };
+
   struct Key {
     const gpusim::KernelDescriptor* kernel1 = nullptr;
     const gpusim::KernelDescriptor* kernel2 = nullptr;  ///< null for solo
@@ -48,15 +56,21 @@ class RunMemo {
   template <typename Solve>
   const gpusim::RunResult& get_or_solve(const Key& key, Solve&& solve) {
     const auto it = entries_.find(key);
-    if (it != entries_.end()) return it->second;
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
     // Epoch reset instead of LRU: the key space of a real replay is tiny
     // (apps x caps x shapes), so the bound only guards pathological drivers.
     if (entries_.size() >= kMaxEntries) entries_.clear();
     return entries_.emplace(key, solve()).first->second;
   }
 
+  /// Drops the entries, not the counters (they count across sessions).
   void clear() noexcept { entries_.clear(); }
   std::size_t size() const noexcept { return entries_.size(); }
+  const Stats& stats() const noexcept { return stats_; }
 
  private:
   static constexpr std::size_t kMaxEntries = 1 << 16;
@@ -78,6 +92,7 @@ class RunMemo {
   };
 
   std::unordered_map<Key, gpusim::RunResult, KeyHash> entries_;
+  Stats stats_;
 };
 
 }  // namespace migopt::sched

@@ -1,0 +1,381 @@
+#include "trace/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include <time.h>  // clock_gettime(CLOCK_MONOTONIC) — POSIX
+
+#include "common/assert.hpp"
+#include "common/hash_mix.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "workloads/corun_pairs.hpp"
+
+namespace migopt::trace {
+
+namespace {
+
+/// FNV-1a over the tenant name: the affinity hash must be stable across
+/// platforms and standard libraries (std::hash is not), because the shard
+/// assignment feeds exact-gated bench baselines.
+std::uint64_t fnv1a(const std::string& text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double monotonic_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e9 + static_cast<double>(ts.tv_nsec);
+}
+
+/// Completion-weighted mean that degenerates to an exact copy when a single
+/// source contributed: merging one cluster's mean back out of (mean * n) / n
+/// is not always bit-identical to the input, and the 1-cluster fleet must
+/// reproduce a standalone replay exactly.
+struct WeightedMean {
+  double weighted_sum = 0.0;
+  std::size_t count = 0;
+  std::size_t contributors = 0;
+  double last_mean = 0.0;
+
+  void add(double mean, std::size_t completions) {
+    if (completions == 0) return;
+    weighted_sum += mean * static_cast<double>(completions);
+    count += completions;
+    ++contributors;
+    last_mean = mean;
+  }
+  double value() const {
+    if (count == 0) return 0.0;
+    if (contributors == 1) return last_mean;
+    return weighted_sum / static_cast<double>(count);
+  }
+};
+
+}  // namespace
+
+std::optional<RouterPolicy> parse_router_policy(const std::string& name) {
+  if (name == "round-robin") return RouterPolicy::RoundRobin;
+  if (name == "affinity") return RouterPolicy::TenantAffinity;
+  if (name == "least-loaded") return RouterPolicy::LeastLoaded;
+  return std::nullopt;
+}
+
+const char* router_policy_name(RouterPolicy policy) noexcept {
+  switch (policy) {
+    case RouterPolicy::RoundRobin: return "round-robin";
+    case RouterPolicy::TenantAffinity: return "affinity";
+    case RouterPolicy::LeastLoaded: return "least-loaded";
+  }
+  return "?";
+}
+
+std::optional<PowerSplit> parse_power_split(const std::string& name) {
+  if (name == "uniform") return PowerSplit::Uniform;
+  if (name == "demand") return PowerSplit::DemandProportional;
+  return std::nullopt;
+}
+
+const char* power_split_name(PowerSplit split) noexcept {
+  switch (split) {
+    case PowerSplit::Uniform: return "uniform";
+    case PowerSplit::DemandProportional: return "demand";
+  }
+  return "?";
+}
+
+FleetRouter::FleetRouter(const RouterConfig& config, int cluster_count,
+                         int nodes_per_cluster)
+    : config_(config), nodes_per_cluster_(nodes_per_cluster) {
+  MIGOPT_REQUIRE(cluster_count >= 1, "fleet router needs at least one cluster");
+  MIGOPT_REQUIRE(nodes_per_cluster >= 1,
+                 "fleet router needs at least one node per cluster");
+  backlog_.assign(static_cast<std::size_t>(cluster_count), 0.0);
+  last_time_.assign(static_cast<std::size_t>(cluster_count), 0.0);
+  stats_.jobs_per_cluster.assign(static_cast<std::size_t>(cluster_count), 0);
+}
+
+void FleetRouter::decay(std::size_t cluster, double now_seconds) {
+  const double elapsed = now_seconds - last_time_[cluster];
+  if (elapsed > 0.0) {
+    backlog_[cluster] =
+        std::max(0.0, backlog_[cluster] - elapsed * nodes_per_cluster_);
+    last_time_[cluster] = now_seconds;
+  }
+}
+
+int FleetRouter::least_loaded(double now_seconds) {
+  int best = 0;
+  decay(0, now_seconds);
+  double best_backlog = backlog_[0];
+  for (std::size_t c = 1; c < backlog_.size(); ++c) {
+    decay(c, now_seconds);
+    if (backlog_[c] < best_backlog) {
+      best_backlog = backlog_[c];
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+double FleetRouter::estimated_delay_seconds(int cluster,
+                                            double now_seconds) const {
+  MIGOPT_REQUIRE(cluster >= 0 &&
+                     static_cast<std::size_t>(cluster) < backlog_.size(),
+                 "cluster index out of range");
+  const std::size_t c = static_cast<std::size_t>(cluster);
+  const double elapsed = std::max(0.0, now_seconds - last_time_[c]);
+  const double backlog =
+      std::max(0.0, backlog_[c] - elapsed * nodes_per_cluster_);
+  return backlog / nodes_per_cluster_;
+}
+
+int FleetRouter::route(std::uint64_t tenant_key, double now_seconds,
+                       double work_seconds) {
+  int chosen = 0;
+  switch (config_.policy) {
+    case RouterPolicy::RoundRobin:
+      chosen = static_cast<int>(round_robin_next_);
+      round_robin_next_ = (round_robin_next_ + 1) % backlog_.size();
+      break;
+    case RouterPolicy::TenantAffinity: {
+      chosen = static_cast<int>(hash_mix(config_.affinity_salt, tenant_key) %
+                                backlog_.size());
+      if (config_.spill_delay_seconds > 0.0) {
+        const std::size_t home = static_cast<std::size_t>(chosen);
+        decay(home, now_seconds);
+        if (backlog_[home] / nodes_per_cluster_ > config_.spill_delay_seconds) {
+          chosen = least_loaded(now_seconds);
+          if (static_cast<std::size_t>(chosen) != home) ++stats_.spills;
+        }
+      }
+      break;
+    }
+    case RouterPolicy::LeastLoaded:
+      chosen = least_loaded(now_seconds);
+      break;
+  }
+  const std::size_t c = static_cast<std::size_t>(chosen);
+  decay(c, now_seconds);
+  backlog_[c] += work_seconds;
+  ++stats_.decisions;
+  ++stats_.jobs_per_cluster[c];
+  return chosen;
+}
+
+std::vector<double> FleetRouter::split_budget(double watts, PowerSplit split,
+                                              double now_seconds) {
+  const std::size_t n = backlog_.size();
+  std::vector<double> shares(n, watts / static_cast<double>(n));
+  ++stats_.budget_splits;
+  if (split == PowerSplit::Uniform) return shares;
+
+  double total = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    decay(c, now_seconds);
+    total += backlog_[c];
+  }
+  if (total <= 0.0) return shares;  // idle fleet: uniform
+  // Every cluster keeps a quarter of its uniform share as a floor — an idle
+  // cluster must still afford its cheapest dispatch when work lands on it
+  // later (a share below the optimizer's cap grid would wedge the shard,
+  // which the stall detector reports loudly). The rest follows demand.
+  const double floor_share = 0.25 * watts / static_cast<double>(n);
+  const double distributable = watts - floor_share * static_cast<double>(n);
+  for (std::size_t c = 0; c < n; ++c)
+    shares[c] = floor_share + distributable * (backlog_[c] / total);
+  return shares;
+}
+
+FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
+  MIGOPT_REQUIRE(config_.cluster_count >= 1,
+                 "fleet needs at least one cluster");
+  MIGOPT_REQUIRE(config_.threads >= 1, "fleet needs at least one thread");
+  if (config_.fleet_power_budget_watts.has_value())
+    MIGOPT_REQUIRE(*config_.fleet_power_budget_watts > 0.0,
+                   "fleet power budget must be positive (omit it to leave "
+                   "clusters unconstrained)");
+}
+
+FleetEngine::ShardedTrace FleetEngine::route(const Trace& fleet_trace) const {
+  fleet_trace.validate();
+
+  RouterConfig router_config = config_.router;
+  if (router_config.affinity_salt == 0)
+    router_config.affinity_salt = stream_seed(config_.seed, 0xF1EE7ULL);
+  FleetRouter router(router_config, config_.cluster_count,
+                     config_.cluster.node_count);
+
+  ShardedTrace sharded;
+  sharded.shards.resize(static_cast<std::size_t>(config_.cluster_count));
+  for (Trace& shard : sharded.shards)
+    shard.events.reserve(fleet_trace.events.size() /
+                             static_cast<std::size_t>(config_.cluster_count) +
+                         4);
+
+  // Starting fleet contract: split before any arrival (empty backlogs make
+  // a demand split uniform) and stamped at t=0 in every shard.
+  if (config_.fleet_power_budget_watts.has_value()) {
+    const std::vector<double> shares = router.split_budget(
+        *config_.fleet_power_budget_watts, config_.power_split, 0.0);
+    for (std::size_t c = 0; c < sharded.shards.size(); ++c)
+      sharded.shards[c].events.push_back(TraceEvent::budget(0.0, shares[c]));
+  }
+
+  // Tenant names hash once per distinct tenant (ids are dense
+  // first-appearance symbols, so the key cache is a flat vector).
+  SymbolTable tenant_symbols;
+  std::vector<std::uint64_t> tenant_keys;
+
+  const bool timed = config_.measure_decision_latency;
+  std::vector<double> latency_ns;
+  if (timed) latency_ns.reserve(fleet_trace.job_count());
+
+  for (const TraceEvent& event : fleet_trace.events) {
+    if (event.kind == EventKind::JobArrival) {
+      const Symbol tenant = tenant_symbols.intern(event.tenant);
+      if (tenant >= tenant_keys.size())
+        tenant_keys.push_back(fnv1a(event.tenant));
+      const std::uint64_t key = tenant_keys[tenant];
+
+      int cluster = 0;
+      if (timed) {
+        const double start = monotonic_ns();
+        cluster = router.route(key, event.time_seconds, event.work_seconds);
+        latency_ns.push_back(monotonic_ns() - start);
+      } else {
+        cluster = router.route(key, event.time_seconds, event.work_seconds);
+      }
+      sharded.shards[static_cast<std::size_t>(cluster)].events.push_back(event);
+    } else if (event.budget_watts <= 0.0) {
+      // A lifted fleet budget lifts every cluster.
+      for (Trace& shard : sharded.shards) shard.events.push_back(event);
+    } else {
+      const std::vector<double> shares = router.split_budget(
+          event.budget_watts, config_.power_split, event.time_seconds);
+      for (std::size_t c = 0; c < sharded.shards.size(); ++c)
+        sharded.shards[c].events.push_back(
+            TraceEvent::budget(event.time_seconds, shares[c]));
+    }
+  }
+
+  sharded.router = router.stats();
+  if (timed && !latency_ns.empty()) {
+    RouterStats& stats = sharded.router;
+    stats.latency_samples = latency_ns.size();
+    double sum = 0.0;
+    for (const double ns : latency_ns) sum += ns;
+    stats.decision_mean_ns = sum / static_cast<double>(latency_ns.size());
+    const auto percentile = [&](double q) {
+      const std::size_t rank = std::min(
+          latency_ns.size() - 1,
+          static_cast<std::size_t>(q * static_cast<double>(latency_ns.size())));
+      std::nth_element(latency_ns.begin(),
+                       latency_ns.begin() + static_cast<std::ptrdiff_t>(rank),
+                       latency_ns.end());
+      return latency_ns[rank];
+    };
+    stats.decision_p50_ns = percentile(0.50);
+    stats.decision_p99_ns = percentile(0.99);
+  }
+  return sharded;
+}
+
+FleetReport FleetEngine::replay(const Trace& fleet_trace) const {
+  ShardedTrace sharded = route(fleet_trace);
+  const std::size_t clusters = sharded.shards.size();
+
+  FleetReport report;
+  report.router = std::move(sharded.router);
+  report.clusters.resize(clusters);
+  report.shard_seeds.resize(clusters);
+  for (std::size_t c = 0; c < clusters; ++c)
+    report.shard_seeds[c] = stream_seed(config_.seed, c);
+
+  // One fully private environment per shard — chip, registry, trained
+  // allocator, scheduler, cluster. Profile runs mutate the allocator and
+  // RunMemo/DecisionCache are session state, so sharing any of it across
+  // shards would couple their schedules (and race under threads). Results
+  // land in pre-sized slots and merge below in index order: any fan-out
+  // width is bit-identical to serial.
+  const auto replay_shard = [&](std::size_t c) {
+    gpusim::GpuChip chip;
+    const wl::WorkloadRegistry registry(chip.arch());
+    auto allocator =
+        core::ResourcePowerAllocator::train(chip, registry, wl::table8_pairs());
+    sched::CoScheduler scheduler(allocator, config_.policy, config_.tuning);
+    sched::Cluster cluster(config_.cluster);
+    report.clusters[c] = SimEngine(config_.sim).replay(
+        sharded.shards[c], registry, cluster, scheduler);
+  };
+  if (config_.threads > 1 && clusters > 1) {
+    ThreadPool pool(std::min(config_.threads, clusters));
+    pool.parallel_for(clusters, replay_shard);
+  } else {
+    for (std::size_t c = 0; c < clusters; ++c) replay_shard(c);
+  }
+
+  // Merge in cluster-index order (deterministic double addition order).
+  WeightedMean wait;
+  WeightedMean slowdown;
+  struct TenantMerge {
+    TenantStats stats;
+    WeightedMean wait;
+    WeightedMean slowdown;
+  };
+  std::map<std::string, TenantMerge> tenants;
+  for (const SimReport& sim : report.clusters) {
+    report.jobs_submitted += sim.jobs_submitted;
+    report.jobs_completed += sim.cluster.jobs_completed;
+    report.deadline_misses += sim.deadline_misses;
+    report.pair_dispatches += sim.cluster.pair_dispatches;
+    report.exclusive_dispatches += sim.cluster.exclusive_dispatches;
+    report.profile_runs += sim.cluster.profile_runs;
+    report.decision_cache_hits += sim.cluster.decision_cache_hits;
+    report.decision_cache_misses += sim.cluster.decision_cache_misses;
+    report.decision_cache_evictions += sim.cluster.decision_cache_evictions;
+    report.run_memo_hits += sim.cluster.run_memo_hits;
+    report.run_memo_misses += sim.cluster.run_memo_misses;
+    report.makespan_seconds =
+        std::max(report.makespan_seconds, sim.cluster.makespan_seconds);
+    report.total_energy_joules += sim.cluster.total_energy_joules;
+    report.peak_cap_sum_watts += sim.cluster.peak_cap_sum_watts;
+    report.peak_queue_depth =
+        std::max(report.peak_queue_depth, sim.peak_queue_depth);
+    wait.add(sim.mean_queue_wait_seconds, sim.cluster.jobs_completed);
+    slowdown.add(sim.mean_slowdown, sim.cluster.jobs_completed);
+    for (const TenantStats& tenant : sim.tenants) {
+      TenantMerge& merged = tenants[tenant.tenant];
+      merged.stats.tenant = tenant.tenant;
+      merged.stats.jobs_submitted += tenant.jobs_submitted;
+      merged.stats.jobs_completed += tenant.jobs_completed;
+      merged.stats.deadline_misses += tenant.deadline_misses;
+      merged.stats.work_seconds_submitted += tenant.work_seconds_submitted;
+      merged.wait.add(tenant.mean_queue_wait_seconds, tenant.jobs_completed);
+      merged.slowdown.add(tenant.mean_slowdown, tenant.jobs_completed);
+    }
+  }
+  report.mean_queue_wait_seconds = wait.value();
+  report.mean_slowdown = slowdown.value();
+  if (report.makespan_seconds > 0.0)
+    report.aggregate_jobs_per_hour =
+        3600.0 * static_cast<double>(report.jobs_completed) /
+        report.makespan_seconds;
+  report.tenants.reserve(tenants.size());
+  for (auto& [name, merged] : tenants) {
+    merged.stats.mean_queue_wait_seconds = merged.wait.value();
+    merged.stats.mean_slowdown = merged.slowdown.value();
+    report.tenants.push_back(std::move(merged.stats));
+  }
+  return report;
+}
+
+}  // namespace migopt::trace

@@ -1,0 +1,230 @@
+// migopt::trace fleet layer — N independent cluster sessions behind a
+// global admission router, replayed as data-parallel shards.
+//
+// A fleet trace is an ordinary Trace read at datacenter scope: arrivals are
+// jobs entering the *fleet*, budget events are the datacenter handing the
+// whole fleet a new power contract. The FleetRouter walks that stream once,
+// in time order, and turns it into N per-cluster shard traces: every
+// arrival is assigned to exactly one cluster by a pluggable placement
+// policy (tenant→cluster affinity hashing with optional least-loaded
+// spillover, pure least-loaded, round-robin baseline), and every fleet
+// budget event is split into per-cluster budget events (uniform or
+// demand-proportional against the router's load model).
+//
+// Routing runs before replay on purpose: placement decisions depend only on
+// the arrival stream and the router's deterministic open-loop load model
+// (per-cluster backlog of assigned solo work, drained at node capacity), so
+// the shards are fixed *data* once routing ends. FleetEngine then replays
+// them as truly independent SimEngine sessions — each shard owns its chip,
+// registry, allocator, scheduler, and cluster; nothing mutable is shared —
+// fanned out over a ThreadPool. Per-shard results land in pre-sized slots
+// and merge in cluster-index order, so any thread count is bit-identical to
+// serial. Per-shard seeds are derived SplitMix64 streams of the fleet seed
+// (common/rng stream_seed), recorded in the report so shard-local
+// stochastic components stay reproducible.
+//
+// The router is also where the fleet meets "millions of users": one
+// admission decision per arriving job, on the serving hot path. route() is
+// allocation-free after construction, and the engine can time every
+// decision (CLOCK_MONOTONIC) to report p50/p99 admission latency — a
+// wall-clock measurement that rides the warn-only timing band of
+// tools/bench_diff.py, never the exact gate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/interner.hpp"
+#include "core/policy.hpp"
+#include "sched/cluster.hpp"
+#include "trace/sim_engine.hpp"
+#include "trace/trace.hpp"
+
+namespace migopt::trace {
+
+enum class RouterPolicy {
+  RoundRobin,      ///< arrival order modulo cluster count (the baseline)
+  TenantAffinity,  ///< hash(tenant) → home cluster, optional spillover
+  LeastLoaded,     ///< smallest estimated backlog (ties → lowest index)
+};
+
+/// Parse "round-robin" / "affinity" / "least-loaded"; nullopt otherwise.
+std::optional<RouterPolicy> parse_router_policy(const std::string& name);
+const char* router_policy_name(RouterPolicy policy) noexcept;
+
+enum class PowerSplit {
+  Uniform,             ///< every cluster gets budget / cluster_count
+  DemandProportional,  ///< weighted by the router's backlog estimates
+};
+
+std::optional<PowerSplit> parse_power_split(const std::string& name);
+const char* power_split_name(PowerSplit split) noexcept;
+
+struct RouterConfig {
+  RouterPolicy policy = RouterPolicy::TenantAffinity;
+  /// TenantAffinity only: when the home cluster's estimated queueing delay
+  /// (backlog seconds per node) exceeds this, the job spills to the
+  /// least-loaded cluster instead. <= 0 disables spillover.
+  double spill_delay_seconds = 0.0;
+  /// Salt of the tenant→cluster hash. 0 lets FleetEngine derive one from
+  /// the fleet seed, so re-seeding a fleet reshuffles tenant homes.
+  std::uint64_t affinity_salt = 0;
+};
+
+struct RouterStats {
+  std::size_t decisions = 0;
+  std::size_t spills = 0;  ///< affinity decisions diverted by spillover
+  std::vector<std::size_t> jobs_per_cluster;
+  std::size_t budget_splits = 0;  ///< fleet budget events fanned out
+
+  // Admission-decision latency (nanoseconds of wall clock), filled only
+  // when FleetConfig::measure_decision_latency is on. Never compared by
+  // the determinism suite or the exact bench gate.
+  std::size_t latency_samples = 0;
+  double decision_p50_ns = 0.0;
+  double decision_p99_ns = 0.0;
+  double decision_mean_ns = 0.0;
+};
+
+/// The admission layer: assigns arriving jobs to clusters and splits fleet
+/// power budgets, against an open-loop load model — per-cluster backlog of
+/// assigned solo work-seconds, drained at `nodes_per_cluster` seconds of
+/// work per second of trace time (each node retires about one second of
+/// solo work per second). The model is deliberately replay-free: it makes
+/// routing a pure function of the arrival stream, which is what lets the
+/// shards replay in parallel afterwards.
+class FleetRouter {
+ public:
+  FleetRouter(const RouterConfig& config, int cluster_count,
+              int nodes_per_cluster);
+
+  int cluster_count() const noexcept {
+    return static_cast<int>(backlog_.size());
+  }
+
+  /// Route one arriving job; `tenant_key` is a stable hash of the tenant
+  /// name (FleetEngine computes it once per distinct tenant). Advances the
+  /// load model: the chosen cluster's backlog grows by `work_seconds`.
+  /// Deterministic and allocation-free.
+  int route(std::uint64_t tenant_key, double now_seconds, double work_seconds);
+
+  /// Split a fleet-level budget across clusters at `now`. Uniform gives
+  /// every cluster an equal share; DemandProportional floors every cluster
+  /// at a quarter of the uniform share (so an idle cluster can still afford
+  /// its cheapest dispatch when work arrives later) and splits the rest by
+  /// backlog weight — falling back to uniform when the fleet is idle.
+  /// Shares always sum to `watts`.
+  std::vector<double> split_budget(double watts, PowerSplit split,
+                                   double now_seconds);
+
+  /// Estimated queueing delay of `cluster` at `now`: backlog seconds of
+  /// solo work per node. The signal spillover and demand splitting consult.
+  double estimated_delay_seconds(int cluster, double now_seconds) const;
+
+  const RouterStats& stats() const noexcept { return stats_; }
+  RouterStats& mutable_stats() noexcept { return stats_; }
+
+ private:
+  /// Drain `cluster`'s backlog for the time elapsed since its last touch.
+  void decay(std::size_t cluster, double now_seconds);
+  /// Cluster with the smallest decayed backlog (ties → lowest index).
+  int least_loaded(double now_seconds);
+
+  RouterConfig config_;
+  double nodes_per_cluster_ = 1.0;
+  std::size_t round_robin_next_ = 0;
+  std::vector<double> backlog_;    ///< outstanding solo work-seconds
+  std::vector<double> last_time_;  ///< last decay clock per cluster
+  RouterStats stats_;
+};
+
+struct FleetConfig {
+  int cluster_count = 4;
+  /// Per-cluster shape: node count, event core, job-stats collection, and a
+  /// per-cluster starting power budget all pass through unchanged.
+  sched::ClusterConfig cluster;
+  RouterConfig router;
+  PowerSplit power_split = PowerSplit::Uniform;
+  /// Fleet-level starting power contract: split across clusters at t=0 (by
+  /// `power_split`; backlogs are empty, so the t=0 split is uniform) and
+  /// prepended to every shard as a budget event. Empty = per-cluster
+  /// configs stand alone.
+  std::optional<double> fleet_power_budget_watts;
+  /// Per-shard engine knobs (sim-time guard, sampling, interning).
+  SimConfig sim;
+  /// Scheduling policy and tuning every cluster runs (clusters are
+  /// homogeneous; heterogeneous fleets would lift these per-cluster).
+  core::Policy policy = core::Policy::problem1(250.0, 0.2);
+  sched::SchedulerTuning tuning;
+  /// Base of the per-shard SplitMix64 seed streams (and, when
+  /// router.affinity_salt is 0, of the affinity salt).
+  std::uint64_t seed = 0;
+  /// Shard-replay fan-out width; 1 replays serially. Any value produces
+  /// bit-identical reports.
+  std::size_t threads = 1;
+  /// Time every admission decision and report p50/p99 in RouterStats.
+  bool measure_decision_latency = false;
+};
+
+/// Merged fleet outcome: per-cluster SimReports plus aggregates folded in
+/// cluster-index order (so they are reproducible bit-for-bit for any thread
+/// count). Tenant statistics are re-merged across clusters by name.
+struct FleetReport {
+  std::vector<SimReport> clusters;
+  std::vector<std::uint64_t> shard_seeds;
+  RouterStats router;
+
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t pair_dispatches = 0;
+  std::size_t exclusive_dispatches = 0;
+  std::size_t profile_runs = 0;
+  std::size_t decision_cache_hits = 0;
+  std::size_t decision_cache_misses = 0;
+  std::size_t decision_cache_evictions = 0;
+  /// Summed sched::RunMemo counters — fleet-wide physics-memo efficacy.
+  std::size_t run_memo_hits = 0;
+  std::size_t run_memo_misses = 0;
+  double makespan_seconds = 0.0;       ///< max over clusters
+  double total_energy_joules = 0.0;    ///< sum
+  double peak_cap_sum_watts = 0.0;     ///< sum of per-cluster peaks
+  std::size_t peak_queue_depth = 0;    ///< max over clusters
+  double mean_queue_wait_seconds = 0.0;  ///< completion-weighted
+  double mean_slowdown = 0.0;            ///< completion-weighted
+  /// Completed jobs over the fleet makespan — the aggregate serving rate.
+  double aggregate_jobs_per_hour = 0.0;
+  std::vector<TenantStats> tenants;  ///< merged across clusters, by name
+};
+
+class FleetEngine {
+ public:
+  explicit FleetEngine(FleetConfig config);
+
+  const FleetConfig& config() const noexcept { return config_; }
+
+  struct ShardedTrace {
+    std::vector<Trace> shards;  ///< one per cluster, time order preserved
+    RouterStats router;
+  };
+
+  /// The admission pre-pass alone: route every arrival, split every budget
+  /// event, return the per-cluster shard traces plus router statistics
+  /// (with decision latency when configured). Serial and deterministic.
+  ShardedTrace route(const Trace& fleet_trace) const;
+
+  /// route() + replay every shard through its own SimEngine session
+  /// (chip, registry, trained allocator, scheduler, cluster — nothing
+  /// shared) over `config.threads` workers, then merge. Bit-identical for
+  /// any thread count. Throws ContractViolation wherever a single-cluster
+  /// replay would (unsorted trace, unknown app, stalled shard, ...).
+  FleetReport replay(const Trace& fleet_trace) const;
+
+ private:
+  FleetConfig config_;
+};
+
+}  // namespace migopt::trace

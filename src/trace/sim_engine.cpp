@@ -189,10 +189,29 @@ SimReport SimEngine::replay(const Trace& trace,
     if (!std::isfinite(t_next)) {
       // No future event of any kind: the replay is done — unless jobs are
       // still queued, which means nothing can ever release them (e.g. the
-      // final budget left the cluster unable to afford any cap).
-      MIGOPT_ENSURE(cluster.queued_count() == 0,
-                    "trace replay stalled: jobs queued but no future event "
-                    "can release them");
+      // final budget left the cluster unable to afford any cap). Name the
+      // wedged job in operator terms — app and tenant as submitted, not the
+      // interned ids — so the diagnosis starts from the trace line that
+      // produced it.
+      if (cluster.queued_count() != 0) {
+        const sched::Job& head = cluster.queue().front();
+        MIGOPT_ENSURE(head.id >= 0 &&
+                          static_cast<std::size_t>(head.id) < books.size(),
+                      "stalled replay with a job the engine never submitted");
+        const JobBook& book = books[static_cast<std::size_t>(head.id)];
+        const std::string tenant =
+            tenant_symbols.name(static_cast<Symbol>(book.tenant_index));
+        throw ContractViolation(
+            "trace replay stalled: " + std::to_string(cluster.queued_count()) +
+            " job(s) queued but no future event can release them; head job " +
+            std::to_string(head.id) + " (app '" + head.app + "', tenant '" +
+            tenant + "', submitted t=" + std::to_string(head.submit_time) +
+            "s) cannot dispatch" +
+            (cluster.power_budget().has_value()
+                 ? " under the standing power budget of " +
+                       std::to_string(*cluster.power_budget()) + " W"
+                 : ""));
+      }
       break;
     }
     MIGOPT_ENSURE(t_next <= config_.max_sim_seconds,

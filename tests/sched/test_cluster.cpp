@@ -330,6 +330,31 @@ TEST(Cluster, JobStatCollectionCanBeDisabled) {
   EXPECT_GT(report.mean_turnaround, 0.0);
 }
 
+TEST(Cluster, RunMemoCountersAreSessionDeltas) {
+  auto allocator = make_allocator();
+  ClusterConfig config;
+  config.node_count = 2;
+  Cluster cluster(config);
+
+  CoScheduler first_scheduler(allocator, core::Policy::problem1(250.0, 0.2));
+  const ClusterReport first = cluster.run(mixed_job_set(), first_scheduler);
+  // A nontrivial session pays its first physics solves into the memo and
+  // serves the repeats from it.
+  EXPECT_GT(first.run_memo_misses, 0u);
+
+  // Replay the identical batch in a second session (submit times pushed past
+  // the node clocks, fresh scheduler so the decision trajectory repeats).
+  // begin_session cleared the memo, so the schedule re-pays the same solves
+  // — and because the counters are session deltas, not lifetime totals, the
+  // second report matches the first instead of doubling.
+  std::vector<Job> shifted = mixed_job_set();
+  for (Job& job : shifted) job.submit_time = first.makespan_seconds + 1.0;
+  CoScheduler second_scheduler(allocator, core::Policy::problem1(250.0, 0.2));
+  const ClusterReport second = cluster.run(std::move(shifted), second_scheduler);
+  EXPECT_EQ(second.run_memo_misses, first.run_memo_misses);
+  EXPECT_EQ(second.run_memo_hits, first.run_memo_hits);
+}
+
 TEST(Cluster, BudgetBelowCheapestDispatchRejected) {
   auto allocator = make_allocator();
   CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));

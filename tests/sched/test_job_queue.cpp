@@ -105,6 +105,25 @@ TEST(JobQueue, NegativePrioritySinksBehindDefault) {
   EXPECT_EQ(queue.pop_front().id, 2);
 }
 
+// The fleet router's load model polls this per admission decision, so it is
+// a running O(1) total — verify it tracks every mutation path exactly.
+TEST(JobQueue, TotalWorkUnitsTracksPushesAndPops) {
+  JobQueue queue;
+  EXPECT_DOUBLE_EQ(queue.total_work_units(), 0.0);
+  queue.push(make_job(0, "sgemm"));   // 100 wu each (make_job default)
+  queue.push(make_job(1, "stream"));
+  queue.push(make_job(2, "kmeans"));
+  EXPECT_DOUBLE_EQ(queue.total_work_units(), 300.0);
+  queue.pop_front();
+  EXPECT_DOUBLE_EQ(queue.total_work_units(), 200.0);
+  queue.pop_at(1);  // removes the mid-queue job, not just the head
+  EXPECT_DOUBLE_EQ(queue.total_work_units(), 100.0);
+  // Draining the queue resets the total to exactly zero — no FP residue
+  // accumulates across sessions.
+  queue.pop_front();
+  EXPECT_EQ(queue.total_work_units(), 0.0);
+}
+
 TEST(JobQueue, ReadyCountHonorsSubmitTimes) {
   JobQueue queue;
   queue.push(make_job(0, "sgemm", 0.0));

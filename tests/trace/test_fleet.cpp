@@ -1,0 +1,367 @@
+#include "trace/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+#include "trace/generator.hpp"
+
+namespace migopt::trace {
+namespace {
+
+Trace fleet_trace(std::size_t jobs, std::uint64_t seed, int tenants = 6) {
+  ArrivalConfig config;
+  config.jobs = jobs;
+  config.arrival_rate_hz = 0.5;
+  config.tenant_count = tenants;
+  return make_arrival_trace(config, test::shared_registry().names(), seed);
+}
+
+FleetConfig small_fleet(int clusters, int nodes) {
+  FleetConfig config;
+  config.cluster_count = clusters;
+  config.cluster.node_count = nodes;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// FleetRouter unit tests — the load model and each placement policy, driven
+// directly so the expectations are exact.
+// ---------------------------------------------------------------------------
+
+TEST(FleetRouter, RoundRobinCyclesClusters) {
+  RouterConfig config;
+  config.policy = RouterPolicy::RoundRobin;
+  FleetRouter router(config, 4, 2);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(router.route(/*tenant_key=*/99, /*now=*/0.0, 1.0), i % 4);
+  EXPECT_EQ(router.stats().decisions, 8u);
+  for (std::size_t jobs : router.stats().jobs_per_cluster)
+    EXPECT_EQ(jobs, 2u);
+}
+
+TEST(FleetRouter, AffinityIsStablePerTenantKey) {
+  RouterConfig config;
+  config.policy = RouterPolicy::TenantAffinity;
+  config.affinity_salt = 7;
+  FleetRouter router(config, 8, 2);
+  for (std::uint64_t key : {1ull, 42ull, 0xdeadbeefull}) {
+    const int home = router.route(key, 0.0, 1.0);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(router.route(key, 0.0, 1.0), home);
+  }
+  EXPECT_EQ(router.stats().spills, 0u);
+}
+
+TEST(FleetRouter, AffinitySpillsWhenHomeDelayExceedsThreshold) {
+  RouterConfig config;
+  config.policy = RouterPolicy::TenantAffinity;
+  config.affinity_salt = 7;
+  config.spill_delay_seconds = 10.0;
+  FleetRouter router(config, 4, 1);
+  const int home = router.route(5, 0.0, 20.0);  // backlog was 0 → no spill
+  EXPECT_EQ(router.stats().spills, 0u);
+  // Home now carries 20 s of backlog on 1 node: 20 s delay > 10 s threshold,
+  // so the same tenant spills to the least-loaded cluster.
+  const int spilled = router.route(5, 0.0, 20.0);
+  EXPECT_NE(spilled, home);
+  EXPECT_EQ(router.stats().spills, 1u);
+}
+
+TEST(FleetRouter, LeastLoadedPicksSmallestBacklog) {
+  RouterConfig config;
+  config.policy = RouterPolicy::LeastLoaded;
+  FleetRouter router(config, 3, 1);
+  // Each decision lands on the emptiest cluster; ties break to lowest index.
+  EXPECT_EQ(router.route(0, 0.0, 5.0), 0);
+  EXPECT_EQ(router.route(0, 0.0, 5.0), 1);
+  EXPECT_EQ(router.route(0, 0.0, 5.0), 2);
+  EXPECT_EQ(router.route(0, 0.0, 5.0), 0);
+}
+
+TEST(FleetRouter, BacklogDrainsAtNodeCapacity) {
+  RouterConfig config;
+  config.policy = RouterPolicy::LeastLoaded;
+  FleetRouter router(config, 2, 2);
+  router.route(0, 0.0, 12.0);  // cluster 0: 12 s of work on 2 nodes
+  EXPECT_DOUBLE_EQ(router.estimated_delay_seconds(0, 0.0), 6.0);
+  // After 3 s the 2 nodes have retired 6 s of the work: 6 s left, 3 s delay.
+  EXPECT_DOUBLE_EQ(router.estimated_delay_seconds(0, 3.0), 3.0);
+  // Far in the future the backlog is fully drained, never negative.
+  EXPECT_DOUBLE_EQ(router.estimated_delay_seconds(0, 100.0), 0.0);
+}
+
+TEST(FleetRouter, UniformSplitSharesEqually) {
+  RouterConfig config;
+  FleetRouter router(config, 4, 2);
+  const auto shares = router.split_budget(1000.0, PowerSplit::Uniform, 0.0);
+  ASSERT_EQ(shares.size(), 4u);
+  for (double share : shares) EXPECT_DOUBLE_EQ(share, 250.0);
+  EXPECT_EQ(router.stats().budget_splits, 1u);
+}
+
+TEST(FleetRouter, DemandSplitFollowsBacklogAndSumsToBudget) {
+  RouterConfig config;
+  config.policy = RouterPolicy::LeastLoaded;
+  FleetRouter router(config, 4, 1);
+  router.route(0, 0.0, 100.0);  // all demand on cluster 0
+  const auto shares =
+      router.split_budget(1000.0, PowerSplit::DemandProportional, 0.0);
+  ASSERT_EQ(shares.size(), 4u);
+  // Idle clusters keep the floor — a quarter of the uniform share — and the
+  // loaded cluster absorbs everything else.
+  const double floor = 0.25 * 1000.0 / 4.0;
+  EXPECT_DOUBLE_EQ(shares[1], floor);
+  EXPECT_DOUBLE_EQ(shares[2], floor);
+  EXPECT_DOUBLE_EQ(shares[3], floor);
+  EXPECT_GT(shares[0], shares[1]);
+  EXPECT_DOUBLE_EQ(std::accumulate(shares.begin(), shares.end(), 0.0), 1000.0);
+}
+
+TEST(FleetRouter, DemandSplitOfIdleFleetIsUniform) {
+  RouterConfig config;
+  FleetRouter router(config, 5, 2);
+  const auto shares =
+      router.split_budget(500.0, PowerSplit::DemandProportional, 0.0);
+  for (double share : shares) EXPECT_DOUBLE_EQ(share, 100.0);
+}
+
+TEST(FleetRouter, PolicyAndSplitNamesRoundTrip) {
+  for (RouterPolicy policy : {RouterPolicy::RoundRobin,
+                              RouterPolicy::TenantAffinity,
+                              RouterPolicy::LeastLoaded})
+    EXPECT_EQ(parse_router_policy(router_policy_name(policy)), policy);
+  for (PowerSplit split :
+       {PowerSplit::Uniform, PowerSplit::DemandProportional})
+    EXPECT_EQ(parse_power_split(power_split_name(split)), split);
+  EXPECT_FALSE(parse_router_policy("banana").has_value());
+  EXPECT_FALSE(parse_power_split("banana").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// FleetEngine::route — the admission pre-pass as pure data.
+// ---------------------------------------------------------------------------
+
+TEST(FleetEngine, RoutePartitionsEveryArrivalExactlyOnce) {
+  const Trace trace = fleet_trace(300, 21);
+  FleetEngine engine(small_fleet(4, 2));
+  const auto sharded = engine.route(trace);
+  ASSERT_EQ(sharded.shards.size(), 4u);
+  std::size_t routed = 0;
+  for (const Trace& shard : sharded.shards) {
+    shard.validate();  // still time-ordered per shard
+    routed += shard.job_count();
+  }
+  EXPECT_EQ(routed, trace.job_count());
+  EXPECT_EQ(sharded.router.decisions, trace.job_count());
+  EXPECT_EQ(std::accumulate(sharded.router.jobs_per_cluster.begin(),
+                            sharded.router.jobs_per_cluster.end(),
+                            std::size_t{0}),
+            trace.job_count());
+}
+
+TEST(FleetEngine, FleetBudgetEventsFanOutToEveryShard) {
+  Trace trace;
+  trace.events.push_back(TraceEvent::budget(0.0, 400.0));
+  trace.events.push_back(TraceEvent::arrival(1.0, "t0", "sgemm", 10.0));
+  trace.events.push_back(TraceEvent::arrival(2.0, "t1", "stream", 10.0));
+  trace.events.push_back(TraceEvent::budget(5.0, 0.0));  // lift
+
+  FleetConfig config = small_fleet(2, 1);
+  config.router.policy = RouterPolicy::RoundRobin;
+  FleetEngine engine(config);
+  const auto sharded = engine.route(trace);
+  // Only the 400 W contract is *split*; the lift is a passthrough, not a
+  // fan-out of shares.
+  EXPECT_EQ(sharded.router.budget_splits, 1u);
+  for (const Trace& shard : sharded.shards) {
+    ASSERT_EQ(shard.budget_event_count(), 2u);
+    // The 400 W contract splits uniformly (the fleet is idle at t=0)...
+    EXPECT_DOUBLE_EQ(shard.events.front().budget_watts, 200.0);
+    // ...and the lift passes through to every cluster untouched.
+    EXPECT_LE(shard.events.back().budget_watts, 0.0);
+    EXPECT_DOUBLE_EQ(shard.events.back().time_seconds, 5.0);
+  }
+}
+
+TEST(FleetEngine, ConfiguredFleetBudgetIsPrependedAtTimeZero) {
+  const Trace trace = fleet_trace(40, 3);
+  FleetConfig config = small_fleet(4, 1);
+  config.fleet_power_budget_watts = 800.0;
+  FleetEngine engine(config);
+  const auto sharded = engine.route(trace);
+  for (const Trace& shard : sharded.shards) {
+    ASSERT_FALSE(shard.events.empty());
+    EXPECT_EQ(shard.events.front().kind, EventKind::PowerBudget);
+    EXPECT_DOUBLE_EQ(shard.events.front().time_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(shard.events.front().budget_watts, 200.0);
+  }
+}
+
+TEST(FleetEngine, DecisionLatencyIsRecordedOnlyWhenRequested) {
+  const Trace trace = fleet_trace(200, 9);
+  FleetConfig config = small_fleet(4, 2);
+  FleetEngine cold(config);
+  EXPECT_EQ(cold.route(trace).router.latency_samples, 0u);
+
+  config.measure_decision_latency = true;
+  FleetEngine timed(config);
+  const auto sharded = timed.route(trace);
+  EXPECT_EQ(sharded.router.latency_samples, trace.job_count());
+  EXPECT_GE(sharded.router.decision_p99_ns, sharded.router.decision_p50_ns);
+  EXPECT_GT(sharded.router.decision_mean_ns, 0.0);
+}
+
+TEST(FleetEngine, ConfigContracts) {
+  EXPECT_THROW(FleetEngine{small_fleet(0, 2)}, ContractViolation);
+  FleetConfig no_threads = small_fleet(2, 2);
+  no_threads.threads = 0;
+  EXPECT_THROW(FleetEngine{no_threads}, ContractViolation);
+  FleetConfig bad_budget = small_fleet(2, 2);
+  bad_budget.fleet_power_budget_watts = -5.0;
+  EXPECT_THROW(FleetEngine{bad_budget}, ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// FleetEngine::replay — determinism is the contract: any thread count is
+// bit-identical to serial, and a 1-cluster fleet is bit-identical to a
+// standalone SimEngine replay.
+// ---------------------------------------------------------------------------
+
+void expect_reports_identical(const FleetReport& a, const FleetReport& b) {
+  EXPECT_EQ(a.jobs_submitted, b.jobs_submitted);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.pair_dispatches, b.pair_dispatches);
+  EXPECT_EQ(a.exclusive_dispatches, b.exclusive_dispatches);
+  EXPECT_EQ(a.profile_runs, b.profile_runs);
+  EXPECT_EQ(a.decision_cache_hits, b.decision_cache_hits);
+  EXPECT_EQ(a.decision_cache_misses, b.decision_cache_misses);
+  EXPECT_EQ(a.run_memo_hits, b.run_memo_hits);
+  EXPECT_EQ(a.run_memo_misses, b.run_memo_misses);
+  EXPECT_EQ(a.peak_queue_depth, b.peak_queue_depth);
+  // Bit-exact doubles — the merge folds in cluster-index order regardless of
+  // which worker finished first, so == is the right comparison.
+  EXPECT_EQ(a.makespan_seconds, b.makespan_seconds);
+  EXPECT_EQ(a.total_energy_joules, b.total_energy_joules);
+  EXPECT_EQ(a.peak_cap_sum_watts, b.peak_cap_sum_watts);
+  EXPECT_EQ(a.mean_queue_wait_seconds, b.mean_queue_wait_seconds);
+  EXPECT_EQ(a.mean_slowdown, b.mean_slowdown);
+  EXPECT_EQ(a.aggregate_jobs_per_hour, b.aggregate_jobs_per_hour);
+  EXPECT_EQ(a.shard_seeds, b.shard_seeds);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t c = 0; c < a.clusters.size(); ++c) {
+    EXPECT_EQ(a.clusters[c].jobs_submitted, b.clusters[c].jobs_submitted);
+    EXPECT_EQ(a.clusters[c].cluster.makespan_seconds,
+              b.clusters[c].cluster.makespan_seconds);
+    EXPECT_EQ(a.clusters[c].cluster.total_energy_joules,
+              b.clusters[c].cluster.total_energy_joules);
+    EXPECT_EQ(a.clusters[c].mean_slowdown, b.clusters[c].mean_slowdown);
+  }
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+    EXPECT_EQ(a.tenants[i].tenant, b.tenants[i].tenant);
+    EXPECT_EQ(a.tenants[i].jobs_completed, b.tenants[i].jobs_completed);
+    EXPECT_EQ(a.tenants[i].mean_queue_wait_seconds,
+              b.tenants[i].mean_queue_wait_seconds);
+    EXPECT_EQ(a.tenants[i].mean_slowdown, b.tenants[i].mean_slowdown);
+  }
+}
+
+TEST(FleetEngine, ReplayIsBitIdenticalAcrossThreadCounts) {
+  const Trace trace = fleet_trace(240, 13);
+  FleetConfig config = small_fleet(4, 2);
+  config.router.policy = RouterPolicy::TenantAffinity;
+  config.router.spill_delay_seconds = 120.0;
+  config.fleet_power_budget_watts = 2000.0;
+  config.power_split = PowerSplit::DemandProportional;
+  config.seed = 77;
+
+  config.threads = 1;
+  const FleetReport serial = FleetEngine(config).replay(trace);
+  EXPECT_EQ(serial.jobs_completed, trace.job_count());
+
+  for (std::size_t threads : {4u, 16u}) {
+    config.threads = threads;
+    expect_reports_identical(serial, FleetEngine(config).replay(trace));
+  }
+}
+
+TEST(FleetEngine, OneClusterFleetMatchesStandaloneReplay) {
+  const Trace trace = fleet_trace(150, 5);
+  FleetConfig config = small_fleet(1, 4);
+  const FleetReport fleet = FleetEngine(config).replay(trace);
+
+  // The standalone side rebuilds exactly the environment each shard gets:
+  // a default chip, its registry, a table-8-trained allocator, and the
+  // fleet's policy/tuning.
+  gpusim::GpuChip chip;
+  const wl::WorkloadRegistry registry(chip.arch());
+  auto allocator =
+      core::ResourcePowerAllocator::train(chip, registry, wl::table8_pairs());
+  sched::CoScheduler scheduler(allocator, config.policy, config.tuning);
+  sched::Cluster cluster(config.cluster);
+  const SimReport solo =
+      SimEngine(config.sim).replay(trace, registry, cluster, scheduler);
+
+  ASSERT_EQ(fleet.clusters.size(), 1u);
+  EXPECT_EQ(fleet.jobs_completed, solo.cluster.jobs_completed);
+  EXPECT_EQ(fleet.makespan_seconds, solo.cluster.makespan_seconds);
+  EXPECT_EQ(fleet.total_energy_joules, solo.cluster.total_energy_joules);
+  EXPECT_EQ(fleet.pair_dispatches, solo.cluster.pair_dispatches);
+  EXPECT_EQ(fleet.mean_queue_wait_seconds, solo.mean_queue_wait_seconds);
+  EXPECT_EQ(fleet.mean_slowdown, solo.mean_slowdown);
+  EXPECT_EQ(fleet.aggregate_jobs_per_hour, solo.jobs_per_hour);
+  ASSERT_EQ(fleet.tenants.size(), solo.tenants.size());
+  for (std::size_t i = 0; i < solo.tenants.size(); ++i) {
+    EXPECT_EQ(fleet.tenants[i].tenant, solo.tenants[i].tenant);
+    EXPECT_EQ(fleet.tenants[i].mean_slowdown, solo.tenants[i].mean_slowdown);
+  }
+}
+
+TEST(FleetEngine, EmptyShardsAreHarmless) {
+  // One tenant under affinity: every job lands on one home cluster and the
+  // other shards replay empty traces.
+  const Trace trace = fleet_trace(60, 2, /*tenants=*/1);
+  FleetConfig config = small_fleet(4, 2);
+  config.router.policy = RouterPolicy::TenantAffinity;
+  config.router.affinity_salt = 3;
+  const FleetReport report = FleetEngine(config).replay(trace);
+  EXPECT_EQ(report.jobs_completed, trace.job_count());
+  std::size_t busy = 0;
+  for (const SimReport& shard : report.clusters)
+    busy += shard.jobs_submitted > 0 ? 1 : 0;
+  EXPECT_EQ(busy, 1u);
+}
+
+TEST(FleetEngine, ShardSeedsAreDistinctDerivedStreams) {
+  const Trace trace = fleet_trace(40, 4);
+  FleetConfig config = small_fleet(4, 2);
+  config.seed = 123;
+  const FleetReport report = FleetEngine(config).replay(trace);
+  ASSERT_EQ(report.shard_seeds.size(), 4u);
+  for (std::size_t c = 0; c < 4; ++c)
+    EXPECT_EQ(report.shard_seeds[c], stream_seed(123, c));
+}
+
+TEST(FleetEngine, RunMemoCountersSurfaceInTheMergedReport) {
+  const Trace trace = fleet_trace(120, 8);
+  const FleetReport report = FleetEngine(small_fleet(2, 2)).replay(trace);
+  // Every dispatch solves (or memo-hits) the partition physics at least
+  // once, so a nontrivial replay must touch the memo.
+  EXPECT_GT(report.run_memo_hits + report.run_memo_misses, 0u);
+  std::size_t hits = 0, misses = 0;
+  for (const SimReport& shard : report.clusters) {
+    hits += shard.cluster.run_memo_hits;
+    misses += shard.cluster.run_memo_misses;
+  }
+  EXPECT_EQ(report.run_memo_hits, hits);
+  EXPECT_EQ(report.run_memo_misses, misses);
+}
+
+}  // namespace
+}  // namespace migopt::trace

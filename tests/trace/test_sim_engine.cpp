@@ -139,6 +139,25 @@ TEST(SimEngine, StalledReplayFailsLoudly) {
   EXPECT_THROW(replay(trace, 2), ContractViolation);
 }
 
+TEST(SimEngine, StallDiagnosticsNameTheWedgedJob) {
+  // The stall message must speak in trace terms — app and tenant names and
+  // the standing budget — not interned ids, so the operator can find the
+  // offending trace line without a symbol table.
+  Trace trace;
+  trace.events.push_back(TraceEvent::budget(0.0, 50.0));
+  trace.events.push_back(TraceEvent::arrival(1.0, "acme-ml", "sgemm", 10.0));
+  try {
+    replay(trace, 2);
+    FAIL() << "stalled replay did not throw";
+  } catch (const ContractViolation& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("app 'sgemm'"), std::string::npos) << message;
+    EXPECT_NE(message.find("tenant 'acme-ml'"), std::string::npos) << message;
+    EXPECT_NE(message.find("power budget"), std::string::npos) << message;
+    EXPECT_NE(message.find("50.0"), std::string::npos) << message;
+  }
+}
+
 TEST(SimEngine, DeadlinesAreAccounted) {
   Trace trace;
   // Impossible 1 s deadline on a ~10 s job, then a comfortable one.
