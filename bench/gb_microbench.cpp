@@ -22,6 +22,7 @@
 #include "report/bench_env.hpp"
 #include "report/harness.hpp"
 #include "sched/coscheduler.hpp"
+#include "trace/fleet.hpp"
 #include "trace/presets.hpp"
 #include "trace/sim_engine.hpp"
 
@@ -316,6 +317,76 @@ void BM_TraceReplayExactCore(benchmark::State& state) {
 BENCHMARK(BM_TraceReplayExactCore)
     ->Arg(8)->Arg(32)->Arg(128)
     ->Unit(benchmark::kMillisecond);
+
+// Calendar (timer-wheel) core over the same sweep: bit-identical schedule to
+// Indexed, O(1) amortized insert/pop instead of O(log nodes) — the per-job
+// cost should track Indexed closely at 8 nodes and pull ahead as the
+// pending-completion set widens.
+void BM_TraceReplayCalendarCore(benchmark::State& state) {
+  replay_nodes_benchmark(state, sched::EventCore::Calendar);
+}
+BENCHMARK(BM_TraceReplayCalendarCore)
+    ->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+// The admission layer alone: FleetEngine::plan routes every arrival and
+// splits every budget event against the open-loop load model, without
+// replaying anything — the per-decision cost a serving frontend pays.
+void BM_FleetRoute(benchmark::State& state) {
+  const auto& env = report::Environment::get();
+  const int clusters = static_cast<int>(state.range(0));
+  constexpr std::size_t kRouteJobs = 20000;
+  trace::FleetConfig config;
+  config.cluster_count = clusters;
+  config.cluster.node_count = 8;
+  config.router.policy = trace::RouterPolicy::TenantAffinity;
+  config.router.spill_delay_seconds = 120.0;
+  config.fleet_power_budget_watts = 250.0 * 8 * clusters;
+  const trace::FleetEngine engine(config);
+  const trace::Trace fleet_trace = trace::make_regime_trace(
+      trace::ReplayRegime::Poisson, kRouteJobs, 8 * clusters, 7,
+      env.registry.names());
+  for (auto _ : state) {
+    const trace::RoutePlan plan = engine.plan(fleet_trace);
+    benchmark::DoNotOptimize(plan.router.decisions);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRouteJobs));
+}
+BENCHMARK(BM_FleetRoute)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// JobQueue steady-state churn at a standing depth: one push + one indexed
+// peek + one pop per iteration over the arena-backed SoA storage. The queue
+// holds ~256 jobs, so insertions walk the key column and pops shift the
+// order vector — the realistic mid-burst shape, not an empty-queue ping.
+void BM_JobQueueChurn(benchmark::State& state) {
+  const auto& env = report::Environment::get();
+  sched::Job job;
+  job.id = 0;
+  job.app = "sgemm";
+  job.kernel = &env.kernel("sgemm");
+  job.work_units = 100.0;
+  sched::JobQueue queue;
+  constexpr std::size_t kDepth = 256;
+  for (std::size_t i = 0; i < kDepth; ++i) {
+    job.id = static_cast<int>(i);
+    job.priority = static_cast<int>(i % 3);
+    job.submit_time = static_cast<double>(i);
+    queue.push(job);
+  }
+  double now = static_cast<double>(kDepth);
+  for (auto _ : state) {
+    job.id += 1;
+    job.priority = job.id % 3;
+    job.submit_time = now;
+    queue.push(job);
+    benchmark::DoNotOptimize(queue.ready_count(now));
+    benchmark::DoNotOptimize(queue.peek(queue.size() / 2).id);
+    benchmark::DoNotOptimize(queue.pop_front().id);
+    now += 1.0;
+  }
+}
+BENCHMARK(BM_JobQueueChurn);
 
 void BM_OfflineTrainingFullGrid(benchmark::State& state) {
   const auto& env = report::Environment::get();

@@ -30,6 +30,10 @@
 //                                      configuration (million-job traces in
 //                                      seconds; see README "Scaling the
 //                                      trace engine")
+//   --calendar-core                    same, through the Calendar (timer
+//                                      wheel) core — bit-identical schedule
+//                                      to --indexed-core, O(1) amortized
+//                                      completion bookkeeping
 //
 // Fleet flags (see README "Fleet-scale replay"): --clusters N > 1 reads the
 // trace at datacenter scope and replays it through trace::FleetEngine — N
@@ -75,6 +79,9 @@ struct ReplayConfig {
   std::string trace_path;  ///< optional save/re-load round-trip
   /// Indexed event core + no per-job stats: the million-job configuration.
   bool indexed_core = false;
+  /// Calendar (timer-wheel) core instead of the Indexed heap (same lazy
+  /// semantics, bit-identical schedule); implies no per-job stats too.
+  bool calendar_core = false;
 
   // Fleet mode (clusters > 1): the trace becomes a fleet trace routed
   // across `clusters` sessions of `num_nodes` nodes each.
@@ -100,8 +107,10 @@ report::ScenarioResult run_fleet_replay(const ReplayConfig& config,
   fleet.cluster_count = config.clusters;
   fleet.cluster.node_count = config.num_nodes;
   fleet.cluster.max_sim_seconds = 1.0e8;
-  if (config.indexed_core) {
-    fleet.cluster.event_core = sched::EventCore::Indexed;
+  if (config.indexed_core || config.calendar_core) {
+    fleet.cluster.event_core = config.calendar_core
+                                   ? sched::EventCore::Calendar
+                                   : sched::EventCore::Indexed;
     fleet.cluster.collect_job_stats = false;
   }
   fleet.router.policy = config.router;
@@ -125,7 +134,9 @@ report::ScenarioResult run_fleet_replay(const ReplayConfig& config,
                   trace::router_policy_name(config.router) + " router, " +
                   trace::regime_name(config.regime) + ", seed " +
                   std::to_string(config.seed) +
-                  (config.indexed_core ? ", indexed core" : "");
+                  (config.calendar_core  ? ", calendar core"
+                   : config.indexed_core ? ", indexed core"
+                                         : "");
   section.label_header = "cluster";
   section.columns = {"routed", "completed", "mean wait [s]", "mean slowdown",
                      "energy [MJ]"};
@@ -211,8 +222,10 @@ report::ScenarioResult run_replay(const ReplayConfig& config,
   sched::ClusterConfig cluster_config;
   cluster_config.node_count = config.num_nodes;
   cluster_config.max_sim_seconds = 1.0e8;
-  if (config.indexed_core) {
-    cluster_config.event_core = sched::EventCore::Indexed;
+  if (config.indexed_core || config.calendar_core) {
+    cluster_config.event_core = config.calendar_core
+                                    ? sched::EventCore::Calendar
+                                    : sched::EventCore::Indexed;
     cluster_config.collect_job_stats = false;
   }
   sched::Cluster cluster(cluster_config);
@@ -229,7 +242,9 @@ report::ScenarioResult run_replay(const ReplayConfig& config,
                   std::to_string(config.num_nodes) + " nodes, regime " +
                   trace::regime_name(config.regime) + ", seed " +
                   std::to_string(config.seed) +
-                  (config.indexed_core ? ", indexed core" : "");
+                  (config.calendar_core  ? ", calendar core"
+                   : config.indexed_core ? ", indexed core"
+                                         : "");
   section.label_header = "tenant";
   section.columns = {"submitted", "completed",      "work [s]",
                      "mean wait [s]", "mean slowdown", "deadline misses"};
@@ -310,6 +325,7 @@ int main(int argc, char** argv) {
   std::string split_flag;
   std::string fleet_budget_flag;
   bool indexed_core = false;
+  bool calendar_core = false;
   std::vector<char*> harness_argv = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -336,6 +352,10 @@ int main(int argc, char** argv) {
       indexed_core = true;
       continue;
     }
+    if (arg == "--calendar-core") {
+      calendar_core = true;
+      continue;
+    }
     harness_argv.push_back(argv[i]);
   }
 
@@ -346,6 +366,7 @@ int main(int argc, char** argv) {
 
   ReplayConfig config;
   config.indexed_core = indexed_core;
+  config.calendar_core = calendar_core;
   const auto parse_int = [](const std::string& text, const char* what,
                             double minimum, auto& out) {
     using Out = std::remove_reference_t<decltype(out)>;

@@ -1,0 +1,139 @@
+// Bump allocator with deterministic reset — backing store for per-session
+// hot-path containers (sched::JobQueue's job pool) whose steady state must
+// be allocation-free.
+//
+// Memory is carved from a chain of blocks by advancing a cursor; there is no
+// per-allocation bookkeeping and no free(). reset() rewinds the cursor to
+// the first block while keeping every block alive, so the next epoch reuses
+// the same memory: an identical allocation sequence after reset() returns
+// the identical addresses (the property the arena tests pin, and what makes
+// pointer-identity-based replay state reproducible across sessions).
+//
+// The arena does not run destructors — callers own object lifetimes
+// (placement-new in, destroy before reset/destruction when non-trivial).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace migopt {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {
+    MIGOPT_REQUIRE(block_bytes > 0, "arena block size must be positive");
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// Allocate `bytes` aligned to `align` (a power of two). Requests larger
+  /// than the block size get a dedicated block, chained like any other so
+  /// reset() replays them too.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    MIGOPT_REQUIRE(align != 0 && (align & (align - 1)) == 0,
+                   "arena alignment must be a power of two");
+    if (bytes == 0) bytes = 1;
+    while (block_ < blocks_.size()) {
+      const std::uintptr_t base =
+          reinterpret_cast<std::uintptr_t>(blocks_[block_].data.get());
+      const std::size_t aligned = align_up(offset_, base, align);
+      if (aligned + bytes <= blocks_[block_].bytes) {
+        offset_ = aligned + bytes;
+        bump_allocated(bytes);
+        return reinterpret_cast<void*>(base + aligned);
+      }
+      ++block_;
+      offset_ = 0;
+    }
+    // No existing block fits: append one (oversized requests get their own).
+    const std::size_t size = bytes + align > block_bytes_ ? bytes + align
+                                                          : block_bytes_;
+    blocks_.push_back({std::make_unique<std::byte[]>(size), size});
+    block_ = blocks_.size() - 1;
+    const std::uintptr_t base =
+        reinterpret_cast<std::uintptr_t>(blocks_[block_].data.get());
+    offset_ = align_up(0, base, align) + bytes;
+    bump_allocated(bytes);
+    return reinterpret_cast<void*>(base + offset_ - bytes);
+  }
+
+  /// Typed raw storage for `count` objects of T (no constructors run).
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Construct one T in arena storage. The caller destroys it (if T is not
+  /// trivially destructible) before reset()/arena destruction.
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    return ::new (allocate(sizeof(T), alignof(T)))
+        T(static_cast<Args&&>(args)...);
+  }
+
+  /// Rewind to the first block, keeping all blocks: the next epoch reuses
+  /// the same memory deterministically. Objects previously placed in the
+  /// arena must already be destroyed.
+  void reset() noexcept {
+    block_ = 0;
+    offset_ = 0;
+    bytes_allocated_ = 0;
+    ++resets_;
+  }
+
+  struct Stats {
+    std::size_t blocks = 0;
+    std::size_t reserved_bytes = 0;   ///< total capacity across blocks
+    std::size_t allocated_bytes = 0;  ///< handed out since the last reset
+    std::size_t high_water_bytes = 0; ///< peak allocated_bytes of any epoch
+    std::size_t resets = 0;
+  };
+
+  Stats stats() const noexcept {
+    Stats s;
+    s.blocks = blocks_.size();
+    for (const Block& b : blocks_) s.reserved_bytes += b.bytes;
+    s.allocated_bytes = bytes_allocated_;
+    s.high_water_bytes = high_water_;
+    s.resets = resets_;
+    return s;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t bytes = 0;
+  };
+
+  void bump_allocated(std::size_t bytes) noexcept {
+    bytes_allocated_ += bytes;
+    if (bytes_allocated_ > high_water_) high_water_ = bytes_allocated_;
+  }
+
+  static std::size_t align_up(std::size_t offset, std::uintptr_t base,
+                              std::size_t align) noexcept {
+    const std::uintptr_t address = base + offset;
+    const std::uintptr_t aligned = (address + align - 1) & ~(align - 1);
+    return static_cast<std::size_t>(aligned - base);
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   ///< cursor: block index
+  std::size_t offset_ = 0;  ///< cursor: offset within blocks_[block_]
+  std::size_t bytes_allocated_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t resets_ = 0;
+};
+
+}  // namespace migopt

@@ -46,6 +46,17 @@ Decision ResourcePowerAllocator::allocate(const std::string& app1,
   return allocate_profiles(profiles_.at(app1), profiles_.at(app2), policy);
 }
 
+Decision ResourcePowerAllocator::allocate(Symbol app1, Symbol app2,
+                                          const Policy& policy) const {
+  const prof::CounterSet* profile1 = profiles_.find_by_id(app1);
+  const prof::CounterSet* profile2 = profiles_.find_by_id(app2);
+  MIGOPT_REQUIRE(profile1 != nullptr,
+                 "no profile for app id: " + std::to_string(app1));
+  MIGOPT_REQUIRE(profile2 != nullptr,
+                 "no profile for app id: " + std::to_string(app2));
+  return allocate_profiles(*profile1, *profile2, policy);
+}
+
 Decision ResourcePowerAllocator::allocate_profiles(
     const prof::CounterSet& profile1, const prof::CounterSet& profile2,
     const Policy& policy) const {

@@ -59,6 +59,10 @@ class ResourcePowerAllocator {
   Decision allocate(const std::string& app1, const std::string& app2,
                     const Policy& policy) const;
 
+  /// Same, keyed by interned ids (from intern_app) — skips the string-keyed
+  /// profile lookups on the scheduler's decision path.
+  Decision allocate(Symbol app1, Symbol app2, const Policy& policy) const;
+
   /// Same, with explicit profiles (apps not in the database).
   Decision allocate_profiles(const prof::CounterSet& profile1,
                              const prof::CounterSet& profile2,

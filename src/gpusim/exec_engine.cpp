@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
+#include <utility>
 
 #include "common/assert.hpp"
 
@@ -17,9 +19,12 @@ constexpr int kBisectionIterations = 60;
 
 /// Proportional-share allocation of `pool` among demands with per-app caps:
 /// every app gets at most its demand; leftover capacity is redistributed
-/// proportionally among still-unsatisfied apps (water-filling).
-void water_fill(std::span<const double> demands, double pool,
-                std::span<double> grants) {
+/// proportionally among still-unsatisfied apps (water-filling). Forced
+/// inline: the fixed-point solver calls this twice per iteration, millions
+/// of times per replay, and the outlined call was measurable.
+[[gnu::always_inline]] inline void water_fill(std::span<const double> demands,
+                                              double pool,
+                                              std::span<double> grants) {
   const std::size_t n = demands.size();
   for (std::size_t i = 0; i < n; ++i) grants[i] = 0.0;
   double remaining = pool;
@@ -41,6 +46,49 @@ void water_fill(std::span<const double> demands, double pool,
     if (granted_this_round <= pool * 1e-12) break;
   }
 }
+
+/// water_fill with a single demand: round 0 offers the whole pool
+/// (need/unsatisfied_total == 1.0 exactly), grants min(demand, pool), and
+/// round 1 terminates — either satisfied or the pool is exhausted. Bit-
+/// identical to water_fill({want}, pool, {grant}).
+double water_fill_one(double want, double pool) {
+  if (!(want > 0.0) || !(pool > pool * 1e-12)) return 0.0;
+  return std::min(want, pool);
+}
+
+/// congestion^exponent of the latency-queueing term. The default exponent
+/// of 2.0 takes a single multiply instead of the libm call that otherwise
+/// sits in every solver iteration of a shared-domain pair: std::pow returns
+/// the correctly rounded square, which IS the multiply, so the result is
+/// bit-identical. Every solver path (solo/duo/general) funnels through this
+/// helper so they agree by construction.
+[[gnu::always_inline]] inline double congestion_pow(double congestion,
+                                                    double exponent) {
+  return exponent == 2.0 ? congestion * congestion
+                         : std::pow(congestion, exponent);
+}
+
+/// Per-thread scratch for steady_state: the solver sits inside bisection
+/// loops that call it hundreds of times per dispatch decision, so its a
+/// dozen work vectors are reused across calls (assign/resize keep capacity)
+/// instead of reallocated. thread_local because fleet replay fans shards
+/// out over a ThreadPool; the solver never recurses.
+struct SteadyScratch {
+  // Clock/GPC-dependent, iteration-invariant columns.
+  std::vector<double> t_comp, bw_issue, h_capacity;
+  std::vector<std::array<double, kPipeCount>> t_pipe;
+  // Fixed-point state.
+  std::vector<double> t, h_eff, l2_util, dram_util, dram_grant, lat_eff;
+  std::vector<double> dram_bytes, t_mem;
+  // Per-domain bandwidth negotiation buffers (prefixes sized per domain).
+  std::vector<double> want_dram, want_l2, grant_dram, grant_l2;
+  // (mem_domain, app index) pairs, stably sorted by domain: the same group
+  // iteration order as the std::map<int, vector> it replaced — domains
+  // ascending, members in placement order — so the floating-point
+  // accumulation order (and thus every result bit) is unchanged.
+  std::vector<std::pair<int, std::uint32_t>> domain_items;
+  std::vector<std::pair<std::size_t, std::size_t>> domain_ranges;
+};
 
 }  // namespace
 
@@ -69,18 +117,348 @@ void ExecEngine::validate_placements(std::span<const AppPlacement> apps) const {
                  "domain modules exceed chip modules");
 }
 
+RunResult ExecEngine::steady_state_solo(const AppPlacement& app,
+                                        double phi) const {
+  const double bw_total = arch_->hbm_bandwidth_total;
+  const double l2_bw_total = arch_->l2_bandwidth_total;
+  const KernelDescriptor& k = *app.kernel;
+
+  // Preamble — identical expressions to the general path's i-loop, with the
+  // co-runner footprint sum empty by construction.
+  const double partition_eff =
+      1.0 + arch_->small_partition_efficiency_boost *
+                (1.0 - static_cast<double>(app.gpcs) /
+                           static_cast<double>(arch_->total_gpcs));
+  std::array<double, kPipeCount> t_pipe;
+  double worst = 0.0;
+  for (std::size_t p = 0; p < kPipeCount; ++p) {
+    const double ops = k.pipe_ops[p];
+    if (ops <= 0.0) {
+      t_pipe[p] = 0.0;
+      continue;
+    }
+    const double rate = arch_->pipe_rate(static_cast<Pipe>(p), app.gpcs, phi) *
+                        k.pipe_efficiency * partition_eff;
+    t_pipe[p] = ops / rate;
+    worst = std::max(worst, t_pipe[p]);
+  }
+  const double t_comp = worst;
+  const double bw_issue = static_cast<double>(app.gpcs) *
+                          arch_->per_gpc_bw_issue_fraction *
+                          k.memory_parallelism * phi * bw_total;
+  double capacity_mb = arch_->l2_capacity_mb *
+                       static_cast<double>(app.domain_modules) /
+                       static_cast<double>(arch_->memory_modules);
+  const double fp = k.l2_footprint_mb;
+  double factor = 1.0;
+  if (fp > capacity_mb && fp > 0.0) factor = std::sqrt(capacity_mb / fp);
+  const double h_capacity = k.l2_hit_rate * factor;
+
+  // Iteration-invariant pieces of the fixed point. The interference pass
+  // over a one-member domain computes pressure = congestion = 0, so
+  // h_eff = h_capacity * (1 - kappa*0) == h_capacity bit-for-bit (and with
+  // it dram_bytes), while lat_eff settles after iteration 0 to the value
+  // below — pow(0, exponent) is kept verbatim so exponent <= 0 configs
+  // reproduce the general path's answer too.
+  const double h_eff = h_capacity;
+  const double db = k.dram_bytes(h_eff);
+  const double queueing =
+      std::min(arch_->congestion_latency_max,
+               arch_->congestion_latency_scale *
+                   congestion_pow(0.0, arch_->congestion_latency_exponent));
+  const double lat_after =
+      k.latency_seconds * (1.0 + k.latency_sensitivity * queueing);
+  const double module_frac = static_cast<double>(app.domain_modules) /
+                             static_cast<double>(arch_->memory_modules);
+  const double dram_pool = bw_total * module_frac;
+  const double l2_pool = l2_bw_total * module_frac;
+
+  double lat_eff = k.latency_seconds;
+  double t = std::max({t_comp, lat_eff, 1e-15});
+  double t_mem = 0.0;
+  double l2_util = 0.0;
+  double dram_util = 0.0;
+  for (int iter = 0; iter < kFixedPointIterations; ++iter) {
+    const double t_nomem = std::max({t_comp, lat_eff, 1e-15});
+    const double want_dram = std::min(db / t_nomem, bw_issue);
+    const double want_l2 = k.l2_bytes / t_nomem;
+    const double grant_dram = water_fill_one(want_dram, dram_pool);
+    const double grant_l2 = water_fill_one(want_l2, l2_pool);
+    double tm = 0.0;
+    if (db > 0.0 && grant_dram > 0.0)
+      tm = db / grant_dram;
+    else if (db > 0.0)
+      tm = db / (bw_total * 1e-9);  // starved: pathological
+    double tl2 = 0.0;
+    if (k.l2_bytes > 0.0 && grant_l2 > 0.0) tl2 = k.l2_bytes / grant_l2;
+    t_mem = std::max(tm, tl2);
+
+    const double t_new = std::max({t_comp, lat_eff, t_mem, 1e-15});
+    const double t_next = kDamping * t + (1.0 - kDamping) * t_new;
+    const double worst_change = std::abs(t_next - t) / t;
+    t = t_next;
+    l2_util = (k.l2_bytes / t) / l2_bw_total;
+    dram_util = (db / t) / bw_total;
+    lat_eff = lat_after;  // the single-member interference update
+    if (worst_change < kFixedPointTolerance && iter > 4) break;
+  }
+  (void)dram_util;  // tracked for parity; assembly recomputes from t
+
+  RunResult result;
+  result.clock_ratio = phi;
+  result.apps.resize(1);
+  AppResult& r = result.apps[0];
+  r.clock_ratio = phi;
+  r.seconds_per_wu = t;
+  for (std::size_t p = 0; p < kPipeCount; ++p)
+    r.pipe_util[p] = t_pipe[p] > 0.0 ? std::min(1.0, t_pipe[p] / t) : 0.0;
+  r.l2_util_chip = std::min(1.0, l2_util);
+  r.effective_l2_hit = h_eff;
+  r.achieved_dram_bw = db / t;
+  r.dram_util_chip = std::min(1.0, r.achieved_dram_bw / bw_total);
+  const double avail = std::min(bw_total * module_frac, bw_issue);
+  r.dram_util_avail =
+      avail > 0.0 ? std::min(1.0, r.achieved_dram_bw / avail) : 0.0;
+  if (t_comp >= t_mem && t_comp >= lat_eff)
+    r.bound = AppResult::Bound::Compute;
+  else if (t_mem >= lat_eff)
+    r.bound = AppResult::Bound::Memory;
+  else
+    r.bound = AppResult::Bound::Latency;
+  const std::span<const AppPlacement> apps(&app, 1);
+  r.instance_power_watts = app_power_of(apps, result, 0);
+  result.power_watts = power_of(apps, result);
+  return result;
+}
+
+RunResult ExecEngine::steady_state_duo(std::span<const AppPlacement> apps,
+                                       std::span<const double> phi) const {
+  const double bw_total = arch_->hbm_bandwidth_total;
+  const double l2_bw_total = arch_->l2_bandwidth_total;
+
+  // Preamble — the general path's per-app loop at n == 2.
+  std::array<double, 2> t_comp{}, bw_issue{}, h_capacity{};
+  std::array<std::array<double, kPipeCount>, 2> t_pipe;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const KernelDescriptor& k = *apps[i].kernel;
+    const double partition_eff =
+        1.0 + arch_->small_partition_efficiency_boost *
+                  (1.0 - static_cast<double>(apps[i].gpcs) /
+                             static_cast<double>(arch_->total_gpcs));
+    double worst = 0.0;
+    for (std::size_t p = 0; p < kPipeCount; ++p) {
+      const double ops = k.pipe_ops[p];
+      if (ops <= 0.0) {
+        t_pipe[i][p] = 0.0;
+        continue;
+      }
+      const double rate =
+          arch_->pipe_rate(static_cast<Pipe>(p), apps[i].gpcs, phi[i]) *
+          k.pipe_efficiency * partition_eff;
+      t_pipe[i][p] = ops / rate;
+      worst = std::max(worst, t_pipe[i][p]);
+    }
+    t_comp[i] = worst;
+    bw_issue[i] = static_cast<double>(apps[i].gpcs) *
+                  arch_->per_gpc_bw_issue_fraction * k.memory_parallelism *
+                  phi[i] * bw_total;
+
+    double capacity_mb = arch_->l2_capacity_mb *
+                         static_cast<double>(apps[i].domain_modules) /
+                         static_cast<double>(arch_->memory_modules);
+    double footprint_others = 0.0;
+    const std::size_t j = 1 - i;
+    if (apps[j].mem_domain == apps[i].mem_domain)
+      footprint_others += apps[j].kernel->l2_footprint_mb;
+    const double fp = k.l2_footprint_mb;
+    if (footprint_others > 0.0 && fp > 0.0)
+      capacity_mb *= fp / (fp + footprint_others);
+    double factor = 1.0;
+    if (fp > capacity_mb && fp > 0.0) factor = std::sqrt(capacity_mb / fp);
+    h_capacity[i] = k.l2_hit_rate * factor;
+  }
+
+  std::array<double, 2> t{}, l2_util{}, dram_util{}, dram_grant{}, lat_eff{};
+  std::array<double, 2> h_eff = h_capacity;
+  for (std::size_t i = 0; i < 2; ++i) {
+    lat_eff[i] = apps[i].kernel->latency_seconds;
+    t[i] = std::max({t_comp[i], lat_eff[i], 1e-15});
+  }
+
+  // Domain grouping is one comparison: either both apps share a domain
+  // (one two-member pool — the stable order keeps placement order [0, 1]),
+  // or two singleton domains walked in ascending-domain order — exactly the
+  // grouping the general path's stable sort produces.
+  const bool shared = apps[0].mem_domain == apps[1].mem_domain;
+  const std::size_t p0 = (!shared && apps[1].mem_domain < apps[0].mem_domain)
+                             ? std::size_t{1}
+                             : std::size_t{0};
+  const std::size_t p1 = 1 - p0;
+
+  // Private domains: the interference inputs are the empty co-runner sum in
+  // every iteration (pressure = min(1, 0), congestion = min(1, 0)), so the
+  // hit-rate and latency updates are iteration-invariant — hoisted out of
+  // the loop (same expressions, evaluated once; see steady_state_solo).
+  // h_eff stays h_capacity * (1 - kappa * 0) = h_capacity exactly.
+  std::array<double, 2> lat_settled{};
+  if (!shared) {
+    for (const std::size_t i : {p0, p1}) {
+      const double pressure = std::min(1.0, 0.0);
+      const double congestion = std::min(1.0, 0.0);
+      h_eff[i] =
+          h_capacity[i] * (1.0 - arch_->l2_interference_kappa * pressure);
+      const double queueing = std::min(
+          arch_->congestion_latency_max,
+          arch_->congestion_latency_scale *
+              congestion_pow(congestion, arch_->congestion_latency_exponent));
+      lat_settled[i] = apps[i].kernel->latency_seconds *
+                       (1.0 + apps[i].kernel->latency_sensitivity * queueing);
+    }
+  }
+
+  std::array<double, 2> dram_bytes{}, t_mem{};
+  for (int iter = 0; iter < kFixedPointIterations; ++iter) {
+    for (std::size_t i = 0; i < 2; ++i)
+      dram_bytes[i] = apps[i].kernel->dram_bytes(h_eff[i]);
+
+    if (shared) {
+      const double module_frac = static_cast<double>(apps[0].domain_modules) /
+                                 static_cast<double>(arch_->memory_modules);
+      const double dram_pool = bw_total * module_frac;
+      const double l2_pool = l2_bw_total * module_frac;
+      std::array<double, 2> want_dram, want_l2, grant_dram, grant_l2;
+      for (std::size_t i = 0; i < 2; ++i) {
+        const double t_nomem = std::max({t_comp[i], lat_eff[i], 1e-15});
+        want_dram[i] = std::min(dram_bytes[i] / t_nomem, bw_issue[i]);
+        want_l2[i] = apps[i].kernel->l2_bytes / t_nomem;
+      }
+      water_fill(want_dram, dram_pool, grant_dram);
+      water_fill(want_l2, l2_pool, grant_l2);
+      for (std::size_t i = 0; i < 2; ++i) {
+        dram_grant[i] = grant_dram[i];
+        double tm = 0.0;
+        if (dram_bytes[i] > 0.0 && grant_dram[i] > 0.0)
+          tm = dram_bytes[i] / grant_dram[i];
+        else if (dram_bytes[i] > 0.0)
+          tm = dram_bytes[i] / (bw_total * 1e-9);  // starved: pathological
+        double tl2 = 0.0;
+        if (apps[i].kernel->l2_bytes > 0.0 && grant_l2[i] > 0.0)
+          tl2 = apps[i].kernel->l2_bytes / grant_l2[i];
+        t_mem[i] = std::max(tm, tl2);
+      }
+    } else {
+      for (const std::size_t i : {p0, p1}) {
+        const double module_frac =
+            static_cast<double>(apps[i].domain_modules) /
+            static_cast<double>(arch_->memory_modules);
+        const double dram_pool = bw_total * module_frac;
+        const double l2_pool = l2_bw_total * module_frac;
+        const double t_nomem = std::max({t_comp[i], lat_eff[i], 1e-15});
+        const double want_dram = std::min(dram_bytes[i] / t_nomem, bw_issue[i]);
+        const double want_l2 = apps[i].kernel->l2_bytes / t_nomem;
+        const double grant_dram = water_fill_one(want_dram, dram_pool);
+        const double grant_l2 = water_fill_one(want_l2, l2_pool);
+        dram_grant[i] = grant_dram;
+        double tm = 0.0;
+        if (dram_bytes[i] > 0.0 && grant_dram > 0.0)
+          tm = dram_bytes[i] / grant_dram;
+        else if (dram_bytes[i] > 0.0)
+          tm = dram_bytes[i] / (bw_total * 1e-9);  // starved: pathological
+        double tl2 = 0.0;
+        if (apps[i].kernel->l2_bytes > 0.0 && grant_l2 > 0.0)
+          tl2 = apps[i].kernel->l2_bytes / grant_l2;
+        t_mem[i] = std::max(tm, tl2);
+      }
+    }
+
+    double worst_change = 0.0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      const double t_new = std::max({t_comp[i], lat_eff[i], t_mem[i], 1e-15});
+      const double t_next = kDamping * t[i] + (1.0 - kDamping) * t_new;
+      worst_change = std::max(worst_change, std::abs(t_next - t[i]) / t[i]);
+      t[i] = t_next;
+      l2_util[i] = (apps[i].kernel->l2_bytes / t[i]) / l2_bw_total;
+      dram_util[i] = (dram_bytes[i] / t[i]) / bw_total;
+    }
+
+    if (shared) {
+      for (std::size_t i = 0; i < 2; ++i) {
+        const std::size_t o = 1 - i;
+        const double pressure = std::min(1.0, 0.0 + l2_util[o]);
+        const double congestion =
+            std::min(1.0, 0.0 + (l2_util[o] + dram_util[o]));
+        h_eff[i] =
+            h_capacity[i] * (1.0 - arch_->l2_interference_kappa * pressure);
+        const double queueing = std::min(
+            arch_->congestion_latency_max,
+            arch_->congestion_latency_scale *
+                congestion_pow(congestion, arch_->congestion_latency_exponent));
+        lat_eff[i] = apps[i].kernel->latency_seconds *
+                     (1.0 + apps[i].kernel->latency_sensitivity * queueing);
+      }
+    } else {
+      lat_eff[0] = lat_settled[0];
+      lat_eff[1] = lat_settled[1];
+    }
+
+    if (worst_change < kFixedPointTolerance && iter > 4) break;
+  }
+
+  RunResult result;
+  result.clock_ratio = std::min(phi[0], phi[1]);
+  result.apps.resize(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    AppResult& r = result.apps[i];
+    r.clock_ratio = phi[i];
+    r.seconds_per_wu = t[i];
+    for (std::size_t p = 0; p < kPipeCount; ++p)
+      r.pipe_util[p] =
+          t_pipe[i][p] > 0.0 ? std::min(1.0, t_pipe[i][p] / t[i]) : 0.0;
+    r.l2_util_chip = std::min(1.0, l2_util[i]);
+    r.effective_l2_hit = h_eff[i];
+    r.achieved_dram_bw = dram_bytes[i] / t[i];
+    r.dram_util_chip = std::min(1.0, r.achieved_dram_bw / bw_total);
+    const double module_frac = static_cast<double>(apps[i].domain_modules) /
+                               static_cast<double>(arch_->memory_modules);
+    const double avail = std::min(bw_total * module_frac, bw_issue[i]);
+    r.dram_util_avail =
+        avail > 0.0 ? std::min(1.0, r.achieved_dram_bw / avail) : 0.0;
+
+    const double lat = lat_eff[i];
+    if (t_comp[i] >= t_mem[i] && t_comp[i] >= lat)
+      r.bound = AppResult::Bound::Compute;
+    else if (t_mem[i] >= lat)
+      r.bound = AppResult::Bound::Memory;
+    else
+      r.bound = AppResult::Bound::Latency;
+  }
+  for (std::size_t i = 0; i < 2; ++i)
+    result.apps[i].instance_power_watts = app_power_of(apps, result, i);
+  result.power_watts = power_of(apps, result);
+  return result;
+}
+
 RunResult ExecEngine::steady_state(std::span<const AppPlacement> apps,
                                    std::span<const double> phi) const {
   const std::size_t n = apps.size();
   MIGOPT_REQUIRE(phi.size() == n, "per-app clock count mismatch");
+  if (n == 1) return steady_state_solo(apps[0], phi[0]);
+  if (n == 2) return steady_state_duo(apps, phi);
   const double bw_total = arch_->hbm_bandwidth_total;
   const double l2_bw_total = arch_->l2_bandwidth_total;
 
+  static thread_local SteadyScratch scratch;
+  SteadyScratch& s = scratch;
+
   // Clock/GPC-dependent, iteration-invariant quantities.
-  std::vector<double> t_comp(n, 0.0);
-  std::vector<std::array<double, kPipeCount>> t_pipe(n);
-  std::vector<double> bw_issue(n, 0.0);
-  std::vector<double> h_capacity(n, 0.0);  // hit rate after capacity pressure
+  std::vector<double>& t_comp = s.t_comp;
+  t_comp.assign(n, 0.0);
+  std::vector<std::array<double, kPipeCount>>& t_pipe = s.t_pipe;
+  t_pipe.resize(n);  // fully overwritten below
+  std::vector<double>& bw_issue = s.bw_issue;
+  bw_issue.assign(n, 0.0);
+  std::vector<double>& h_capacity = s.h_capacity;  // hit rate after capacity
+  h_capacity.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     const KernelDescriptor& k = *apps[i].kernel;
     // Small partitions get proportionally more LLC and warp-scheduler
@@ -126,50 +504,92 @@ RunResult ExecEngine::steady_state(std::span<const AppPlacement> apps,
 
   // Fixed point over runtimes, hit rates, latency inflation and bandwidth
   // shares.
-  std::vector<double> t(n, 0.0);
-  std::vector<double> h_eff = h_capacity;
-  std::vector<double> l2_util(n, 0.0);
-  std::vector<double> dram_util(n, 0.0);
-  std::vector<double> dram_grant(n, 0.0);
-  std::vector<double> lat_eff(n, 0.0);
+  std::vector<double>& t = s.t;
+  t.assign(n, 0.0);
+  std::vector<double>& h_eff = s.h_eff;
+  h_eff = h_capacity;
+  std::vector<double>& l2_util = s.l2_util;
+  l2_util.assign(n, 0.0);
+  std::vector<double>& dram_util = s.dram_util;
+  dram_util.assign(n, 0.0);
+  std::vector<double>& dram_grant = s.dram_grant;
+  dram_grant.assign(n, 0.0);
+  std::vector<double>& lat_eff = s.lat_eff;
+  lat_eff.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     lat_eff[i] = apps[i].kernel->latency_seconds;
     t[i] = std::max({t_comp[i], lat_eff[i], 1e-15});
   }
 
-  // Group apps by memory domain once.
-  std::map<int, std::vector<std::size_t>> domains;
-  for (std::size_t i = 0; i < n; ++i) domains[apps[i].mem_domain].push_back(i);
+  // Group apps by memory domain once: (domain, index) pairs stably sorted
+  // by domain walk groups in ascending-domain order with members in
+  // placement order — exactly the map-based grouping's iteration order.
+  s.domain_items.clear();
+  for (std::size_t i = 0; i < n; ++i)
+    s.domain_items.emplace_back(apps[i].mem_domain,
+                                static_cast<std::uint32_t>(i));
+  // Stable insertion sort: placement counts are tiny (a handful of apps),
+  // and a stable sort's output is unique, so this reproduces the exact
+  // grouping order std::stable_sort (and the std::map before it) yielded
+  // without the library sort's merge-buffer machinery per solver call.
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto item = s.domain_items[i];
+    std::size_t j = i;
+    for (; j > 0 && item.first < s.domain_items[j - 1].first; --j)
+      s.domain_items[j] = s.domain_items[j - 1];
+    s.domain_items[j] = item;
+  }
+  s.domain_ranges.clear();
+  for (std::size_t lo = 0; lo < n;) {
+    std::size_t hi = lo + 1;
+    while (hi < n && s.domain_items[hi].first == s.domain_items[lo].first)
+      ++hi;
+    s.domain_ranges.emplace_back(lo, hi);
+    lo = hi;
+  }
+  const auto member = [&s](std::size_t lo, std::size_t m) {
+    return static_cast<std::size_t>(s.domain_items[lo + m].second);
+  };
 
-  std::vector<double> dram_bytes(n, 0.0);
-  std::vector<double> t_mem(n, 0.0);
+  std::vector<double>& dram_bytes = s.dram_bytes;
+  dram_bytes.assign(n, 0.0);
+  std::vector<double>& t_mem = s.t_mem;
+  t_mem.assign(n, 0.0);
+  // Bandwidth-negotiation buffers, sized once for the widest domain; each
+  // domain uses the leading prefix (fully rewritten per domain, so no
+  // cross-domain state leaks).
+  s.want_dram.resize(n);
+  s.want_l2.resize(n);
+  s.grant_dram.resize(n);
+  s.grant_l2.resize(n);
   for (int iter = 0; iter < kFixedPointIterations; ++iter) {
     for (std::size_t i = 0; i < n; ++i)
       dram_bytes[i] = apps[i].kernel->dram_bytes(h_eff[i]);
 
     // Per-domain bandwidth allocation (DRAM and LLC pools).
-    for (const auto& [domain, members] : domains) {
+    for (const auto& [lo, hi] : s.domain_ranges) {
+      const std::size_t count = hi - lo;
       const double module_frac =
-          static_cast<double>(apps[members.front()].domain_modules) /
+          static_cast<double>(apps[member(lo, 0)].domain_modules) /
           static_cast<double>(arch_->memory_modules);
       const double dram_pool = bw_total * module_frac;
       const double l2_pool = l2_bw_total * module_frac;
 
-      std::vector<double> want_dram(members.size(), 0.0);
-      std::vector<double> want_l2(members.size(), 0.0);
-      for (std::size_t m = 0; m < members.size(); ++m) {
-        const std::size_t i = members[m];
+      const std::span<double> want_dram(s.want_dram.data(), count);
+      const std::span<double> want_l2(s.want_l2.data(), count);
+      for (std::size_t m = 0; m < count; ++m) {
+        const std::size_t i = member(lo, m);
         const double t_nomem = std::max({t_comp[i], lat_eff[i], 1e-15});
         want_dram[m] = std::min(dram_bytes[i] / t_nomem, bw_issue[i]);
         want_l2[m] = apps[i].kernel->l2_bytes / t_nomem;
       }
-      std::vector<double> grant_dram(members.size(), 0.0);
-      std::vector<double> grant_l2(members.size(), 0.0);
+      const std::span<double> grant_dram(s.grant_dram.data(), count);
+      const std::span<double> grant_l2(s.grant_l2.data(), count);
       water_fill(want_dram, dram_pool, grant_dram);
       water_fill(want_l2, l2_pool, grant_l2);
 
-      for (std::size_t m = 0; m < members.size(); ++m) {
-        const std::size_t i = members[m];
+      for (std::size_t m = 0; m < count; ++m) {
+        const std::size_t i = member(lo, m);
         dram_grant[i] = grant_dram[m];
         double tm = 0.0;
         if (dram_bytes[i] > 0.0 && grant_dram[m] > 0.0)
@@ -199,15 +619,16 @@ RunResult ExecEngine::steady_state(std::span<const AppPlacement> apps,
     //    effective hit rate;
     //  * memory-system congestion inflates the latency floor of
     //    latency-sensitive kernels (queueing on shared LLC/HBM paths).
-    for (const auto& [domain, members] : domains) {
-      for (std::size_t m = 0; m < members.size(); ++m) {
-        const std::size_t i = members[m];
+    for (const auto& [lo, hi] : s.domain_ranges) {
+      const std::size_t count = hi - lo;
+      for (std::size_t m = 0; m < count; ++m) {
+        const std::size_t i = member(lo, m);
         double pressure = 0.0;
         double congestion = 0.0;
-        for (std::size_t mm = 0; mm < members.size(); ++mm) {
+        for (std::size_t mm = 0; mm < count; ++mm) {
           if (mm == m) continue;
-          pressure += l2_util[members[mm]];
-          congestion += l2_util[members[mm]] + dram_util[members[mm]];
+          pressure += l2_util[member(lo, mm)];
+          congestion += l2_util[member(lo, mm)] + dram_util[member(lo, mm)];
         }
         pressure = std::min(1.0, pressure);
         congestion = std::min(1.0, congestion);
@@ -215,7 +636,7 @@ RunResult ExecEngine::steady_state(std::span<const AppPlacement> apps,
         const double queueing = std::min(
             arch_->congestion_latency_max,
             arch_->congestion_latency_scale *
-                std::pow(congestion, arch_->congestion_latency_exponent));
+                congestion_pow(congestion, arch_->congestion_latency_exponent));
         lat_eff[i] = apps[i].kernel->latency_seconds *
                      (1.0 + apps[i].kernel->latency_sensitivity * queueing);
       }
@@ -295,7 +716,8 @@ double ExecEngine::power_of(std::span<const AppPlacement> apps,
 RunResult ExecEngine::run_at_clock(std::span<const AppPlacement> apps, double phi) const {
   validate_placements(apps);
   MIGOPT_REQUIRE(phi > 0.0 && phi <= 1.0, "clock ratio must be in (0,1]");
-  const std::vector<double> uniform(apps.size(), phi);
+  static thread_local std::vector<double> uniform;
+  uniform.assign(apps.size(), phi);
   return steady_state(apps, uniform);
 }
 
@@ -315,8 +737,12 @@ RunResult ExecEngine::run(std::span<const AppPlacement> apps,
                  "power cap below idle power");
 
   const double phi_min = arch_->min_clock_ghz / arch_->max_clock_ghz;
-  const auto uniform = [&apps](double phi) {
-    return std::vector<double>(apps.size(), phi);
+  // The bisection below evaluates dozens of clock candidates; one reused
+  // buffer serves them all.
+  static thread_local std::vector<double> clocks;
+  const auto uniform = [&apps](double phi) -> std::span<const double> {
+    clocks.assign(apps.size(), phi);
+    return clocks;
   };
 
   RunResult at_max = steady_state(apps, uniform(1.0));

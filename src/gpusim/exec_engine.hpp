@@ -96,6 +96,19 @@ class ExecEngine {
   void validate_placements(std::span<const AppPlacement> apps) const;
   RunResult steady_state(std::span<const AppPlacement> apps,
                          std::span<const double> phi) const;
+  /// Scalar fast path of steady_state for a single placement — the dominant
+  /// call shape (exclusive dispatches and every clock-bisection probe under
+  /// them). With one app per domain every interference term in the fixed
+  /// point is identically zero and the water-filling of a single demand
+  /// reduces to min(demand, pool), so the solver collapses to a damped
+  /// scalar recurrence. Bit-identical to the general path at n == 1.
+  RunResult steady_state_solo(const AppPlacement& app, double phi) const;
+  /// Fixed-size fast path for two placements (every co-run probe under the
+  /// pairing bisection): the general solver's per-iteration state fits in
+  /// registers and the domain grouping is one comparison. Bit-identical to
+  /// the general path at n == 2.
+  RunResult steady_state_duo(std::span<const AppPlacement> apps,
+                             std::span<const double> phi) const;
   /// Dynamic power attributed to app `i` of a solved state (no idle share,
   /// no saturation clamp — suitable for per-instance budgeting).
   double app_power_of(std::span<const AppPlacement> apps, const RunResult& state,

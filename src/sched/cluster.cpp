@@ -16,7 +16,49 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// Min-heap comparator: std::pop_heap with greater<> surfaces the smallest
 /// (time, node) pair — equal times break toward the lower node index.
 constexpr auto kHeapOrder = std::greater<std::pair<double, int>>{};
+
+/// Clamped day index: times are finite simulation seconds, but a degenerate
+/// width must not push the double→integer cast into undefined territory.
+std::uint64_t day_of(double time, double width) noexcept {
+  const double ticks = time / width;
+  return static_cast<std::uint64_t>(ticks < 9.0e18 ? ticks : 9.0e18);
+}
 }  // namespace
+
+void Cluster::CalendarQueue::reset(std::size_t bucket_count, double start_time) {
+  if (buckets.size() != bucket_count) {
+    buckets.assign(bucket_count, {});
+  } else {
+    for (auto& bucket : buckets) bucket.clear();
+  }
+  width = 0.0;
+  cursor = start_time;
+  entries = 0;
+}
+
+std::size_t Cluster::CalendarQueue::bucket_of(double time) const noexcept {
+  return static_cast<std::size_t>(day_of(time, width)) & (buckets.size() - 1);
+}
+
+void Cluster::CalendarQueue::insert(double time, int node) {
+  if (width == 0.0) {
+    // Seed the bucket span from the session's first pending completion: the
+    // distance from the session clock to that completion approximates the
+    // steady-state spacing. Deterministic — identical traces seed identical
+    // widths. The guard keeps a same-instant first completion from
+    // collapsing the wheel to zero-width buckets.
+    const double gap = time - cursor;
+    width = gap > 0.0 ? gap : 1.0;
+  }
+  // A peek advances the cursor to the then-earliest live entry, but the
+  // next dispatch can happen at an *earlier* event (an arrival before that
+  // completion) and insert a completion below the cursor. Back the cursor
+  // up so it stays a lower bound on every live entry — otherwise the day
+  // walk starts past the new entry's day and returns a non-minimal time.
+  if (time < cursor) cursor = time;
+  buckets[bucket_of(time)].emplace_back(time, node);
+  entries += 1;
+}
 
 Cluster::Cluster(const ClusterConfig& config)
     : config_(config), budget_(config.total_power_budget_watts) {
@@ -28,25 +70,35 @@ Cluster::Cluster(const ClusterConfig& config)
   for (const auto& node : nodes_) node->set_run_memo(&run_memo_);
   profiling_job_.assign(nodes_.size(), -1);
   node_next_.assign(nodes_.size(), kInf);
-  for (int i = 0; i < config.node_count; ++i) idle_.insert(i);
+  node_busy_.assign(nodes_.size(), 0);
+  busy_nodes_ = 0;
+  node_cap_.assign(nodes_.size(), 0.0);
 }
 
 double Cluster::busy_cap_sum() const noexcept {
+  // Ascending node-index walk — the same addition order as the sorted
+  // idle/busy sets this bitmap replaced, hence bit-identical sums.
   double sum = 0.0;
-  for (const int n : busy_) sum += nodes_[static_cast<std::size_t>(n)]->cap_watts();
+  for (std::size_t n = 0; n < node_busy_.size(); ++n)
+    if (node_busy_[n]) sum += node_cap_[n];
   return sum;
 }
 
 void Cluster::set_node_next(int n, double next) {
   node_next_[static_cast<std::size_t>(n)] = next;
-  if (config_.event_core == EventCore::Indexed && std::isfinite(next)) {
+  if (!std::isfinite(next)) return;
+  if (config_.event_core == EventCore::Indexed) {
     completion_heap_.emplace_back(next, n);
     std::push_heap(completion_heap_.begin(), completion_heap_.end(), kHeapOrder);
+  } else if (config_.event_core == EventCore::Calendar) {
+    calendar_.insert(next, n);
   }
 }
 
 void Cluster::begin_session(const CoScheduler& scheduler) {
-  queue_ = JobQueue{};
+  // clear() keeps the queue's arena chunks and index columns warm — a
+  // replayed session re-enqueues without touching the heap.
+  queue_.clear();
   budget_ = config_.total_power_budget_watts;
   session_ = ClusterReport{};
   cache_at_session_start_ = scheduler.decision_cache().stats();
@@ -55,20 +107,31 @@ void Cluster::begin_session(const CoScheduler& scheduler) {
   clock_at_session_start_ = 0.0;
   turnaround_sum_ = 0.0;
   running_jobs_ = 0;
-  idle_.clear();
-  busy_.clear();
   completion_heap_.clear();
   run_memo_.clear();
   profiling_job_.assign(nodes_.size(), -1);
   node_next_.assign(nodes_.size(), kInf);
+  node_busy_.assign(nodes_.size(), 0);
+  busy_nodes_ = 0;
+  node_cap_.assign(nodes_.size(), 0.0);
+  for (const auto& node : nodes_) {
+    energy_at_session_start_ += node->energy_joules();
+    clock_at_session_start_ = std::max(clock_at_session_start_, node->now());
+  }
+  if (config_.event_core == EventCore::Calendar) {
+    // ~2 buckets per node (power of two for mask indexing): at most one
+    // pending completion per node lives in the wheel at a time, so the mean
+    // bucket occupancy stays below one entry plus stale residue.
+    std::size_t bucket_count = 8;
+    while (bucket_count < nodes_.size() * 2) bucket_count <<= 1;
+    calendar_.reset(bucket_count, clock_at_session_start_);
+  }
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
     const Node& node = *nodes_[n];
-    energy_at_session_start_ += node.energy_joules();
-    clock_at_session_start_ = std::max(clock_at_session_start_, node.now());
-    if (node.idle()) {
-      idle_.insert(static_cast<int>(n));
-    } else {
-      busy_.insert(static_cast<int>(n));
+    if (!node.idle()) {
+      node_busy_[n] = 1;
+      ++busy_nodes_;
+      node_cap_[n] = node.cap_watts();
       running_jobs_ += node.running_jobs();
       set_node_next(static_cast<int>(n), node.next_completion_time());
     }
@@ -84,17 +147,25 @@ void Cluster::set_power_budget(std::optional<double> watts) {
 
 std::size_t Cluster::dispatch(CoScheduler& scheduler, double now) {
   session_now_ = std::max(session_now_, now);
+  // Dispatch runs after every event-loop step; with a standing backlog the
+  // nodes are all busy nearly every time, so that case exits here instead
+  // of walking the occupancy bitmap.
+  if (busy_nodes_ == node_busy_.size() || queue_.empty()) return 0;
   std::size_t dispatches = 0;
   bool dispatched = true;
-  while (dispatched) {
+  while (dispatched && !queue_.empty()) {
     dispatched = false;
     // The busy-cap sum only changes when a dispatch lands, so it is
     // computed per pass and after each dispatch instead of per idle-node
     // probe (same index-order additions, hence bit-identical values).
     double busy_sum = busy_cap_sum();
-    for (auto it = idle_.begin(); it != idle_.end();) {
-      const int n = *it;
-      Node& node = *nodes_[static_cast<std::size_t>(n)];
+    for (std::size_t ni = 0; ni < node_busy_.size(); ++ni) {
+      // Every plan pops at least one job, so an emptied queue ends the
+      // pass — the remaining idle-node probes could only return "nothing".
+      if (queue_.empty()) break;
+      if (node_busy_[ni]) continue;
+      const int n = static_cast<int>(ni);
+      Node& node = *nodes_[ni];
 
       // Budget headroom left for this dispatch (cap accounting).
       double max_affordable = kInf;
@@ -114,13 +185,19 @@ std::size_t Cluster::dispatch(CoScheduler& scheduler, double now) {
         }
       }
       if (!plan_opt.has_value()) {
-        ++it;
+        // A "no plan" answer from the co-scheduler is node-independent (the
+        // probe sees only the queue, clock, and headroom — all unchanged
+        // until a dispatch lands) and side-effect-free, so every remaining
+        // idle node this pass would get the identical answer: end the pass.
+        // The plain-FIFO branch keeps probing — its cap test reads the
+        // node's own chip limits.
+        if (config_.enable_coscheduling) break;
         continue;
       }
 
       DispatchPlan& plan = *plan_opt;
       // Node clock may lag global time if it has been idle (under the
-      // Indexed core possibly by many events — the idle catch-up).
+      // lazy cores possibly by many events — the idle catch-up).
       node.advance_to(now);
       if (plan.job2.has_value()) {
         node.dispatch_pair(std::move(plan.job1), std::move(*plan.job2),
@@ -129,7 +206,7 @@ std::size_t Cluster::dispatch(CoScheduler& scheduler, double now) {
         running_jobs_ += 2;
       } else {
         if (plan.profile_run) {
-          MIGOPT_ENSURE(profiling_job_[static_cast<std::size_t>(n)] == -1,
+          MIGOPT_ENSURE(profiling_job_[ni] == -1,
                         "node already tracks an in-flight profile run — a job "
                         "id would be tracked twice");
           // The slot's -1 means "none", so a profile job must carry a real
@@ -137,14 +214,15 @@ std::size_t Cluster::dispatch(CoScheduler& scheduler, double now) {
           // sentinel.
           MIGOPT_REQUIRE(plan.job1.id >= 0,
                          "profile-run job needs a non-negative id");
-          profiling_job_[static_cast<std::size_t>(n)] = plan.job1.id;
+          profiling_job_[ni] = plan.job1.id;
         }
         node.dispatch_exclusive(std::move(plan.job1), plan.power_cap_watts);
         session_.exclusive_dispatches += 1;
         running_jobs_ += 1;
       }
-      it = idle_.erase(it);
-      busy_.insert(n);
+      node_busy_[ni] = 1;
+      ++busy_nodes_;
+      node_cap_[ni] = node.cap_watts();
       set_node_next(n, node.next_completion_time());
       busy_sum = busy_cap_sum();
       session_.peak_cap_sum_watts =
@@ -156,6 +234,66 @@ std::size_t Cluster::dispatch(CoScheduler& scheduler, double now) {
   return dispatches;
 }
 
+std::pair<double, int> Cluster::calendar_peek() const noexcept {
+  CalendarQueue& cal = calendar_;
+  if (cal.entries == 0) return {kInf, -1};
+  const std::size_t nb = cal.buckets.size();
+  // Walk one "year" of day windows starting at the cursor's day. The
+  // earliest live entry's day is >= the cursor's (the cursor is a lower
+  // bound on every live time), so if its day is within this year the walk
+  // meets it at exactly its day's step — earlier steps' windows end before
+  // its time. Stale entries (time no longer matching the node's
+  // authoritative next completion) are pruned as the scan meets them.
+  const std::uint64_t day0 = day_of(cal.cursor, cal.width);
+  for (std::size_t step = 0; step < nb; ++step) {
+    const std::uint64_t day = day0 + step;
+    auto& bucket = cal.buckets[static_cast<std::size_t>(day) & (nb - 1)];
+    const double window_end = static_cast<double>(day + 1) * cal.width;
+    double best_time = kInf;
+    int best_node = -1;
+    for (std::size_t i = 0; i < bucket.size();) {
+      const auto [time, n] = bucket[i];
+      if (time != node_next_[static_cast<std::size_t>(n)]) {
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        cal.entries -= 1;
+        continue;  // stale entry
+      }
+      if (time < window_end &&
+          (time < best_time || (time == best_time && n < best_node)))
+        best_time = time, best_node = n;
+      ++i;
+    }
+    if (best_node >= 0) {
+      cal.cursor = best_time;
+      return {best_time, best_node};
+    }
+    if (cal.entries == 0) return {kInf, -1};
+  }
+  // Sparse tail: nothing within a year of the cursor. Direct min scan over
+  // the live remainder (rare — fires when completion spacing jumps by more
+  // than nb× the seeded width), then re-anchor the cursor there.
+  double best_time = kInf;
+  int best_node = -1;
+  for (auto& bucket : cal.buckets) {
+    for (std::size_t i = 0; i < bucket.size();) {
+      const auto [time, n] = bucket[i];
+      if (time != node_next_[static_cast<std::size_t>(n)]) {
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        cal.entries -= 1;
+        continue;
+      }
+      if (time < best_time || (time == best_time && n < best_node))
+        best_time = time, best_node = n;
+      ++i;
+    }
+  }
+  if (best_node < 0) return {kInf, -1};
+  cal.cursor = best_time;
+  return {best_time, best_node};
+}
+
 double Cluster::next_completion_time() const noexcept {
   if (config_.event_core == EventCore::Exact) {
     double next = kInf;
@@ -163,6 +301,7 @@ double Cluster::next_completion_time() const noexcept {
       next = std::min(next, node->next_completion_time());
     return next;
   }
+  if (config_.event_core == EventCore::Calendar) return calendar_peek().first;
   // Indexed: discard stale heap tops (their node's next completion moved),
   // then the top is the earliest pending completion.
   while (!completion_heap_.empty()) {
@@ -176,49 +315,68 @@ double Cluster::next_completion_time() const noexcept {
 
 void Cluster::drain_node(int n, double t, bool expect_completion,
                          CoScheduler& scheduler, std::vector<Job>& finished) {
-  Node& node = *nodes_[static_cast<std::size_t>(n)];
-  std::vector<Job> done = node.advance_to(t);
+  const std::size_t ni = static_cast<std::size_t>(n);
+  Node& node = *nodes_[ni];
+  drain_scratch_.clear();
+  std::vector<Job>& done = drain_scratch_;
+  node.advance_to(t, done);
   if (done.empty() && expect_completion && !node.idle()) {
     // A completion was advertised as due by `t`, but floating-point residue
     // left the slot with a sliver of work whose remaining time rounds below
     // the clock's resolution — the node's step loop exits at dt == 0 and
     // can never clear it, so the due slot completes at the node clock.
-    // Both cores need this: the Indexed core expects the completion its
-    // heap popped, the Exact core the node's advertised next-completion
-    // time. A fleet-scale overloaded shard first exposed the Exact wedge.
+    // All cores need this: the lazy cores expect the completion their
+    // pending structure popped, the Exact core the node's advertised
+    // next-completion time. A fleet-scale overloaded shard first exposed
+    // the Exact wedge.
     done.push_back(node.finish_head_slot());
   }
   for (Job& job : done) {
     // job.id >= 0 guards the sentinel: a job submitted with the default id
     // (-1) must not alias the "no profile run" slot value.
-    const bool was_profile =
-        job.id >= 0 && profiling_job_[static_cast<std::size_t>(n)] == job.id;
-    if (was_profile) profiling_job_[static_cast<std::size_t>(n)] = -1;
+    const bool was_profile = job.id >= 0 && profiling_job_[ni] == job.id;
+    if (was_profile) profiling_job_[ni] = -1;
 
     session_.jobs_completed += 1;
     running_jobs_ -= 1;
     turnaround_sum_ += job.finish_time - job.submit_time;
+    // Jobs off the interned hot path carry only an app id; name-keyed
+    // consumers (per-job stats, the profile store) resolve it through the
+    // scheduler's symbol table.
     if (config_.collect_job_stats) {
       JobStat stat;
       stat.id = job.id;
-      stat.app = job.app;
+      stat.app = (job.app.empty() && job.app_id != kNoSymbol)
+                     ? scheduler.app_name(job.app_id)
+                     : job.app;
       stat.turnaround = job.finish_time - job.submit_time;
       stat.runtime = job.finish_time - job.start_time;
       session_.jobs.push_back(std::move(stat));
     }
     if (was_profile) {
-      scheduler.record_profile(job.app, prof::profile_run(node.chip(), *job.kernel));
+      if (job.app.empty() && job.app_id != kNoSymbol)
+        scheduler.record_profile(job.app_id,
+                                 prof::profile_run(node.chip(), *job.kernel));
+      else
+        scheduler.record_profile(job.app,
+                                 prof::profile_run(node.chip(), *job.kernel));
       session_.profile_runs += 1;
     }
     finished.push_back(std::move(job));
   }
-  if (node.idle() && busy_.erase(n) > 0) idle_.insert(n);
+  if (node.idle()) {
+    if (node_busy_[ni]) --busy_nodes_;
+    node_busy_[ni] = 0;
+  } else {
+    node_cap_[ni] = node.cap_watts();
+  }
   set_node_next(n, node.next_completion_time());
 }
 
-std::vector<Job> Cluster::advance_to(double t, CoScheduler& scheduler) {
+const std::vector<Job>& Cluster::advance_to(double t, CoScheduler& scheduler) {
   session_now_ = std::max(session_now_, t);
-  std::vector<Job> finished;
+  std::vector<Job>& finished = finished_scratch_;
+  finished.clear();
   if (config_.event_core == EventCore::Exact) {
     // Step every node to t (idle nodes accrue idle power): the original
     // integration order the checked-in baselines pin. A node whose
@@ -229,6 +387,25 @@ std::vector<Job> Cluster::advance_to(double t, CoScheduler& scheduler) {
       drain_node(static_cast<int>(n), t,
                  /*expect_completion=*/node_next_[n] <= t, scheduler,
                  finished);
+    return finished;
+  }
+  if (config_.event_core == EventCore::Calendar) {
+    // Pop due completions in (time, node) order off the wheel — the same
+    // drain order as the Indexed heap and the Exact node scan.
+    while (true) {
+      const auto [time, n] = calendar_peek();
+      if (n < 0 || time > t) break;
+      auto& bucket = calendar_.buckets[calendar_.bucket_of(time)];
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        if (bucket[i].first == time && bucket[i].second == n) {
+          bucket[i] = bucket.back();
+          bucket.pop_back();
+          calendar_.entries -= 1;
+          break;
+        }
+      }
+      drain_node(n, t, /*expect_completion=*/true, scheduler, finished);
+    }
     return finished;
   }
   // Indexed: pop due completions in (time, node) order — equal-time
@@ -249,7 +426,7 @@ std::vector<Job> Cluster::advance_to(double t, CoScheduler& scheduler) {
 }
 
 ClusterReport Cluster::report(const CoScheduler& scheduler) const {
-  if (config_.event_core == EventCore::Indexed) {
+  if (lazy_core()) {
     // Catch idle nodes up to the session clock so idle power accrues to the
     // end of the session (the Exact core advances them eagerly). Nodes are
     // simulation state behind const unique_ptrs; no completions can fire
@@ -268,17 +445,16 @@ ClusterReport Cluster::report(const CoScheduler& scheduler) const {
     report.makespan_seconds =
         std::max(report.makespan_seconds, node->now() - clock_at_session_start_);
     report.total_energy_joules += node->energy_joules();
-    // Mid-session under the Indexed core a *busy* node may lag the session
+    // Mid-session under a lazy core a *busy* node may lag the session
     // clock (its next event is still ahead); its draw is constant over the
     // gap, so the missing energy is one multiply. At session end all nodes
     // are idle and caught up, so this term vanishes and the report equals
     // the plain node sums (the Exact core's shape).
-    if (config_.event_core == EventCore::Indexed && !node->idle() &&
-        node->now() < session_now_)
+    if (lazy_core() && !node->idle() && node->now() < session_now_)
       report.total_energy_joules +=
           node->power_watts() * (session_now_ - node->now());
   }
-  if (config_.event_core == EventCore::Indexed)
+  if (lazy_core())
     report.makespan_seconds = std::max(
         report.makespan_seconds, session_now_ - clock_at_session_start_);
   if (report.jobs_completed > 0)

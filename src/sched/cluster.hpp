@@ -15,8 +15,10 @@
 //
 // Bookkeeping that used to rescan every node per event — the dispatch idle
 // scan, queued/running conservation counts, the per-node profile-run list —
-// is maintained incrementally (idle/busy index sets, counters, one profile
-// slot per node), so only the physics integration itself touches nodes. How
+// is maintained incrementally: a dense occupancy bitmap plus a cached
+// per-node cap column (summed in node-index order, so budget arithmetic is
+// bit-identical to the all-node scan it replaced), counters, one profile
+// slot per node. Only the physics integration itself touches nodes. How
 // *that* is driven is the event-core choice (ClusterConfig::event_core):
 //
 //   - EventCore::Exact (default) advances every node at every event — the
@@ -30,11 +32,19 @@
 //     decisions are identical to Exact; continuous outputs (energy,
 //     makespan) agree to rounding because the same work/power is integrated
 //     over coarser steps. Million-job replays use this core.
+//   - EventCore::Calendar shares Indexed's lazy catch-up semantics but keeps
+//     pending completions in a bucketed timer wheel (calendar queue) instead
+//     of a heap: insert is O(1) and pops walk the wheel in time order, so
+//     per-event cost is O(1) amortized when completion spacing is roughly
+//     stationary (trace replay's steady state). Stale entries are skipped
+//     against the authoritative per-node times exactly like the heap's, and
+//     equal-time completions drain in node-index order — the schedule is
+//     identical to Indexed (and therefore to Exact).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
-#include <set>
 #include <utility>
 #include <vector>
 
@@ -45,8 +55,9 @@
 namespace migopt::sched {
 
 enum class EventCore {
-  Exact,    ///< advance all nodes every event (bit-pinned FP stepping)
-  Indexed,  ///< completion heap + lazy idle catch-up (O(log n) per event)
+  Exact,     ///< advance all nodes every event (bit-pinned FP stepping)
+  Indexed,   ///< completion heap + lazy idle catch-up (O(log n) per event)
+  Calendar,  ///< bucketed timer wheel + lazy idle catch-up (O(1) amortized)
 };
 
 struct ClusterConfig {
@@ -62,7 +73,7 @@ struct ClusterConfig {
   /// budget shifting applied to the dispatch loop. Empty = unconstrained.
   std::optional<double> total_power_budget_watts;
   /// See the header comment; Exact is bit-compatible with the checked-in
-  /// baselines, Indexed decouples per-event cost from the node count.
+  /// baselines, Indexed/Calendar decouple per-event cost from node count.
   EventCore event_core = EventCore::Exact;
   /// Collect the per-job JobStat vector in the report. Million-job replays
   /// turn this off; aggregate statistics (mean turnaround, counts) are
@@ -142,9 +153,11 @@ class Cluster {
   /// jobs with their finish_time set. Profile runs are recorded with the
   /// scheduler (releasing held-back jobs of the same application) and all
   /// per-job statistics are accumulated for report(). The Exact core steps
-  /// every node to `t`; the Indexed core touches only nodes with due
-  /// completions (equal-time completions drain in node-index order in both).
-  std::vector<Job> advance_to(double t, CoScheduler& scheduler);
+  /// every node to `t`; the lazy cores touch only nodes with due
+  /// completions (equal-time completions drain in node-index order in all).
+  /// The returned reference aliases an internal scratch buffer reused by
+  /// the next advance_to call — consume (or copy) it before advancing again.
+  const std::vector<Job>& advance_to(double t, CoScheduler& scheduler);
 
   std::size_t queued_count() const noexcept { return queue_.size(); }
   /// Jobs resident on nodes right now (maintained incrementally — O(1)).
@@ -160,7 +173,7 @@ class Cluster {
 
   /// Statistics accumulated since begin_session (makespan from node clocks,
   /// energy and DecisionCache counters as deltas against the session start).
-  /// Under the Indexed core this first catches idle nodes up to the session
+  /// Under the lazy cores this first catches idle nodes up to the session
   /// clock so idle power accrues to the end of the session, exactly as the
   /// Exact core does eagerly.
   ClusterReport report(const CoScheduler& scheduler) const;
@@ -169,20 +182,47 @@ class Cluster {
   const std::vector<std::unique_ptr<Node>>& nodes() const noexcept { return nodes_; }
 
  private:
+  /// Pending (completion time, node) entries of the Calendar core: a
+  /// bucketed timer wheel. Entries are never removed eagerly — an entry
+  /// whose time no longer matches the authoritative node_next_ is stale and
+  /// dropped when a scan meets it, mirroring the Indexed core's lazy heap.
+  /// The bucket width is seeded deterministically from the first pending
+  /// completion of the session, so identical traces walk identical wheels.
+  struct CalendarQueue {
+    std::vector<std::vector<std::pair<double, int>>> buckets;
+    double width = 0.0;       ///< bucket span in seconds (0 = unseeded)
+    /// Lower bound on the earliest live entry: peeks advance it to the
+    /// found minimum, inserts below it back it up (a dispatch at an earlier
+    /// event can add a completion before the last peeked one).
+    double cursor = 0.0;
+    std::size_t entries = 0;  ///< live + stale entries resident
+
+    void reset(std::size_t bucket_count, double start_time);
+    void insert(double time, int node);
+    std::size_t bucket_of(double time) const noexcept;
+  };
+
+  bool lazy_core() const noexcept {
+    return config_.event_core != EventCore::Exact;
+  }
   /// Sum of caps of currently busy nodes (the budget accounting quantity).
-  /// Iterates the busy set in node-index order — the same addition order as
-  /// the all-node scan it replaced, so budget arithmetic is bit-identical.
+  /// Walks the occupancy bitmap in node-index order — the same addition
+  /// order as the all-node scan it replaced, so budget arithmetic is
+  /// bit-identical.
   double busy_cap_sum() const noexcept;
   /// Advance node `n` to `t`, folding its completions into the session
-  /// statistics and updating the idle/busy/heap bookkeeping. With
-  /// `expect_completion` (the Indexed core popped a due heap entry) a node
-  /// that yields no completion force-finishes its due slot — see
+  /// statistics and updating the occupancy/event-core bookkeeping. With
+  /// `expect_completion` (a lazy core popped a due entry) a node that
+  /// yields no completion force-finishes its due slot — see
   /// Node::finish_head_slot.
   void drain_node(int n, double t, bool expect_completion,
                   CoScheduler& scheduler, std::vector<Job>& finished);
-  /// Record node `n`'s next completion (+inf when idle) and, under the
-  /// Indexed core, push it onto the completion heap.
+  /// Record node `n`'s next completion (+inf when idle) and, under a lazy
+  /// core, publish it to the pending-completion structure.
   void set_node_next(int n, double next);
+  /// Earliest non-stale calendar entry (pruning stale ones met on the way);
+  /// {+inf, -1} when none pending. Ties resolve to the lowest node index.
+  std::pair<double, int> calendar_peek() const noexcept;
 
   ClusterConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -199,10 +239,17 @@ class Cluster {
   /// Latest clock any session call has reached (idle catch-up target).
   double session_now_ = 0.0;
   std::size_t running_jobs_ = 0;
-  /// Node indices by occupancy, ascending — dispatch scans idle_ in the same
-  /// order the all-node loop used; busy_ drives busy_cap_sum().
-  std::set<int> idle_;
-  std::set<int> busy_;
+  /// Dense occupancy bitmap (1 = busy) — dispatch scans it in node-index
+  /// order, the same order the idle-set walk and the all-node loop before it
+  /// used; node_cap_ caches the cap of the standing dispatch per node so
+  /// busy_cap_sum() reads two flat columns instead of chasing Node pointers.
+  std::vector<std::uint8_t> node_busy_;
+  /// Count of set bits in node_busy_: dispatch runs once per event-loop
+  /// step, and with a standing backlog every node is busy almost every
+  /// step, so the all-busy case must exit on one compare instead of a
+  /// bitmap scan.
+  std::size_t busy_nodes_ = 0;
+  std::vector<double> node_cap_;
   /// Id of the in-flight profile run per node (-1 = none). A node runs at
   /// most one profile job at a time (profile runs are exclusive), so a slot
   /// replaces the per-node vector the old linear find/erase walked.
@@ -213,6 +260,12 @@ class Cluster {
   /// entries whose time no longer matches node_next_ are skipped on pop.
   /// Ties pop in node-index order, matching the Exact core's node scan.
   mutable std::vector<std::pair<double, int>> completion_heap_;
+  /// Pending completions under the Calendar core (same staleness rule).
+  mutable CalendarQueue calendar_;
+  /// Reused buffers of the advance_to → drain_node hot path: the common
+  /// no-completion step allocates nothing (capacity persists across steps).
+  std::vector<Job> finished_scratch_;
+  std::vector<Job> drain_scratch_;
   /// Shared physics memo for the homogeneous fleet (sched/run_memo.hpp):
   /// each (kernels, split, option, cap) steady-state solve runs once per
   /// session and replays bit-identically from then on. Cleared by

@@ -10,8 +10,10 @@ namespace migopt::sched {
 CoScheduler::CoScheduler(core::ResourcePowerAllocator& allocator,
                          core::Policy policy, SchedulerTuning tuning)
     : allocator_(&allocator), policy_(policy), tuning_(tuning),
+      caps_sorted_(allocator.optimizer().caps()),
       decision_cache_(tuning.decision_cache_capacity),
       cached_profile_revision_(allocator.profiles().revision()) {
+  std::sort(caps_sorted_.begin(), caps_sorted_.end());
   MIGOPT_REQUIRE(tuning_.pairing_window >= 1, "pairing window must be >= 1");
   MIGOPT_REQUIRE(tuning_.min_pair_speedup >= 0.0,
                  "negative pairing speedup threshold");
@@ -46,12 +48,13 @@ double CoScheduler::default_cap(double max_cap_watts) const {
   if (policy_.fixed_power_cap.has_value() &&
       *policy_.fixed_power_cap <= max_cap_watts)
     return *policy_.fixed_power_cap;
-  MIGOPT_REQUIRE(!allocator_->optimizer().caps().empty(),
+  MIGOPT_REQUIRE(!caps_sorted_.empty(),
                  "optimizer cap grid is empty — cannot pick a dispatch cap");
-  double best = -1.0;
-  for (const double cap : allocator_->optimizer().caps())
-    if (cap <= max_cap_watts) best = std::max(best, cap);
-  return best;
+  // Largest trained cap <= the ceiling (identical to a max over the grid
+  // filtered by the ceiling), -1 when nothing fits.
+  const auto it =
+      std::upper_bound(caps_sorted_.begin(), caps_sorted_.end(), max_cap_watts);
+  return it == caps_sorted_.begin() ? -1.0 : *(it - 1);
 }
 
 double CoScheduler::min_cap() const {
@@ -59,12 +62,9 @@ double CoScheduler::min_cap() const {
   // silently starve dispatch forever; fail loudly instead. (The Optimizer
   // constructor rejects empty grids, so this guards future regressions of
   // that contract.)
-  MIGOPT_REQUIRE(!allocator_->optimizer().caps().empty(),
+  MIGOPT_REQUIRE(!caps_sorted_.empty(),
                  "optimizer cap grid is empty — no dispatch can be afforded");
-  double low = std::numeric_limits<double>::infinity();
-  for (const double cap : allocator_->optimizer().caps())
-    low = std::min(low, cap);
-  return low;
+  return caps_sorted_.front();
 }
 
 void CoScheduler::sync_cache_with_profiles() {
@@ -73,13 +73,6 @@ void CoScheduler::sync_cache_with_profiles() {
     decision_cache_.invalidate();
     cached_profile_revision_ = revision;
   }
-}
-
-double CoScheduler::canonical_ceiling(double max_cap_watts) const {
-  // Identical resolution to default_cap — fixed cap if it fits, else the
-  // largest trained cap under the budget — which is exactly the information
-  // a decision can extract from the ceiling, so it canonicalizes the key.
-  return default_cap(max_cap_watts);
 }
 
 AppId CoScheduler::app_id_at(JobQueue& queue, std::size_t index) {
@@ -102,15 +95,9 @@ std::optional<DispatchPlan> CoScheduler::next(JobQueue& queue, double now,
   if (ready == 0) return std::nullopt;
   if (max_cap_watts < min_cap()) return std::nullopt;  // budget exhausted
 
-  const core::Policy policy = std::isfinite(max_cap_watts)
-                                  ? policy_.with_ceiling(max_cap_watts)
-                                  : policy_;
-  // Decisions are computed under the exact policy but cached under the
-  // canonical ceiling, so budget headroom wobble still hits the cache.
-  const core::Policy cache_policy =
-      std::isfinite(max_cap_watts)
-          ? policy_.with_ceiling(canonical_ceiling(max_cap_watts))
-          : policy_;
+  // The dispatch cap doubles as the canonical cache ceiling (both are
+  // default_cap of the budget headroom), so resolve it once up front.
+  const double dispatch_cap = default_cap(max_cap_watts);
 
   // Pivot: the first ready job not waiting on an in-flight profile run of its
   // own application (only one profile run per app may be outstanding).
@@ -127,7 +114,7 @@ std::optional<DispatchPlan> CoScheduler::next(JobQueue& queue, double now,
   if (!pivot.has_value()) return std::nullopt;
 
   DispatchPlan plan;
-  plan.power_cap_watts = default_cap(max_cap_watts);
+  plan.power_cap_watts = dispatch_cap;
 
   // Unprofiled pivot -> exclusive profile run.
   if (!allocator_->can_coschedule(pivot_app)) {
@@ -137,7 +124,17 @@ std::optional<DispatchPlan> CoScheduler::next(JobQueue& queue, double now,
     return plan;
   }
 
-  // Scan the window beyond the pivot for the best acceptable partner.
+  // Scan the window beyond the pivot for the best acceptable partner. The
+  // ceiling-stamped policy copies are built only now — the profile-run and
+  // budget-starved exits above never read them.
+  const core::Policy policy = std::isfinite(max_cap_watts)
+                                  ? policy_.with_ceiling(max_cap_watts)
+                                  : policy_;
+  // Decisions are computed under the exact policy but cached under the
+  // canonical ceiling, so budget headroom wobble still hits the cache.
+  const core::Policy cache_policy = std::isfinite(max_cap_watts)
+                                        ? policy_.with_ceiling(dispatch_cap)
+                                        : policy_;
   const std::size_t window = std::min(ready, *pivot + tuning_.pairing_window + 1);
   std::optional<std::size_t> best_index;
   core::Decision best_decision;
@@ -148,8 +145,7 @@ std::optional<DispatchPlan> CoScheduler::next(JobQueue& queue, double now,
     if (!allocator_->can_coschedule(candidate_app)) continue;
     const core::Decision& decision = decision_cache_.get_or_compute(
         pivot_app, candidate_app, cache_policy, [&] {
-          return allocator_->allocate(queue.peek(*pivot).app, candidate.app,
-                                      policy);
+          return allocator_->allocate(pivot_app, candidate_app, policy);
         });
     if (!pair_acceptable(queue.peek(*pivot), candidate, decision)) continue;
     if (!best_index.has_value() ||
@@ -178,6 +174,13 @@ void CoScheduler::record_profile(const std::string& app,
   allocator_->record_profile(app, counters);
   // A new/updated profile changes what the allocator may answer; drop every
   // memoized decision and resync with the store's revision.
+  decision_cache_.invalidate();
+  cached_profile_revision_ = allocator_->profiles().revision();
+}
+
+void CoScheduler::record_profile(AppId app, const prof::CounterSet& counters) {
+  set_profiling_in_flight(app, false);
+  allocator_->record_profile(allocator_->profiles().app_name(app), counters);
   decision_cache_.invalidate();
   cached_profile_revision_ = allocator_->profiles().revision();
 }

@@ -80,6 +80,16 @@ class CoScheduler {
   /// invalidates the decision cache (the allocator's answers may change).
   void record_profile(const std::string& app, const prof::CounterSet& counters);
 
+  /// Same, keyed by interned id — the completion path of jobs that carry no
+  /// app string (trace replay's interned hot path).
+  void record_profile(AppId app, const prof::CounterSet& counters);
+
+  /// Name of an interned app id (the allocator's symbol table). Throws on
+  /// ids this allocator never assigned, including kNoSymbol.
+  const std::string& app_name(AppId app) const {
+    return allocator_->profiles().app_name(app);
+  }
+
   /// Intern an app name against the allocator's profile store (the id space
   /// Job::app_id, the in-flight bitmap, and DecisionCache keys live in).
   /// Producers of many jobs (trace::SimEngine) intern once per distinct app;
@@ -102,11 +112,6 @@ class CoScheduler {
   /// Drop cached decisions when the allocator's profile store changed under
   /// us (e.g. record_profile called on the allocator directly).
   void sync_cache_with_profiles();
-  /// Canonical ceiling for cache keys: decisions depend on a budget ceiling
-  /// only through the admissible trained-cap set, so every ceiling admitting
-  /// the same caps maps to one value (otherwise the continuously varying
-  /// headroom of a cluster power budget would defeat the cache).
-  double canonical_ceiling(double max_cap_watts) const;
 
   /// Interned app id of the job at queue position `index` (interning it on
   /// first sight, so jobs submitted without ids still take the fast path).
@@ -119,6 +124,11 @@ class CoScheduler {
   core::ResourcePowerAllocator* allocator_;
   core::Policy policy_;
   SchedulerTuning tuning_;
+  /// Ascending copy of the optimizer's cap grid, snapshotted at construction
+  /// (the grid is fixed for the Optimizer's lifetime). Lets min_cap and
+  /// default_cap answer from a front() load / one binary search instead of
+  /// re-scanning the grid through two indirections on every dispatch probe.
+  std::vector<double> caps_sorted_;
   /// Applications whose first (profiling) run has been dispatched but has not
   /// completed yet; further instances wait so only one profile run happens.
   /// Dense bitmap indexed by AppId — an O(1) load per window candidate where

@@ -18,7 +18,14 @@ using TenantId = Symbol;
 
 struct Job {
   JobId id = -1;
-  std::string app;  ///< workload name (profile-database key)
+  /// Workload name (profile-database key). Hot-path producers that intern
+  /// (trace::SimEngine with SimConfig::intern_symbols) leave it empty and
+  /// set app_id instead — the job then carries no owned heap state at all,
+  /// so moving it through queue/node bookkeeping is a plain field copy
+  /// (trivially relocatable in practice; the SSO string never allocates).
+  /// Name-keyed consumers (JobStat, profile recording, stall diagnostics)
+  /// resolve the name back through the scheduler's symbol table.
+  std::string app;
   /// Interned `app` (kNoSymbol until interned). Only meaningful against the
   /// allocator/scheduler the job is dispatched through: trace::SimEngine
   /// pre-interns arrivals, and CoScheduler::next interns lazily for jobs

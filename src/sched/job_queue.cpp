@@ -1,21 +1,75 @@
 #include "sched/job_queue.hpp"
 
+#include <utility>
+
 #include "common/assert.hpp"
 
 namespace migopt::sched {
+
+std::uint32_t JobQueue::acquire_slot(Job&& job) {
+  if (!free_.empty()) {
+    const std::uint32_t id = free_.back();
+    free_.pop_back();
+    slot(id) = std::move(job);
+    return id;
+  }
+  if (constructed_ == chunks_.size() * kChunkJobs)
+    chunks_.push_back(arena_.allocate_array<Job>(kChunkJobs));
+  const std::uint32_t id = static_cast<std::uint32_t>(constructed_++);
+  ::new (&slot(id)) Job(std::move(job));
+  return id;
+}
+
+void JobQueue::destroy_slots() noexcept {
+  for (std::size_t id = 0; id < constructed_; ++id)
+    slot(static_cast<std::uint32_t>(id)).~Job();
+  constructed_ = 0;
+}
+
+void JobQueue::reset_members() noexcept {
+  arena_.reset();
+  chunks_.clear();
+  free_.clear();
+  order_.clear();
+  keys_.clear();
+  total_work_units_ = 0.0;
+  ready_valid_ = false;
+  ready_now_ = 0.0;
+  ready_count_ = 0;
+}
+
+void JobQueue::swap(JobQueue& other) noexcept {
+  std::swap(arena_, other.arena_);
+  std::swap(chunks_, other.chunks_);
+  std::swap(constructed_, other.constructed_);
+  std::swap(free_, other.free_);
+  std::swap(order_, other.order_);
+  std::swap(keys_, other.keys_);
+  std::swap(total_work_units_, other.total_work_units_);
+  std::swap(ready_valid_, other.ready_valid_);
+  std::swap(ready_now_, other.ready_now_);
+  std::swap(ready_count_, other.ready_count_);
+}
+
+void JobQueue::clear() noexcept {
+  destroy_slots();
+  reset_members();
+}
 
 void JobQueue::push(Job job) {
   job.validate();
   // Stable priority insertion: scan back over strictly lower priorities, so
   // equal-priority jobs keep push order (FIFO tie-break). The common case —
-  // uniform priorities — appends in O(1).
-  auto it = jobs_.end();
-  while (it != jobs_.begin() && std::prev(it)->priority < job.priority) --it;
-  const std::size_t index =
-      static_cast<std::size_t>(std::distance(jobs_.begin(), it));
+  // uniform priorities — appends in O(1). The scan reads the key column
+  // only; inserting shifts 12-byte keys and 4-byte ids, never Jobs.
+  const QueueKey key{job.submit_time, job.priority};
   const bool ready = job.submit_time <= ready_now_;
   total_work_units_ += job.work_units;
-  jobs_.insert(it, std::move(job));
+  const std::uint32_t id = acquire_slot(std::move(job));
+  std::size_t index = order_.size();
+  while (index > 0 && keys_[index - 1].priority < key.priority) --index;
+  order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(index), id);
+  keys_.insert(keys_.begin() + static_cast<std::ptrdiff_t>(index), key);
   if (!ready_valid_) return;
   // Incremental prefix maintenance: an insertion inside the prefix either
   // extends it (ready job) or becomes the new gate (future job); an
@@ -28,26 +82,29 @@ void JobQueue::push(Job job) {
 }
 
 const Job& JobQueue::front() const {
-  MIGOPT_REQUIRE(!jobs_.empty(), "front of empty queue");
-  return jobs_.front();
+  MIGOPT_REQUIRE(!order_.empty(), "front of empty queue");
+  return slot(order_.front());
 }
 
 const Job& JobQueue::peek(std::size_t index) const {
-  MIGOPT_REQUIRE(index < jobs_.size(), "peek beyond queue size");
-  return jobs_[index];
+  MIGOPT_REQUIRE(index < order_.size(), "peek beyond queue size");
+  return slot(order_[index]);
 }
 
 Job& JobQueue::peek_mutable(std::size_t index) {
-  MIGOPT_REQUIRE(index < jobs_.size(), "peek beyond queue size");
-  return jobs_[index];
+  MIGOPT_REQUIRE(index < order_.size(), "peek beyond queue size");
+  return slot(order_[index]);
 }
 
 Job JobQueue::pop_front() {
-  MIGOPT_REQUIRE(!jobs_.empty(), "pop from empty queue");
-  Job job = std::move(jobs_.front());
-  jobs_.pop_front();
+  MIGOPT_REQUIRE(!order_.empty(), "pop from empty queue");
+  const std::uint32_t id = order_.front();
+  order_.erase(order_.begin());
+  keys_.erase(keys_.begin());
+  Job job = std::move(slot(id));
+  free_.push_back(id);
   total_work_units_ -= job.work_units;
-  if (jobs_.empty()) total_work_units_ = 0.0;  // cancel residual FP drift
+  if (order_.empty()) total_work_units_ = 0.0;  // cancel residual FP drift
   if (ready_valid_) {
     if (ready_count_ > 0)
       --ready_count_;
@@ -59,11 +116,14 @@ Job JobQueue::pop_front() {
 }
 
 Job JobQueue::pop_at(std::size_t index) {
-  MIGOPT_REQUIRE(index < jobs_.size(), "pop_at beyond queue size");
-  Job job = std::move(jobs_[index]);
-  jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(index));
+  MIGOPT_REQUIRE(index < order_.size(), "pop_at beyond queue size");
+  const std::uint32_t id = order_[index];
+  order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(index));
+  keys_.erase(keys_.begin() + static_cast<std::ptrdiff_t>(index));
+  Job job = std::move(slot(id));
+  free_.push_back(id);
   total_work_units_ -= job.work_units;
-  if (jobs_.empty()) total_work_units_ = 0.0;  // cancel residual FP drift
+  if (order_.empty()) total_work_units_ = 0.0;  // cancel residual FP drift
   if (ready_valid_) {
     if (index < ready_count_)
       --ready_count_;
@@ -75,8 +135,8 @@ Job JobQueue::pop_at(std::size_t index) {
 }
 
 void JobQueue::extend_ready_prefix() const noexcept {
-  while (ready_count_ < jobs_.size() &&
-         jobs_[ready_count_].submit_time <= ready_now_)
+  while (ready_count_ < keys_.size() &&
+         keys_[ready_count_].submit_time <= ready_now_)
     ++ready_count_;
 }
 

@@ -6,6 +6,15 @@
 // identically every run — and is regression-tested. With every priority at
 // its default of 0 the queue degenerates to the plain FIFO it used to be.
 //
+// Storage is structure-of-arrays over dense job ids: Job objects live in
+// arena-backed chunks (stable addresses, recycled through a free list —
+// steady-state push/pop never touches the heap), while queue order is a
+// vector of 32-bit slot ids mirrored by a parallel key column holding
+// exactly the two fields the scans read (priority for the stable insert,
+// submit_time for the ready prefix). Reordering moves 12-byte PODs instead
+// of whole Jobs, and the scans stay in two cache-dense arrays — this is the
+// hot structure of million-job trace replay (see common/arena.hpp).
+//
 // ready_count() memoizes the ready prefix: the scheduler probes it several
 // times per dispatch round (once per idle node, plus once inside every
 // CoScheduler::next call) at the same clock, and the answer only changes
@@ -14,21 +23,37 @@
 // a linear rescan of a potentially deep queue.
 #pragma once
 
-#include <deque>
-#include <optional>
+#include <cstdint>
+#include <vector>
 
+#include "common/arena.hpp"
 #include "sched/job.hpp"
 
 namespace migopt::sched {
 
 class JobQueue {
  public:
+  JobQueue() = default;
+  ~JobQueue() { destroy_slots(); }
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+  JobQueue(JobQueue&& other) noexcept { swap(other); }
+  JobQueue& operator=(JobQueue&& other) noexcept {
+    if (this != &other) {
+      destroy_slots();
+      reset_members();
+      swap(other);
+    }
+    return *this;
+  }
+
   /// Insert keeping the (priority desc, push order) ordering: the job lands
   /// after every queued job of equal or higher priority.
   void push(Job job);
 
-  bool empty() const noexcept { return jobs_.empty(); }
-  std::size_t size() const noexcept { return jobs_.size(); }
+  bool empty() const noexcept { return order_.empty(); }
+  std::size_t size() const noexcept { return order_.size(); }
 
   const Job& front() const;
   /// Look at position `index` from the front (0 == front).
@@ -42,6 +67,11 @@ class JobQueue {
   /// Remove and return the job at `index` (used when a partner is selected
   /// out of order).
   Job pop_at(std::size_t index);
+
+  /// Drop every queued job but keep the arena chunks and vector capacity, so
+  /// the next session's steady state starts allocation-free (what
+  /// Cluster::begin_session calls instead of rebuilding the queue).
+  void clear() noexcept;
 
   /// Sum of Job::work_units across queued jobs — the O(1) backlog signal an
   /// admission layer reads (see sched::Cluster::queued_work_units).
@@ -58,10 +88,36 @@ class JobQueue {
   std::size_t ready_count(double now) const noexcept;
 
  private:
+  /// The two Job fields the ordering scans read, mirrored per queue position
+  /// so neither scan dereferences a Job.
+  struct QueueKey {
+    double submit_time = 0.0;
+    int priority = 0;
+  };
+
+  /// Jobs per arena chunk. Slot id = chunk * kChunkJobs + offset.
+  static constexpr std::size_t kChunkJobs = 256;
+
+  Job& slot(std::uint32_t id) noexcept {
+    return chunks_[id / kChunkJobs][id % kChunkJobs];
+  }
+  const Job& slot(std::uint32_t id) const noexcept {
+    return chunks_[id / kChunkJobs][id % kChunkJobs];
+  }
+  std::uint32_t acquire_slot(Job&& job);
+  void destroy_slots() noexcept;
+  void reset_members() noexcept;
+  void swap(JobQueue& other) noexcept;
+
   /// Extend the cached prefix over jobs with submit_time <= ready_now_.
   void extend_ready_prefix() const noexcept;
 
-  std::deque<Job> jobs_;
+  Arena arena_;
+  std::vector<Job*> chunks_;         ///< arena-backed slabs of kChunkJobs
+  std::size_t constructed_ = 0;      ///< slots [0, constructed_) are live Jobs
+  std::vector<std::uint32_t> free_;  ///< recycled slot ids
+  std::vector<std::uint32_t> order_; ///< queue order -> slot id
+  std::vector<QueueKey> keys_;       ///< parallel to order_
   double total_work_units_ = 0.0;
 
   // Cached ready prefix: valid means ready_count_ is the prefix length for

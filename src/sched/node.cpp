@@ -139,8 +139,13 @@ Job Node::finish_head_slot() {
 }
 
 std::vector<Job> Node::advance_to(double t) {
-  MIGOPT_REQUIRE(t >= now_ - 1e-12, "cannot advance node backwards");
   std::vector<Job> finished;
+  advance_to(t, finished);
+  return finished;
+}
+
+void Node::advance_to(double t, std::vector<Job>& finished) {
+  MIGOPT_REQUIRE(t >= now_ - 1e-12, "cannot advance node backwards");
 
   while (now_ < t) {
     const double next = next_completion_time();
@@ -171,7 +176,6 @@ std::vector<Job> Node::advance_to(double t) {
     }
     if (dt <= 0.0 && !any_finished) break;  // nothing can progress
   }
-  return finished;
 }
 
 }  // namespace migopt::sched

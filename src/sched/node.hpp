@@ -65,6 +65,11 @@ class Node {
   /// idles forward (idle power accrues).
   std::vector<Job> advance_to(double t);
 
+  /// Appending variant of advance_to: completions are pushed onto
+  /// `finished` (which is not cleared). The replay hot loop passes a reused
+  /// scratch buffer here so the common no-completion step allocates nothing.
+  void advance_to(double t, std::vector<Job>& finished);
+
   /// Finish the slot closest to completion at the current clock. The
   /// indexed event core calls this when its completion heap says a job is
   /// due at the node clock but floating-point residue left the slot with a

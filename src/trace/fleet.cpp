@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
 #include <utility>
 
 #include <time.h>  // clock_gettime(CLOCK_MONOTONIC) — POSIX
@@ -205,8 +204,12 @@ FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
                    "clusters unconstrained)");
 }
 
-FleetEngine::ShardedTrace FleetEngine::route(const Trace& fleet_trace) const {
+RoutePlan FleetEngine::plan(const Trace& fleet_trace) const {
   fleet_trace.validate();
+  // Step entries reserve the top bit to tag budget shares, so both index
+  // spaces must stay below it.
+  MIGOPT_REQUIRE(fleet_trace.events.size() < RoutedShard::kShareBit,
+                 "fleet trace too large for 31-bit event indices");
 
   RouterConfig router_config = config_.router;
   if (router_config.affinity_salt == 0)
@@ -214,21 +217,32 @@ FleetEngine::ShardedTrace FleetEngine::route(const Trace& fleet_trace) const {
   FleetRouter router(router_config, config_.cluster_count,
                      config_.cluster.node_count);
 
-  ShardedTrace sharded;
-  sharded.shards.resize(static_cast<std::size_t>(config_.cluster_count));
-  for (Trace& shard : sharded.shards)
-    shard.events.reserve(fleet_trace.events.size() /
-                             static_cast<std::size_t>(config_.cluster_count) +
-                         4);
+  const std::size_t clusters = static_cast<std::size_t>(config_.cluster_count);
+  RoutePlan plan;
+  plan.fleet = &fleet_trace;
+  plan.steps.resize(clusters);
+  for (auto& steps : plan.steps)
+    steps.reserve(fleet_trace.events.size() / clusters + 4);
+  plan.event_tenants.assign(fleet_trace.events.size(), kNoSymbol);
+  plan.shard_jobs.assign(clusters, 0);
+
+  // Appends one budget share per cluster and the matching tagged step.
+  const auto push_shares = [&](const std::vector<double>& watts, double time) {
+    MIGOPT_REQUIRE(plan.shares.size() + clusters <= RoutedShard::kShareBit,
+                   "fleet trace too large for 31-bit share indices");
+    for (std::size_t c = 0; c < clusters; ++c) {
+      plan.steps[c].push_back(RoutedShard::kShareBit |
+                              static_cast<std::uint32_t>(plan.shares.size()));
+      plan.shares.push_back({time, watts[c]});
+    }
+  };
 
   // Starting fleet contract: split before any arrival (empty backlogs make
   // a demand split uniform) and stamped at t=0 in every shard.
-  if (config_.fleet_power_budget_watts.has_value()) {
-    const std::vector<double> shares = router.split_budget(
-        *config_.fleet_power_budget_watts, config_.power_split, 0.0);
-    for (std::size_t c = 0; c < sharded.shards.size(); ++c)
-      sharded.shards[c].events.push_back(TraceEvent::budget(0.0, shares[c]));
-  }
+  if (config_.fleet_power_budget_watts.has_value())
+    push_shares(router.split_budget(*config_.fleet_power_budget_watts,
+                                    config_.power_split, 0.0),
+                0.0);
 
   // Tenant names hash once per distinct tenant (ids are dense
   // first-appearance symbols, so the key cache is a flat vector).
@@ -237,14 +251,20 @@ FleetEngine::ShardedTrace FleetEngine::route(const Trace& fleet_trace) const {
 
   const bool timed = config_.measure_decision_latency;
   std::vector<double> latency_ns;
-  if (timed) latency_ns.reserve(fleet_trace.job_count());
+  // Upper bound (arrivals + budget events) instead of Trace::job_count():
+  // the exact count costs a full scan of a million-event trace inside the
+  // timed admission window, the slack is a handful of budget events.
+  if (timed) latency_ns.reserve(fleet_trace.events.size());
 
-  for (const TraceEvent& event : fleet_trace.events) {
+  for (std::size_t i = 0; i < fleet_trace.events.size(); ++i) {
+    const TraceEvent& event = fleet_trace.events[i];
+    const std::uint32_t index = static_cast<std::uint32_t>(i);
     if (event.kind == EventKind::JobArrival) {
       const Symbol tenant = tenant_symbols.intern(event.tenant);
       if (tenant >= tenant_keys.size())
         tenant_keys.push_back(fnv1a(event.tenant));
       const std::uint64_t key = tenant_keys[tenant];
+      plan.event_tenants[i] = tenant;
 
       int cluster = 0;
       if (timed) {
@@ -254,22 +274,25 @@ FleetEngine::ShardedTrace FleetEngine::route(const Trace& fleet_trace) const {
       } else {
         cluster = router.route(key, event.time_seconds, event.work_seconds);
       }
-      sharded.shards[static_cast<std::size_t>(cluster)].events.push_back(event);
+      plan.steps[static_cast<std::size_t>(cluster)].push_back(index);
+      ++plan.shard_jobs[static_cast<std::size_t>(cluster)];
     } else if (event.budget_watts <= 0.0) {
-      // A lifted fleet budget lifts every cluster.
-      for (Trace& shard : sharded.shards) shard.events.push_back(event);
+      // A lifted fleet budget lifts every cluster: passed through by index.
+      for (auto& steps : plan.steps) steps.push_back(index);
     } else {
-      const std::vector<double> shares = router.split_budget(
-          event.budget_watts, config_.power_split, event.time_seconds);
-      for (std::size_t c = 0; c < sharded.shards.size(); ++c)
-        sharded.shards[c].events.push_back(
-            TraceEvent::budget(event.time_seconds, shares[c]));
+      push_shares(router.split_budget(event.budget_watts, config_.power_split,
+                                      event.time_seconds),
+                  event.time_seconds);
     }
   }
 
-  sharded.router = router.stats();
+  plan.tenant_names.reserve(tenant_symbols.size());
+  for (std::size_t id = 0; id < tenant_symbols.size(); ++id)
+    plan.tenant_names.push_back(tenant_symbols.name(static_cast<Symbol>(id)));
+
+  plan.router = router.stats();
   if (timed && !latency_ns.empty()) {
-    RouterStats& stats = sharded.router;
+    RouterStats& stats = plan.router;
     stats.latency_samples = latency_ns.size();
     double sum = 0.0;
     for (const double ns : latency_ns) sum += ns;
@@ -286,35 +309,64 @@ FleetEngine::ShardedTrace FleetEngine::route(const Trace& fleet_trace) const {
     stats.decision_p50_ns = percentile(0.50);
     stats.decision_p99_ns = percentile(0.99);
   }
+  return plan;
+}
+
+FleetEngine::ShardedTrace FleetEngine::route(const Trace& fleet_trace) const {
+  // Materialize real per-shard traces from the index plan — the event copy
+  // replay no longer pays, for callers that want standalone shard traces.
+  const RoutePlan plan = this->plan(fleet_trace);
+  ShardedTrace sharded;
+  sharded.router = plan.router;
+  sharded.shards.resize(plan.steps.size());
+  for (std::size_t c = 0; c < plan.steps.size(); ++c) {
+    Trace& shard = sharded.shards[c];
+    shard.events.reserve(plan.steps[c].size());
+    for (const std::uint32_t step : plan.steps[c]) {
+      if (step & RoutedShard::kShareBit) {
+        const BudgetShare& share = plan.shares[step & ~RoutedShard::kShareBit];
+        shard.events.push_back(
+            TraceEvent::budget(share.time_seconds, share.watts));
+      } else {
+        shard.events.push_back(fleet_trace.events[step]);
+      }
+    }
+  }
   return sharded;
 }
 
 FleetReport FleetEngine::replay(const Trace& fleet_trace) const {
-  ShardedTrace sharded = route(fleet_trace);
-  const std::size_t clusters = sharded.shards.size();
+  const RoutePlan plan = this->plan(fleet_trace);
+  const std::size_t clusters = plan.steps.size();
 
   FleetReport report;
-  report.router = std::move(sharded.router);
+  report.router = plan.router;
   report.clusters.resize(clusters);
   report.shard_seeds.resize(clusters);
   for (std::size_t c = 0; c < clusters; ++c)
     report.shard_seeds[c] = stream_seed(config_.seed, c);
 
-  // One fully private environment per shard — chip, registry, trained
-  // allocator, scheduler, cluster. Profile runs mutate the allocator and
-  // RunMemo/DecisionCache are session state, so sharing any of it across
-  // shards would couple their schedules (and race under threads). Results
-  // land in pre-sized slots and merge below in index order: any fan-out
-  // width is bit-identical to serial.
+  // The offline phase is deterministic, so the model trains once and each
+  // shard copies the artifacts instead of repeating the training sweep —
+  // bit-identical to per-shard training, minus cluster_count-1 sweeps. The
+  // copies matter: profile runs mutate the allocator and RunMemo/
+  // DecisionCache are session state, so sharing a mutable allocator across
+  // shards would couple their schedules (and race under threads). Each
+  // shard still builds its own scheduler and cluster; results land in
+  // pre-sized slots and merge below in index order: any fan-out width is
+  // bit-identical to serial.
+  gpusim::GpuChip chip;
+  const wl::WorkloadRegistry registry(chip.arch());
+  const auto trained =
+      core::ResourcePowerAllocator::train(chip, registry, wl::table8_pairs());
   const auto replay_shard = [&](std::size_t c) {
-    gpusim::GpuChip chip;
-    const wl::WorkloadRegistry registry(chip.arch());
-    auto allocator =
-        core::ResourcePowerAllocator::train(chip, registry, wl::table8_pairs());
+    core::ResourcePowerAllocator::Config shard_config;
+    core::ResourcePowerAllocator allocator(trained.model(), trained.profiles(),
+                                           std::move(shard_config));
     sched::CoScheduler scheduler(allocator, config_.policy, config_.tuning);
     sched::Cluster cluster(config_.cluster);
-    report.clusters[c] = SimEngine(config_.sim).replay(
-        sharded.shards[c], registry, cluster, scheduler);
+    report.clusters[c] = SimEngine(config_.sim).replay(plan.shard(c), registry,
+                                                       cluster, scheduler);
   };
   if (config_.threads > 1 && clusters > 1) {
     ThreadPool pool(std::min(config_.threads, clusters));
@@ -324,6 +376,8 @@ FleetReport FleetEngine::replay(const Trace& fleet_trace) const {
   }
 
   // Merge in cluster-index order (deterministic double addition order).
+  // Tenant rows land in slots pre-sized by the plan's fleet-wide tenant
+  // census — no string-keyed map grows during the merge.
   WeightedMean wait;
   WeightedMean slowdown;
   struct TenantMerge {
@@ -331,7 +385,9 @@ FleetReport FleetEngine::replay(const Trace& fleet_trace) const {
     WeightedMean wait;
     WeightedMean slowdown;
   };
-  std::map<std::string, TenantMerge> tenants;
+  SymbolTable tenant_index;
+  std::vector<TenantMerge> tenants(plan.tenant_names.size());
+  for (const std::string& name : plan.tenant_names) tenant_index.intern(name);
   for (const SimReport& sim : report.clusters) {
     report.jobs_submitted += sim.jobs_submitted;
     report.jobs_completed += sim.cluster.jobs_completed;
@@ -353,7 +409,7 @@ FleetReport FleetEngine::replay(const Trace& fleet_trace) const {
     wait.add(sim.mean_queue_wait_seconds, sim.cluster.jobs_completed);
     slowdown.add(sim.mean_slowdown, sim.cluster.jobs_completed);
     for (const TenantStats& tenant : sim.tenants) {
-      TenantMerge& merged = tenants[tenant.tenant];
+      TenantMerge& merged = tenants[tenant_index.intern(tenant.tenant)];
       merged.stats.tenant = tenant.tenant;
       merged.stats.jobs_submitted += tenant.jobs_submitted;
       merged.stats.jobs_completed += tenant.jobs_completed;
@@ -369,8 +425,18 @@ FleetReport FleetEngine::replay(const Trace& fleet_trace) const {
     report.aggregate_jobs_per_hour =
         3600.0 * static_cast<double>(report.jobs_completed) /
         report.makespan_seconds;
-  report.tenants.reserve(tenants.size());
-  for (auto& [name, merged] : tenants) {
+  // Fleet symbols are first-appearance order; the report contract is
+  // name-sorted rows (what the string-keyed merge map used to yield).
+  std::vector<std::size_t> order;
+  order.reserve(tenants.size());
+  for (std::size_t i = 0; i < tenants.size(); ++i)
+    if (!tenants[i].stats.tenant.empty()) order.push_back(i);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tenants[a].stats.tenant < tenants[b].stats.tenant;
+  });
+  report.tenants.reserve(order.size());
+  for (const std::size_t i : order) {
+    TenantMerge& merged = tenants[i];
     merged.stats.mean_queue_wait_seconds = merged.wait.value();
     merged.stats.mean_slowdown = merged.slowdown.value();
     report.tenants.push_back(std::move(merged.stats));

@@ -4,29 +4,37 @@
 // A fleet trace is an ordinary Trace read at datacenter scope: arrivals are
 // jobs entering the *fleet*, budget events are the datacenter handing the
 // whole fleet a new power contract. The FleetRouter walks that stream once,
-// in time order, and turns it into N per-cluster shard traces: every
-// arrival is assigned to exactly one cluster by a pluggable placement
-// policy (tenant→cluster affinity hashing with optional least-loaded
-// spillover, pure least-loaded, round-robin baseline), and every fleet
-// budget event is split into per-cluster budget events (uniform or
-// demand-proportional against the router's load model).
+// in time order, and turns it into a RoutePlan: per-cluster vectors of
+// event *indices* over the single fleet trace — every arrival assigned to
+// exactly one cluster by a pluggable placement policy (tenant→cluster
+// affinity hashing with optional least-loaded spillover, pure least-loaded,
+// round-robin baseline), every fleet budget event split into per-cluster
+// budget shares (uniform or demand-proportional against the router's load
+// model). Routing output is O(events × sizeof(u32)) regardless of event
+// payload size: no per-shard Trace copies, no duplicated strings. Shard
+// sessions then iterate their index spans straight over the shared
+// immutable fleet trace (SimEngine's RoutedShard overload); route()
+// materializes real per-shard Traces from the same plan for callers that
+// want standalone shard traces (and for the zero-copy equivalence tests).
 //
 // Routing runs before replay on purpose: placement decisions depend only on
 // the arrival stream and the router's deterministic open-loop load model
 // (per-cluster backlog of assigned solo work, drained at node capacity), so
-// the shards are fixed *data* once routing ends. FleetEngine then replays
-// them as truly independent SimEngine sessions — each shard owns its chip,
-// registry, allocator, scheduler, and cluster; nothing mutable is shared —
-// fanned out over a ThreadPool. Per-shard results land in pre-sized slots
-// and merge in cluster-index order, so any thread count is bit-identical to
-// serial. Per-shard seeds are derived SplitMix64 streams of the fleet seed
+// the plan is fixed *data* once routing ends. FleetEngine then replays the
+// shards as truly independent SimEngine sessions — each shard owns its
+// scheduler, allocator state, and cluster; the trained model is built once
+// and copied per shard (training is deterministic, so this is bit-identical
+// to training per shard); nothing mutable is shared — fanned out over a
+// ThreadPool. Per-shard results land in pre-sized slots and merge in
+// cluster-index order, so any thread count is bit-identical to serial.
+// Per-shard seeds are derived SplitMix64 streams of the fleet seed
 // (common/rng stream_seed), recorded in the report so shard-local
 // stochastic components stay reproducible.
 //
 // The router is also where the fleet meets "millions of users": one
-// admission decision per arriving job, on the serving hot path. route() is
-// allocation-free after construction, and the engine can time every
-// decision (CLOCK_MONOTONIC) to report p50/p99 admission latency — a
+// admission decision per arriving job, on the serving hot path. plan() is
+// allocation-free per decision after construction, and the engine can time
+// every decision (CLOCK_MONOTONIC) to report p50/p99 admission latency — a
 // wall-clock measurement that rides the warn-only timing band of
 // tools/bench_diff.py, never the exact gate.
 #pragma once
@@ -141,6 +149,36 @@ class FleetRouter {
   RouterStats stats_;
 };
 
+/// The routing pre-pass's output: every admission decision, as indices over
+/// the fleet trace it was computed from. `steps[c]` is cluster c's event
+/// stream in fleet time order — entries without RoutedShard::kShareBit
+/// index `fleet->events` (arrivals routed to c, or lifted budgets passed to
+/// every cluster), entries with it index `shares` (c's slice of a split
+/// budget event). Holds a pointer to the routed trace: the plan is a *view*
+/// and must not outlive it.
+struct RoutePlan {
+  const Trace* fleet = nullptr;
+  std::vector<std::vector<std::uint32_t>> steps;  ///< per cluster
+  std::vector<BudgetShare> shares;  ///< split-budget pool (all clusters)
+  std::vector<Symbol> event_tenants;  ///< per fleet event; kNoSymbol = budget
+  std::vector<std::string> tenant_names;  ///< by tenant symbol
+  std::vector<std::size_t> shard_jobs;    ///< arrivals routed per cluster
+  RouterStats router;
+
+  /// Zero-copy view of cluster `c`'s slice (spans into this plan — the
+  /// plan and the fleet trace must outlive the returned shard).
+  RoutedShard shard(std::size_t c) const {
+    RoutedShard view;
+    view.fleet = fleet;
+    view.steps = steps[c];
+    view.shares = shares;
+    view.event_tenants = event_tenants;
+    view.tenant_names = tenant_names;
+    view.job_count = shard_jobs[c];
+    return view;
+  }
+};
+
 struct FleetConfig {
   int cluster_count = 4;
   /// Per-cluster shape: node count, event core, job-stats collection, and a
@@ -206,20 +244,29 @@ class FleetEngine {
 
   const FleetConfig& config() const noexcept { return config_; }
 
+  /// The admission pre-pass alone: route every arrival, split every budget
+  /// event, return the index-based plan plus router statistics (with
+  /// decision latency when configured). Serial and deterministic; the plan
+  /// views `fleet_trace` and must not outlive it.
+  RoutePlan plan(const Trace& fleet_trace) const;
+
   struct ShardedTrace {
     std::vector<Trace> shards;  ///< one per cluster, time order preserved
     RouterStats router;
   };
 
-  /// The admission pre-pass alone: route every arrival, split every budget
-  /// event, return the per-cluster shard traces plus router statistics
-  /// (with decision latency when configured). Serial and deterministic.
+  /// plan() materialized into standalone per-cluster shard traces (event
+  /// copies). Replay does not need this — it iterates the plan in place;
+  /// kept for callers that want self-contained shard traces and as the
+  /// reference the zero-copy equivalence tests replay against.
   ShardedTrace route(const Trace& fleet_trace) const;
 
-  /// route() + replay every shard through its own SimEngine session
-  /// (chip, registry, trained allocator, scheduler, cluster — nothing
-  /// shared) over `config.threads` workers, then merge. Bit-identical for
-  /// any thread count. Throws ContractViolation wherever a single-cluster
+  /// plan() + replay every shard through its own SimEngine session over
+  /// `config.threads` workers, then merge. Shards iterate the plan's index
+  /// spans over the shared fleet trace (no per-shard copies); the allocator
+  /// is trained once and copied per shard (deterministic training makes
+  /// that bit-identical to training per shard). Bit-identical for any
+  /// thread count. Throws ContractViolation wherever a single-cluster
   /// replay would (unsorted trace, unknown app, stalled shard, ...).
   FleetReport replay(const Trace& fleet_trace) const;
 

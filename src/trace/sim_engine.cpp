@@ -6,11 +6,12 @@
 #include <utility>
 
 #include "common/assert.hpp"
-#include "common/interner.hpp"
 
 namespace migopt::trace {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Per-job bookkeeping the sched::Job does not carry (indexed by JobId,
 /// which the engine assigns densely in arrival order).
@@ -37,42 +38,172 @@ struct TenantAccum {
   double slowdown_sum = 0.0;
 };
 
-}  // namespace
+/// What the event loop needs of one due trace event, source-independent.
+struct EventView {
+  const TraceEvent* arrival = nullptr;  ///< null -> budget event
+  double time = 0.0;
+  double watts = 0.0;      ///< budget events only; <= 0 lifts the contract
+  Symbol tenant = kNoSymbol;  ///< arrivals only
+};
 
-SimEngine::SimEngine(SimConfig config) : config_(config) {
-  MIGOPT_REQUIRE(config_.max_sim_seconds > 0.0,
-                 "simulation guard must be > 0 seconds");
-  MIGOPT_REQUIRE(config_.sample_interval_seconds >= 0.0,
-                 "sample interval must be >= 0");
+/// Event source over a plain Trace: walks the event array in order and
+/// interns tenant names locally (first-appearance dense ids).
+struct TraceSource {
+  const Trace& trace;
+  SymbolTable tenant_symbols;
+  std::size_t next = 0;
+  /// Due time of events[next], maintained across pops (see RoutedSource).
+  double head_time = kInf;
+
+  explicit TraceSource(const Trace& t) : trace(t) {
+    if (!t.events.empty()) head_time = t.events.front().time_seconds;
+  }
+
+  std::size_t job_count() const { return trace.job_count(); }
+  std::size_t tenant_hint() const { return 16; }
+  double horizon() const {
+    return trace.events.empty() ? 0.0 : trace.events.back().time_seconds;
+  }
+  double next_time() const { return head_time; }
+  EventView pop() {
+    const TraceEvent& event = trace.events[next++];
+    head_time = next < trace.events.size() ? trace.events[next].time_seconds
+                                           : kInf;
+    EventView view;
+    view.time = event.time_seconds;
+    if (event.kind == EventKind::JobArrival) {
+      view.arrival = &event;
+      view.tenant = tenant_symbols.intern(event.tenant);
+    } else {
+      view.watts = event.budget_watts;
+    }
+    return view;
+  }
+  std::string tenant_name(Symbol id) const {
+    return std::string(tenant_symbols.name(id));
+  }
+};
+
+/// Event source over a routed fleet shard: walks the shard's index span
+/// over the shared fleet trace; tenants are pre-interned fleet-wide.
+struct RoutedSource {
+  const RoutedShard& shard;
+  std::size_t next = 0;
+  /// Due time of steps[next], maintained across pops: the event loop asks
+  /// for the head time two or three times per iteration and the answer
+  /// lives behind a step-index load plus a fleet-event pointer chase (a
+  /// shard touches every Nth event of the shared array, so each chase is a
+  /// fresh cache line). One load instead.
+  double head_time = kInf;
+
+  explicit RoutedSource(const RoutedShard& s) : shard(s) {
+    if (!s.steps.empty()) head_time = step_time(s.steps.front());
+  }
+
+  std::size_t job_count() const { return shard.job_count; }
+  std::size_t tenant_hint() const { return shard.tenant_names.size(); }
+  double horizon() const {
+    return shard.fleet->events.empty()
+               ? 0.0
+               : shard.fleet->events.back().time_seconds;
+  }
+  double step_time(std::uint32_t step) const {
+    return (step & RoutedShard::kShareBit)
+               ? shard.shares[step & ~RoutedShard::kShareBit].time_seconds
+               : shard.fleet->events[step].time_seconds;
+  }
+  double next_time() const { return head_time; }
+  EventView pop() {
+    const std::uint32_t step = shard.steps[next++];
+    head_time =
+        next < shard.steps.size() ? step_time(shard.steps[next]) : kInf;
+    EventView view;
+    if (step & RoutedShard::kShareBit) {
+      const BudgetShare& share = shard.shares[step & ~RoutedShard::kShareBit];
+      view.time = share.time_seconds;
+      view.watts = share.watts;
+      return view;
+    }
+    const TraceEvent& event = shard.fleet->events[step];
+    view.time = event.time_seconds;
+    if (event.kind == EventKind::JobArrival) {
+      view.arrival = &event;
+      view.tenant = shard.event_tenants[step];
+    } else {
+      view.watts = event.budget_watts;  // lifted fleet budget, passed through
+    }
+    return view;
+  }
+  std::string tenant_name(Symbol id) const { return shard.tenant_names[id]; }
+};
+
+/// Cold failure path of a wedged replay (e.g. the final budget left the
+/// cluster unable to afford any cap): kept out of the event loop so the
+/// message — app and tenant in operator terms, as submitted, not the
+/// interned ids — is assembled only when actually thrown.
+template <typename Source>
+[[noreturn]] void throw_stalled_replay(const Source& source,
+                                       const sched::Cluster& cluster,
+                                       const sched::CoScheduler& scheduler,
+                                       const std::vector<JobBook>& books) {
+  const sched::Job& head = cluster.queue().front();
+  MIGOPT_ENSURE(head.id >= 0 &&
+                    static_cast<std::size_t>(head.id) < books.size(),
+                "stalled replay with a job the engine never submitted");
+  const JobBook& book = books[static_cast<std::size_t>(head.id)];
+  const std::string tenant =
+      source.tenant_name(static_cast<Symbol>(book.tenant_index));
+  const std::string app = (head.app.empty() && head.app_id != kNoSymbol)
+                              ? scheduler.app_name(head.app_id)
+                              : head.app;
+  throw ContractViolation(
+      "trace replay stalled: " + std::to_string(cluster.queued_count()) +
+      " job(s) queued but no future event can release them; head job " +
+      std::to_string(head.id) + " (app '" + app + "', tenant '" + tenant +
+      "', submitted t=" + std::to_string(head.submit_time) +
+      "s) cannot dispatch" +
+      (cluster.power_budget().has_value()
+           ? " under the standing power budget of " +
+                 std::to_string(*cluster.power_budget()) + " W"
+           : ""));
 }
 
-SimReport SimEngine::replay(const Trace& trace,
-                            const wl::WorkloadRegistry& registry,
-                            sched::Cluster& cluster,
-                            sched::CoScheduler& scheduler) const {
-  trace.validate();
+template <typename Source>
+SimReport replay_impl(const SimConfig& config, Source& source,
+                      const wl::WorkloadRegistry& registry,
+                      sched::Cluster& cluster,
+                      sched::CoScheduler& scheduler) {
   const auto cache_at_start = scheduler.decision_cache().stats();
   cluster.begin_session(scheduler);
   const gpusim::GpuChip& chip = cluster.nodes().front()->chip();
 
   SimReport report;
   std::vector<JobBook> books;
-  books.reserve(trace.job_count());
-  // Tenant ids in first-appearance order (dense, so the accumulator is a
-  // flat vector instead of a string-keyed map); names sorted for the report.
-  SymbolTable tenant_symbols;
+  books.reserve(source.job_count());
+  // Tenant accumulators indexed by the source's tenant ids (dense — local
+  // first-appearance symbols for a plain trace, fleet-wide symbols for a
+  // routed shard); names resolve and sort only at report assembly.
   std::vector<TenantAccum> tenants;
+  tenants.reserve(source.tenant_hint());
   // Per-app arrival constants, memoized under the scheduler's app ids.
   std::vector<AppInfo> app_info;
+  app_info.reserve(16);
 
   double wait_sum = 0.0;
   double slowdown_sum = 0.0;
   std::size_t completed = 0;
   double now = 0.0;
-  std::size_t next_event = 0;
-  double next_sample = config_.sample_interval_seconds > 0.0
-                           ? 0.0
-                           : std::numeric_limits<double>::infinity();
+  double next_sample = kInf;
+  if (config.sample_interval_seconds > 0.0) {
+    next_sample = 0.0;
+    // Sample times land on event-loop steps, so the series length is
+    // bounded by the trace horizon over the interval (plus the t=0 and
+    // final-step samples).
+    report.samples.reserve(
+        static_cast<std::size_t>(source.horizon() /
+                                 config.sample_interval_seconds) +
+        2);
+  }
 
   const auto cache_hit_rate = [&] {
     const auto stats = scheduler.decision_cache().stats();
@@ -108,46 +239,48 @@ SimReport SimEngine::replay(const Trace& trace,
 
   while (true) {
     // 1. Apply every trace event due at the clock.
-    while (next_event < trace.events.size() &&
-           trace.events[next_event].time_seconds <= now) {
-      const TraceEvent& event = trace.events[next_event];
-      if (event.kind == EventKind::JobArrival) {
-        const sched::TenantId tenant_id = tenant_symbols.intern(event.tenant);
-        if (tenant_id >= tenants.size()) tenants.emplace_back();
-        TenantAccum& tenant = tenants[tenant_id];
+    while (source.next_time() <= now) {
+      const EventView event = source.pop();
+      if (event.arrival != nullptr) {
+        const TraceEvent& arrival = *event.arrival;
+        if (event.tenant >= tenants.size())
+          tenants.resize(static_cast<std::size_t>(event.tenant) + 1);
+        TenantAccum& tenant = tenants[event.tenant];
 
         sched::Job job;
         job.id = static_cast<sched::JobId>(books.size());
-        job.app = event.app;
-        if (config_.intern_symbols) {
+        if (config.intern_symbols) {
           // Fast path: the registry walk and baseline model run once per
-          // distinct app; the job carries its interned ids so the scheduler
-          // never touches the strings again.
-          job.app_id = scheduler.intern_app(event.app);
-          job.tenant_id = tenant_id;
+          // distinct app; the job carries only its interned ids (no string
+          // copy — stats and profile recording resolve names through the
+          // scheduler's symbol table).
+          job.app_id = scheduler.intern_app(arrival.app);
+          job.tenant_id = event.tenant;
           if (job.app_id >= app_info.size())
             app_info.resize(static_cast<std::size_t>(job.app_id) + 1);
           AppInfo& info = app_info[job.app_id];
           if (info.kernel == nullptr) {
-            info.kernel = &registry.by_name(event.app).kernel;
+            info.kernel = &registry.by_name(arrival.app).kernel;
             info.solo_seconds_per_wu = chip.baseline_seconds(*info.kernel);
           }
           job.kernel = info.kernel;
           job.solo_seconds_per_wu = info.solo_seconds_per_wu;
         } else {
-          job.kernel = &registry.by_name(event.app).kernel;
+          job.app = arrival.app;
+          job.kernel = &registry.by_name(arrival.app).kernel;
           job.solo_seconds_per_wu = chip.baseline_seconds(*job.kernel);
         }
         job.work_units =
-            std::max(1.0, event.work_seconds / job.solo_seconds_per_wu);
-        job.submit_time = event.time_seconds;
-        job.priority = event.priority;
+            std::max(1.0, arrival.work_seconds / job.solo_seconds_per_wu);
+        job.submit_time = arrival.time_seconds;
+        job.priority = arrival.priority;
 
         JobBook book;
-        book.tenant_index = tenant_id;
-        book.deadline_absolute = event.deadline_seconds > 0.0
-                                     ? event.time_seconds + event.deadline_seconds
-                                     : 0.0;
+        book.tenant_index = event.tenant;
+        book.deadline_absolute =
+            arrival.deadline_seconds > 0.0
+                ? arrival.time_seconds + arrival.deadline_seconds
+                : 0.0;
         book.modeled_solo_seconds = job.work_units * job.solo_seconds_per_wu;
         books.push_back(book);
 
@@ -156,12 +289,11 @@ SimReport SimEngine::replay(const Trace& trace,
         tenant.work_seconds += book.modeled_solo_seconds;
         cluster.submit(std::move(job));
       } else {
-        cluster.set_power_budget(event.budget_watts > 0.0
-                                     ? std::optional<double>(event.budget_watts)
+        cluster.set_power_budget(event.watts > 0.0
+                                     ? std::optional<double>(event.watts)
                                      : std::nullopt);
         ++report.budget_events_applied;
       }
-      ++next_event;
     }
 
     // 2. Dispatch whatever fits the idle nodes and the budget headroom.
@@ -177,44 +309,21 @@ SimReport SimEngine::replay(const Trace& trace,
     if (now >= next_sample) {
       report.samples.push_back({now, cluster.queued_count(),
                                 cluster.running_count(), cache_hit_rate()});
-      next_sample = now + config_.sample_interval_seconds;
+      next_sample = now + config.sample_interval_seconds;
     }
 
     // 3. Advance to the next event on the heap's two spines.
-    const double t_trace = next_event < trace.events.size()
-                               ? trace.events[next_event].time_seconds
-                               : std::numeric_limits<double>::infinity();
+    const double t_trace = source.next_time();
     const double t_done = cluster.next_completion_time();
     const double t_next = std::min(t_trace, t_done);
     if (!std::isfinite(t_next)) {
       // No future event of any kind: the replay is done — unless jobs are
-      // still queued, which means nothing can ever release them (e.g. the
-      // final budget left the cluster unable to afford any cap). Name the
-      // wedged job in operator terms — app and tenant as submitted, not the
-      // interned ids — so the diagnosis starts from the trace line that
-      // produced it.
-      if (cluster.queued_count() != 0) {
-        const sched::Job& head = cluster.queue().front();
-        MIGOPT_ENSURE(head.id >= 0 &&
-                          static_cast<std::size_t>(head.id) < books.size(),
-                      "stalled replay with a job the engine never submitted");
-        const JobBook& book = books[static_cast<std::size_t>(head.id)];
-        const std::string tenant =
-            tenant_symbols.name(static_cast<Symbol>(book.tenant_index));
-        throw ContractViolation(
-            "trace replay stalled: " + std::to_string(cluster.queued_count()) +
-            " job(s) queued but no future event can release them; head job " +
-            std::to_string(head.id) + " (app '" + head.app + "', tenant '" +
-            tenant + "', submitted t=" + std::to_string(head.submit_time) +
-            "s) cannot dispatch" +
-            (cluster.power_budget().has_value()
-                 ? " under the standing power budget of " +
-                       std::to_string(*cluster.power_budget()) + " W"
-                 : ""));
-      }
+      // still queued, which means nothing can ever release them.
+      if (cluster.queued_count() != 0)
+        throw_stalled_replay(source, cluster, scheduler, books);
       break;
     }
-    MIGOPT_ENSURE(t_next <= config_.max_sim_seconds,
+    MIGOPT_ENSURE(t_next <= config.max_sim_seconds,
                   "trace replay exceeded its simulated-time guard");
     now = std::max(now, t_next);
     // Advance every node (idle ones accrue idle power, exactly as the batch
@@ -234,12 +343,16 @@ SimReport SimEngine::replay(const Trace& trace,
                            report.cluster.makespan_seconds;
 
   // Names sorted for the report (what the string-keyed map used to yield).
+  // A routed shard's accumulator is indexed by *fleet-wide* tenant ids, so
+  // tenants the router sent elsewhere sit at submitted == 0 and are skipped
+  // (a plain trace interns tenants only on arrival — no zero rows exist).
   std::vector<std::pair<std::string, std::size_t>> by_name;
   by_name.reserve(tenants.size());
   for (std::size_t id = 0; id < tenants.size(); ++id)
-    by_name.emplace_back(tenant_symbols.name(static_cast<Symbol>(id)), id);
+    if (tenants[id].submitted > 0)
+      by_name.emplace_back(source.tenant_name(static_cast<Symbol>(id)), id);
   std::sort(by_name.begin(), by_name.end());
-  report.tenants.reserve(tenants.size());
+  report.tenants.reserve(by_name.size());
   for (const auto& [name, index] : by_name) {
     const TenantAccum& accum = tenants[index];
     TenantStats stats;
@@ -257,6 +370,36 @@ SimReport SimEngine::replay(const Trace& trace,
     report.tenants.push_back(std::move(stats));
   }
   return report;
+}
+
+}  // namespace
+
+SimEngine::SimEngine(SimConfig config) : config_(config) {
+  MIGOPT_REQUIRE(config_.max_sim_seconds > 0.0,
+                 "simulation guard must be > 0 seconds");
+  MIGOPT_REQUIRE(config_.sample_interval_seconds >= 0.0,
+                 "sample interval must be >= 0");
+}
+
+SimReport SimEngine::replay(const Trace& trace,
+                            const wl::WorkloadRegistry& registry,
+                            sched::Cluster& cluster,
+                            sched::CoScheduler& scheduler) const {
+  trace.validate();
+  TraceSource source{trace};
+  return replay_impl(config_, source, registry, cluster, scheduler);
+}
+
+SimReport SimEngine::replay(const RoutedShard& shard,
+                            const wl::WorkloadRegistry& registry,
+                            sched::Cluster& cluster,
+                            sched::CoScheduler& scheduler) const {
+  // The fleet trace was validated once by the routing pre-pass; the shard's
+  // step span preserves its time order by construction, so no per-shard
+  // validation or job-count walk is repeated here.
+  MIGOPT_REQUIRE(shard.fleet != nullptr, "routed shard without a fleet trace");
+  RoutedSource source{shard};
+  return replay_impl(config_, source, registry, cluster, scheduler);
 }
 
 }  // namespace migopt::trace

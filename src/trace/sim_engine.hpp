@@ -9,6 +9,15 @@
 // completion}, collecting finished jobs. Completions at time T are
 // processed before arrivals at T.
 //
+// Two event sources drive the same loop:
+//   - a plain Trace (replay(const Trace&, ...)) — the single-cluster entry;
+//   - a RoutedShard — one cluster's slice of a *fleet* trace described as a
+//     span of event indices over the fleet's event array plus the budget
+//     shares the admission router synthesized. The zero-copy fleet path:
+//     the router never materializes per-shard Trace copies, each shard
+//     session iterates its index span straight over the shared immutable
+//     fleet trace. Bit-identical to replaying the materialized shard trace.
+//
 // On top of the cluster report it accumulates the online-serving metrics a
 // batch run cannot see: queue waits, slowdowns, per-tenant accounting,
 // deadline misses, peak queue depth, and an optional time series of the
@@ -17,9 +26,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/interner.hpp"
 #include "sched/cluster.hpp"
 #include "trace/trace.hpp"
 #include "workloads/registry.hpp"
@@ -36,12 +48,46 @@ struct SimConfig {
   /// When true (default) the engine interns app/tenant names once per
   /// distinct symbol and stamps Job::app_id/tenant_id on every arrival, with
   /// the registry lookup and baseline-seconds model memoized per app — the
-  /// fast path for million-job traces. When false, jobs are submitted with
-  /// only the string (the scheduler interns lazily) and per-arrival lookups
-  /// go through the registry each time — the legacy string path the
-  /// interning-equivalence tests replay against. Both produce bit-identical
-  /// reports.
+  /// fast path for million-job traces. Jobs then carry *only* the ids (the
+  /// app string stays empty; name-keyed consumers resolve through the
+  /// scheduler's symbol table), so the hot path never copies a string. When
+  /// false, jobs are submitted with only the string (the scheduler interns
+  /// lazily) and per-arrival lookups go through the registry each time — the
+  /// legacy string path the interning-equivalence tests replay against.
+  /// Both produce bit-identical reports.
   bool intern_symbols = true;
+};
+
+/// One per-cluster share of a split fleet budget event (see RoutedShard).
+struct BudgetShare {
+  double time_seconds = 0.0;
+  double watts = 0.0;  ///< always > 0 (lifted budgets pass through unsplit)
+};
+
+/// A cluster's slice of a fleet trace, by reference: event *indices* over
+/// the fleet's event array instead of copied events. Produced by
+/// trace::FleetEngine's routing pre-pass; the fleet trace and the index/
+/// share storage must outlive the replay (the engine reads, never copies).
+struct RoutedShard {
+  /// Steps with this bit set index `shares` (a budget share synthesized by
+  /// the router); steps without it index `fleet->events` directly (an
+  /// arrival routed to this cluster, or a lifted fleet budget passed
+  /// through to every cluster).
+  static constexpr std::uint32_t kShareBit = 0x80000000u;
+
+  const Trace* fleet = nullptr;
+  /// This shard's event stream, in fleet time order.
+  std::span<const std::uint32_t> steps;
+  /// Budget-share pool (fleet-wide; steps select this shard's entries).
+  std::span<const BudgetShare> shares;
+  /// Fleet-wide interned tenant of each fleet event (kNoSymbol for budget
+  /// events) — arrivals reuse the router's interning pass instead of
+  /// re-hashing tenant names per shard.
+  std::span<const Symbol> event_tenants;
+  /// Tenant names by fleet tenant symbol (for the per-tenant report).
+  std::span<const std::string> tenant_names;
+  /// Arrivals in `steps` (known from routing — pre-sizes the bookkeeping).
+  std::size_t job_count = 0;
 };
 
 struct TenantStats {
@@ -89,6 +135,15 @@ class SimEngine {
   /// or a stalled replay (queued jobs left but no event can ever release
   /// them).
   SimReport replay(const Trace& trace, const wl::WorkloadRegistry& registry,
+                   sched::Cluster& cluster,
+                   sched::CoScheduler& scheduler) const;
+
+  /// Same loop over a routed fleet shard: events come from index spans over
+  /// the (already validated) fleet trace, tenants from the fleet-wide
+  /// interning pass. No per-shard trace copy, validation walk, or tenant
+  /// re-hashing. Bit-identical to replaying the materialized shard trace.
+  SimReport replay(const RoutedShard& shard,
+                   const wl::WorkloadRegistry& registry,
                    sched::Cluster& cluster,
                    sched::CoScheduler& scheduler) const;
 

@@ -218,5 +218,103 @@ TEST(JobQueue, ReadyCountCacheMatchesBruteForceUnderRandomOps) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// SoA ↔ AoS equivalence: the queue stores Jobs in arena chunks addressed by
+// slot id with a separate key column, so every field must survive the trip
+// bit-for-bit against a plain array-of-structs reference under the same
+// mutation sequence — not just the id the ordering tests check.
+// ---------------------------------------------------------------------------
+
+void expect_jobs_identical(const Job& a, const Job& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.app, b.app);
+  EXPECT_EQ(a.app_id, b.app_id);
+  EXPECT_EQ(a.tenant_id, b.tenant_id);
+  EXPECT_EQ(a.kernel, b.kernel);
+  EXPECT_EQ(a.work_units, b.work_units);
+  EXPECT_EQ(a.submit_time, b.submit_time);
+  EXPECT_EQ(a.priority, b.priority);
+  EXPECT_EQ(a.solo_seconds_per_wu, b.solo_seconds_per_wu);
+  EXPECT_EQ(a.start_time, b.start_time);
+  EXPECT_EQ(a.finish_time, b.finish_time);
+}
+
+TEST(JobQueue, SoAStorageMatchesAoSReferenceUnderRandomOps) {
+  Rng rng(7041);
+  JobQueue queue;
+  std::vector<Job> reference;  // AoS mirror in queue order
+  const char* apps[] = {"sgemm", "stream", "kmeans", "needle"};
+
+  int next_id = 0;
+  for (int step = 0; step < 1500; ++step) {
+    const std::uint64_t op = rng.next() % 8;
+    if (op < 4 || queue.empty()) {
+      Job job = make_job(next_id, apps[next_id % 4],
+                         static_cast<double>(rng.next() % 100),
+                         static_cast<int>(rng.next() % 3));
+      // Distinct values in every field the scheduler reads or writes.
+      job.work_units = 1.0 + static_cast<double>(rng.next() % 1000) / 7.0;
+      job.app_id = static_cast<AppId>(next_id % 4);
+      job.tenant_id = static_cast<TenantId>(next_id % 3);
+      job.solo_seconds_per_wu = 0.01 * static_cast<double>(1 + next_id % 9);
+      ++next_id;
+      queue.push(job);
+      auto it = reference.end();
+      while (it != reference.begin() &&
+             std::prev(it)->priority < job.priority)
+        --it;
+      reference.insert(it, job);
+    } else if (op < 6) {
+      const Job popped = queue.pop_front();
+      expect_jobs_identical(popped, reference.front());
+      reference.erase(reference.begin());
+    } else {
+      const std::size_t index = rng.next() % queue.size();
+      const Job popped = queue.pop_at(index);
+      expect_jobs_identical(popped, reference[index]);
+      reference.erase(reference.begin() + static_cast<std::ptrdiff_t>(index));
+    }
+    ASSERT_EQ(queue.size(), reference.size());
+    if (!queue.empty()) {
+      // Peeks read through the slot indirection without moving anything.
+      const std::size_t probe = rng.next() % queue.size();
+      expect_jobs_identical(queue.peek(probe), reference[probe]);
+    }
+  }
+  while (!queue.empty()) {
+    expect_jobs_identical(queue.pop_front(), reference.front());
+    reference.erase(reference.begin());
+  }
+}
+
+TEST(JobQueue, ClearRecyclesStorageAndReplaysIdentically) {
+  // clear() is what Cluster::begin_session calls between sessions: the arena
+  // chunks and slot free list survive, and an identical push/pop sequence in
+  // the next epoch must behave identically (this is the queue-level face of
+  // Arena's deterministic reset).
+  JobQueue queue;
+  const auto run_epoch = [&queue] {
+    std::vector<int> drained;
+    for (int i = 0; i < 600; ++i)  // > kChunkJobs, so multiple chunks
+      queue.push(make_job(i, "sgemm", static_cast<double>(i % 5), i % 3));
+    while (!queue.empty()) drained.push_back(queue.pop_front().id);
+    return drained;
+  };
+  const std::vector<int> first = run_epoch();
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.total_work_units(), 0.0);
+  const std::vector<int> second = run_epoch();
+  EXPECT_EQ(first, second);
+
+  // clear() with jobs still queued also resets the backlog signal exactly.
+  queue.push(make_job(0, "stream"));
+  queue.push(make_job(1, "kmeans"));
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.total_work_units(), 0.0);
+  EXPECT_EQ(queue.ready_count(100.0), 0u);
+}
+
 }  // namespace
 }  // namespace migopt::sched

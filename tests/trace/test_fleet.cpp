@@ -363,5 +363,106 @@ TEST(FleetEngine, RunMemoCountersSurfaceInTheMergedReport) {
   EXPECT_EQ(report.run_memo_misses, misses);
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy routed replay — iterating the RoutePlan's index spans over the
+// shared fleet trace must be bit-identical to replaying the materialized
+// per-shard traces route() builds from the same routing walk. This is the
+// equivalence the FleetEngine header promises; route() exists largely so
+// this test can hold it to account.
+// ---------------------------------------------------------------------------
+
+void expect_sim_reports_bit_identical(const SimReport& a, const SimReport& b) {
+  EXPECT_EQ(a.jobs_submitted, b.jobs_submitted);
+  EXPECT_EQ(a.budget_events_applied, b.budget_events_applied);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.peak_queue_depth, b.peak_queue_depth);
+  EXPECT_EQ(a.mean_queue_wait_seconds, b.mean_queue_wait_seconds);
+  EXPECT_EQ(a.max_queue_wait_seconds, b.max_queue_wait_seconds);
+  EXPECT_EQ(a.mean_slowdown, b.mean_slowdown);
+  EXPECT_EQ(a.jobs_per_hour, b.jobs_per_hour);
+  EXPECT_EQ(a.cluster.jobs_completed, b.cluster.jobs_completed);
+  EXPECT_EQ(a.cluster.makespan_seconds, b.cluster.makespan_seconds);
+  EXPECT_EQ(a.cluster.total_energy_joules, b.cluster.total_energy_joules);
+  EXPECT_EQ(a.cluster.pair_dispatches, b.cluster.pair_dispatches);
+  EXPECT_EQ(a.cluster.exclusive_dispatches, b.cluster.exclusive_dispatches);
+  EXPECT_EQ(a.cluster.profile_runs, b.cluster.profile_runs);
+  EXPECT_EQ(a.cluster.decision_cache_hits, b.cluster.decision_cache_hits);
+  EXPECT_EQ(a.cluster.decision_cache_misses, b.cluster.decision_cache_misses);
+  EXPECT_EQ(a.cluster.peak_cap_sum_watts, b.cluster.peak_cap_sum_watts);
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+    EXPECT_EQ(a.tenants[i].tenant, b.tenants[i].tenant);
+    EXPECT_EQ(a.tenants[i].jobs_submitted, b.tenants[i].jobs_submitted);
+    EXPECT_EQ(a.tenants[i].jobs_completed, b.tenants[i].jobs_completed);
+    EXPECT_EQ(a.tenants[i].mean_queue_wait_seconds,
+              b.tenants[i].mean_queue_wait_seconds);
+    EXPECT_EQ(a.tenants[i].mean_slowdown, b.tenants[i].mean_slowdown);
+  }
+}
+
+TEST(FleetEngine, ZeroCopyPlanReplaysIdenticalToMaterializedShards) {
+  const Trace trace = fleet_trace(300, 17);
+  // Two routing shapes: plain affinity, and spillover + a demand-split fleet
+  // budget (so split-budget share steps are exercised, not just arrivals).
+  for (const bool with_budget : {false, true}) {
+    FleetConfig config = small_fleet(4, 2);
+    config.router.policy = RouterPolicy::TenantAffinity;
+    config.router.spill_delay_seconds = 90.0;
+    if (with_budget) {
+      config.fleet_power_budget_watts = 1600.0;
+      config.power_split = PowerSplit::DemandProportional;
+    }
+    const FleetEngine engine(config);
+    const RoutePlan plan = engine.plan(trace);
+    const auto sharded = engine.route(trace);
+    ASSERT_EQ(sharded.shards.size(), plan.steps.size());
+
+    // Rebuild exactly the per-shard session FleetEngine::replay constructs:
+    // a fresh allocator copy, scheduler, and cluster per replay (profile
+    // runs mutate the allocator, so the sides must not share one).
+    gpusim::GpuChip chip;
+    const wl::WorkloadRegistry registry(chip.arch());
+    const auto trained = core::ResourcePowerAllocator::train(
+        chip, registry, wl::table8_pairs());
+    const auto replay = [&](const auto& source) {
+      core::ResourcePowerAllocator allocator(trained.model(),
+                                             trained.profiles(), {});
+      sched::CoScheduler scheduler(allocator, config.policy, config.tuning);
+      sched::Cluster cluster(config.cluster);
+      return SimEngine(config.sim).replay(source, registry, cluster,
+                                          scheduler);
+    };
+    std::size_t replayed_jobs = 0;
+    for (std::size_t c = 0; c < sharded.shards.size(); ++c) {
+      const SimReport zero_copy = replay(plan.shard(c));
+      const SimReport materialized = replay(sharded.shards[c]);
+      expect_sim_reports_bit_identical(zero_copy, materialized);
+      replayed_jobs += zero_copy.jobs_submitted;
+    }
+    EXPECT_EQ(replayed_jobs, trace.job_count());
+  }
+}
+
+TEST(FleetEngine, StallDiagnosticsSurviveTheRoutedPath) {
+  // A wedged shard must fail as loudly through the zero-copy routed replay
+  // as through a plain trace — with the same operator-facing diagnostics
+  // (app and tenant *names*, standing budget), even though routed arrivals
+  // travel as interned symbols and never carry their strings.
+  Trace trace;
+  trace.events.push_back(TraceEvent::budget(0.0, 50.0));
+  trace.events.push_back(TraceEvent::arrival(1.0, "acme-ml", "sgemm", 10.0));
+  FleetConfig config = small_fleet(1, 2);
+  try {
+    FleetEngine(config).replay(trace);
+    FAIL() << "stalled routed replay did not throw";
+  } catch (const ContractViolation& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("app 'sgemm'"), std::string::npos) << message;
+    EXPECT_NE(message.find("tenant 'acme-ml'"), std::string::npos) << message;
+    EXPECT_NE(message.find("power budget"), std::string::npos) << message;
+    EXPECT_NE(message.find("50.0"), std::string::npos) << message;
+  }
+}
+
 }  // namespace
 }  // namespace migopt::trace

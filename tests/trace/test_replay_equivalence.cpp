@@ -36,7 +36,8 @@ constexpr std::uint64_t kSeed = 7;
 
 /// Mirror of the ext_trace_replay bench environment for one regime.
 SimReport run_regime(ReplayRegime regime, std::size_t cache_capacity,
-                     bool intern_symbols, sched::EventCore core) {
+                     bool intern_symbols, sched::EventCore core,
+                     std::uint64_t seed = kSeed, std::size_t jobs = kJobs) {
   gpusim::GpuChip chip;
   const wl::WorkloadRegistry registry(chip.arch());
   auto allocator =
@@ -55,7 +56,7 @@ SimReport run_regime(ReplayRegime regime, std::size_t cache_capacity,
   sim_config.max_sim_seconds = 1.0e8;
   sim_config.intern_symbols = intern_symbols;
   return SimEngine(sim_config)
-      .replay(make_regime_trace(regime, kJobs, kNodes, kSeed, registry.names()),
+      .replay(make_regime_trace(regime, jobs, kNodes, seed, registry.names()),
               registry, cluster, scheduler);
 }
 
@@ -252,6 +253,52 @@ TEST(ReplayEquivalence, BudgetWalkRegimePinsBaselineAndIndexedCore) {
   const SimReport indexed = run_regime(ReplayRegime::BudgetWalk, 0, true,
                                        sched::EventCore::Indexed);
   expect_same_schedule(interned, indexed);
+}
+
+// ---------------------------------------------------------------------------
+// Calendar event core — the timer-wheel completion queue must be a drop-in
+// replacement for the Indexed heap: same lazy catch-up, same pop order, so
+// bit-identical reports; and the usual same-schedule relation against Exact.
+// ---------------------------------------------------------------------------
+
+TEST(ReplayEquivalence, CalendarCoreMatchesIndexedAndExactThreeWay) {
+  for (const ReplayRegime regime :
+       {ReplayRegime::Poisson, ReplayRegime::Bursty, ReplayRegime::BudgetWalk}) {
+    const SimReport exact =
+        run_regime(regime, 0, true, sched::EventCore::Exact);
+    const SimReport indexed =
+        run_regime(regime, 0, true, sched::EventCore::Indexed);
+    const SimReport calendar =
+        run_regime(regime, 0, true, sched::EventCore::Calendar);
+    // Calendar and Indexed share the lazy catch-up stepping exactly — every
+    // double must agree to the last bit, not just the schedule.
+    expect_reports_bit_identical(indexed, calendar);
+    expect_same_schedule(exact, calendar);
+  }
+}
+
+TEST(ReplayEquivalence, CalendarCoreHoldsOverRandomizedTraces) {
+  // Randomized arrival patterns (fresh seed per round, smaller traces so the
+  // sweep stays fast) — the wheel's bucket boundaries land differently every
+  // time; stale-entry skipping and wrap-around must never change a decision.
+  for (const std::uint64_t seed : {101u, 202u, 303u, 404u}) {
+    const SimReport indexed = run_regime(ReplayRegime::Bursty, 0, true,
+                                         sched::EventCore::Indexed, seed,
+                                         /*jobs=*/2000);
+    const SimReport calendar = run_regime(ReplayRegime::Bursty, 0, true,
+                                          sched::EventCore::Calendar, seed,
+                                          /*jobs=*/2000);
+    expect_reports_bit_identical(indexed, calendar);
+  }
+  // Cache pressure changes the dispatch sequence; the equivalence must not
+  // depend on a cold, never-evicting cache.
+  const SimReport indexed = run_regime(ReplayRegime::Poisson, 48, true,
+                                       sched::EventCore::Indexed, 11,
+                                       /*jobs=*/2000);
+  const SimReport calendar = run_regime(ReplayRegime::Poisson, 48, true,
+                                        sched::EventCore::Calendar, 11,
+                                        /*jobs=*/2000);
+  expect_reports_bit_identical(indexed, calendar);
 }
 
 }  // namespace

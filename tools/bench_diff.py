@@ -10,7 +10,11 @@ Compares the schema-v1 documents the bench binaries emit (see README):
   cpu_time) are noisy, so only slowdowns beyond --time-tolerance count;
   speedups are reported as improvements. With --time-warn-only, timing
   slowdowns are printed but never fail the diff — the mode CI uses to gate
-  hard on summaries while tolerating hosted-runner hardware variance.
+  hard on summaries while tolerating hosted-runner hardware variance;
+* rows carrying a `sim_jobs_per_sec` value (the fleet replay throughput
+  gauge) additionally get an old -> new trend line with the percentage
+  delta. The trend is always warn-only: throughput rides the same hardware
+  variance as the timing band and never fails the diff.
 
 Inputs are two files, or two directories holding BENCH_*.json documents
 (matched by file name). Rows/scenarios present on only one side are reported
@@ -67,6 +71,7 @@ class Report:
         self.regressions: list[str] = []
         self.timing_warnings: list[str] = []
         self.improvements: list[str] = []
+        self.trends: list[str] = []
         self.notes: list[str] = []
         self.time_warn_only = time_warn_only
 
@@ -81,6 +86,8 @@ class Report:
             print(f"  note: {line}")
         for line in self.improvements:
             print(f"  improvement: {line}")
+        for line in self.trends:
+            print(f"  throughput trend: {line}")
         for line in self.timing_warnings:
             print(f"  timing warning: {line}")
         for line in self.regressions:
@@ -170,6 +177,15 @@ def compare_timing_rows(where: str, old: dict, new: dict, time_tolerance: float,
                 report.improvements.append(
                     f"{where}: '{label}' {column} sped up {old_num:.1f} -> "
                     f"{new_num:.1f} {old_unit} ({old_num / new_num:.2f}x)")
+        old_rate = numeric(old_values.get("sim_jobs_per_sec"))
+        new_rate = numeric(new_values.get("sim_jobs_per_sec"))
+        if old_rate is not None and new_rate is not None and old_rate > 0.0:
+            # Warn-only by construction: the trend lands in its own bucket
+            # and is never counted as a regression.
+            delta = (new_rate - old_rate) / old_rate
+            report.trends.append(
+                f"{where}: '{label}' sim_jobs_per_sec "
+                f"{old_rate:,.0f} -> {new_rate:,.0f} ({delta:+.1%})")
     for label in new_by_label:
         if all(label_of(row) != label for row in old.get("rows", [])):
             report.notes.append(f"{where}: new row '{label}'")
@@ -256,6 +272,7 @@ def main() -> int:
           f"{len(report.regressions)} regression(s), "
           f"{len(report.timing_warnings)} timing warning(s), "
           f"{len(report.improvements)} improvement(s), "
+          f"{len(report.trends)} throughput trend(s), "
           f"{len(report.notes)} note(s)")
     report.print()
     return 1 if report.regressions else 0
