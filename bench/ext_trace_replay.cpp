@@ -53,6 +53,11 @@ struct Regime {
   sched::EventCore event_core = sched::EventCore::Exact;
   bool collect_job_stats = true;
   bool report_throughput = false;  ///< emit the wall-clock timing section
+  /// Collect SimEngine's per-phase host-time tallies and emit them as a
+  /// timing-row section (warn-only band). Run separately from the
+  /// throughput regime: the per-phase clock reads would tax the wall-clock
+  /// row they sit next to.
+  bool profile_phases = false;
 };
 
 struct RegimeOutcome {
@@ -83,6 +88,7 @@ RegimeOutcome run_regime(const Regime& regime) {
 
   trace::SimConfig sim_config;
   sim_config.max_sim_seconds = 1.0e8;
+  sim_config.collect_phase_counters = regime.profile_phases;
   const trace::Trace job_trace = trace::make_regime_trace(
       regime.preset, regime.jobs, regime.nodes, kSeed, registry.names());
 
@@ -183,6 +189,31 @@ report::Section render_throughput(const Regime& regime,
   return section;
 }
 
+/// SimEngine's per-phase host-time tallies as timing rows (real_time +
+/// time_unit — the warn-only band of tools/bench_diff.py; the section
+/// carries no summary, so nothing here ever gates the build). Shows where a
+/// replay's wall clock actually goes: event apply, dispatch, accounting, or
+/// completion draining.
+report::Section render_phase_profile(const Regime& regime,
+                                     const trace::SimReport& sim) {
+  report::Section section;
+  section.title = std::string(regime.name) + " phase profile";
+  section.label_header = "phase";
+  section.columns = {"real_time", "time_unit", "steps"};
+  const auto add = [&](const char* phase, double seconds) {
+    section.add_row(phase,
+                    {MetricValue::num(seconds * 1e3, 1), MetricValue::str("ms"),
+                     MetricValue::of_count(
+                         static_cast<long long>(sim.phases.steps))});
+  };
+  add("event_apply", sim.phases.event_apply_seconds);
+  add("budget_rebroker", sim.phases.budget_rebroker_seconds);
+  add("dispatch", sim.phases.dispatch_seconds);
+  add("accounting", sim.phases.accounting_seconds);
+  add("completion", sim.phases.completion_seconds);
+  return section;
+}
+
 report::ScenarioResult run(const report::RunContext& ctx) {
   Regime mega;
   mega.name = "mega 1M jobs";
@@ -192,6 +223,12 @@ report::ScenarioResult run(const report::RunContext& ctx) {
   mega.event_core = sched::EventCore::Indexed;
   mega.collect_job_stats = false;
   mega.report_throughput = true;
+  // Same mega replay, re-run with the per-phase tallies on. A separate
+  // regime so the phase clock reads never tax the throughput row above.
+  Regime mega_profiled = mega;
+  mega_profiled.name = "mega 1M jobs";
+  mega_profiled.report_throughput = false;
+  mega_profiled.profile_phases = true;
   const std::vector<Regime> regimes = {
       {"poisson 10k jobs", "steady arrivals, unconstrained budget",
        trace::ReplayRegime::Poisson},
@@ -202,6 +239,7 @@ report::ScenarioResult run(const report::RunContext& ctx) {
       {"poisson 10k jobs, 48-entry cache", "LRU pressure on the DecisionCache",
        trace::ReplayRegime::Poisson, 48},
       mega,
+      mega_profiled,
   };
 
   std::vector<RegimeOutcome> outcomes(regimes.size());
@@ -210,6 +248,10 @@ report::ScenarioResult run(const report::RunContext& ctx) {
 
   report::ScenarioResult result;
   for (std::size_t i = 0; i < regimes.size(); ++i) {
+    if (regimes[i].profile_phases) {
+      result.add_section(render_phase_profile(regimes[i], outcomes[i].sim));
+      continue;  // stats section would duplicate the unprofiled mega run's
+    }
     result.add_section(render(regimes[i], outcomes[i].sim));
     if (regimes[i].report_throughput)
       result.add_section(render_throughput(regimes[i], outcomes[i]));
@@ -224,7 +266,9 @@ report::ScenarioResult run(const report::RunContext& ctx) {
       "regime replays a million-job trace on 64 nodes through the Indexed\n"
       "event core (interned symbols, completion heap, O(1) bookkeeping);\n"
       "its summaries are deterministic while the wall-clock throughput row\n"
-      "rides the warn-only timing band of bench_diff.");
+      "rides the warn-only timing band of bench_diff. The phase profile\n"
+      "section re-runs the mega replay with SimEngine's per-phase tallies on\n"
+      "(timing rows, no summary — never gates).");
   return result;
 }
 

@@ -11,9 +11,12 @@
 // --benchmark_min_time) pass through to Google Benchmark untouched.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/interner.hpp"
 #include "common/rng.hpp"
 #include "core/optimizer.hpp"
@@ -21,6 +24,7 @@
 #include "profiling/profiler.hpp"
 #include "report/bench_env.hpp"
 #include "report/harness.hpp"
+#include "sched/cluster.hpp"
 #include "sched/coscheduler.hpp"
 #include "trace/fleet.hpp"
 #include "trace/presets.hpp"
@@ -265,6 +269,146 @@ void BM_SymbolTableInternHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SymbolTableInternHit);
+
+// FlatMap vs std::unordered_map on the access shapes of the migrated
+// hot-path tables (RunMemo, DecisionCache, SymbolTable, ProfileDb):
+// resident-key probes (hit), absent-key probes (miss), and erase+insert
+// churn at a standing size. Both containers get the same trivial hash over
+// pre-randomized 64-bit keys; FlatMap applies its hash_mix seeding on top,
+// exactly as the hot path does.
+struct U64Hash {
+  std::size_t operator()(std::uint64_t v) const noexcept {
+    return static_cast<std::size_t>(v);
+  }
+};
+using BenchFlatMap =
+    FlatMap<std::uint64_t, std::uint64_t, U64Hash, std::equal_to<>>;
+using BenchStdMap =
+    std::unordered_map<std::uint64_t, std::uint64_t, U64Hash>;
+
+constexpr std::size_t kMapEntries = 4096;
+
+std::vector<std::uint64_t> bench_map_keys(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(rng.next());
+  return keys;
+}
+
+const std::uint64_t* map_lookup(const BenchFlatMap& map, std::uint64_t key) {
+  return map.find(key);
+}
+const std::uint64_t* map_lookup(const BenchStdMap& map, std::uint64_t key) {
+  const auto it = map.find(key);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+template <typename Map>
+void map_hit_benchmark(benchmark::State& state) {
+  const auto keys = bench_map_keys(11, kMapEntries);
+  Map map;
+  for (const auto key : keys) map.try_emplace(key, key);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*map_lookup(map, keys[i]));
+    i = (i + 1) & (kMapEntries - 1);
+  }
+}
+
+template <typename Map>
+void map_miss_benchmark(benchmark::State& state) {
+  const auto resident = bench_map_keys(11, kMapEntries);
+  const auto absent = bench_map_keys(13, kMapEntries);
+  Map map;
+  for (const auto key : resident) map.try_emplace(key, key);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_lookup(map, absent[i]));
+    i = (i + 1) & (kMapEntries - 1);
+  }
+}
+
+// Sliding window of kMapEntries resident keys over a 2x key ring: every
+// iteration erases the oldest key and inserts a fresh one, so the table
+// sits at a constant load while slots/buckets recycle continuously (the
+// RunMemo-across-sessions and DecisionCache-at-capacity shape).
+template <typename Map>
+void map_churn_benchmark(benchmark::State& state) {
+  const auto keys = bench_map_keys(17, 2 * kMapEntries);
+  Map map;
+  for (std::size_t i = 0; i < kMapEntries; ++i)
+    map.try_emplace(keys[i], keys[i]);
+  std::size_t head = 0, tail = kMapEntries;
+  const std::size_t mask = 2 * kMapEntries - 1;
+  for (auto _ : state) {
+    map.erase(keys[head & mask]);
+    map.try_emplace(keys[tail & mask], tail);
+    ++head;
+    ++tail;
+  }
+}
+
+void BM_FlatMapHit(benchmark::State& state) {
+  map_hit_benchmark<BenchFlatMap>(state);
+}
+BENCHMARK(BM_FlatMapHit);
+void BM_UnorderedMapHit(benchmark::State& state) {
+  map_hit_benchmark<BenchStdMap>(state);
+}
+BENCHMARK(BM_UnorderedMapHit);
+
+void BM_FlatMapMiss(benchmark::State& state) {
+  map_miss_benchmark<BenchFlatMap>(state);
+}
+BENCHMARK(BM_FlatMapMiss);
+void BM_UnorderedMapMiss(benchmark::State& state) {
+  map_miss_benchmark<BenchStdMap>(state);
+}
+BENCHMARK(BM_UnorderedMapMiss);
+
+void BM_FlatMapChurn(benchmark::State& state) {
+  map_churn_benchmark<BenchFlatMap>(state);
+}
+BENCHMARK(BM_FlatMapChurn);
+void BM_UnorderedMapChurn(benchmark::State& state) {
+  map_churn_benchmark<BenchStdMap>(state);
+}
+BENCHMARK(BM_UnorderedMapChurn);
+
+// One batched dispatch of a 16-job ready burst onto an idle 8-node cluster:
+// batch-context setup (one cache/profile sync per batch), the probe loop,
+// and budget arithmetic — the per-burst cost the replay loop pays, with the
+// DecisionCache warm across iterations as it is mid-replay.
+void BM_DispatchBatch(benchmark::State& state) {
+  const auto& env = report::Environment::get();
+  static core::ResourcePowerAllocator allocator(
+      env.artifacts.model, env.artifacts.profiles,
+      core::ResourcePowerAllocator::Config{});
+  static sched::CoScheduler scheduler(allocator,
+                                      core::Policy::problem1(230.0, 0.2));
+  sched::ClusterConfig config;
+  config.node_count = 8;
+  config.collect_job_stats = false;
+  const char* apps[] = {"igemm4", "stream", "srad", "needle"};
+  constexpr std::size_t kBurst = 16;
+  for (auto _ : state) {
+    sched::Cluster cluster(config);
+    cluster.begin_session(scheduler);
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      sched::Job job;
+      job.id = static_cast<int>(i);
+      job.app = apps[i % 4];
+      job.kernel = &env.kernel(job.app);
+      job.work_units = 100.0;
+      cluster.submit(job);
+    }
+    benchmark::DoNotOptimize(cluster.dispatch_batch(scheduler, 0.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBurst));
+}
+BENCHMARK(BM_DispatchBatch);
 
 // End-to-end trace replay at a fixed job count over a widening fleet. With
 // the Indexed event core, per-event cost must not scale with the node

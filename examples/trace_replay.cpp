@@ -34,6 +34,12 @@
 //                                      wheel) core — bit-identical schedule
 //                                      to --indexed-core, O(1) amortized
 //                                      completion bookkeeping
+//   --profile                          collect SimEngine's per-phase host
+//                                      time tallies and print them to stderr
+//                                      after the replay (where the wall
+//                                      clock went: event apply, dispatch,
+//                                      accounting, completions). Simulation
+//                                      output is bit-identical either way.
 //
 // Fleet flags (see README "Fleet-scale replay"): --clusters N > 1 reads the
 // trace at datacenter scope and replays it through trace::FleetEngine — N
@@ -71,6 +77,23 @@ namespace {
 using namespace migopt;
 using report::MetricValue;
 
+/// Print one replay's per-phase host-time profile to stderr (--profile).
+/// stderr so the schema-v1 --json stream stays untouched.
+void print_phase_profile(const char* label, const trace::PhaseCounters& phases) {
+  if (!phases.collected) return;
+  std::fprintf(stderr,
+               "%s phase profile (%zu event-loop steps):\n"
+               "  event apply     %8.1f ms (budget re-broker %.1f ms)\n"
+               "  dispatch        %8.1f ms\n"
+               "  accounting      %8.1f ms\n"
+               "  completions     %8.1f ms\n",
+               label, phases.steps, phases.event_apply_seconds * 1e3,
+               phases.budget_rebroker_seconds * 1e3,
+               phases.dispatch_seconds * 1e3,
+               phases.accounting_seconds * 1e3,
+               phases.completion_seconds * 1e3);
+}
+
 struct ReplayConfig {
   std::size_t num_jobs = 10000;
   int num_nodes = 8;
@@ -82,6 +105,8 @@ struct ReplayConfig {
   /// Calendar (timer-wheel) core instead of the Indexed heap (same lazy
   /// semantics, bit-identical schedule); implies no per-job stats too.
   bool calendar_core = false;
+  /// Collect and print SimEngine's per-phase host-time tallies (--profile).
+  bool profile_phases = false;
 
   // Fleet mode (clusters > 1): the trace becomes a fleet trace routed
   // across `clusters` sessions of `num_nodes` nodes each.
@@ -119,12 +144,28 @@ report::ScenarioResult run_fleet_replay(const ReplayConfig& config,
   if (config.fleet_budget_watts > 0.0)
     fleet.fleet_power_budget_watts = config.fleet_budget_watts;
   fleet.sim.max_sim_seconds = 1.0e8;
+  fleet.sim.collect_phase_counters = config.profile_phases;
   fleet.policy = trace::regime_policy(config.regime);
   fleet.seed = config.seed;
   fleet.threads = std::max<std::size_t>(1, ctx.threads());
 
   const trace::FleetReport report =
       trace::FleetEngine(fleet).replay(fleet_trace);
+  if (config.profile_phases) {
+    // Sum the per-shard tallies: with --threads > 1 the shards overlap, so
+    // this is aggregate CPU-side phase time, not wall clock.
+    trace::PhaseCounters total;
+    total.collected = true;
+    for (const trace::SimReport& shard : report.clusters) {
+      total.steps += shard.phases.steps;
+      total.event_apply_seconds += shard.phases.event_apply_seconds;
+      total.budget_rebroker_seconds += shard.phases.budget_rebroker_seconds;
+      total.dispatch_seconds += shard.phases.dispatch_seconds;
+      total.accounting_seconds += shard.phases.accounting_seconds;
+      total.completion_seconds += shard.phases.completion_seconds;
+    }
+    print_phase_profile("fleet replay (summed over shards)", total);
+  }
 
   report::ScenarioResult result;
   report::Section section;
@@ -232,9 +273,11 @@ report::ScenarioResult run_replay(const ReplayConfig& config,
 
   trace::SimConfig sim_config;
   sim_config.max_sim_seconds = 1.0e8;
+  sim_config.collect_phase_counters = config.profile_phases;
   const trace::SimEngine engine(sim_config);
   const trace::SimReport sim =
       engine.replay(job_trace, registry, cluster, scheduler);
+  print_phase_profile("replay", sim.phases);
 
   report::ScenarioResult result;
   report::Section section;
@@ -326,6 +369,7 @@ int main(int argc, char** argv) {
   std::string fleet_budget_flag;
   bool indexed_core = false;
   bool calendar_core = false;
+  bool profile_phases = false;
   std::vector<char*> harness_argv = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -356,6 +400,10 @@ int main(int argc, char** argv) {
       calendar_core = true;
       continue;
     }
+    if (arg == "--profile") {
+      profile_phases = true;
+      continue;
+    }
     harness_argv.push_back(argv[i]);
   }
 
@@ -367,6 +415,7 @@ int main(int argc, char** argv) {
   ReplayConfig config;
   config.indexed_core = indexed_core;
   config.calendar_core = calendar_core;
+  config.profile_phases = profile_phases;
   const auto parse_int = [](const std::string& text, const char* what,
                             double minimum, auto& out) {
     using Out = std::remove_reference_t<decltype(out)>;

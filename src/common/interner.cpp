@@ -5,20 +5,19 @@
 namespace migopt {
 
 Symbol SymbolTable::intern(std::string_view name) {
-  const auto it = index_.find(name);
-  if (it != index_.end()) return it->second;
+  if (const Symbol* found = index_.find(name)) return *found;
   MIGOPT_REQUIRE(names_.size() < static_cast<std::size_t>(kNoSymbol),
                  "symbol table full");
   const Symbol id = static_cast<Symbol>(names_.size());
   names_.emplace_back(name);
-  index_.emplace(names_.back(), id);
+  index_.try_emplace(name, id);
   return id;
 }
 
 std::optional<Symbol> SymbolTable::find(std::string_view name) const noexcept {
-  const auto it = index_.find(name);
-  if (it == index_.end()) return std::nullopt;
-  return it->second;
+  const Symbol* found = index_.find(name);
+  if (found == nullptr) return std::nullopt;
+  return *found;
 }
 
 const std::string& SymbolTable::name(Symbol id) const {

@@ -1,0 +1,199 @@
+// Inline-capacity vector (small-buffer optimization) for hot-path values
+// whose typical cardinality is tiny and known: per-cluster budget shares,
+// per-placement domain scans, per-batch scratch. The first N elements live
+// inside the object — no heap touch, no pointer chase — and the vector
+// spills to the heap transparently past N, after which it behaves like a
+// plain std::vector (amortized growth, contiguous storage).
+//
+// Scope is deliberately narrow: the subset of the vector interface the
+// migopt hot paths use (push/emplace/pop, resize/assign/reserve, indexing,
+// range iteration, move/copy). Elements must be movable; moves from a
+// spilled vector steal the heap block (O(1)), moves from an inline one move
+// element-wise (O(N)) — either way the source is left empty() and reusable.
+// Pointers/references/iterators invalidate on any growth past capacity()
+// and on moves of an inline vector, exactly as documented for std::vector
+// plus the inline-storage caveat.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace migopt {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N >= 1, "inline capacity must be at least 1");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() noexcept : data_(inline_data()), capacity_(N) {}
+
+  SmallVector(std::size_t count, const T& value) : SmallVector() {
+    assign(count, value);
+  }
+
+  SmallVector(const SmallVector& other) : SmallVector() {
+    reserve(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i)
+      ::new (data_ + i) T(other.data_[i]);
+    size_ = other.size_;
+  }
+
+  SmallVector(SmallVector&& other) noexcept : SmallVector() {
+    steal(other);
+  }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (std::size_t i = 0; i < other.size_; ++i)
+        ::new (data_ + i) T(other.data_[i]);
+      size_ = other.size_;
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      destroy_all();
+      release_heap();
+      data_ = inline_data();
+      capacity_ = N;
+      size_ = 0;
+      steal(other);
+    }
+    return *this;
+  }
+
+  ~SmallVector() {
+    destroy_all();
+    release_heap();
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return size_ == 0; }
+  /// True while elements still live in the inline buffer (test hook).
+  bool inline_storage() const noexcept { return data_ == inline_data(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  iterator begin() noexcept { return data_; }
+  iterator end() noexcept { return data_ + size_; }
+  const_iterator begin() const noexcept { return data_; }
+  const_iterator end() const noexcept { return data_ + size_; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  T& front() noexcept { return data_[0]; }
+  const T& front() const noexcept { return data_[0]; }
+  T& back() noexcept { return data_[size_ - 1]; }
+  const T& back() const noexcept { return data_[size_ - 1]; }
+
+  void reserve(std::size_t wanted) {
+    if (wanted > capacity_) grow_to(wanted);
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow_to(capacity_ * 2);
+    T* slot = ::new (data_ + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  // Not noexcept: the empty-pop contract check throws ContractViolation.
+  void pop_back() {
+    MIGOPT_REQUIRE(size_ > 0, "pop_back on an empty SmallVector");
+    data_[--size_].~T();
+  }
+
+  void clear() noexcept {
+    destroy_all();
+    size_ = 0;
+  }
+
+  void assign(std::size_t count, const T& value) {
+    clear();
+    reserve(count);
+    for (std::size_t i = 0; i < count; ++i) ::new (data_ + i) T(value);
+    size_ = count;
+  }
+
+  void resize(std::size_t count) { resize(count, T{}); }
+  void resize(std::size_t count, const T& value) {
+    if (count < size_) {
+      for (std::size_t i = count; i < size_; ++i) data_[i].~T();
+      size_ = count;
+      return;
+    }
+    reserve(count);
+    for (std::size_t i = size_; i < count; ++i) ::new (data_ + i) T(value);
+    size_ = count;
+  }
+
+ private:
+  T* inline_data() noexcept { return std::launder(reinterpret_cast<T*>(inline_)); }
+  const T* inline_data() const noexcept {
+    return std::launder(reinterpret_cast<const T*>(inline_));
+  }
+
+  void destroy_all() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+  }
+
+  void release_heap() noexcept {
+    if (data_ != inline_data())
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+  }
+
+  void grow_to(std::size_t wanted) {
+    std::size_t next = capacity_ * 2;
+    if (next < wanted) next = wanted;
+    T* fresh = static_cast<T*>(::operator new(next * sizeof(T),
+                                              std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (fresh + i) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    release_heap();
+    data_ = fresh;
+    capacity_ = next;
+  }
+
+  /// Move-construct from `other`, leaving it empty on its inline buffer.
+  void steal(SmallVector& other) noexcept {
+    if (!other.inline_storage()) {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+    } else {
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        ::new (data_ + i) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+      }
+      size_ = other.size_;
+    }
+    other.data_ = other.inline_data();
+    other.capacity_ = N;
+    other.size_ = 0;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_;
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace migopt

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <map>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/small_vector.hpp"
 
 namespace migopt::gpusim {
 
@@ -68,26 +68,35 @@ double water_fill_one(double want, double pool) {
                          : std::pow(congestion, exponent);
 }
 
+/// Inline capacity of the scratch columns: one lane per co-located app, and
+/// a group never exceeds the die's GPC count, so real placements never
+/// spill the columns to the heap.
+constexpr std::size_t kScratchLanes = 8;
+
 /// Per-thread scratch for steady_state: the solver sits inside bisection
 /// loops that call it hundreds of times per dispatch decision, so its a
-/// dozen work vectors are reused across calls (assign/resize keep capacity)
-/// instead of reallocated. thread_local because fleet replay fans shards
-/// out over a ThreadPool; the solver never recurses.
+/// dozen work columns are reused across calls (assign/resize keep storage)
+/// and live in SmallVector inline lanes — no pointer chase to reach a lane.
+/// thread_local because fleet replay fans shards out over a ThreadPool; the
+/// solver never recurses.
 struct SteadyScratch {
+  template <typename T>
+  using Column = SmallVector<T, kScratchLanes>;
+
   // Clock/GPC-dependent, iteration-invariant columns.
-  std::vector<double> t_comp, bw_issue, h_capacity;
-  std::vector<std::array<double, kPipeCount>> t_pipe;
+  Column<double> t_comp, bw_issue, h_capacity;
+  Column<std::array<double, kPipeCount>> t_pipe;
   // Fixed-point state.
-  std::vector<double> t, h_eff, l2_util, dram_util, dram_grant, lat_eff;
-  std::vector<double> dram_bytes, t_mem;
+  Column<double> t, h_eff, l2_util, dram_util, dram_grant, lat_eff;
+  Column<double> dram_bytes, t_mem;
   // Per-domain bandwidth negotiation buffers (prefixes sized per domain).
-  std::vector<double> want_dram, want_l2, grant_dram, grant_l2;
+  Column<double> want_dram, want_l2, grant_dram, grant_l2;
   // (mem_domain, app index) pairs, stably sorted by domain: the same group
   // iteration order as the std::map<int, vector> it replaced — domains
   // ascending, members in placement order — so the floating-point
   // accumulation order (and thus every result bit) is unchanged.
-  std::vector<std::pair<int, std::uint32_t>> domain_items;
-  std::vector<std::pair<std::size_t, std::size_t>> domain_ranges;
+  Column<std::pair<int, std::uint32_t>> domain_items;
+  Column<std::pair<std::size_t, std::size_t>> domain_ranges;
 };
 
 }  // namespace
@@ -96,7 +105,7 @@ ExecEngine::ExecEngine(const ArchConfig& arch) : arch_(&arch) { arch.validate();
 
 void ExecEngine::validate_placements(std::span<const AppPlacement> apps) const {
   MIGOPT_REQUIRE(!apps.empty(), "no applications placed");
-  std::map<int, int> domain_modules;
+  SmallVector<std::pair<int, int>, kScratchLanes> domain_modules;
   int total_gpcs = 0;
   for (const auto& app : apps) {
     MIGOPT_REQUIRE(app.kernel != nullptr, "null kernel in placement");
@@ -105,9 +114,14 @@ void ExecEngine::validate_placements(std::span<const AppPlacement> apps) const {
     MIGOPT_REQUIRE(app.domain_modules > 0 &&
                        app.domain_modules <= arch_->memory_modules,
                    "domain module count out of range");
-    const auto [it, inserted] = domain_modules.emplace(app.mem_domain, app.domain_modules);
-    MIGOPT_REQUIRE(it->second == app.domain_modules,
-                   "inconsistent module count within a memory domain");
+    auto* known = std::find_if(
+        domain_modules.begin(), domain_modules.end(),
+        [&](const auto& entry) { return entry.first == app.mem_domain; });
+    if (known == domain_modules.end())
+      domain_modules.emplace_back(app.mem_domain, app.domain_modules);
+    else
+      MIGOPT_REQUIRE(known->second == app.domain_modules,
+                     "inconsistent module count within a memory domain");
     total_gpcs += app.gpcs;
   }
   MIGOPT_REQUIRE(total_gpcs <= arch_->total_gpcs, "placements exceed die GPCs");
@@ -451,13 +465,13 @@ RunResult ExecEngine::steady_state(std::span<const AppPlacement> apps,
   SteadyScratch& s = scratch;
 
   // Clock/GPC-dependent, iteration-invariant quantities.
-  std::vector<double>& t_comp = s.t_comp;
+  auto& t_comp = s.t_comp;
   t_comp.assign(n, 0.0);
-  std::vector<std::array<double, kPipeCount>>& t_pipe = s.t_pipe;
+  auto& t_pipe = s.t_pipe;
   t_pipe.resize(n);  // fully overwritten below
-  std::vector<double>& bw_issue = s.bw_issue;
+  auto& bw_issue = s.bw_issue;
   bw_issue.assign(n, 0.0);
-  std::vector<double>& h_capacity = s.h_capacity;  // hit rate after capacity
+  auto& h_capacity = s.h_capacity;
   h_capacity.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     const KernelDescriptor& k = *apps[i].kernel;
@@ -504,17 +518,17 @@ RunResult ExecEngine::steady_state(std::span<const AppPlacement> apps,
 
   // Fixed point over runtimes, hit rates, latency inflation and bandwidth
   // shares.
-  std::vector<double>& t = s.t;
+  auto& t = s.t;
   t.assign(n, 0.0);
-  std::vector<double>& h_eff = s.h_eff;
+  auto& h_eff = s.h_eff;
   h_eff = h_capacity;
-  std::vector<double>& l2_util = s.l2_util;
+  auto& l2_util = s.l2_util;
   l2_util.assign(n, 0.0);
-  std::vector<double>& dram_util = s.dram_util;
+  auto& dram_util = s.dram_util;
   dram_util.assign(n, 0.0);
-  std::vector<double>& dram_grant = s.dram_grant;
+  auto& dram_grant = s.dram_grant;
   dram_grant.assign(n, 0.0);
-  std::vector<double>& lat_eff = s.lat_eff;
+  auto& lat_eff = s.lat_eff;
   lat_eff.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     lat_eff[i] = apps[i].kernel->latency_seconds;
@@ -551,9 +565,9 @@ RunResult ExecEngine::steady_state(std::span<const AppPlacement> apps,
     return static_cast<std::size_t>(s.domain_items[lo + m].second);
   };
 
-  std::vector<double>& dram_bytes = s.dram_bytes;
+  auto& dram_bytes = s.dram_bytes;
   dram_bytes.assign(n, 0.0);
-  std::vector<double>& t_mem = s.t_mem;
+  auto& t_mem = s.t_mem;
   t_mem.assign(n, 0.0);
   // Bandwidth-negotiation buffers, sized once for the widest domain; each
   // domain uses the leading prefix (fully rewritten per domain, so no

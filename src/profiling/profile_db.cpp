@@ -1,5 +1,7 @@
 #include "profiling/profile_db.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "common/csv.hpp"
 #include "common/string_util.hpp"
@@ -7,35 +9,48 @@
 namespace migopt::prof {
 
 bool ProfileDb::contains(const std::string& app) const noexcept {
-  return profiles_.find(app) != profiles_.end();
+  const auto id = symbols_.find(app);
+  return id.has_value() && contains(*id);
 }
 
 std::optional<CounterSet> ProfileDb::find(const std::string& app) const {
-  const auto it = profiles_.find(app);
-  if (it == profiles_.end()) return std::nullopt;
-  return it->second;
+  const auto id = symbols_.find(app);
+  if (!id.has_value() || !contains(*id)) return std::nullopt;
+  return *by_id_[*id];
 }
 
 const CounterSet& ProfileDb::at(const std::string& app) const {
-  const auto it = profiles_.find(app);
-  MIGOPT_REQUIRE(it != profiles_.end(), "no profile recorded for app: " + app);
-  return it->second;
+  const auto id = symbols_.find(app);
+  MIGOPT_REQUIRE(id.has_value() && contains(*id),
+                 "no profile recorded for app: " + app);
+  return *by_id_[*id];
 }
 
 void ProfileDb::put(const std::string& app, const CounterSet& counters) {
   MIGOPT_REQUIRE(!app.empty(), "profile needs an app name");
   counters.validate();
-  profiles_[app] = counters;
   const Symbol id = symbols_.intern(app);
   if (by_id_.size() <= id) by_id_.resize(static_cast<std::size_t>(id) + 1);
+  if (!by_id_[id].has_value()) ++profile_count_;
   by_id_[id] = counters;
   ++revision_;
 }
 
+std::vector<Symbol> ProfileDb::sorted_profile_ids() const {
+  std::vector<Symbol> ids;
+  ids.reserve(profile_count_);
+  for (Symbol id = 0; id < by_id_.size(); ++id)
+    if (by_id_[id].has_value()) ids.push_back(id);
+  std::sort(ids.begin(), ids.end(), [this](Symbol a, Symbol b) {
+    return symbols_.name(a) < symbols_.name(b);
+  });
+  return ids;
+}
+
 std::vector<std::string> ProfileDb::app_names() const {
   std::vector<std::string> out;
-  out.reserve(profiles_.size());
-  for (const auto& [name, counters] : profiles_) out.push_back(name);
+  out.reserve(profile_count_);
+  for (const Symbol id : sorted_profile_ids()) out.push_back(symbols_.name(id));
   return out;
 }
 
@@ -43,9 +58,9 @@ void ProfileDb::save(const std::string& path) const {
   std::vector<std::string> header = {"app"};
   for (const char* name : kCounterNames) header.emplace_back(name);
   CsvDocument doc(std::move(header));
-  for (const auto& [name, counters] : profiles_) {
-    std::vector<std::string> row = {name};
-    for (double v : counters.values) row.push_back(str::format_exact(v));
+  for (const Symbol id : sorted_profile_ids()) {
+    std::vector<std::string> row = {symbols_.name(id)};
+    for (double v : by_id_[id]->values) row.push_back(str::format_exact(v));
     doc.add_row(std::move(row));
   }
   doc.save(path);

@@ -2,15 +2,16 @@
 // Figure 7 workflow). Applications without a stored profile must run
 // exclusively once before they are eligible for co-scheduling.
 //
-// The string-keyed map stays authoritative (save/load and app_names iterate
-// it in name order), mirrored into a dense id-indexed fast path over a
-// SymbolTable — the same pattern PerfModel uses for its coefficient tables —
-// so the scheduler's per-candidate contains()/at() probes on the dispatch
-// hot path are O(1) vector loads instead of string-keyed map walks.
+// The authoritative store is the dense id-indexed profile column over a
+// SymbolTable (the pattern PerfModel uses for its coefficient tables): the
+// scheduler's per-candidate contains()/at() probes on the dispatch hot path
+// are an open-addressing name probe (string paths) or a plain vector load
+// (interned paths). The std::map this mirrored until PR 8 is gone — the
+// name-ordered walks save()/app_names() used it for are reproduced
+// byte-identically by sorting the (small, cold) name set on demand.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -35,7 +36,9 @@ class ProfileDb {
   /// Insert or replace.
   void put(const std::string& app, const CounterSet& counters);
 
-  std::size_t size() const noexcept { return profiles_.size(); }
+  std::size_t size() const noexcept { return profile_count_; }
+  /// Names with a stored profile, in lexicographic order (the iteration
+  /// order of the retired authoritative std::map, byte-for-byte).
   std::vector<std::string> app_names() const;
 
   /// Bumped on every put(). Consumers that cache decisions derived from the
@@ -75,11 +78,15 @@ class ProfileDb {
   static ProfileDb load(const std::string& path);
 
  private:
-  std::map<std::string, CounterSet> profiles_;  ///< authoritative store
-  SymbolTable symbols_;                         ///< app name -> dense id
-  /// Dense mirror of profiles_ indexed by symbol id (value copies, so the
-  /// database stays trivially copyable); empty slot = interned, no profile.
+  /// Ids with a stored profile, sorted by name (what name-ordered walks
+  /// iterate; see app_names/save).
+  std::vector<Symbol> sorted_profile_ids() const;
+
+  SymbolTable symbols_;  ///< app name -> dense id
+  /// Authoritative profile column indexed by symbol id; empty slot =
+  /// interned, no profile yet.
   std::vector<std::optional<CounterSet>> by_id_;
+  std::size_t profile_count_ = 0;  ///< engaged slots of by_id_
   std::uint64_t revision_ = 0;
 };
 

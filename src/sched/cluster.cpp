@@ -73,15 +73,37 @@ Cluster::Cluster(const ClusterConfig& config)
   node_busy_.assign(nodes_.size(), 0);
   busy_nodes_ = 0;
   node_cap_.assign(nodes_.size(), 0.0);
+  cap_prefix_.assign(nodes_.size() + 1, 0.0);
+  cap_prefix_valid_ = 0;
+  idle_nodes_.reserve(nodes_.size());
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) idle_nodes_.push_back(i);
+}
+
+void Cluster::mark_idle(std::size_t ni) {
+  idle_nodes_.insert(std::lower_bound(idle_nodes_.begin(), idle_nodes_.end(),
+                                      static_cast<std::uint32_t>(ni)),
+                     static_cast<std::uint32_t>(ni));
 }
 
 double Cluster::busy_cap_sum() const noexcept {
   // Ascending node-index walk — the same addition order as the sorted
-  // idle/busy sets this bitmap replaced, hence bit-identical sums.
-  double sum = 0.0;
-  for (std::size_t n = 0; n < node_busy_.size(); ++n)
+  // idle/busy sets this bitmap replaced, hence bit-identical sums. The
+  // left-to-right chain is resumed from the cached prefix: partial sums
+  // below cap_prefix_valid_ cannot have changed (every busy-set mutation
+  // lowers the watermark to its index), and double addition is
+  // deterministic, so the resumed walk reproduces the full walk exactly.
+  std::size_t n = cap_prefix_valid_;
+  double sum = cap_prefix_[n];
+  for (; n < node_busy_.size(); ++n) {
     if (node_busy_[n]) sum += node_cap_[n];
+    cap_prefix_[n + 1] = sum;
+  }
+  cap_prefix_valid_ = node_busy_.size();
   return sum;
+}
+
+void Cluster::invalidate_cap_prefix(std::size_t n) noexcept {
+  cap_prefix_valid_ = std::min(cap_prefix_valid_, n);
 }
 
 void Cluster::set_node_next(int n, double next) {
@@ -114,6 +136,9 @@ void Cluster::begin_session(const CoScheduler& scheduler) {
   node_busy_.assign(nodes_.size(), 0);
   busy_nodes_ = 0;
   node_cap_.assign(nodes_.size(), 0.0);
+  cap_prefix_.assign(nodes_.size() + 1, 0.0);
+  cap_prefix_valid_ = 0;
+  idle_nodes_.clear();
   for (const auto& node : nodes_) {
     energy_at_session_start_ += node->energy_joules();
     clock_at_session_start_ = std::max(clock_at_session_start_, node->now());
@@ -134,6 +159,8 @@ void Cluster::begin_session(const CoScheduler& scheduler) {
       node_cap_[n] = node.cap_watts();
       running_jobs_ += node.running_jobs();
       set_node_next(static_cast<int>(n), node.next_completion_time());
+    } else {
+      idle_nodes_.push_back(static_cast<std::uint32_t>(n));
     }
   }
   session_now_ = clock_at_session_start_;
@@ -146,24 +173,37 @@ void Cluster::set_power_budget(std::optional<double> watts) {
 }
 
 std::size_t Cluster::dispatch(CoScheduler& scheduler, double now) {
+  return dispatch_batch(scheduler, now);
+}
+
+std::size_t Cluster::dispatch_batch(CoScheduler& scheduler, double now) {
   session_now_ = std::max(session_now_, now);
   // Dispatch runs after every event-loop step; with a standing backlog the
   // nodes are all busy nearly every time, so that case exits here instead
   // of walking the occupancy bitmap.
   if (busy_nodes_ == node_busy_.size() || queue_.empty()) return 0;
+  // Batch-invariant scheduler context, prepared once for every probe below.
+  CoScheduler::BatchContext batch = scheduler.begin_batch(now);
   std::size_t dispatches = 0;
   bool dispatched = true;
   while (dispatched && !queue_.empty()) {
     dispatched = false;
     // The busy-cap sum only changes when a dispatch lands, so it is
     // computed per pass and after each dispatch instead of per idle-node
-    // probe (same index-order additions, hence bit-identical values).
-    double busy_sum = busy_cap_sum();
-    for (std::size_t ni = 0; ni < node_busy_.size(); ++ni) {
+    // probe (same index-order additions, hence bit-identical values) —
+    // and only when a budget needs the headroom; the peak tracker below
+    // re-sums after every dispatch regardless.
+    double busy_sum = budget_.has_value() ? busy_cap_sum() : 0.0;
+    // Probe the idle list in ascending node index — the identical order
+    // (and therefore identical plans) of the full bitmap scan it replaces.
+    // Dispatching erases the current entry, so the next candidate slides
+    // into slot `i`; nothing turns idle mid-batch, so no inserts race it.
+    std::size_t i = 0;
+    while (i < idle_nodes_.size()) {
       // Every plan pops at least one job, so an emptied queue ends the
       // pass — the remaining idle-node probes could only return "nothing".
       if (queue_.empty()) break;
-      if (node_busy_[ni]) continue;
+      const std::size_t ni = idle_nodes_[i];
       const int n = static_cast<int>(ni);
       Node& node = *nodes_[ni];
 
@@ -172,7 +212,7 @@ std::size_t Cluster::dispatch(CoScheduler& scheduler, double now) {
       if (budget_.has_value()) max_affordable = *budget_ - busy_sum;
 
       auto plan_opt = config_.enable_coscheduling
-                          ? scheduler.next(queue_, now, max_affordable)
+                          ? scheduler.next_in_batch(batch, queue_, max_affordable)
                           : std::optional<DispatchPlan>{};
       if (!config_.enable_coscheduling && queue_.ready_count(now) > 0) {
         const double cap = std::min(node.chip().arch().tdp_watts, max_affordable);
@@ -192,6 +232,7 @@ std::size_t Cluster::dispatch(CoScheduler& scheduler, double now) {
         // The plain-FIFO branch keeps probing — its cap test reads the
         // node's own chip limits.
         if (config_.enable_coscheduling) break;
+        ++i;
         continue;
       }
 
@@ -222,7 +263,10 @@ std::size_t Cluster::dispatch(CoScheduler& scheduler, double now) {
       }
       node_busy_[ni] = 1;
       ++busy_nodes_;
+      idle_nodes_.erase(idle_nodes_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
       node_cap_[ni] = node.cap_watts();
+      invalidate_cap_prefix(ni);
       set_node_next(n, node.next_completion_time());
       busy_sum = busy_cap_sum();
       session_.peak_cap_sum_watts =
@@ -365,10 +409,17 @@ void Cluster::drain_node(int n, double t, bool expect_completion,
     finished.push_back(std::move(job));
   }
   if (node.idle()) {
-    if (node_busy_[ni]) --busy_nodes_;
-    node_busy_[ni] = 0;
+    if (node_busy_[ni]) {
+      --busy_nodes_;
+      node_busy_[ni] = 0;
+      mark_idle(ni);
+      invalidate_cap_prefix(ni);
+    }
   } else {
+    // Still busy, but the standing cap may have changed (a pair partner
+    // finishing re-caps the survivor).
     node_cap_[ni] = node.cap_watts();
+    invalidate_cap_prefix(ni);
   }
   set_node_next(n, node.next_completion_time());
 }

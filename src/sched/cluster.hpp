@@ -143,8 +143,17 @@ class Cluster {
   const std::optional<double>& power_budget() const noexcept { return budget_; }
 
   /// Dispatch onto idle nodes until no further plan fits the queue/budget at
-  /// `now`; returns the number of dispatches made.
+  /// `now`; returns the number of dispatches made. A batch of arbitrary
+  /// size: forwards to dispatch_batch.
   std::size_t dispatch(CoScheduler& scheduler, double now);
+
+  /// The batched dispatch core: drains the ready prefix of the queue onto
+  /// idle nodes with the scheduler's per-batch context (profile-revision
+  /// sync, ceiling-stamped policy copies) prepared once up front instead of
+  /// once per idle-node probe. Probe order, budget arithmetic, and every
+  /// resulting plan are identical to probing CoScheduler::next per node —
+  /// the checked-in replay baselines pin that equivalence bit-for-bit.
+  std::size_t dispatch_batch(CoScheduler& scheduler, double now);
 
   /// Earliest completion across nodes; +infinity when every node idles.
   double next_completion_time() const noexcept;
@@ -220,6 +229,12 @@ class Cluster {
   /// Record node `n`'s next completion (+inf when idle) and, under a lazy
   /// core, publish it to the pending-completion structure.
   void set_node_next(int n, double next);
+
+  /// Sorted-insert `ni` into idle_nodes_ on a busy→idle transition.
+  void mark_idle(std::size_t ni);
+
+  /// Busy set or cap changed at node `n`: partial sums >= n are stale.
+  void invalidate_cap_prefix(std::size_t n) noexcept;
   /// Earliest non-stale calendar entry (pruning stale ones met on the way);
   /// {+inf, -1} when none pending. Ties resolve to the lowest node index.
   std::pair<double, int> calendar_peek() const noexcept;
@@ -249,7 +264,22 @@ class Cluster {
   /// step, so the all-busy case must exit on one compare instead of a
   /// bitmap scan.
   std::size_t busy_nodes_ = 0;
+  /// Idle node indices, ascending — the exact probe order of the bitmap
+  /// scan it replaces. A saturated replay step frees one node per
+  /// completion, so dispatch probes one entry here instead of walking all
+  /// N bitmap slots per pass. Invariant: holds exactly the indices with
+  /// node_busy_[i] == 0, sorted.
+  std::vector<std::uint32_t> idle_nodes_;
   std::vector<double> node_cap_;
+  /// Cached left-to-right partial sums of busy_cap_sum(): cap_prefix_[k]
+  /// is the index-order sum over busy nodes < k, valid for
+  /// k <= cap_prefix_valid_. Every busy-set or cap mutation at node n
+  /// lowers the watermark to n, so a re-sum resumes from the last
+  /// unchanged prefix instead of walking all N nodes — the resumed chain
+  /// adds the identical values in the identical order, so the sums (and
+  /// the peak_cap_sum_watts summary built from them) are bit-identical.
+  mutable std::vector<double> cap_prefix_;
+  mutable std::size_t cap_prefix_valid_ = 0;
   /// Id of the in-flight profile run per node (-1 = none). A node runs at
   /// most one profile job at a time (profile runs are exclusive), so a slot
   /// replaces the per-node vector the old linear find/erase walked.

@@ -88,9 +88,21 @@ void CoScheduler::set_profiling_in_flight(AppId app, bool value) {
   profiling_in_flight_[app] = value ? 1 : 0;
 }
 
+CoScheduler::BatchContext CoScheduler::begin_batch(double now) {
+  sync_cache_with_profiles();
+  return BatchContext(now);
+}
+
 std::optional<DispatchPlan> CoScheduler::next(JobQueue& queue, double now,
                                               double max_cap_watts) {
-  sync_cache_with_profiles();
+  BatchContext batch = begin_batch(now);
+  return next_in_batch(batch, queue, max_cap_watts);
+}
+
+std::optional<DispatchPlan> CoScheduler::next_in_batch(BatchContext& batch,
+                                                       JobQueue& queue,
+                                                       double max_cap_watts) {
+  const double now = batch.now_;
   const std::size_t ready = queue.ready_count(now);
   if (ready == 0) return std::nullopt;
   if (max_cap_watts < min_cap()) return std::nullopt;  // budget exhausted
@@ -126,15 +138,21 @@ std::optional<DispatchPlan> CoScheduler::next(JobQueue& queue, double now,
 
   // Scan the window beyond the pivot for the best acceptable partner. The
   // ceiling-stamped policy copies are built only now — the profile-run and
-  // budget-starved exits above never read them.
-  const core::Policy policy = std::isfinite(max_cap_watts)
-                                  ? policy_.with_ceiling(max_cap_watts)
-                                  : policy_;
-  // Decisions are computed under the exact policy but cached under the
-  // canonical ceiling, so budget headroom wobble still hits the cache.
-  const core::Policy cache_policy = std::isfinite(max_cap_watts)
-                                        ? policy_.with_ceiling(dispatch_cap)
-                                        : policy_;
+  // budget-starved exits above never read them — and cached in the batch
+  // context keyed by the headroom they were stamped for: an unconstrained
+  // batch (the common case) never stamps at all, and a budgeted batch
+  // restamps only when a dispatch actually moved the headroom.
+  const bool ceiled = std::isfinite(max_cap_watts);
+  if (ceiled && (!batch.has_stamp_ || batch.stamped_for_ != max_cap_watts)) {
+    batch.policy_ = policy_.with_ceiling(max_cap_watts);
+    // Decisions are computed under the exact policy but cached under the
+    // canonical ceiling, so budget headroom wobble still hits the cache.
+    batch.cache_policy_ = policy_.with_ceiling(dispatch_cap);
+    batch.stamped_for_ = max_cap_watts;
+    batch.has_stamp_ = true;
+  }
+  const core::Policy& policy = ceiled ? batch.policy_ : policy_;
+  const core::Policy& cache_policy = ceiled ? batch.cache_policy_ : policy_;
   const std::size_t window = std::min(ready, *pivot + tuning_.pairing_window + 1);
   std::optional<std::size_t> best_index;
   core::Decision best_decision;

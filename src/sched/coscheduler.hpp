@@ -62,10 +62,47 @@ class CoScheduler {
   const core::Policy& policy() const noexcept { return policy_; }
   const SchedulerTuning& tuning() const noexcept { return tuning_; }
 
-  /// Plan the next dispatch from the queue (jobs ready at `now`); nullopt
-  /// when no job is ready, every ready job is waiting for an in-flight
-  /// profile run of its application, or `max_cap_watts` (what remains of a
-  /// cluster power budget) is below every cap the optimizer may choose.
+  /// Per-batch dispatch context (see begin_batch). Holds work that is
+  /// invariant across the probes of one dispatch batch: the batch clock and
+  /// the ceiling-stamped policy copies, cached by the budget headroom they
+  /// were stamped for. Opaque to callers; create via begin_batch.
+  class BatchContext {
+   public:
+    double now() const noexcept { return now_; }
+
+   private:
+    friend class CoScheduler;
+    explicit BatchContext(double now) : now_(now) {}
+
+    double now_;
+    /// Headroom the stamped copies below were built for. Unconstrained
+    /// probes (+inf headroom) bypass the stamp entirely and use the base
+    /// policy, so a finite key is always meaningful.
+    double stamped_for_ = 0.0;
+    bool has_stamp_ = false;
+    core::Policy policy_;        ///< policy_.with_ceiling(headroom)
+    core::Policy cache_policy_;  ///< policy_.with_ceiling(default_cap(headroom))
+  };
+
+  /// Open a dispatch batch at `now`: reconciles the decision cache with the
+  /// profile store once for the whole batch. Safe because nothing inside a
+  /// batch can change the store's revision — profiles are recorded at job
+  /// *completion* (between batches) and interning never bumps the revision.
+  /// Feed the returned context to next_in_batch for every probe of the
+  /// batch; contexts are cheap, stack-held, and must not outlive the batch.
+  BatchContext begin_batch(double now);
+
+  /// Plan the next dispatch from the queue (jobs ready at the batch clock);
+  /// nullopt when no job is ready, every ready job is waiting for an
+  /// in-flight profile run of its application, or `max_cap_watts` (what
+  /// remains of a cluster power budget) is below every cap the optimizer
+  /// may choose. Produces exactly the plan next() produces — the batch
+  /// context only hoists per-batch invariants out of the probe.
+  std::optional<DispatchPlan> next_in_batch(
+      BatchContext& batch, JobQueue& queue,
+      double max_cap_watts = std::numeric_limits<double>::infinity());
+
+  /// Single-probe convenience: a batch of one (begin_batch + next_in_batch).
   std::optional<DispatchPlan> next(JobQueue& queue, double now,
                                    double max_cap_watts =
                                        std::numeric_limits<double>::infinity());

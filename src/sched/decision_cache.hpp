@@ -15,6 +15,16 @@
 // string-keyed cache; a regression test pins interned-key decisions against
 // fresh string-path allocator searches.
 //
+// Storage is a common/flat_map (open addressing, dense slots) with the LRU
+// recency chain threaded *through the entries* as uint32 slot-id links —
+// where the std::unordered_map + std::list<const Key*> implementation paid a
+// node allocation plus two scattered pointer writes per touch, a hit is now
+// one open-addressing probe and four integer stores, all inside the same
+// dense slot array. The hit/miss/evict sequence is a pure function of the
+// probe sequence (hash order never leaks into eviction choices), so it is
+// bit-identical to the node-based implementation — pinned by the
+// LRU-sequence equivalence test against a std::unordered_map reference.
+//
 // Invalidation: the owner (CoScheduler) clears the cache whenever the profile
 // store mutates — both through its own record_profile and, via
 // ProfileDb::revision(), when someone records through the allocator directly.
@@ -29,11 +39,11 @@
 #include <compare>
 #include <cstddef>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <functional>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/flat_map.hpp"
 #include "common/hash_mix.hpp"
 #include "common/interner.hpp"
 #include "core/optimizer.hpp"
@@ -80,39 +90,40 @@ class DecisionCache {
   /// and return it — evicting the least-recently-used entry when the cache
   /// is full. App ids must come from one symbol table (the allocator's
   /// profile store). The returned reference is valid until the next
-  /// get_or_compute or invalidate() (an eviction may reclaim it).
+  /// get_or_compute or invalidate() (an eviction or slot growth may reclaim
+  /// it).
   template <typename Compute>
   const core::Decision& get_or_compute(Symbol app1, Symbol app2,
                                        const core::Policy& policy,
                                        Compute&& compute) {
     const Key key{app1, app2, PolicySignature::of(policy)};
-    const auto it = entries_.find(key);
-    if (it != entries_.end()) {
+    const auto hit = entries_.find_id(key);
+    if (hit != kNoEntry) {
       ++stats_.hits;
-      lru_.splice(lru_.begin(), lru_, it->second.recency);
-      return it->second.decision;
+      touch(hit);
+      return entries_.value_at(hit).decision;
     }
     ++stats_.misses;
     // Compute before evicting: a throwing compute() must not cost a
     // resident entry or record a phantom eviction.
     core::Decision decision = compute();
     if (entries_.size() >= capacity_) {
-      // unordered_map nodes are stable, so the recency list points at keys.
-      entries_.erase(entries_.find(*lru_.back()));
-      lru_.pop_back();
+      const std::uint32_t victim = lru_tail_;
+      unlink(victim);
+      entries_.erase_id(victim);
       ++stats_.evictions;
     }
-    const auto inserted =
-        entries_.emplace(key, Entry{std::move(decision), {}});
-    lru_.push_front(&inserted.first->first);
-    inserted.first->second.recency = lru_.begin();
-    return inserted.first->second.decision;
+    const auto id = entries_.try_emplace(key, Entry{std::move(decision),
+                                                    kNoEntry, kNoEntry})
+                        .first;
+    push_front(id);
+    return entries_.value_at(id).decision;
   }
 
   /// Drop every entry (the backing model/profiles changed).
   void invalidate() noexcept {
     entries_.clear();
-    lru_.clear();
+    mru_head_ = lru_tail_ = kNoEntry;
     ++stats_.invalidations;
   }
 
@@ -142,15 +153,49 @@ class DecisionCache {
     }
   };
 
+  static constexpr std::uint32_t kNoEntry =
+      FlatMap<Key, int, KeyHash, std::equal_to<>>::npos;
+
   struct Entry {
     core::Decision decision;
-    /// Position in `lru_` (front = most recently used).
-    std::list<const Key*>::iterator recency;
+    /// Intrusive recency chain through flat-map slot ids: prev is the more
+    /// recently used neighbour, next the less recently used one.
+    std::uint32_t prev = kNoEntry;
+    std::uint32_t next = kNoEntry;
   };
 
+  void unlink(std::uint32_t id) noexcept {
+    Entry& entry = entries_.value_at(id);
+    if (entry.prev != kNoEntry)
+      entries_.value_at(entry.prev).next = entry.next;
+    else
+      mru_head_ = entry.next;
+    if (entry.next != kNoEntry)
+      entries_.value_at(entry.next).prev = entry.prev;
+    else
+      lru_tail_ = entry.prev;
+  }
+
+  void push_front(std::uint32_t id) noexcept {
+    Entry& entry = entries_.value_at(id);
+    entry.prev = kNoEntry;
+    entry.next = mru_head_;
+    if (mru_head_ != kNoEntry) entries_.value_at(mru_head_).prev = id;
+    mru_head_ = id;
+    if (lru_tail_ == kNoEntry) lru_tail_ = id;
+  }
+
+  /// Splice `id` to the MRU position (the list-splice of the old code).
+  void touch(std::uint32_t id) noexcept {
+    if (mru_head_ == id) return;
+    unlink(id);
+    push_front(id);
+  }
+
   std::size_t capacity_;
-  std::unordered_map<Key, Entry, KeyHash> entries_;
-  std::list<const Key*> lru_;
+  FlatMap<Key, Entry, KeyHash, std::equal_to<>> entries_;
+  std::uint32_t mru_head_ = kNoEntry;
+  std::uint32_t lru_tail_ = kNoEntry;
   Stats stats_;
 };
 

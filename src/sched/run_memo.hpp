@@ -22,8 +22,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <functional>
 
+#include "common/flat_map.hpp"
 #include "common/hash_mix.hpp"
 #include "gpusim/gpu.hpp"
 
@@ -51,20 +52,22 @@ class RunMemo {
   };
 
   /// Return the memoized RunResult for `key`, or run `solve`, store, and
-  /// return it. The reference stays valid until clear() (entries are never
-  /// evicted individually; unordered_map nodes are stable).
+  /// return it. The reference stays valid until the next get_or_solve or
+  /// clear() (the flat-map's dense storage may move on insert); the sole
+  /// caller (Node) applies the result immediately.
   template <typename Solve>
   const gpusim::RunResult& get_or_solve(const Key& key, Solve&& solve) {
-    const auto it = entries_.find(key);
-    if (it != entries_.end()) {
+    const auto id = entries_.find_id(key);
+    if (id != decltype(entries_)::npos) {
       ++stats_.hits;
-      return it->second;
+      return entries_.value_at(id);
     }
     ++stats_.misses;
     // Epoch reset instead of LRU: the key space of a real replay is tiny
     // (apps x caps x shapes), so the bound only guards pathological drivers.
     if (entries_.size() >= kMaxEntries) entries_.clear();
-    return entries_.emplace(key, solve()).first->second;
+    // solve() runs before the emplace: a throwing solve stores nothing.
+    return entries_.value_at(entries_.try_emplace(key, solve()).first);
   }
 
   /// Drops the entries, not the counters (they count across sessions).
@@ -91,7 +94,7 @@ class RunMemo {
     }
   };
 
-  std::unordered_map<Key, gpusim::RunResult, KeyHash> entries_;
+  FlatMap<Key, gpusim::RunResult, KeyHash, std::equal_to<>> entries_;
   Stats stats_;
 };
 

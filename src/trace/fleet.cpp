@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <utility>
 
 #include <time.h>  // clock_gettime(CLOCK_MONOTONIC) — POSIX
@@ -170,10 +171,11 @@ int FleetRouter::route(std::uint64_t tenant_key, double now_seconds,
   return chosen;
 }
 
-std::vector<double> FleetRouter::split_budget(double watts, PowerSplit split,
-                                              double now_seconds) {
+SmallVector<double, FleetRouter::kInlineClusters> FleetRouter::split_budget(
+    double watts, PowerSplit split, double now_seconds) {
   const std::size_t n = backlog_.size();
-  std::vector<double> shares(n, watts / static_cast<double>(n));
+  SmallVector<double, kInlineClusters> shares;
+  shares.assign(n, watts / static_cast<double>(n));
   ++stats_.budget_splits;
   if (split == PowerSplit::Uniform) return shares;
 
@@ -227,7 +229,7 @@ RoutePlan FleetEngine::plan(const Trace& fleet_trace) const {
   plan.shard_jobs.assign(clusters, 0);
 
   // Appends one budget share per cluster and the matching tagged step.
-  const auto push_shares = [&](const std::vector<double>& watts, double time) {
+  const auto push_shares = [&](std::span<const double> watts, double time) {
     MIGOPT_REQUIRE(plan.shares.size() + clusters <= RoutedShard::kShareBit,
                    "fleet trace too large for 31-bit share indices");
     for (std::size_t c = 0; c < clusters; ++c) {

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "common/interner.hpp"
+#include "common/small_vector.hpp"
 #include "core/policy.hpp"
 #include "sched/cluster.hpp"
 #include "trace/sim_engine.hpp"
@@ -106,6 +107,11 @@ struct RouterStats {
 /// shards replay in parallel afterwards.
 class FleetRouter {
  public:
+  /// Inline lane count for the per-cluster load model and budget shares.
+  /// Fleets this size or smaller never touch the heap on the admission
+  /// path; larger fleets spill transparently.
+  static constexpr std::size_t kInlineClusters = 16;
+
   FleetRouter(const RouterConfig& config, int cluster_count,
               int nodes_per_cluster);
 
@@ -125,8 +131,13 @@ class FleetRouter {
   /// its cheapest dispatch when work arrives later) and splits the rest by
   /// backlog weight — falling back to uniform when the fleet is idle.
   /// Shares always sum to `watts`.
-  std::vector<double> split_budget(double watts, PowerSplit split,
-                                   double now_seconds);
+  ///
+  /// The share column (like the load model below) lives in SmallVector
+  /// inline storage: fleets up to kInlineClusters clusters — every checked
+  /// in bench configuration — split budgets with zero heap traffic.
+  SmallVector<double, kInlineClusters> split_budget(double watts,
+                                                    PowerSplit split,
+                                                    double now_seconds);
 
   /// Estimated queueing delay of `cluster` at `now`: backlog seconds of
   /// solo work per node. The signal spillover and demand splitting consult.
@@ -144,8 +155,10 @@ class FleetRouter {
   RouterConfig config_;
   double nodes_per_cluster_ = 1.0;
   std::size_t round_robin_next_ = 0;
-  std::vector<double> backlog_;    ///< outstanding solo work-seconds
-  std::vector<double> last_time_;  ///< last decay clock per cluster
+  /// Outstanding solo work-seconds per cluster (inline for small fleets).
+  SmallVector<double, kInlineClusters> backlog_;
+  /// Last decay clock per cluster.
+  SmallVector<double, kInlineClusters> last_time_;
   RouterStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "trace/sim_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -213,6 +214,20 @@ SimReport replay_impl(const SimConfig& config, Source& source,
                        : static_cast<double>(hits) / static_cast<double>(probes);
   };
 
+  // Phase profiling (SimConfig::collect_phase_counters): `mark` carries the
+  // start of the phase being timed; lap() folds the elapsed slice into a
+  // tally and restarts the clock. Everything is gated on one bool so the
+  // unprofiled hot loop pays a predicted-not-taken branch per phase.
+  using ProfileClock = std::chrono::steady_clock;
+  const bool profile = config.collect_phase_counters;
+  report.phases.collected = profile;
+  ProfileClock::time_point mark;
+  const auto lap = [&](double& tally) {
+    const ProfileClock::time_point t = ProfileClock::now();
+    tally += std::chrono::duration<double>(t - mark).count();
+    mark = t;
+  };
+
   const auto handle_completion = [&](const sched::Job& job) {
     MIGOPT_ENSURE(job.id >= 0 && static_cast<std::size_t>(job.id) < books.size(),
                   "completion for a job the engine never submitted");
@@ -238,6 +253,10 @@ SimReport replay_impl(const SimConfig& config, Source& source,
   };
 
   while (true) {
+    if (profile) {
+      ++report.phases.steps;
+      mark = ProfileClock::now();
+    }
     // 1. Apply every trace event due at the clock.
     while (source.next_time() <= now) {
       const EventView event = source.pop();
@@ -289,15 +308,23 @@ SimReport replay_impl(const SimConfig& config, Source& source,
         tenant.work_seconds += book.modeled_solo_seconds;
         cluster.submit(std::move(job));
       } else {
+        const ProfileClock::time_point budget_start =
+            profile ? ProfileClock::now() : ProfileClock::time_point{};
         cluster.set_power_budget(event.watts > 0.0
                                      ? std::optional<double>(event.watts)
                                      : std::nullopt);
         ++report.budget_events_applied;
+        if (profile)
+          report.phases.budget_rebroker_seconds +=
+              std::chrono::duration<double>(ProfileClock::now() - budget_start)
+                  .count();
       }
     }
+    if (profile) lap(report.phases.event_apply_seconds);
 
     // 2. Dispatch whatever fits the idle nodes and the budget headroom.
     cluster.dispatch(scheduler, now);
+    if (profile) lap(report.phases.dispatch_seconds);
 
     report.peak_queue_depth =
         std::max(report.peak_queue_depth, cluster.queued_count());
@@ -311,6 +338,7 @@ SimReport replay_impl(const SimConfig& config, Source& source,
                                 cluster.running_count(), cache_hit_rate()});
       next_sample = now + config.sample_interval_seconds;
     }
+    if (profile) lap(report.phases.accounting_seconds);
 
     // 3. Advance to the next event on the heap's two spines.
     const double t_trace = source.next_time();
@@ -331,6 +359,7 @@ SimReport replay_impl(const SimConfig& config, Source& source,
     // top applies arrivals stamped at the same instant.
     for (const sched::Job& job : cluster.advance_to(now, scheduler))
       handle_completion(job);
+    if (profile) lap(report.phases.completion_seconds);
   }
 
   report.cluster = cluster.report(scheduler);

@@ -56,6 +56,28 @@ struct SimConfig {
   /// legacy string path the interning-equivalence tests replay against.
   /// Both produce bit-identical reports.
   bool intern_symbols = true;
+  /// Collect wall-clock tallies of the event loop's phases (SimReport::
+  /// phases) — where a replay's real time goes: applying trace events,
+  /// re-brokering budgets, dispatching, accounting, or draining
+  /// completions. Off by default: the tallies read a monotonic clock per
+  /// loop phase, and they measure the *host*, so they are diagnostics, not
+  /// simulation output (reports stay bit-identical either way).
+  bool collect_phase_counters = false;
+};
+
+/// Host-time profile of replay_impl's phases (SimConfig::
+/// collect_phase_counters). All figures are wall-clock seconds of the
+/// replaying thread; budget_rebroker_seconds is the slice of
+/// event_apply_seconds spent applying budget events (a subset, not a fifth
+/// disjoint phase).
+struct PhaseCounters {
+  bool collected = false;
+  std::size_t steps = 0;                ///< event-loop iterations
+  double event_apply_seconds = 0.0;     ///< phase 1: due trace events
+  double budget_rebroker_seconds = 0.0; ///< ... of which budget re-brokering
+  double dispatch_seconds = 0.0;        ///< phase 2: Cluster::dispatch_batch
+  double accounting_seconds = 0.0;      ///< conservation check + sampling
+  double completion_seconds = 0.0;      ///< phase 3: advance + completions
 };
 
 /// One per-cluster share of a split fleet budget event (see RoutedShard).
@@ -121,6 +143,8 @@ struct SimReport {
   double jobs_per_hour = 0.0;  ///< completed jobs over the makespan
   std::vector<TenantStats> tenants;  ///< sorted by tenant name
   std::vector<SamplePoint> samples;  ///< empty unless sampling enabled
+  /// Host-time phase profile (zeros unless collect_phase_counters was set).
+  PhaseCounters phases;
 };
 
 class SimEngine {

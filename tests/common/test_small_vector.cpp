@@ -1,0 +1,178 @@
+#include "common/small_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace migopt {
+namespace {
+
+/// Counts constructions/destructions so leaks and double-destroys in the
+/// inline<->heap transitions show up as hard failures.
+struct Counted {
+  static int live;
+  int value = 0;
+
+  Counted() { ++live; }
+  explicit Counted(int v) : value(v) { ++live; }
+  Counted(const Counted& other) : value(other.value) { ++live; }
+  Counted(Counted&& other) noexcept : value(other.value) {
+    other.value = -1;
+    ++live;
+  }
+  Counted& operator=(const Counted&) = default;
+  Counted& operator=(Counted&&) = default;
+  ~Counted() { --live; }
+};
+int Counted::live = 0;
+
+TEST(SmallVector, StaysInlineUpToCapacityThenSpills) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.inline_storage());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.inline_storage());
+  v.push_back(4);  // fifth element: heap spill
+  EXPECT_FALSE(v.inline_storage());
+  EXPECT_GE(v.capacity(), 5u);
+  ASSERT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVector, BehavesLikeVectorAcrossMixedOps) {
+  SmallVector<int, 3> v;
+  std::vector<int> ref;
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(i);
+    ref.push_back(i);
+  }
+  for (int i = 0; i < 40; ++i) {
+    v.pop_back();
+    ref.pop_back();
+  }
+  v.resize(75, -1);
+  ref.resize(75, -1);
+  ASSERT_EQ(v.size(), ref.size());
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), ref.begin()));
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0),
+            std::accumulate(ref.begin(), ref.end(), 0));
+  v.assign(5, 9);
+  EXPECT_EQ(v.size(), 5u);
+  for (int x : v) EXPECT_EQ(x, 9);
+}
+
+TEST(SmallVector, MoveStealsHeapBlockInO1) {
+  SmallVector<std::string, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back("entry_" + std::to_string(i));
+  ASSERT_FALSE(v.inline_storage());
+  const std::string* heap = v.data();
+
+  SmallVector<std::string, 2> moved(std::move(v));
+  EXPECT_EQ(moved.data(), heap);  // pointer stolen, no element moved
+  ASSERT_EQ(moved.size(), 10u);
+  EXPECT_EQ(moved[7], "entry_7");
+  // Source is empty and reusable on its inline buffer.
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.inline_storage());
+  v.push_back("fresh");
+  EXPECT_EQ(v.back(), "fresh");
+}
+
+TEST(SmallVector, MoveOfInlineVectorMovesElements) {
+  SmallVector<std::string, 8> v;
+  v.push_back("a");
+  v.push_back("b");
+  ASSERT_TRUE(v.inline_storage());
+
+  SmallVector<std::string, 8> moved(std::move(v));
+  EXPECT_TRUE(moved.inline_storage());  // inline buffers cannot be stolen
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0], "a");
+  EXPECT_EQ(moved[1], "b");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, MoveAssignReleasesOldContents) {
+  {
+    SmallVector<Counted, 2> a;
+    for (int i = 0; i < 6; ++i) a.emplace_back(i);  // spilled
+    SmallVector<Counted, 2> b;
+    b.emplace_back(99);  // inline
+    b = std::move(a);
+    ASSERT_EQ(b.size(), 6u);
+    EXPECT_EQ(b[5].value, 5);
+    EXPECT_TRUE(a.empty());
+    a = std::move(b);  // steal back the other way
+    ASSERT_EQ(a.size(), 6u);
+    EXPECT_TRUE(b.empty());
+  }
+  EXPECT_EQ(Counted::live, 0);  // every construction balanced by a destroy
+}
+
+TEST(SmallVector, CopyPreservesSourceAndDeepCopies) {
+  SmallVector<std::string, 2> v;
+  for (int i = 0; i < 5; ++i) v.push_back(std::to_string(i));
+  SmallVector<std::string, 2> copy(v);
+  ASSERT_EQ(copy.size(), v.size());
+  EXPECT_NE(copy.data(), v.data());
+  copy[0] = "mutated";
+  EXPECT_EQ(v[0], "0");
+
+  SmallVector<std::string, 2> assigned;
+  assigned.push_back("old");
+  assigned = v;
+  ASSERT_EQ(assigned.size(), 5u);
+  EXPECT_EQ(assigned[4], "4");
+}
+
+TEST(SmallVector, ResizeShrinkDestroysTail) {
+  {
+    SmallVector<Counted, 4> v;
+    for (int i = 0; i < 10; ++i) v.emplace_back(i);
+    EXPECT_EQ(Counted::live, 10);
+    v.resize(3);
+    EXPECT_EQ(Counted::live, 3);
+    EXPECT_EQ(v[2].value, 2);
+    v.clear();
+    EXPECT_EQ(Counted::live, 0);
+  }
+  EXPECT_EQ(Counted::live, 0);
+}
+
+TEST(SmallVector, FillConstructorAndAssignRefill) {
+  SmallVector<double, 16> shares(8, 0.25);
+  EXPECT_TRUE(shares.inline_storage());
+  ASSERT_EQ(shares.size(), 8u);
+  for (double s : shares) EXPECT_EQ(s, 0.25);
+  shares.assign(32, 1.0);  // past inline capacity
+  EXPECT_FALSE(shares.inline_storage());
+  ASSERT_EQ(shares.size(), 32u);
+  for (double s : shares) EXPECT_EQ(s, 1.0);
+}
+
+TEST(SmallVector, PopBackOnEmptyThrowsContract) {
+  SmallVector<int, 2> v;
+  EXPECT_THROW(v.pop_back(), ContractViolation);
+}
+
+TEST(SmallVector, ReserveNeverShrinksAndKeepsElements) {
+  SmallVector<int, 2> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.reserve(100);
+  EXPECT_GE(v.capacity(), 100u);
+  v.reserve(1);
+  EXPECT_GE(v.capacity(), 100u);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+}
+
+}  // namespace
+}  // namespace migopt

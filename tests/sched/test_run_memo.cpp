@@ -1,0 +1,113 @@
+#include "sched/run_memo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/hash_mix.hpp"
+#include "common/rng.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace migopt::sched {
+namespace {
+
+// The memo keys on kernel *pointers* and never dereferences them — these
+// exist only to provide four stable addresses.
+gpusim::KernelDescriptor shared_kernels[4];
+
+struct RefKeyHash {
+  std::size_t operator()(const RunMemo::Key& key) const noexcept {
+    std::uint64_t h =
+        hash_mix(1, reinterpret_cast<std::uintptr_t>(key.kernel1));
+    h = hash_mix(h, reinterpret_cast<std::uintptr_t>(key.kernel2));
+    h = hash_mix(h, static_cast<std::uint64_t>(
+                        static_cast<std::uint32_t>(key.gpcs1 * 31 + key.gpcs2)));
+    h = hash_mix(h, static_cast<std::uint64_t>(
+                        static_cast<std::uint32_t>(key.option)));
+    h = hash_mix(h, hash_bits(key.cap_watts));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// The memo's contract: a probe hits iff an identical key was stored since
+// the last clear, and a hit serves exactly the RunResult stored by the miss
+// that created the entry. Driven in lockstep with a std::unordered_map over
+// a randomized key mix; each solve stamps a unique marker so any mixup
+// between entries is a value mismatch.
+TEST(RunMemo, HitMissSequenceMatchesUnorderedMapReference) {
+  RunMemo memo;
+  std::unordered_map<RunMemo::Key, double, RefKeyHash> ref;
+  Rng rng(7);
+  double stamp = 0.0;
+  std::size_t ref_hits = 0, ref_misses = 0;
+
+  for (int probe = 0; probe < 30000; ++probe) {
+    RunMemo::Key key;
+    key.kernel1 = &shared_kernels[rng.bounded(4)];
+    if (rng.bounded(3) != 0) {  // paired shape; else solo (kernel2 null)
+      key.kernel2 = &shared_kernels[rng.bounded(4)];
+      key.gpcs1 = static_cast<int>(1 + rng.bounded(6));
+      key.gpcs2 = 7 - key.gpcs1;
+      key.option = static_cast<int>(rng.bounded(3));
+    } else {
+      key.gpcs1 = 7;
+      key.option = -1;
+    }
+    const double caps[] = {0.0, 150.0, 200.0, 250.0};
+    key.cap_watts = caps[rng.bounded(4)];
+
+    const double fresh = ++stamp;
+    bool solved = false;
+    const gpusim::RunResult& got = memo.get_or_solve(key, [&] {
+      solved = true;
+      gpusim::RunResult result;
+      result.power_watts = fresh;  // unique per solve: identity marker
+      return result;
+    });
+    const auto [it, inserted] = ref.try_emplace(key, fresh);
+    if (inserted)
+      ++ref_misses;
+    else
+      ++ref_hits;
+    ASSERT_EQ(solved, inserted) << "probe " << probe;
+    ASSERT_EQ(got.power_watts, it->second) << "probe " << probe;
+    ASSERT_EQ(memo.stats().hits, ref_hits) << "probe " << probe;
+    ASSERT_EQ(memo.stats().misses, ref_misses) << "probe " << probe;
+    ASSERT_EQ(memo.size(), ref.size()) << "probe " << probe;
+  }
+  EXPECT_GT(ref_hits, 0u);
+  // Key space: 4 solo kernels x 4 caps + 4*4 pairs x 6 splits x 3 options
+  // x 4 caps = 1168 distinct keys, all far below the epoch-reset bound.
+  EXPECT_EQ(memo.size(), ref.size());
+}
+
+TEST(RunMemo, ClearDropsEntriesButKeepsCounters) {
+  RunMemo memo;
+  RunMemo::Key key;
+  key.kernel1 = &shared_kernels[0];
+  key.cap_watts = 200.0;
+  const auto solve = [] {
+    gpusim::RunResult result;
+    result.clock_ratio = 0.5;
+    return result;
+  };
+  memo.get_or_solve(key, solve);
+  EXPECT_EQ(memo.get_or_solve(key, solve).clock_ratio, 0.5);
+  EXPECT_EQ(memo.stats().hits, 1u);
+  EXPECT_EQ(memo.stats().misses, 1u);
+
+  memo.clear();
+  EXPECT_EQ(memo.size(), 0u);
+  // Counters survive the clear (owners report cross-session deltas)...
+  EXPECT_EQ(memo.stats().hits, 1u);
+  EXPECT_EQ(memo.stats().misses, 1u);
+  // ...and the same key now misses again.
+  memo.get_or_solve(key, solve);
+  EXPECT_EQ(memo.stats().misses, 2u);
+  EXPECT_EQ(memo.stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace migopt::sched

@@ -48,9 +48,31 @@ def fail(message: str):
 def load_document(path: str) -> dict:
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            return json.load(handle)
+            document = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
         fail(f"cannot read {path}: {exc}")
+    # A truncated or hand-mangled baseline can still be valid JSON (a bare
+    # string, a list, a scenario object missing its wrapper). Validate the
+    # schema-v1 shape here so the failure is one clear message instead of an
+    # AttributeError traceback from deep inside the comparison.
+    if not isinstance(document, dict):
+        fail(f"{path}: not a BENCH_*.json document (top level is "
+             f"{type(document).__name__}, expected an object) — truncated "
+             "or corrupt baseline?")
+    scenarios = document.get("scenarios", [])
+    if not isinstance(scenarios, list):
+        fail(f"{path}: 'scenarios' must be a list — truncated or corrupt "
+             "baseline?")
+    for scenario in scenarios:
+        if not isinstance(scenario, dict):
+            fail(f"{path}: scenario entries must be objects — truncated or "
+                 "corrupt baseline?")
+        sections = scenario.get("sections", [])
+        if not isinstance(sections, list) or any(
+                not isinstance(section, dict) for section in sections):
+            fail(f"{path}: scenario '{scenario.get('name', '?')}' has a "
+                 "malformed 'sections' list — truncated or corrupt baseline?")
+    return document
 
 
 def numeric(value) -> float | None:
