@@ -23,6 +23,9 @@
 
 #include <time.h>  // clock_gettime(CLOCK_THREAD_CPUTIME_ID) — POSIX
 
+#include "common/assert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 #include "report/harness.hpp"
 #include "trace/presets.hpp"
 #include "trace/sim_engine.hpp"
@@ -58,12 +61,19 @@ struct Regime {
   /// throughput regime: the per-phase clock reads would tax the wall-clock
   /// row they sit next to.
   bool profile_phases = false;
+  /// Attach every obs sink (metrics registry, telemetry sampler, span
+  /// tracer). The replay summaries must stay byte-identical — enforced in
+  /// run() against the plain twin regime — and the wall-clock delta is the
+  /// measured observability overhead (warn-only band).
+  bool observability = false;
 };
 
 struct RegimeOutcome {
   trace::SimReport sim;
   double wall_seconds = 0.0;
   double cpu_seconds = 0.0;
+  std::size_t metric_count = 0;   ///< registered metrics (obs regimes)
+  std::size_t trace_events = 0;   ///< span-tracer events (obs regimes)
 };
 
 RegimeOutcome run_regime(const Regime& regime) {
@@ -89,6 +99,13 @@ RegimeOutcome run_regime(const Regime& regime) {
   trace::SimConfig sim_config;
   sim_config.max_sim_seconds = 1.0e8;
   sim_config.collect_phase_counters = regime.profile_phases;
+  obs::Registry metrics;
+  obs::SpanTracer tracer(regime.observability);
+  if (regime.observability) {
+    sim_config.metrics = &metrics;
+    sim_config.tracer = &tracer;
+    sim_config.telemetry.interval_seconds = 2000.0;
+  }
   const trace::Trace job_trace = trace::make_regime_trace(
       regime.preset, regime.jobs, regime.nodes, kSeed, registry.names());
 
@@ -111,7 +128,80 @@ RegimeOutcome run_regime(const Regime& regime) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  outcome.metric_count = metrics.size();
+  outcome.trace_events = tracer.event_count();
   return outcome;
+}
+
+/// The contract the obs regime exists to enforce: observability must not
+/// move a single deterministic output. A violated check aborts the bench —
+/// a silent drift here would poison every baseline downstream.
+void require_same_replay(const trace::SimReport& plain,
+                         const trace::SimReport& observed) {
+  MIGOPT_ENSURE(plain.jobs_submitted == observed.jobs_submitted &&
+                    plain.budget_events_applied ==
+                        observed.budget_events_applied &&
+                    plain.deadline_misses == observed.deadline_misses &&
+                    plain.peak_queue_depth == observed.peak_queue_depth,
+                "observability changed replay event counts");
+  MIGOPT_ENSURE(
+      plain.mean_queue_wait_seconds == observed.mean_queue_wait_seconds &&
+          plain.max_queue_wait_seconds == observed.max_queue_wait_seconds &&
+          plain.mean_slowdown == observed.mean_slowdown &&
+          plain.jobs_per_hour == observed.jobs_per_hour,
+      "observability changed replay queueing statistics");
+  MIGOPT_ENSURE(
+      plain.cluster.jobs_completed == observed.cluster.jobs_completed &&
+          plain.cluster.pair_dispatches == observed.cluster.pair_dispatches &&
+          plain.cluster.exclusive_dispatches ==
+              observed.cluster.exclusive_dispatches &&
+          plain.cluster.profile_runs == observed.cluster.profile_runs &&
+          plain.cluster.decision_cache_hits ==
+              observed.cluster.decision_cache_hits &&
+          plain.cluster.decision_cache_misses ==
+              observed.cluster.decision_cache_misses &&
+          plain.cluster.decision_cache_evictions ==
+              observed.cluster.decision_cache_evictions,
+      "observability changed the schedule");
+  MIGOPT_ENSURE(
+      plain.cluster.makespan_seconds == observed.cluster.makespan_seconds &&
+          plain.cluster.total_energy_joules ==
+              observed.cluster.total_energy_joules &&
+          plain.cluster.peak_cap_sum_watts ==
+              observed.cluster.peak_cap_sum_watts,
+      "observability changed continuous cluster outputs");
+}
+
+/// Observability overhead as timing rows plus a warn-only summary: the
+/// section title contains "observability", which tools/bench_diff.py treats
+/// as a warn-only band (hardware variance must never gate), and
+/// overhead_pct documents the measured cost of running with every sink on.
+report::Section render_obs_overhead(const RegimeOutcome& plain,
+                                    const RegimeOutcome& observed) {
+  report::Section section;
+  section.title = "mega 1M jobs observability overhead";
+  section.label_header = "benchmark";
+  section.columns = {"real_time", "cpu_time", "time_unit", "metrics",
+                     "trace_events", "telemetry_rows"};
+  const auto row = [&](const char* label, const RegimeOutcome& outcome) {
+    section.add_row(
+        label,
+        {MetricValue::num(outcome.wall_seconds * 1e3, 1),
+         MetricValue::num(outcome.cpu_seconds * 1e3, 1),
+         MetricValue::str("ms"),
+         MetricValue::of_count(static_cast<long long>(outcome.metric_count)),
+         MetricValue::of_count(static_cast<long long>(outcome.trace_events)),
+         MetricValue::of_count(
+             static_cast<long long>(outcome.sim.telemetry.rows.size()))});
+  };
+  row("replay_plain", plain);
+  row("replay_full_observability", observed);
+  const double overhead =
+      plain.wall_seconds > 0.0
+          ? (observed.wall_seconds - plain.wall_seconds) / plain.wall_seconds
+          : 0.0;
+  section.add_summary("overhead_pct", MetricValue::num(overhead * 100.0, 2));
+  return section;
 }
 
 report::Section render(const Regime& regime, const trace::SimReport& sim) {
@@ -229,6 +319,13 @@ report::ScenarioResult run(const report::RunContext& ctx) {
   mega_profiled.name = "mega 1M jobs";
   mega_profiled.report_throughput = false;
   mega_profiled.profile_phases = true;
+  // Same mega replay again, with every obs sink attached (metrics registry,
+  // telemetry sampler, Chrome-trace spans). run() checks its report against
+  // the plain mega run bit-for-bit and emits the measured overhead.
+  Regime mega_obs = mega;
+  mega_obs.name = "mega 1M jobs";
+  mega_obs.report_throughput = false;
+  mega_obs.observability = true;
   const std::vector<Regime> regimes = {
       {"poisson 10k jobs", "steady arrivals, unconstrained budget",
        trace::ReplayRegime::Poisson},
@@ -240,14 +337,23 @@ report::ScenarioResult run(const report::RunContext& ctx) {
        trace::ReplayRegime::Poisson, 48},
       mega,
       mega_profiled,
+      mega_obs,
   };
+  const std::size_t mega_index = 4;
+  const std::size_t mega_obs_index = 6;
 
   std::vector<RegimeOutcome> outcomes(regimes.size());
   ctx.parallel_for(regimes.size(),
                    [&](std::size_t i) { outcomes[i] = run_regime(regimes[i]); });
 
+  require_same_replay(outcomes[mega_index].sim, outcomes[mega_obs_index].sim);
+
   report::ScenarioResult result;
   for (std::size_t i = 0; i < regimes.size(); ++i) {
+    if (regimes[i].observability) {
+      result.add_section(render_obs_overhead(outcomes[mega_index], outcomes[i]));
+      continue;  // stats section is bit-identical to the plain mega run's
+    }
     if (regimes[i].profile_phases) {
       result.add_section(render_phase_profile(regimes[i], outcomes[i].sim));
       continue;  // stats section would duplicate the unprofiled mega run's
@@ -268,7 +374,12 @@ report::ScenarioResult run(const report::RunContext& ctx) {
       "its summaries are deterministic while the wall-clock throughput row\n"
       "rides the warn-only timing band of bench_diff. The phase profile\n"
       "section re-runs the mega replay with SimEngine's per-phase tallies on\n"
-      "(timing rows, no summary — never gates).");
+      "(timing rows, no summary — never gates). The observability overhead\n"
+      "section replays mega once more with every obs sink attached (metrics\n"
+      "registry, telemetry sampler, Chrome-trace spans); the bench aborts if\n"
+      "any deterministic output moves, and the wall-clock delta — the\n"
+      "overhead_pct summary, target <= 5% — rides the warn-only\n"
+      "observability band of bench_diff.");
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include "common/flat_map.hpp"
 #include "common/interner.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "core/optimizer.hpp"
 #include "core/trainer.hpp"
 #include "profiling/profiler.hpp"
@@ -472,6 +473,75 @@ void BM_TraceReplayCalendarCore(benchmark::State& state) {
 BENCHMARK(BM_TraceReplayCalendarCore)
     ->Arg(8)->Arg(32)->Arg(128)
     ->Unit(benchmark::kMillisecond);
+
+// obs hot-path price: one counter add through an enabled Metrics handle —
+// the per-event cost an instrumented replay pays at each count site.
+void BM_CounterHot(benchmark::State& state) {
+  obs::Registry registry;
+  const obs::Metrics metrics(&registry);
+  const obs::MetricId id = metrics.counter("bench.counter");
+  for (auto _ : state) {
+    metrics.add(id);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterHot);
+
+// One log2-histogram record with a varying value (SplitMix64 stream): the
+// bucket index is a single bit_width, so this should stay within a few ns
+// of the counter add.
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Registry registry;
+  const obs::Metrics metrics(&registry);
+  const obs::MetricId id = metrics.histogram("bench.histogram");
+  SplitMix64 values(7);
+  for (auto _ : state) {
+    metrics.record(id, values.next());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+// The whole-replay observability overhead at microbench scale: the Indexed
+// 8-node replay of BM_TraceReplayIndexedCore with the metrics registry and
+// telemetry sampler attached. Compare against BM_TraceReplayIndexedCore/8 —
+// the delta is the end-to-end metrics cost (target: within noise).
+void BM_ReplayMetricsOverhead(benchmark::State& state) {
+  const auto& env = report::Environment::get();
+  static core::ResourcePowerAllocator allocator(
+      env.artifacts.model, env.artifacts.profiles,
+      core::ResourcePowerAllocator::Config{});
+  constexpr std::size_t kReplayJobs = 4000;
+  const int nodes = static_cast<int>(state.range(0));
+
+  sched::CoScheduler scheduler(allocator,
+                               trace::regime_policy(trace::ReplayRegime::Poisson));
+  sched::ClusterConfig cluster_config;
+  cluster_config.node_count = nodes;
+  cluster_config.max_sim_seconds = 1.0e8;
+  cluster_config.event_core = sched::EventCore::Indexed;
+  cluster_config.collect_job_stats = false;
+  const trace::Trace job_trace = trace::make_regime_trace(
+      trace::ReplayRegime::Poisson, kReplayJobs, nodes, 7, env.registry.names());
+
+  for (auto _ : state) {
+    obs::Registry registry;
+    trace::SimConfig sim_config;
+    sim_config.max_sim_seconds = 1.0e8;
+    sim_config.metrics = &registry;
+    sim_config.telemetry.interval_seconds = 2000.0;
+    sched::Cluster cluster(cluster_config);
+    const auto report = trace::SimEngine(sim_config).replay(
+        job_trace, env.registry, cluster, scheduler);
+    benchmark::DoNotOptimize(report.cluster.jobs_completed);
+    benchmark::DoNotOptimize(registry.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kReplayJobs));
+}
+BENCHMARK(BM_ReplayMetricsOverhead)->Arg(8)->Unit(benchmark::kMillisecond);
 
 // The admission layer alone: FleetEngine::plan routes every arrival and
 // splits every budget event against the open-loop load model, without

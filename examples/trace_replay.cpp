@@ -51,6 +51,19 @@
 //   --power-split uniform|demand       fleet budget split policy
 //   --fleet-budget W                   fleet-level power contract [W]
 //
+// Observability flags (see README "Observability") — none of them change
+// the replay's report by a byte:
+//   --metrics PATH                     write the schema-v1 metrics document
+//                                      (counters/gauges/histograms + the
+//                                      telemetry series); a .csv suffix
+//                                      writes the series as CSV instead
+//   --chrome-trace PATH                write Chrome trace-event JSON (load
+//                                      in ui.perfetto.dev): session spans,
+//                                      per-phase lanes, re-broker spans,
+//                                      one track per fleet cluster
+//   --sample-interval S                sim-time telemetry sample period [s]
+//   --log-level LVL                    shared harness flag (trace..off)
+//
 // The 1M reproduction: trace_replay --jobs 1000000 --nodes 64 --seed 7
 //                          --indexed-core
 // A 16-cluster fleet:   trace_replay --jobs 200000 --clusters 16 --nodes 8
@@ -61,13 +74,18 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <string>
 #include <type_traits>
 #include <vector>
 
 #include "common/string_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/span_tracer.hpp"
 #include "report/harness.hpp"
+#include "report/reporter.hpp"
 #include "trace/fleet.hpp"
 #include "trace/presets.hpp"
 #include "trace/sim_engine.hpp"
@@ -115,7 +133,57 @@ struct ReplayConfig {
   double spill_delay_seconds = 0.0;
   trace::PowerSplit power_split = trace::PowerSplit::Uniform;
   double fleet_budget_watts = 0.0;  ///< <= 0: no fleet-level contract
+
+  // Observability (README "Observability"): all three knobs leave the
+  // replay's report byte-identical — the sinks only *add* outputs.
+  std::string metrics_path;       ///< --metrics: schema-v1 doc (.json or .csv)
+  std::string chrome_trace_path;  ///< --chrome-trace: Perfetto-loadable spans
+  double sample_interval_seconds = 0.0;  ///< --sample-interval [sim s]
 };
+
+/// Emit the --metrics document (telemetry series only in CSV mode) and the
+/// --chrome-trace span file. Shared by the single-cluster and fleet paths.
+void write_obs_outputs(const ReplayConfig& config,
+                       const obs::Registry& registry,
+                       const std::vector<obs::SampleSeries>& series,
+                       const obs::SpanTracer& tracer) {
+  if (!config.metrics_path.empty()) {
+    const bool csv = config.metrics_path.size() > 4 &&
+                     config.metrics_path.rfind(".csv") ==
+                         config.metrics_path.size() - 4;
+    if (csv) {
+      std::ofstream out(config.metrics_path);
+      bool header_done = false;
+      for (std::size_t c = 0; c < series.size(); ++c) {
+        std::string block = series[c].to_csv("c" + std::to_string(c));
+        if (header_done) {
+          // Drop the repeated header of every series after the first.
+          const std::size_t eol = block.find('\n');
+          block.erase(0, eol == std::string::npos ? block.size() : eol + 1);
+        }
+        out << block;
+        header_done = true;
+      }
+    } else {
+      json::Value telemetry = json::Value::array();
+      for (std::size_t c = 0; c < series.size(); ++c)
+        telemetry.push_back(series[c].to_json("c" + std::to_string(c)));
+      report::write_json_file(
+          config.metrics_path,
+          obs::metrics_document(registry, "trace_replay",
+                                std::move(telemetry)));
+    }
+    std::fprintf(stderr, "metrics written to %s\n",
+                 config.metrics_path.c_str());
+  }
+  if (!config.chrome_trace_path.empty()) {
+    report::write_json_file(config.chrome_trace_path,
+                            tracer.to_chrome_json());
+    std::fprintf(stderr,
+                 "chrome trace written to %s (load in ui.perfetto.dev)\n",
+                 config.chrome_trace_path.c_str());
+  }
+}
 
 /// Fleet mode: the same regime trace, sized for the whole fleet, routed by
 /// trace::FleetEngine across `clusters` independent sessions and replayed
@@ -145,12 +213,24 @@ report::ScenarioResult run_fleet_replay(const ReplayConfig& config,
     fleet.fleet_power_budget_watts = config.fleet_budget_watts;
   fleet.sim.max_sim_seconds = 1.0e8;
   fleet.sim.collect_phase_counters = config.profile_phases;
+  fleet.sim.telemetry.interval_seconds = config.sample_interval_seconds;
   fleet.policy = trace::regime_policy(config.regime);
   fleet.seed = config.seed;
   fleet.threads = std::max<std::size_t>(1, ctx.threads());
 
+  obs::Registry registry_sink;
+  obs::SpanTracer tracer(!config.chrome_trace_path.empty());
+  if (!config.metrics_path.empty()) fleet.metrics = &registry_sink;
+  fleet.tracer = &tracer;
+
   const trace::FleetReport report =
       trace::FleetEngine(fleet).replay(fleet_trace);
+  if (!config.metrics_path.empty() || !config.chrome_trace_path.empty()) {
+    std::vector<obs::SampleSeries> series;
+    for (const trace::SimReport& shard : report.clusters)
+      if (!shard.telemetry.empty()) series.push_back(shard.telemetry);
+    write_obs_outputs(config, registry_sink, series, tracer);
+  }
   if (config.profile_phases) {
     // Sum the per-shard tallies: with --threads > 1 the shards overlap, so
     // this is aggregate CPU-side phase time, not wall clock.
@@ -274,10 +354,23 @@ report::ScenarioResult run_replay(const ReplayConfig& config,
   trace::SimConfig sim_config;
   sim_config.max_sim_seconds = 1.0e8;
   sim_config.collect_phase_counters = config.profile_phases;
+  sim_config.telemetry.interval_seconds = config.sample_interval_seconds;
+  obs::Registry registry_sink;
+  obs::SpanTracer tracer(!config.chrome_trace_path.empty());
+  if (!config.metrics_path.empty()) sim_config.metrics = &registry_sink;
+  sim_config.tracer = &tracer;
   const trace::SimEngine engine(sim_config);
   const trace::SimReport sim =
       engine.replay(job_trace, registry, cluster, scheduler);
-  print_phase_profile("replay", sim.phases);
+  // The tracer also collects phase tallies (it synthesizes spans from
+  // them); only print the stderr profile when --profile asked for it.
+  if (config.profile_phases) print_phase_profile("replay", sim.phases);
+  if (!config.metrics_path.empty() || !config.chrome_trace_path.empty()) {
+    tracer.set_track_name(0, "cluster");
+    std::vector<obs::SampleSeries> series;
+    if (!sim.telemetry.empty()) series.push_back(sim.telemetry);
+    write_obs_outputs(config, registry_sink, series, tracer);
+  }
 
   report::ScenarioResult result;
   report::Section section;
@@ -367,6 +460,9 @@ int main(int argc, char** argv) {
   std::string spill_flag;
   std::string split_flag;
   std::string fleet_budget_flag;
+  std::string metrics_flag;
+  std::string chrome_trace_flag;
+  std::string sample_interval_flag;
   bool indexed_core = false;
   bool calendar_core = false;
   bool profile_phases = false;
@@ -390,7 +486,10 @@ int main(int argc, char** argv) {
         take_value("--router", router_flag) ||
         take_value("--spill-delay", spill_flag) ||
         take_value("--power-split", split_flag) ||
-        take_value("--fleet-budget", fleet_budget_flag))
+        take_value("--fleet-budget", fleet_budget_flag) ||
+        take_value("--metrics", metrics_flag) ||
+        take_value("--chrome-trace", chrome_trace_flag) ||
+        take_value("--sample-interval", sample_interval_flag))
       continue;
     if (arg == "--indexed-core") {
       indexed_core = true;
@@ -521,6 +620,19 @@ int main(int argc, char** argv) {
       return 1;
     }
     config.fleet_budget_watts = *value;
+  }
+
+  // Observability flags.
+  config.metrics_path = metrics_flag;
+  config.chrome_trace_path = chrome_trace_flag;
+  if (!sample_interval_flag.empty()) {
+    const auto value = migopt::str::parse_double(sample_interval_flag);
+    if (!value.has_value() || *value < 0.0) {
+      std::fprintf(stderr, "error: --sample-interval must be >= 0, got '%s'\n",
+                   sample_interval_flag.c_str());
+      return 1;
+    }
+    config.sample_interval_seconds = *value;
   }
 
   migopt::report::register_scenario(

@@ -1,6 +1,8 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 
 namespace migopt::log {
@@ -8,6 +10,23 @@ namespace migopt::log {
 namespace {
 std::atomic<Level> g_level{Level::Warn};
 std::mutex g_mutex;
+
+/// Monotonic epoch shared by every line: first use of the logger, not
+/// process start exactly, but constant from then on — deltas between lines
+/// are what matters.
+std::chrono::steady_clock::time_point epoch() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+/// Dense per-thread ids (0, 1, 2, ...) in first-log order: readable where
+/// std::thread::id's opaque hash is not.
+unsigned thread_ordinal() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 const char* tag(Level level) {
   switch (level) {
@@ -26,9 +45,38 @@ void set_level(Level level) noexcept { g_level.store(level, std::memory_order_re
 
 Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
+std::optional<Level> parse_level(std::string_view name) noexcept {
+  if (name == "trace") return Level::Trace;
+  if (name == "debug") return Level::Debug;
+  if (name == "info") return Level::Info;
+  if (name == "warn") return Level::Warn;
+  if (name == "error") return Level::Error;
+  if (name == "off") return Level::Off;
+  return std::nullopt;
+}
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::Trace: return "trace";
+    case Level::Debug: return "debug";
+    case Level::Info: return "info";
+    case Level::Warn: return "warn";
+    case Level::Error: return "error";
+    case Level::Off: return "off";
+  }
+  return "?";
+}
+
 void write(Level lvl, const std::string& message) {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch())
+          .count();
+  const unsigned tid = thread_ordinal();
+  char stamp[48];
+  std::snprintf(stamp, sizeof stamp, "+%.3fs t%u", seconds, tid);
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[migopt " << tag(lvl) << "] " << message << '\n';
+  std::cerr << "[migopt " << tag(lvl) << ' ' << stamp << "] " << message
+            << '\n';
 }
 
 }  // namespace migopt::log

@@ -1,10 +1,13 @@
 // Minimal leveled logger. Defaults to Warn so library users are not spammed;
-// benches/examples raise it explicitly. Thread-safe.
+// CLIs raise it via the shared --log-level flag (report/harness.cpp).
+// Thread-safe.
 #pragma once
 
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace migopt::log {
 
@@ -14,7 +17,16 @@ enum class Level { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 
 void set_level(Level level) noexcept;
 Level level() noexcept;
 
-/// Emit one line to stderr with a level tag. Thread-safe.
+/// "trace" / "debug" / "info" / "warn" / "error" / "off" (case-sensitive);
+/// nullopt otherwise. The vocabulary of the shared --log-level CLI flag.
+std::optional<Level> parse_level(std::string_view name) noexcept;
+const char* level_name(Level level) noexcept;
+
+/// Emit one line to stderr, tagged with the level, seconds since process
+/// start (monotonic clock), and a dense per-thread id:
+///   [migopt INFO  +12.034s t0] message
+/// Thread-safe; the timestamp/thread id make interleaved multi-threaded
+/// bench output attributable.
 void write(Level level, const std::string& message);
 
 namespace detail {

@@ -1,0 +1,185 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace migopt::obs {
+
+const char* metric_kind_name(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::Counter:
+      return "counter";
+    case MetricKind::Gauge:
+      return "gauge";
+    case MetricKind::Histogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+MetricId Registry::intern(std::string_view name, MetricKind kind) {
+  const Symbol id = names_.intern(name);
+  if (id < meta_.size()) {
+    MIGOPT_REQUIRE(meta_[id].kind == kind,
+                   "metric '" + std::string(name) + "' already registered as " +
+                       metric_kind_name(meta_[id].kind) + ", not " +
+                       metric_kind_name(kind));
+    return id;
+  }
+  MIGOPT_ENSURE(id == meta_.size(), "metric ids must stay dense");
+  Meta meta;
+  meta.kind = kind;
+  switch (kind) {
+    case MetricKind::Counter:
+      meta.slot = static_cast<std::uint32_t>(counters_.size());
+      counters_.push_back(0);
+      break;
+    case MetricKind::Gauge:
+      meta.slot = static_cast<std::uint32_t>(gauges_.size());
+      gauges_.push_back(0.0);
+      break;
+    case MetricKind::Histogram:
+      meta.slot = static_cast<std::uint32_t>(histograms_.size());
+      histograms_.emplace_back();
+      break;
+  }
+  meta_.push_back(meta);
+  return id;
+}
+
+MetricId Registry::counter(std::string_view name) {
+  return intern(name, MetricKind::Counter);
+}
+MetricId Registry::gauge(std::string_view name) {
+  return intern(name, MetricKind::Gauge);
+}
+MetricId Registry::histogram(std::string_view name) {
+  return intern(name, MetricKind::Histogram);
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const noexcept {
+  const auto id = names_.find(name);
+  if (!id || meta_[*id].kind != MetricKind::Counter) return 0;
+  return counters_[meta_[*id].slot];
+}
+
+double Registry::gauge_value(std::string_view name) const noexcept {
+  const auto id = names_.find(name);
+  if (!id || meta_[*id].kind != MetricKind::Gauge) return 0.0;
+  return gauges_[meta_[*id].slot];
+}
+
+const Histogram* Registry::histogram_value(
+    std::string_view name) const noexcept {
+  const auto id = names_.find(name);
+  if (!id || meta_[*id].kind != MetricKind::Histogram) return nullptr;
+  return &histograms_[meta_[*id].slot];
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (MetricId id = 0; id < other.meta_.size(); ++id) {
+    const Meta& meta = other.meta_[id];
+    const MetricId mine = intern(other.names_.name(id), meta.kind);
+    const std::uint32_t slot = meta_[mine].slot;
+    switch (meta.kind) {
+      case MetricKind::Counter:
+        counters_[slot] += other.counters_[meta.slot];
+        break;
+      case MetricKind::Gauge:
+        if (other.gauges_[meta.slot] > gauges_[slot])
+          gauges_[slot] = other.gauges_[meta.slot];
+        break;
+      case MetricKind::Histogram: {
+        Histogram& into = histograms_[slot];
+        const Histogram& from = other.histograms_[meta.slot];
+        if (from.count > 0) {
+          if (into.count == 0) {
+            into.min = from.min;
+            into.max = from.max;
+          } else {
+            if (from.min < into.min) into.min = from.min;
+            if (from.max > into.max) into.max = from.max;
+          }
+          into.count += from.count;
+          into.sum += from.sum;
+          for (std::size_t k = 0; k < Histogram::kBuckets; ++k)
+            into.buckets[k] += from.buckets[k];
+        }
+        break;
+      }
+    }
+  }
+}
+
+json::Value Registry::to_json() const {
+  json::Value counters = json::Value::object();
+  json::Value gauges = json::Value::object();
+  json::Value histograms = json::Value::object();
+  for (MetricId id = 0; id < meta_.size(); ++id) {
+    const Meta& meta = meta_[id];
+    const std::string& metric = names_.name(id);
+    switch (meta.kind) {
+      case MetricKind::Counter:
+        counters.set(metric,
+                     json::Value(static_cast<std::int64_t>(
+                         counters_[meta.slot])));
+        break;
+      case MetricKind::Gauge:
+        gauges.set(metric, json::Value(gauges_[meta.slot]));
+        break;
+      case MetricKind::Histogram: {
+        const Histogram& h = histograms_[meta.slot];
+        json::Value entry = json::Value::object();
+        entry.set("count", json::Value(static_cast<std::int64_t>(h.count)));
+        entry.set("sum", json::Value(static_cast<std::int64_t>(h.sum)));
+        entry.set("min",
+                  json::Value(static_cast<std::int64_t>(h.count ? h.min : 0)));
+        entry.set("max",
+                  json::Value(static_cast<std::int64_t>(h.count ? h.max : 0)));
+        // Sparse buckets: [bucket index, inclusive upper bound, count] for
+        // non-empty buckets only (65 mostly-zero rows per histogram would
+        // dominate the document).
+        json::Value buckets = json::Value::array();
+        for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {
+          if (h.buckets[k] == 0) continue;
+          json::Value row = json::Value::array();
+          row.push_back(json::Value(static_cast<std::int64_t>(k)));
+          // Clamp the top bucket's bound into int64 (JSON ints are signed).
+          const std::uint64_t bound =
+              std::min(Histogram::upper_bound(k),
+                       static_cast<std::uint64_t>(
+                           std::numeric_limits<std::int64_t>::max()));
+          row.push_back(json::Value(static_cast<std::int64_t>(bound)));
+          row.push_back(
+              json::Value(static_cast<std::int64_t>(h.buckets[k])));
+          buckets.push_back(std::move(row));
+        }
+        entry.set("buckets", std::move(buckets));
+        histograms.set(metric, std::move(entry));
+        break;
+      }
+    }
+  }
+  json::Value out = json::Value::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+json::Value metrics_document(const Registry& registry,
+                             std::string_view generated_by,
+                             json::Value telemetry) {
+  json::Value doc = json::Value::object();
+  doc.set("schema_version", json::Value(1));
+  doc.set("kind", json::Value("migopt-metrics"));
+  doc.set("generated_by", json::Value(std::string(generated_by)));
+  doc.set("metrics", registry.to_json());
+  if (telemetry.is_null()) telemetry = json::Value::array();
+  doc.set("telemetry", std::move(telemetry));
+  return doc;
+}
+
+}  // namespace migopt::obs

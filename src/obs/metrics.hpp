@@ -1,0 +1,202 @@
+// Deterministic metrics registry for the replay stack (migopt::obs).
+//
+// Three instrument kinds behind interned names (common/interner.hpp):
+//   - counters: monotonic u64 sums (events, dispatches, cache probes);
+//   - gauges: double levels/peaks (standing budget, peak queue depth);
+//   - histograms: fixed 65-bucket log2 distributions of u64 samples
+//     (queue waits in integer microseconds, slowdown in millis) — bucket k
+//     holds every value whose bit width is k, i.e. bucket 0 = {0} and
+//     bucket k = [2^(k-1), 2^k - 1], so bucketing is pure integer math and
+//     the layout never depends on observed data.
+//
+// Determinism contract: a Registry only ever records *simulation-derived*
+// integers and doubles (no host clocks), and fleet shards each write their
+// own Registry which the fleet engine merges in cluster-index order — so
+// any --threads value produces a byte-identical metrics document. Host-time
+// diagnostics (phase tallies, decision latency) belong to the span tracer,
+// never to a Registry.
+//
+// The disabled fast path is the null `Metrics` handle: every mutator is an
+// inline null check around a registry call, so an un-instrumented replay
+// pays one predicted-not-taken branch per site and allocates nothing.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.hpp"
+#include "common/json.hpp"
+
+namespace migopt::obs {
+
+using MetricId = std::uint32_t;
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+
+const char* metric_kind_name(MetricKind kind) noexcept;
+
+/// One log2 histogram: count/sum plus the fixed bucket array. Exposed for
+/// read access (Registry::histogram_at); recording goes through Registry.
+struct Histogram {
+  /// Buckets 0..64: bucket k counts samples with std::bit_width(value) == k.
+  static constexpr std::size_t kBuckets = 65;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< meaningful only when count > 0
+  std::uint64_t max = 0;
+  std::uint64_t buckets[kBuckets] = {};
+
+  static constexpr std::size_t bucket_of(std::uint64_t value) noexcept {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+  /// Inclusive upper bound of bucket `k` (the "le" boundary): 0 for bucket
+  /// 0, 2^k - 1 for k >= 1 (saturating at UINT64_MAX for the last bucket).
+  static constexpr std::uint64_t upper_bound(std::size_t k) noexcept {
+    return k == 0 ? 0
+           : k >= 64
+               ? ~std::uint64_t{0}
+               : (std::uint64_t{1} << k) - 1;
+  }
+
+  void record(std::uint64_t value) noexcept {
+    if (count == 0) {
+      min = max = value;
+    } else {
+      if (value < min) min = value;
+      if (value > max) max = value;
+    }
+    ++count;
+    sum += value;
+    ++buckets[bucket_of(value)];
+  }
+};
+
+/// The metric store. Not thread-safe by design: one Registry per shard,
+/// merged in deterministic order (merge_from), mirrors how every other
+/// shard-local accumulator in the repo stays bit-identical under --threads.
+class Registry {
+ public:
+  Registry() = default;
+
+  /// Intern `name` as a metric of the given kind and return its dense id.
+  /// Idempotent for a (name, kind) pair; re-registering an existing name
+  /// under a different kind throws ContractViolation.
+  MetricId counter(std::string_view name);
+  MetricId gauge(std::string_view name);
+  MetricId histogram(std::string_view name);
+
+  void add(MetricId id, std::uint64_t delta = 1) noexcept {
+    counters_[meta_[id].slot] += delta;
+  }
+  void set(MetricId id, double value) noexcept {
+    gauges_[meta_[id].slot] = value;
+  }
+  /// Gauge = max(current, value) — for peaks.
+  void set_max(MetricId id, double value) noexcept {
+    double& gauge = gauges_[meta_[id].slot];
+    if (value > gauge) gauge = value;
+  }
+  void record(MetricId id, std::uint64_t value) noexcept {
+    histograms_[meta_[id].slot].record(value);
+  }
+
+  std::size_t size() const noexcept { return meta_.size(); }
+  const std::string& name(MetricId id) const { return names_.name(id); }
+  MetricKind kind(MetricId id) const { return meta_[id].kind; }
+
+  /// Value lookups by name (0 / empty when the metric was never
+  /// registered) — the test/report-side read path.
+  std::uint64_t counter_value(std::string_view name) const noexcept;
+  double gauge_value(std::string_view name) const noexcept;
+  const Histogram* histogram_value(std::string_view name) const noexcept;
+
+  /// Fold `other` into this registry: metrics are matched by name (interned
+  /// here on first sight, in `other`'s registration order), counters and
+  /// histograms sum, gauges take the max (gauges are levels/peaks; shards
+  /// wanting per-shard values must namespace the metric). Kind mismatches
+  /// throw. Calling merge_from over shards in cluster-index order is the
+  /// fleet determinism contract.
+  void merge_from(const Registry& other);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys in
+  /// registration order; histogram buckets serialize as [bucket, count]
+  /// pairs for non-empty buckets only. Deterministic.
+  json::Value to_json() const;
+
+ private:
+  struct Meta {
+    MetricKind kind = MetricKind::Counter;
+    std::uint32_t slot = 0;
+  };
+
+  MetricId intern(std::string_view name, MetricKind kind);
+
+  SymbolTable names_;
+  std::vector<Meta> meta_;  ///< indexed by MetricId (== interned Symbol)
+  std::vector<std::uint64_t> counters_;
+  std::vector<double> gauges_;
+  std::vector<Histogram> histograms_;
+};
+
+/// Nullable registry handle — the no-op fast path. Instrumented code holds
+/// a Metrics by value; a default-constructed handle makes every mutator a
+/// single inline branch, so "observability off" costs nothing measurable.
+class Metrics {
+ public:
+  Metrics() = default;
+  explicit Metrics(Registry* registry) noexcept : registry_(registry) {}
+
+  bool enabled() const noexcept { return registry_ != nullptr; }
+  Registry* registry() const noexcept { return registry_; }
+
+  /// Id interning through a disabled handle yields a dummy id (0); the
+  /// paired mutators no-op on the same null check, so call sites never need
+  /// their own guard around registration.
+  MetricId counter(std::string_view name) const {
+    return registry_ ? registry_->counter(name) : 0;
+  }
+  MetricId gauge(std::string_view name) const {
+    return registry_ ? registry_->gauge(name) : 0;
+  }
+  MetricId histogram(std::string_view name) const {
+    return registry_ ? registry_->histogram(name) : 0;
+  }
+
+  void add(MetricId id, std::uint64_t delta = 1) const noexcept {
+    if (registry_) registry_->add(id, delta);
+  }
+  void set(MetricId id, double value) const noexcept {
+    if (registry_) registry_->set(id, value);
+  }
+  void set_max(MetricId id, double value) const noexcept {
+    if (registry_) registry_->set_max(id, value);
+  }
+  void record(MetricId id, std::uint64_t value) const noexcept {
+    if (registry_) registry_->record(id, value);
+  }
+
+  /// Register-and-add in one call for cold paths (report-time harvests).
+  void count(std::string_view name, std::uint64_t delta) const {
+    if (registry_) registry_->add(registry_->counter(name), delta);
+  }
+  void level(std::string_view name, double value) const {
+    if (registry_) registry_->set(registry_->gauge(name), value);
+  }
+
+ private:
+  Registry* registry_ = nullptr;
+};
+
+/// Assemble the schema-v1 metrics document around a registry snapshot:
+/// {"schema_version": 1, "kind": "migopt-metrics", "generated_by": ...,
+///  "metrics": registry.to_json(), "telemetry": [...series...]}.
+/// `telemetry` entries come from obs::SampleSeries::to_json (sampler.hpp);
+/// pass an empty array Value when no sampler ran.
+json::Value metrics_document(const Registry& registry,
+                             std::string_view generated_by,
+                             json::Value telemetry);
+
+}  // namespace migopt::obs

@@ -1,0 +1,101 @@
+#include "obs/sampler.hpp"
+
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace migopt::obs {
+
+namespace {
+
+constexpr const char* kColumns[] = {
+    "time_seconds", "queue_depth",  "running",   "busy_nodes",
+    "idle_nodes",   "budget_watts", "dispatched", "completed",
+    "cache_hit_rate", "memo_hit_rate"};
+
+}  // namespace
+
+Sampler::Sampler(SamplerConfig config) : interval_(config.interval_seconds) {
+  MIGOPT_REQUIRE(config.interval_seconds >= 0.0,
+                 "sample interval must be >= 0");
+  if (enabled()) {
+    next_ = 0.0;
+    series_.interval_seconds = interval_;
+  }
+}
+
+json::Value SampleSeries::to_json(std::string_view label) const {
+  json::Value doc = json::Value::object();
+  doc.set("label", json::Value(std::string(label)));
+  doc.set("interval_seconds", json::Value(interval_seconds));
+  json::Value tenant_names = json::Value::array();
+  for (const std::string& tenant : tenants)
+    tenant_names.push_back(json::Value(tenant));
+  doc.set("tenants", std::move(tenant_names));
+  json::Value columns = json::Value::array();
+  for (const char* column : kColumns) columns.push_back(json::Value(column));
+  columns.push_back(json::Value("tenant_backlog"));
+  doc.set("columns", std::move(columns));
+  json::Value out_rows = json::Value::array();
+  for (const SampleRow& row : rows) {
+    json::Value r = json::Value::array();
+    r.push_back(json::Value(row.time_seconds));
+    r.push_back(json::Value(static_cast<std::int64_t>(row.queue_depth)));
+    r.push_back(json::Value(static_cast<std::int64_t>(row.running)));
+    r.push_back(json::Value(static_cast<std::int64_t>(row.busy_nodes)));
+    r.push_back(json::Value(static_cast<std::int64_t>(row.idle_nodes)));
+    r.push_back(json::Value(row.budget_watts));
+    r.push_back(json::Value(static_cast<std::int64_t>(row.dispatched)));
+    r.push_back(json::Value(static_cast<std::int64_t>(row.completed)));
+    r.push_back(json::Value(row.cache_hit_rate));
+    r.push_back(json::Value(row.memo_hit_rate));
+    // Backlog padded to the final tenant count (tenants intern on first
+    // arrival, so early rows saw fewer of them).
+    json::Value backlog = json::Value::array();
+    for (std::size_t t = 0; t < tenants.size(); ++t)
+      backlog.push_back(json::Value(static_cast<std::int64_t>(
+          t < row.tenant_backlog.size() ? row.tenant_backlog[t] : 0)));
+    r.push_back(std::move(backlog));
+    out_rows.push_back(std::move(r));
+  }
+  doc.set("rows", std::move(out_rows));
+  return doc;
+}
+
+std::string SampleSeries::to_csv(std::string_view label) const {
+  std::string out = "label";
+  for (const char* column : kColumns) {
+    out += ',';
+    out += column;
+  }
+  for (const std::string& tenant : tenants) {
+    out += ",backlog:";
+    out += tenant;
+  }
+  out += '\n';
+  for (const SampleRow& row : rows) {
+    out += label;
+    out += ',';
+    out += json::format_double(row.time_seconds);
+    out += ',' + std::to_string(row.queue_depth);
+    out += ',' + std::to_string(row.running);
+    out += ',' + std::to_string(row.busy_nodes);
+    out += ',' + std::to_string(row.idle_nodes);
+    out += ',';
+    out += json::format_double(row.budget_watts);
+    out += ',' + std::to_string(row.dispatched);
+    out += ',' + std::to_string(row.completed);
+    out += ',';
+    out += json::format_double(row.cache_hit_rate);
+    out += ',';
+    out += json::format_double(row.memo_hit_rate);
+    for (std::size_t t = 0; t < tenants.size(); ++t)
+      out += ',' + std::to_string(
+                       t < row.tenant_backlog.size() ? row.tenant_backlog[t]
+                                                     : 0);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace migopt::obs

@@ -1,0 +1,131 @@
+#include "obs/span_tracer.hpp"
+
+#include <algorithm>
+
+namespace migopt::obs {
+
+void SpanTracer::set_track_name(std::uint32_t track, std::string_view name) {
+  if (!enabled_) return;
+  Event event;
+  event.name = strings_.intern(name);
+  event.track = track;
+  event.phase = 'M';
+  push(event);
+}
+
+void SpanTracer::span(std::uint32_t track, std::string_view name,
+                      double start_us, double dur_us) {
+  if (!enabled_) return;
+  Event event;
+  event.name = strings_.intern(name);
+  event.track = track;
+  event.phase = 'X';
+  event.ts_us = start_us;
+  event.dur_us = dur_us;
+  push(event);
+}
+
+void SpanTracer::span(std::uint32_t track, std::string_view name,
+                      double start_us, double dur_us,
+                      std::string_view arg_name, double arg_value) {
+  if (!enabled_) return;
+  Event event;
+  event.name = strings_.intern(name);
+  event.track = track;
+  event.phase = 'X';
+  event.ts_us = start_us;
+  event.dur_us = dur_us;
+  event.arg_name = strings_.intern(arg_name);
+  event.arg_value = arg_value;
+  push(event);
+}
+
+void SpanTracer::instant(std::uint32_t track, std::string_view name,
+                         double ts_us) {
+  if (!enabled_) return;
+  Event event;
+  event.name = strings_.intern(name);
+  event.track = track;
+  event.phase = 'i';
+  event.ts_us = ts_us;
+  push(event);
+}
+
+void SpanTracer::instant(std::uint32_t track, std::string_view name,
+                         double ts_us, std::string_view arg_name,
+                         double arg_value) {
+  if (!enabled_) return;
+  Event event;
+  event.name = strings_.intern(name);
+  event.track = track;
+  event.phase = 'i';
+  event.ts_us = ts_us;
+  event.arg_name = strings_.intern(arg_name);
+  event.arg_value = arg_value;
+  push(event);
+}
+
+void SpanTracer::merge_from(const SpanTracer& other,
+                            std::uint32_t track_offset) {
+  if (!enabled_ || !other.enabled_) return;
+  events_.reserve(events_.size() + other.events_.size());
+  for (Event event : other.events_) {
+    event.name = strings_.intern(other.strings_.name(event.name));
+    if (event.arg_name != kNoSymbol)
+      event.arg_name = strings_.intern(other.strings_.name(event.arg_name));
+    event.track += track_offset;
+    push(event);
+  }
+}
+
+json::Value SpanTracer::to_chrome_json() const {
+  // Stable sort per track by ts; metadata rows lead their track so viewers
+  // apply names before the first real slice.
+  std::vector<const Event*> order;
+  order.reserve(events_.size());
+  for (const Event& event : events_) order.push_back(&event);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Event* a, const Event* b) {
+                     if (a->track != b->track) return a->track < b->track;
+                     const bool a_meta = a->phase == 'M';
+                     const bool b_meta = b->phase == 'M';
+                     if (a_meta != b_meta) return a_meta;
+                     return a->ts_us < b->ts_us;
+                   });
+
+  json::Value trace_events = json::Value::array();
+  for (const Event* event : order) {
+    json::Value e = json::Value::object();
+    if (event->phase == 'M') {
+      e.set("name", json::Value("thread_name"));
+      e.set("ph", json::Value("M"));
+      e.set("pid", json::Value(1));
+      e.set("tid", json::Value(static_cast<std::int64_t>(event->track)));
+      json::Value args = json::Value::object();
+      args.set("name", json::Value(strings_.name(event->name)));
+      e.set("args", std::move(args));
+      trace_events.push_back(std::move(e));
+      continue;
+    }
+    e.set("name", json::Value(strings_.name(event->name)));
+    e.set("ph", json::Value(std::string(1, event->phase)));
+    e.set("pid", json::Value(1));
+    e.set("tid", json::Value(static_cast<std::int64_t>(event->track)));
+    e.set("ts", json::Value(event->ts_us));
+    if (event->phase == 'X') e.set("dur", json::Value(event->dur_us));
+    if (event->phase == 'i') e.set("s", json::Value("t"));
+    if (event->arg_name != kNoSymbol) {
+      json::Value args = json::Value::object();
+      args.set(strings_.name(event->arg_name), json::Value(event->arg_value));
+      e.set("args", std::move(args));
+    }
+    trace_events.push_back(std::move(e));
+  }
+
+  json::Value doc = json::Value::object();
+  doc.set("traceEvents", std::move(trace_events));
+  doc.set("displayTimeUnit", json::Value("ms"));
+  return doc;
+}
+
+}  // namespace migopt::obs

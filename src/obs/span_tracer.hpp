@@ -1,0 +1,101 @@
+// Chrome trace-event span tracer (migopt::obs).
+//
+// Collects host-time spans ("X" complete events), instants ("i") and track
+// names ("M" thread_name metadata) and serializes them as the Chrome
+// trace-event JSON format — {"traceEvents": [...]} — loadable directly in
+// ui.perfetto.dev or chrome://tracing. The replay stack uses one track
+// (tid) per cluster shard plus track 0 for the fleet/driver, so a fleet
+// replay renders as a lane per cluster with the replay phases nested under
+// each shard's session span.
+//
+// Host time is explicitly *not* deterministic; the tracer is a diagnostics
+// channel, never an input to reports or to the metrics registry (which is
+// why the two are separate sinks). Shard tracers share the parent's epoch
+// (construct with epoch()) so merged timelines line up; the fleet engine
+// merges shard tracers in cluster-index order after the join, so no locking
+// exists anywhere.
+//
+// Export sorts each track's events by timestamp (stable), which the schema
+// checker (tools/check_metrics_schema.py) verifies: ts monotonic per track.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.hpp"
+#include "common/json.hpp"
+
+namespace migopt::obs {
+
+class SpanTracer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A disabled tracer (the default) turns every record into an early
+  /// return; enabled tracers stamp events against `epoch`.
+  SpanTracer() = default;
+  explicit SpanTracer(bool enabled) : SpanTracer(enabled, Clock::now()) {}
+  SpanTracer(bool enabled, Clock::time_point epoch)
+      : enabled_(enabled), epoch_(epoch) {}
+
+  bool enabled() const noexcept { return enabled_; }
+  Clock::time_point epoch() const noexcept { return epoch_; }
+
+  /// Microseconds since the tracer epoch (0.0 when disabled — callers
+  /// always pair now_us() with a span()/instant() that would drop it).
+  double now_us() const noexcept {
+    if (!enabled_) return 0.0;
+    return std::chrono::duration<double, std::micro>(Clock::now() - epoch_)
+        .count();
+  }
+
+  /// Name the track (Chrome "thread_name" metadata).
+  void set_track_name(std::uint32_t track, std::string_view name);
+
+  /// Complete span ("X"): [start_us, start_us + dur_us] on `track`.
+  void span(std::uint32_t track, std::string_view name, double start_us,
+            double dur_us);
+  /// Complete span with one numeric argument (shown in the Perfetto panel).
+  void span(std::uint32_t track, std::string_view name, double start_us,
+            double dur_us, std::string_view arg_name, double arg_value);
+
+  /// Instant event ("i", track scope).
+  void instant(std::uint32_t track, std::string_view name, double ts_us);
+  void instant(std::uint32_t track, std::string_view name, double ts_us,
+               std::string_view arg_name, double arg_value);
+
+  /// Fold `other`'s events into this tracer, offsetting its track ids by
+  /// `track_offset` (0 keeps them). Metadata and events both move; call in
+  /// cluster-index order for a stable document.
+  void merge_from(const SpanTracer& other, std::uint32_t track_offset = 0);
+
+  std::size_t event_count() const noexcept { return events_.size(); }
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} with every track's
+  /// events sorted by ts (stable; metadata first). Deterministic given the
+  /// recorded events.
+  json::Value to_chrome_json() const;
+
+ private:
+  struct Event {
+    Symbol name = kNoSymbol;
+    std::uint32_t track = 0;
+    char phase = 'X';  ///< 'X' span, 'i' instant, 'M' metadata
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    Symbol arg_name = kNoSymbol;
+    double arg_value = 0.0;
+  };
+
+  void push(Event event) { events_.push_back(event); }
+
+  bool enabled_ = false;
+  Clock::time_point epoch_{};
+  SymbolTable strings_;
+  std::vector<Event> events_;
+};
+
+}  // namespace migopt::obs

@@ -4,6 +4,7 @@
 #include <exception>
 #include <regex>
 
+#include "common/logging.hpp"
 #include "common/string_util.hpp"
 
 namespace migopt::report {
@@ -17,6 +18,7 @@ std::string usage_text() {
       "  --preset NAME     build preset recorded in the JSON run metadata\n"
       "  --git-sha SHA     git revision recorded in the JSON run metadata\n"
       "  --date DATE       recording date for the JSON run metadata\n"
+      "  --log-level LVL   trace|debug|info|warn|error|off (default warn)\n"
       "  --help            this message\n";
 }
 
@@ -65,6 +67,21 @@ std::optional<Options> parse_options(int argc, char** argv,
       const char* value = value_of(i, "--date");
       if (value == nullptr) return std::nullopt;
       options.metadata.date = value;
+    } else if (arg == "--log-level") {
+      const char* value = value_of(i, "--log-level");
+      if (value == nullptr) return std::nullopt;
+      const auto parsed = log::parse_level(value);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "error: --log-level expects "
+                     "trace|debug|info|warn|error|off, got '%s'\n",
+                     value);
+        return std::nullopt;
+      }
+      // Applied at parse time so scenario setup already logs at the
+      // requested level — every harness CLI (benches and trace_replay)
+      // shares this flag.
+      log::set_level(*parsed);
     } else if (allow_positionals && !str::starts_with(arg, "--")) {
       options.positionals.push_back(arg);
     } else {

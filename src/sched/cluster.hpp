@@ -180,6 +180,25 @@ class Cluster {
   }
   const JobQueue& queue() const noexcept { return queue_; }
 
+  // --- Telemetry accessors (obs sampler reads; all O(1)) ------------------
+
+  /// Nodes hosting at least one job right now.
+  std::size_t busy_node_count() const noexcept { return busy_nodes_; }
+  std::size_t idle_node_count() const noexcept {
+    return nodes_.size() - busy_nodes_;
+  }
+  /// Dispatch events since begin_session (pairs + exclusives; profile runs
+  /// are counted separately in the session report).
+  std::size_t session_dispatches() const noexcept {
+    return session_.pair_dispatches + session_.exclusive_dispatches;
+  }
+  /// The session RunMemo's monotonic hit/miss counters (report() exposes
+  /// the session deltas; mid-replay samplers difference these themselves
+  /// against their begin-of-session snapshot).
+  const RunMemo::Stats& run_memo_stats() const noexcept {
+    return run_memo_.stats();
+  }
+
   /// Statistics accumulated since begin_session (makespan from node clocks,
   /// energy and DecisionCache counters as deltas against the session start).
   /// Under the lazy cores this first catches idle nodes up to the session

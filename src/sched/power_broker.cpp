@@ -45,6 +45,7 @@ ClusterPowerPlan PowerBroker::allocate(const std::vector<NodePairWorkload>& node
   // Greedy marginal-utility ascent from the floor assignment.
   std::vector<std::size_t> level(n, 0);
   double spent = caps_.front() * static_cast<double>(n);
+  std::size_t grant_steps = 0;
   while (true) {
     double best_gain_per_watt = 0.0;
     std::size_t best_node = n;
@@ -66,6 +67,7 @@ ClusterPowerPlan PowerBroker::allocate(const std::vector<NodePairWorkload>& node
     if (best_node == n || best_gain_per_watt <= 0.0) break;
     spent += caps_[level[best_node] + 1] - caps_[level[best_node]];
     level[best_node] += 1;
+    ++grant_steps;
   }
 
   ClusterPowerPlan plan;
@@ -75,6 +77,15 @@ ClusterPowerPlan PowerBroker::allocate(const std::vector<NodePairWorkload>& node
     plan.nodes[i].decision = table[i][level[i]];
     plan.total_cap_watts += caps_[level[i]];
     plan.predicted_total_throughput += value(i, level[i]);
+  }
+  if (metrics_.enabled()) {
+    metrics_.count("power_broker.allocations", 1);
+    metrics_.count("power_broker.grant_steps", grant_steps);
+    const obs::MetricId caps_hist =
+        metrics_.histogram("power_broker.node_cap_watts");
+    for (const NodePowerPlan& node : plan.nodes)
+      metrics_.record(caps_hist,
+                      static_cast<std::uint64_t>(node.cap_watts));
   }
   return plan;
 }

@@ -17,6 +17,7 @@
 
 #include "core/optimizer.hpp"
 #include "core/workflow.hpp"
+#include "obs/metrics.hpp"
 
 namespace migopt::sched {
 
@@ -60,6 +61,12 @@ class PowerBroker {
 
   const std::vector<double>& caps() const noexcept { return caps_; }
 
+  /// Attach a metrics sink (obs/metrics.hpp; default-constructed = off):
+  /// allocate() then counts allocations and greedy grant steps and records
+  /// the final per-node cap distribution — all inputs are deterministic, so
+  /// the registry stays deterministic too.
+  void set_metrics(obs::Metrics metrics) noexcept { metrics_ = metrics; }
+
  private:
   /// Best feasible predicted throughput of one node at one cap (0 when no
   /// state satisfies the fairness constraint).
@@ -68,6 +75,7 @@ class PowerBroker {
   const core::ResourcePowerAllocator* allocator_;
   double alpha_;
   std::vector<double> caps_;  ///< ascending
+  obs::Metrics metrics_;      ///< disabled unless set_metrics was called
 };
 
 }  // namespace migopt::sched

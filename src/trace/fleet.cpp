@@ -338,8 +338,18 @@ FleetEngine::ShardedTrace FleetEngine::route(const Trace& fleet_trace) const {
 }
 
 FleetReport FleetEngine::replay(const Trace& fleet_trace) const {
+  obs::SpanTracer* const tracer =
+      (config_.tracer != nullptr && config_.tracer->enabled()) ? config_.tracer
+                                                               : nullptr;
+  const double plan_start_us = tracer ? tracer->now_us() : 0.0;
   const RoutePlan plan = this->plan(fleet_trace);
   const std::size_t clusters = plan.steps.size();
+  if (tracer) {
+    tracer->set_track_name(0, "fleet");
+    tracer->span(0, "fleet.plan", plan_start_us,
+                 tracer->now_us() - plan_start_us, "decisions",
+                 static_cast<double>(plan.router.decisions));
+  }
 
   FleetReport report;
   report.router = plan.router;
@@ -361,20 +371,59 @@ FleetReport FleetEngine::replay(const Trace& fleet_trace) const {
   const wl::WorkloadRegistry registry(chip.arch());
   const auto trained =
       core::ResourcePowerAllocator::train(chip, registry, wl::table8_pairs());
+  // Share-nothing observability: each shard writes a private registry and
+  // tracer (same epoch as the caller's, so the lanes line up); both merge
+  // below in cluster-index order — the fleet metrics/trace documents are
+  // byte-identical for any `threads` value.
+  std::vector<obs::Registry> shard_registries(
+      config_.metrics != nullptr ? clusters : 0);
+  std::vector<obs::SpanTracer> shard_tracers;
+  shard_tracers.reserve(tracer ? clusters : 0);
+  if (tracer)
+    for (std::size_t c = 0; c < clusters; ++c)
+      shard_tracers.emplace_back(true, tracer->epoch());
   const auto replay_shard = [&](std::size_t c) {
     core::ResourcePowerAllocator::Config shard_config;
     core::ResourcePowerAllocator allocator(trained.model(), trained.profiles(),
                                            std::move(shard_config));
     sched::CoScheduler scheduler(allocator, config_.policy, config_.tuning);
     sched::Cluster cluster(config_.cluster);
-    report.clusters[c] = SimEngine(config_.sim).replay(plan.shard(c), registry,
-                                                       cluster, scheduler);
+    SimConfig sim_config = config_.sim;
+    sim_config.metrics =
+        shard_registries.empty() ? nullptr : &shard_registries[c];
+    sim_config.tracer = shard_tracers.empty() ? nullptr : &shard_tracers[c];
+    sim_config.trace_track = static_cast<std::uint32_t>(c) + 1;
+    report.clusters[c] = SimEngine(sim_config).replay(plan.shard(c), registry,
+                                                      cluster, scheduler);
   };
   if (config_.threads > 1 && clusters > 1) {
     ThreadPool pool(std::min(config_.threads, clusters));
     pool.parallel_for(clusters, replay_shard);
   } else {
     for (std::size_t c = 0; c < clusters; ++c) replay_shard(c);
+  }
+  const double merge_start_us = tracer ? tracer->now_us() : 0.0;
+
+  // Fleet-level router counters first (stable registration order), then the
+  // shard registries and tracers, both folded in cluster-index order.
+  if (config_.metrics != nullptr) {
+    const obs::Metrics metrics(config_.metrics);
+    metrics.count("fleet.clusters", clusters);
+    metrics.count("fleet.router.decisions", plan.router.decisions);
+    metrics.count("fleet.router.spills", plan.router.spills);
+    metrics.count("fleet.router.budget_splits", plan.router.budget_splits);
+    for (std::size_t c = 0; c < clusters; ++c)
+      metrics.count("fleet.router.jobs_to_cluster_" + std::to_string(c),
+                    plan.router.jobs_per_cluster[c]);
+    for (const obs::Registry& shard : shard_registries)
+      config_.metrics->merge_from(shard);
+  }
+  if (tracer) {
+    for (std::size_t c = 0; c < clusters; ++c) {
+      tracer->set_track_name(static_cast<std::uint32_t>(c) + 1,
+                             "cluster " + std::to_string(c));
+      tracer->merge_from(shard_tracers[c]);
+    }
   }
 
   // Merge in cluster-index order (deterministic double addition order).
@@ -443,6 +492,9 @@ FleetReport FleetEngine::replay(const Trace& fleet_trace) const {
     merged.stats.mean_slowdown = merged.slowdown.value();
     report.tenants.push_back(std::move(merged.stats));
   }
+  if (tracer)
+    tracer->span(0, "fleet.merge", merge_start_us,
+                 tracer->now_us() - merge_start_us);
   return report;
 }
 

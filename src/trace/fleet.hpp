@@ -218,6 +218,19 @@ struct FleetConfig {
   std::size_t threads = 1;
   /// Time every admission decision and report p50/p99 in RouterStats.
   bool measure_decision_latency = false;
+  /// Optional deterministic metrics sink (non-owning; null = off). Each
+  /// shard records into its own private Registry; after the join they merge
+  /// into this one in cluster-index order, after the fleet-level router
+  /// counters — so the document is byte-identical for any `threads` value.
+  /// Overrides SimConfig::metrics inside `sim` (shards never share a
+  /// registry).
+  obs::Registry* metrics = nullptr;
+  /// Optional Chrome-trace sink (non-owning; null or disabled = off): the
+  /// routing pre-pass and merge phases land on track 0, each shard's replay
+  /// session (with phase sub-spans) on track 1 + cluster index. Shard
+  /// tracers share this tracer's epoch and merge in cluster-index order.
+  /// Overrides SimConfig::tracer inside `sim`.
+  obs::SpanTracer* tracer = nullptr;
 };
 
 /// Merged fleet outcome: per-cluster SimReports plus aggregates folded in

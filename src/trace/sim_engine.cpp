@@ -176,7 +176,28 @@ SimReport replay_impl(const SimConfig& config, Source& source,
                       sched::CoScheduler& scheduler) {
   const auto cache_at_start = scheduler.decision_cache().stats();
   cluster.begin_session(scheduler);
+  const auto memo_at_start = cluster.run_memo_stats();
   const gpusim::GpuChip& chip = cluster.nodes().front()->chip();
+
+  // Observability sinks. All three are inert by default: the sampler's
+  // due() is one compare against +inf, the metrics handle no-ops on a null
+  // registry, and the tracer early-returns when disabled — the
+  // un-instrumented replay pays nothing measurable, and instrumented
+  // replays record only simulation-derived values into the registry, so
+  // reports stay byte-identical either way.
+  const obs::Metrics metrics(config.metrics);
+  obs::Sampler sampler(config.telemetry);
+  obs::SpanTracer* const tracer =
+      (config.tracer != nullptr && config.tracer->enabled()) ? config.tracer
+                                                             : nullptr;
+  const std::uint32_t track = config.trace_track;
+  const double replay_start_us = tracer ? tracer->now_us() : 0.0;
+  obs::MetricId wait_hist = 0;
+  obs::MetricId slowdown_hist = 0;
+  if (metrics.enabled()) {
+    wait_hist = metrics.histogram("replay.queue_wait_us");
+    slowdown_hist = metrics.histogram("replay.slowdown_milli");
+  }
 
   SimReport report;
   std::vector<JobBook> books;
@@ -194,16 +215,13 @@ SimReport replay_impl(const SimConfig& config, Source& source,
   double slowdown_sum = 0.0;
   std::size_t completed = 0;
   double now = 0.0;
-  double next_sample = kInf;
-  if (config.sample_interval_seconds > 0.0) {
-    next_sample = 0.0;
+  if (sampler.enabled()) {
     // Sample times land on event-loop steps, so the series length is
     // bounded by the trace horizon over the interval (plus the t=0 and
     // final-step samples).
-    report.samples.reserve(
-        static_cast<std::size_t>(source.horizon() /
-                                 config.sample_interval_seconds) +
-        2);
+    sampler.reserve(static_cast<std::size_t>(
+                        source.horizon() / config.telemetry.interval_seconds) +
+                    2);
   }
 
   const auto cache_hit_rate = [&] {
@@ -213,12 +231,23 @@ SimReport replay_impl(const SimConfig& config, Source& source,
     return probes == 0 ? 0.0
                        : static_cast<double>(hits) / static_cast<double>(probes);
   };
+  const auto memo_hit_rate = [&] {
+    const auto stats = cluster.run_memo_stats();
+    const std::size_t hits = stats.hits - memo_at_start.hits;
+    const std::size_t probes = hits + (stats.misses - memo_at_start.misses);
+    return probes == 0 ? 0.0
+                       : static_cast<double>(hits) / static_cast<double>(probes);
+  };
 
   // Phase profiling (SimConfig::collect_phase_counters): `mark` carries the
   // start of the phase being timed; lap() folds the elapsed slice into a
   // tally and restarts the clock. Everything is gated on one bool so the
   // unprofiled hot loop pays a predicted-not-taken branch per phase.
   using ProfileClock = std::chrono::steady_clock;
+  // Deliberately NOT implied by an enabled tracer: the tallies cost ~5
+  // clock reads per event step, which dwarfs every other obs sink on a
+  // mega replay. The tracer's phase sub-spans appear only when the caller
+  // also asks for the profile (--profile alongside --chrome-trace).
   const bool profile = config.collect_phase_counters;
   report.phases.collected = profile;
   ProfileClock::time_point mark;
@@ -250,6 +279,10 @@ SimReport replay_impl(const SimConfig& config, Source& source,
       ++report.deadline_misses;
       ++tenant.deadline_misses;
     }
+    // Sim-time distributions (integer µs / milli units — pure casts of
+    // simulation doubles, so the histograms are deterministic).
+    metrics.record(wait_hist, static_cast<std::uint64_t>(wait * 1e6));
+    metrics.record(slowdown_hist, static_cast<std::uint64_t>(slowdown * 1e3));
   };
 
   while (true) {
@@ -310,10 +343,14 @@ SimReport replay_impl(const SimConfig& config, Source& source,
       } else {
         const ProfileClock::time_point budget_start =
             profile ? ProfileClock::now() : ProfileClock::time_point{};
+        const double span_start_us = tracer ? tracer->now_us() : 0.0;
         cluster.set_power_budget(event.watts > 0.0
                                      ? std::optional<double>(event.watts)
                                      : std::nullopt);
         ++report.budget_events_applied;
+        if (tracer)
+          tracer->span(track, "rebroker", span_start_us,
+                       tracer->now_us() - span_start_us, "watts", event.watts);
         if (profile)
           report.phases.budget_rebroker_seconds +=
               std::chrono::duration<double>(ProfileClock::now() - budget_start)
@@ -333,10 +370,22 @@ SimReport replay_impl(const SimConfig& config, Source& source,
                           cluster.running_count(),
                   "conservation violated: submitted != completed + queued + "
                   "running");
-    if (now >= next_sample) {
-      report.samples.push_back({now, cluster.queued_count(),
-                                cluster.running_count(), cache_hit_rate()});
-      next_sample = now + config.sample_interval_seconds;
+    if (sampler.due(now)) {
+      obs::SampleRow row;
+      row.time_seconds = now;
+      row.queue_depth = cluster.queued_count();
+      row.running = cluster.running_count();
+      row.busy_nodes = cluster.busy_node_count();
+      row.idle_nodes = cluster.idle_node_count();
+      row.budget_watts = cluster.power_budget().value_or(-1.0);
+      row.dispatched = cluster.session_dispatches();
+      row.completed = completed;
+      row.cache_hit_rate = cache_hit_rate();
+      row.memo_hit_rate = memo_hit_rate();
+      row.tenant_backlog.reserve(tenants.size());
+      for (const TenantAccum& tenant : tenants)
+        row.tenant_backlog.push_back(tenant.submitted - tenant.completed);
+      sampler.record(std::move(row));
     }
     if (profile) lap(report.phases.accounting_seconds);
 
@@ -398,6 +447,65 @@ SimReport replay_impl(const SimConfig& config, Source& source,
     }
     report.tenants.push_back(std::move(stats));
   }
+
+  if (sampler.enabled()) {
+    // Backlog columns in tenant-id order (a routed shard's ids are
+    // fleet-wide, so tenants routed elsewhere appear as all-zero columns).
+    std::vector<std::string> tenant_names;
+    tenant_names.reserve(tenants.size());
+    for (std::size_t id = 0; id < tenants.size(); ++id)
+      tenant_names.push_back(source.tenant_name(static_cast<Symbol>(id)));
+    report.telemetry = sampler.finish(std::move(tenant_names));
+  }
+
+  // Report-time harvest: the deterministic session counters the replay
+  // already maintains, published under stable metric names. Counters merge
+  // by sum and gauges by max across fleet shards, so the fleet document is
+  // thread-count invariant.
+  if (metrics.enabled()) {
+    const sched::ClusterReport& c = report.cluster;
+    metrics.count("replay.jobs_submitted", report.jobs_submitted);
+    metrics.count("replay.jobs_completed", c.jobs_completed);
+    metrics.count("replay.budget_events", report.budget_events_applied);
+    metrics.count("replay.deadline_misses", report.deadline_misses);
+    metrics.count("cluster.pair_dispatches", c.pair_dispatches);
+    metrics.count("cluster.exclusive_dispatches", c.exclusive_dispatches);
+    metrics.count("cluster.profile_runs", c.profile_runs);
+    metrics.count("cluster.energy_millijoules",
+                  static_cast<std::uint64_t>(c.total_energy_joules * 1e3));
+    metrics.count("decision_cache.hits", c.decision_cache_hits);
+    metrics.count("decision_cache.misses", c.decision_cache_misses);
+    metrics.count("decision_cache.evictions", c.decision_cache_evictions);
+    metrics.count("run_memo.hits", c.run_memo_hits);
+    metrics.count("run_memo.misses", c.run_memo_misses);
+    metrics.level("replay.peak_queue_depth",
+                  static_cast<double>(report.peak_queue_depth));
+    metrics.level("replay.makespan_seconds", c.makespan_seconds);
+    metrics.level("cluster.peak_cap_sum_watts", c.peak_cap_sum_watts);
+  }
+
+  // Session span plus, when the phase profiler ran, synthesized per-phase
+  // sub-spans: the aggregate phase tallies laid out consecutively from the
+  // session start (a replay interleaves phases per step; the lanes show
+  // where the wall clock went, not when). Re-broker spans above sit at
+  // their true host times.
+  if (tracer) {
+    const double end_us = tracer->now_us();
+    tracer->span(track, "replay", replay_start_us, end_us - replay_start_us,
+                 "jobs", static_cast<double>(report.jobs_submitted));
+    if (report.phases.collected) {
+      double cursor = replay_start_us;
+      const auto phase_span = [&](const char* name, double seconds) {
+        const double dur = seconds * 1e6;
+        tracer->span(track, name, cursor, dur);
+        cursor += dur;
+      };
+      phase_span("phase.event_apply", report.phases.event_apply_seconds);
+      phase_span("phase.dispatch", report.phases.dispatch_seconds);
+      phase_span("phase.accounting", report.phases.accounting_seconds);
+      phase_span("phase.completion", report.phases.completion_seconds);
+    }
+  }
   return report;
 }
 
@@ -406,7 +514,7 @@ SimReport replay_impl(const SimConfig& config, Source& source,
 SimEngine::SimEngine(SimConfig config) : config_(config) {
   MIGOPT_REQUIRE(config_.max_sim_seconds > 0.0,
                  "simulation guard must be > 0 seconds");
-  MIGOPT_REQUIRE(config_.sample_interval_seconds >= 0.0,
+  MIGOPT_REQUIRE(config_.telemetry.interval_seconds >= 0.0,
                  "sample interval must be >= 0");
 }
 

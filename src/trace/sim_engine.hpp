@@ -20,9 +20,11 @@
 //
 // On top of the cluster report it accumulates the online-serving metrics a
 // batch run cannot see: queue waits, slowdowns, per-tenant accounting,
-// deadline misses, peak queue depth, and an optional time series of the
-// DecisionCache hit rate and queue depth. A conservation invariant —
-// submitted == completed + queued + running — is checked at every step.
+// deadline misses, and peak queue depth. The obs sinks (SimConfig::
+// telemetry/metrics/tracer) optionally add a sim-time sample series, a
+// deterministic metrics registry harvest, and Chrome-trace session spans.
+// A conservation invariant — submitted == completed + queued + running —
+// is checked at every step.
 #pragma once
 
 #include <cstddef>
@@ -32,6 +34,9 @@
 #include <vector>
 
 #include "common/interner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/span_tracer.hpp"
 #include "sched/cluster.hpp"
 #include "trace/trace.hpp"
 #include "workloads/registry.hpp"
@@ -41,10 +46,29 @@ namespace migopt::trace {
 struct SimConfig {
   /// Hard guard on the simulated clock (a runaway trace fails loudly).
   double max_sim_seconds = 1.0e7;
-  /// > 0: sample {time, queue depth, cumulative cache hit rate} roughly
-  /// every this many simulated seconds (at event-loop steps, so sample
-  /// times land on event times). 0 disables the series.
-  double sample_interval_seconds = 0.0;
+  /// Sim-time telemetry sampler (obs/sampler.hpp): interval_seconds > 0
+  /// samples queue depth, node occupancy, standing budget, dispatch and
+  /// completion counts, cache/memo hit rates, and per-tenant backlog at
+  /// event-loop steps (sample times land on event times). The series lands
+  /// in SimReport::telemetry. Replaces the old sample_interval_seconds
+  /// queue-depth series; the shared legacy columns are bit-identical.
+  obs::SamplerConfig telemetry;
+  /// Optional deterministic metrics sink (non-owning; null = disabled, the
+  /// no-op fast path). The engine records queue-wait/slowdown histograms on
+  /// the hot path and harvests its session counters (dispatches, cache and
+  /// memo hits, budget events, peaks) into it at report time. Everything
+  /// recorded is simulation-derived, so reports and metrics stay
+  /// byte-identical for any thread count — and identical with the sink on
+  /// or off.
+  obs::Registry* metrics = nullptr;
+  /// Optional host-time span sink (non-owning; null or disabled = off):
+  /// emits a replay session span, synthesized per-phase sub-spans (implies
+  /// phase-counter collection), and a re-broker span per budget event onto
+  /// `trace_track`. Host-time diagnostics only — never feeds reports.
+  obs::SpanTracer* tracer = nullptr;
+  /// Chrome-trace track (tid) this replay's spans land on (the fleet engine
+  /// gives each shard its own lane).
+  std::uint32_t trace_track = 0;
   /// When true (default) the engine interns app/tenant names once per
   /// distinct symbol and stamps Job::app_id/tenant_id on every arrival, with
   /// the registry lookup and baseline-seconds model memoized per app — the
@@ -122,15 +146,6 @@ struct TenantStats {
   double mean_slowdown = 0.0;            ///< turnaround / modeled solo time
 };
 
-struct SamplePoint {
-  double time_seconds = 0.0;
-  std::size_t queue_depth = 0;
-  std::size_t running = 0;
-  /// Cumulative DecisionCache hit rate since replay start (0 when the cache
-  /// has not been consulted yet).
-  double cache_hit_rate = 0.0;
-};
-
 struct SimReport {
   sched::ClusterReport cluster;  ///< makespan/energy/dispatch/cache counters
   std::size_t jobs_submitted = 0;
@@ -142,7 +157,8 @@ struct SimReport {
   double mean_slowdown = 0.0;
   double jobs_per_hour = 0.0;  ///< completed jobs over the makespan
   std::vector<TenantStats> tenants;  ///< sorted by tenant name
-  std::vector<SamplePoint> samples;  ///< empty unless sampling enabled
+  /// Sim-time telemetry series (empty unless SimConfig::telemetry enabled).
+  obs::SampleSeries telemetry;
   /// Host-time phase profile (zeros unless collect_phase_counters was set).
   PhaseCounters phases;
 };

@@ -1,0 +1,82 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+namespace migopt::log {
+namespace {
+
+// The logger threshold is process-global; save/restore it so these tests
+// cannot leak a noisy level into suites that run after them.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = level(); }
+  void TearDown() override { set_level(saved_); }
+
+ private:
+  Level saved_ = Level::Warn;
+};
+
+TEST_F(LoggingTest, ParseLevelCoversTheCliVocabulary) {
+  EXPECT_EQ(parse_level("trace"), Level::Trace);
+  EXPECT_EQ(parse_level("debug"), Level::Debug);
+  EXPECT_EQ(parse_level("info"), Level::Info);
+  EXPECT_EQ(parse_level("warn"), Level::Warn);
+  EXPECT_EQ(parse_level("error"), Level::Error);
+  EXPECT_EQ(parse_level("off"), Level::Off);
+  EXPECT_EQ(parse_level(""), std::nullopt);
+  EXPECT_EQ(parse_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_level("INFO"), std::nullopt) << "vocabulary is lowercase";
+}
+
+TEST_F(LoggingTest, LevelNameRoundTripsThroughParseLevel) {
+  for (Level lvl : {Level::Trace, Level::Debug, Level::Info, Level::Warn,
+                    Level::Error, Level::Off}) {
+    EXPECT_EQ(parse_level(level_name(lvl)), lvl);
+  }
+}
+
+TEST_F(LoggingTest, ThresholdDropsMessagesBelowIt) {
+  set_level(Level::Off);
+  ::testing::internal::CaptureStderr();
+  error("dropped: threshold is off");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+
+  set_level(Level::Warn);
+  ::testing::internal::CaptureStderr();
+  info("dropped: below warn");
+  debug("dropped: below warn");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, WriteStampsLevelTimestampAndThreadOrdinal) {
+  set_level(Level::Info);
+  ::testing::internal::CaptureStderr();
+  info("hello ", 42);
+  const std::string line = ::testing::internal::GetCapturedStderr();
+  // [migopt INFO  +0.001s t0] hello 42
+  const std::regex shape(
+      R"(\[migopt INFO  \+[0-9]+\.[0-9]{3}s t[0-9]+\] hello 42\n)");
+  EXPECT_TRUE(std::regex_match(line, shape)) << "got: " << line;
+}
+
+TEST_F(LoggingTest, TimestampsAreMonotonicAcrossLines) {
+  set_level(Level::Warn);
+  const std::regex stamp(R"(\+([0-9]+\.[0-9]{3})s)");
+  double previous = -1.0;
+  for (int i = 0; i < 3; ++i) {
+    ::testing::internal::CaptureStderr();
+    warn("tick");
+    const std::string line = ::testing::internal::GetCapturedStderr();
+    std::smatch match;
+    ASSERT_TRUE(std::regex_search(line, match, stamp)) << "got: " << line;
+    const double seconds = std::stod(match[1].str());
+    EXPECT_GE(seconds, previous);
+    previous = seconds;
+  }
+}
+
+}  // namespace
+}  // namespace migopt::log

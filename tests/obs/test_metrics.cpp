@@ -1,0 +1,224 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace migopt::obs {
+namespace {
+
+constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+
+TEST(Metrics, CountersAccumulate) {
+  Registry registry;
+  const MetricId jobs = registry.counter("jobs");
+  registry.add(jobs);
+  registry.add(jobs, 41);
+  EXPECT_EQ(registry.counter_value("jobs"), 42u);
+  EXPECT_EQ(registry.counter_value("never-registered"), 0u);
+}
+
+TEST(Metrics, GaugesSetAndPeak) {
+  Registry registry;
+  const MetricId level = registry.gauge("budget");
+  registry.set(level, 350.0);
+  registry.set(level, 200.0);
+  EXPECT_EQ(registry.gauge_value("budget"), 200.0);
+  const MetricId peak = registry.gauge("peak");
+  registry.set_max(peak, 3.0);
+  registry.set_max(peak, 7.0);
+  registry.set_max(peak, 5.0);
+  EXPECT_EQ(registry.gauge_value("peak"), 7.0);
+}
+
+TEST(Metrics, RegistrationIsIdempotentPerKind) {
+  Registry registry;
+  const MetricId a = registry.counter("x");
+  EXPECT_EQ(registry.counter("x"), a);
+  EXPECT_EQ(registry.kind(a), MetricKind::Counter);
+  EXPECT_EQ(registry.name(a), "x");
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  Registry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), ContractViolation);
+  EXPECT_THROW(registry.histogram("x"), ContractViolation);
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  // bucket k holds values with bit_width == k: bucket 0 = {0},
+  // bucket k = [2^(k-1), 2^k - 1].
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_of(kU64Max), 64u);
+  EXPECT_EQ(Histogram::bucket_of((std::uint64_t{1} << 63)), 64u);
+  EXPECT_EQ(Histogram::bucket_of((std::uint64_t{1} << 63) - 1), 63u);
+
+  EXPECT_EQ(Histogram::upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::upper_bound(2), 3u);
+  EXPECT_EQ(Histogram::upper_bound(10), 1023u);
+  EXPECT_EQ(Histogram::upper_bound(63), (std::uint64_t{1} << 63) - 1);
+  EXPECT_EQ(Histogram::upper_bound(64), kU64Max);
+  // Every value lands in the bucket whose bounds contain it.
+  for (std::size_t k = 1; k < Histogram::kBuckets; ++k) {
+    const std::uint64_t lo = Histogram::upper_bound(k - 1) + 1;
+    const std::uint64_t hi = Histogram::upper_bound(k);
+    EXPECT_EQ(Histogram::bucket_of(lo), k) << "k=" << k;
+    EXPECT_EQ(Histogram::bucket_of(hi), k) << "k=" << k;
+  }
+}
+
+TEST(Metrics, HistogramRecordsStats) {
+  Registry registry;
+  const MetricId h = registry.histogram("wait");
+  registry.record(h, 0);
+  registry.record(h, 5);
+  registry.record(h, 1000);
+  const Histogram* hist = registry.histogram_value("wait");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 3u);
+  EXPECT_EQ(hist->sum, 1005u);
+  EXPECT_EQ(hist->min, 0u);
+  EXPECT_EQ(hist->max, 1000u);
+  EXPECT_EQ(hist->buckets[0], 1u);   // 0
+  EXPECT_EQ(hist->buckets[3], 1u);   // 5 -> [4,7]
+  EXPECT_EQ(hist->buckets[10], 1u);  // 1000 -> [512,1023]
+  EXPECT_EQ(registry.histogram_value("nope"), nullptr);
+}
+
+TEST(Metrics, MergeSumsCountersAndHistogramsMaxesGauges) {
+  Registry a;
+  a.add(a.counter("jobs"), 10);
+  a.set(a.gauge("peak"), 4.0);
+  a.record(a.histogram("wait"), 3);
+  a.record(a.histogram("wait"), 100);
+
+  Registry b;
+  b.add(b.counter("jobs"), 5);
+  b.add(b.counter("only-b"), 1);
+  b.set(b.gauge("peak"), 9.0);
+  b.record(b.histogram("wait"), 1);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("jobs"), 15u);
+  EXPECT_EQ(a.counter_value("only-b"), 1u);
+  EXPECT_EQ(a.gauge_value("peak"), 9.0);
+  const Histogram* hist = a.histogram_value("wait");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 3u);
+  EXPECT_EQ(hist->sum, 104u);
+  EXPECT_EQ(hist->min, 1u);
+  EXPECT_EQ(hist->max, 100u);
+}
+
+TEST(Metrics, MergeKindMismatchThrows) {
+  Registry a;
+  a.counter("x");
+  Registry b;
+  b.gauge("x");
+  EXPECT_THROW(a.merge_from(b), ContractViolation);
+}
+
+TEST(Metrics, MergeIsOrderDeterministic) {
+  // Two shards merged in the same order twice produce identical JSON.
+  const auto build = [] {
+    Registry sink;
+    Registry s0;
+    s0.add(s0.counter("a"), 1);
+    s0.record(s0.histogram("h"), 7);
+    Registry s1;
+    s1.add(s1.counter("b"), 2);
+    s1.record(s1.histogram("h"), 9);
+    sink.merge_from(s0);
+    sink.merge_from(s1);
+    return sink.to_json().dump();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(Metrics, DisabledHandleNoOps) {
+  const Metrics metrics;  // null handle
+  EXPECT_FALSE(metrics.enabled());
+  const MetricId id = metrics.counter("anything");
+  EXPECT_EQ(id, 0u);
+  // None of these may crash or allocate a registry.
+  metrics.add(id, 3);
+  metrics.set(metrics.gauge("g"), 1.0);
+  metrics.set_max(metrics.gauge("g"), 2.0);
+  metrics.record(metrics.histogram("h"), 5);
+  metrics.count("c", 1);
+  metrics.level("l", 2.0);
+  EXPECT_EQ(metrics.registry(), nullptr);
+}
+
+TEST(Metrics, EnabledHandleForwards) {
+  Registry registry;
+  const Metrics metrics(&registry);
+  EXPECT_TRUE(metrics.enabled());
+  metrics.add(metrics.counter("c"), 2);
+  metrics.count("c", 3);
+  metrics.level("budget", 250.0);
+  EXPECT_EQ(registry.counter_value("c"), 5u);
+  EXPECT_EQ(registry.gauge_value("budget"), 250.0);
+}
+
+TEST(Metrics, ToJsonShape) {
+  Registry registry;
+  registry.add(registry.counter("jobs"), 7);
+  registry.set(registry.gauge("peak"), 3.5);
+  registry.record(registry.histogram("wait"), 5);
+  registry.record(registry.histogram("wait"), kU64Max);
+
+  const json::Value doc = registry.to_json();
+  const json::Value* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("jobs"), nullptr);
+  EXPECT_EQ(counters->find("jobs")->as_int(), 7);
+  const json::Value* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->find("peak")->as_double(), 3.5);
+  const json::Value* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* wait = hists->find("wait");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->find("count")->as_int(), 2);
+  const json::Value* buckets = wait->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->size(), 2u);  // sparse: only non-empty buckets
+  // Each entry is [bucket, inclusive upper bound, count]; the last bucket's
+  // bound clamps to int64 max so the JSON stays a valid signed integer.
+  const json::Value& last = buckets->elements().back();
+  ASSERT_EQ(last.size(), 3u);
+  EXPECT_EQ(last.elements()[0].as_int(), 64);
+  EXPECT_EQ(last.elements()[1].as_int(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(last.elements()[2].as_int(), 1);
+  // Round-trips through the strict parser.
+  EXPECT_EQ(json::parse(doc.dump()).dump(), doc.dump());
+}
+
+TEST(Metrics, MetricsDocumentSchema) {
+  Registry registry;
+  registry.add(registry.counter("jobs"), 1);
+  const json::Value doc =
+      metrics_document(registry, "unit-test", json::Value());
+  EXPECT_EQ(doc.find("schema_version")->as_int(), 1);
+  EXPECT_EQ(doc.find("kind")->as_string(), "migopt-metrics");
+  EXPECT_EQ(doc.find("generated_by")->as_string(), "unit-test");
+  ASSERT_NE(doc.find("metrics"), nullptr);
+  ASSERT_NE(doc.find("telemetry"), nullptr);
+  EXPECT_EQ(doc.find("telemetry")->kind(), json::Value::Kind::Array);
+}
+
+}  // namespace
+}  // namespace migopt::obs

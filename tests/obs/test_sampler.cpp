@@ -1,0 +1,108 @@
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/json.hpp"
+
+namespace migopt::obs {
+namespace {
+
+SampleRow row_at(double t) {
+  SampleRow row;
+  row.time_seconds = t;
+  return row;
+}
+
+TEST(Sampler, DisabledNeverDue) {
+  Sampler sampler;  // default config: interval 0
+  EXPECT_FALSE(sampler.enabled());
+  EXPECT_FALSE(sampler.due(0.0));
+  EXPECT_FALSE(sampler.due(1e18));
+}
+
+TEST(Sampler, NegativeIntervalThrows) {
+  EXPECT_THROW(Sampler(SamplerConfig{-1.0}), ContractViolation);
+}
+
+TEST(Sampler, ReArmsFromSampleTime) {
+  // The legacy re-arm rule: next = recorded time + interval, so samples
+  // drift with event times rather than staying on a fixed grid.
+  Sampler sampler(SamplerConfig{10.0});
+  EXPECT_TRUE(sampler.due(0.0));  // first sample at replay start
+  sampler.record(row_at(0.0));
+  EXPECT_FALSE(sampler.due(9.999));
+  EXPECT_TRUE(sampler.due(10.0));
+  EXPECT_TRUE(sampler.due(12.5));
+  sampler.record(row_at(12.5));
+  EXPECT_FALSE(sampler.due(22.0));
+  EXPECT_TRUE(sampler.due(22.5));
+  const SampleSeries series = sampler.finish({"tenant-a"});
+  ASSERT_EQ(series.rows.size(), 2u);
+  EXPECT_EQ(series.rows[1].time_seconds, 12.5);
+  ASSERT_EQ(series.tenants.size(), 1u);
+  EXPECT_EQ(series.tenants[0], "tenant-a");
+}
+
+SampleSeries two_tenant_series() {
+  SampleSeries series;
+  series.interval_seconds = 5.0;
+  series.tenants = {"alpha", "beta"};
+  SampleRow first = row_at(0.0);
+  first.queue_depth = 3;
+  first.running = 1;
+  first.busy_nodes = 1;
+  first.idle_nodes = 7;
+  first.dispatched = 1;
+  first.tenant_backlog = {2};  // beta not seen yet: padded on emission
+  SampleRow second = row_at(5.0);
+  second.completed = 4;
+  second.cache_hit_rate = 0.5;
+  second.memo_hit_rate = 0.25;
+  second.budget_watts = 900.0;
+  second.tenant_backlog = {1, 6};
+  series.rows = {first, second};
+  return series;
+}
+
+TEST(Sampler, JsonPadsBacklogAndKeepsColumnOrder) {
+  const SampleSeries series = two_tenant_series();
+  const json::Value doc = series.to_json("c0");
+  EXPECT_EQ(doc.find("label")->as_string(), "c0");
+  EXPECT_EQ(doc.find("interval_seconds")->as_double(), 5.0);
+  ASSERT_EQ(doc.find("tenants")->size(), 2u);
+  const json::Value* columns = doc.find("columns");
+  ASSERT_NE(columns, nullptr);
+  EXPECT_EQ(columns->elements().front().as_string(), "time_seconds");
+  EXPECT_EQ(columns->elements().back().as_string(), "tenant_backlog");
+  const json::Value* rows = doc.find("rows");
+  ASSERT_EQ(rows->size(), 2u);
+  // Scalar columns then the nested backlog array, padded with zeros.
+  const json::Value& first = rows->elements()[0];
+  ASSERT_EQ(first.size(), columns->size());
+  const json::Value& backlog0 = first.elements().back();
+  ASSERT_EQ(backlog0.size(), 2u);
+  EXPECT_EQ(backlog0.elements()[0].as_int(), 2);
+  EXPECT_EQ(backlog0.elements()[1].as_int(), 0);
+  EXPECT_EQ(json::parse(doc.dump()).dump(), doc.dump());
+}
+
+TEST(Sampler, CsvHasHeaderAndLabelColumn) {
+  const SampleSeries series = two_tenant_series();
+  const std::string csv = series.to_csv("c3");
+  const std::size_t newline = csv.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  const std::string header = csv.substr(0, newline);
+  EXPECT_EQ(header.rfind("label,time_seconds,", 0), 0u);
+  EXPECT_NE(header.find("backlog:alpha"), std::string::npos);
+  EXPECT_NE(header.find("backlog:beta"), std::string::npos);
+  // Two data rows, each starting with the label.
+  std::size_t label_rows = 0;
+  for (std::size_t at = csv.find("\nc3,"); at != std::string::npos;
+       at = csv.find("\nc3,", at + 1))
+    ++label_rows;
+  EXPECT_EQ(label_rows, 2u);
+}
+
+}  // namespace
+}  // namespace migopt::obs

@@ -1,0 +1,111 @@
+#include "obs/span_tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hpp"
+
+namespace migopt::obs {
+namespace {
+
+TEST(SpanTracer, DisabledDropsEverything) {
+  SpanTracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.set_track_name(0, "main");
+  tracer.span(0, "work", 0.0, 10.0);
+  tracer.instant(0, "tick", 5.0);
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.now_us(), 0.0);
+}
+
+TEST(SpanTracer, ChromeJsonShape) {
+  SpanTracer tracer(true);
+  tracer.set_track_name(0, "cluster");
+  tracer.span(0, "replay", 0.0, 100.0);
+  tracer.span(0, "rebroker", 10.0, 5.0, "watts", 900.0);
+  tracer.instant(0, "budget", 10.0);
+  ASSERT_EQ(tracer.event_count(), 4u);
+
+  const json::Value doc = tracer.to_chrome_json();
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 4u);
+  // Metadata first, then events sorted by ts.
+  const json::Value& meta = events->elements()[0];
+  EXPECT_EQ(meta.find("ph")->as_string(), "M");
+  EXPECT_EQ(meta.find("name")->as_string(), "thread_name");
+  EXPECT_EQ(meta.find("args")->find("name")->as_string(), "cluster");
+  const json::Value& replay = events->elements()[1];
+  EXPECT_EQ(replay.find("ph")->as_string(), "X");
+  EXPECT_EQ(replay.find("name")->as_string(), "replay");
+  EXPECT_EQ(replay.find("dur")->as_double(), 100.0);
+  EXPECT_EQ(replay.find("pid")->as_int(), 1);
+  EXPECT_EQ(replay.find("tid")->as_int(), 0);
+  const json::Value& rebroker = events->elements()[2];
+  EXPECT_EQ(rebroker.find("args")->find("watts")->as_double(), 900.0);
+  const json::Value& instant = events->elements()[3];
+  EXPECT_EQ(instant.find("ph")->as_string(), "i");
+  EXPECT_EQ(instant.find("s")->as_string(), "t");
+  EXPECT_EQ(json::parse(doc.dump()).dump(), doc.dump());
+}
+
+TEST(SpanTracer, ExportSortsPerTrack) {
+  SpanTracer tracer(true);
+  tracer.span(0, "late", 50.0, 1.0);
+  tracer.span(0, "early", 1.0, 1.0);
+  tracer.span(1, "other-track", 0.5, 1.0);
+  const json::Value doc = tracer.to_chrome_json();
+  const auto& events = doc.find("traceEvents")->elements();
+  ASSERT_EQ(events.size(), 3u);
+  // Track 0's events come first, ordered by ts within the track.
+  EXPECT_EQ(events[0].find("name")->as_string(), "early");
+  EXPECT_EQ(events[1].find("name")->as_string(), "late");
+  EXPECT_EQ(events[2].find("name")->as_string(), "other-track");
+  double previous = -1.0;
+  std::int64_t previous_tid = -1;
+  for (const json::Value& event : events) {
+    const std::int64_t tid = event.find("tid")->as_int();
+    if (tid != previous_tid) previous = -1.0;
+    previous_tid = tid;
+    EXPECT_GE(event.find("ts")->as_double(), previous);
+    previous = event.find("ts")->as_double();
+  }
+}
+
+TEST(SpanTracer, MergeRemapsTracksAndReinternsNames) {
+  SpanTracer parent(true);
+  parent.set_track_name(0, "fleet");
+  parent.span(0, "plan", 0.0, 2.0);
+
+  SpanTracer shard(true, parent.epoch());
+  shard.span(0, "replay", 1.0, 4.0, "jobs", 10.0);
+  shard.instant(0, "budget", 2.0);
+
+  parent.merge_from(shard, /*track_offset=*/3);
+  parent.set_track_name(3, "cluster 0");
+  const json::Value doc = parent.to_chrome_json();
+  const auto& events = doc.find("traceEvents")->elements();
+  ASSERT_EQ(events.size(), 5u);
+  bool saw_shard_replay = false;
+  for (const json::Value& event : events) {
+    if (event.find("name")->as_string() == "replay") {
+      saw_shard_replay = true;
+      EXPECT_EQ(event.find("tid")->as_int(), 3);
+      EXPECT_EQ(event.find("args")->find("jobs")->as_double(), 10.0);
+    }
+  }
+  EXPECT_TRUE(saw_shard_replay);
+}
+
+TEST(SpanTracer, MergeIntoDisabledIsNoOp) {
+  SpanTracer disabled;
+  SpanTracer shard(true);
+  shard.span(0, "x", 0.0, 1.0);
+  disabled.merge_from(shard, 1);
+  EXPECT_EQ(disabled.event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace migopt::obs

@@ -202,20 +202,20 @@ TEST(SimEngine, HighPriorityOvertakesAtEqualArrival) {
 
 TEST(SimEngine, SampleSeriesRecordsQueueAndCacheOverTime) {
   SimConfig config;
-  config.sample_interval_seconds = 50.0;
+  config.telemetry.interval_seconds = 50.0;
   const Trace trace = poisson_trace(80, 51);
   const SimReport report =
       replay(trace, 2, core::Policy::problem1(250.0, 0.2), config);
-  ASSERT_GT(report.samples.size(), 2u);
+  ASSERT_GT(report.telemetry.rows.size(), 2u);
   double previous = -1.0;
-  for (const SamplePoint& sample : report.samples) {
+  for (const obs::SampleRow& sample : report.telemetry.rows) {
     EXPECT_GT(sample.time_seconds, previous);
     previous = sample.time_seconds;
     EXPECT_GE(sample.cache_hit_rate, 0.0);
     EXPECT_LE(sample.cache_hit_rate, 1.0);
   }
   // The cache warms up as the replay progresses.
-  EXPECT_GT(report.samples.back().cache_hit_rate, 0.0);
+  EXPECT_GT(report.telemetry.rows.back().cache_hit_rate, 0.0);
 }
 
 TEST(SimEngine, UnknownAppThrows) {

@@ -14,7 +14,11 @@ Compares the schema-v1 documents the bench binaries emit (see README):
 * rows carrying a `sim_jobs_per_sec` value (the fleet replay throughput
   gauge) additionally get an old -> new trend line with the percentage
   delta. The trend is always warn-only: throughput rides the same hardware
-  variance as the timing band and never fails the diff.
+  variance as the timing band and never fails the diff;
+* sections whose title contains "observability" are entirely warn-only,
+  summaries included: their metrics (e.g. the measured overhead_pct of
+  running a replay with every obs sink attached) are wall-clock derived,
+  so they carry the same hardware variance as the timing band.
 
 Inputs are two files, or two directories holding BENCH_*.json documents
 (matched by file name). Rows/scenarios present on only one side are reported
@@ -128,10 +132,22 @@ def section_key(scenario: str, index: int, section: dict) -> str:
     return f"{scenario}[{index}]" + (f" ({title})" if title else "")
 
 
+def observability_section(section: dict) -> bool:
+    """Warn-only band: the section's numbers are wall-clock derived."""
+    return "observability" in str(section.get("title", "")).lower()
+
+
 def compare_summaries(where: str, old: dict, new: dict, tolerance: float,
-                      report: Report) -> None:
+                      report: Report, warn_only: bool = False) -> None:
     old_summary = old.get("summary", {})
     new_summary = new.get("summary", {})
+
+    def flag(line: str) -> None:
+        if warn_only:
+            report.timing_warnings.append(line)
+        else:
+            report.regressions.append(line)
+
     for key, old_value in old_summary.items():
         if key not in new_summary:
             report.notes.append(f"{where}: summary '{key}' missing in new run")
@@ -140,15 +156,13 @@ def compare_summaries(where: str, old: dict, new: dict, tolerance: float,
         new_num = numeric(new_summary[key])
         if old_num is None or new_num is None:
             if old_value != new_summary[key]:
-                report.regressions.append(
-                    f"{where}: summary '{key}' changed "
-                    f"{old_value!r} -> {new_summary[key]!r}")
+                flag(f"{where}: summary '{key}' changed "
+                     f"{old_value!r} -> {new_summary[key]!r}")
             continue
         delta = rel_delta(old_num, new_num)
         if abs(delta) > tolerance:
-            report.regressions.append(
-                f"{where}: summary '{key}' moved {old_num:.6g} -> {new_num:.6g} "
-                f"({delta:+.2%}, tolerance {tolerance:.2%})")
+            flag(f"{where}: summary '{key}' moved {old_num:.6g} -> {new_num:.6g} "
+                 f"({delta:+.2%}, tolerance {tolerance:.2%})")
     for key in new_summary:
         if key not in old_summary:
             report.notes.append(f"{where}: new summary metric '{key}'")
@@ -223,7 +237,8 @@ def compare_documents(name: str, old: dict, new: dict, tolerance: float,
             report.notes.append(f"{where}: section missing in new run")
             continue
         new_section = new_sections[key]
-        compare_summaries(where, old_section, new_section, tolerance, report)
+        compare_summaries(where, old_section, new_section, tolerance, report,
+                          warn_only=observability_section(old_section))
         compare_timing_rows(where, old_section, new_section, time_tolerance,
                             report)
     for key in new_sections:

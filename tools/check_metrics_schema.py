@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Validate migopt observability artifacts.
+
+Two document kinds, both produced by `trace_replay` (and consumable by any
+schema-v1 reader):
+
+* metrics documents (--metrics): the schema-v1 JSON written by
+  `trace_replay --metrics out.json` — {"schema_version": 1, "kind":
+  "migopt-metrics", "generated_by": ..., "metrics": {counters, gauges,
+  histograms}, "telemetry": [series...]}. Checks cover types, histogram
+  internal consistency (count == sum of bucket counts, ascending bucket
+  indices, min <= max), and telemetry series shape (fixed column list, row
+  arity, padded tenant backlog, strictly increasing sample times).
+
+* Chrome trace files (--chrome-trace): the trace-event JSON written by
+  `trace_replay --chrome-trace out.trace.json`. Checks that traceEvents is
+  a well-formed event array (known phases, required keys per phase) and
+  that timestamps are monotonically non-decreasing per (pid, tid) track in
+  array order — the order ui.perfetto.dev / chrome://tracing rely on the
+  exporter to produce.
+
+Exit codes mirror bench_diff.py: 0 = valid, 1 = validation failure, 2 =
+usage or input error.
+
+Examples:
+  tools/check_metrics_schema.py --metrics metrics.json
+  tools/check_metrics_schema.py --metrics metrics.json --chrome-trace out.trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+EXPECTED_COLUMNS = [
+    "time_seconds", "queue_depth", "running", "busy_nodes", "idle_nodes",
+    "budget_watts", "dispatched", "completed", "cache_hit_rate",
+    "memo_hit_rate", "tenant_backlog",
+]
+COUNT_COLUMNS = {
+    "queue_depth", "running", "busy_nodes", "idle_nodes", "dispatched",
+    "completed",
+}
+KNOWN_PHASES = {"X", "i", "M", "B", "E", "b", "e", "n", "C", "s", "t", "f"}
+
+
+def fail(message: str):
+    print(f"check_metrics_schema: error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+class Validator:
+    def __init__(self) -> None:
+        self.problems: list[str] = []
+
+    def check(self, condition: bool, message: str) -> bool:
+        if not condition:
+            self.problems.append(message)
+        return condition
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot read {path}: {exc}")
+    if not isinstance(document, dict):
+        fail(f"{path}: top level must be a JSON object")
+    return document
+
+
+def is_count(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_histogram(where: str, hist, v: Validator) -> None:
+    if not v.check(isinstance(hist, dict), f"{where}: must be an object"):
+        return
+    for key in ("count", "sum", "min", "max"):
+        if not v.check(is_count(hist.get(key)),
+                       f"{where}: '{key}' must be a non-negative integer"):
+            return
+    buckets = hist.get("buckets")
+    if not v.check(isinstance(buckets, list),
+                   f"{where}: 'buckets' must be an array"):
+        return
+    total = 0
+    previous_index = -1
+    for entry in buckets:
+        ok = (isinstance(entry, list) and len(entry) == 3 and
+              all(is_count(x) for x in entry))
+        if not v.check(ok, f"{where}: bucket entries must be "
+                           "[index, upper_bound, count] of non-negative ints"):
+            return
+        index, _, count = entry
+        v.check(index > previous_index,
+                f"{where}: bucket indices must be strictly ascending")
+        v.check(index <= 64, f"{where}: bucket index {index} out of range")
+        v.check(count > 0, f"{where}: empty bucket {index} must be omitted")
+        previous_index = index
+        total += count
+    v.check(total == hist["count"],
+            f"{where}: count {hist['count']} != sum of bucket counts {total}")
+    if hist["count"] > 0:
+        v.check(hist["min"] <= hist["max"], f"{where}: min > max")
+
+
+def validate_series(where: str, series, v: Validator) -> None:
+    if not v.check(isinstance(series, dict), f"{where}: must be an object"):
+        return
+    v.check(isinstance(series.get("label"), str), f"{where}: missing 'label'")
+    v.check(is_number(series.get("interval_seconds")) and
+            series.get("interval_seconds", 0) > 0,
+            f"{where}: 'interval_seconds' must be a positive number")
+    tenants = series.get("tenants")
+    if not v.check(isinstance(tenants, list) and
+                   all(isinstance(t, str) for t in tenants),
+                   f"{where}: 'tenants' must be an array of strings"):
+        return
+    if not v.check(series.get("columns") == EXPECTED_COLUMNS,
+                   f"{where}: 'columns' must be exactly {EXPECTED_COLUMNS}"):
+        return
+    rows = series.get("rows")
+    if not v.check(isinstance(rows, list), f"{where}: 'rows' must be an array"):
+        return
+    previous_time = None
+    for i, row in enumerate(rows):
+        cell = f"{where}: row {i}"
+        if not v.check(isinstance(row, list) and
+                       len(row) == len(EXPECTED_COLUMNS),
+                       f"{cell}: must have {len(EXPECTED_COLUMNS)} cells"):
+            return
+        named = dict(zip(EXPECTED_COLUMNS, row))
+        for column in COUNT_COLUMNS:
+            v.check(is_count(named[column]),
+                    f"{cell}: '{column}' must be a non-negative integer")
+        for column in ("time_seconds", "budget_watts", "cache_hit_rate",
+                       "memo_hit_rate"):
+            v.check(is_number(named[column]),
+                    f"{cell}: '{column}' must be a number")
+        for rate in ("cache_hit_rate", "memo_hit_rate"):
+            if is_number(named[rate]):
+                v.check(0.0 <= named[rate] <= 1.0,
+                        f"{cell}: '{rate}' out of [0, 1]")
+        backlog = named["tenant_backlog"]
+        v.check(isinstance(backlog, list) and len(backlog) == len(tenants) and
+                all(is_count(x) for x in backlog),
+                f"{cell}: 'tenant_backlog' must pad to the tenant count")
+        if is_number(named["time_seconds"]):
+            if previous_time is not None:
+                v.check(named["time_seconds"] > previous_time,
+                        f"{cell}: sample times must be strictly increasing")
+            previous_time = named["time_seconds"]
+
+
+def validate_metrics(path: str, v: Validator) -> None:
+    document = load(path)
+    v.check(document.get("schema_version") == 1,
+            f"{path}: schema_version must be 1")
+    v.check(document.get("kind") == "migopt-metrics",
+            f"{path}: kind must be 'migopt-metrics'")
+    v.check(isinstance(document.get("generated_by"), str),
+            f"{path}: missing 'generated_by'")
+    metrics = document.get("metrics")
+    if v.check(isinstance(metrics, dict), f"{path}: missing 'metrics' object"):
+        for group in ("counters", "gauges", "histograms"):
+            v.check(isinstance(metrics.get(group), dict),
+                    f"{path}: metrics.{group} must be an object")
+        for name, value in (metrics.get("counters") or {}).items():
+            v.check(is_count(value),
+                    f"{path}: counter '{name}' must be a non-negative integer")
+        for name, value in (metrics.get("gauges") or {}).items():
+            v.check(is_number(value),
+                    f"{path}: gauge '{name}' must be a number")
+        for name, hist in (metrics.get("histograms") or {}).items():
+            validate_histogram(f"{path}: histogram '{name}'", hist, v)
+    telemetry = document.get("telemetry")
+    if v.check(isinstance(telemetry, list),
+               f"{path}: 'telemetry' must be an array"):
+        for i, series in enumerate(telemetry):
+            validate_series(f"{path}: telemetry[{i}]", series, v)
+
+
+def validate_chrome_trace(path: str, v: Validator) -> None:
+    document = load(path)
+    events = document.get("traceEvents")
+    if not v.check(isinstance(events, list),
+                   f"{path}: 'traceEvents' must be an array"):
+        return
+    last_ts: dict[tuple, float] = {}
+    for i, event in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not v.check(isinstance(event, dict), f"{where}: must be an object"):
+            continue
+        phase = event.get("ph")
+        if not v.check(isinstance(phase, str) and phase in KNOWN_PHASES,
+                       f"{where}: unknown phase {phase!r}"):
+            continue
+        v.check(isinstance(event.get("name"), str), f"{where}: missing 'name'")
+        v.check(is_number(event.get("pid")), f"{where}: missing 'pid'")
+        v.check(is_number(event.get("tid")), f"{where}: missing 'tid'")
+        if phase == "M":
+            v.check(isinstance(event.get("args"), dict),
+                    f"{where}: metadata events need an 'args' object")
+            continue
+        ts = event.get("ts")
+        if not v.check(is_number(ts) and ts >= 0,
+                       f"{where}: 'ts' must be a non-negative number"):
+            continue
+        if phase == "X":
+            v.check(is_number(event.get("dur")) and event["dur"] >= 0,
+                    f"{where}: complete events need a non-negative 'dur'")
+        if phase == "i":
+            v.check(event.get("s") in ("t", "p", "g"),
+                    f"{where}: instant events need a scope 's'")
+        track = (event.get("pid"), event.get("tid"))
+        if track in last_ts:
+            v.check(ts >= last_ts[track],
+                    f"{where}: ts {ts} decreases on track pid={track[0]} "
+                    f"tid={track[1]} (previous {last_ts[track]})")
+        last_ts[track] = ts
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--metrics", action="append", default=[],
+                        metavar="PATH",
+                        help="schema-v1 metrics JSON to validate (repeatable)")
+    parser.add_argument("--chrome-trace", action="append", default=[],
+                        metavar="PATH",
+                        help="Chrome trace-event JSON to validate (repeatable)")
+    args = parser.parse_args()
+    if not args.metrics and not args.chrome_trace:
+        fail("nothing to do: pass --metrics and/or --chrome-trace")
+
+    v = Validator()
+    for path in args.metrics:
+        validate_metrics(path, v)
+    for path in args.chrome_trace:
+        validate_chrome_trace(path, v)
+
+    checked = len(args.metrics) + len(args.chrome_trace)
+    if v.problems:
+        print(f"check_metrics_schema: {checked} document(s), "
+              f"{len(v.problems)} problem(s)")
+        for problem in v.problems:
+            print(f"  INVALID: {problem}")
+        return 1
+    print(f"check_metrics_schema: {checked} document(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
