@@ -51,6 +51,24 @@
 //   --power-split uniform|demand       fleet budget split policy
 //   --fleet-budget W                   fleet-level power contract [W]
 //
+// Fault-injection flags (see README "Failure model & graceful degradation")
+// — all default off; with every fault flag at its default the replay is
+// byte-identical to a build without the fault layer:
+//   --fault-rate R                     per-attempt transient failure
+//                                      probability in [0, 1): each completion
+//                                      fails per a seeded per-job draw, then
+//                                      retries after exponential backoff
+//   --node-mtbf S                      mean seconds between node crashes
+//                                      (> 0 enables node outages; repair time
+//                                      is exponential with mean 900 s)
+//   --max-retries N                    retry budget before a job is abandoned
+//                                      (default 3)
+//   --power-emergency W                emergency budget [W] (> 0 enables
+//                                      power emergencies: mean 3600 s between
+//                                      events, each slashing the standing
+//                                      budget to min(standing, W) for 600 s;
+//                                      lowest-priority nodes shed first)
+//
 // Observability flags (see README "Observability") — none of them change
 // the replay's report by a byte:
 //   --metrics PATH                     write the schema-v1 metrics document
@@ -81,6 +99,7 @@
 #include <vector>
 
 #include "common/string_util.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/span_tracer.hpp"
@@ -134,12 +153,66 @@ struct ReplayConfig {
   trace::PowerSplit power_split = trace::PowerSplit::Uniform;
   double fleet_budget_watts = 0.0;  ///< <= 0: no fleet-level contract
 
+  // Fault injection (README "Failure model & graceful degradation"): all
+  // off by default — the fault-free replay is byte-identical to a build
+  // without the fault layer.
+  double fault_rate = 0.0;          ///< --fault-rate: transient P(fail) [0,1)
+  double node_mtbf_seconds = 0.0;   ///< --node-mtbf: > 0 enables crashes
+  std::size_t max_retries = 3;      ///< --max-retries: then abandoned
+  double power_emergency_watts = 0.0;  ///< --power-emergency: > 0 enables
+
   // Observability (README "Observability"): all three knobs leave the
   // replay's report byte-identical — the sinks only *add* outputs.
   std::string metrics_path;       ///< --metrics: schema-v1 doc (.json or .csv)
   std::string chrome_trace_path;  ///< --chrome-trace: Perfetto-loadable spans
   double sample_interval_seconds = 0.0;  ///< --sample-interval [sim s]
 };
+
+/// Any fault flag active? Gates the fault plan and the report's fault rows,
+/// so a fault-free invocation stays byte-identical to earlier builds.
+bool fault_injection_on(const ReplayConfig& config) {
+  return config.fault_rate > 0.0 || config.node_mtbf_seconds > 0.0 ||
+         config.power_emergency_watts > 0.0;
+}
+
+/// The CLI flags as a fault::FaultConfig (the documented defaults: MTTR
+/// 900 s, emergency MTBF 3600 s / duration 600 s).
+fault::FaultConfig make_fault_config(const ReplayConfig& config) {
+  fault::FaultConfig fault;
+  fault.transient_failure_rate = config.fault_rate;
+  fault.node_mtbf_seconds = config.node_mtbf_seconds;
+  if (config.power_emergency_watts > 0.0) {
+    fault.power_emergency_mtbf_seconds = 3600.0;
+    fault.power_emergency_watts = config.power_emergency_watts;
+  }
+  fault.retry.max_retries = config.max_retries;
+  return fault;
+}
+
+/// Append the fault-outcome summary rows (shared by both paths; only called
+/// when fault injection is on).
+void add_fault_summaries(report::Section& section,
+                         const trace::FaultStats& faults) {
+  section.add_summary("failures_injected",
+                      MetricValue::of_count(static_cast<long long>(
+                          faults.failures_injected)));
+  section.add_summary(
+      "retries", MetricValue::of_count(static_cast<long long>(faults.retries)));
+  section.add_summary("jobs_killed",
+                      MetricValue::of_count(
+                          static_cast<long long>(faults.jobs_killed)));
+  section.add_summary(
+      "jobs_shed",
+      MetricValue::of_count(static_cast<long long>(faults.jobs_shed)));
+  section.add_summary("jobs_abandoned",
+                      MetricValue::of_count(
+                          static_cast<long long>(faults.jobs_abandoned)));
+  section.add_summary("node_failures",
+                      MetricValue::of_count(
+                          static_cast<long long>(faults.node_failures)));
+  section.add_summary("node_downtime_s",
+                      MetricValue::num(faults.node_downtime_seconds, 1));
+}
 
 /// Emit the --metrics document (telemetry series only in CSV mode) and the
 /// --chrome-trace span file. Shared by the single-cluster and fleet paths.
@@ -217,6 +290,7 @@ report::ScenarioResult run_fleet_replay(const ReplayConfig& config,
   fleet.policy = trace::regime_policy(config.regime);
   fleet.seed = config.seed;
   fleet.threads = std::max<std::size_t>(1, ctx.threads());
+  if (fault_injection_on(config)) fleet.fault = make_fault_config(config);
 
   obs::Registry registry_sink;
   obs::SpanTracer tracer(!config.chrome_trace_path.empty());
@@ -302,6 +376,7 @@ report::ScenarioResult run_fleet_replay(const ReplayConfig& config,
                                  memo_probes));
   section.add_summary("energy_MJ",
                       MetricValue::num(report.total_energy_joules / 1.0e6, 2));
+  if (fault_injection_on(config)) add_fault_summaries(section, report.faults);
   result.add_section(std::move(section));
   result.add_note(
       "each cluster is a fully private SimEngine session (own chip, "
@@ -359,6 +434,19 @@ report::ScenarioResult run_replay(const ReplayConfig& config,
   obs::SpanTracer tracer(!config.chrome_trace_path.empty());
   if (!config.metrics_path.empty()) sim_config.metrics = &registry_sink;
   sim_config.tracer = &tracer;
+  // Fault plan over the trace horizon, seeded like the trace itself — the
+  // same (trace, seed, fault flags) always replays the same outages,
+  // emergencies, and transient draws.
+  fault::FaultPlan fault_plan;
+  if (fault_injection_on(config)) {
+    const double horizon = job_trace.events.empty()
+                               ? 0.0
+                               : job_trace.events.back().time_seconds;
+    fault_plan = fault::make_fault_plan(make_fault_config(config),
+                                        config.num_nodes, horizon,
+                                        config.seed);
+    sim_config.faults = &fault_plan;
+  }
   const trace::SimEngine engine(sim_config);
   const trace::SimReport sim =
       engine.replay(job_trace, registry, cluster, scheduler);
@@ -435,6 +523,7 @@ report::ScenarioResult run_replay(const ReplayConfig& config,
   section.add_summary("budget_events",
                       MetricValue::of_count(static_cast<long long>(
                           sim.budget_events_applied)));
+  if (fault_injection_on(config)) add_fault_summaries(section, sim.faults);
   result.add_section(std::move(section));
   result.add_note(
       "every job arrived online (no batch queue): waits come from real "
@@ -460,6 +549,10 @@ int main(int argc, char** argv) {
   std::string spill_flag;
   std::string split_flag;
   std::string fleet_budget_flag;
+  std::string fault_rate_flag;
+  std::string node_mtbf_flag;
+  std::string max_retries_flag;
+  std::string power_emergency_flag;
   std::string metrics_flag;
   std::string chrome_trace_flag;
   std::string sample_interval_flag;
@@ -487,6 +580,10 @@ int main(int argc, char** argv) {
         take_value("--spill-delay", spill_flag) ||
         take_value("--power-split", split_flag) ||
         take_value("--fleet-budget", fleet_budget_flag) ||
+        take_value("--fault-rate", fault_rate_flag) ||
+        take_value("--node-mtbf", node_mtbf_flag) ||
+        take_value("--max-retries", max_retries_flag) ||
+        take_value("--power-emergency", power_emergency_flag) ||
         take_value("--metrics", metrics_flag) ||
         take_value("--chrome-trace", chrome_trace_flag) ||
         take_value("--sample-interval", sample_interval_flag))
@@ -620,6 +717,43 @@ int main(int argc, char** argv) {
       return 1;
     }
     config.fleet_budget_watts = *value;
+  }
+
+  // Fault-injection flags. Out-of-range values name the flag, the accepted
+  // range, and the rejected text — and exit nonzero before any replay runs.
+  if (!fault_rate_flag.empty()) {
+    const auto value = migopt::str::parse_double(fault_rate_flag);
+    if (!value.has_value() || *value < 0.0 || *value >= 1.0) {
+      std::fprintf(stderr,
+                   "error: --fault-rate must be a probability in [0, 1), got "
+                   "'%s'\n",
+                   fault_rate_flag.c_str());
+      return 1;
+    }
+    config.fault_rate = *value;
+  }
+  if (!node_mtbf_flag.empty()) {
+    const auto value = migopt::str::parse_double(node_mtbf_flag);
+    if (!value.has_value() || *value <= 0.0) {
+      std::fprintf(stderr,
+                   "error: --node-mtbf must be > 0 seconds, got '%s'\n",
+                   node_mtbf_flag.c_str());
+      return 1;
+    }
+    config.node_mtbf_seconds = *value;
+  }
+  if (!max_retries_flag.empty() &&
+      !parse_int(max_retries_flag, "--max-retries", 0.0, config.max_retries))
+    return 1;
+  if (!power_emergency_flag.empty()) {
+    const auto value = migopt::str::parse_double(power_emergency_flag);
+    if (!value.has_value() || *value <= 0.0) {
+      std::fprintf(stderr,
+                   "error: --power-emergency must be > 0 W, got '%s'\n",
+                   power_emergency_flag.c_str());
+      return 1;
+    }
+    config.power_emergency_watts = *value;
   }
 
   // Observability flags.

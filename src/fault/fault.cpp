@@ -1,0 +1,225 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace migopt::fault {
+
+namespace {
+
+// Channel tags XORed into the base seed so the node-outage, emergency, and
+// per-job transient streams are independent of each other (and of the trace
+// generators, which stream from the unmodified seed).
+constexpr std::uint64_t kNodeOutageTag = 0xFA170001ULL;
+constexpr std::uint64_t kEmergencyTag = 0xFA170002ULL;
+constexpr std::uint64_t kTransientTag = 0xFA170003ULL;
+constexpr std::uint64_t kClusterOutageTag = 0xFA170004ULL;
+
+/// Exponential draw with the given mean. 1 - uniform() is in (0, 1], so the
+/// log is finite and the draw strictly positive.
+double exponential(Rng& rng, double mean) noexcept {
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
+/// Total order of same-instant fault events: recoveries and emergency ends
+/// first (a node must rejoin before a same-instant crash can take it back
+/// down, and a back-to-back emergency must restore before re-cutting).
+int kind_rank(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::NodeRecover: return 0;
+    case FaultKind::EmergencyEnd: return 1;
+    case FaultKind::NodeFail: return 2;
+    case FaultKind::EmergencyBegin: return 3;
+  }
+  return 4;
+}
+
+void sort_events(std::vector<FaultEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time_seconds != b.time_seconds)
+                return a.time_seconds < b.time_seconds;
+              const int ra = kind_rank(a.kind);
+              const int rb = kind_rank(b.kind);
+              if (ra != rb) return ra < rb;
+              return a.node < b.node;
+            });
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::NodeFail: return "node-fail";
+    case FaultKind::NodeRecover: return "node-recover";
+    case FaultKind::EmergencyBegin: return "emergency-begin";
+    case FaultKind::EmergencyEnd: return "emergency-end";
+  }
+  return "?";
+}
+
+double RetryPolicy::delay_seconds(std::size_t retry) const noexcept {
+  double delay = backoff_base_seconds;
+  for (std::size_t k = 1; k < retry; ++k) {
+    delay *= backoff_multiplier;
+    if (delay >= backoff_cap_seconds) break;
+  }
+  return std::min(delay, backoff_cap_seconds);
+}
+
+void RetryPolicy::validate() const {
+  MIGOPT_REQUIRE(backoff_base_seconds > 0.0,
+                 "retry backoff base must be > 0 seconds");
+  MIGOPT_REQUIRE(backoff_multiplier >= 1.0,
+                 "retry backoff multiplier must be >= 1");
+  MIGOPT_REQUIRE(backoff_cap_seconds >= backoff_base_seconds,
+                 "retry backoff cap must be >= the base delay");
+}
+
+void FaultConfig::validate() const {
+  MIGOPT_REQUIRE(node_mtbf_seconds >= 0.0, "node MTBF must be >= 0");
+  if (node_mtbf_seconds > 0.0)
+    MIGOPT_REQUIRE(node_mttr_seconds > 0.0,
+                   "node MTTR must be > 0 when outages are enabled");
+  MIGOPT_REQUIRE(
+      transient_failure_rate >= 0.0 && transient_failure_rate < 1.0,
+      "transient failure rate must be in [0, 1)");
+  MIGOPT_REQUIRE(power_emergency_mtbf_seconds >= 0.0,
+                 "power emergency MTBF must be >= 0");
+  if (power_emergency_mtbf_seconds > 0.0) {
+    MIGOPT_REQUIRE(power_emergency_duration_seconds > 0.0,
+                   "power emergency duration must be > 0");
+    MIGOPT_REQUIRE(power_emergency_watts > 0.0,
+                   "power emergency budget must be > 0 W");
+  }
+  retry.validate();
+}
+
+std::size_t FaultPlan::attempts_to_fail(
+    std::uint64_t job_index) const noexcept {
+  if (transient_failure_rate <= 0.0) return 0;
+  Rng rng(stream_seed(seed ^ kTransientTag, job_index));
+  // Geometric draw, capped: past max_retries + 1 consecutive failures the
+  // job is abandoned regardless, so longer streaks are indistinguishable.
+  const std::size_t cap = retry.max_retries + 1;
+  std::size_t failures = 0;
+  while (failures < cap && rng.uniform() < transient_failure_rate)
+    ++failures;
+  return failures;
+}
+
+void FaultPlan::validate() const {
+  MIGOPT_REQUIRE(
+      transient_failure_rate >= 0.0 && transient_failure_rate < 1.0,
+      "transient failure rate must be in [0, 1)");
+  retry.validate();
+  double last = 0.0;
+  for (const FaultEvent& event : events) {
+    MIGOPT_REQUIRE(event.time_seconds >= last,
+                   "fault events must be sorted by time");
+    last = event.time_seconds;
+    if (event.kind == FaultKind::NodeFail ||
+        event.kind == FaultKind::NodeRecover)
+      MIGOPT_REQUIRE(event.node >= 0, "node fault without a node index");
+    if (event.kind == FaultKind::EmergencyBegin)
+      MIGOPT_REQUIRE(event.watts > 0.0,
+                     "power emergency without a positive budget");
+  }
+}
+
+FaultPlan make_fault_plan(const FaultConfig& config, int node_count,
+                          double horizon_seconds, std::uint64_t seed) {
+  config.validate();
+  MIGOPT_REQUIRE(node_count >= 1, "fault plan needs at least one node");
+  MIGOPT_REQUIRE(horizon_seconds >= 0.0, "fault plan horizon must be >= 0");
+
+  FaultPlan plan;
+  plan.transient_failure_rate = config.transient_failure_rate;
+  plan.retry = config.retry;
+  plan.seed = seed;
+
+  if (config.node_mtbf_seconds > 0.0) {
+    for (int n = 0; n < node_count; ++n) {
+      // One independent stream per node: the windows of node n never move
+      // when the cluster grows or another node's stream is consumed.
+      Rng rng(stream_seed(seed ^ kNodeOutageTag,
+                          static_cast<std::uint64_t>(n)));
+      double t = exponential(rng, config.node_mtbf_seconds);
+      while (t < horizon_seconds) {
+        const double down = exponential(rng, config.node_mttr_seconds);
+        plan.events.push_back({t, FaultKind::NodeFail, n, 0.0});
+        // The recovery is kept even past the horizon: a crashed node must
+        // always rejoin, or the tail of the queue could wedge on a cluster
+        // with every node down.
+        plan.events.push_back({t + down, FaultKind::NodeRecover, n, 0.0});
+        t += down + exponential(rng, config.node_mtbf_seconds);
+      }
+    }
+  }
+
+  if (config.power_emergency_mtbf_seconds > 0.0) {
+    Rng rng(stream_seed(seed ^ kEmergencyTag, 0));
+    double t = exponential(rng, config.power_emergency_mtbf_seconds);
+    while (t < horizon_seconds) {
+      const double end = t + config.power_emergency_duration_seconds;
+      plan.events.push_back(
+          {t, FaultKind::EmergencyBegin, -1, config.power_emergency_watts});
+      plan.events.push_back({end, FaultKind::EmergencyEnd, -1, 0.0});
+      // Windows are generated sequentially from the previous end, so they
+      // never overlap (one emergency budget stands at a time).
+      t = end + exponential(rng, config.power_emergency_mtbf_seconds);
+    }
+  }
+
+  sort_events(plan.events);
+  return plan;
+}
+
+std::vector<std::vector<OutageWindow>> make_outage_windows(
+    int cluster_count, double horizon_seconds, double mtbf_seconds,
+    double duration_seconds, std::uint64_t seed) {
+  MIGOPT_REQUIRE(cluster_count >= 1,
+                 "outage windows need at least one cluster");
+  std::vector<std::vector<OutageWindow>> windows(
+      static_cast<std::size_t>(cluster_count));
+  if (mtbf_seconds <= 0.0) return windows;
+  MIGOPT_REQUIRE(duration_seconds > 0.0,
+                 "cluster outage duration must be > 0");
+  for (int c = 0; c < cluster_count; ++c) {
+    Rng rng(stream_seed(seed ^ kClusterOutageTag,
+                        static_cast<std::uint64_t>(c)));
+    double t = exponential(rng, mtbf_seconds);
+    while (t < horizon_seconds) {
+      const double end = t + duration_seconds;
+      windows[static_cast<std::size_t>(c)].push_back({t, end});
+      t = end + exponential(rng, mtbf_seconds);
+    }
+  }
+  return windows;
+}
+
+bool in_outage(const std::vector<OutageWindow>& windows,
+               double time) noexcept {
+  for (const OutageWindow& window : windows)
+    if (time >= window.begin_seconds && time < window.end_seconds)
+      return true;
+  return false;
+}
+
+void apply_outages(FaultPlan& plan, const std::vector<OutageWindow>& windows,
+                   int node_count) {
+  for (const OutageWindow& window : windows) {
+    for (int n = 0; n < node_count; ++n) {
+      plan.events.push_back(
+          {window.begin_seconds, FaultKind::NodeFail, n, 0.0});
+      plan.events.push_back(
+          {window.end_seconds, FaultKind::NodeRecover, n, 0.0});
+    }
+  }
+  sort_events(plan.events);
+}
+
+}  // namespace migopt::fault

@@ -7,6 +7,7 @@
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "profiling/profiler.hpp"
+#include "sched/power_broker.hpp"
 
 namespace migopt::sched {
 
@@ -72,6 +73,9 @@ Cluster::Cluster(const ClusterConfig& config)
   node_next_.assign(nodes_.size(), kInf);
   node_busy_.assign(nodes_.size(), 0);
   busy_nodes_ = 0;
+  node_down_.assign(nodes_.size(), 0);
+  down_nodes_ = 0;
+  down_since_.assign(nodes_.size(), 0.0);
   node_cap_.assign(nodes_.size(), 0.0);
   cap_prefix_.assign(nodes_.size() + 1, 0.0);
   cap_prefix_valid_ = 0;
@@ -135,6 +139,9 @@ void Cluster::begin_session(const CoScheduler& scheduler) {
   node_next_.assign(nodes_.size(), kInf);
   node_busy_.assign(nodes_.size(), 0);
   busy_nodes_ = 0;
+  node_down_.assign(nodes_.size(), 0);
+  down_nodes_ = 0;
+  down_since_.assign(nodes_.size(), 0.0);
   node_cap_.assign(nodes_.size(), 0.0);
   cap_prefix_.assign(nodes_.size() + 1, 0.0);
   cap_prefix_valid_ = 0;
@@ -179,9 +186,9 @@ std::size_t Cluster::dispatch(CoScheduler& scheduler, double now) {
 std::size_t Cluster::dispatch_batch(CoScheduler& scheduler, double now) {
   session_now_ = std::max(session_now_, now);
   // Dispatch runs after every event-loop step; with a standing backlog the
-  // nodes are all busy nearly every time, so that case exits here instead
-  // of walking the occupancy bitmap.
-  if (busy_nodes_ == node_busy_.size() || queue_.empty()) return 0;
+  // nodes are all busy (or down) nearly every time, so that case exits here
+  // instead of walking the occupancy bitmap.
+  if (idle_nodes_.empty() || queue_.empty()) return 0;
   // Batch-invariant scheduler context, prepared once for every probe below.
   CoScheduler::BatchContext batch = scheduler.begin_batch(now);
   std::size_t dispatches = 0;
@@ -433,11 +440,15 @@ const std::vector<Job>& Cluster::advance_to(double t, CoScheduler& scheduler) {
     // integration order the checked-in baselines pin. A node whose
     // advertised completion is due by `t` must deliver it — see the sliver
     // note in drain_node; without the expectation a sub-ulp remainder
-    // freezes the node clock and the event loop spins forever.
-    for (std::size_t n = 0; n < nodes_.size(); ++n)
+    // freezes the node clock and the event loop spins forever. Down nodes
+    // are skipped: they hold no work, draw nothing, and their clocks jump
+    // forward at recovery.
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      if (node_down_[n]) continue;
       drain_node(static_cast<int>(n), t,
                  /*expect_completion=*/node_next_[n] <= t, scheduler,
                  finished);
+    }
     return finished;
   }
   if (config_.event_core == EventCore::Calendar) {
@@ -481,10 +492,12 @@ ClusterReport Cluster::report(const CoScheduler& scheduler) const {
     // Catch idle nodes up to the session clock so idle power accrues to the
     // end of the session (the Exact core advances them eagerly). Nodes are
     // simulation state behind const unique_ptrs; no completions can fire
-    // (advance_to already drained everything <= session_now_).
-    for (const auto& node : nodes_)
-      if (node->idle() && node->now() < session_now_)
-        node->advance_to(session_now_);
+    // (advance_to already drained everything <= session_now_). Down nodes
+    // stay where they are — their downtime is unpowered.
+    for (std::size_t n = 0; n < nodes_.size(); ++n)
+      if (!node_down_[n] && nodes_[n]->idle() &&
+          nodes_[n]->now() < session_now_)
+        nodes_[n]->advance_to(session_now_);
   }
   ClusterReport report = session_;
   // Session deltas: a reused cluster's node clocks/energy carry over from
@@ -508,6 +521,18 @@ ClusterReport Cluster::report(const CoScheduler& scheduler) const {
   if (lazy_core())
     report.makespan_seconds = std::max(
         report.makespan_seconds, session_now_ - clock_at_session_start_);
+  if (session_.node_failures > 0) {
+    // Under the Exact core a node still down at report time lags the session
+    // clock (its recovery never fired), so the node-clock max undercounts;
+    // and its open downtime window has not been folded in yet. Gated on
+    // faults having fired so fault-free reports take the original code path
+    // bit for bit.
+    report.makespan_seconds = std::max(
+        report.makespan_seconds, session_now_ - clock_at_session_start_);
+    for (std::size_t n = 0; n < nodes_.size(); ++n)
+      if (node_down_[n])
+        report.node_downtime_seconds += session_now_ - down_since_[n];
+  }
   if (report.jobs_completed > 0)
     report.mean_turnaround =
         turnaround_sum_ / static_cast<double>(report.jobs_completed);
@@ -520,6 +545,103 @@ ClusterReport Cluster::report(const CoScheduler& scheduler) const {
   report.run_memo_hits = memo.hits - memo_at_session_start_.hits;
   report.run_memo_misses = memo.misses - memo_at_session_start_.misses;
   return report;
+}
+
+std::size_t Cluster::kill_node(std::size_t ni, CoScheduler& scheduler,
+                               std::vector<Job>& out) {
+  Node& node = *nodes_[ni];
+  MIGOPT_REQUIRE(!node.idle(), "kill_node on an idle node");
+  const std::size_t first = out.size();
+  node.kill_all(out);
+  for (std::size_t k = first; k < out.size(); ++k) {
+    running_jobs_ -= 1;
+    // A dying profile run must release the scheduler's in-flight hold, or
+    // every queued job of the application waits forever for a profile that
+    // will never be recorded.
+    if (out[k].id >= 0 && profiling_job_[ni] == out[k].id) {
+      profiling_job_[ni] = -1;
+      scheduler.abort_profile(out[k]);
+    }
+  }
+  --busy_nodes_;
+  node_busy_[ni] = 0;
+  invalidate_cap_prefix(ni);
+  // Publish "no completion pending" directly: set_node_next only feeds
+  // finite times to the lazy cores, and any entry they already hold for
+  // this node is stale against +inf and pruned on the next scan.
+  node_next_[ni] = kInf;
+  return out.size() - first;
+}
+
+void Cluster::fail_node(int n, double now, CoScheduler& scheduler,
+                        std::vector<Job>& completed, std::vector<Job>& killed) {
+  const std::size_t ni = static_cast<std::size_t>(n);
+  MIGOPT_REQUIRE(ni < nodes_.size(), "fail_node: node index out of range");
+  MIGOPT_REQUIRE(!node_down_[ni], "fail_node on a node that is already down");
+  session_now_ = std::max(session_now_, now);
+  // Completions due by the crash instant are real completions — drain them
+  // first so a job finishing exactly when the node dies still counts
+  // (deterministic tie order: completion before failure).
+  drain_node(n, now, /*expect_completion=*/node_next_[ni] <= now, scheduler,
+             completed);
+  if (!nodes_[ni]->idle()) {
+    session_.jobs_killed += kill_node(ni, scheduler, killed);
+  } else {
+    // The drain left the node idle and re-registered it as dispatchable;
+    // a down node must not be probed by dispatch.
+    const auto it = std::lower_bound(idle_nodes_.begin(), idle_nodes_.end(),
+                                     static_cast<std::uint32_t>(ni));
+    MIGOPT_ENSURE(it != idle_nodes_.end() && *it == ni,
+                  "idle-set invariant broken at fail_node");
+    idle_nodes_.erase(it);
+  }
+  node_down_[ni] = 1;
+  ++down_nodes_;
+  down_since_[ni] = now;
+  session_.node_failures += 1;
+}
+
+void Cluster::recover_node(int n, double now) {
+  const std::size_t ni = static_cast<std::size_t>(n);
+  MIGOPT_REQUIRE(ni < nodes_.size(), "recover_node: node index out of range");
+  MIGOPT_REQUIRE(node_down_[ni], "recover_node on a node that is not down");
+  session_now_ = std::max(session_now_, now);
+  session_.node_downtime_seconds += now - down_since_[ni];
+  nodes_[ni]->skip_to(now);
+  node_down_[ni] = 0;
+  --down_nodes_;
+  mark_idle(ni);
+  session_.node_recoveries += 1;
+}
+
+std::size_t Cluster::shed_to_budget(double budget_watts, double now,
+                                    CoScheduler& scheduler,
+                                    std::vector<Job>& completed,
+                                    std::vector<Job>& shed) {
+  session_now_ = std::max(session_now_, now);
+  std::size_t shed_nodes = 0;
+  std::vector<ShedCandidate> candidates;
+  while (busy_nodes_ > 0 && busy_cap_sum() > budget_watts) {
+    candidates.clear();
+    for (std::size_t ni = 0; ni < node_busy_.size(); ++ni)
+      if (node_busy_[ni])
+        candidates.push_back(ShedCandidate{static_cast<int>(ni), node_cap_[ni],
+                                           nodes_[ni]->min_priority()});
+    const std::size_t v = PowerBroker::pick_shed_victim(candidates);
+    const std::size_t ni = static_cast<std::size_t>(candidates[v].node);
+    // Completions due by the shed instant drain first (normally none — the
+    // caller advanced the cluster to `now` before shedding).
+    drain_node(candidates[v].node, now,
+               /*expect_completion=*/node_next_[ni] <= now, scheduler,
+               completed);
+    if (nodes_[ni]->idle()) continue;  // the drain freed the budget itself
+    session_.jobs_shed += kill_node(ni, scheduler, shed);
+    // Unlike a crash the node stays in service: it re-enters the idle set
+    // and may be re-dispatched immediately under the emergency budget.
+    mark_idle(ni);
+    ++shed_nodes;
+  }
+  return shed_nodes;
 }
 
 ClusterReport Cluster::run(std::vector<Job> jobs, CoScheduler& scheduler) {

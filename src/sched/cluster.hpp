@@ -110,6 +110,15 @@ struct ClusterReport {
   /// Highest sum of concurrently active node caps observed (<= the budget
   /// whenever one is configured).
   double peak_cap_sum_watts = 0.0;
+  /// Fault-session counters (all zero in a fault-free session): node
+  /// crash/recovery events, jobs killed by crashes, jobs shed by graceful
+  /// power degradation, and total node-down seconds (nodes still down at
+  /// report time accrue up to the session clock).
+  std::size_t node_failures = 0;
+  std::size_t node_recoveries = 0;
+  std::size_t jobs_killed = 0;
+  std::size_t jobs_shed = 0;
+  double node_downtime_seconds = 0.0;
   /// Per-job statistics (empty when ClusterConfig::collect_job_stats is off).
   std::vector<JobStat> jobs;
 };
@@ -168,6 +177,42 @@ class Cluster {
   /// the next advance_to call — consume (or copy) it before advancing again.
   const std::vector<Job>& advance_to(double t, CoScheduler& scheduler);
 
+  // --- Fault session calls (trace replay's fault injection) ---------------
+
+  /// Crash node `n` at `now`. Completions due by `now` drain normally first
+  /// (appended to `completed` — a job finishing at the crash instant still
+  /// counts as completed, a deterministic tie order), then every
+  /// still-resident job is killed and appended to `killed` with no
+  /// finish_time: its in-flight work is lost and the caller decides
+  /// retry/abandon. A killed profile run clears the scheduler's in-flight
+  /// flag (CoScheduler::abort_profile) so held-back jobs release and a later
+  /// exclusive run re-attempts the profile. The node leaves the
+  /// dispatchable set until recover_node and draws no power while down.
+  void fail_node(int n, double now, CoScheduler& scheduler,
+                 std::vector<Job>& completed, std::vector<Job>& killed);
+
+  /// Return a down node to service at `now`: it re-enters the idle set with
+  /// its clock jumped forward (downtime is unpowered — a crashed node draws
+  /// nothing) and its downtime accrued to the session report.
+  void recover_node(int n, double now);
+
+  /// Graceful power degradation: while busy nodes exist and their cap sum
+  /// exceeds `budget_watts`, shed whole nodes in
+  /// PowerBroker::pick_shed_victim order (lowest resident priority, then
+  /// larger cap, then lower node index), appending the killed jobs to
+  /// `shed`; completions due by `now` drain into `completed` first. Shed
+  /// nodes stay up and immediately dispatchable — only their in-flight work
+  /// is lost. Returns the number of nodes shed.
+  std::size_t shed_to_budget(double budget_watts, double now,
+                             CoScheduler& scheduler,
+                             std::vector<Job>& completed,
+                             std::vector<Job>& shed);
+
+  bool node_down(int n) const noexcept {
+    return node_down_[static_cast<std::size_t>(n)] != 0;
+  }
+  std::size_t down_node_count() const noexcept { return down_nodes_; }
+
   std::size_t queued_count() const noexcept { return queue_.size(); }
   /// Jobs resident on nodes right now (maintained incrementally — O(1)).
   std::size_t running_count() const noexcept { return running_jobs_; }
@@ -185,7 +230,7 @@ class Cluster {
   /// Nodes hosting at least one job right now.
   std::size_t busy_node_count() const noexcept { return busy_nodes_; }
   std::size_t idle_node_count() const noexcept {
-    return nodes_.size() - busy_nodes_;
+    return nodes_.size() - busy_nodes_ - down_nodes_;
   }
   /// Dispatch events since begin_session (pairs + exclusives; profile runs
   /// are counted separately in the session report).
@@ -252,6 +297,14 @@ class Cluster {
   /// Sorted-insert `ni` into idle_nodes_ on a busy→idle transition.
   void mark_idle(std::size_t ni);
 
+  /// Kill every job resident on node `ni` (crash or shed), appending them
+  /// to `out` and fixing the running/profiling/occupancy bookkeeping. The
+  /// node ends idle but is left *out* of idle_nodes_ — callers decide
+  /// whether it is down (fail_node) or dispatchable again (shed_to_budget).
+  /// Returns the number of jobs killed.
+  std::size_t kill_node(std::size_t ni, CoScheduler& scheduler,
+                        std::vector<Job>& out);
+
   /// Busy set or cap changed at node `n`: partial sums >= n are stale.
   void invalidate_cap_prefix(std::size_t n) noexcept;
   /// Earliest non-stale calendar entry (pruning stale ones met on the way);
@@ -289,6 +342,13 @@ class Cluster {
   /// N bitmap slots per pass. Invariant: holds exactly the indices with
   /// node_busy_[i] == 0, sorted.
   std::vector<std::uint32_t> idle_nodes_;
+  /// Down bitmap + count + down-since clocks of the fault session calls
+  /// (fail_node / recover_node): a down node is in neither idle_nodes_ nor
+  /// the busy set, publishes +inf as its next completion, and draws no
+  /// power — its clock jumps forward at recovery.
+  std::vector<std::uint8_t> node_down_;
+  std::size_t down_nodes_ = 0;
+  std::vector<double> down_since_;
   std::vector<double> node_cap_;
   /// Cached left-to-right partial sums of busy_cap_sum(): cap_prefix_[k]
   /// is the index-order sum over busy nodes < k, valid for

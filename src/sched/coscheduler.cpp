@@ -203,4 +203,10 @@ void CoScheduler::record_profile(AppId app, const prof::CounterSet& counters) {
   cached_profile_revision_ = allocator_->profiles().revision();
 }
 
+void CoScheduler::abort_profile(const Job& job) {
+  const AppId app = job.app_id != kNoSymbol ? job.app_id
+                                            : allocator_->intern_app(job.app);
+  set_profiling_in_flight(app, false);
+}
+
 }  // namespace migopt::sched

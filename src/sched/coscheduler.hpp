@@ -121,6 +121,14 @@ class CoScheduler {
   /// app string (trace replay's interned hot path).
   void record_profile(AppId app, const prof::CounterSet& counters);
 
+  /// A dispatched profile run died without producing a profile (its node
+  /// crashed, or a power emergency shed it): clear the in-flight flag so
+  /// queued jobs of the application are released and the *next* exclusive
+  /// run re-attempts the profile. Nothing was recorded, so the decision
+  /// cache stays valid. `job` resolves its app by id when interned, by
+  /// name otherwise.
+  void abort_profile(const Job& job);
+
   /// Name of an interned app id (the allocator's symbol table). Throws on
   /// ids this allocator never assigned, including kNoSymbol.
   const std::string& app_name(AppId app) const {

@@ -138,6 +138,25 @@ Job Node::finish_head_slot() {
   return job;
 }
 
+void Node::kill_all(std::vector<Job>& out) {
+  for (Slot& slot : slots_) out.push_back(std::move(slot.job));
+  slots_.clear();
+  option_.reset();
+  recompute_rates();
+}
+
+void Node::skip_to(double t) {
+  MIGOPT_REQUIRE(idle(), "skip_to on a busy node would discard its work");
+  MIGOPT_REQUIRE(t >= now_ - 1e-12, "cannot skip a node backwards");
+  now_ = std::max(now_, t);
+}
+
+int Node::min_priority() const noexcept {
+  int min = std::numeric_limits<int>::max();
+  for (const Slot& slot : slots_) min = std::min(min, slot.job.priority);
+  return min;
+}
+
 std::vector<Job> Node::advance_to(double t) {
   std::vector<Job> finished;
   advance_to(t, finished);

@@ -78,6 +78,22 @@ class Node {
   /// would spin. Node must be busy.
   Job finish_head_slot();
 
+  /// Kill every resident job (a node crash or a power-emergency shed): the
+  /// jobs are appended to `out` with no finish_time — their in-flight work
+  /// is lost, a retry restarts from zero. The node ends idle at its current
+  /// clock with rates recomputed (idle power).
+  void kill_all(std::vector<Job>& out);
+
+  /// Jump an *idle* node's clock forward without integrating energy — a
+  /// crashed node draws nothing while it is down, so recovery lands it at
+  /// the recovery instant with its downtime unpowered.
+  void skip_to(double t);
+
+  /// Smallest Job::priority among resident jobs (the graceful-degradation
+  /// shed order ranks nodes by their least-important job). Node must be
+  /// busy.
+  int min_priority() const noexcept;
+
  private:
   struct Slot {
     Job job;

@@ -142,4 +142,22 @@ ClusterPowerPlan PowerBroker::allocate_exhaustive(
   return plan;
 }
 
+std::size_t PowerBroker::pick_shed_victim(
+    const std::vector<ShedCandidate>& candidates) {
+  MIGOPT_REQUIRE(!candidates.empty(), "shed victim from an empty candidate set");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const ShedCandidate& c = candidates[i];
+    const ShedCandidate& b = candidates[best];
+    if (c.min_priority != b.min_priority) {
+      if (c.min_priority < b.min_priority) best = i;
+    } else if (c.cap_watts != b.cap_watts) {
+      if (c.cap_watts > b.cap_watts) best = i;
+    } else if (c.node < b.node) {
+      best = i;
+    }
+  }
+  return best;
+}
+
 }  // namespace migopt::sched

@@ -41,6 +41,16 @@ struct ClusterPowerPlan {
   double predicted_total_throughput = 0.0;
 };
 
+/// One busy node as graceful degradation sees it: its standing cap and the
+/// priority of its least-important resident job (Cluster::shed_to_budget
+/// assembles these when a power emergency drops the budget below the
+/// running set's cap sum).
+struct ShedCandidate {
+  int node = -1;
+  double cap_watts = 0.0;
+  int min_priority = 0;
+};
+
 class PowerBroker {
  public:
   /// `allocator` supplies the model and profiles; every app must be
@@ -58,6 +68,17 @@ class PowerBroker {
   /// in the node count — test/bench sized only).
   ClusterPowerPlan allocate_exhaustive(const std::vector<NodePairWorkload>& nodes,
                                        double total_budget_watts) const;
+
+  /// Graceful-degradation victim order: instead of wedging when an
+  /// emergency budget undercuts the running set's floor caps, the cluster
+  /// sheds whole nodes until the cap sum fits. The victim is the node whose
+  /// least-important resident job has the lowest priority; ties break to
+  /// the larger cap (each shed frees the most budget), then to the lowest
+  /// node index — a pure deterministic order, so replays are bit-identical
+  /// for any event core or thread count. Returns the index into
+  /// `candidates`; requires a non-empty list.
+  static std::size_t pick_shed_victim(
+      const std::vector<ShedCandidate>& candidates);
 
   const std::vector<double>& caps() const noexcept { return caps_; }
 

@@ -204,7 +204,24 @@ FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
     MIGOPT_REQUIRE(*config_.fleet_power_budget_watts > 0.0,
                    "fleet power budget must be positive (omit it to leave "
                    "clusters unconstrained)");
+  config_.fault.validate();
+  MIGOPT_REQUIRE(config_.cluster_outage_mtbf_seconds >= 0.0,
+                 "cluster outage MTBF must be >= 0");
+  if (config_.cluster_outage_mtbf_seconds > 0.0)
+    MIGOPT_REQUIRE(config_.cluster_outage_duration_seconds > 0.0,
+                   "cluster outage duration must be > 0 when outages are on");
 }
+
+namespace {
+
+/// Fault horizon of a (validated, time-sorted) fleet trace: the last event
+/// time. Fault processes draw windows up to here; recoveries past it are
+/// kept so a crashed node always rejoins.
+double fault_horizon(const Trace& trace) noexcept {
+  return trace.events.empty() ? 0.0 : trace.events.back().time_seconds;
+}
+
+}  // namespace
 
 RoutePlan FleetEngine::plan(const Trace& fleet_trace) const {
   fleet_trace.validate();
@@ -220,6 +237,16 @@ RoutePlan FleetEngine::plan(const Trace& fleet_trace) const {
                      config_.cluster.node_count);
 
   const std::size_t clusters = static_cast<std::size_t>(config_.cluster_count);
+  // Whole-cluster outage windows (deterministic per-cluster streams):
+  // arrivals routed into an outage are re-admitted below; replay()
+  // regenerates the same windows to take every node of the cluster down.
+  const bool outage_active = config_.cluster_outage_mtbf_seconds > 0.0;
+  const std::vector<std::vector<fault::OutageWindow>> outages =
+      fault::make_outage_windows(config_.cluster_count,
+                                 fault_horizon(fleet_trace),
+                                 config_.cluster_outage_mtbf_seconds,
+                                 config_.cluster_outage_duration_seconds,
+                                 config_.seed);
   RoutePlan plan;
   plan.fleet = &fleet_trace;
   plan.steps.resize(clusters);
@@ -275,6 +302,30 @@ RoutePlan FleetEngine::plan(const Trace& fleet_trace) const {
         latency_ns.push_back(monotonic_ns() - start);
       } else {
         cluster = router.route(key, event.time_seconds, event.work_seconds);
+      }
+      // Re-admission: an arrival routed into a whole-cluster outage moves to
+      // the next surviving cluster in index order (it keeps the original
+      // assignment if every cluster is down — the shard then queues it until
+      // its nodes rejoin). The router's load model deliberately keeps the
+      // backlog on the original home: the open-loop model estimates demand,
+      // and demand did land there.
+      if (outage_active &&
+          fault::in_outage(outages[static_cast<std::size_t>(cluster)],
+                           event.time_seconds)) {
+        const std::size_t routed = static_cast<std::size_t>(cluster);
+        for (std::size_t k = 1; k < clusters; ++k) {
+          const std::size_t candidate = (routed + k) % clusters;
+          if (!fault::in_outage(outages[candidate], event.time_seconds)) {
+            cluster = static_cast<int>(candidate);
+            break;
+          }
+        }
+        if (static_cast<std::size_t>(cluster) != routed) {
+          RouterStats& stats = router.mutable_stats();
+          --stats.jobs_per_cluster[routed];
+          ++stats.jobs_per_cluster[static_cast<std::size_t>(cluster)];
+          ++stats.outage_readmissions;
+        }
       }
       plan.steps[static_cast<std::size_t>(cluster)].push_back(index);
       ++plan.shard_jobs[static_cast<std::size_t>(cluster)];
@@ -382,6 +433,19 @@ FleetReport FleetEngine::replay(const Trace& fleet_trace) const {
   if (tracer)
     for (std::size_t c = 0; c < clusters; ++c)
       shard_tracers.emplace_back(true, tracer->epoch());
+  // Per-shard fault injection: each shard draws node/emergency/transient
+  // faults from its own derived seed stream (the recorded shard seed), then
+  // overlays the fleet's cluster-outage windows — the same windows plan()
+  // re-admitted arrivals around — as whole-cluster NodeFail/NodeRecover
+  // events. The plan is built inside the shard task (shard-local, shares
+  // nothing), so any fan-out width stays bit-identical to serial.
+  const double horizon = fault_horizon(fleet_trace);
+  const bool outage_active = config_.cluster_outage_mtbf_seconds > 0.0;
+  const std::vector<std::vector<fault::OutageWindow>> outages =
+      fault::make_outage_windows(config_.cluster_count, horizon,
+                                 config_.cluster_outage_mtbf_seconds,
+                                 config_.cluster_outage_duration_seconds,
+                                 config_.seed);
   const auto replay_shard = [&](std::size_t c) {
     core::ResourcePowerAllocator::Config shard_config;
     core::ResourcePowerAllocator allocator(trained.model(), trained.profiles(),
@@ -393,6 +457,16 @@ FleetReport FleetEngine::replay(const Trace& fleet_trace) const {
         shard_registries.empty() ? nullptr : &shard_registries[c];
     sim_config.tracer = shard_tracers.empty() ? nullptr : &shard_tracers[c];
     sim_config.trace_track = static_cast<std::uint32_t>(c) + 1;
+    fault::FaultPlan shard_faults;
+    if (config_.fault.enabled() || (outage_active && !outages[c].empty())) {
+      shard_faults =
+          fault::make_fault_plan(config_.fault, config_.cluster.node_count,
+                                 horizon, report.shard_seeds[c]);
+      if (outage_active)
+        fault::apply_outages(shard_faults, outages[c],
+                             config_.cluster.node_count);
+      sim_config.faults = &shard_faults;
+    }
     report.clusters[c] = SimEngine(sim_config).replay(plan.shard(c), registry,
                                                       cluster, scheduler);
   };
@@ -412,6 +486,11 @@ FleetReport FleetEngine::replay(const Trace& fleet_trace) const {
     metrics.count("fleet.router.decisions", plan.router.decisions);
     metrics.count("fleet.router.spills", plan.router.spills);
     metrics.count("fleet.router.budget_splits", plan.router.budget_splits);
+    // Gated on the outage process so fault-free fleets keep the metrics
+    // document byte-identical to builds without the fault layer.
+    if (outage_active)
+      metrics.count("fleet.router.outage_readmissions",
+                    plan.router.outage_readmissions);
     for (std::size_t c = 0; c < clusters; ++c)
       metrics.count("fleet.router.jobs_to_cluster_" + std::to_string(c),
                     plan.router.jobs_per_cluster[c]);
@@ -457,6 +536,16 @@ FleetReport FleetEngine::replay(const Trace& fleet_trace) const {
     report.peak_cap_sum_watts += sim.cluster.peak_cap_sum_watts;
     report.peak_queue_depth =
         std::max(report.peak_queue_depth, sim.peak_queue_depth);
+    report.faults.failures_injected += sim.faults.failures_injected;
+    report.faults.retries += sim.faults.retries;
+    report.faults.jobs_killed += sim.faults.jobs_killed;
+    report.faults.jobs_shed += sim.faults.jobs_shed;
+    report.faults.jobs_abandoned += sim.faults.jobs_abandoned;
+    report.faults.node_failures += sim.faults.node_failures;
+    report.faults.node_recoveries += sim.faults.node_recoveries;
+    report.faults.power_emergencies += sim.faults.power_emergencies;
+    report.faults.node_downtime_seconds += sim.faults.node_downtime_seconds;
+    report.faults.backoff_delay_seconds += sim.faults.backoff_delay_seconds;
     wait.add(sim.mean_queue_wait_seconds, sim.cluster.jobs_completed);
     slowdown.add(sim.mean_slowdown, sim.cluster.jobs_completed);
     for (const TenantStats& tenant : sim.tenants) {

@@ -48,6 +48,7 @@
 #include "common/interner.hpp"
 #include "common/small_vector.hpp"
 #include "core/policy.hpp"
+#include "fault/fault.hpp"
 #include "sched/cluster.hpp"
 #include "trace/sim_engine.hpp"
 #include "trace/trace.hpp"
@@ -88,6 +89,9 @@ struct RouterStats {
   std::size_t spills = 0;  ///< affinity decisions diverted by spillover
   std::vector<std::size_t> jobs_per_cluster;
   std::size_t budget_splits = 0;  ///< fleet budget events fanned out
+  /// Arrivals whose routed cluster was inside a whole-cluster outage window
+  /// and were re-admitted to the next surviving cluster (index order scan).
+  std::size_t outage_readmissions = 0;
 
   // Admission-decision latency (nanoseconds of wall clock), filled only
   // when FleetConfig::measure_decision_latency is on. Never compared by
@@ -213,6 +217,18 @@ struct FleetConfig {
   /// Base of the per-shard SplitMix64 seed streams (and, when
   /// router.affinity_salt is 0, of the affinity salt).
   std::uint64_t seed = 0;
+  /// Per-cluster fault injection: each shard builds its own FaultPlan from
+  /// this config with the shard's derived seed stream (stream_seed(seed, c))
+  /// over the fleet trace horizon. Disabled by default (the fault-free path
+  /// is byte-identical to a fleet without the fault layer).
+  fault::FaultConfig fault;
+  /// Whole-cluster outage process: > 0 draws exponential outage windows per
+  /// cluster (independent seed streams). During a window every node of the
+  /// cluster is down (in-flight work killed into the retry path) and the
+  /// admission router re-admits arrivals routed there to the next surviving
+  /// cluster in index order. 0 disables cluster outages.
+  double cluster_outage_mtbf_seconds = 0.0;
+  double cluster_outage_duration_seconds = 600.0;
   /// Shard-replay fan-out width; 1 replays serially. Any value produces
   /// bit-identical reports.
   std::size_t threads = 1;
@@ -262,6 +278,9 @@ struct FleetReport {
   /// Completed jobs over the fleet makespan — the aggregate serving rate.
   double aggregate_jobs_per_hour = 0.0;
   std::vector<TenantStats> tenants;  ///< merged across clusters, by name
+  /// Fleet-wide fault outcome: per-shard FaultStats summed in cluster-index
+  /// order (all zeros when fault injection and cluster outages are off).
+  FaultStats faults;
 };
 
 class FleetEngine {

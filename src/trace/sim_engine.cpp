@@ -20,6 +20,28 @@ struct JobBook {
   std::size_t tenant_index = 0;
   double deadline_absolute = 0.0;  ///< 0 = none
   double modeled_solo_seconds = 0.0;
+  // Fault-plan state (untouched on the fault-free path): how many of this
+  // job's completions the plan fails (drawn once at arrival from the job's
+  // own stream — order and thread-count independent), how many have failed
+  // so far, and how many retries have been spent (crashes, sheds, and
+  // transient failures share one budget).
+  std::uint32_t attempts_to_fail = 0;
+  std::uint32_t failures = 0;
+  std::uint32_t retries = 0;
+};
+
+/// A killed or failed job waiting out its backoff before re-submission.
+/// Ordered by (release, seq): seq is the engine's monotonically increasing
+/// retry counter, so equal-release retries re-enter the queue in the order
+/// their failures were processed — deterministic for any event core.
+struct RetryEntry {
+  double release = 0.0;
+  std::uint64_t seq = 0;
+  sched::Job job;
+};
+
+constexpr auto kRetryOrder = [](const RetryEntry& a, const RetryEntry& b) {
+  return a.release != b.release ? a.release > b.release : a.seq > b.seq;
 };
 
 /// Memoized per-app arrival constants (indexed by the scheduler's AppId):
@@ -138,6 +160,34 @@ struct RoutedSource {
   std::string tenant_name(Symbol id) const { return shard.tenant_names[id]; }
 };
 
+/// Fault-state suffix of the replay failure messages: the head job's spent
+/// retry budget and which nodes are down — the two things an operator needs
+/// to tell "budget wedge" from "everything crashed and nothing recovers".
+/// Empty without a fault plan, so fault-free messages are unchanged.
+std::string fault_diagnostics(const sched::Cluster& cluster,
+                              const JobBook* head_book,
+                              const fault::FaultPlan* plan) {
+  if (plan == nullptr) return "";
+  std::string out;
+  if (head_book != nullptr)
+    out += "; head job has used " + std::to_string(head_book->retries) + "/" +
+           std::to_string(plan->retry.max_retries) + " retries";
+  std::size_t down_count = 0;
+  std::string down_list;
+  for (std::size_t n = 0; n < cluster.nodes().size(); ++n) {
+    if (!cluster.node_down(static_cast<int>(n))) continue;
+    if (++down_count <= 8) {
+      if (!down_list.empty()) down_list += ",";
+      down_list += std::to_string(n);
+    }
+  }
+  out += down_count == 0 ? "; no nodes down"
+                         : "; " + std::to_string(down_count) +
+                               " node(s) down [" + down_list +
+                               (down_count > 8 ? ",..." : "") + "]";
+  return out;
+}
+
 /// Cold failure path of a wedged replay (e.g. the final budget left the
 /// cluster unable to afford any cap): kept out of the event loop so the
 /// message — app and tenant in operator terms, as submitted, not the
@@ -146,7 +196,8 @@ template <typename Source>
 [[noreturn]] void throw_stalled_replay(const Source& source,
                                        const sched::Cluster& cluster,
                                        const sched::CoScheduler& scheduler,
-                                       const std::vector<JobBook>& books) {
+                                       const std::vector<JobBook>& books,
+                                       const fault::FaultPlan* plan) {
   const sched::Job& head = cluster.queue().front();
   MIGOPT_ENSURE(head.id >= 0 &&
                     static_cast<std::size_t>(head.id) < books.size(),
@@ -166,7 +217,43 @@ template <typename Source>
       (cluster.power_budget().has_value()
            ? " under the standing power budget of " +
                  std::to_string(*cluster.power_budget()) + " W"
-           : ""));
+           : "") +
+      fault_diagnostics(cluster, &book, plan));
+}
+
+/// Cold failure path of a tripped simulated-time guard: names the next
+/// event time, the guard, and — when jobs are pending — the head job in the
+/// same operator terms as the stall message, plus the fault state (retries
+/// spent, nodes down) when a plan is active.
+template <typename Source>
+[[noreturn]] void throw_guard_exceeded(double t_next, const SimConfig& config,
+                                       const Source& source,
+                                       const sched::Cluster& cluster,
+                                       const sched::CoScheduler& scheduler,
+                                       const std::vector<JobBook>& books,
+                                       const fault::FaultPlan* plan) {
+  std::string message =
+      "trace replay exceeded its simulated-time guard: next event at t=" +
+      std::to_string(t_next) + "s > max_sim_seconds=" +
+      std::to_string(config.max_sim_seconds) + "s with " +
+      std::to_string(cluster.queued_count()) + " job(s) queued and " +
+      std::to_string(cluster.running_count()) + " running";
+  const JobBook* head_book = nullptr;
+  if (cluster.queued_count() > 0) {
+    const sched::Job& head = cluster.queue().front();
+    if (head.id >= 0 && static_cast<std::size_t>(head.id) < books.size()) {
+      head_book = &books[static_cast<std::size_t>(head.id)];
+      const std::string tenant =
+          source.tenant_name(static_cast<Symbol>(head_book->tenant_index));
+      const std::string app = (head.app.empty() && head.app_id != kNoSymbol)
+                                  ? scheduler.app_name(head.app_id)
+                                  : head.app;
+      message += "; head job " + std::to_string(head.id) + " (app '" + app +
+                 "', tenant '" + tenant +
+                 "', submitted t=" + std::to_string(head.submit_time) + "s)";
+    }
+  }
+  throw ContractViolation(message + fault_diagnostics(cluster, head_book, plan));
 }
 
 template <typename Source>
@@ -178,6 +265,13 @@ SimReport replay_impl(const SimConfig& config, Source& source,
   cluster.begin_session(scheduler);
   const auto memo_at_start = cluster.run_memo_stats();
   const gpusim::GpuChip& chip = cluster.nodes().front()->chip();
+
+  // Null plan = the fault-free hot path: every fault branch below is one
+  // predicted-not-taken pointer compare, and reports are byte-identical to
+  // a replay without the fault layer (an empty plan degrades to null too).
+  const fault::FaultPlan* const plan =
+      (config.faults != nullptr && !config.faults->empty()) ? config.faults
+                                                            : nullptr;
 
   // Observability sinks. All three are inert by default: the sampler's
   // due() is one compare against +inf, the metrics handle no-ops on a null
@@ -194,9 +288,13 @@ SimReport replay_impl(const SimConfig& config, Source& source,
   const double replay_start_us = tracer ? tracer->now_us() : 0.0;
   obs::MetricId wait_hist = 0;
   obs::MetricId slowdown_hist = 0;
+  obs::MetricId backoff_hist = 0;
   if (metrics.enabled()) {
     wait_hist = metrics.histogram("replay.queue_wait_us");
     slowdown_hist = metrics.histogram("replay.slowdown_milli");
+    // Fault instruments appear only when a plan is active, so fault-free
+    // metrics documents are unchanged.
+    if (plan != nullptr) backoff_hist = metrics.histogram("fault.backoff_delay_ms");
   }
 
   SimReport report;
@@ -215,6 +313,20 @@ SimReport replay_impl(const SimConfig& config, Source& source,
   double slowdown_sum = 0.0;
   std::size_t completed = 0;
   double now = 0.0;
+
+  // Fault-injection state (all idle without a plan). The retry heap holds
+  // killed/failed jobs engine-side until their backoff expires — queued
+  // jobs gate the whole queue behind their submit times, so a future-dated
+  // re-queue would stall every job behind it.
+  std::size_t next_fault = 0;
+  std::vector<RetryEntry> retry_heap;
+  std::uint64_t retry_seq = 0;
+  std::vector<std::uint32_t> down_depth;
+  std::optional<double> trace_budget = cluster.power_budget();
+  double emergency_watts = 0.0;  ///< 0 = no emergency active
+  std::vector<sched::Job> fault_completed;
+  std::vector<sched::Job> fault_killed;
+  if (plan != nullptr) down_depth.assign(cluster.nodes().size(), 0);
   if (sampler.enabled()) {
     // Sample times land on event-loop steps, so the series length is
     // bounded by the trace horizon over the interval (plus the t=0 and
@@ -257,9 +369,45 @@ SimReport replay_impl(const SimConfig& config, Source& source,
     mark = t;
   };
 
+  /// Route a killed/failed job: back into the simulation after exponential
+  /// backoff while its retry budget lasts, abandoned once it runs out.
+  /// Crashes, sheds, and transient failures draw on the same budget.
+  const auto retry_or_abandon = [&](sched::Job&& job, double at) {
+    JobBook& book = books[static_cast<std::size_t>(job.id)];
+    if (book.retries >= plan->retry.max_retries) {
+      report.faults.jobs_abandoned += 1;
+      return;
+    }
+    book.retries += 1;
+    report.faults.retries += 1;
+    const double delay = plan->retry.delay_seconds(book.retries);
+    report.faults.backoff_delay_seconds += delay;
+    metrics.record(backoff_hist, static_cast<std::uint64_t>(delay * 1e3));
+    // The retry restarts from zero work at the original submit_time (waits
+    // measure first submission to final start); dispatch re-stamps
+    // start_time, a later completion finish_time.
+    job.start_time = -1.0;
+    job.finish_time = -1.0;
+    retry_heap.push_back(RetryEntry{at + delay, retry_seq++, std::move(job)});
+    std::push_heap(retry_heap.begin(), retry_heap.end(), kRetryOrder);
+  };
+
   const auto handle_completion = [&](const sched::Job& job) {
     MIGOPT_ENSURE(job.id >= 0 && static_cast<std::size_t>(job.id) < books.size(),
                   "completion for a job the engine never submitted");
+    if (plan != nullptr) {
+      JobBook& fault_book = books[static_cast<std::size_t>(job.id)];
+      if (fault_book.failures < fault_book.attempts_to_fail) {
+        // The run completed physically but its result is lost (the plan's
+        // transient draw fails the job's first k completions — an order- and
+        // thread-independent rule): the attempt neither completes nor
+        // misses a deadline; it re-enters after backoff or is abandoned.
+        fault_book.failures += 1;
+        report.faults.failures_injected += 1;
+        retry_or_abandon(sched::Job(job), job.finish_time);
+        return;
+      }
+    }
     const JobBook& book = books[static_cast<std::size_t>(job.id)];
     TenantAccum& tenant = tenants[book.tenant_index];
     const double wait = job.start_time - job.submit_time;
@@ -290,6 +438,78 @@ SimReport replay_impl(const SimConfig& config, Source& source,
       ++report.phases.steps;
       mark = ProfileClock::now();
     }
+    // 0. Apply fault events and due retries at the clock — between the
+    // completions the previous step drained and this step's arrivals, a
+    // fixed order (completion < fault < retry < arrival at equal times)
+    // every event core and thread count reproduces.
+    if (plan != nullptr) {
+      while (next_fault < plan->events.size() &&
+             plan->events[next_fault].time_seconds <= now) {
+        const fault::FaultEvent& event = plan->events[next_fault++];
+        switch (event.kind) {
+          case fault::FaultKind::NodeFail: {
+            // Overlapping down-windows (a per-node outage inside a
+            // fleet-wide cluster outage) nest via a depth counter: the node
+            // fails on the first window and recovers when the last closes.
+            std::uint32_t& depth =
+                down_depth[static_cast<std::size_t>(event.node)];
+            if (depth++ != 0) break;
+            fault_completed.clear();
+            fault_killed.clear();
+            cluster.fail_node(event.node, now, scheduler, fault_completed,
+                              fault_killed);
+            for (const sched::Job& job : fault_completed)
+              handle_completion(job);
+            for (sched::Job& job : fault_killed)
+              retry_or_abandon(std::move(job), now);
+            break;
+          }
+          case fault::FaultKind::NodeRecover: {
+            std::uint32_t& depth =
+                down_depth[static_cast<std::size_t>(event.node)];
+            MIGOPT_ENSURE(depth > 0,
+                          "fault plan recovers a node that never failed");
+            if (--depth == 0) cluster.recover_node(event.node, now);
+            break;
+          }
+          case fault::FaultKind::EmergencyBegin: {
+            // Facility power emergency: clamp the budget to the emergency
+            // watts (never *above* the standing trace contract) and shed
+            // running nodes gracefully until the cap sum fits instead of
+            // wedging on an unaffordable running set.
+            emergency_watts = event.watts;
+            report.faults.power_emergencies += 1;
+            const double effective =
+                trace_budget.has_value()
+                    ? std::min(*trace_budget, emergency_watts)
+                    : emergency_watts;
+            cluster.set_power_budget(effective);
+            fault_completed.clear();
+            fault_killed.clear();
+            cluster.shed_to_budget(effective, now, scheduler, fault_completed,
+                                   fault_killed);
+            for (const sched::Job& job : fault_completed)
+              handle_completion(job);
+            for (sched::Job& job : fault_killed)
+              retry_or_abandon(std::move(job), now);
+            break;
+          }
+          case fault::FaultKind::EmergencyEnd: {
+            emergency_watts = 0.0;
+            cluster.set_power_budget(trace_budget);
+            break;
+          }
+        }
+      }
+      // Due retries re-enter the queue ahead of same-instant arrivals, in
+      // (release, seq) order.
+      while (!retry_heap.empty() && retry_heap.front().release <= now) {
+        std::pop_heap(retry_heap.begin(), retry_heap.end(), kRetryOrder);
+        cluster.submit(std::move(retry_heap.back().job));
+        retry_heap.pop_back();
+      }
+    }
+
     // 1. Apply every trace event due at the clock.
     while (source.next_time() <= now) {
       const EventView event = source.pop();
@@ -334,6 +554,12 @@ SimReport replay_impl(const SimConfig& config, Source& source,
                 ? arrival.time_seconds + arrival.deadline_seconds
                 : 0.0;
         book.modeled_solo_seconds = job.work_units * job.solo_seconds_per_wu;
+        // How many of this job's completions fail, drawn once from the
+        // job-indexed stream (books.size() is the dense JobId being
+        // assigned) — identical whatever order completions later fire in.
+        if (plan != nullptr)
+          book.attempts_to_fail = static_cast<std::uint32_t>(
+              plan->attempts_to_fail(static_cast<std::uint64_t>(books.size())));
         books.push_back(book);
 
         ++report.jobs_submitted;
@@ -344,9 +570,18 @@ SimReport replay_impl(const SimConfig& config, Source& source,
         const ProfileClock::time_point budget_start =
             profile ? ProfileClock::now() : ProfileClock::time_point{};
         const double span_start_us = tracer ? tracer->now_us() : 0.0;
-        cluster.set_power_budget(event.watts > 0.0
-                                     ? std::optional<double>(event.watts)
-                                     : std::nullopt);
+        const std::optional<double> watts =
+            event.watts > 0.0 ? std::optional<double>(event.watts)
+                              : std::nullopt;
+        trace_budget = watts;
+        // An active power emergency clamps every trace budget until it
+        // ends (the standing contract is restored at EmergencyEnd).
+        if (emergency_watts > 0.0)
+          cluster.set_power_budget(watts.has_value()
+                                       ? std::min(*watts, emergency_watts)
+                                       : emergency_watts);
+        else
+          cluster.set_power_budget(watts);
         ++report.budget_events_applied;
         if (tracer)
           tracer->span(track, "rebroker", span_start_us,
@@ -367,9 +602,10 @@ SimReport replay_impl(const SimConfig& config, Source& source,
         std::max(report.peak_queue_depth, cluster.queued_count());
     MIGOPT_ENSURE(report.jobs_submitted ==
                       completed + cluster.queued_count() +
-                          cluster.running_count(),
+                          cluster.running_count() + retry_heap.size() +
+                          report.faults.jobs_abandoned,
                   "conservation violated: submitted != completed + queued + "
-                  "running");
+                  "running + awaiting-retry + abandoned");
     if (sampler.due(now)) {
       obs::SampleRow row;
       row.time_seconds = now;
@@ -389,19 +625,27 @@ SimReport replay_impl(const SimConfig& config, Source& source,
     }
     if (profile) lap(report.phases.accounting_seconds);
 
-    // 3. Advance to the next event on the heap's two spines.
+    // 3. Advance to the next event: the trace/completion spines, plus the
+    // fault-plan and retry-release spines when a plan is active.
     const double t_trace = source.next_time();
     const double t_done = cluster.next_completion_time();
-    const double t_next = std::min(t_trace, t_done);
+    double t_next = std::min(t_trace, t_done);
+    if (plan != nullptr) {
+      if (next_fault < plan->events.size())
+        t_next = std::min(t_next, plan->events[next_fault].time_seconds);
+      if (!retry_heap.empty())
+        t_next = std::min(t_next, retry_heap.front().release);
+    }
     if (!std::isfinite(t_next)) {
       // No future event of any kind: the replay is done — unless jobs are
       // still queued, which means nothing can ever release them.
       if (cluster.queued_count() != 0)
-        throw_stalled_replay(source, cluster, scheduler, books);
+        throw_stalled_replay(source, cluster, scheduler, books, plan);
       break;
     }
-    MIGOPT_ENSURE(t_next <= config.max_sim_seconds,
-                  "trace replay exceeded its simulated-time guard");
+    if (t_next > config.max_sim_seconds)
+      throw_guard_exceeded(t_next, config, source, cluster, scheduler, books,
+                           plan);
     now = std::max(now, t_next);
     // Advance every node (idle ones accrue idle power, exactly as the batch
     // loop does); completions due at `now` come back here — before the loop
@@ -412,6 +656,16 @@ SimReport replay_impl(const SimConfig& config, Source& source,
   }
 
   report.cluster = cluster.report(scheduler);
+  if (plan != nullptr) {
+    // The crash/shed/downtime half of the fault outcome is authoritative in
+    // the cluster's session counters; the retry/abandon half accumulated
+    // engine-side above.
+    report.faults.jobs_killed = report.cluster.jobs_killed;
+    report.faults.jobs_shed = report.cluster.jobs_shed;
+    report.faults.node_failures = report.cluster.node_failures;
+    report.faults.node_recoveries = report.cluster.node_recoveries;
+    report.faults.node_downtime_seconds = report.cluster.node_downtime_seconds;
+  }
   if (completed > 0) {
     report.mean_queue_wait_seconds = wait_sum / static_cast<double>(completed);
     report.mean_slowdown = slowdown_sum / static_cast<double>(completed);
@@ -482,6 +736,22 @@ SimReport replay_impl(const SimConfig& config, Source& source,
                   static_cast<double>(report.peak_queue_depth));
     metrics.level("replay.makespan_seconds", c.makespan_seconds);
     metrics.level("cluster.peak_cap_sum_watts", c.peak_cap_sum_watts);
+    // Fault instruments, gated on an active plan so fault-free metrics
+    // documents keep their exact historical shape.
+    if (plan != nullptr) {
+      metrics.count("fault.failures_injected", report.faults.failures_injected);
+      metrics.count("fault.retries", report.faults.retries);
+      metrics.count("fault.jobs_killed", report.faults.jobs_killed);
+      metrics.count("fault.jobs_shed", report.faults.jobs_shed);
+      metrics.count("fault.jobs_abandoned", report.faults.jobs_abandoned);
+      metrics.count("fault.node_failures", report.faults.node_failures);
+      metrics.count("fault.node_recoveries", report.faults.node_recoveries);
+      metrics.count("fault.power_emergencies",
+                    report.faults.power_emergencies);
+      metrics.count("fault.node_downtime_ms",
+                    static_cast<std::uint64_t>(
+                        report.faults.node_downtime_seconds * 1e3));
+    }
   }
 
   // Session span plus, when the phase profiler ran, synthesized per-phase

@@ -23,8 +23,14 @@
 // deadline misses, and peak queue depth. The obs sinks (SimConfig::
 // telemetry/metrics/tracer) optionally add a sim-time sample series, a
 // deterministic metrics registry harvest, and Chrome-trace session spans.
-// A conservation invariant — submitted == completed + queued + running —
-// is checked at every step.
+// A conservation invariant — submitted == completed + queued + running +
+// awaiting-retry + abandoned (the last two terms are zero without a fault
+// plan) — is checked at every step.
+//
+// With SimConfig::faults set, the loop also injects the plan's node
+// crash/recover windows and power emergencies, fails completions per its
+// transient draw, and re-submits victims after exponential backoff (see
+// fault/fault.hpp for the determinism contract).
 #pragma once
 
 #include <cstddef>
@@ -34,6 +40,7 @@
 #include <vector>
 
 #include "common/interner.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/span_tracer.hpp"
@@ -80,6 +87,16 @@ struct SimConfig {
   /// legacy string path the interning-equivalence tests replay against.
   /// Both produce bit-identical reports.
   bool intern_symbols = true;
+  /// Optional fault plan (non-owning; null or empty = fault-free, the
+  /// unchanged hot path — reports are byte-identical to a build without
+  /// the fault layer). When set, the event loop injects the plan's node
+  /// crash/recover windows and power emergencies at their scheduled times,
+  /// fails job completions per the plan's transient draw, and re-submits
+  /// victims after exponential backoff until the retry budget runs out.
+  /// Everything is derived from the plan and the simulation clock, so
+  /// faulted replays stay bit-identical across event cores and (for fleet
+  /// shards) thread counts. The plan must outlive the replay.
+  const fault::FaultPlan* faults = nullptr;
   /// Collect wall-clock tallies of the event loop's phases (SimReport::
   /// phases) — where a replay's real time goes: applying trace events,
   /// re-brokering budgets, dispatching, accounting, or draining
@@ -146,6 +163,22 @@ struct TenantStats {
   double mean_slowdown = 0.0;            ///< turnaround / modeled solo time
 };
 
+/// Fault-injection outcome of one replay (all zero without a fault plan).
+/// Conservation under faults: jobs_submitted == jobs completed + queued +
+/// awaiting retry + running + jobs_abandoned, checked every event step.
+struct FaultStats {
+  std::size_t failures_injected = 0;  ///< transient completion failures
+  std::size_t retries = 0;            ///< re-submissions after backoff
+  std::size_t jobs_killed = 0;        ///< in-flight work lost to node crashes
+  std::size_t jobs_shed = 0;          ///< killed by graceful power degradation
+  std::size_t jobs_abandoned = 0;     ///< retry budget exhausted
+  std::size_t node_failures = 0;
+  std::size_t node_recoveries = 0;
+  std::size_t power_emergencies = 0;
+  double node_downtime_seconds = 0.0;
+  double backoff_delay_seconds = 0.0;  ///< total backoff scheduled
+};
+
 struct SimReport {
   sched::ClusterReport cluster;  ///< makespan/energy/dispatch/cache counters
   std::size_t jobs_submitted = 0;
@@ -161,6 +194,8 @@ struct SimReport {
   obs::SampleSeries telemetry;
   /// Host-time phase profile (zeros unless collect_phase_counters was set).
   PhaseCounters phases;
+  /// Fault-injection outcome (zeros unless SimConfig::faults was set).
+  FaultStats faults;
 };
 
 class SimEngine {

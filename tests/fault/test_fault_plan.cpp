@@ -1,0 +1,240 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "common/assert.hpp"
+
+namespace migopt::fault {
+namespace {
+
+FaultConfig full_config() {
+  FaultConfig config;
+  config.node_mtbf_seconds = 5000.0;
+  config.node_mttr_seconds = 600.0;
+  config.transient_failure_rate = 0.2;
+  config.power_emergency_mtbf_seconds = 8000.0;
+  config.power_emergency_duration_seconds = 500.0;
+  config.power_emergency_watts = 800.0;
+  return config;
+}
+
+TEST(RetryPolicy, BackoffDoublesAndClampsToCap) {
+  RetryPolicy policy;  // base 30 s, x2, cap 3600 s
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(1), 30.0);
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(2), 60.0);
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(3), 120.0);
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(4), 240.0);
+  // 30 * 2^7 = 3840 exceeds the cap.
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(8), 3600.0);
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(50), 3600.0);
+}
+
+TEST(RetryPolicy, ValidateRejectsDegenerateKnobs) {
+  RetryPolicy policy;
+  policy.backoff_base_seconds = 0.0;
+  EXPECT_THROW(policy.validate(), ContractViolation);
+  policy = {};
+  policy.backoff_multiplier = 0.5;
+  EXPECT_THROW(policy.validate(), ContractViolation);
+  policy = {};
+  policy.backoff_cap_seconds = 1.0;  // below the 30 s base
+  EXPECT_THROW(policy.validate(), ContractViolation);
+}
+
+TEST(FaultConfig, ValidateRejectsOutOfRangeChannels) {
+  FaultConfig config;
+  config.transient_failure_rate = 1.0;  // must stay below 1
+  EXPECT_THROW(config.validate(), ContractViolation);
+  config = {};
+  config.node_mtbf_seconds = 100.0;
+  config.node_mttr_seconds = 0.0;
+  EXPECT_THROW(config.validate(), ContractViolation);
+  config = {};
+  config.power_emergency_mtbf_seconds = 100.0;
+  config.power_emergency_watts = 0.0;
+  EXPECT_THROW(config.validate(), ContractViolation);
+  EXPECT_NO_THROW(full_config().validate());
+  EXPECT_FALSE(FaultConfig{}.enabled());
+  EXPECT_TRUE(full_config().enabled());
+}
+
+TEST(FaultPlan, DisabledConfigYieldsEmptyPlan) {
+  const FaultPlan plan = make_fault_plan(FaultConfig{}, 8, 1.0e6, 7);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_TRUE(plan.events.empty());
+  EXPECT_EQ(plan.attempts_to_fail(0), 0u);
+  plan.validate();
+}
+
+// The determinism contract pinned to literal values: the same (config,
+// node_count, horizon, seed) must reproduce this exact scenario on every
+// platform, forever — these events feed exact-gated bench baselines. If
+// this test breaks, the RNG stream layout changed and every checked-in
+// fault baseline is invalid.
+TEST(FaultPlan, FixedSeedPlanIsPinned) {
+  const FaultPlan plan = make_fault_plan(full_config(), 2, 20000.0, 42);
+  plan.validate();
+  ASSERT_EQ(plan.events.size(), 22u);
+  EXPECT_DOUBLE_EQ(plan.events[0].time_seconds, 874.18554827774778);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::NodeFail);
+  EXPECT_EQ(plan.events[0].node, 1);
+  EXPECT_DOUBLE_EQ(plan.events[1].time_seconds, 874.50328597207272);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::NodeRecover);
+  EXPECT_DOUBLE_EQ(plan.events[4].time_seconds, 2336.1153181680547);
+  EXPECT_EQ(plan.events[4].kind, FaultKind::EmergencyBegin);
+  EXPECT_DOUBLE_EQ(plan.events[4].watts, 800.0);
+  EXPECT_DOUBLE_EQ(plan.events[5].time_seconds, 2836.1153181680547);
+  EXPECT_EQ(plan.events[5].kind, FaultKind::EmergencyEnd);
+  // The last started window's recovery survives past the horizon.
+  EXPECT_DOUBLE_EQ(plan.events[21].time_seconds, 18605.715711640962);
+  EXPECT_EQ(plan.events[21].kind, FaultKind::NodeRecover);
+  EXPECT_EQ(plan.events[21].node, 0);
+  // Transient draws are per arrival index: the first failing job under this
+  // seed is index 9, with exactly one leading failure.
+  for (int j = 0; j < 9; ++j) EXPECT_EQ(plan.attempts_to_fail(j), 0u);
+  EXPECT_EQ(plan.attempts_to_fail(9), 1u);
+}
+
+TEST(FaultPlan, IdenticalInputsReproduceIdenticalPlans) {
+  const FaultPlan a = make_fault_plan(full_config(), 4, 50000.0, 99);
+  const FaultPlan b = make_fault_plan(full_config(), 4, 50000.0, 99);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events[i].time_seconds, b.events[i].time_seconds);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].node, b.events[i].node);
+  }
+  const FaultPlan c = make_fault_plan(full_config(), 4, 50000.0, 100);
+  EXPECT_NE(a.events.front().time_seconds, c.events.front().time_seconds);
+}
+
+TEST(FaultPlan, PerNodeStreamsAreIndependentOfClusterSize) {
+  // Growing the cluster must not move an existing node's outage windows:
+  // node 0's stream in a 2-node plan equals node 0's in an 8-node plan.
+  FaultConfig config;
+  config.node_mtbf_seconds = 4000.0;
+  config.node_mttr_seconds = 300.0;
+  const FaultPlan small = make_fault_plan(config, 2, 30000.0, 5);
+  const FaultPlan big = make_fault_plan(config, 8, 30000.0, 5);
+  std::vector<FaultEvent> small0;
+  std::vector<FaultEvent> big0;
+  for (const FaultEvent& e : small.events)
+    if (e.node == 0) small0.push_back(e);
+  for (const FaultEvent& e : big.events)
+    if (e.node == 0) big0.push_back(e);
+  ASSERT_EQ(small0.size(), big0.size());
+  ASSERT_FALSE(small0.empty());
+  for (std::size_t i = 0; i < small0.size(); ++i) {
+    EXPECT_DOUBLE_EQ(small0[i].time_seconds, big0[i].time_seconds);
+    EXPECT_EQ(small0[i].kind, big0[i].kind);
+  }
+}
+
+TEST(FaultPlan, EveryFailureHasAMatchingRecovery) {
+  FaultConfig config;
+  config.node_mtbf_seconds = 2000.0;
+  config.node_mttr_seconds = 500.0;
+  const FaultPlan plan = make_fault_plan(config, 4, 40000.0, 13);
+  ASSERT_FALSE(plan.events.empty());
+  // Per node: strictly alternating fail/recover, ending on a recover — a
+  // crashed node always rejoins (otherwise the queue tail could wedge).
+  for (int n = 0; n < 4; ++n) {
+    int depth = 0;
+    for (const FaultEvent& e : plan.events) {
+      if (e.node != n) continue;
+      if (e.kind == FaultKind::NodeFail) {
+        EXPECT_EQ(depth, 0);
+        depth = 1;
+      } else {
+        EXPECT_EQ(depth, 1);
+        depth = 0;
+      }
+    }
+    EXPECT_EQ(depth, 0);
+  }
+}
+
+TEST(FaultPlan, AttemptsToFailIsCappedByRetryBudget) {
+  FaultConfig config;
+  config.transient_failure_rate = 0.95;  // near-certain repeat failures
+  config.retry.max_retries = 2;
+  const FaultPlan plan = make_fault_plan(config, 1, 100.0, 21);
+  std::size_t worst = 0;
+  std::size_t failing = 0;
+  for (std::uint64_t j = 0; j < 2000; ++j) {
+    const std::size_t k = plan.attempts_to_fail(j);
+    worst = std::max(worst, k);
+    if (k > 0) ++failing;
+  }
+  // Capped at max_retries + 1 (past that the job is abandoned anyway), and
+  // at rate 0.95 nearly every job draws at least one failure.
+  EXPECT_EQ(worst, 3u);
+  EXPECT_GT(failing, 1800u);
+}
+
+TEST(FaultPlan, TransientRateMatchesDrawFrequency) {
+  FaultConfig config;
+  config.transient_failure_rate = 0.1;
+  const FaultPlan plan = make_fault_plan(config, 1, 100.0, 3);
+  std::size_t failing = 0;
+  const std::size_t jobs = 20000;
+  for (std::uint64_t j = 0; j < jobs; ++j)
+    if (plan.attempts_to_fail(j) > 0) ++failing;
+  const double rate = static_cast<double>(failing) / static_cast<double>(jobs);
+  EXPECT_NEAR(rate, 0.1, 0.01);
+}
+
+TEST(OutageWindows, DisabledAndPinnedGeneration) {
+  EXPECT_TRUE(make_outage_windows(3, 50000.0, 0.0, 1200.0, 7)[0].empty());
+  const auto windows = make_outage_windows(3, 50000.0, 20000.0, 1200.0, 7);
+  ASSERT_EQ(windows.size(), 3u);
+  // Under this seed clusters 0 and 1 stay up and cluster 2 takes one
+  // outage — pinned like the plan above (independent per-cluster streams).
+  EXPECT_TRUE(windows[0].empty());
+  EXPECT_TRUE(windows[1].empty());
+  ASSERT_EQ(windows[2].size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[2][0].begin_seconds, 30310.693783857681);
+  EXPECT_DOUBLE_EQ(windows[2][0].end_seconds, 31510.693783857681);
+  // Half-open membership: down at begin, back up exactly at end.
+  EXPECT_FALSE(in_outage(windows[2], 30310.0));
+  EXPECT_TRUE(in_outage(windows[2], 30310.693783857681));
+  EXPECT_TRUE(in_outage(windows[2], 31000.0));
+  EXPECT_FALSE(in_outage(windows[2], 31510.693783857681));
+}
+
+TEST(OutageWindows, ApplyOutagesFoldsWholeClusterEvents) {
+  FaultConfig config;
+  config.node_mtbf_seconds = 6000.0;
+  FaultPlan plan = make_fault_plan(config, 3, 20000.0, 11);
+  const std::size_t before = plan.events.size();
+  const std::vector<OutageWindow> windows = {{1000.0, 1600.0},
+                                             {5000.0, 5600.0}};
+  apply_outages(plan, windows, 3);
+  // One fail + one recover per node per window, and the plan stays sorted
+  // (validate() checks the order contract).
+  EXPECT_EQ(plan.events.size(), before + 2u * 3u * windows.size());
+  plan.validate();
+  std::size_t fails_at_1000 = 0;
+  for (const FaultEvent& e : plan.events)
+    if (e.time_seconds == 1000.0 && e.kind == FaultKind::NodeFail)
+      ++fails_at_1000;
+  EXPECT_EQ(fails_at_1000, 3u);
+}
+
+TEST(FaultPlan, ValidateRejectsUnsortedEvents) {
+  FaultPlan plan;
+  plan.events.push_back({10.0, FaultKind::NodeFail, 0, 0.0});
+  plan.events.push_back({5.0, FaultKind::NodeRecover, 0, 0.0});
+  EXPECT_THROW(plan.validate(), ContractViolation);
+  plan.events.clear();
+  plan.events.push_back({1.0, FaultKind::NodeFail, -1, 0.0});
+  EXPECT_THROW(plan.validate(), ContractViolation);
+  plan.events.clear();
+  plan.events.push_back({1.0, FaultKind::EmergencyBegin, -1, 0.0});
+  EXPECT_THROW(plan.validate(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace migopt::fault

@@ -355,6 +355,110 @@ TEST(Cluster, RunMemoCountersAreSessionDeltas) {
   EXPECT_EQ(second.run_memo_hits, first.run_memo_hits);
 }
 
+TEST(Cluster, FailNodeKillsResidentsAndRecoverAccruesDowntime) {
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));
+  ClusterConfig config;
+  config.node_count = 2;
+  Cluster cluster(config);
+  cluster.begin_session(scheduler);
+  for (Job& job : mixed_job_set()) cluster.submit(std::move(job));
+  cluster.dispatch(scheduler, 0.0);
+
+  // Crash node 0 at t=5 s: every job runs ~12 s, so nothing has completed
+  // yet — the residents are killed with their in-flight work lost.
+  std::vector<Job> completed;
+  std::vector<Job> killed;
+  cluster.fail_node(0, 5.0, scheduler, completed, killed);
+  EXPECT_TRUE(completed.empty());
+  ASSERT_FALSE(killed.empty());
+  for (const Job& job : killed) EXPECT_FALSE(job.finished());
+  EXPECT_TRUE(cluster.node_down(0));
+  EXPECT_FALSE(cluster.node_down(1));
+  EXPECT_EQ(cluster.down_node_count(), 1u);
+  // Double-crash and double-recover are protocol violations.
+  EXPECT_THROW(cluster.fail_node(0, 6.0, scheduler, completed, killed),
+               ContractViolation);
+  EXPECT_THROW(cluster.recover_node(1, 6.0), ContractViolation);
+
+  cluster.recover_node(0, 105.0);
+  EXPECT_FALSE(cluster.node_down(0));
+  EXPECT_EQ(cluster.down_node_count(), 0u);
+
+  const ClusterReport report = cluster.report(scheduler);
+  EXPECT_EQ(report.node_failures, 1u);
+  EXPECT_EQ(report.node_recoveries, 1u);
+  EXPECT_EQ(report.jobs_killed, killed.size());
+  EXPECT_DOUBLE_EQ(report.node_downtime_seconds, 100.0);
+}
+
+TEST(Cluster, DownNodeIsSkippedByDispatchAndStillDownAtReport) {
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));
+  ClusterConfig config;
+  config.node_count = 2;
+  Cluster cluster(config);
+  cluster.begin_session(scheduler);
+  // Crash node 1 while idle, before any dispatch: it must leave the idle
+  // set (dispatch never probes a down node) and kill nothing.
+  std::vector<Job> completed;
+  std::vector<Job> killed;
+  cluster.fail_node(1, 0.0, scheduler, completed, killed);
+  EXPECT_TRUE(killed.empty());
+
+  for (Job& job : mixed_job_set()) cluster.submit(std::move(job));
+  cluster.dispatch(scheduler, 0.0);
+  double now = 0.0;
+  for (int step = 1;
+       step <= 400 && cluster.queued_count() + cluster.running_count() > 0;
+       ++step) {
+    now = step * 2.0;
+    cluster.advance_to(now, scheduler);
+    cluster.dispatch(scheduler, now);
+  }
+  const ClusterReport report = cluster.report(scheduler);
+  // The whole batch completed on node 0 alone.
+  EXPECT_EQ(report.jobs_completed, 8u);
+  EXPECT_EQ(report.jobs_killed, 0u);
+  // A node still down at report time accrues downtime up to the session
+  // clock even without a recovery event.
+  EXPECT_EQ(report.node_recoveries, 0u);
+  EXPECT_GT(report.node_downtime_seconds, 0.0);
+}
+
+TEST(Cluster, ShedToBudgetPicksLowestPriorityNode) {
+  auto allocator = make_allocator();
+  CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));
+  ClusterConfig config;
+  config.node_count = 2;
+  config.enable_coscheduling = false;  // one job per node, order by priority
+  Cluster cluster(config);
+  cluster.begin_session(scheduler);
+  std::vector<Job> jobs = mixed_job_set();
+  jobs.resize(2);
+  jobs[0].priority = 5;  // dispatches first -> node 0
+  jobs[1].priority = 1;  // -> node 1, the graceful-degradation victim
+  const JobId victim_id = jobs[1].id;
+  for (Job& job : jobs) cluster.submit(std::move(job));
+  cluster.dispatch(scheduler, 0.0);
+
+  // An emergency budget at 75% of the running cap sum fits after shedding
+  // exactly one node; the victim is the lowest-priority resident.
+  const double cap_sum = cluster.report(scheduler).peak_cap_sum_watts;
+  ASSERT_GT(cap_sum, 0.0);
+  std::vector<Job> completed;
+  std::vector<Job> shed;
+  const std::size_t shed_nodes =
+      cluster.shed_to_budget(0.75 * cap_sum, 1.0, scheduler, completed, shed);
+  EXPECT_EQ(shed_nodes, 1u);
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0].id, victim_id);
+  EXPECT_EQ(shed[0].priority, 1);
+  // Unlike a crash the shed node stays in service and dispatchable.
+  EXPECT_FALSE(cluster.node_down(1));
+  EXPECT_EQ(cluster.report(scheduler).jobs_shed, 1u);
+}
+
 TEST(Cluster, BudgetBelowCheapestDispatchRejected) {
   auto allocator = make_allocator();
   CoScheduler scheduler(allocator, core::Policy::problem1(250.0, 0.2));

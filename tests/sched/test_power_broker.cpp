@@ -112,5 +112,25 @@ TEST(PowerBroker, CustomCapGridIsRespected) {
   }
 }
 
+TEST(PowerBroker, ShedVictimOrderIsPriorityThenCapThenIndex) {
+  // Lowest resident priority loses first.
+  EXPECT_EQ(PowerBroker::pick_shed_victim({{0, 250.0, 5},
+                                           {1, 150.0, 1},
+                                           {2, 250.0, 3}}),
+            1u);
+  // Priority tie: the larger cap sheds (frees the most budget per kill).
+  EXPECT_EQ(PowerBroker::pick_shed_victim({{0, 150.0, 2},
+                                           {1, 250.0, 2},
+                                           {2, 200.0, 2}}),
+            1u);
+  // Full tie: lowest node index — the order must be total so faulted
+  // replays stay bit-identical across event cores and thread counts.
+  EXPECT_EQ(PowerBroker::pick_shed_victim({{3, 250.0, 0},
+                                           {1, 250.0, 0},
+                                           {2, 250.0, 0}}),
+            1u);
+  EXPECT_THROW(PowerBroker::pick_shed_victim({}), ContractViolation);
+}
+
 }  // namespace
 }  // namespace migopt::sched

@@ -159,6 +159,46 @@ def validate_series(where: str, series, v: Validator) -> None:
             previous_time = named["time_seconds"]
 
 
+def validate_fault_instruments(path: str, metrics: dict, v: Validator) -> None:
+    """Cross-consistency of the fault-injection instruments.
+
+    The replay registers fault.* counters (and the fault.backoff_delay_ms
+    histogram) only when a fault plan is attached, and the counters obey
+    the engine's conservation identities — a document violating them was
+    not produced by a faithful replay.
+    """
+    counters = metrics.get("counters") or {}
+    histograms = metrics.get("histograms") or {}
+    fault = {name: value for name, value in counters.items()
+             if name.startswith("fault.") and is_count(value)}
+    if not fault:
+        v.check("fault.backoff_delay_ms" not in histograms,
+                f"{path}: fault.backoff_delay_ms histogram without "
+                "fault.* counters")
+        return
+    # Every failure is answered by exactly one retry or one abandonment,
+    # and killed/shed work re-enters through the same retry path.
+    required = ("fault.failures_injected", "fault.retries",
+                "fault.jobs_killed", "fault.jobs_shed",
+                "fault.jobs_abandoned")
+    if v.check(all(name in fault for name in required),
+               f"{path}: fault.* counters must be registered together "
+               f"(need {', '.join(required)})"):
+        v.check(fault["fault.retries"] + fault["fault.jobs_abandoned"] ==
+                fault["fault.failures_injected"] + fault["fault.jobs_killed"] +
+                fault["fault.jobs_shed"],
+                f"{path}: fault retry conservation violated: retries + "
+                "abandoned != failures + killed + shed")
+    v.check(fault.get("fault.node_recoveries", 0) <=
+            fault.get("fault.node_failures", 0),
+            f"{path}: more node recoveries than failures")
+    hist = histograms.get("fault.backoff_delay_ms")
+    if isinstance(hist, dict) and is_count(hist.get("count")):
+        v.check(hist["count"] == fault.get("fault.retries"),
+                f"{path}: fault.backoff_delay_ms count {hist['count']} != "
+                f"fault.retries {fault.get('fault.retries')}")
+
+
 def validate_metrics(path: str, v: Validator) -> None:
     document = load(path)
     v.check(document.get("schema_version") == 1,
@@ -180,6 +220,7 @@ def validate_metrics(path: str, v: Validator) -> None:
                     f"{path}: gauge '{name}' must be a number")
         for name, hist in (metrics.get("histograms") or {}).items():
             validate_histogram(f"{path}: histogram '{name}'", hist, v)
+        validate_fault_instruments(path, metrics, v)
     telemetry = document.get("telemetry")
     if v.check(isinstance(telemetry, list),
                f"{path}: 'telemetry' must be an array"):
